@@ -1,0 +1,188 @@
+//! Criterion wall-clock benchmarks for every structure in the workspace.
+//!
+//! These complement the I/O-count experiments (`src/bin/exp_*`): the
+//! paper's claims are about page transfers, which the experiments measure
+//! exactly; these benchmarks confirm the in-memory simulator itself is fast
+//! enough that the I/O model, not CPU time, dominates realistic use.
+
+use std::time::Duration;
+
+use ccix_bench::workloads;
+use ccix_bptree::{BPlusTree, Entry};
+use ccix_class::{ClassIndex, RakeClassIndex, RangeTreeClassIndex};
+use ccix_core::{MetablockTree, ThreeSidedTree};
+use ccix_extmem::{Disk, Geometry, IoCounter};
+use ccix_interval::IntervalIndex;
+use ccix_pst::{ExternalPst, InCorePst};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rand::Rng;
+
+const N: usize = 50_000;
+const B: usize = 64;
+
+fn bench_bptree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("bptree");
+    let counter = IoCounter::new();
+    let mut disk = Disk::new(1024, counter);
+    let entries: Vec<Entry> = (0..N as i64).map(|k| Entry::new(k, k as u64)).collect();
+    let tree = BPlusTree::bulk_load(&mut disk, &entries);
+    let mut r = workloads::rng(1);
+    group.bench_function("range_2000", |bench| {
+        bench.iter(|| {
+            let a = r.gen_range(0..(N as i64 - 2_000));
+            tree.range(&disk, a, a + 2_000)
+        })
+    });
+    group.bench_function("insert", |bench| {
+        bench.iter_batched(
+            || {
+                let counter = IoCounter::new();
+                let mut disk = Disk::new(1024, counter);
+                let tree = BPlusTree::bulk_load(&mut disk, &entries);
+                (disk, tree, 0i64)
+            },
+            |(mut disk, mut tree, mut k)| {
+                for _ in 0..100 {
+                    tree.insert(&mut disk, k % N as i64, (N as i64 + k) as u64);
+                    k += 7;
+                }
+                (disk, tree)
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_metablock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("metablock");
+    let geo = Geometry::new(B);
+    let ivs = workloads::uniform_intervals(N, 3, 4 * N as i64, 2_000);
+    let pts = workloads::interval_points(&ivs);
+    let tree = MetablockTree::build(geo, IoCounter::new(), pts.clone());
+    let mut r = workloads::rng(2);
+    group.bench_function("diagonal_query", |bench| {
+        bench.iter(|| tree.query(r.gen_range(0..4 * N as i64)))
+    });
+    group.bench_function("build_50k", |bench| {
+        bench.iter_batched(
+            || pts.clone(),
+            |pts| MetablockTree::build(geo, IoCounter::new(), pts),
+            BatchSize::LargeInput,
+        )
+    });
+    group.bench_function("insert_100", |bench| {
+        let mut id = 10_000_000u64;
+        bench.iter_batched(
+            || MetablockTree::build(geo, IoCounter::new(), pts.clone()),
+            |mut tree| {
+                for _ in 0..100 {
+                    let lo = r.gen_range(0..4 * N as i64);
+                    id += 1;
+                    tree.insert(ccix_extmem::Point::new(lo, lo + 100, id));
+                }
+                tree
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_threesided(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threesided");
+    let geo = Geometry::new(B);
+    let pts = workloads::uniform_points(N, 5, 1_000_000);
+    let tree = ThreeSidedTree::build(geo, IoCounter::new(), pts);
+    let mut r = workloads::rng(6);
+    group.bench_function("query", |bench| {
+        bench.iter(|| {
+            let a = r.gen_range(0..900_000i64);
+            tree.query(a, a + 100_000, r.gen_range(0..1_000_000i64))
+        })
+    });
+    group.finish();
+}
+
+fn bench_pst(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pst");
+    let geo = Geometry::new(B);
+    let pts = workloads::uniform_points(N, 7, 1_000_000);
+    let ext = ExternalPst::build(geo, IoCounter::new(), pts.clone());
+    let incore = InCorePst::build(pts);
+    let mut r = workloads::rng(8);
+    group.bench_function("external_query", |bench| {
+        bench.iter(|| {
+            let a = r.gen_range(0..900_000i64);
+            ext.query(a, a + 100_000, r.gen_range(0..1_000_000i64))
+        })
+    });
+    group.bench_function("incore_query", |bench| {
+        bench.iter(|| {
+            let a = r.gen_range(0..900_000i64);
+            incore.query(a, a + 100_000, r.gen_range(0..1_000_000i64))
+        })
+    });
+    group.finish();
+}
+
+fn bench_interval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("interval");
+    let geo = Geometry::new(B);
+    let ivs = workloads::uniform_intervals(N, 9, 4 * N as i64, 2_000);
+    let idx = IntervalIndex::build(geo, IoCounter::new(), &ivs);
+    let mut r = workloads::rng(10);
+    group.bench_function("stabbing", |bench| {
+        bench.iter(|| idx.stabbing(r.gen_range(0..4 * N as i64)))
+    });
+    group.bench_function("intersecting", |bench| {
+        bench.iter(|| {
+            let q = r.gen_range(0..4 * N as i64);
+            idx.intersecting(q, q + 1_000)
+        })
+    });
+    group.finish();
+}
+
+fn bench_class(c: &mut Criterion) {
+    let mut group = c.benchmark_group("class");
+    let geo = Geometry::new(16);
+    let h = workloads::hierarchy(workloads::HierarchyShape::Balanced, 255, 1);
+    let objects = workloads::uniform_objects(&h, N, 11, 1_000_000);
+    let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
+    let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+    for o in &objects {
+        rake.insert(*o);
+        rtree.insert(*o);
+    }
+    let mut r = workloads::rng(12);
+    group.bench_function("rake_query", |bench| {
+        bench.iter(|| {
+            let class = r.gen_range(0..h.len());
+            let a = r.gen_range(0..900_000i64);
+            rake.query(class, a, a + 50_000)
+        })
+    });
+    group.bench_function("rangetree_query", |bench| {
+        bench.iter(|| {
+            let class = r.gen_range(0..h.len());
+            let a = r.gen_range(0..900_000i64);
+            rtree.query(class, a, a + 50_000)
+        })
+    });
+    group.finish();
+}
+
+fn config() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = benches;
+    config = config();
+    targets = bench_bptree, bench_metablock, bench_threesided, bench_pst, bench_interval, bench_class
+}
+criterion_main!(benches);

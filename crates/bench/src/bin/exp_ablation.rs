@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e13_ablation`.
+fn main() {
+    for table in ccix_bench::experiments::e13_ablation() {
+        table.print();
+    }
+}

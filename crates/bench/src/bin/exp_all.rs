@@ -1,0 +1,13 @@
+//! Run the full experiment suite (E0–E12).
+//!
+//! `--markdown` emits the Markdown used to regenerate `EXPERIMENTS.md`.
+fn main() {
+    let markdown = std::env::args().any(|a| a == "--markdown");
+    for table in ccix_bench::experiments::all() {
+        if markdown {
+            println!("{}", table.to_markdown());
+        } else {
+            table.print();
+        }
+    }
+}

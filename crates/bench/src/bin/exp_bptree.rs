@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e0_bptree_reference`.
+fn main() {
+    for table in ccix_bench::experiments::e0_bptree_reference() {
+        table.print();
+    }
+}

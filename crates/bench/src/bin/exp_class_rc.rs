@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e6_class_rc`.
+fn main() {
+    for table in ccix_bench::experiments::e6_class_rc() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e5_class_simple`.
+fn main() {
+    for table in ccix_bench::experiments::e5_class_simple() {
+        table.print();
+    }
+}

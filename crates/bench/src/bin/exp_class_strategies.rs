@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e10_class_strategies`.
+fn main() {
+    for table in ccix_bench::experiments::e10_class_strategies() {
+        table.print();
+    }
+}

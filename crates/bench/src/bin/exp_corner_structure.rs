@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e2_corner_structure`.
+fn main() {
+    for table in ccix_bench::experiments::e2_corner_structure() {
+        table.print();
+    }
+}

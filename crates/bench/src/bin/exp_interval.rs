@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e9_interval`.
+fn main() {
+    for table in ccix_bench::experiments::e9_interval() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e3_lower_bound`.
+fn main() {
+    for table in ccix_bench::experiments::e3_lower_bound() {
+        table.print();
+    }
+}

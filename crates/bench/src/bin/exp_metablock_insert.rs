@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e4_metablock_insert`.
+fn main() {
+    for table in ccix_bench::experiments::e4_metablock_insert() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e1_metablock_query`.
+fn main() {
+    for table in ccix_bench::experiments::e1_metablock_query() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e7_pst`.
+fn main() {
+    for table in ccix_bench::experiments::e7_pst() {
+        table.print();
+    }
+}

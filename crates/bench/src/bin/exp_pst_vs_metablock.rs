@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e12_pst_vs_metablock`.
+fn main() {
+    for table in ccix_bench::experiments::e12_pst_vs_metablock() {
+        table.print();
+    }
+}

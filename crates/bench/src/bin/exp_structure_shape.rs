@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e11_structure_shape`.
+fn main() {
+    for table in ccix_bench::experiments::e11_structure_shape() {
+        table.print();
+    }
+}

@@ -1,0 +1,6 @@
+//! Experiment binary: see `ccix_bench::experiments::e8_tessellation`.
+fn main() {
+    for table in ccix_bench::experiments::e8_tessellation() {
+        table.print();
+    }
+}

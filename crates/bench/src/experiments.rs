@@ -1,0 +1,809 @@
+//! The experiment suite: one function per reproducible claim (DESIGN.md §5).
+//!
+//! Each returns [`Table`]s of measured I/O counts against the paper's
+//! closed-form bounds. Runs are deterministic (seeded workloads, exact
+//! counters), so `EXPERIMENTS.md` can be regenerated bit-identically with
+//! `cargo run --release -p ccix-bench --bin exp_all`.
+
+use ccix_bptree::{BPlusTree, Entry};
+use ccix_class::{
+    ClassIndex, FullExtentBaseline, RakeClassIndex, RangeTreeClassIndex, SingleIndexBaseline,
+};
+use ccix_core::{CornerStructure, DiagOptions, MetablockTree};
+use ccix_extmem::{Disk, Geometry, IoCounter, Point, TypedStore};
+use ccix_interval::{IntervalIndex, NaiveIntervalStore};
+use ccix_pst::ExternalPst;
+use rand::Rng;
+
+use crate::report::{ratio, Table};
+use crate::workloads::{self, HierarchyShape};
+
+/// E1 — Theorem 3.2: static metablock tree query cost is
+/// `O(log_B n + t/B)` and space is `O(n/B)`.
+pub fn e1_metablock_query() -> Vec<Table> {
+    let mut t = Table::new(
+        "E1 — Theorem 3.2 (static metablock tree)",
+        "Diagonal-corner queries cost O(log_B n + t/B) I/Os; space O(n/B) pages.",
+        &[
+            "B", "n", "queries", "avg t", "avg I/O", "max I/O", "bound", "max/bound", "pages",
+            "pages/(n/B)",
+        ],
+    );
+    for &b in &[16usize, 64] {
+        for &n in &[1_000usize, 10_000, 100_000, 400_000] {
+            let geo = Geometry::new(b);
+            let ivs = workloads::uniform_intervals(n, 0xE1 + n as u64, 4 * n as i64, n as i64 / 4);
+            let pts = workloads::interval_points(&ivs);
+            let counter = IoCounter::new();
+            let tree = MetablockTree::build(geo, counter.clone(), pts);
+            let mut r = workloads::rng(0x01E1);
+            let queries = 64usize;
+            let (mut sum_io, mut max_io, mut sum_t, mut worst_ratio_bound) = (0u64, 0u64, 0usize, 0usize);
+            for _ in 0..queries {
+                let q = r.gen_range(0..4 * n as i64);
+                let before = counter.snapshot();
+                let out = tree.query(q);
+                let cost = counter.since(before).reads;
+                sum_io += cost;
+                sum_t += out.len();
+                let bound = geo.log_b(n) + geo.out_blocks(out.len());
+                if cost > max_io {
+                    max_io = cost;
+                    worst_ratio_bound = bound;
+                }
+            }
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                queries.to_string(),
+                (sum_t / queries).to_string(),
+                format!("{:.1}", sum_io as f64 / queries as f64),
+                max_io.to_string(),
+                worst_ratio_bound.to_string(),
+                ratio(max_io, worst_ratio_bound),
+                tree.space_pages().to_string(),
+                format!(
+                    "{:.2}",
+                    tree.space_pages() as f64 / geo.out_blocks(n) as f64
+                ),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E2 — Lemma 3.1: corner structures answer in `≤ 2⌈t/B⌉ + O(1)` I/Os
+/// within `O(|S|/B)` blocks.
+pub fn e2_corner_structure() -> Vec<Table> {
+    let mut t = Table::new(
+        "E2 — Lemma 3.1 (corner structure)",
+        "A kB²-point corner structure answers diagonal queries in ≤ 2t/B + O(1) I/Os.",
+        &[
+            "B", "|S|", "queries", "max I/O", "max 2⌈t/B⌉+6", "worst slack", "pages", "pages/(|S|/B)",
+        ],
+    );
+    for &b in &[16usize, 64] {
+        for &mult in &[1usize, 2] {
+            let geo = Geometry::new(b);
+            let s = mult * geo.b2();
+            let ivs = workloads::uniform_intervals(s, 0xE2 + s as u64, 10_000, 3_000);
+            let pts = workloads::interval_points(&ivs);
+            let counter = IoCounter::new();
+            let mut store = TypedStore::new(b, counter.clone());
+            let cs = CornerStructure::build(&mut store, &pts);
+            let mut max_io = 0u64;
+            let mut max_bound = 0usize;
+            let mut worst_slack: i64 = i64::MIN;
+            let queries = 400;
+            for q in (0..13_000).step_by(13_000 / queries) {
+                let before = counter.snapshot();
+                let mut out = Vec::new();
+                cs.query_into(&store, q, &mut out);
+                let cost = counter.since(before).reads;
+                let bound = 2 * geo.out_blocks(out.len()) + 6;
+                max_io = max_io.max(cost);
+                max_bound = max_bound.max(bound);
+                worst_slack = worst_slack.max(cost as i64 - bound as i64);
+            }
+            t.row(vec![
+                b.to_string(),
+                s.to_string(),
+                queries.to_string(),
+                max_io.to_string(),
+                max_bound.to_string(),
+                worst_slack.to_string(),
+                cs.pages().to_string(),
+                format!("{:.2}", cs.pages() as f64 / geo.out_blocks(s) as f64),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E3 — Proposition 3.3: on the staircase instance every query is answered
+/// within a constant factor of the `Ω(log_B n + t/B)` lower bound.
+pub fn e3_lower_bound() -> Vec<Table> {
+    let mut t = Table::new(
+        "E3 — Proposition 3.3 (lower-bound instance)",
+        "Staircase S = {(x, x+1)}: measured I/O over the Ω(log_B n + t/B) lower bound.",
+        &["B", "n", "queries", "avg I/O", "max I/O", "lower bound", "max/LB"],
+    );
+    for &b in &[16usize, 64] {
+        for &n in &[10_000usize, 100_000] {
+            let geo = Geometry::new(b);
+            let pts = workloads::staircase_points(n);
+            let counter = IoCounter::new();
+            let tree = MetablockTree::build(geo, counter.clone(), pts);
+            let (mut sum, mut max) = (0u64, 0u64);
+            let queries = 128;
+            for i in 1..=queries {
+                let q = (i * (n - 1) / queries) as i64;
+                let before = counter.snapshot();
+                let out = tree.query(q);
+                let cost = counter.since(before).reads;
+                assert!(out.len() <= 2);
+                sum += cost;
+                max = max.max(cost);
+            }
+            let lb = geo.log_b(n) + 1;
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                queries.to_string(),
+                format!("{:.1}", sum as f64 / queries as f64),
+                max.to_string(),
+                lb.to_string(),
+                ratio(max, lb),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E4 — Theorem 3.7: amortised insert cost `O(log_B n + (log_B n)²/B)`.
+pub fn e4_metablock_insert() -> Vec<Table> {
+    let mut t = Table::new(
+        "E4 — Theorem 3.7 (semi-dynamic insertion)",
+        "Amortised insert I/O is O(log_B n + (log_B n)²/B); queries stay optimal afterwards.",
+        &[
+            "B", "order", "n", "amort I/O", "bound", "amort/bound", "worst op", "post-insert q avg",
+        ],
+    );
+    for &b in &[16usize, 64] {
+        for order in ["random", "ascending"] {
+            let geo = Geometry::new(b);
+            let n = 100_000usize;
+            let counter = IoCounter::new();
+            let mut tree = MetablockTree::new(geo, counter.clone());
+            let mut r = workloads::rng(0xE4);
+            let before_all = counter.snapshot();
+            let mut worst = 0u64;
+            for i in 0..n {
+                let p = match order {
+                    "random" => {
+                        let lo = r.gen_range(0..(4 * n) as i64);
+                        let len = r.gen_range(0..1_000i64);
+                        Point::new(lo, lo + len, i as u64)
+                    }
+                    _ => Point::new(i as i64, i as i64 + 500, i as u64),
+                };
+                let before = counter.snapshot();
+                tree.insert(p);
+                worst = worst.max(counter.since(before).total());
+            }
+            let total = counter.since(before_all).total();
+            let amort = total as f64 / n as f64;
+            let logb = geo.log_b(n) as f64;
+            let bound = logb + logb * logb / b as f64;
+            // Post-insert query health.
+            let mut qsum = 0u64;
+            for i in 0..32 {
+                let q = (i * 4 * n / 32) as i64;
+                let before = counter.snapshot();
+                let _ = tree.query(q);
+                qsum += counter.since(before).reads;
+            }
+            t.row(vec![
+                b.to_string(),
+                order.to_string(),
+                n.to_string(),
+                format!("{amort:.1}"),
+                format!("{bound:.1}"),
+                format!("{:.1}", amort / bound),
+                worst.to_string(),
+                format!("{:.1}", qsum as f64 / 32.0),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// Shared driver for E5/E6: load a class index and measure.
+fn class_experiment<I: ClassIndex>(
+    make: impl Fn(ccix_class::Hierarchy, IoCounter) -> I,
+    shapes: &[(HierarchyShape, usize)],
+    n: usize,
+    table: &mut Table,
+    bound: impl Fn(Geometry, usize, usize, usize) -> usize, // (geo, c, n, t) -> bound
+) {
+    let geo = Geometry::new(16);
+    for &(shape, c) in shapes {
+        let h = workloads::hierarchy(shape, c, 0xC1A55);
+        let objects = workloads::uniform_objects(&h, n, 0x0B7 + c as u64, 1_000_000);
+        let counter = IoCounter::new();
+        let mut idx = make(h.clone(), counter.clone());
+        let before = counter.snapshot();
+        for o in &objects {
+            idx.insert(*o);
+        }
+        let insert_amort = counter.since(before).total() as f64 / n as f64;
+
+        let mut r = workloads::rng(1 + c as u64);
+        let queries = 48;
+        let (mut sum_io, mut max_io, mut sum_t, mut worst_bound) = (0u64, 0u64, 0usize, 0usize);
+        for _ in 0..queries {
+            let class = r.gen_range(0..h.len());
+            let a = r.gen_range(0..900_000i64);
+            let before = counter.snapshot();
+            let out = idx.query(class, a, a + 50_000);
+            let cost = counter.since(before).reads;
+            sum_io += cost;
+            sum_t += out.len();
+            let bd = bound(geo, c, n, out.len());
+            if cost > max_io {
+                max_io = cost;
+                worst_bound = bd;
+            }
+        }
+        // Narrow queries isolate the search term (t ≈ 0): this is where the
+        // log2 c factor of Theorem 2.6 vs the c-independence of Theorem 4.7
+        // becomes visible. Sweep every class to capture the worst cover.
+        let mut narrow_sum = 0u64;
+        let mut narrow_max = 0u64;
+        let mut narrow_n = 0u64;
+        for class in 0..h.len() {
+            let a = r.gen_range(0..999_000i64);
+            let before = counter.snapshot();
+            let _ = idx.query(class, a, a + 10);
+            let cost = counter.since(before).reads;
+            narrow_sum += cost;
+            narrow_max = narrow_max.max(cost);
+            narrow_n += 1;
+        }
+        table.row(vec![
+            format!("{shape:?}"),
+            c.to_string(),
+            n.to_string(),
+            (sum_t / queries).to_string(),
+            format!("{:.1}", sum_io as f64 / queries as f64),
+            max_io.to_string(),
+            worst_bound.to_string(),
+            ratio(max_io, worst_bound),
+            format!(
+                "{:.1}/{narrow_max}",
+                narrow_sum as f64 / narrow_n as f64
+            ),
+            format!("{insert_amort:.1}"),
+            idx.space_pages().to_string(),
+        ]);
+    }
+}
+
+/// E5 — Theorem 2.6: the range-tree class index.
+pub fn e5_class_simple() -> Vec<Table> {
+    let mut t = Table::new(
+        "E5 — Theorem 2.6 (range-tree class index)",
+        "Query O(log2 c·log_B n + t/B); insert O(log2 c·log_B n); space O((n/B)·log2 c).",
+        &[
+            "shape", "c", "n", "avg t", "avg I/O", "max I/O", "bound", "max/bound",
+            "narrow avg/max", "insert I/O", "pages",
+        ],
+    );
+    let shapes = [
+        (HierarchyShape::Balanced, 15),
+        (HierarchyShape::Balanced, 127),
+        (HierarchyShape::Balanced, 1023),
+        (HierarchyShape::Random, 255),
+        (HierarchyShape::Star, 255),
+        (HierarchyShape::Path, 255),
+    ];
+    class_experiment(
+        |h, c| RangeTreeClassIndex::new(h, Geometry::new(16), c),
+        &shapes,
+        60_000,
+        &mut t,
+        |geo, c, n, out| 2 * Geometry::log2(c) * geo.log_b(n) + geo.out_blocks(out),
+    );
+    vec![t]
+}
+
+/// E6 — Theorem 4.7: the rake-and-contract class index.
+pub fn e6_class_rc() -> Vec<Table> {
+    let mut t = Table::new(
+        "E6 — Theorem 4.7 (rake-and-contract class index)",
+        "Query O(log_B n + t/B + log2 B) — independent of c; space O((n/B)·log2 c).",
+        &[
+            "shape", "c", "n", "avg t", "avg I/O", "max I/O", "bound", "max/bound",
+            "narrow avg/max", "insert I/O", "pages",
+        ],
+    );
+    let shapes = [
+        (HierarchyShape::Balanced, 15),
+        (HierarchyShape::Balanced, 127),
+        (HierarchyShape::Balanced, 1023),
+        (HierarchyShape::Random, 255),
+        (HierarchyShape::Star, 255),
+        (HierarchyShape::Path, 255),
+    ];
+    class_experiment(
+        |h, c| RakeClassIndex::new(h, Geometry::new(16), c),
+        &shapes,
+        60_000,
+        &mut t,
+        |geo, _c, n, out| geo.log_b(n) + geo.out_blocks(out) + Geometry::log2(geo.b3()),
+    );
+    vec![t]
+}
+
+/// E7 — Lemma 4.1: the external PST answers 3-sided queries in
+/// `O(log2 n + t/B)` I/Os.
+pub fn e7_pst() -> Vec<Table> {
+    let mut t = Table::new(
+        "E7 — Lemma 4.1 (external priority search tree)",
+        "3-sided queries in O(log2 n + t/B) I/Os; space O(n/B) pages.",
+        &["B", "n", "avg t", "avg I/O", "max I/O", "bound", "max/bound", "pages"],
+    );
+    for &b in &[16usize, 64] {
+        for &n in &[10_000usize, 100_000, 400_000] {
+            let geo = Geometry::new(b);
+            let pts = workloads::uniform_points(n, 0xE7, 1_000_000);
+            let counter = IoCounter::new();
+            let pst = ExternalPst::build(geo, counter.clone(), pts);
+            let mut r = workloads::rng(7);
+            let queries = 64;
+            let (mut sum_io, mut max_io, mut sum_t, mut worst_bound) = (0u64, 0u64, 0usize, 0usize);
+            for _ in 0..queries {
+                let a = r.gen_range(0..900_000i64);
+                let w = r.gen_range(0..200_000i64);
+                let y0 = r.gen_range(0..1_000_000i64);
+                let before = counter.snapshot();
+                let out = pst.query(a, a + w, y0);
+                let cost = counter.since(before).reads;
+                sum_io += cost;
+                sum_t += out.len();
+                let bd = Geometry::log2(n) + geo.out_blocks(out.len());
+                if cost > max_io {
+                    max_io = cost;
+                    worst_bound = bd;
+                }
+            }
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                (sum_t / queries).to_string(),
+                format!("{:.1}", sum_io as f64 / queries as f64),
+                max_io.to_string(),
+                worst_bound.to_string(),
+                ratio(max_io, worst_bound),
+                pst.space_pages().to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E8 — Lemma 2.7 / Theorem 2.8: no rectangular tessellation of a grid
+/// serves all row and column queries within `k·q/B` blocks unless `B ≤ k²`.
+pub fn e8_tessellation() -> Vec<Table> {
+    let mut t = Table::new(
+        "E8 — Lemma 2.7 (tessellation lower bound)",
+        "For any tessellation max(k_row, k_col) ≥ √B: one copy + rectangular blocks can't be optimal.",
+        &["B", "p", "tessellation", "k_row", "k_col", "max k", "√B"],
+    );
+    let p = 256usize;
+    for &b in &[16usize, 64, 256] {
+        // Tessellations: w×h tiles with w·h = B.
+        let mut shapes: Vec<(usize, usize, String)> = Vec::new();
+        let mut w = 1;
+        while w <= b {
+            if b % w == 0 {
+                shapes.push((w, b / w, format!("{w}x{}", b / w)));
+            }
+            w *= 2;
+        }
+        for (w, h, name) in shapes {
+            // A row query of length p crosses ceil(p/w) tiles; per reported
+            // point it touches (p/w) / (p/B) = B/w tiles per B outputs ⇒
+            // k_row = B/w / ... : blocks touched = p/w for p outputs ⇒
+            // k_row = (p/w)/(p/B) = B/w. Symmetrically k_col = B/h = w.
+            let k_row = b / w;
+            let k_col = b / h;
+            let kmax = k_row.max(k_col);
+            t.row(vec![
+                b.to_string(),
+                p.to_string(),
+                name,
+                k_row.to_string(),
+                k_col.to_string(),
+                kmax.to_string(),
+                format!("{:.1}", (b as f64).sqrt()),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E9 — Proposition 2.2: the interval index vs the linear-scan baseline.
+pub fn e9_interval() -> Vec<Table> {
+    let mut t = Table::new(
+        "E9 — Proposition 2.2 (interval management vs naive scan)",
+        "Index queries cost O(log_B n + t/B); the heap-file scan costs n/B. Crossover is tiny.",
+        &[
+            "B", "n", "avg t", "index q I/O", "scan q I/O", "speedup", "index ins I/O",
+            "scan ins I/O", "index pages", "scan pages",
+        ],
+    );
+    let b = 32;
+    let geo = Geometry::new(b);
+    for &n in &[1_000usize, 10_000, 100_000, 500_000] {
+        let ivs = workloads::uniform_intervals(n, 0xE9, 4 * n as i64, 2_000);
+        let ic = IoCounter::new();
+        let before_build = ic.snapshot();
+        let idx = IntervalIndex::build(geo, ic.clone(), &ivs);
+        let _build = ic.since(before_build);
+        let nc = IoCounter::new();
+        let mut naive = NaiveIntervalStore::new(geo, nc.clone());
+        let before_naive_ins = nc.snapshot();
+        for iv in &ivs {
+            naive.insert(iv.lo, iv.hi, iv.id);
+        }
+        let naive_ins = nc.since(before_naive_ins).total() as f64 / n as f64;
+
+        // Fresh incremental index for the insert-cost column.
+        let ic2 = IoCounter::new();
+        let mut idx2 = IntervalIndex::new(geo, ic2.clone());
+        let before = ic2.snapshot();
+        for iv in ivs.iter().take(20_000) {
+            idx2.insert(iv.lo, iv.hi, iv.id);
+        }
+        let idx_ins = ic2.since(before).total() as f64 / ivs.len().min(20_000) as f64;
+
+        let mut r = workloads::rng(9);
+        let queries = 32;
+        let (mut iq, mut nq, mut sum_t) = (0u64, 0u64, 0usize);
+        for _ in 0..queries {
+            let q = r.gen_range(0..4 * n as i64);
+            let before = ic.snapshot();
+            let a = idx.stabbing(q);
+            iq += ic.since(before).reads;
+            let before = nc.snapshot();
+            let bhits = naive.stabbing(q);
+            nq += nc.since(before).reads;
+            assert_eq!(a.len(), bhits.len());
+            sum_t += a.len();
+        }
+        t.row(vec![
+            b.to_string(),
+            n.to_string(),
+            (sum_t / queries).to_string(),
+            format!("{:.1}", iq as f64 / queries as f64),
+            format!("{:.1}", nq as f64 / queries as f64),
+            format!("{:.1}x", nq as f64 / iq.max(1) as f64),
+            format!("{idx_ins:.1}"),
+            format!("{naive_ins:.1}"),
+            idx.space_pages().to_string(),
+            naive.space_pages().to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// E10 — §2.2's strategy comparison on one workload.
+pub fn e10_class_strategies() -> Vec<Table> {
+    let mut t = Table::new(
+        "E10 — §2.2 (class-indexing strategy trade-offs)",
+        "All four strategies on one workload: c=255 balanced, n=100k, B=16.",
+        &[
+            "strategy", "selective q I/O", "selective t", "broad q I/O", "broad t",
+            "insert I/O", "pages",
+        ],
+    );
+    let geo = Geometry::new(16);
+    let c = 255;
+    let h = workloads::hierarchy(HierarchyShape::Balanced, c, 5);
+    let n = 100_000;
+    let objects = workloads::uniform_objects(&h, n, 0xE10, 1_000_000);
+    // A leaf class (selective) and the root (broad).
+    let leaf = (0..c).find(|&x| h.children(x).is_empty()).unwrap();
+    let root = h.roots()[0];
+
+    let counters: Vec<IoCounter> = (0..4).map(|_| IoCounter::new()).collect();
+    let mut strategies: Vec<Box<dyn ClassIndex>> = vec![
+        Box::new(SingleIndexBaseline::new(h.clone(), geo, counters[0].clone())),
+        Box::new(FullExtentBaseline::new(h.clone(), geo, counters[1].clone())),
+        Box::new(RangeTreeClassIndex::new(h.clone(), geo, counters[2].clone())),
+        Box::new(RakeClassIndex::new(h.clone(), geo, counters[3].clone())),
+    ];
+    for (s, counter) in strategies.iter_mut().zip(&counters) {
+        let before = counter.snapshot();
+        for o in &objects {
+            s.insert(*o);
+        }
+        let ins = counter.since(before).total() as f64 / n as f64;
+        let before = counter.snapshot();
+        let sel = s.query(leaf, 0, 500_000);
+        let sel_io = counter.since(before).reads;
+        let before = counter.snapshot();
+        let broad = s.query(root, 0, 500_000);
+        let broad_io = counter.since(before).reads;
+        t.row(vec![
+            s.name().to_string(),
+            sel_io.to_string(),
+            sel.len().to_string(),
+            broad_io.to_string(),
+            broad.len().to_string(),
+            format!("{ins:.1}"),
+            s.space_pages().to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// E11 — Figs. 8–10: structural statistics of the metablock tree.
+pub fn e11_structure_shape() -> Vec<Table> {
+    let mut t = Table::new(
+        "E11 — Figs. 8–10 (metablock tree anatomy)",
+        "Metablock counts, heights and page breakdown; every non-leaf holds exactly B² points.",
+        &[
+            "B", "n", "metablocks", "leaves", "height", "pages", "TS pages", "corner pages",
+            "pages/(n/B)",
+        ],
+    );
+    for &b in &[16usize, 64] {
+        for &n in &[10_000usize, 100_000, 400_000] {
+            let geo = Geometry::new(b);
+            let ivs = workloads::uniform_intervals(n, 0xE11, 4 * n as i64, 5_000);
+            let tree = MetablockTree::build(geo, IoCounter::new(), workloads::interval_points(&ivs));
+            let s = tree.stats();
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                s.metablocks.to_string(),
+                s.leaves.to_string(),
+                s.height.to_string(),
+                s.pages.to_string(),
+                s.ts_pages.to_string(),
+                s.corner_pages.to_string(),
+                format!("{:.2}", s.pages as f64 / geo.out_blocks(n) as f64),
+            ]);
+        }
+    }
+    vec![t]
+}
+
+/// E12 — §5: the metablock tree vs a dynamized-\[17\]-style PST on diagonal
+/// queries: `log_B n` vs `log2 n` search terms.
+pub fn e12_pst_vs_metablock() -> Vec<Table> {
+    let mut t = Table::new(
+        "E12 — §5 (metablock tree vs external PST on diagonal queries)",
+        "Same data, same queries: the metablock search term scales as log_B n, the PST as log2 n.",
+        &["B", "n", "avg t", "metablock avg I/O", "PST avg I/O", "log_B n", "log2 n"],
+    );
+    for &b in &[16usize, 64, 256] {
+        let n = 400_000usize;
+        let geo = Geometry::new(b);
+        let ivs = workloads::uniform_intervals(n, 0xE12, 8 * n as i64, 200);
+        let pts = workloads::interval_points(&ivs);
+        let mc = IoCounter::new();
+        let tree = MetablockTree::build(geo, mc.clone(), pts.clone());
+        let pc = IoCounter::new();
+        let pst = ExternalPst::build(geo, pc.clone(), pts);
+        let mut r = workloads::rng(12);
+        let queries = 64;
+        let (mut mio, mut pio, mut sum_t) = (0u64, 0u64, 0usize);
+        for _ in 0..queries {
+            let q = r.gen_range(0..8 * n as i64);
+            let before = mc.snapshot();
+            let a = tree.query(q);
+            mio += mc.since(before).reads;
+            let before = pc.snapshot();
+            let mut out = Vec::new();
+            pst.diagonal_into(q, &mut out);
+            pio += pc.since(before).reads;
+            assert_eq!(a.len(), out.len());
+            sum_t += a.len();
+        }
+        t.row(vec![
+            b.to_string(),
+            n.to_string(),
+            (sum_t / queries).to_string(),
+            format!("{:.1}", mio as f64 / queries as f64),
+            format!("{:.1}", pio as f64 / queries as f64),
+            geo.log_b(n).to_string(),
+            Geometry::log2(n).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// B+-tree reference numbers (§1.1), used as the yardstick row in reports.
+pub fn e0_bptree_reference() -> Vec<Table> {
+    let mut t = Table::new(
+        "E0 — §1.1 (B+-tree yardstick)",
+        "External 1-D range search: query O(log_B n + t/B), insert O(log_B n), space O(n/B).",
+        &["B(leaf)", "n", "avg q I/O", "max q I/O", "insert I/O", "pages", "pages/(n/B)"],
+    );
+    let page_size = 1024usize;
+    let leaf_cap = (page_size - 7) / 24;
+    for &n in &[10_000usize, 100_000, 500_000] {
+        let counter = IoCounter::new();
+        let mut disk = Disk::new(page_size, counter.clone());
+        let entries: Vec<Entry> = (0..n as i64).map(|k| Entry::new(k, k as u64)).collect();
+        let tree = BPlusTree::bulk_load(&mut disk, &entries);
+        let mut r = workloads::rng(0);
+        let queries = 64;
+        let (mut sum, mut max) = (0u64, 0u64);
+        for _ in 0..queries {
+            let a = r.gen_range(0..n as i64);
+            let before = counter.snapshot();
+            let _ = tree.range(&disk, a, a + 2_000);
+            let c = counter.since(before).reads;
+            sum += c;
+            max = max.max(c);
+        }
+        let before = counter.snapshot();
+        let mut tree2 = BPlusTree::new(&mut disk);
+        for k in 0..10_000i64 {
+            tree2.insert(&mut disk, k, k as u64);
+        }
+        let ins = counter.since(before).total() as f64 / 10_000.0;
+        let pages = tree.validate_unbilled(&disk);
+        t.row(vec![
+            leaf_cap.to_string(),
+            n.to_string(),
+            format!("{:.1}", sum as f64 / queries as f64),
+            max.to_string(),
+            format!("{ins:.1}"),
+            pages.to_string(),
+            format!("{:.2}", pages as f64 / (n as f64 / leaf_cap as f64)),
+        ]);
+    }
+    vec![t]
+}
+
+/// E13 — ablation of the metablock tree's design choices: Lemma 3.1 corner
+/// structures and the Fig. 17 TS shortcut.
+pub fn e13_ablation() -> Vec<Table> {
+    let b = 32;
+    let geo = Geometry::new(b);
+    let n = 200_000usize;
+    let configs = [(true, true), (false, true), (true, false), (false, false)];
+
+    // Regime 1 — corner structures. Short intervals make stabbing answers
+    // small, so the query corner lands inside a full metablock and Lemma 3.1
+    // is what keeps the Type II visit at O(t/B) instead of O(B) blocks.
+    let mut t1 = Table::new(
+        "E13a — ablation: corner structures (Lemma 3.1)",
+        "Short intervals, point-sized answers: without corner structures the corner metablock is scanned.",
+        &["B", "n", "corners", "TS", "avg t", "avg I/O", "max I/O", "pages"],
+    );
+    let ivs = workloads::uniform_intervals(n, 0xE13, 4 * n as i64, 200);
+    let pts = workloads::interval_points(&ivs);
+    let mut reference: Option<Vec<usize>> = None;
+    for (corners, ts) in configs {
+        let options = DiagOptions {
+            corner_structures: corners,
+            ts_shortcut: ts,
+        };
+        let counter = IoCounter::new();
+        let tree = MetablockTree::build_with(geo, counter.clone(), pts.clone(), options);
+        let mut r = workloads::rng(131);
+        let queries = 96;
+        let (mut sum, mut max, mut sum_t) = (0u64, 0u64, 0usize);
+        let mut sizes = Vec::new();
+        for _ in 0..queries {
+            let q = r.gen_range(0..4 * n as i64);
+            let before = counter.snapshot();
+            let out = tree.query(q);
+            let cost = counter.since(before).reads;
+            sizes.push(out.len());
+            sum += cost;
+            max = max.max(cost);
+            sum_t += out.len();
+        }
+        match &reference {
+            None => reference = Some(sizes),
+            Some(rf) => assert_eq!(rf, &sizes, "ablation changed answers"),
+        }
+        t1.row(vec![
+            b.to_string(),
+            n.to_string(),
+            corners.to_string(),
+            ts.to_string(),
+            (sum_t / queries).to_string(),
+            format!("{:.1}", sum as f64 / queries as f64),
+            max.to_string(),
+            tree.space_pages().to_string(),
+        ]);
+    }
+
+    // Regime 2 — the TS shortcut. A mixture workload: mostly tiny intervals
+    // (they fill the slabs and die below the query) plus a sprinkling of
+    // long ones (every slab's metablock straddles the query bottom with a
+    // handful of answers). Without TS, each straddling sibling costs its
+    // own block reads, unbacked by output.
+    let mut t2 = Table::new(
+        "E13b — ablation: TS sibling snapshots (Fig. 17)",
+        "Sprinkled long intervals: many straddling siblings, few answers each.",
+        &["B", "n", "corners", "TS", "avg t", "avg I/O", "max I/O"],
+    );
+    let mut r = workloads::rng(0x213);
+    let mix: Vec<Point> = (0..n)
+        .map(|i| {
+            let lo = r.gen_range(0..4 * n as i64);
+            let len = if i % 64 == 0 {
+                r.gen_range(0..(n / 2) as i64) // the sprinkling
+            } else {
+                r.gen_range(0..50i64)
+            };
+            Point::new(lo, lo + len, i as u64)
+        })
+        .collect();
+    let mut reference: Option<Vec<usize>> = None;
+    for (corners, ts) in configs {
+        let options = DiagOptions {
+            corner_structures: corners,
+            ts_shortcut: ts,
+        };
+        let counter = IoCounter::new();
+        let tree = MetablockTree::build_with(geo, counter.clone(), mix.clone(), options);
+        let mut r = workloads::rng(132);
+        let queries = 96;
+        let (mut sum, mut max, mut sum_t) = (0u64, 0u64, 0usize);
+        let mut sizes = Vec::new();
+        for _ in 0..queries {
+            let q = r.gen_range(0..4 * n as i64);
+            let before = counter.snapshot();
+            let out = tree.query(q);
+            let cost = counter.since(before).reads;
+            sizes.push(out.len());
+            sum += cost;
+            max = max.max(cost);
+            sum_t += out.len();
+        }
+        match &reference {
+            None => reference = Some(sizes),
+            Some(rf) => assert_eq!(rf, &sizes, "ablation changed answers"),
+        }
+        t2.row(vec![
+            b.to_string(),
+            n.to_string(),
+            corners.to_string(),
+            ts.to_string(),
+            (sum_t / queries).to_string(),
+            format!("{:.1}", sum as f64 / queries as f64),
+            max.to_string(),
+        ]);
+    }
+    vec![t1, t2]
+}
+
+/// Run every experiment in order.
+pub fn all() -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(e0_bptree_reference());
+    out.extend(e1_metablock_query());
+    out.extend(e2_corner_structure());
+    out.extend(e3_lower_bound());
+    out.extend(e4_metablock_insert());
+    out.extend(e5_class_simple());
+    out.extend(e6_class_rc());
+    out.extend(e7_pst());
+    out.extend(e8_tessellation());
+    out.extend(e9_interval());
+    out.extend(e10_class_strategies());
+    out.extend(e11_structure_shape());
+    out.extend(e12_pst_vs_metablock());
+    out.extend(e13_ablation());
+    out
+}

@@ -1,0 +1,14 @@
+//! # `ccix-bench` — the experiment harness
+//!
+//! One experiment per reproducible claim in the paper (see `DESIGN.md` §5
+//! and `EXPERIMENTS.md`): each `experiments::e*` function generates its
+//! workload, runs the structure under exact I/O accounting, and returns
+//! tables of measured-vs-bound figures. Binaries under `src/bin/` are thin
+//! wrappers (`exp_metablock_query`, …); `exp_all` regenerates the full
+//! report.
+//!
+//! Wall-clock companions live in `benches/structures.rs` (Criterion).
+
+pub mod experiments;
+pub mod report;
+pub mod workloads;

@@ -1,0 +1,115 @@
+//! Plain-text and Markdown tables for experiment output.
+
+use std::fmt::Write as _;
+
+/// A titled table of results, printable as aligned text or Markdown.
+#[derive(Clone, Debug)]
+pub struct Table {
+    /// Experiment identifier and headline (e.g. "E1 — Theorem 3.2").
+    pub title: String,
+    /// The paper's claim being reproduced, in one line.
+    pub claim: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Row-major cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Create an empty table.
+    pub fn new(title: &str, claim: &str, headers: &[&str]) -> Self {
+        Self {
+            title: title.to_string(),
+            claim: claim.to_string(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Render as aligned plain text.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let _ = writeln!(out, "   {}", self.claim);
+        let line = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:>w$}"))
+                .collect::<Vec<_>>()
+                .join("  ")
+        };
+        let _ = writeln!(out, "{}", line(&self.headers, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", line(row, &widths));
+        }
+        out
+    }
+
+    /// Render as a Markdown table with heading.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "### {}\n", self.title);
+        let _ = writeln!(out, "{}\n", self.claim);
+        let _ = writeln!(out, "| {} |", self.headers.join(" | "));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+        );
+        for row in &self.rows {
+            let _ = writeln!(out, "| {} |", row.join(" | "));
+        }
+        out
+    }
+
+    /// Print the text rendering to stdout.
+    pub fn print(&self) {
+        println!("{}", self.to_text());
+    }
+}
+
+/// Format a ratio to two decimals.
+pub fn ratio(measured: u64, bound: usize) -> String {
+    if bound == 0 {
+        return "-".into();
+    }
+    format!("{:.2}", measured as f64 / bound as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_both_formats() {
+        let mut t = Table::new("E0 — smoke", "nothing", &["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let text = t.to_text();
+        assert!(text.contains("E0 — smoke"));
+        assert!(text.contains("bb"));
+        let md = t.to_markdown();
+        assert!(md.contains("| a | bb |"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", "y", &["a"]);
+        t.row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,350 @@
+//! On-page node layout.
+//!
+//! Every node occupies exactly one disk page. Layouts (little-endian):
+//!
+//! ```text
+//! leaf page:
+//!   [0]      tag = 1
+//!   [1..3]   count (u16)
+//!   [3..7]   next leaf PageId (u32, u32::MAX = none)
+//!   [7..]    count × entry { key: i64, value: u64 }        (16 bytes each)
+//!
+//! internal page:
+//!   [0]      tag = 0
+//!   [1..3]   count = number of separator entries (u16)
+//!   [3..7]   child[0] PageId (u32)
+//!   [7..]    count × { sep: (i64, u64), child: u32 }       (20 bytes each)
+//! ```
+//!
+//! Separators are full `(key, value)` pairs so that duplicate keys route
+//! deterministically: child `i` holds entries `e` with
+//! `sep[i-1] <= e < sep[i]` in lexicographic order.
+
+use ccix_extmem::{Disk, PageId};
+
+/// Sentinel for "no next leaf".
+pub(crate) const NO_PAGE: u32 = u32::MAX;
+
+const LEAF_HDR: usize = 7;
+const LEAF_ENTRY: usize = 24;
+const INTERNAL_HDR: usize = 7;
+const INTERNAL_ENTRY: usize = 20;
+
+/// A `(key, value)` pair stored in a leaf, with an auxiliary payload word.
+///
+/// Ordering, equality and uniqueness are by `(key, value)` only; `aux` is
+/// carried alongside (a covering-index payload — the interval manager keeps
+/// the right endpoint there so range scans report full records without
+/// extra I/Os). Separators in internal nodes do not store `aux`.
+#[derive(Clone, Copy, Debug)]
+pub struct Entry {
+    /// Search key (may repeat across entries).
+    pub key: i64,
+    /// Payload / tiebreaker. `(key, value)` pairs are unique within a tree.
+    pub value: u64,
+    /// Auxiliary payload, not part of the ordering.
+    pub aux: u64,
+}
+
+impl Entry {
+    /// Construct an entry with no auxiliary payload.
+    pub fn new(key: i64, value: u64) -> Self {
+        Self { key, value, aux: 0 }
+    }
+
+    /// Construct an entry with an auxiliary payload word.
+    pub fn with_aux(key: i64, value: u64, aux: u64) -> Self {
+        Self { key, value, aux }
+    }
+
+    #[inline]
+    fn ord_key(&self) -> (i64, u64) {
+        (self.key, self.value)
+    }
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        self.ord_key() == other.ord_key()
+    }
+}
+
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.ord_key().cmp(&other.ord_key())
+    }
+}
+
+/// Which kind of node a page holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeKind {
+    /// Data-carrying leaf.
+    Leaf,
+    /// Router node holding separators and child pointers.
+    Internal,
+}
+
+/// A decoded node.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Node {
+    /// Leaf: sorted entries plus a pointer to the next leaf.
+    Leaf {
+        /// Sorted `(key, value)` entries.
+        entries: Vec<Entry>,
+        /// Next leaf in key order, if any.
+        next: Option<PageId>,
+    },
+    /// Internal node: `children.len() == seps.len() + 1`.
+    Internal {
+        /// Separator entries (lexicographic lower bounds of children 1..).
+        seps: Vec<Entry>,
+        /// Child page ids.
+        children: Vec<PageId>,
+    },
+}
+
+impl Node {
+    /// The node's kind.
+    pub fn kind(&self) -> NodeKind {
+        match self {
+            Node::Leaf { .. } => NodeKind::Leaf,
+            Node::Internal { .. } => NodeKind::Internal,
+        }
+    }
+
+    /// Number of entries (leaf) or separators (internal).
+    pub fn len(&self) -> usize {
+        match self {
+            Node::Leaf { entries, .. } => entries.len(),
+            Node::Internal { seps, .. } => seps.len(),
+        }
+    }
+
+    /// True when the node holds no entries/separators.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Per-tree layout constants derived from the page size.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Layout {
+    /// Max entries in a leaf.
+    pub leaf_cap: usize,
+    /// Max children of an internal node.
+    pub fanout: usize,
+}
+
+impl Layout {
+    pub fn for_page_size(page_size: usize) -> Self {
+        let leaf_cap = (page_size - LEAF_HDR) / LEAF_ENTRY;
+        let fanout = (page_size - INTERNAL_HDR) / INTERNAL_ENTRY + 1;
+        assert!(
+            leaf_cap >= 4 && fanout >= 4,
+            "page size {page_size} too small for a B+-tree node (need ≥ 4-way nodes)"
+        );
+        Self { leaf_cap, fanout }
+    }
+}
+
+fn put_u16(buf: &mut [u8], at: usize, v: u16) {
+    buf[at..at + 2].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u32(buf: &mut [u8], at: usize, v: u32) {
+    buf[at..at + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_i64(buf: &mut [u8], at: usize, v: i64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut [u8], at: usize, v: u64) {
+    buf[at..at + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes(buf[at..at + 2].try_into().unwrap())
+}
+
+fn get_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes(buf[at..at + 4].try_into().unwrap())
+}
+
+fn get_i64(buf: &[u8], at: usize) -> i64 {
+    i64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+fn get_u64(buf: &[u8], at: usize) -> u64 {
+    u64::from_le_bytes(buf[at..at + 8].try_into().unwrap())
+}
+
+/// Serialise `node` into a page-sized buffer.
+pub(crate) fn encode(node: &Node, page_size: usize) -> Vec<u8> {
+    let mut buf = vec![0u8; page_size];
+    match node {
+        Node::Leaf { entries, next } => {
+            buf[0] = 1;
+            put_u16(&mut buf, 1, entries.len() as u16);
+            put_u32(&mut buf, 3, next.map_or(NO_PAGE, |p| p.0));
+            let mut at = LEAF_HDR;
+            for e in entries {
+                put_i64(&mut buf, at, e.key);
+                put_u64(&mut buf, at + 8, e.value);
+                put_u64(&mut buf, at + 16, e.aux);
+                at += LEAF_ENTRY;
+            }
+            assert!(at <= page_size, "leaf overflow during encode");
+        }
+        Node::Internal { seps, children } => {
+            assert_eq!(children.len(), seps.len() + 1, "malformed internal node");
+            buf[0] = 0;
+            put_u16(&mut buf, 1, seps.len() as u16);
+            put_u32(&mut buf, 3, children[0].0);
+            let mut at = INTERNAL_HDR;
+            for (sep, child) in seps.iter().zip(&children[1..]) {
+                put_i64(&mut buf, at, sep.key);
+                put_u64(&mut buf, at + 8, sep.value);
+                put_u32(&mut buf, at + 16, child.0);
+                at += INTERNAL_ENTRY;
+            }
+            assert!(at <= page_size, "internal overflow during encode");
+        }
+    }
+    buf
+}
+
+/// Decode the node stored in `buf`.
+pub(crate) fn decode(buf: &[u8]) -> Node {
+    match buf[0] {
+        1 => {
+            let count = get_u16(buf, 1) as usize;
+            let nxt = get_u32(buf, 3);
+            let next = (nxt != NO_PAGE).then_some(PageId(nxt));
+            let mut entries = Vec::with_capacity(count);
+            let mut at = LEAF_HDR;
+            for _ in 0..count {
+                entries.push(Entry::with_aux(
+                    get_i64(buf, at),
+                    get_u64(buf, at + 8),
+                    get_u64(buf, at + 16),
+                ));
+                at += LEAF_ENTRY;
+            }
+            Node::Leaf { entries, next }
+        }
+        0 => {
+            let count = get_u16(buf, 1) as usize;
+            let mut children = Vec::with_capacity(count + 1);
+            children.push(PageId(get_u32(buf, 3)));
+            let mut seps = Vec::with_capacity(count);
+            let mut at = INTERNAL_HDR;
+            for _ in 0..count {
+                seps.push(Entry::new(get_i64(buf, at), get_u64(buf, at + 8)));
+                children.push(PageId(get_u32(buf, at + 16)));
+                at += INTERNAL_ENTRY;
+            }
+            Node::Internal { seps, children }
+        }
+        tag => panic!("corrupt page: unknown node tag {tag}"),
+    }
+}
+
+/// Read and decode the node at `id`. One I/O.
+pub(crate) fn read_node(disk: &Disk, id: PageId) -> Node {
+    decode(disk.read(id))
+}
+
+/// Encode and write `node` at `id`. One I/O.
+pub(crate) fn write_node(disk: &mut Disk, id: PageId, node: &Node) {
+    let buf = encode(node, disk.page_size());
+    disk.write(id, &buf);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccix_extmem::IoCounter;
+
+    #[test]
+    fn leaf_roundtrip() {
+        let node = Node::Leaf {
+            entries: vec![Entry::new(-5, 1), Entry::new(0, 2), Entry::new(7, 3)],
+            next: Some(PageId(42)),
+        };
+        let buf = encode(&node, 256);
+        assert_eq!(decode(&buf), node);
+    }
+
+    #[test]
+    fn leaf_without_next_roundtrip() {
+        let node = Node::Leaf {
+            entries: vec![],
+            next: None,
+        };
+        let buf = encode(&node, 128);
+        assert_eq!(decode(&buf), node);
+    }
+
+    #[test]
+    fn internal_roundtrip() {
+        let node = Node::Internal {
+            seps: vec![Entry::new(10, 0), Entry::new(20, 9)],
+            children: vec![PageId(1), PageId(2), PageId(3)],
+        };
+        let buf = encode(&node, 256);
+        assert_eq!(decode(&buf), node);
+    }
+
+    #[test]
+    fn layout_capacities() {
+        let l = Layout::for_page_size(4096);
+        assert_eq!(l.leaf_cap, (4096 - 7) / 24);
+        assert_eq!(l.fanout, (4096 - 7) / 20 + 1);
+    }
+
+    #[test]
+    fn aux_survives_roundtrip_but_not_ordering() {
+        let a = Entry::with_aux(1, 2, 99);
+        let b = Entry::new(1, 2);
+        assert_eq!(a, b, "aux is not part of equality");
+        let node = Node::Leaf {
+            entries: vec![a],
+            next: None,
+        };
+        let buf = encode(&node, 128);
+        match decode(&buf) {
+            Node::Leaf { entries, .. } => assert_eq!(entries[0].aux, 99),
+            _ => panic!("expected leaf"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "too small")]
+    fn tiny_page_rejected() {
+        let _ = Layout::for_page_size(32);
+    }
+
+    #[test]
+    fn disk_roundtrip_counts_io() {
+        let counter = IoCounter::new();
+        let mut disk = Disk::new(256, counter.clone());
+        let id = disk.alloc();
+        let node = Node::Leaf {
+            entries: vec![Entry::new(1, 1)],
+            next: None,
+        };
+        write_node(&mut disk, id, &node);
+        assert_eq!(read_node(&disk, id), node);
+        assert_eq!(counter.writes(), 1);
+        assert_eq!(counter.reads(), 1);
+    }
+}

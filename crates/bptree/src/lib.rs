@@ -1,0 +1,42 @@
+//! # `ccix-bptree` — an external B+-tree
+//!
+//! The paper's point of reference (§1.1): external dynamic one-dimensional
+//! range searching with
+//!
+//! * space `O(n/B)` disk blocks,
+//! * range query `O(log_B n + t/B)` I/Os,
+//! * insert / delete `O(log_B n)` I/Os.
+//!
+//! This crate implements a conventional B+-tree on the byte-level
+//! [`ccix_extmem::Disk`]: nodes are serialised to fixed-size pages, data
+//! lives only in leaves, and leaves are chained left-to-right so range scans
+//! stream at one I/O per `B` results — exactly the structure the paper
+//! contrasts every two-dimensional result against.
+//!
+//! Entries are `(key: i64, value: u64)` pairs ordered lexicographically;
+//! duplicate keys are allowed (the class-indexing structures index many
+//! objects with equal attribute values), and deletion removes a specific
+//! `(key, value)` pair.
+//!
+//! ```
+//! use ccix_bptree::BPlusTree;
+//! use ccix_extmem::{Disk, IoCounter};
+//!
+//! let counter = IoCounter::new();
+//! let mut disk = Disk::new(256, counter.clone());
+//! let mut tree = BPlusTree::new(&mut disk);
+//! for k in 0..100i64 {
+//!     tree.insert(&mut disk, k, (k * k) as u64);
+//! }
+//! let hits = tree.range(&disk, 10, 13);
+//! assert_eq!(hits, vec![100, 121, 144, 169]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod layout;
+mod tree;
+
+pub use layout::{Entry, Node, NodeKind};
+pub use tree::BPlusTree;

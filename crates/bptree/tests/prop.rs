@@ -1,0 +1,84 @@
+//! Property-based tests: the B+-tree behaves exactly like an ordered set of
+//! `(key, value)` pairs under arbitrary interleavings of operations.
+
+use ccix_bptree::BPlusTree;
+use ccix_extmem::{Disk, IoCounter};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+#[derive(Clone, Debug)]
+enum Op {
+    Insert(i64, u64),
+    Delete(i64, u64),
+    Get(i64),
+    Range(i64, i64),
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (any::<i8>(), 0u64..8).prop_map(|(k, v)| Op::Insert(k as i64, v)),
+        (any::<i8>(), 0u64..8).prop_map(|(k, v)| Op::Delete(k as i64, v)),
+        any::<i8>().prop_map(|k| Op::Get(k as i64)),
+        (any::<i8>(), any::<i8>()).prop_map(|(a, b)| {
+            let (a, b) = (a as i64, b as i64);
+            Op::Range(a.min(b), a.max(b))
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matches_btreeset_oracle(ops in proptest::collection::vec(op_strategy(), 1..400),
+                               page_size in prop_oneof![Just(128usize), Just(256), Just(512)]) {
+        let counter = IoCounter::new();
+        let mut disk = Disk::new(page_size, counter);
+        let mut tree = BPlusTree::new(&mut disk);
+        let mut oracle: BTreeSet<(i64, u64)> = BTreeSet::new();
+
+        for op in ops {
+            match op {
+                Op::Insert(k, v) => {
+                    tree.insert(&mut disk, k, v);
+                    oracle.insert((k, v));
+                }
+                Op::Delete(k, v) => {
+                    let removed = tree.delete(&mut disk, k, v);
+                    prop_assert_eq!(removed, oracle.remove(&(k, v)));
+                }
+                Op::Get(k) => {
+                    let want = oracle.range((k, u64::MIN)..=(k, u64::MAX)).next().map(|&(_, v)| v);
+                    prop_assert_eq!(tree.get(&disk, k), want);
+                }
+                Op::Range(lo, hi) => {
+                    let want: Vec<u64> = oracle
+                        .iter()
+                        .filter(|(k, _)| *k >= lo && *k <= hi)
+                        .map(|&(_, v)| v)
+                        .collect();
+                    prop_assert_eq!(tree.range(&disk, lo, hi), want);
+                }
+            }
+            prop_assert_eq!(tree.len(), oracle.len() as u64);
+        }
+        tree.validate_unbilled(&disk);
+    }
+
+    #[test]
+    fn bulk_load_matches_oracle(mut keys in proptest::collection::vec((any::<i16>(), any::<u16>()), 0..600)) {
+        keys.sort_unstable();
+        keys.dedup();
+        let entries: Vec<ccix_bptree::Entry> = keys
+            .iter()
+            .map(|&(k, v)| ccix_bptree::Entry::new(k as i64, v as u64))
+            .collect();
+        let counter = IoCounter::new();
+        let mut disk = Disk::new(256, counter);
+        let tree = BPlusTree::bulk_load(&mut disk, &entries);
+        tree.validate_unbilled(&disk);
+        let all = tree.range(&disk, i64::MIN, i64::MAX);
+        let want: Vec<u64> = entries.iter().map(|e| e.value).collect();
+        prop_assert_eq!(all, want);
+    }
+}

@@ -1,0 +1,165 @@
+//! `label-edges` (Fig. 22) and the heavy-path decomposition of Lemma 4.5.
+//!
+//! Following the dynamic-trees technique of Sleator and Tarjan \[34\], the
+//! edge from a class to its largest-subtree child is **thick**; all other
+//! edges are **thin**. Lemma 4.5: any leaf-to-root path crosses at most
+//! `log2 c` thin edges. Maximal thick chains — *heavy paths* — partition
+//! the classes; each heavy path is a degenerate hierarchy, exactly the case
+//! Lemma 4.3 solves with one 3-sided structure.
+
+use crate::{ClassId, Hierarchy};
+
+/// The heavy-path decomposition of a hierarchy.
+#[derive(Clone, Debug)]
+pub struct HeavyPaths {
+    /// `path_of[c]` = index of the heavy path containing class `c`.
+    pub path_of: Vec<usize>,
+    /// `pos_of[c]` = position of `c` within its path (0 at the top).
+    pub pos_of: Vec<usize>,
+    /// The paths themselves, top-down.
+    pub paths: Vec<Vec<ClassId>>,
+}
+
+/// Compute thick/thin labels (`label-edges`): returns, for each class, its
+/// thick child (the child whose subtree is largest), if any.
+pub fn thick_children(h: &Hierarchy) -> Vec<Option<ClassId>> {
+    (0..h.len())
+        .map(|c| {
+            h.children(c)
+                .iter()
+                .copied()
+                .max_by_key(|&ch| (h.subtree_size(ch), std::cmp::Reverse(ch)))
+        })
+        .collect()
+}
+
+/// Decompose the hierarchy into heavy paths.
+pub fn decompose(h: &Hierarchy) -> HeavyPaths {
+    let thick = thick_children(h);
+    let mut path_of = vec![usize::MAX; h.len()];
+    let mut pos_of = vec![usize::MAX; h.len()];
+    let mut paths = Vec::new();
+
+    // A heavy path starts at every class whose parent edge is thin (or that
+    // is a root) and follows thick edges to a leaf.
+    for c in 0..h.len() {
+        let starts_path = match h.parent(c) {
+            None => true,
+            Some(p) => thick[p] != Some(c),
+        };
+        if !starts_path {
+            continue;
+        }
+        let mut path = Vec::new();
+        let mut cur = Some(c);
+        while let Some(v) = cur {
+            path_of[v] = paths.len();
+            pos_of[v] = path.len();
+            path.push(v);
+            cur = thick[v];
+        }
+        paths.push(path);
+    }
+    debug_assert!(path_of.iter().all(|&p| p != usize::MAX));
+    HeavyPaths {
+        path_of,
+        pos_of,
+        paths,
+    }
+}
+
+impl HeavyPaths {
+    /// Number of thin edges on the path from `c` to its root — the
+    /// replication factor of `c`'s objects (Lemma 4.6 part 1).
+    pub fn thin_edges_to_root(&self, h: &Hierarchy, c: ClassId) -> usize {
+        let mut count = 0;
+        let mut cur = c;
+        loop {
+            // Jump to the top of the current heavy path, then cross its
+            // (thin) parent edge.
+            let top = self.paths[self.path_of[cur]][0];
+            match h.parent(top) {
+                Some(p) => {
+                    count += 1;
+                    cur = p;
+                }
+                None => return count,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccix_extmem::Geometry;
+
+    #[test]
+    fn paths_partition_classes() {
+        let h = Hierarchy::from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(2)]);
+        let hp = decompose(&h);
+        let total: usize = hp.paths.iter().map(Vec::len).sum();
+        assert_eq!(total, h.len());
+        for (i, path) in hp.paths.iter().enumerate() {
+            for (j, &c) in path.iter().enumerate() {
+                assert_eq!(hp.path_of[c], i);
+                assert_eq!(hp.pos_of[c], j);
+            }
+            // Consecutive path members are parent/child.
+            for w in path.windows(2) {
+                assert_eq!(h.parent(w[1]), Some(w[0]));
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_hierarchy_is_one_path() {
+        let parents: Vec<Option<usize>> =
+            (0..20).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let h = Hierarchy::from_parents(&parents);
+        let hp = decompose(&h);
+        assert_eq!(hp.paths.len(), 1);
+        assert_eq!(hp.paths[0].len(), 20);
+        assert_eq!(hp.thin_edges_to_root(&h, 19), 0);
+    }
+
+    /// Lemma 4.5: at most log2 c thin edges from any class to the root.
+    #[test]
+    fn thin_edge_bound() {
+        // A complete binary hierarchy maximises thin crossings.
+        let parents: Vec<Option<usize>> = std::iter::once(None)
+            .chain((1..255).map(|i| Some((i - 1) / 2)))
+            .collect();
+        let h = Hierarchy::from_parents(&parents);
+        let hp = decompose(&h);
+        let bound = Geometry::log2(h.len());
+        for c in 0..h.len() {
+            let thin = hp.thin_edges_to_root(&h, c);
+            assert!(thin <= bound, "class {c}: {thin} thin edges > log2 c = {bound}");
+        }
+    }
+
+    /// A caterpillar (path with pendant leaves) still respects the bound.
+    #[test]
+    fn caterpillar_thin_edges() {
+        // Spine 0-2-4-..., each spine node has a pendant leaf.
+        let mut parents: Vec<Option<usize>> = Vec::new();
+        for i in 0..40 {
+            if i == 0 {
+                parents.push(None);
+            } else if i % 2 == 0 {
+                parents.push(Some(i - 2)); // spine
+            } else {
+                parents.push(Some(i - 1)); // pendant leaf
+            }
+        }
+        let h = Hierarchy::from_parents(&parents);
+        let hp = decompose(&h);
+        // The spine is one heavy path; each pendant leaf is its own path.
+        assert_eq!(hp.paths.len(), 1 + 19);
+        let bound = Geometry::log2(h.len());
+        for c in 0..h.len() {
+            assert!(hp.thin_edges_to_root(&h, c) <= bound);
+        }
+    }
+}

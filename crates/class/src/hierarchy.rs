@@ -1,0 +1,275 @@
+//! The static class hierarchy and `label-class` (Fig. 4, Proposition 2.5).
+//!
+//! The paper assigns each class a subrange of `[0, 1)` such that descendant
+//! ranges nest and an object's "class attribute" is the label of its class.
+//! We realise the same reduction with exact integers: classes are numbered
+//! in preorder, the range of a class is `[pre, pre + size)` over its subtree
+//! — order-isomorphic to the paper's dyadic rationals, with none of the
+//! precision concerns.
+
+/// Identifier of a class (index into the hierarchy, 0-based).
+pub type ClassId = usize;
+
+/// A static forest of classes.
+///
+/// Construction is by parent pointers ([`Hierarchy::from_parents`]) or
+/// incrementally ([`Hierarchy::add_root`] / [`Hierarchy::add_child`]).
+/// The class/subclass relationship is immutable after construction, per the
+/// paper's standing assumption (§1.3).
+#[derive(Clone, Debug)]
+pub struct Hierarchy {
+    parent: Vec<Option<ClassId>>,
+    children: Vec<Vec<ClassId>>,
+    /// Preorder number of each class — the `label-class` label.
+    pre: Vec<usize>,
+    /// Subtree size of each class.
+    size: Vec<usize>,
+    /// Depth (root = 1) of each class.
+    depth: Vec<usize>,
+    roots: Vec<ClassId>,
+}
+
+impl Hierarchy {
+    /// Build from a parent array: `parents[i]` is the parent of class `i`,
+    /// or `None` for roots.
+    ///
+    /// # Panics
+    /// Panics if the parent relation has a cycle or a forward reference to
+    /// a nonexistent class.
+    pub fn from_parents(parents: &[Option<ClassId>]) -> Self {
+        let c = parents.len();
+        let mut children: Vec<Vec<ClassId>> = vec![Vec::new(); c];
+        let mut roots = Vec::new();
+        for (i, &p) in parents.iter().enumerate() {
+            match p {
+                Some(p) => {
+                    assert!(p < c, "parent {p} of class {i} out of range");
+                    assert_ne!(p, i, "class {i} is its own parent");
+                    children[p].push(i);
+                }
+                None => roots.push(i),
+            }
+        }
+        let mut h = Self {
+            parent: parents.to_vec(),
+            children,
+            pre: vec![usize::MAX; c],
+            size: vec![0; c],
+            depth: vec![0; c],
+            roots,
+        };
+        h.relabel();
+        h
+    }
+
+    /// Create an empty hierarchy to grow with [`Hierarchy::add_root`] /
+    /// [`Hierarchy::add_child`]; call [`Hierarchy::freeze`] before use.
+    pub fn new() -> Self {
+        Self {
+            parent: Vec::new(),
+            children: Vec::new(),
+            pre: Vec::new(),
+            size: Vec::new(),
+            depth: Vec::new(),
+            roots: Vec::new(),
+        }
+    }
+
+    /// Add a root class; returns its id.
+    pub fn add_root(&mut self) -> ClassId {
+        let id = self.parent.len();
+        self.parent.push(None);
+        self.children.push(Vec::new());
+        self.roots.push(id);
+        id
+    }
+
+    /// Add a subclass of `parent`; returns its id.
+    pub fn add_child(&mut self, parent: ClassId) -> ClassId {
+        assert!(parent < self.parent.len(), "unknown parent class");
+        let id = self.parent.len();
+        self.parent.push(Some(parent));
+        self.children.push(Vec::new());
+        self.children[parent].push(id);
+        id
+    }
+
+    /// Finalise labels after incremental construction.
+    pub fn freeze(&mut self) {
+        self.pre = vec![usize::MAX; self.parent.len()];
+        self.size = vec![0; self.parent.len()];
+        self.depth = vec![0; self.parent.len()];
+        self.relabel();
+    }
+
+    /// Recompute preorder labels, sizes and depths (`label-class`).
+    fn relabel(&mut self) {
+        let mut next = 0usize;
+        let mut visited = 0usize;
+        // Iterative preorder with explicit stack; (class, depth).
+        for &root in &self.roots.clone() {
+            let mut stack = vec![(root, 1usize)];
+            while let Some((v, d)) = stack.pop() {
+                assert_eq!(self.pre[v], usize::MAX, "class {v} reached twice (cycle?)");
+                self.pre[v] = next;
+                self.depth[v] = d;
+                next += 1;
+                visited += 1;
+                for &ch in self.children[v].iter().rev() {
+                    stack.push((ch, d + 1));
+                }
+            }
+        }
+        assert_eq!(
+            visited,
+            self.parent.len(),
+            "hierarchy contains a cycle (unreachable classes)"
+        );
+        // Subtree sizes bottom-up by decreasing preorder.
+        let mut order: Vec<ClassId> = (0..self.parent.len()).collect();
+        order.sort_unstable_by_key(|&v| std::cmp::Reverse(self.pre[v]));
+        for v in order {
+            self.size[v] = 1 + self.children[v].iter().map(|&c| self.size[c]).sum::<usize>();
+        }
+    }
+
+    /// Number of classes `c`.
+    pub fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    /// True when there are no classes.
+    pub fn is_empty(&self) -> bool {
+        self.parent.is_empty()
+    }
+
+    /// The forest's roots.
+    pub fn roots(&self) -> &[ClassId] {
+        &self.roots
+    }
+
+    /// Parent of a class.
+    pub fn parent(&self, c: ClassId) -> Option<ClassId> {
+        self.parent[c]
+    }
+
+    /// Children (direct subclasses) of a class.
+    pub fn children(&self, c: ClassId) -> &[ClassId] {
+        &self.children[c]
+    }
+
+    /// The `label-class` label of a class: its preorder number. An object
+    /// of class `c` carries this value in the class dimension.
+    pub fn label(&self, c: ClassId) -> i64 {
+        self.pre[c] as i64
+    }
+
+    /// The class's range in the class dimension: `[lo, hi)` covers exactly
+    /// the labels of the class and all its descendants (Proposition 2.5).
+    pub fn label_range(&self, c: ClassId) -> (i64, i64) {
+        (self.pre[c] as i64, (self.pre[c] + self.size[c]) as i64)
+    }
+
+    /// Subtree size of a class (itself + descendants).
+    pub fn subtree_size(&self, c: ClassId) -> usize {
+        self.size[c]
+    }
+
+    /// Depth of a class (roots have depth 1).
+    pub fn depth(&self, c: ClassId) -> usize {
+        self.depth[c]
+    }
+
+    /// Maximum depth `k` of the forest.
+    pub fn max_depth(&self) -> usize {
+        self.depth.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Is `a` an ancestor-or-self of `b`? (I.e. is `b` in `a`'s subtree —
+    /// `b`'s objects belong to `a`'s full extent.)
+    pub fn is_ancestor_or_self(&self, a: ClassId, b: ClassId) -> bool {
+        let (lo, hi) = self.label_range(a);
+        let lb = self.label(b);
+        lb >= lo && lb < hi
+    }
+
+    /// The Example 2.3 hierarchy: Person → {Professor → AsstProf, Student}.
+    /// Returns (hierarchy, [person, professor, student, asst_prof]).
+    pub fn example_people() -> (Self, [ClassId; 4]) {
+        let mut h = Self::new();
+        let person = h.add_root();
+        let professor = h.add_child(person);
+        let student = h.add_child(person);
+        let asst_prof = h.add_child(professor);
+        h.freeze();
+        (h, [person, professor, student, asst_prof])
+    }
+}
+
+impl Default for Hierarchy {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_labels_nest() {
+        let (h, [person, professor, student, asst_prof]) = Hierarchy::example_people();
+        assert_eq!(h.len(), 4);
+        assert_eq!(h.label_range(person), (0, 4));
+        // Preorder: person(0), professor(1), asst_prof(2), student(3).
+        assert_eq!(h.label(professor), 1);
+        assert_eq!(h.label_range(professor), (1, 3));
+        assert_eq!(h.label(asst_prof), 2);
+        assert_eq!(h.label(student), 3);
+        assert!(h.is_ancestor_or_self(person, asst_prof));
+        assert!(h.is_ancestor_or_self(professor, asst_prof));
+        assert!(!h.is_ancestor_or_self(student, asst_prof));
+        assert_eq!(h.max_depth(), 3);
+    }
+
+    #[test]
+    fn forest_of_two_trees() {
+        let h = Hierarchy::from_parents(&[None, Some(0), None, Some(2), Some(2)]);
+        assert_eq!(h.roots(), &[0, 2]);
+        let (lo0, hi0) = h.label_range(0);
+        let (lo2, hi2) = h.label_range(2);
+        assert_eq!(hi0 - lo0, 2);
+        assert_eq!(hi2 - lo2, 3);
+        // Ranges of distinct roots are disjoint.
+        assert!(hi0 <= lo2 || hi2 <= lo0);
+    }
+
+    #[test]
+    fn ranges_partition_children() {
+        let h = Hierarchy::from_parents(&[None, Some(0), Some(0), Some(1), Some(1), Some(2)]);
+        let (lo, hi) = h.label_range(0);
+        assert_eq!((lo, hi), (0, 6));
+        let (l1, h1) = h.label_range(1);
+        let (l2, h2) = h.label_range(2);
+        assert!(h1 <= l2 || h2 <= l1, "sibling ranges disjoint");
+        assert_eq!((h1 - l1) + (h2 - l2), 5, "children cover parent minus self");
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle")]
+    fn cycle_detected() {
+        let _ = Hierarchy::from_parents(&[Some(1), Some(0)]);
+    }
+
+    #[test]
+    fn degenerate_path_hierarchy() {
+        let parents: Vec<Option<usize>> =
+            (0..10).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let h = Hierarchy::from_parents(&parents);
+        assert_eq!(h.max_depth(), 10);
+        for i in 0..10 {
+            assert_eq!(h.label(i), i as i64);
+            assert_eq!(h.label_range(i), (i as i64, 10));
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! # `ccix-class` — indexing class hierarchies (§2.2, §4)
+//!
+//! Objects live in exactly one class of a **static forest** of `c` classes;
+//! the *full extent* of a class is its extent plus those of all descendants.
+//! Class indexing (Example 2.4) asks for one-dimensional range queries by an
+//! attribute **over the full extent of any class**, under object insertion.
+//!
+//! This crate implements every strategy the paper discusses, behind the
+//! common [`ClassIndex`] trait:
+//!
+//! | strategy | query I/Os | insert I/Os | space (pages) |
+//! |---|---|---|---|
+//! | [`SingleIndexBaseline`] | `O(log_B n + t_all/B)`¹ | `O(log_B n)` | `O(n/B)` |
+//! | [`FullExtentBaseline`] (Lemma 4.2) | `O(log_B n + t/B)` | `O(k·log_B n)`² | `O(k·n/B)`² |
+//! | [`RangeTreeClassIndex`] (Theorem 2.6) | `O(log2 c·log_B n + t/B)` | `O(log2 c·log_B n)` | `O((n/B)·log2 c)` |
+//! | [`RakeClassIndex`] (Theorem 4.7) | `O(log_B n + t/B + log2 B)` | `O(log2 c·(log_B n + (log_B n)²/B))` | `O((n/B)·log2 c)` |
+//!
+//! ¹ `t_all` counts *every* object in the attribute range regardless of
+//! class — the baseline cannot compact its output (§2.2). ² `k` is the
+//! hierarchy depth.
+//!
+//! The machinery: [`Hierarchy`] realises `label-class` (Fig. 4 /
+//! Proposition 2.5) with exact preorder integer ranges; [`heavy`] implements
+//! `label-edges` (Fig. 22 / Lemma 4.5, the Sleator–Tarjan thick/thin
+//! decomposition); [`RakeClassIndex`] is `rake-and-contract` (Fig. 23 /
+//! Lemma 4.6) over the 3-sided metablock trees of `ccix-core`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod baselines;
+pub mod heavy;
+mod hierarchy;
+mod rake;
+mod rangetree;
+
+pub use baselines::{FullExtentBaseline, SingleIndexBaseline};
+pub use hierarchy::{ClassId, Hierarchy};
+pub use rake::RakeClassIndex;
+pub use rangetree::RangeTreeClassIndex;
+
+/// An object to be indexed: a class, an attribute value, and a unique id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Object {
+    /// The class the object belongs to (its extent).
+    pub class: ClassId,
+    /// The indexed attribute (e.g. income in Example 2.4).
+    pub attr: i64,
+    /// Unique object id.
+    pub id: u64,
+}
+
+impl Object {
+    /// Construct an object.
+    pub fn new(class: ClassId, attr: i64, id: u64) -> Self {
+        Self { class, attr, id }
+    }
+}
+
+/// A class-indexing strategy: answer attribute-range queries over full
+/// extents, under object insertion.
+pub trait ClassIndex {
+    /// Insert an object.
+    fn insert(&mut self, object: Object);
+
+    /// Ids of all objects in the **full extent** of `class` whose attribute
+    /// lies in `[a1, a2]`.
+    fn query(&self, class: ClassId, a1: i64, a2: i64) -> Vec<u64>;
+
+    /// Disk blocks occupied.
+    fn space_pages(&self) -> usize;
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}

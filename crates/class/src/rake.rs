@@ -1,0 +1,210 @@
+//! `rake-and-contract` (Fig. 23, Lemma 4.6) — the composite class index of
+//! Theorem 4.7.
+//!
+//! Heavy paths are degenerate hierarchies: along a path `v1 … vk`, the full
+//! extent of `vi` is everything indexed at positions `≥ i` (Lemma 4.3). The
+//! procedure gives each heavy path one **3-sided metablock tree** whose
+//! points are `(attribute, position)`; a singleton leaf path degenerates to
+//! a one-dimensional structure and gets a plain **B+-tree** instead (the
+//! first `for` loop of Fig. 23 / Lemma 4.2).
+//!
+//! Contracting a path copies its collection across the thin edge above it,
+//! so an object of class `c` is indexed once in `c`'s own path structure
+//! and once per thin edge on the way to the root — at most `log2 c + 1`
+//! copies (Lemmas 4.5, 4.6). Queries touch exactly one structure:
+//!
+//! * query I/Os `O(log_B n + t/B + log2 B)`,
+//! * insert I/Os `O(log2 c · (log_B n + (log_B n)²/B))` amortised,
+//! * space `O((n/B) · log2 c)` (Theorem 4.7).
+
+use ccix_bptree::BPlusTree;
+use ccix_core::ThreeSidedTree;
+use ccix_extmem::{Disk, Geometry, IoCounter, Point};
+
+use crate::heavy::{decompose, HeavyPaths};
+use crate::{ClassId, ClassIndex, Hierarchy, Object};
+
+/// Per-heavy-path structure.
+#[derive(Debug)]
+enum PathStructure {
+    /// Paths of length ≥ 2: 3-sided queries over (attr, position).
+    ThreeSided(ThreeSidedTree),
+    /// Singleton leaf paths: a plain attribute B+-tree (Lemma 4.2's move).
+    Flat(BPlusTree),
+}
+
+/// The Theorem 4.7 class index.
+#[derive(Debug)]
+pub struct RakeClassIndex {
+    hierarchy: Hierarchy,
+    paths: HeavyPaths,
+    structures: Vec<PathStructure>,
+    /// For each class: every (path, position) that holds its extent — its
+    /// own path plus one per thin edge up to the root.
+    placements: Vec<Vec<(usize, i64)>>,
+    disk: Disk,
+    counter: IoCounter,
+    len: usize,
+}
+
+impl RakeClassIndex {
+    /// Create an empty index over `hierarchy`.
+    pub fn new(hierarchy: Hierarchy, geo: Geometry, counter: IoCounter) -> Self {
+        let paths = decompose(&hierarchy);
+        let mut disk = Disk::new((24 * geo.b + 7).max(103), counter.clone());
+        let structures: Vec<PathStructure> = paths
+            .paths
+            .iter()
+            .map(|p| {
+                let is_singleton_leaf = p.len() == 1 && hierarchy.children(p[0]).is_empty();
+                if is_singleton_leaf {
+                    PathStructure::Flat(BPlusTree::new(&mut disk))
+                } else {
+                    PathStructure::ThreeSided(ThreeSidedTree::new(geo, counter.clone()))
+                }
+            })
+            .collect();
+
+        // Placements (Lemma 4.6): walk thin edges toward the root.
+        let placements = (0..hierarchy.len())
+            .map(|c| {
+                let mut list = vec![(paths.path_of[c], paths.pos_of[c] as i64)];
+                let mut cur = c;
+                loop {
+                    let top = paths.paths[paths.path_of[cur]][0];
+                    match hierarchy.parent(top) {
+                        Some(p) => {
+                            list.push((paths.path_of[p], paths.pos_of[p] as i64));
+                            cur = p;
+                        }
+                        None => break,
+                    }
+                }
+                list
+            })
+            .collect();
+
+        Self {
+            hierarchy,
+            paths,
+            structures,
+            placements,
+            disk,
+            counter,
+            len: 0,
+        }
+    }
+
+    /// The hierarchy this index is built over.
+    pub fn hierarchy(&self) -> &Hierarchy {
+        &self.hierarchy
+    }
+
+    /// Number of objects inserted.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no objects are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Replication factor of a class: how many structures hold its extent.
+    pub fn copies(&self, class: ClassId) -> usize {
+        self.placements[class].len()
+    }
+
+    /// The heavy-path decomposition used.
+    pub fn heavy_paths(&self) -> &HeavyPaths {
+        &self.paths
+    }
+
+    /// The shared I/O counter (covers every path structure).
+    pub fn counter(&self) -> &IoCounter {
+        &self.counter
+    }
+}
+
+impl ClassIndex for RakeClassIndex {
+    fn insert(&mut self, o: Object) {
+        // One copy per placement. Placements walk strictly upward across
+        // thin edges, so each placement lands on a distinct path structure;
+        // the object id is therefore unique within every structure.
+        for &(path, y) in &self.placements[o.class] {
+            match &mut self.structures[path] {
+                PathStructure::ThreeSided(t) => t.insert(Point::new(o.attr, y, o.id)),
+                PathStructure::Flat(t) => t.insert(&mut self.disk, o.attr, o.id),
+            }
+        }
+        self.len += 1;
+    }
+
+    fn query(&self, class: ClassId, a1: i64, a2: i64) -> Vec<u64> {
+        let path = self.paths.path_of[class];
+        let pos = self.paths.pos_of[class] as i64;
+        match &self.structures[path] {
+            PathStructure::ThreeSided(t) => {
+                t.query(a1, a2, pos).into_iter().map(|p| p.id).collect()
+            }
+            PathStructure::Flat(t) => t.range(&self.disk, a1, a2),
+        }
+    }
+
+    fn space_pages(&self) -> usize {
+        let mut pages = self.disk.pages_in_use();
+        for s in &self.structures {
+            if let PathStructure::ThreeSided(t) = s {
+                pages += t.space_pages();
+            }
+        }
+        pages
+    }
+
+    fn name(&self) -> &'static str {
+        "rake-and-contract"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_people_queries() {
+        let (h, [person, professor, student, asst_prof]) = Hierarchy::example_people();
+        let mut idx = RakeClassIndex::new(h, Geometry::new(4), IoCounter::new());
+        idx.insert(Object::new(person, 30, 1));
+        idx.insert(Object::new(professor, 90, 2));
+        idx.insert(Object::new(student, 10, 3));
+        idx.insert(Object::new(asst_prof, 55, 4));
+        idx.insert(Object::new(professor, 120, 5));
+
+        let mut profs = idx.query(professor, 0, 200);
+        profs.sort_unstable();
+        assert_eq!(profs, vec![2, 4, 5]);
+        assert_eq!(idx.query(asst_prof, 0, 200), vec![4]);
+        assert_eq!(idx.query(student, 0, 200), vec![3]);
+        let mut all = idx.query(person, 0, 200);
+        all.sort_unstable();
+        assert_eq!(all, vec![1, 2, 3, 4, 5]);
+        assert_eq!(idx.query(professor, 85, 95), vec![2]);
+    }
+
+    #[test]
+    fn replication_bounded_by_thin_edges() {
+        let parents: Vec<Option<usize>> = std::iter::once(None)
+            .chain((1..127).map(|i| Some((i - 1) / 2)))
+            .collect();
+        let h = Hierarchy::from_parents(&parents);
+        let idx = RakeClassIndex::new(h, Geometry::new(4), IoCounter::new());
+        let bound = ccix_extmem::Geometry::log2(127) + 1;
+        for c in 0..127 {
+            assert!(
+                idx.copies(c) <= bound,
+                "class {c}: {} copies > {bound}",
+                idx.copies(c)
+            );
+        }
+    }
+}

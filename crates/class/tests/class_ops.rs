@@ -1,0 +1,310 @@
+//! Cross-strategy tests: all four class-indexing strategies must agree with
+//! a naive oracle and with each other, and respect their stated bounds.
+
+use ccix_class::{
+    ClassIndex, FullExtentBaseline, Hierarchy, Object, RakeClassIndex, RangeTreeClassIndex,
+    SingleIndexBaseline,
+};
+use ccix_extmem::{Geometry, IoCounter};
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed | 1;
+    move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+}
+
+/// A random forest with `c` classes and a given root probability.
+fn random_hierarchy(c: usize, seed: u64) -> Hierarchy {
+    let mut next = xorshift(seed);
+    let parents: Vec<Option<usize>> = (0..c)
+        .map(|i| {
+            if i == 0 || next().is_multiple_of(10) {
+                None
+            } else {
+                Some((next() % i as u64) as usize)
+            }
+        })
+        .collect();
+    Hierarchy::from_parents(&parents)
+}
+
+fn random_objects(h: &Hierarchy, n: usize, seed: u64, attr_range: i64) -> Vec<Object> {
+    let mut next = xorshift(seed);
+    (0..n)
+        .map(|i| {
+            Object::new(
+                (next() % h.len() as u64) as usize,
+                (next() % attr_range as u64) as i64,
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+fn oracle(h: &Hierarchy, objects: &[Object], class: usize, a1: i64, a2: i64) -> Vec<u64> {
+    let mut v: Vec<u64> = objects
+        .iter()
+        .filter(|o| h.is_ancestor_or_self(class, o.class) && o.attr >= a1 && o.attr <= a2)
+        .map(|o| o.id)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn check_all(
+    h: &Hierarchy,
+    objects: &[Object],
+    strategies: &[&dyn ClassIndex],
+    queries: &[(usize, i64, i64)],
+) {
+    for &(class, a1, a2) in queries {
+        let want = oracle(h, objects, class, a1, a2);
+        for s in strategies {
+            let mut got = s.query(class, a1, a2);
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                want,
+                "{} disagrees on class {class} attrs [{a1},{a2}]",
+                s.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn all_strategies_agree_small() {
+    let geo = Geometry::new(4);
+    for trial in 0..6u64 {
+        let c = [1usize, 2, 4, 7, 15, 40][trial as usize];
+        let h = random_hierarchy(c, 0x51EE + trial);
+        let objects = random_objects(&h, 400, 0xFACE + trial, 100);
+
+        let mut single = SingleIndexBaseline::new(h.clone(), geo, IoCounter::new());
+        let mut full = FullExtentBaseline::new(h.clone(), geo, IoCounter::new());
+        let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+        let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
+        for o in &objects {
+            single.insert(*o);
+            full.insert(*o);
+            rtree.insert(*o);
+            rake.insert(*o);
+        }
+        let mut next = xorshift(trial);
+        let queries: Vec<(usize, i64, i64)> = (0..25)
+            .map(|_| {
+                let class = (next() % c as u64) as usize;
+                let a = (next() % 110) as i64 - 5;
+                let w = (next() % 60) as i64;
+                (class, a, a + w)
+            })
+            .collect();
+        check_all(
+            &h,
+            &objects,
+            &[&single, &full, &rtree, &rake],
+            &queries,
+        );
+    }
+}
+
+#[test]
+fn degenerate_path_hierarchy_all_strategies() {
+    // The Lemma 4.3 case: one long chain. The rake index must use a single
+    // 3-sided structure with no replication.
+    let c = 30;
+    let parents: Vec<Option<usize>> =
+        (0..c).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+    let h = Hierarchy::from_parents(&parents);
+    let geo = Geometry::new(4);
+    let objects = random_objects(&h, 600, 0xD1, 50);
+
+    let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
+    let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+    for o in &objects {
+        rake.insert(*o);
+        rtree.insert(*o);
+    }
+    for class in 0..c {
+        assert_eq!(rake.copies(class), 1, "chain has no thin edges");
+    }
+    let queries: Vec<(usize, i64, i64)> = (0..c).map(|k| (k, 0, 49)).collect();
+    check_all(&h, &objects, &[&rake, &rtree], &queries);
+}
+
+#[test]
+fn star_hierarchy_all_strategies() {
+    // c-1 leaves under one root: the Theorem 2.8 shape.
+    let c = 50;
+    let parents: Vec<Option<usize>> =
+        (0..c).map(|i| if i == 0 { None } else { Some(0) }).collect();
+    let h = Hierarchy::from_parents(&parents);
+    let geo = Geometry::new(4);
+    let objects = random_objects(&h, 800, 0x57A7, 200);
+
+    let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
+    let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+    let mut full = FullExtentBaseline::new(h.clone(), geo, IoCounter::new());
+    for o in &objects {
+        rake.insert(*o);
+        rtree.insert(*o);
+        full.insert(*o);
+    }
+    let queries: Vec<(usize, i64, i64)> = (0..c).step_by(7).map(|k| (k, 50, 150)).collect();
+    check_all(&h, &objects, &[&rake, &rtree, &full], &queries);
+}
+
+#[test]
+fn larger_randomized_agreement() {
+    let geo = Geometry::new(8);
+    let h = random_hierarchy(120, 0xBEEF);
+    let objects = random_objects(&h, 5_000, 0xF00, 1_000);
+    let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+    let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
+    for o in &objects {
+        rtree.insert(*o);
+        rake.insert(*o);
+    }
+    let mut next = xorshift(0xAA);
+    let queries: Vec<(usize, i64, i64)> = (0..40)
+        .map(|_| {
+            let class = (next() % 120) as usize;
+            let a = (next() % 1_000) as i64;
+            let w = (next() % 300) as i64;
+            (class, a, a + w)
+        })
+        .collect();
+    check_all(&h, &objects, &[&rtree, &rake], &queries);
+}
+
+/// Theorem 2.6 bounds: range-tree query I/Os `O(log2 c · log_B n + t/B)`,
+/// space `O((n/B) log2 c)`.
+#[test]
+fn rangetree_bounds() {
+    let geo = Geometry::new(16);
+    let c = 255;
+    let parents: Vec<Option<usize>> = std::iter::once(None)
+        .chain((1..c).map(|i| Some((i - 1) / 2)))
+        .collect();
+    let h = Hierarchy::from_parents(&parents);
+    let n = 30_000;
+    let objects = random_objects(&h, n, 0x26, 100_000);
+    let counter = IoCounter::new();
+    let mut idx = RangeTreeClassIndex::new(h.clone(), geo, counter.clone());
+    for o in &objects {
+        idx.insert(*o);
+    }
+
+    let log2c = Geometry::log2(c);
+    let space_budget = 4 * (log2c + 1) * geo.out_blocks(n) + 4 * c;
+    assert!(
+        idx.space_pages() <= space_budget,
+        "space {} > {space_budget}",
+        idx.space_pages()
+    );
+
+    let mut next = xorshift(1);
+    for _ in 0..25 {
+        let class = (next() % c as u64) as usize;
+        let a = (next() % 100_000) as i64;
+        let before = counter.snapshot();
+        let got = idx.query(class, a, a + 5_000);
+        let cost = counter.since(before);
+        let bound = 3 * 2 * log2c * geo.log_b(n) + 3 * geo.out_blocks(got.len()) + 8;
+        assert!(
+            cost.reads <= bound as u64,
+            "class {class}: {} reads > {bound} (t={})",
+            cost.reads,
+            got.len()
+        );
+    }
+}
+
+/// Theorem 4.7 bounds: rake query I/Os `O(log_B n + t/B + log2 B)` —
+/// crucially independent of `c` — and space `O((n/B) log2 c)`.
+#[test]
+fn rake_bounds() {
+    let geo = Geometry::new(16);
+    let c = 255;
+    let parents: Vec<Option<usize>> = std::iter::once(None)
+        .chain((1..c).map(|i| Some((i - 1) / 2)))
+        .collect();
+    let h = Hierarchy::from_parents(&parents);
+    let n = 30_000;
+    let objects = random_objects(&h, n, 0x47, 100_000);
+    let counter = IoCounter::new();
+    let mut idx = RakeClassIndex::new(h.clone(), geo, counter.clone());
+    for o in &objects {
+        idx.insert(*o);
+    }
+
+    let log2c = Geometry::log2(c);
+    let space_budget = 14 * (log2c + 1) * geo.out_blocks(n) + 6 * c;
+    assert!(
+        idx.space_pages() <= space_budget,
+        "space {} > {space_budget}",
+        idx.space_pages()
+    );
+
+    let mut next = xorshift(2);
+    for _ in 0..25 {
+        let class = (next() % c as u64) as usize;
+        let a = (next() % 100_000) as i64;
+        let before = counter.snapshot();
+        let got = idx.query(class, a, a + 5_000);
+        let cost = counter.since(before);
+        // No log2 c factor on the search term.
+        let bound =
+            10 * geo.log_b(n) + 5 * geo.out_blocks(got.len()) + 6 * Geometry::log2(geo.b3()) + 12;
+        assert!(
+            cost.reads <= bound as u64,
+            "class {class}: {} reads > {bound} (t={})",
+            cost.reads,
+            got.len()
+        );
+    }
+}
+
+/// §2.2's indictment of the single-index baseline: on a selective class its
+/// query cost tracks the whole attribute-range population, not the output.
+#[test]
+fn single_index_cannot_compact_output() {
+    let geo = Geometry::new(16);
+    // Root plus 20 leaf classes; query a single leaf.
+    let c = 21;
+    let parents: Vec<Option<usize>> =
+        (0..c).map(|i| if i == 0 { None } else { Some(0) }).collect();
+    let h = Hierarchy::from_parents(&parents);
+    let n = 20_000;
+    let objects = random_objects(&h, n, 0x88, 1_000);
+
+    let sc = IoCounter::new();
+    let mut single = SingleIndexBaseline::new(h.clone(), geo, sc.clone());
+    let rc = IoCounter::new();
+    let mut rake = RakeClassIndex::new(h.clone(), geo, rc.clone());
+    for o in &objects {
+        single.insert(*o);
+        rake.insert(*o);
+    }
+
+    let leaf = 7usize;
+    let before = sc.snapshot();
+    let a = single.query(leaf, 0, 999);
+    let single_cost = sc.since(before).reads;
+    let before = rc.snapshot();
+    let mut b = rake.query(leaf, 0, 999);
+    let rake_cost = rc.since(before).reads;
+
+    let mut a_sorted = a;
+    a_sorted.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a_sorted, b);
+    assert!(
+        3 * rake_cost < single_cost,
+        "rake ({rake_cost}) should beat the filtering baseline ({single_cost}) by ≥3x"
+    );
+}

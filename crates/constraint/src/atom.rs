@@ -1,0 +1,155 @@
+//! Atomic constraints of the theory of rational order with constants.
+
+use crate::Rat;
+
+/// A comparison operator.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Cmp {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `≥`
+    Ge,
+    /// `>`
+    Gt,
+}
+
+impl Cmp {
+    /// Evaluate `a ⋈ b`.
+    pub fn eval(self, a: Rat, b: Rat) -> bool {
+        match self {
+            Cmp::Lt => a < b,
+            Cmp::Le => a <= b,
+            Cmp::Eq => a == b,
+            Cmp::Ge => a >= b,
+            Cmp::Gt => a > b,
+        }
+    }
+
+    /// The operator with sides swapped (`x < y` ⇔ `y > x`).
+    pub fn flipped(self) -> Cmp {
+        match self {
+            Cmp::Lt => Cmp::Gt,
+            Cmp::Le => Cmp::Ge,
+            Cmp::Eq => Cmp::Eq,
+            Cmp::Ge => Cmp::Le,
+            Cmp::Gt => Cmp::Lt,
+        }
+    }
+}
+
+/// The right-hand side of an atom.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// A rational constant.
+    Const(Rat),
+    /// Another variable (by index).
+    Var(usize),
+}
+
+/// An atomic constraint `x_lhs ⋈ rhs`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Atom {
+    /// Left-hand variable index.
+    pub lhs: usize,
+    /// Comparison operator.
+    pub cmp: Cmp,
+    /// Right-hand side.
+    pub rhs: Operand,
+}
+
+impl Atom {
+    /// `x_v ⋈ c` with an arbitrary operator.
+    pub fn var_cmp_const(v: usize, cmp: Cmp, c: Rat) -> Self {
+        Self {
+            lhs: v,
+            cmp,
+            rhs: Operand::Const(c),
+        }
+    }
+
+    /// `x_v = c`.
+    pub fn var_eq_const(v: usize, c: Rat) -> Self {
+        Self::var_cmp_const(v, Cmp::Eq, c)
+    }
+
+    /// `x_v ≤ c`.
+    pub fn var_le_const(v: usize, c: Rat) -> Self {
+        Self::var_cmp_const(v, Cmp::Le, c)
+    }
+
+    /// `x_v ≥ c`.
+    pub fn var_ge_const(v: usize, c: Rat) -> Self {
+        Self::var_cmp_const(v, Cmp::Ge, c)
+    }
+
+    /// `x_v < c`.
+    pub fn var_lt_const(v: usize, c: Rat) -> Self {
+        Self::var_cmp_const(v, Cmp::Lt, c)
+    }
+
+    /// `x_v > c`.
+    pub fn var_gt_const(v: usize, c: Rat) -> Self {
+        Self::var_cmp_const(v, Cmp::Gt, c)
+    }
+
+    /// `x_u ⋈ x_v`.
+    pub fn var_cmp_var(u: usize, cmp: Cmp, v: usize) -> Self {
+        Self {
+            lhs: u,
+            cmp,
+            rhs: Operand::Var(v),
+        }
+    }
+
+    /// Evaluate under a ground assignment.
+    pub fn eval(&self, assignment: &[Rat]) -> bool {
+        let a = assignment[self.lhs];
+        let b = match self.rhs {
+            Operand::Const(c) => c,
+            Operand::Var(v) => assignment[v],
+        };
+        self.cmp.eval(a, b)
+    }
+
+    /// Largest variable index mentioned.
+    pub fn max_var(&self) -> usize {
+        match self.rhs {
+            Operand::Var(v) => self.lhs.max(v),
+            Operand::Const(_) => self.lhs,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_const_atoms() {
+        let a = Atom::var_le_const(0, Rat::from(5));
+        assert!(a.eval(&[Rat::from(5)]));
+        assert!(a.eval(&[Rat::from(4)]));
+        assert!(!a.eval(&[Rat::from(6)]));
+        let b = Atom::var_gt_const(0, Rat::new(1, 2));
+        assert!(b.eval(&[Rat::new(2, 3)]));
+        assert!(!b.eval(&[Rat::new(1, 2)]));
+    }
+
+    #[test]
+    fn eval_var_atoms() {
+        let a = Atom::var_cmp_var(0, Cmp::Lt, 1);
+        assert!(a.eval(&[Rat::from(1), Rat::from(2)]));
+        assert!(!a.eval(&[Rat::from(2), Rat::from(2)]));
+    }
+
+    #[test]
+    fn flip_is_involutive_on_order() {
+        for cmp in [Cmp::Lt, Cmp::Le, Cmp::Eq, Cmp::Ge, Cmp::Gt] {
+            assert_eq!(cmp.flipped().flipped(), cmp);
+        }
+    }
+}

@@ -1,0 +1,253 @@
+//! The generalized one-dimensional index (§2.1).
+//!
+//! Each satisfiable tuple's projection on the indexed variable — one
+//! interval, since the CQL is convex — becomes a *generalized key*; range
+//! search conjoins the query constraint onto exactly the tuples whose keys
+//! intersect the query, via the interval manager of `ccix-interval`.
+//!
+//! ## Rational endpoints on an integer store
+//!
+//! The external structures key on `i64`. Endpoints are mapped exactly onto
+//! a half-integer grid: with `L` the least common multiple of every
+//! endpoint denominator, the value `v` maps to `2·L·v`, and *open*
+//! endpoints are nudged one half-step inward (`+1` for lower, `−1` for
+//! upper). Two distinct rationals with denominators dividing `L` differ by
+//! at least a full step, so intersection tests on the grid agree exactly
+//! with intersection tests over the rationals. Query endpoints must share
+//! the grid (their denominators must divide `L`), or
+//! [`GeneralizedIndex::try_range_search`] reports
+//! [`IndexError::OffGridQuery`].
+
+use ccix_extmem::{Geometry, IoCounter};
+use ccix_interval::{Interval, IntervalIndex};
+
+use crate::tuple::Bound;
+use crate::{Atom, GeneralizedRelation, Rat};
+
+/// Sentinels for unbounded projection ends (half the i64 range keeps all
+/// arithmetic overflow-free).
+const NEG_SENTINEL: i64 = i64::MIN / 4;
+const POS_SENTINEL: i64 = i64::MAX / 4;
+
+/// Why an index could not be built or queried.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IndexError {
+    /// Endpoint denominators overflow the exact grid.
+    ScaleOverflow,
+    /// A query endpoint does not lie on the index's grid.
+    OffGridQuery,
+}
+
+/// A generalized one-dimensional index on one variable of a generalized
+/// relation.
+#[derive(Debug)]
+pub struct GeneralizedIndex {
+    relation: GeneralizedRelation,
+    var: usize,
+    /// Grid scale: rationals map to `2 * lcm_den * value`.
+    scale2: i64,
+    index: IntervalIndex,
+}
+
+fn lcm(a: i64, b: i64) -> Option<i64> {
+    let g = {
+        let (mut x, mut y) = (a, b);
+        while y != 0 {
+            (x, y) = (y, x % y);
+        }
+        x
+    };
+    (a / g).checked_mul(b)
+}
+
+impl GeneralizedIndex {
+    /// Build over `relation`, indexing variable `var`. Unsatisfiable tuples
+    /// are skipped (they denote the empty set).
+    pub fn build(
+        relation: &GeneralizedRelation,
+        var: usize,
+        geo: Geometry,
+        counter: IoCounter,
+    ) -> Result<Self, IndexError> {
+        assert!(var < relation.arity(), "indexed variable out of range");
+        // Projections and the exact grid scale.
+        let mut projections = Vec::with_capacity(relation.len());
+        let mut l: i64 = 1;
+        for t in relation.tuples() {
+            let proj = t.project(var);
+            if let Some((lo, hi)) = proj {
+                for b in [lo, hi] {
+                    if let Some(v) = b.value() {
+                        l = lcm(l, v.den()).ok_or(IndexError::ScaleOverflow)?;
+                        if l > (1 << 40) {
+                            return Err(IndexError::ScaleOverflow);
+                        }
+                    }
+                }
+            }
+            projections.push(proj);
+        }
+        let scale2 = 2 * l;
+
+        let mut intervals = Vec::new();
+        for (id, proj) in projections.iter().enumerate() {
+            let Some((lo, hi)) = proj else { continue };
+            let lo_key = match lo {
+                Bound::Unbounded => NEG_SENTINEL,
+                Bound::Closed(v) => v.scaled(scale2).ok_or(IndexError::ScaleOverflow)?,
+                Bound::Open(v) => v.scaled(scale2).ok_or(IndexError::ScaleOverflow)? + 1,
+            };
+            let hi_key = match hi {
+                Bound::Unbounded => POS_SENTINEL,
+                Bound::Closed(v) => v.scaled(scale2).ok_or(IndexError::ScaleOverflow)?,
+                Bound::Open(v) => v.scaled(scale2).ok_or(IndexError::ScaleOverflow)? - 1,
+            };
+            debug_assert!(lo_key <= hi_key, "projection interval inverted");
+            intervals.push(Interval::new(lo_key, hi_key, id as u64));
+        }
+        let index = IntervalIndex::build(geo, counter, &intervals);
+        Ok(Self {
+            relation: relation.clone(),
+            var,
+            scale2,
+            index,
+        })
+    }
+
+    /// The indexed variable.
+    pub fn var(&self) -> usize {
+        self.var
+    }
+
+    /// The underlying relation.
+    pub fn relation(&self) -> &GeneralizedRelation {
+        &self.relation
+    }
+
+    /// Disk blocks occupied by the index structures.
+    pub fn space_pages(&self) -> usize {
+        self.index.space_pages()
+    }
+
+    /// The shared I/O counter.
+    pub fn counter(&self) -> &IoCounter {
+        self.index.counter()
+    }
+
+    /// Find a generalized relation representing all tuples whose `var`
+    /// satisfies `a1 ≤ x_var ≤ a2` — operation (i) of §2.1: the returned
+    /// disjuncts are the intersecting tuples with the query constraint
+    /// conjoined.
+    pub fn try_range_search(
+        &self,
+        a1: Rat,
+        a2: Rat,
+    ) -> Result<GeneralizedRelation, IndexError> {
+        let q1 = a1.scaled(self.scale2).ok_or(IndexError::OffGridQuery)?;
+        let q2 = a2.scaled(self.scale2).ok_or(IndexError::OffGridQuery)?;
+        let mut out = GeneralizedRelation::new(self.relation.arity());
+        if q1 > q2 {
+            return Ok(out);
+        }
+        for id in self.index.intersecting(q1, q2) {
+            let mut t = self.relation.tuples()[id as usize].clone();
+            t.and(Atom::var_ge_const(self.var, a1));
+            t.and(Atom::var_le_const(self.var, a2));
+            out.add(t);
+        }
+        Ok(out)
+    }
+
+    /// As [`GeneralizedIndex::try_range_search`], panicking on off-grid
+    /// query endpoints.
+    pub fn range_search(&self, a1: Rat, a2: Rat) -> GeneralizedRelation {
+        self.try_range_search(a1, a2)
+            .expect("query endpoint off the index grid")
+    }
+
+    /// Tuples whose projection contains the point `a` (stabbing).
+    pub fn stab(&self, a: Rat) -> GeneralizedRelation {
+        self.range_search(a, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GeneralizedTuple;
+
+    fn interval_tuple(lo: Rat, hi: Rat) -> GeneralizedTuple {
+        let mut t = GeneralizedTuple::new(1);
+        t.and(Atom::var_ge_const(0, lo));
+        t.and(Atom::var_le_const(0, hi));
+        t
+    }
+
+    #[test]
+    fn range_search_refines_tuples() {
+        let mut rel = GeneralizedRelation::new(1);
+        rel.add(interval_tuple(Rat::from(0), Rat::from(5)));
+        rel.add(interval_tuple(Rat::from(10), Rat::from(20)));
+        let idx =
+            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        let hits = idx.range_search(Rat::from(4), Rat::from(11));
+        assert_eq!(hits.len(), 2);
+        // Refined tuples respect both the original and the query constraint.
+        assert!(hits.contains(&[Rat::from(4)]));
+        assert!(hits.contains(&[Rat::from(11)]));
+        assert!(!hits.contains(&[Rat::from(7)]), "gap between the tuples");
+        assert!(!hits.contains(&[Rat::from(20)]), "outside the query");
+    }
+
+    #[test]
+    fn open_bounds_are_exact_on_the_grid() {
+        // x > 1/2: stabbing at 1/2 must miss, at 3/4 must hit.
+        let mut t = GeneralizedTuple::new(1);
+        t.and(Atom::var_gt_const(0, Rat::new(1, 2)));
+        let mut rel = GeneralizedRelation::new(1);
+        rel.add(t);
+        let idx =
+            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        assert!(idx.stab(Rat::new(1, 2)).is_empty());
+        assert_eq!(idx.stab(Rat::new(3, 4)).len(), 1);
+    }
+
+    #[test]
+    fn off_grid_query_is_reported() {
+        let mut rel = GeneralizedRelation::new(1);
+        rel.add(interval_tuple(Rat::from(0), Rat::from(1)));
+        let idx =
+            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        // Grid is halves of integers; thirds are off-grid.
+        assert_eq!(
+            idx.try_range_search(Rat::new(1, 3), Rat::from(1)).err(),
+            Some(IndexError::OffGridQuery)
+        );
+    }
+
+    #[test]
+    fn unsatisfiable_tuples_are_skipped() {
+        let mut rel = GeneralizedRelation::new(1);
+        let mut t = GeneralizedTuple::new(1);
+        t.and(Atom::var_ge_const(0, Rat::from(5)));
+        t.and(Atom::var_lt_const(0, Rat::from(5)));
+        rel.add(t);
+        rel.add(interval_tuple(Rat::from(0), Rat::from(1)));
+        let idx =
+            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        assert_eq!(idx.stab(Rat::from(5)).len(), 0);
+        assert_eq!(idx.stab(Rat::from(1)).len(), 1);
+    }
+
+    #[test]
+    fn unbounded_projections_always_intersect() {
+        let mut rel = GeneralizedRelation::new(2);
+        let mut t = GeneralizedTuple::new(2);
+        t.and(Atom::var_le_const(1, Rat::from(3))); // no constraint on x_0
+        rel.add(t);
+        let idx =
+            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        assert_eq!(idx.stab(Rat::from(-1_000_000)).len(), 1);
+        assert_eq!(idx.stab(Rat::from(1_000_000)).len(), 1);
+    }
+}

@@ -1,0 +1,51 @@
+//! # `ccix-constraint` — the constraint query language layer (§2.1)
+//!
+//! A CQL couples a database query language with a decidable logical theory;
+//! here, as in the paper's running development, the theory of **rational
+//! order with constants**: atoms are `x ⋈ c` and `x ⋈ y` for
+//! `⋈ ∈ {<, ≤, =, ≥, >}` over the rationals.
+//!
+//! * A [`GeneralizedTuple`] of arity `k` is a conjunction of such atoms — a
+//!   finite representation of a possibly infinite set of `k`-tuples.
+//! * A [`GeneralizedRelation`] is a finite set of generalized tuples (a
+//!   quantifier-free DNF formula).
+//! * A [`GeneralizedIndex`] is the paper's *generalized one-dimensional
+//!   index*: each tuple's projection onto the indexed variable — always one
+//!   interval for order constraints, so this CQL is *convex* — becomes a
+//!   generalized key in the interval manager of `ccix-interval`, and
+//!   one-attribute range search returns a refined generalized relation by
+//!   conjoining the query constraint to exactly the intersecting tuples.
+//!
+//! ```
+//! use ccix_constraint::{Atom, GeneralizedIndex, GeneralizedRelation, GeneralizedTuple, Rat};
+//! use ccix_extmem::{Geometry, IoCounter};
+//!
+//! // R'(z, x, y): (x, y) is a point of rectangle z (Example 2.1); index on x.
+//! let mut rel = GeneralizedRelation::new(3);
+//! let mut rect = GeneralizedTuple::new(3);
+//! rect.and(Atom::var_eq_const(0, Rat::from(7)));      // z = 7
+//! rect.and(Atom::var_ge_const(1, Rat::from(1)));      // 1 ≤ x
+//! rect.and(Atom::var_le_const(1, Rat::from(4)));      // x ≤ 4
+//! rect.and(Atom::var_ge_const(2, Rat::from(2)));      // 2 ≤ y
+//! rect.and(Atom::var_le_const(2, Rat::from(5)));      // y ≤ 5
+//! rel.add(rect);
+//!
+//! let idx = GeneralizedIndex::build(&rel, 1, Geometry::new(8), IoCounter::new()).unwrap();
+//! let hits = idx.range_search(Rat::from(3), Rat::from(10));
+//! assert_eq!(hits.tuples().len(), 1); // the rectangle's x-span meets [3, 10]
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod atom;
+mod index;
+mod rational;
+mod relation;
+mod tuple;
+
+pub use atom::{Atom, Cmp, Operand};
+pub use index::{GeneralizedIndex, IndexError};
+pub use rational::Rat;
+pub use relation::GeneralizedRelation;
+pub use tuple::{Bound, GeneralizedTuple};

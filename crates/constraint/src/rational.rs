@@ -1,0 +1,143 @@
+//! Exact rationals — the CQL domain.
+//!
+//! The theory of rational order needs nothing but comparisons, so [`Rat`]
+//! provides a normalised `num/den` pair with exact ordering via 128-bit
+//! cross multiplication. Constants in realistic constraint databases are
+//! small; construction panics on zero denominators and normalisation keeps
+//! the representation canonical (`den > 0`, reduced).
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact rational number `num/den`, `den > 0`, fully reduced.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Rat {
+    num: i64,
+    den: i64,
+}
+
+fn gcd(a: i64, b: i64) -> i64 {
+    let (mut a, mut b) = (a.unsigned_abs(), b.unsigned_abs());
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a as i64
+}
+
+impl Rat {
+    /// Construct `num/den`.
+    ///
+    /// # Panics
+    /// Panics if `den == 0`.
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den != 0, "zero denominator");
+        let sign = if den < 0 { -1 } else { 1 };
+        let g = gcd(num, den).max(1);
+        Self {
+            num: sign * num / g,
+            den: sign * den / g,
+        }
+    }
+
+    /// Numerator (reduced; sign-carrying).
+    pub fn num(&self) -> i64 {
+        self.num
+    }
+
+    /// Denominator (reduced, positive).
+    pub fn den(&self) -> i64 {
+        self.den
+    }
+
+    /// Is the value an integer?
+    pub fn is_integer(&self) -> bool {
+        self.den == 1
+    }
+
+    /// Exact conversion to a scaled integer: `self * scale`, if integral.
+    pub fn scaled(&self, scale: i64) -> Option<i64> {
+        let prod = self.num as i128 * scale as i128;
+        if prod % self.den as i128 != 0 {
+            return None;
+        }
+        i64::try_from(prod / self.den as i128).ok()
+    }
+}
+
+impl From<i64> for Rat {
+    fn from(v: i64) -> Self {
+        Self { num: v, den: 1 }
+    }
+}
+
+impl Ord for Rat {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // den > 0 on both sides, so cross multiplication preserves order.
+        let lhs = self.num as i128 * other.den as i128;
+        let rhs = other.num as i128 * self.den as i128;
+        lhs.cmp(&rhs)
+    }
+}
+
+impl PartialOrd for Rat {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl fmt::Debug for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Display for Rat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalisation() {
+        assert_eq!(Rat::new(2, 4), Rat::new(1, 2));
+        assert_eq!(Rat::new(-2, -4), Rat::new(1, 2));
+        assert_eq!(Rat::new(2, -4), Rat::new(-1, 2));
+        assert_eq!(Rat::new(0, -7), Rat::from(0));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(Rat::new(1, 3) < Rat::new(1, 2));
+        assert!(Rat::new(-1, 2) < Rat::new(1, 3));
+        assert!(Rat::from(2) > Rat::new(5, 3));
+        assert_eq!(Rat::new(4, 6), Rat::new(2, 3));
+    }
+
+    #[test]
+    fn large_values_do_not_overflow_comparison() {
+        let a = Rat::new(i64::MAX, 3);
+        let b = Rat::new(i64::MAX - 1, 3);
+        assert!(a > b);
+    }
+
+    #[test]
+    fn scaled_conversion() {
+        assert_eq!(Rat::new(1, 2).scaled(4), Some(2));
+        assert_eq!(Rat::new(1, 3).scaled(4), None);
+        assert_eq!(Rat::from(5).scaled(2), Some(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_rejected() {
+        let _ = Rat::new(1, 0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Generalized relations: finite sets of generalized tuples (DNF).
+
+use crate::{GeneralizedTuple, Rat};
+
+/// A generalized relation of fixed arity — a disjunction of conjunctions,
+/// denoting a possibly infinite set of ground tuples.
+#[derive(Clone, Debug, Default)]
+pub struct GeneralizedRelation {
+    arity: usize,
+    tuples: Vec<GeneralizedTuple>,
+}
+
+impl GeneralizedRelation {
+    /// An empty relation of the given arity.
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            tuples: Vec::new(),
+        }
+    }
+
+    /// Number of variables per tuple.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The disjuncts.
+    pub fn tuples(&self) -> &[GeneralizedTuple] {
+        &self.tuples
+    }
+
+    /// Add a disjunct.
+    ///
+    /// # Panics
+    /// Panics on arity mismatch.
+    pub fn add(&mut self, t: GeneralizedTuple) -> usize {
+        assert_eq!(t.arity(), self.arity, "tuple arity mismatch");
+        self.tuples.push(t);
+        self.tuples.len() - 1
+    }
+
+    /// Ground membership: does the point satisfy any disjunct?
+    pub fn contains(&self, assignment: &[Rat]) -> bool {
+        self.tuples.iter().any(|t| t.satisfies(assignment))
+    }
+
+    /// Number of disjuncts.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True when no disjuncts are present (denotes the empty set).
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Atom;
+
+    #[test]
+    fn union_semantics() {
+        let mut r = GeneralizedRelation::new(1);
+        let mut a = GeneralizedTuple::new(1);
+        a.and(Atom::var_le_const(0, Rat::from(0)));
+        let mut b = GeneralizedTuple::new(1);
+        b.and(Atom::var_ge_const(0, Rat::from(10)));
+        r.add(a);
+        r.add(b);
+        assert!(r.contains(&[Rat::from(-5)]));
+        assert!(r.contains(&[Rat::from(10)]));
+        assert!(!r.contains(&[Rat::from(5)]));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn arity_checked() {
+        let mut r = GeneralizedRelation::new(2);
+        r.add(GeneralizedTuple::new(3));
+    }
+}

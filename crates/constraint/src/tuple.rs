@@ -1,0 +1,353 @@
+//! Generalized tuples: conjunctions of order atoms, with a decision
+//! procedure for satisfiability and projection.
+//!
+//! For the theory of dense linear order, a conjunction is satisfiable iff
+//! the order graph over its variables admits no cycle through a strict
+//! edge and no variable's derived lower bound exceeds its upper bound. The
+//! same closure yields each variable's **projection**, which is always a
+//! single (possibly unbounded, possibly open) interval — this is why the
+//! paper's "convex CQL" assumption holds for free in this theory.
+
+use crate::atom::{Atom, Cmp, Operand};
+use crate::Rat;
+
+/// One end of a projection interval.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Bound {
+    /// No constraint on this side.
+    Unbounded,
+    /// Inclusive endpoint.
+    Closed(Rat),
+    /// Exclusive endpoint.
+    Open(Rat),
+}
+
+impl Bound {
+    /// The endpoint value, if finite.
+    pub fn value(&self) -> Option<Rat> {
+        match self {
+            Bound::Unbounded => None,
+            Bound::Closed(v) | Bound::Open(v) => Some(*v),
+        }
+    }
+}
+
+/// A conjunction of atoms over `arity` variables — a finite representation
+/// of a possibly infinite set of `arity`-tuples of rationals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GeneralizedTuple {
+    arity: usize,
+    atoms: Vec<Atom>,
+}
+
+/// Derived bounds for one variable: `(value, strict)` on each side.
+#[derive(Clone, Copy, Debug, Default)]
+struct VarBounds {
+    lo: Option<(Rat, bool)>,
+    hi: Option<(Rat, bool)>,
+}
+
+impl GeneralizedTuple {
+    /// An unconstrained tuple of the given arity (denotes all of `Q^arity`).
+    pub fn new(arity: usize) -> Self {
+        Self {
+            arity,
+            atoms: Vec::new(),
+        }
+    }
+
+    /// Number of variables.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The conjunction's atoms.
+    pub fn atoms(&self) -> &[Atom] {
+        &self.atoms
+    }
+
+    /// Conjoin an atom.
+    ///
+    /// # Panics
+    /// Panics if the atom mentions a variable outside the arity.
+    pub fn and(&mut self, atom: Atom) -> &mut Self {
+        assert!(
+            atom.max_var() < self.arity,
+            "atom mentions variable {} but arity is {}",
+            atom.max_var(),
+            self.arity
+        );
+        self.atoms.push(atom);
+        self
+    }
+
+    /// Does the ground tuple satisfy the conjunction?
+    pub fn satisfies(&self, assignment: &[Rat]) -> bool {
+        assert_eq!(assignment.len(), self.arity, "assignment arity mismatch");
+        self.atoms.iter().all(|a| a.eval(assignment))
+    }
+
+    /// Decide satisfiability over the rationals.
+    pub fn is_satisfiable(&self) -> bool {
+        self.solve().is_some()
+    }
+
+    /// The projection onto variable `v`: the exact interval of values `x_v`
+    /// takes over all solutions, or `None` if the tuple is unsatisfiable.
+    ///
+    /// Always a single interval (order constraints describe convex sets in
+    /// each coordinate), which is what makes the generalized
+    /// one-dimensional index of §2.1 possible.
+    pub fn project(&self, v: usize) -> Option<(Bound, Bound)> {
+        assert!(v < self.arity, "projection variable out of range");
+        let bounds = self.solve()?;
+        let lo = match bounds[v].lo {
+            None => Bound::Unbounded,
+            Some((r, false)) => Bound::Closed(r),
+            Some((r, true)) => Bound::Open(r),
+        };
+        let hi = match bounds[v].hi {
+            None => Bound::Unbounded,
+            Some((r, false)) => Bound::Closed(r),
+            Some((r, true)) => Bound::Open(r),
+        };
+        Some((lo, hi))
+    }
+
+    /// Order closure + bound propagation. Returns per-variable bounds, or
+    /// `None` when unsatisfiable.
+    fn solve(&self) -> Option<Vec<VarBounds>> {
+        let k = self.arity;
+        // le[i][j]: x_i ≤ x_j provable; lt[i][j]: x_i < x_j provable.
+        let mut le = vec![false; k * k];
+        let mut lt = vec![false; k * k];
+        let mut bounds: Vec<VarBounds> = vec![VarBounds::default(); k];
+
+        let tighten_lo = |b: &mut VarBounds, v: Rat, strict: bool| {
+            b.lo = Some(match b.lo {
+                None => (v, strict),
+                Some((old, os)) => match v.cmp(&old) {
+                    std::cmp::Ordering::Greater => (v, strict),
+                    std::cmp::Ordering::Equal => (old, os || strict),
+                    std::cmp::Ordering::Less => (old, os),
+                },
+            });
+        };
+        let tighten_hi = |b: &mut VarBounds, v: Rat, strict: bool| {
+            b.hi = Some(match b.hi {
+                None => (v, strict),
+                Some((old, os)) => match v.cmp(&old) {
+                    std::cmp::Ordering::Less => (v, strict),
+                    std::cmp::Ordering::Equal => (old, os || strict),
+                    std::cmp::Ordering::Greater => (old, os),
+                },
+            });
+        };
+
+        for a in &self.atoms {
+            match a.rhs {
+                Operand::Const(c) => {
+                    let b = &mut bounds[a.lhs];
+                    match a.cmp {
+                        Cmp::Lt => tighten_hi(b, c, true),
+                        Cmp::Le => tighten_hi(b, c, false),
+                        Cmp::Eq => {
+                            tighten_lo(b, c, false);
+                            tighten_hi(b, c, false);
+                        }
+                        Cmp::Ge => tighten_lo(b, c, false),
+                        Cmp::Gt => tighten_lo(b, c, true),
+                    }
+                }
+                Operand::Var(v) => {
+                    let (i, j) = (a.lhs, v);
+                    match a.cmp {
+                        Cmp::Lt => lt[i * k + j] = true,
+                        Cmp::Le => le[i * k + j] = true,
+                        Cmp::Eq => {
+                            le[i * k + j] = true;
+                            le[j * k + i] = true;
+                        }
+                        Cmp::Ge => le[j * k + i] = true,
+                        Cmp::Gt => lt[j * k + i] = true,
+                    }
+                }
+            }
+        }
+
+        // Floyd–Warshall closure over the two-level order lattice.
+        for m in 0..k {
+            for i in 0..k {
+                for j in 0..k {
+                    let through_lt = (lt[i * k + m] && (le[m * k + j] || lt[m * k + j]))
+                        || (le[i * k + m] && lt[m * k + j]);
+                    let through_le = le[i * k + m] && le[m * k + j];
+                    if through_lt {
+                        lt[i * k + j] = true;
+                    }
+                    if through_le {
+                        le[i * k + j] = true;
+                    }
+                }
+            }
+        }
+        for i in 0..k {
+            if lt[i * k + i] {
+                return None; // strict cycle: x_i < x_i
+            }
+        }
+
+        // Push constant bounds along the closed order relation (one pass
+        // over the closure suffices since the closure is transitive).
+        let snapshot = bounds.clone();
+        for i in 0..k {
+            for j in 0..k {
+                if i == j || !(le[i * k + j] || lt[i * k + j]) {
+                    continue;
+                }
+                let strict_edge = lt[i * k + j];
+                // x_i ≤ (<) x_j: j inherits i's lower bound, i inherits j's
+                // upper bound.
+                if let Some((v, s)) = snapshot[i].lo {
+                    tighten_lo(&mut bounds[j], v, s || strict_edge);
+                }
+                if let Some((v, s)) = snapshot[j].hi {
+                    tighten_hi(&mut bounds[i], v, s || strict_edge);
+                }
+            }
+        }
+
+        // Per-variable emptiness.
+        for b in &bounds {
+            if let (Some((lo, ls)), Some((hi, hs))) = (b.lo, b.hi) {
+                if lo > hi || (lo == hi && (ls || hs)) {
+                    return None;
+                }
+            }
+        }
+        Some(bounds)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(v: i64) -> Rat {
+        Rat::from(v)
+    }
+
+    #[test]
+    fn unconstrained_tuple_is_satisfiable_and_unbounded() {
+        let t = GeneralizedTuple::new(2);
+        assert!(t.is_satisfiable());
+        assert_eq!(t.project(0), Some((Bound::Unbounded, Bound::Unbounded)));
+    }
+
+    #[test]
+    fn simple_box() {
+        let mut t = GeneralizedTuple::new(2);
+        t.and(Atom::var_ge_const(0, q(1)));
+        t.and(Atom::var_le_const(0, q(4)));
+        t.and(Atom::var_gt_const(1, q(0)));
+        assert_eq!(
+            t.project(0),
+            Some((Bound::Closed(q(1)), Bound::Closed(q(4))))
+        );
+        assert_eq!(t.project(1), Some((Bound::Open(q(0)), Bound::Unbounded)));
+        assert!(t.satisfies(&[q(2), q(5)]));
+        assert!(!t.satisfies(&[q(5), q(5)]));
+        assert!(!t.satisfies(&[q(2), q(0)]));
+    }
+
+    #[test]
+    fn equality_pins_a_point() {
+        let mut t = GeneralizedTuple::new(1);
+        t.and(Atom::var_eq_const(0, Rat::new(7, 2)));
+        assert_eq!(
+            t.project(0),
+            Some((Bound::Closed(Rat::new(7, 2)), Bound::Closed(Rat::new(7, 2))))
+        );
+    }
+
+    #[test]
+    fn contradictory_constants_unsat() {
+        let mut t = GeneralizedTuple::new(1);
+        t.and(Atom::var_ge_const(0, q(5)));
+        t.and(Atom::var_lt_const(0, q(5)));
+        assert!(!t.is_satisfiable());
+        assert_eq!(t.project(0), None);
+    }
+
+    #[test]
+    fn bounds_propagate_through_variable_order() {
+        // x ≤ y, y ≤ 3, x ≥ 0  ⇒  x ∈ [0, 3].
+        let mut t = GeneralizedTuple::new(2);
+        t.and(Atom::var_cmp_var(0, Cmp::Le, 1));
+        t.and(Atom::var_le_const(1, q(3)));
+        t.and(Atom::var_ge_const(0, q(0)));
+        assert_eq!(
+            t.project(0),
+            Some((Bound::Closed(q(0)), Bound::Closed(q(3))))
+        );
+        // y inherits x's lower bound.
+        assert_eq!(
+            t.project(1),
+            Some((Bound::Closed(q(0)), Bound::Closed(q(3))))
+        );
+    }
+
+    #[test]
+    fn strict_propagation_via_chain() {
+        // x < y, y < z, z ≤ 10 ⇒ x < 10 (strict).
+        let mut t = GeneralizedTuple::new(3);
+        t.and(Atom::var_cmp_var(0, Cmp::Lt, 1));
+        t.and(Atom::var_cmp_var(1, Cmp::Lt, 2));
+        t.and(Atom::var_le_const(2, q(10)));
+        assert_eq!(t.project(0), Some((Bound::Unbounded, Bound::Open(q(10)))));
+    }
+
+    #[test]
+    fn strict_cycle_unsat() {
+        let mut t = GeneralizedTuple::new(2);
+        t.and(Atom::var_cmp_var(0, Cmp::Lt, 1));
+        t.and(Atom::var_cmp_var(1, Cmp::Lt, 0));
+        assert!(!t.is_satisfiable());
+    }
+
+    #[test]
+    fn nonstrict_cycle_is_equality() {
+        // x ≤ y ∧ y ≤ x ∧ y = 2 ⇒ x = 2.
+        let mut t = GeneralizedTuple::new(2);
+        t.and(Atom::var_cmp_var(0, Cmp::Le, 1));
+        t.and(Atom::var_cmp_var(1, Cmp::Le, 0));
+        t.and(Atom::var_eq_const(1, q(2)));
+        assert_eq!(
+            t.project(0),
+            Some((Bound::Closed(q(2)), Bound::Closed(q(2))))
+        );
+    }
+
+    #[test]
+    fn forced_empty_between_vars() {
+        // x ≥ 5, y ≤ 3, x ≤ y: unsat.
+        let mut t = GeneralizedTuple::new(2);
+        t.and(Atom::var_ge_const(0, q(5)));
+        t.and(Atom::var_le_const(1, q(3)));
+        t.and(Atom::var_cmp_var(0, Cmp::Le, 1));
+        assert!(!t.is_satisfiable());
+    }
+
+    #[test]
+    fn paper_example_diagonal_strip() {
+        // R(x, y) with x = y ∧ x < 2 — the intro's generalized tuple.
+        let mut t = GeneralizedTuple::new(2);
+        t.and(Atom::var_cmp_var(0, Cmp::Eq, 1));
+        t.and(Atom::var_lt_const(0, q(2)));
+        assert!(t.is_satisfiable());
+        assert_eq!(t.project(1), Some((Bound::Unbounded, Bound::Open(q(2)))));
+        assert!(t.satisfies(&[q(1), q(1)]));
+        assert!(!t.satisfies(&[q(1), q(0)]));
+        assert!(!t.satisfies(&[q(2), q(2)]));
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for the order-constraint decision procedure: the solver's
+//! satisfiability and projection answers must agree with brute-force
+//! evaluation over a dense grid of candidate assignments.
+
+use ccix_constraint::{Atom, Bound, Cmp, GeneralizedTuple, Rat};
+use proptest::prelude::*;
+
+/// Candidate values: integers and half-integers in a small window —
+/// dense enough to witness any satisfiable combination of constraints whose
+/// constants are drawn from the integers in the same window.
+fn grid() -> Vec<Rat> {
+    let mut v = Vec::new();
+    for n in -8..=8i64 {
+        v.push(Rat::from(n));
+        v.push(Rat::new(2 * n + 1, 2));
+    }
+    v.sort_unstable();
+    v
+}
+
+fn atom_strategy(arity: usize) -> impl Strategy<Value = Atom> {
+    let cmp = prop_oneof![
+        Just(Cmp::Lt),
+        Just(Cmp::Le),
+        Just(Cmp::Eq),
+        Just(Cmp::Ge),
+        Just(Cmp::Gt),
+    ];
+    prop_oneof![
+        (0..arity, cmp.clone(), -6..6i64)
+            .prop_map(|(v, c, k)| Atom::var_cmp_const(v, c, Rat::from(k))),
+        (0..arity, cmp, 0..arity).prop_map(|(u, c, v)| Atom::var_cmp_var(u, c, v)),
+    ]
+}
+
+/// Brute-force satisfiability over the grid (complete for ≤ 2 variables,
+/// since only order matters and the grid is dense in the constant window).
+fn brute_sat(t: &GeneralizedTuple) -> bool {
+    let g = grid();
+    match t.arity() {
+        1 => g.iter().any(|&a| t.satisfies(&[a])),
+        2 => g
+            .iter()
+            .any(|&a| g.iter().any(|&b| t.satisfies(&[a, b]))),
+        _ => unreachable!("tests use arity ≤ 2"),
+    }
+}
+
+/// Brute-force projection extrema of variable `v` over the grid.
+fn brute_project(t: &GeneralizedTuple, v: usize) -> Option<(Rat, Rat)> {
+    let g = grid();
+    let mut lo = None;
+    let mut hi = None;
+    let ok = |val: Rat, t: &GeneralizedTuple| -> bool {
+        match t.arity() {
+            1 => t.satisfies(&[val]),
+            2 => g.iter().any(|&other| {
+                let mut asg = [val, val];
+                asg[1 - v] = other;
+                t.satisfies(&asg)
+            }),
+            _ => unreachable!(),
+        }
+    };
+    for &cand in &g {
+        if ok(cand, t) {
+            if lo.is_none() {
+                lo = Some(cand);
+            }
+            hi = Some(cand);
+        }
+    }
+    lo.zip(hi)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn solver_agrees_with_brute_force_sat(
+        atoms in proptest::collection::vec(atom_strategy(2), 0..6)
+    ) {
+        let mut t = GeneralizedTuple::new(2);
+        for a in atoms {
+            t.and(a);
+        }
+        let solver = t.is_satisfiable();
+        let brute = brute_sat(&t);
+        // The grid is dense within the constant window, so brute-force SAT
+        // implies solver SAT, and solver UNSAT implies brute-force UNSAT.
+        // (A satisfiable tuple always has a witness on the grid because
+        // constants lie in [-6, 6] and the domain is dense.)
+        prop_assert_eq!(solver, brute, "atoms: {:?}", t.atoms());
+    }
+
+    #[test]
+    fn projection_contains_all_witnesses(
+        atoms in proptest::collection::vec(atom_strategy(2), 0..6),
+        v in 0usize..2,
+    ) {
+        let mut t = GeneralizedTuple::new(2);
+        for a in atoms {
+            t.and(a);
+        }
+        match (t.project(v), brute_project(&t, v)) {
+            (None, w) => prop_assert!(w.is_none(), "solver UNSAT but witnesses exist"),
+            (Some((lo, hi)), Some((wlo, whi))) => {
+                // Every witnessed value lies inside the projected interval.
+                match lo {
+                    Bound::Unbounded => {}
+                    Bound::Closed(b) => prop_assert!(wlo >= b),
+                    Bound::Open(b) => prop_assert!(wlo > b),
+                }
+                match hi {
+                    Bound::Unbounded => {}
+                    Bound::Closed(b) => prop_assert!(whi <= b),
+                    Bound::Open(b) => prop_assert!(whi < b),
+                }
+            }
+            (Some(_), None) => {
+                // Solver SAT but no grid witness would contradict density.
+                prop_assert!(false, "projection nonempty but no grid witness");
+            }
+        }
+    }
+
+    #[test]
+    fn ground_evaluation_is_consistent_with_projection(
+        atoms in proptest::collection::vec(atom_strategy(1), 0..5),
+        probe in -8..8i64,
+    ) {
+        let mut t = GeneralizedTuple::new(1);
+        for a in atoms {
+            t.and(a);
+        }
+        let val = Rat::from(probe);
+        if t.satisfies(&[val]) {
+            let (lo, hi) = t.project(0).expect("satisfied implies satisfiable");
+            match lo {
+                Bound::Unbounded => {}
+                Bound::Closed(b) => prop_assert!(val >= b),
+                Bound::Open(b) => prop_assert!(val > b),
+            }
+            match hi {
+                Bound::Unbounded => {}
+                Bound::Closed(b) => prop_assert!(val <= b),
+                Bound::Open(b) => prop_assert!(val < b),
+            }
+        }
+    }
+}

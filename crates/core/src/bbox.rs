@@ -1,0 +1,128 @@
+//! Bounding boxes over `(coordinate, id)` keys.
+//!
+//! The metablock tree classifies metablocks against a query (the four types
+//! of Fig. 16) using bounding boxes cached in their parent's control
+//! information, so classification costs no extra I/O. Boxes are kept over
+//! the strict lexicographic keys so that coordinate ties never make a
+//! classification ambiguous.
+
+use ccix_extmem::Point;
+
+/// Key type: `(coordinate, id)`.
+pub type Key = (i64, u64);
+
+/// A closed bounding box over x and y keys of a nonempty point set.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BBox {
+    /// Smallest `(x, id)`.
+    pub xlo: Key,
+    /// Largest `(x, id)`.
+    pub xhi: Key,
+    /// Smallest `(y, id)`.
+    pub ylo: Key,
+    /// Largest `(y, id)`.
+    pub yhi: Key,
+}
+
+impl BBox {
+    /// Box of a single point.
+    pub fn of_point(p: Point) -> Self {
+        Self {
+            xlo: p.xkey(),
+            xhi: p.xkey(),
+            ylo: p.ykey(),
+            yhi: p.ykey(),
+        }
+    }
+
+    /// Box of a nonempty set; `None` for an empty one.
+    pub fn of_points(points: &[Point]) -> Option<Self> {
+        let mut it = points.iter();
+        let first = BBox::of_point(*it.next()?);
+        Some(it.fold(first, |acc, p| acc.extended(*p)))
+    }
+
+    /// The smallest box containing `self` and `p`.
+    pub fn extended(mut self, p: Point) -> Self {
+        self.xlo = self.xlo.min(p.xkey());
+        self.xhi = self.xhi.max(p.xkey());
+        self.ylo = self.ylo.min(p.ykey());
+        self.yhi = self.yhi.max(p.ykey());
+        self
+    }
+
+    /// Union with another box.
+    pub fn union(mut self, other: BBox) -> Self {
+        self.xlo = self.xlo.min(other.xlo);
+        self.xhi = self.xhi.max(other.xhi);
+        self.ylo = self.ylo.min(other.ylo);
+        self.yhi = self.yhi.max(other.yhi);
+        self
+    }
+
+    /// Does every point in the box satisfy `y ≥ q`?
+    #[inline]
+    pub fn all_y_at_least(&self, q: i64) -> bool {
+        self.ylo >= (q, 0)
+    }
+
+    /// Can some point in the box satisfy `y ≥ q`?
+    #[inline]
+    pub fn some_y_at_least(&self, q: i64) -> bool {
+        self.yhi >= (q, 0)
+    }
+
+    /// Does every point in the box satisfy `x ≤ q`?
+    #[inline]
+    pub fn all_x_at_most(&self, q: i64) -> bool {
+        self.xhi <= (q, u64::MAX)
+    }
+}
+
+/// Extend an optional box (empty-set-aware union with a point).
+pub fn extend_opt(b: Option<BBox>, p: Point) -> Option<BBox> {
+    Some(match b {
+        Some(b) => b.extended(p),
+        None => BBox::of_point(p),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn of_points_and_extend() {
+        let pts = vec![
+            Point::new(3, 9, 1),
+            Point::new(1, 4, 2),
+            Point::new(5, 7, 3),
+        ];
+        let b = BBox::of_points(&pts).unwrap();
+        assert_eq!(b.xlo, (1, 2));
+        assert_eq!(b.xhi, (5, 3));
+        assert_eq!(b.ylo, (4, 2));
+        assert_eq!(b.yhi, (9, 1));
+        assert_eq!(BBox::of_points(&[]), None);
+    }
+
+    #[test]
+    fn predicates() {
+        let b = BBox::of_points(&[Point::new(0, 5, 1), Point::new(2, 8, 2)]).unwrap();
+        assert!(b.all_y_at_least(5));
+        assert!(!b.all_y_at_least(6));
+        assert!(b.some_y_at_least(8));
+        assert!(!b.some_y_at_least(9));
+        assert!(b.all_x_at_most(2));
+        assert!(!b.all_x_at_most(1));
+    }
+
+    #[test]
+    fn union_covers_both() {
+        let a = BBox::of_point(Point::new(0, 1, 1));
+        let b = BBox::of_point(Point::new(9, 9, 2));
+        let u = a.union(b);
+        assert_eq!(u.xlo, (0, 1));
+        assert_eq!(u.yhi, (9, 2));
+    }
+}

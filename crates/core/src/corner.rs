@@ -1,0 +1,435 @@
+//! The corner structure of Lemma 3.1.
+//!
+//! A set `S` of at most `k·B²` points (all above the diagonal `y ≥ x`) is
+//! blocked so that any **diagonal-corner query** — report `{p ∈ S : p.x ≤ q ≤
+//! p.y}` — costs at most `2t/B + O(1)` I/Os, using `O(k·B)` blocks:
+//!
+//! 1. `S` is split into a vertically oriented blocking (x-sorted, `B` per
+//!    block); the right boundaries of the blocks form the candidate corner
+//!    set `C`.
+//! 2. A subset `C* ⊆ C` is chosen greedily from right to left; for each
+//!    `c ∈ C*` the full answer to the query cornered at `c` is stored
+//!    explicitly as a horizontally oriented blocking. The greedy rule
+//!    (`|Δ⁻| + |Δ⁺| > |S_i|`, Fig. 12) simplifies — see
+//!    [`CornerStructure::build`] — to *"adopt `cᵢ` when `|S*_j| > 2·|Ωᵢ|`"*,
+//!    which keeps the total explicit storage under `2|S|` by the paper's
+//!    charging argument.
+//! 3. A query at `q` finds the rightmost `c* ≤ q` in a one-block index, reads
+//!    the explicit answer for `c*` top-down until it falls below `q`
+//!    (stage 1, Fig. 13a), then reads vertical blocks to the right of `c*`
+//!    up to the block containing `q` (stage 2, Fig. 13b).
+
+use ccix_extmem::{PageId, Point, TypedStore};
+
+use crate::bbox::Key;
+
+/// An adopted corner `c* ∈ C*` with its explicitly blocked answer.
+#[derive(Clone, Debug)]
+struct CStar {
+    /// The boundary key of the corner (last x-key of vertical block `block`).
+    key: Key,
+    /// Index of the vertical block whose right boundary this corner is.
+    block: usize,
+    /// Explicit answer `{p : p.xkey ≤ key ∧ p.y ≥ key.0}`, y-descending,
+    /// `B` points per page.
+    pages: Vec<PageId>,
+}
+
+/// A Lemma 3.1 corner structure over one metablock's point set.
+///
+/// Pages live in the tree's shared point store; [`CornerStructure::free`]
+/// releases them during reorganisations.
+#[derive(Clone, Debug, Default)]
+pub struct CornerStructure {
+    vertical: Vec<PageId>,
+    /// Right-boundary key of each vertical block (the candidate set `C`).
+    boundaries: Vec<Key>,
+    cstars: Vec<CStar>,
+    n: usize,
+}
+
+impl CornerStructure {
+    /// Build over `points` (unsorted is fine; a copy is sorted internally).
+    ///
+    /// I/O cost: one write per emitted page (vertical blocking + explicit
+    /// sets). The greedy selection itself runs in memory — the set is at
+    /// most `2B²` points, within the paper's `O(B²)` main-memory assumption.
+    pub fn build(store: &mut TypedStore<Point>, points: &[Point]) -> Self {
+        let b = store.capacity();
+        let mut sorted = points.to_vec();
+        ccix_extmem::sort_by_x(&mut sorted);
+        let vertical = store.alloc_run(&sorted);
+        let boundaries: Vec<Key> = sorted
+            .chunks(b)
+            .map(|c| c.last().expect("chunks are nonempty").xkey())
+            .collect();
+        let m = vertical.len();
+        let mut structure = Self {
+            vertical,
+            boundaries,
+            cstars: Vec::new(),
+            n: sorted.len(),
+        };
+        if m < 2 {
+            return structure; // single block: stage 2 alone answers queries
+        }
+
+        // Candidate i is the right boundary of block i, for i = 0..m-1
+        // (the last block's boundary is not a candidate). Process right to
+        // left; the rightmost candidate is always adopted.
+        //
+        // Given the last adopted corner c*_j and a candidate c_i < c*_j
+        // (Fig. 12):
+        //   Ω_i  = |{p : p.xkey ≤ c_i ∧ p.y ≥ c*_j.x}|
+        //   S_i  = |{p : p.xkey ≤ c_i ∧ p.y ≥ c_i.x}|   (answer at c_i)
+        //   Δ⁻_i = S_i − Ω_i
+        //   Δ⁺_i = |S*_j| − Ω_i
+        // The adoption test |Δ⁻| + |Δ⁺| > |S_i| is therefore equivalent to
+        // |S*_j| > 2·Ω_i.
+        let mut fen = YFenwick::new(&sorted);
+        // Start with blocks 0..=m-2 in the counting structure (candidate
+        // m-2's prefix); shrink as the sweep moves left.
+        let mut prefix_len = sorted.len().min((m - 1) * b);
+        for p in &sorted[..prefix_len] {
+            fen.add(p.y, 1);
+        }
+
+        let mut adopted: Vec<(usize, Key)> = Vec::new();
+        let last_cand = m - 2;
+        adopted.push((last_cand, structure.boundaries[last_cand]));
+        let mut sj_x = structure.boundaries[last_cand].0;
+        let mut sj_size = fen.count_y_ge(sj_x);
+
+        for i in (0..last_cand).rev() {
+            // Shrink the prefix to blocks 0..=i.
+            let new_len = (i + 1) * b;
+            for p in &sorted[new_len..prefix_len] {
+                fen.add(p.y, -1);
+            }
+            prefix_len = new_len;
+
+            let ci = structure.boundaries[i];
+            let omega = fen.count_y_ge(sj_x);
+            if sj_size > 2 * omega {
+                let si = fen.count_y_ge(ci.0);
+                adopted.push((i, ci));
+                sj_x = ci.0;
+                sj_size = si;
+            }
+        }
+        adopted.reverse(); // ascending block order
+
+        // Explicitly block the answer for every adopted corner.
+        for (block, key) in adopted {
+            let prefix = &sorted[..(block + 1) * b];
+            let mut answer: Vec<Point> = prefix.iter().copied().filter(|p| p.y >= key.0).collect();
+            ccix_extmem::sort_by_y_desc(&mut answer);
+            let pages = store.alloc_run(&answer);
+            structure.cstars.push(CStar { key, block, pages });
+        }
+        structure
+    }
+
+    /// Number of points indexed.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True when the structure indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Pages occupied (vertical blocking + explicit sets).
+    pub fn pages(&self) -> usize {
+        self.vertical.len() + self.cstars.iter().map(|c| c.pages.len()).sum::<usize>()
+    }
+
+    /// Answer the diagonal-corner query at `q`, appending matches to `out`.
+    ///
+    /// Costs at most `2⌈t/B⌉ + 6` reads (Lemma 3.1 gives `2t/B + 4` in
+    /// ceiling-free arithmetic; two extra blocks come from rounding the two
+    /// stages separately): one index read, the stage-1 explicit scan, and
+    /// the stage-2 vertical scan.
+    pub fn query_into(&self, store: &TypedStore<Point>, q: i64, out: &mut Vec<Point>) {
+        if self.n == 0 {
+            return;
+        }
+        // The index block: boundaries of C and the C* directory fit in one
+        // page for k ≤ B (|C| = kB/B ≤ B entries); charge one read.
+        store.counter().add_reads(1);
+
+        let qkey: Key = (q, u64::MAX);
+        // Rightmost adopted corner at or left of q.
+        let floor = self.cstars.partition_point(|c| c.key <= qkey);
+        let (start_block, stage1) = match floor {
+            0 => (0, None),
+            i => {
+                let c = &self.cstars[i - 1];
+                (c.block + 1, Some(c))
+            }
+        };
+
+        // Stage 1: explicit answer of the floor corner, top-down until the
+        // query's bottom boundary. Every point there has x ≤ c* ≤ q.
+        if let Some(c) = stage1 {
+            'stage1: for &page in &c.pages {
+                for p in store.read(page) {
+                    if p.y < q {
+                        break 'stage1;
+                    }
+                    out.push(*p);
+                }
+            }
+        }
+
+        // Stage 2: vertical blocks strictly right of the floor corner, left
+        // to right, up to the block containing q.
+        for (i, &page) in self.vertical.iter().enumerate().skip(start_block) {
+            let mut crossed = false;
+            for p in store.read(page) {
+                if p.xkey() > qkey {
+                    crossed = true;
+                    break;
+                }
+                if p.y >= q {
+                    out.push(*p);
+                }
+            }
+            if crossed {
+                break;
+            }
+            // If this block's boundary already covers q we are done.
+            if self.boundaries[i] >= qkey {
+                break;
+            }
+        }
+    }
+
+    /// Read back every indexed point (one I/O per vertical block); used when
+    /// a TD structure is rebuilt with newly staged points.
+    pub fn collect_points(&self, store: &TypedStore<Point>) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.n);
+        for &pg in &self.vertical {
+            out.extend_from_slice(store.read(pg));
+        }
+        out
+    }
+
+    /// As [`CornerStructure::collect_points`], without charging I/Os
+    /// (validation only).
+    pub fn collect_points_unbilled(&self, store: &TypedStore<Point>) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.n);
+        for &pg in &self.vertical {
+            out.extend_from_slice(store.read_unbilled(pg));
+        }
+        out
+    }
+
+    /// Release every page owned by the structure.
+    pub fn free(self, store: &mut TypedStore<Point>) {
+        store.free_run(&self.vertical);
+        for c in self.cstars {
+            store.free_run(&c.pages);
+        }
+    }
+}
+
+/// A Fenwick tree counting points by `y` value, for the greedy selection.
+struct YFenwick {
+    /// Sorted distinct y values.
+    ys: Vec<i64>,
+    tree: Vec<i64>,
+}
+
+impl YFenwick {
+    fn new(points: &[Point]) -> Self {
+        let mut ys: Vec<i64> = points.iter().map(|p| p.y).collect();
+        ys.sort_unstable();
+        ys.dedup();
+        let len = ys.len();
+        Self {
+            ys,
+            tree: vec![0; len + 1],
+        }
+    }
+
+    fn rank(&self, y: i64) -> usize {
+        self.ys.partition_point(|&v| v < y)
+    }
+
+    fn add(&mut self, y: i64, delta: i64) {
+        let mut i = self.rank(y) + 1;
+        debug_assert!(i <= self.ys.len(), "unknown y value");
+        while i < self.tree.len() {
+            self.tree[i] += delta;
+            i += i & i.wrapping_neg();
+        }
+    }
+
+    /// Count of points currently present with `y ≥ bound`.
+    fn count_y_ge(&self, bound: i64) -> usize {
+        let upto = self.rank(bound); // points with y < bound
+        let mut i = upto;
+        let mut below = 0i64;
+        while i > 0 {
+            below += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        let mut total = 0i64;
+        let mut i = self.tree.len() - 1;
+        while i > 0 {
+            total += self.tree[i];
+            i -= i & i.wrapping_neg();
+        }
+        (total - below) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccix_extmem::{Geometry, IoCounter};
+    use ccix_pst::oracle;
+
+    fn above_diagonal_points(n: usize, seed: u64, range: i64) -> Vec<Point> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        (0..n)
+            .map(|i| {
+                let a = (next() % range as u64) as i64;
+                let b = (next() % range as u64) as i64;
+                Point::new(a.min(b), a.max(b), i as u64)
+            })
+            .collect()
+    }
+
+    fn build(b: usize, pts: &[Point]) -> (TypedStore<Point>, CornerStructure, IoCounter) {
+        let counter = IoCounter::new();
+        let mut store = TypedStore::new(b, counter.clone());
+        let cs = CornerStructure::build(&mut store, pts);
+        (store, cs, counter)
+    }
+
+    #[test]
+    fn empty_set() {
+        let (store, cs, _) = build(4, &[]);
+        let mut out = Vec::new();
+        cs.query_into(&store, 0, &mut out);
+        assert!(out.is_empty());
+        assert_eq!(cs.pages(), 0);
+    }
+
+    #[test]
+    fn single_block_set() {
+        let pts = vec![Point::new(0, 5, 1), Point::new(2, 3, 2), Point::new(4, 9, 3)];
+        let (store, cs, _) = build(4, &pts);
+        for q in -1..=10 {
+            let mut out = Vec::new();
+            cs.query_into(&store, q, &mut out);
+            oracle::assert_same_points(out, oracle::diagonal_corner(&pts, q), &format!("q={q}"));
+        }
+    }
+
+    #[test]
+    fn random_sets_match_oracle() {
+        for &(n, b) in &[(50usize, 4usize), (300, 4), (256, 16), (1000, 8), (2048, 16)] {
+            let pts = above_diagonal_points(n, 0xABC + n as u64, 200);
+            let (store, cs, _) = build(b, &pts);
+            for q in (-5..205).step_by(7) {
+                let mut out = Vec::new();
+                cs.query_into(&store, q, &mut out);
+                oracle::assert_same_points(
+                    out,
+                    oracle::diagonal_corner(&pts, q),
+                    &format!("n={n} b={b} q={q}"),
+                );
+            }
+        }
+    }
+
+    /// Lemma 3.1: queries cost at most `2⌈t/B⌉ + 6` I/Os (see query docs).
+    #[test]
+    fn io_bound_holds() {
+        for &(n, b) in &[(256usize, 16usize), (512, 16), (2048, 32), (900, 8)] {
+            let pts = above_diagonal_points(n, 0xFEED + n as u64, 1000);
+            let (store, cs, counter) = build(b, &pts);
+            let geo = Geometry::new(b);
+            for q in (-10..1010).step_by(13) {
+                let before = counter.snapshot();
+                let mut out = Vec::new();
+                cs.query_into(&store, q, &mut out);
+                let cost = counter.since(before);
+                let bound = 2 * geo.out_blocks(out.len()) + 6;
+                assert!(
+                    cost.reads <= bound as u64,
+                    "n={n} b={b} q={q}: {} reads > {bound} (t={})",
+                    cost.reads,
+                    out.len()
+                );
+            }
+        }
+    }
+
+    /// The staircase from Proposition 3.3 — each integer corner stabs the
+    /// two stairs `(q-1, q)` and `(q, q+1)`; queries must stay O(1) reads.
+    #[test]
+    fn staircase_queries_are_constant() {
+        let b = 8;
+        let n = 512;
+        let pts: Vec<Point> = (0..n).map(|i| Point::new(i, i + 1, i as u64)).collect();
+        let (store, cs, counter) = build(b, &pts);
+        for q in 1..n {
+            let before = counter.snapshot();
+            let mut out = Vec::new();
+            cs.query_into(&store, q, &mut out);
+            let cost = counter.since(before);
+            assert_eq!(out.len(), 2, "q={q}");
+            assert!(cost.reads <= 8, "q={q} reads={}", cost.reads);
+        }
+    }
+
+    /// Space stays within the paper's `O(kB)` bound: explicit sets total at
+    /// most 2|S| points, so pages ≤ 3·|S|/B + |C*|.
+    #[test]
+    fn space_bound_holds() {
+        for &(n, b) in &[(1024usize, 16usize), (4096, 32), (333, 4)] {
+            let pts = above_diagonal_points(n, 0x5EED + n as u64, (n / 2) as i64);
+            let (_, cs, _) = build(b, &pts);
+            let geo = Geometry::new(b);
+            let max_pages = 3 * geo.out_blocks(n) + cs.cstars.len() + 1;
+            assert!(
+                cs.pages() <= max_pages,
+                "n={n} b={b}: {} pages > {max_pages}",
+                cs.pages()
+            );
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates() {
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(3, 7, i)).collect();
+        let (store, cs, _) = build(4, &pts);
+        for q in [2, 3, 5, 7, 8] {
+            let mut out = Vec::new();
+            cs.query_into(&store, q, &mut out);
+            oracle::assert_same_points(out, oracle::diagonal_corner(&pts, q), &format!("q={q}"));
+        }
+    }
+
+    #[test]
+    fn free_releases_all_pages() {
+        let pts = above_diagonal_points(500, 1, 100);
+        let counter = IoCounter::new();
+        let mut store = TypedStore::new(8, counter);
+        let cs = CornerStructure::build(&mut store, &pts);
+        assert!(store.pages_in_use() > 0);
+        cs.free(&mut store);
+        assert_eq!(store.pages_in_use(), 0);
+    }
+}

@@ -1,0 +1,263 @@
+//! Static construction of the metablock tree (§3.1, Fig. 8).
+//!
+//! The root metablock takes the `B²` points with the largest `y`; the rest
+//! are divided by `x` into `B` slabs of near-equal size, one recursive tree
+//! each, until a slab fits in a single metablock. Alongside the recursive
+//! shape we build, per metablock: the vertical and horizontal blockings, the
+//! corner structure where the region can contain a query corner, and the
+//! `TS` snapshots of every non-first child.
+
+use ccix_extmem::{Geometry, IoCounter, Point};
+
+use super::{ChildEntry, MbId, MetaBlock, MetablockTree, TdInfo, TsInfo};
+use crate::bbox::{BBox, Key};
+use crate::corner::CornerStructure;
+
+/// The whole key space: the root's slab.
+pub(crate) const FULL_RANGE: (Key, Key) = ((i64::MIN, 0), (i64::MAX, u64::MAX));
+
+impl MetablockTree {
+    /// Build a tree over `points` with the paper's design (default options).
+    ///
+    /// # Panics
+    /// Panics if any point has `y < x` or ids repeat.
+    pub fn build(geo: Geometry, counter: IoCounter, points: Vec<Point>) -> Self {
+        Self::build_with(geo, counter, points, super::DiagOptions::default())
+    }
+
+    /// Build a tree over `points` with explicit ablation options.
+    ///
+    /// # Panics
+    /// Panics if any point has `y < x` or ids repeat.
+    pub fn build_with(
+        geo: Geometry,
+        counter: IoCounter,
+        mut points: Vec<Point>,
+        options: super::DiagOptions,
+    ) -> Self {
+        assert!(
+            points.iter().all(|p| p.y >= p.x),
+            "metablock tree requires points on or above the diagonal (y ≥ x)"
+        );
+        {
+            let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
+        }
+        let mut tree = Self::new_with(geo, counter, options);
+        tree.len = points.len();
+        if points.is_empty() {
+            return tree;
+        }
+        ccix_extmem::sort_by_x(&mut points);
+        let (root, _, _) = tree.build_slab(points, FULL_RANGE.0, FULL_RANGE.1);
+        tree.root = Some(root);
+        tree
+    }
+
+    /// Rebuild the subtree for an x-sorted point vector responsible for the
+    /// slab `[lo, hi)`. Returns the new subtree root, the root's main
+    /// points, and the largest `(y, id)` among points *below* the root
+    /// metablock (for the parent's `sub_yhi` cache).
+    ///
+    /// Also used by the dynamic side for branching-factor splits.
+    pub(crate) fn build_slab(
+        &mut self,
+        mut pts: Vec<Point>,
+        lo: Key,
+        hi: Key,
+    ) -> (MbId, Vec<Point>, Option<Key>) {
+        debug_assert!(pts.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
+        let cap = self.cap();
+        if pts.len() <= cap {
+            let mains = pts;
+            let id = self.make_metablock(&mains, Vec::new(), false);
+            return (id, mains, None);
+        }
+
+        // Select the B² largest-(y, id) points as the root's mains,
+        // preserving x order in the remainder.
+        let mut ys: Vec<Key> = pts.iter().map(Point::ykey).collect();
+        ys.sort_unstable_by(|a, b| b.cmp(a));
+        let threshold = ys[cap - 1];
+        let mut mains = Vec::with_capacity(cap);
+        pts.retain(|p| {
+            if p.ykey() >= threshold {
+                mains.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert_eq!(mains.len(), cap);
+        let rest_yhi = pts.iter().map(Point::ykey).max();
+
+        // Divide the remainder into at most B near-equal contiguous slabs.
+        // The paper divides the remainder into B groups; when n ≪ B³ that
+        // over-fragments the leaves (tiny leaves under B-ary fanout), so we
+        // split into just enough near-B²-sized groups, still at most B of
+        // them — every invariant and bound is preserved, leaves stay packed.
+        let target = pts.len().div_ceil(cap).clamp(2, self.geo.b);
+        let groups = near_equal_groups(pts, target);
+
+        // Recurse, collecting child mains for the TS snapshots.
+        let mut entries: Vec<ChildEntry> = Vec::with_capacity(groups.len());
+        let mut child_mains: Vec<Vec<Point>> = Vec::with_capacity(groups.len());
+        let mut first_keys: Vec<Key> = groups
+            .iter()
+            .map(|g| g.first().expect("nonempty group").xkey())
+            .collect();
+        first_keys[0] = lo;
+        for (i, group) in groups.into_iter().enumerate() {
+            let slab_lo = first_keys[i];
+            let slab_hi = first_keys.get(i + 1).copied().unwrap_or(hi);
+            let (child, cmains, sub_yhi) = self.build_slab(group, slab_lo, slab_hi);
+            entries.push(ChildEntry {
+                mb: child,
+                slab_lo,
+                slab_hi,
+                main_bbox: BBox::of_points(&cmains),
+                upd_ymax: None,
+                sub_yhi,
+            });
+            child_mains.push(cmains);
+        }
+
+        let id = self.make_metablock(&mains, entries, true);
+        self.install_ts_snapshots(id, &child_mains);
+        (id, mains, rest_yhi)
+    }
+
+    /// Allocate a metablock with its blockings and (if warranted) corner
+    /// structure. `internal` decides whether a TD slot is created.
+    pub(crate) fn make_metablock(
+        &mut self,
+        mains: &[Point],
+        children: Vec<ChildEntry>,
+        internal: bool,
+    ) -> MbId {
+        debug_assert!(internal != children.is_empty() || mains.is_empty());
+        let meta = self.build_organizations(mains, children, internal);
+        self.alloc_meta(meta)
+    }
+
+    /// Construct the per-metablock organisations for a main point set.
+    pub(crate) fn build_organizations(
+        &mut self,
+        mains: &[Point],
+        children: Vec<ChildEntry>,
+        internal: bool,
+    ) -> MetaBlock {
+        let mut by_x = mains.to_vec();
+        ccix_extmem::sort_by_x(&mut by_x);
+        let vertical = self.store.alloc_run(&by_x);
+        let mut by_y = mains.to_vec();
+        ccix_extmem::sort_by_y_desc(&mut by_y);
+        let horizontal = self.store.alloc_run(&by_y);
+        let main_bbox = BBox::of_points(mains);
+        let y_lo_main = mains.iter().map(Point::ykey).min();
+        let corner = match (main_bbox, y_lo_main) {
+            // A corner (q, q) can fall strictly inside the region only if
+            // some diagonal value lies between the lowest y and the highest
+            // x of the mains.
+            (Some(bb), Some(ylo))
+                if self.options.corner_structures
+                    && ylo.0 <= bb.xhi.0
+                    && mains.len() > self.geo.b =>
+            {
+                Some(CornerStructure::build(&mut self.store, mains))
+            }
+            _ => None,
+        };
+        MetaBlock {
+            vertical,
+            horizontal,
+            n_main: mains.len(),
+            y_lo_main,
+            main_bbox,
+            corner,
+            update: None,
+            n_upd: 0,
+            ts: None,
+            td: internal.then(TdInfo::default),
+            children,
+        }
+    }
+
+    /// Build and attach `TS` snapshots for every non-first child, from the
+    /// supplied per-child point snapshots (mains, or mains+updates during a
+    /// TS reorganisation).
+    pub(crate) fn install_ts_snapshots(&mut self, parent: MbId, snapshots: &[Vec<Point>]) {
+        let cap = self.cap();
+        let child_ids: Vec<MbId> = self.metas[parent]
+            .as_ref()
+            .expect("live parent")
+            .children
+            .iter()
+            .map(|c| c.mb)
+            .collect();
+        debug_assert_eq!(child_ids.len(), snapshots.len());
+        let mut acc: Vec<Point> = Vec::new();
+        for (i, &child) in child_ids.iter().enumerate() {
+            if i > 0 {
+                let mut top = acc.clone();
+                ccix_extmem::sort_by_y_desc(&mut top);
+                top.truncate(cap);
+                let pages = self.store.alloc_run(&top);
+                let mut meta = self.take_meta(child);
+                if let Some(old) = meta.ts.take() {
+                    self.store.free_run(&old.pages);
+                }
+                meta.ts = Some(TsInfo {
+                    pages,
+                    n: top.len(),
+                });
+                self.put_meta(child, meta);
+            }
+            acc.extend_from_slice(&snapshots[i]);
+        }
+    }
+}
+
+/// Split an x-sorted vector into at most `b` nonempty contiguous groups of
+/// near-equal size.
+pub(crate) fn near_equal_groups(pts: Vec<Point>, b: usize) -> Vec<Vec<Point>> {
+    let n = pts.len();
+    let groups = b.min(n).max(1);
+    let base = n / groups;
+    let extra = n % groups;
+    let mut out = Vec::with_capacity(groups);
+    let mut iter = pts.into_iter();
+    for g in 0..groups {
+        let size = base + usize::from(g < extra);
+        out.push(iter.by_ref().take(size).collect());
+    }
+    debug_assert!(iter.next().is_none());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_are_near_equal_and_cover() {
+        let pts: Vec<Point> = (0..103).map(|i| Point::new(i, i + 1, i as u64)).collect();
+        let groups = near_equal_groups(pts.clone(), 10);
+        assert_eq!(groups.len(), 10);
+        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
+        assert!(sizes.iter().all(|&s| s == 10 || s == 11));
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 103);
+        let flat: Vec<Point> = groups.into_iter().flatten().collect();
+        assert_eq!(flat, pts, "order preserved");
+    }
+
+    #[test]
+    fn fewer_points_than_groups() {
+        let pts: Vec<Point> = (0..3).map(|i| Point::new(i, i, i as u64)).collect();
+        let groups = near_equal_groups(pts, 10);
+        assert_eq!(groups.len(), 3);
+        assert!(groups.iter().all(|g| g.len() == 1));
+    }
+}

@@ -1,0 +1,449 @@
+//! Semi-dynamic insertion (§3.2, Fig. 19).
+//!
+//! A new point is routed down the slab containing its x, stopping at the
+//! first metablock whose mains it is not strictly below, and buffered in
+//! that metablock's **update block**; a copy goes into the parent's **TD**
+//! corner structure. Amortisation then proceeds exactly as in the paper:
+//!
+//! * update block full (`B` points) → **level-I reorganisation**: merge into
+//!   the mains and rebuild the vertical/horizontal/corner organisations
+//!   (`O(B)` I/Os, once per `B` inserts);
+//! * TD staging full (`B` points) → rebuild the TD corner structure;
+//! * TD reaches `B²` points → **TS reorganisation** of the children: rebuild
+//!   every child's TS snapshot from current contents and discard the TD;
+//! * metablock reaches `2B²` points → **level-II reorganisation**: an
+//!   internal metablock keeps its top `B²` points and trickles the bottom
+//!   `B²` into its children; a leaf splits in two;
+//! * a parent reaching `2B` children → **branching split**: the subtree is
+//!   rebuilt statically as two trees of half the leaves (at the root: the
+//!   whole tree is rebuilt), costs amortised over the inserts that grew it.
+
+use ccix_extmem::Point;
+
+use super::{ChildEntry, MbId, MetablockTree, TdInfo};
+use crate::bbox::BBox;
+use crate::corner::CornerStructure;
+
+impl MetablockTree {
+    /// Insert a point. Amortised `O(log_B n + (log_B n)²/B)` I/Os
+    /// (Theorem 3.7); individual inserts spike when reorganisations fire.
+    ///
+    /// # Panics
+    /// Panics if `p.y < p.x`. Ids must be unique across the tree's lifetime
+    /// (checked only by the unbilled validator, not on this hot path).
+    pub fn insert(&mut self, p: Point) {
+        assert!(p.y >= p.x, "points must lie on or above the diagonal");
+        self.len += 1;
+        match self.root {
+            None => {
+                let id = self.make_metablock(&[p], Vec::new(), false);
+                self.root = Some(id);
+            }
+            Some(root) => self.insert_routed(Vec::new(), root, p),
+        }
+    }
+
+    /// Route `p` downward from `start` (whose ancestors are `above`, root
+    /// first), buffer it, and run any triggered reorganisations.
+    fn insert_routed(&mut self, above: Vec<MbId>, start: MbId, p: Point) {
+        let mut path = above;
+        let fix_from = path.len();
+        let mut cur = start;
+        loop {
+            let meta = self.meta(cur);
+            let lands = meta.is_leaf() || meta.y_lo_main.is_none_or(|ylo| p.ykey() >= ylo);
+            if lands {
+                break;
+            }
+            let idx = meta.children.partition_point(|c| c.slab_hi <= p.xkey());
+            debug_assert!(
+                idx < meta.children.len() && meta.children[idx].slab_contains(p.xkey()),
+                "slab ranges must cover the key space"
+            );
+            let child = meta.children[idx].mb;
+            path.push(cur);
+            cur = child;
+        }
+        let target = cur;
+
+        // Refresh the caches the query relies on, along the newly descended
+        // part of the path (ancestors above `start` already cover `p`).
+        for i in fix_from..path.len() {
+            let a = path[i];
+            let on_path_child = path.get(i + 1).copied().unwrap_or(target);
+            let mut m = self.take_meta(a);
+            let e = m
+                .children
+                .iter_mut()
+                .find(|c| c.mb == on_path_child)
+                .expect("descent child present in parent");
+            if on_path_child == target {
+                e.upd_ymax = Some(e.upd_ymax.map_or(p.ykey(), |y| y.max(p.ykey())));
+            } else {
+                e.sub_yhi = Some(e.sub_yhi.map_or(p.ykey(), |y| y.max(p.ykey())));
+            }
+            self.put_meta(a, m);
+        }
+
+        // Buffer in the target's update block.
+        let mut m = self.take_meta(target);
+        match m.update {
+            Some(pg) => {
+                let mut pts = self.store.read(pg).to_vec();
+                pts.push(p);
+                self.store.write(pg, pts);
+            }
+            None => m.update = Some(self.store.alloc(vec![p])),
+        }
+        m.n_upd += 1;
+        let update_full = m.n_upd >= self.geo.b;
+        self.put_meta(target, m);
+
+        // Track the insert in the parent's TD structure.
+        if let Some(&parent) = path.last() {
+            self.td_add(parent, p);
+        }
+
+        if update_full && self.metas[target].is_some() {
+            let parent = path.last().copied();
+            let n_main = self.level_i(target, parent);
+            if n_main >= 2 * self.cap() {
+                self.level_ii(target, &path);
+            }
+        }
+    }
+
+    /// Record `p` in `parent`'s TD structure; rebuild it every `B` inserts
+    /// and trade it for a TS reorganisation at `B²` points.
+    fn td_add(&mut self, parent: MbId, p: Point) {
+        let mut m = self.take_meta(parent);
+        let td = m.td.as_mut().expect("internal metablock carries a TD");
+        match td.staged {
+            Some(pg) => {
+                let mut pts = self.store.read(pg).to_vec();
+                pts.push(p);
+                self.store.write(pg, pts);
+            }
+            None => td.staged = Some(self.store.alloc(vec![p])),
+        }
+        td.n_staged += 1;
+        let total = td.total();
+        let staged_full = td.n_staged >= self.geo.b;
+        self.put_meta(parent, m);
+
+        if total >= self.cap() {
+            self.ts_reorg(parent);
+        } else if staged_full {
+            self.td_rebuild(parent);
+        }
+    }
+
+    /// Fold the staged points into the TD corner structure (`O(B)` I/Os,
+    /// since the TD holds at most `B²` points).
+    fn td_rebuild(&mut self, parent: MbId) {
+        let mut m = self.take_meta(parent);
+        let td = m.td.as_mut().expect("TD present");
+        let mut pts = match td.corner.take() {
+            Some(c) => {
+                let v = c.collect_points(&self.store);
+                c.free(&mut self.store);
+                v
+            }
+            None => Vec::new(),
+        };
+        if let Some(pg) = td.staged.take() {
+            pts.extend_from_slice(self.store.read(pg));
+            self.store.free(pg);
+        }
+        td.n_staged = 0;
+        td.n_built = pts.len();
+        td.corner = Some(CornerStructure::build(&mut self.store, &pts));
+        self.put_meta(parent, m);
+    }
+
+    /// TS reorganisation at `parent`: rebuild every child's TS snapshot from
+    /// its current mains + updates and discard the TD. `O(B²)` I/Os, once
+    /// per `B²` inserts below `parent`.
+    pub(crate) fn ts_reorg(&mut self, parent: MbId) {
+        let child_ids: Vec<MbId> = self
+            .meta(parent)
+            .children
+            .iter()
+            .map(|c| c.mb)
+            .collect();
+        let snapshots: Vec<Vec<Point>> = child_ids
+            .iter()
+            .map(|&c| {
+                let cm = self.meta(c);
+                self.collect_points(cm)
+            })
+            .collect();
+        let mut m = self.take_meta(parent);
+        if let Some(td) = m.td.as_mut() {
+            if let Some(c) = td.corner.take() {
+                c.free(&mut self.store);
+            }
+            if let Some(pg) = td.staged.take() {
+                self.store.free(pg);
+            }
+            *td = TdInfo::default();
+        }
+        self.put_meta(parent, m);
+        self.install_ts_snapshots(parent, &snapshots);
+    }
+
+    /// Level-I reorganisation: merge the update block into the mains and
+    /// rebuild all organisations. Returns the new main count.
+    fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
+        let mut m = self.take_meta(mb);
+        let pts = self.collect_points(&m);
+        self.rebuild_orgs(&mut m, &pts);
+        let n_main = m.n_main;
+        let new_bbox = m.main_bbox;
+        self.put_meta(mb, m);
+        if let Some(parent) = parent {
+            let mut pm = self.take_meta(parent);
+            if let Some(e) = pm.children.iter_mut().find(|c| c.mb == mb) {
+                e.main_bbox = new_bbox;
+                e.upd_ymax = None;
+            }
+            self.put_meta(parent, pm);
+        }
+        n_main
+    }
+
+    /// Replace a metablock's blockings (and corner structure) with ones
+    /// built over `pts`, clearing the update block. Children/TS/TD survive.
+    fn rebuild_orgs(&mut self, m: &mut super::MetaBlock, pts: &[Point]) {
+        self.store.free_run(&m.vertical);
+        self.store.free_run(&m.horizontal);
+        if let Some(c) = m.corner.take() {
+            c.free(&mut self.store);
+        }
+        if let Some(pg) = m.update.take() {
+            self.store.free(pg);
+        }
+        m.n_upd = 0;
+
+        let mut by_x = pts.to_vec();
+        ccix_extmem::sort_by_x(&mut by_x);
+        m.vertical = self.store.alloc_run(&by_x);
+        let mut by_y = pts.to_vec();
+        ccix_extmem::sort_by_y_desc(&mut by_y);
+        m.horizontal = self.store.alloc_run(&by_y);
+        m.n_main = pts.len();
+        m.main_bbox = BBox::of_points(pts);
+        m.y_lo_main = pts.iter().map(Point::ykey).min();
+        if let (Some(bb), Some(ylo)) = (m.main_bbox, m.y_lo_main) {
+            if self.options.corner_structures && ylo.0 <= bb.xhi.0 && pts.len() > self.geo.b {
+                m.corner = Some(CornerStructure::build(&mut self.store, pts));
+            }
+        }
+    }
+
+    /// Level-II reorganisation of a metablock holding `≥ 2B²` points.
+    fn level_ii(&mut self, mb: MbId, path: &[MbId]) {
+        let is_leaf = self.meta(mb).is_leaf();
+        if is_leaf {
+            self.split_leaf(mb, path);
+        } else {
+            self.push_down(mb, path);
+        }
+    }
+
+    /// Internal level-II: keep the top `B²` points, trickle the bottom `B²`
+    /// into the children, and TS-reorganise this level.
+    fn push_down(&mut self, mb: MbId, path: &[MbId]) {
+        let mut m = self.take_meta(mb);
+        debug_assert_eq!(m.n_upd, 0, "level-II runs after level-I");
+        let mut pts = self.read_run(&m.horizontal);
+        ccix_extmem::sort_by_y_desc(&mut pts);
+        let bottom = pts.split_off(self.cap());
+        let top = pts;
+        self.rebuild_orgs(&mut m, &top);
+        let new_bbox = m.main_bbox;
+        self.put_meta(mb, m);
+
+        // Fix the parent's caches before trickling (cascades may restructure
+        // this subtree), then refresh this level's TS snapshots.
+        let bottom_yhi = bottom.iter().map(Point::ykey).max();
+        if let Some(&parent) = path.last() {
+            let mut pm = self.take_meta(parent);
+            if let Some(e) = pm.children.iter_mut().find(|c| c.mb == mb) {
+                e.main_bbox = new_bbox;
+                e.sub_yhi = match (e.sub_yhi, bottom_yhi) {
+                    (a, None) => a,
+                    (None, b) => b,
+                    (Some(a), Some(b)) => Some(a.max(b)),
+                };
+            }
+            self.put_meta(parent, pm);
+            self.ts_reorg(parent);
+        }
+
+        // Trickle the bottom points down. If a cascading branching split
+        // rebuilt any metablock on the path away, fall back to routing from
+        // the root — the destination is identical, the path just re-descends.
+        for p in bottom {
+            let path_alive =
+                self.metas[mb].is_some() && path.iter().all(|&a| self.metas[a].is_some());
+            if path_alive {
+                self.insert_routed(path.to_vec(), mb, p);
+            } else {
+                let root = self.root.expect("tree is nonempty");
+                self.insert_routed(Vec::new(), root, p);
+            }
+        }
+    }
+
+    /// Leaf level-II: split into two leaves of `B²` points around the median
+    /// x, grow the parent's branching factor, and TS-reorganise the level.
+    fn split_leaf(&mut self, mb: MbId, path: &[MbId]) {
+        let meta = self.meta(mb);
+        debug_assert_eq!(meta.n_upd, 0, "level-II runs after level-I");
+        let mut pts = self.read_run(&meta.horizontal);
+        ccix_extmem::sort_by_x(&mut pts);
+
+        let Some(&parent) = path.last() else {
+            // The root itself is a full leaf: grow the tree by a static
+            // rebuild (it creates the new root + B children).
+            self.free_metablock(mb);
+            let (root, _, _) = self.build_slab(pts, super::build::FULL_RANGE.0, super::build::FULL_RANGE.1);
+            self.root = Some(root);
+            return;
+        };
+
+        let half = pts.len() / 2;
+        let right = pts.split_off(half);
+        let left = pts;
+        let median = right[0].xkey();
+        self.free_metablock(mb);
+        let left_bbox = BBox::of_points(&left);
+        let right_bbox = BBox::of_points(&right);
+        let left_id = self.make_metablock(&left, Vec::new(), false);
+        let right_id = self.make_metablock(&right, Vec::new(), false);
+
+        let mut pm = self.take_meta(parent);
+        let pos = pm
+            .children
+            .iter()
+            .position(|c| c.mb == mb)
+            .expect("split leaf present in parent");
+        let old = pm.children.remove(pos);
+        pm.children.insert(
+            pos,
+            ChildEntry {
+                mb: left_id,
+                slab_lo: old.slab_lo,
+                slab_hi: median,
+                main_bbox: left_bbox,
+                upd_ymax: None,
+                sub_yhi: None,
+            },
+        );
+        pm.children.insert(
+            pos + 1,
+            ChildEntry {
+                mb: right_id,
+                slab_lo: median,
+                slab_hi: old.slab_hi,
+                main_bbox: right_bbox,
+                upd_ymax: None,
+                sub_yhi: None,
+            },
+        );
+        let overflow = pm.children.len() >= 2 * self.geo.b;
+        self.put_meta(parent, pm);
+        self.ts_reorg(parent);
+        if overflow {
+            self.branching_split(parent, &path[..path.len() - 1]);
+        }
+    }
+
+    /// Branching-factor split: statically rebuild the subtree at `x` as two
+    /// trees of half the points each, replacing `x` in its parent. At the
+    /// root, rebuild the whole tree (this is how its height grows).
+    fn branching_split(&mut self, x: MbId, ancestors: &[MbId]) {
+        let mut pts = self.collect_subtree_points(x);
+        ccix_extmem::sort_by_x(&mut pts);
+        self.free_subtree(x);
+
+        let Some(&parent) = ancestors.last() else {
+            let (root, _, _) =
+                self.build_slab(pts, super::build::FULL_RANGE.0, super::build::FULL_RANGE.1);
+            self.root = Some(root);
+            return;
+        };
+
+        let half = pts.len() / 2;
+        let right = pts.split_off(half);
+        let left = pts;
+        let median = right[0].xkey();
+        let old = {
+            let pm = self.meta(parent);
+            pm.children
+                .iter()
+                .find(|c| c.mb == x)
+                .expect("split node present in parent")
+                .clone()
+        };
+        let (lid, lmains, lsub) = self.build_slab(left, old.slab_lo, median);
+        let (rid, rmains, rsub) = self.build_slab(right, median, old.slab_hi);
+
+        let mut pm = self.take_meta(parent);
+        let pos = pm
+            .children
+            .iter()
+            .position(|c| c.mb == x)
+            .expect("split node present in parent");
+        pm.children.remove(pos);
+        pm.children.insert(
+            pos,
+            ChildEntry {
+                mb: lid,
+                slab_lo: old.slab_lo,
+                slab_hi: median,
+                main_bbox: BBox::of_points(&lmains),
+                upd_ymax: None,
+                sub_yhi: lsub,
+            },
+        );
+        pm.children.insert(
+            pos + 1,
+            ChildEntry {
+                mb: rid,
+                slab_lo: median,
+                slab_hi: old.slab_hi,
+                main_bbox: BBox::of_points(&rmains),
+                upd_ymax: None,
+                sub_yhi: rsub,
+            },
+        );
+        let overflow = pm.children.len() >= 2 * self.geo.b;
+        self.put_meta(parent, pm);
+        self.ts_reorg(parent);
+        if overflow {
+            self.branching_split(parent, &ancestors[..ancestors.len() - 1]);
+        }
+    }
+
+    /// Every point in the subtree (mains + update blocks), with charged
+    /// reads. TS/TD/corner pages are copies and are deliberately skipped.
+    fn collect_subtree_points(&self, mb: MbId) -> Vec<Point> {
+        let meta = self.meta(mb);
+        let mut pts = self.collect_points(meta);
+        let children: Vec<MbId> = meta.children.iter().map(|c| c.mb).collect();
+        for c in children {
+            pts.extend(self.collect_subtree_points(c));
+        }
+        pts
+    }
+
+    /// Free a subtree's metablocks and every page they own.
+    fn free_subtree(&mut self, mb: MbId) {
+        let meta = self.free_metablock(mb);
+        for c in meta.children {
+            self.free_subtree(c.mb);
+        }
+    }
+}

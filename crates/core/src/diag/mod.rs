@@ -1,0 +1,305 @@
+//! The metablock tree (§3): shared state and control information.
+//!
+//! Submodules: [`build`] (static construction, §3.1), [`query`] (the
+//! diagonal-corner search of Theorem 3.2 / Fig. 15), [`insert`] (the
+//! semi-dynamic machinery of §3.2 / Fig. 19) and [`validate`] (unbilled
+//! invariant checking and shape statistics for tests and experiments).
+
+mod build;
+mod insert;
+mod query;
+mod validate;
+
+pub use validate::DiagStats;
+// DiagOptions is defined below and re-exported from the crate root.
+
+pub(crate) use build::{near_equal_groups, FULL_RANGE};
+
+use ccix_extmem::{Geometry, IoCounter, PageId, Point, TypedStore};
+
+use crate::bbox::{BBox, Key};
+use crate::corner::CornerStructure;
+
+/// Identifier of a metablock within one tree.
+pub(crate) type MbId = usize;
+
+/// A child slot in a metablock's control information (one entry of the
+/// "pointers to each of its B children, as well as the location of each
+/// child's bounding box", §3.1).
+///
+/// Everything a query needs to classify the child against the query region
+/// (Fig. 16) without touching the child is cached here: the slab of x-keys
+/// the child's subtree is responsible for, the bounding box of the child's
+/// main points, the top of its update block, and the top of everything
+/// strictly below the child.
+#[derive(Clone, Debug)]
+pub(crate) struct ChildEntry {
+    pub mb: MbId,
+    /// Inclusive lower slab boundary.
+    pub slab_lo: Key,
+    /// Exclusive upper slab boundary.
+    pub slab_hi: Key,
+    /// Bounding box of the child's main points (`None` iff it has none).
+    pub main_bbox: Option<BBox>,
+    /// Largest `(y, id)` among the child's update-block points.
+    pub upd_ymax: Option<Key>,
+    /// Largest `(y, id)` among points strictly below the child metablock.
+    /// The routing invariant keeps this below the child's `y_lo_main`.
+    pub sub_yhi: Option<Key>,
+}
+
+impl ChildEntry {
+    /// Does the child's slab contain the x-key `k`?
+    pub fn slab_contains(&self, k: Key) -> bool {
+        self.slab_lo <= k && k < self.slab_hi
+    }
+}
+
+/// The left-sibling snapshot `TS(M)` (Fig. 10): the top `B²` points among
+/// everything stored in `M`'s left siblings at the last TS reorganisation,
+/// blocked horizontally (y-descending).
+#[derive(Clone, Debug)]
+pub(crate) struct TsInfo {
+    pub pages: Vec<PageId>,
+    pub n: usize,
+}
+
+/// The `TD` corner structure of an internal metablock (§3.2): the points
+/// inserted into this metablock's children since the last TS reorganisation,
+/// kept query-able as a corner structure plus a one-block staging area.
+#[derive(Debug, Default)]
+pub(crate) struct TdInfo {
+    /// Corner structure over the settled TD points.
+    pub corner: Option<CornerStructure>,
+    pub n_built: usize,
+    /// Staging page: at most `B` points awaiting the next TD rebuild.
+    pub staged: Option<PageId>,
+    pub n_staged: usize,
+}
+
+impl TdInfo {
+    pub fn total(&self) -> usize {
+        self.n_built + self.n_staged
+    }
+}
+
+/// One metablock: `O(1)` control blocks plus the blockings of §3.1.
+#[derive(Debug)]
+pub(crate) struct MetaBlock {
+    /// Main points, x-sorted, `B` per page ("vertically oriented blocks").
+    pub vertical: Vec<PageId>,
+    /// Main points, y-descending, `B` per page ("horizontally oriented").
+    pub horizontal: Vec<PageId>,
+    pub n_main: usize,
+    /// Smallest `(y, id)` among mains. Routing invariant: every point in a
+    /// descendant metablock (mains *and* updates) is strictly below this.
+    pub y_lo_main: Option<Key>,
+    pub main_bbox: Option<BBox>,
+    /// Corner structure (Lemma 3.1), present when the metablock's region can
+    /// contain a query corner (its mains straddle some diagonal value).
+    pub corner: Option<CornerStructure>,
+    /// Update block: at most `B` buffered inserts (§3.2).
+    pub update: Option<PageId>,
+    pub n_upd: usize,
+    /// Left-sibling snapshot; `None` for a first child or the root.
+    pub ts: Option<TsInfo>,
+    /// TD corner structure; `Some` for internal metablocks.
+    pub td: Option<TdInfo>,
+    /// Child slots, in slab order. Empty for leaves.
+    pub children: Vec<ChildEntry>,
+}
+
+impl MetaBlock {
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Ablation switches for the metablock tree's two signature design choices
+/// (experiment E13 measures their effect; defaults reproduce the paper).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DiagOptions {
+    /// Build and use Lemma 3.1 corner structures. When off, a metablock
+    /// containing the query corner falls back to scanning its vertical
+    /// blocking with a filter — correct, but the Type II cost degrades from
+    /// `O(t/B)` to `O(B)` blocks.
+    pub corner_structures: bool,
+    /// Use the `TS` sibling snapshots (Fig. 17) to decide whether straddling
+    /// left siblings are worth individual visits. When off, every straddling
+    /// sibling is examined individually — correct, but a query can pay `O(B)`
+    /// unbacked block reads per level instead of `O(t/B)`.
+    pub ts_shortcut: bool,
+}
+
+impl Default for DiagOptions {
+    fn default() -> Self {
+        Self {
+            corner_structures: true,
+            ts_shortcut: true,
+        }
+    }
+}
+
+/// The semi-dynamic metablock tree for diagonal-corner queries (§3).
+///
+/// All points must satisfy `y ≥ x` (they encode intervals `[x, y]`, or more
+/// generally lie on/above the diagonal, as the reduction of Proposition 2.2
+/// produces). Ids must be unique. Costs, measured on the shared counter:
+///
+/// * [`MetablockTree::query_into`] — `O(log_B n + t/B)` I/Os (Theorem 3.2);
+/// * [`MetablockTree::insert`] — `O(log_B n + (log_B n)²/B)` amortised I/Os
+///   (Theorem 3.7);
+/// * space `O(n/B)` pages (Lemma 3.4).
+#[derive(Debug)]
+pub struct MetablockTree {
+    pub(crate) geo: Geometry,
+    pub(crate) counter: IoCounter,
+    pub(crate) store: TypedStore<Point>,
+    pub(crate) metas: Vec<Option<MetaBlock>>,
+    /// Count of freed meta slots (slots are never reused; see `alloc_meta`).
+    pub(crate) dead_metas: usize,
+    pub(crate) root: Option<MbId>,
+    pub(crate) len: usize,
+    pub(crate) options: DiagOptions,
+}
+
+impl MetablockTree {
+    /// Create an empty tree with the paper's design (default options).
+    pub fn new(geo: Geometry, counter: IoCounter) -> Self {
+        Self::new_with(geo, counter, DiagOptions::default())
+    }
+
+    /// Create an empty tree with explicit ablation options.
+    pub fn new_with(geo: Geometry, counter: IoCounter, options: DiagOptions) -> Self {
+        Self {
+            geo,
+            counter: counter.clone(),
+            store: TypedStore::new(geo.b, counter),
+            metas: Vec::new(),
+            dead_metas: 0,
+            root: None,
+            len: 0,
+            options,
+        }
+    }
+
+    /// The tree's ablation options.
+    pub fn options(&self) -> DiagOptions {
+        self.options
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Block geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// The shared I/O counter.
+    pub fn counter(&self) -> &IoCounter {
+        &self.counter
+    }
+
+    /// Disk blocks occupied: data pages plus one control block per
+    /// metablock (§3.1 stores "a constant number of disk blocks per
+    /// metablock" of control information).
+    pub fn space_pages(&self) -> usize {
+        self.store.pages_in_use() + (self.metas.len() - self.dead_metas)
+    }
+
+    // ---- control-information access (charged) ---------------------------
+
+    /// Read a metablock's control information: one I/O.
+    pub(crate) fn meta(&self, mb: MbId) -> &MetaBlock {
+        self.counter.add_reads(1);
+        self.metas[mb].as_ref().expect("read of freed metablock")
+    }
+
+    /// Take a metablock's control information for mutation: one read I/O.
+    /// Pair with [`MetablockTree::put_meta`].
+    pub(crate) fn take_meta(&mut self, mb: MbId) -> MetaBlock {
+        self.counter.add_reads(1);
+        self.metas[mb].take().expect("take of freed metablock")
+    }
+
+    /// Write back control information: one write I/O.
+    pub(crate) fn put_meta(&mut self, mb: MbId, meta: MetaBlock) {
+        self.counter.add_writes(1);
+        self.metas[mb] = Some(meta);
+    }
+
+    /// Access control information without billing (tests/validation only).
+    pub(crate) fn meta_unbilled(&self, mb: MbId) -> &MetaBlock {
+        self.metas[mb].as_ref().expect("read of freed metablock")
+    }
+
+    pub(crate) fn alloc_meta(&mut self, meta: MetaBlock) -> MbId {
+        self.counter.add_writes(1);
+        // Meta slots are never reused: a freed MbId stays permanently dead,
+        // which makes `metas[id].is_some()` a reliable liveness test for the
+        // restructuring cascades of §3.2 (reorganisations fall back to
+        // re-routing when a metablock they hold a handle to disappears).
+        self.metas.push(Some(meta));
+        self.metas.len() - 1
+    }
+
+    /// Free a metablock's control block and every data page it owns.
+    pub(crate) fn free_metablock(&mut self, mb: MbId) -> MetaBlock {
+        let meta = self.metas[mb].take().expect("double free of metablock");
+        self.dead_metas += 1;
+        self.store.free_run(&meta.vertical);
+        self.store.free_run(&meta.horizontal);
+        if let Some(c) = meta.corner.clone() {
+            c.free(&mut self.store);
+        }
+        if let Some(pg) = meta.update {
+            self.store.free(pg);
+        }
+        if let Some(ts) = &meta.ts {
+            self.store.free_run(&ts.pages);
+        }
+        if let Some(td) = &meta.td {
+            if let Some(c) = td.corner.clone() {
+                c.free(&mut self.store);
+            }
+            if let Some(pg) = td.staged {
+                self.store.free(pg);
+            }
+        }
+        meta
+    }
+
+    // ---- shared small helpers -------------------------------------------
+
+    /// Read every point of a page run (one I/O per page).
+    pub(crate) fn read_run(&self, pages: &[PageId]) -> Vec<Point> {
+        let mut out = Vec::with_capacity(pages.len() * self.geo.b);
+        for &pg in pages {
+            out.extend_from_slice(self.store.read(pg));
+        }
+        out
+    }
+
+    /// Current main + update points of a metablock (charged reads), used by
+    /// reorganisations.
+    pub(crate) fn collect_points(&self, meta: &MetaBlock) -> Vec<Point> {
+        let mut pts = self.read_run(&meta.horizontal);
+        if let Some(pg) = meta.update {
+            pts.extend_from_slice(self.store.read(pg));
+        }
+        pts
+    }
+
+    /// Metablock point capacity `B²`.
+    pub(crate) fn cap(&self) -> usize {
+        self.geo.b2()
+    }
+}

@@ -1,0 +1,354 @@
+//! Diagonal-corner search (Theorem 3.2, Figs. 15–17).
+//!
+//! A diagonal-corner query anchored at `(q, q)` reports every point with
+//! `x ≤ q ≤ y`. Walking from the root along the slab containing `q`, each
+//! metablock the search touches falls into one of the four types of Fig. 16:
+//!
+//! * **Type I** — the vertical side `x = q` crosses it and all its mains
+//!   have `y ≥ q`: scan its vertical blocking left-to-right up to `q` (at
+//!   most one partly-useful block), then deal with its children.
+//! * **Type II** — it contains the corner: answer with its corner structure
+//!   (Lemma 3.1). Its descendants are strictly below the corner (routing
+//!   invariant), so recursion stops.
+//! * **Type III** — entirely inside the query: report everything via the
+//!   horizontal blocking and recurse into every child.
+//! * **Type IV** — crosses the bottom `y = q` with all x in range: scan its
+//!   horizontal blocking top-down until `y < q` (at most one wasted block);
+//!   its subtree is entirely below the query.
+//!
+//! Up to `B` children of a Type I node can be Type IV; examining each would
+//! break the `O(t/B)` bound. The `TS` snapshot of the rightmost such child
+//! decides in output-paying I/Os whether the left siblings are worth
+//! individual visits (the "certificate" case, Fig. 17a — at least `B²`
+//! answers exist) or can be answered straight from the snapshot plus the
+//! parent's `TD` structure (the "crossing" case, Fig. 17b). Update blocks
+//! are scanned wherever a metablock is examined (Lemma 3.5).
+
+use ccix_extmem::Point;
+
+use super::{ChildEntry, MbId, MetaBlock, MetablockTree};
+use crate::bbox::Key;
+
+/// How a child relates to the query bottom `y = q` (Fig. 16), judged purely
+/// from the parent's cached control information.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChildClass {
+    /// Mains entirely inside the query (Type III).
+    Full,
+    /// Mains straddle `y = q` (Type IV) or only update points may qualify.
+    Partial,
+    /// Nothing in the child's metablock or subtree can qualify.
+    Dead,
+}
+
+fn classify(c: &ChildEntry, q: i64) -> ChildClass {
+    let qk: Key = (q, 0);
+    let mains_full = c.main_bbox.is_some_and(|b| b.ylo >= qk);
+    let mains_some = c.main_bbox.is_some_and(|b| b.yhi >= qk);
+    let upd_some = c.upd_ymax.is_some_and(|y| y >= qk);
+    // Routing invariant: sub_yhi < child's y_lo_main, so a live subtree
+    // implies fully-live mains; it never creates a class of its own.
+    debug_assert!(
+        c.sub_yhi.is_none_or(|y| y < qk) || mains_full,
+        "routing invariant violated: subtree above a partially-live metablock"
+    );
+    if mains_full && c.main_bbox.is_some() {
+        ChildClass::Full
+    } else if mains_some || upd_some {
+        ChildClass::Partial
+    } else {
+        ChildClass::Dead
+    }
+}
+
+impl MetablockTree {
+    /// Report every point with `x ≤ q ≤ y` (diagonal-corner query at `q`).
+    pub fn query(&self, q: i64) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.query_into(q, &mut out);
+        out
+    }
+
+    /// As [`MetablockTree::query`], appending into `out`.
+    /// `O(log_B n + t/B)` I/Os.
+    pub fn query_into(&self, q: i64, out: &mut Vec<Point>) {
+        if let Some(root) = self.root {
+            self.process_path(root, q, out);
+        }
+    }
+
+    /// Process a metablock on the search path (the slab containing `q`).
+    fn process_path(&self, mb: MbId, q: i64, out: &mut Vec<Point>) {
+        let meta = self.meta(mb);
+        self.scan_update(meta, q, out);
+        let (Some(bbox), Some(ylo)) = (meta.main_bbox, meta.y_lo_main) else {
+            return; // empty metablock: only possible for a fresh root
+        };
+        let qk: Key = (q, 0);
+        if qk > bbox.yhi {
+            // Everything (mains, and by the routing invariant the whole
+            // subtree) lies below the query.
+            return;
+        }
+        if qk <= ylo {
+            // Type I: all mains are inside in y; take those with x ≤ q.
+            self.vertical_scan_leq(meta, q, out);
+            if !meta.is_leaf() {
+                self.process_children(mb, meta, q, out);
+            }
+        } else {
+            // The corner falls inside the metablock's y-range (Type II), or
+            // to the right of all its mains. Descendants are strictly below
+            // `ylo < (q,0)` by the routing invariant: recursion ends here.
+            if bbox.all_x_at_most(q) {
+                self.horizontal_scan_down(&meta.horizontal, q, out);
+            } else if let Some(corner) = &meta.corner {
+                corner.query_into(&self.store, q, out);
+            } else {
+                // Mains fit in one vertical block, or corner structures are
+                // ablated (E13): filtered scan of the vertical blocking up
+                // to the query's vertical side.
+                debug_assert!(
+                    !self.options.corner_structures || meta.n_main <= self.geo.b,
+                    "missing corner structure"
+                );
+                let qx: Key = (q, u64::MAX);
+                for &pg in &meta.vertical {
+                    let mut crossed = false;
+                    for p in self.store.read(pg) {
+                        if p.xkey() > qx {
+                            crossed = true;
+                            break;
+                        }
+                        if p.y >= q {
+                            out.push(*p);
+                        }
+                    }
+                    if crossed {
+                        break;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Handle the children of a Type I metablock `mb` (already loaded as
+    /// `meta`): left siblings of the path child via the TS/TD protocol, then
+    /// recurse into the path child.
+    fn process_children(&self, _mb: MbId, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
+        let children = &meta.children;
+        let qx: Key = (q, u64::MAX);
+        // Path child: the first whose slab extends beyond (q, MAX). All
+        // earlier children hold only x ≤ q; all later ones only x > q.
+        let path_idx = children.partition_point(|c| c.slab_hi <= qx);
+
+        let mut full: Vec<usize> = Vec::new();
+        let mut partial: Vec<usize> = Vec::new();
+        for (i, c) in children[..path_idx.min(children.len())].iter().enumerate() {
+            match classify(c, q) {
+                ChildClass::Full => full.push(i),
+                ChildClass::Partial => partial.push(i),
+                ChildClass::Dead => {}
+            }
+        }
+
+        match partial.len() {
+            0 => {
+                for &i in &full {
+                    self.report_all(children[i].mb, q, out);
+                }
+            }
+            1 => {
+                // A single straddling child: examine it directly (≤ 2 I/Os
+                // of slack, charged to the path — one such node per level).
+                self.examine_partial(children[partial[0]].mb, q, out);
+                for &i in &full {
+                    self.report_all(children[i].mb, q, out);
+                }
+            }
+            _ if !self.options.ts_shortcut => {
+                // Ablated (E13): examine every straddling sibling directly.
+                for &i in &partial {
+                    self.examine_partial(children[i].mb, q, out);
+                }
+                for &i in &full {
+                    self.report_all(children[i].mb, q, out);
+                }
+            }
+            _ => {
+                let cr = *partial.last().expect("nonempty");
+                let covered = &partial[..partial.len() - 1];
+                // Read TS(children[cr]) top-down; one meta read for cr also
+                // serves its individual examination below.
+                let cr_meta = self.meta(children[cr].mb);
+                let ts = cr_meta
+                    .ts
+                    .as_ref()
+                    .expect("non-first child carries a TS snapshot");
+                let mut scanned: Vec<Point> = Vec::new();
+                let mut crossed = false;
+                'ts: for &pg in &ts.pages {
+                    for p in self.store.read(pg) {
+                        if p.ykey() < (q, 0) {
+                            crossed = true;
+                            break 'ts;
+                        }
+                        scanned.push(*p);
+                    }
+                }
+                let complete = crossed || ts.n < self.cap();
+                if complete {
+                    // Crossing case (Fig. 17b): the snapshot contains every
+                    // left-sibling point with y ≥ q as of the last TS reorg;
+                    // the TD structure holds everything since. Report both,
+                    // restricted to the covered children's slabs.
+                    let in_covered = |p: &Point| {
+                        let k = p.xkey();
+                        covered
+                            .iter()
+                            .any(|&i| children[i].slab_contains(k))
+                    };
+                    out.extend(scanned.iter().filter(|p| in_covered(p)));
+                    self.query_td(meta, q, &in_covered, out);
+                    self.examine_partial_loaded(cr_meta, q, out);
+                    for &i in &full {
+                        self.report_all(children[i].mb, q, out);
+                    }
+                } else {
+                    // Certificate case (Fig. 17a): the snapshot proves at
+                    // least B² answers exist among the left siblings, so
+                    // examining each individually is paid for by the output.
+                    self.examine_partial_loaded(cr_meta, q, out);
+                    for &i in covered {
+                        self.examine_partial(children[i].mb, q, out);
+                    }
+                    for &i in &full {
+                        self.report_all(children[i].mb, q, out);
+                    }
+                }
+            }
+        }
+
+        if let Some(path) = children.get(path_idx) {
+            // Recurse only if the parent's cache says something can qualify.
+            let qk: Key = (q, 0);
+            let live = path.main_bbox.is_some_and(|b| b.yhi >= qk)
+                || path.upd_ymax.is_some_and(|y| y >= qk)
+                || path.sub_yhi.is_some_and(|y| y >= qk);
+            if live {
+                self.process_path(path.mb, q, out);
+            }
+        }
+    }
+
+    /// Query the TD structure of `meta` at `q`, keeping points that satisfy
+    /// `filter`, and append to `out`.
+    fn query_td(
+        &self,
+        meta: &MetaBlock,
+        q: i64,
+        filter: &dyn Fn(&Point) -> bool,
+        out: &mut Vec<Point>,
+    ) {
+        let Some(td) = &meta.td else { return };
+        if let Some(corner) = &td.corner {
+            let mut tmp = Vec::new();
+            corner.query_into(&self.store, q, &mut tmp);
+            out.extend(tmp.into_iter().filter(|p| filter(p)));
+        }
+        if let Some(pg) = td.staged {
+            for p in self.store.read(pg) {
+                if p.x <= q && p.y >= q && filter(p) {
+                    out.push(*p);
+                }
+            }
+        }
+    }
+
+    /// Report a Type III subtree: everything in the metablock, then its
+    /// children by class. Children's slack I/Os are absorbed by this
+    /// metablock's `B²` reported points.
+    fn report_all(&self, mb: MbId, q: i64, out: &mut Vec<Point>) {
+        let meta = self.meta(mb);
+        self.scan_update(meta, q, out);
+        for &pg in &meta.horizontal {
+            for p in self.store.read(pg) {
+                debug_assert!(p.y >= q, "type III metablock holds a point below q");
+                out.push(*p);
+            }
+        }
+        for c in &meta.children {
+            match classify(c, q) {
+                ChildClass::Full => self.report_all(c.mb, q, out),
+                ChildClass::Partial => self.examine_partial(c.mb, q, out),
+                ChildClass::Dead => {}
+            }
+        }
+    }
+
+    /// Examine a Type IV (or update-only) metablock: horizontal scan down to
+    /// `q` plus the update block. By the routing invariant its subtree is
+    /// entirely below `q`.
+    fn examine_partial(&self, mb: MbId, q: i64, out: &mut Vec<Point>) {
+        let meta = self.meta(mb);
+        self.examine_partial_loaded(meta, q, out);
+    }
+
+    fn examine_partial_loaded(&self, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
+        self.scan_update(meta, q, out);
+        if meta.main_bbox.is_some_and(|b| b.yhi >= (q, 0)) {
+            self.horizontal_scan_down(&meta.horizontal, q, out);
+        }
+        debug_assert!(
+            meta.children
+                .iter()
+                .all(|c| classify(c, q) == ChildClass::Dead),
+            "partial metablock with a live child"
+        );
+    }
+
+    /// Scan an update block, reporting points inside the query. One I/O.
+    fn scan_update(&self, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
+        if let Some(pg) = meta.update {
+            for p in self.store.read(pg) {
+                if p.x <= q && p.y >= q {
+                    out.push(*p);
+                }
+            }
+        }
+    }
+
+    /// Left-to-right vertical scan reporting points with `x ≤ q` (callers
+    /// guarantee `y ≥ q` for all mains). At most one partly-useful block.
+    fn vertical_scan_leq(&self, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
+        let qx: Key = (q, u64::MAX);
+        for &pg in &meta.vertical {
+            let mut crossed = false;
+            for p in self.store.read(pg) {
+                if p.xkey() > qx {
+                    crossed = true;
+                    break;
+                }
+                debug_assert!(p.y >= q);
+                out.push(*p);
+            }
+            if crossed {
+                break;
+            }
+        }
+    }
+
+    /// Top-down horizontal scan reporting points with `y ≥ q` (callers
+    /// guarantee `x ≤ q`). At most one wasted block.
+    fn horizontal_scan_down(&self, pages: &[ccix_extmem::PageId], q: i64, out: &mut Vec<Point>) {
+        'scan: for &pg in pages {
+            for p in self.store.read(pg) {
+                if p.ykey() < (q, 0) {
+                    break 'scan;
+                }
+                debug_assert!(p.x <= q, "horizontal scan point right of query");
+                out.push(*p);
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Unbilled invariant checking and shape statistics.
+//!
+//! [`MetablockTree::validate_unbilled`] walks the whole structure without
+//! touching the I/O counters and asserts every invariant the query
+//! correctness argument relies on. Tests call it after randomized workloads;
+//! it is the executable form of the structural claims of §3.
+
+use std::collections::BTreeSet;
+
+use ccix_extmem::Point;
+
+use super::{MbId, MetaBlock, MetablockTree};
+use crate::bbox::{BBox, Key};
+
+/// Shape statistics of a metablock tree (experiment E11 / Figs. 8–10).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DiagStats {
+    /// Total metablocks.
+    pub metablocks: usize,
+    /// Leaf metablocks.
+    pub leaves: usize,
+    /// Height in metablock levels.
+    pub height: usize,
+    /// Data pages plus one control block per metablock.
+    pub pages: usize,
+    /// Points stored (mains + update blocks).
+    pub points: usize,
+    /// Points held in update blocks awaiting a level-I reorganisation.
+    pub pending_updates: usize,
+    /// Pages used by TS snapshots.
+    pub ts_pages: usize,
+    /// Pages used by corner structures.
+    pub corner_pages: usize,
+}
+
+impl MetablockTree {
+    /// Compute shape statistics without charging I/Os.
+    pub fn stats(&self) -> DiagStats {
+        let mut s = DiagStats {
+            pages: self.space_pages(),
+            ..DiagStats::default()
+        };
+        if let Some(root) = self.root {
+            self.stats_rec(root, 1, &mut s);
+        }
+        s
+    }
+
+    fn stats_rec(&self, mb: MbId, depth: usize, s: &mut DiagStats) {
+        let meta = self.meta_unbilled(mb);
+        s.metablocks += 1;
+        s.height = s.height.max(depth);
+        s.points += meta.n_main + meta.n_upd;
+        s.pending_updates += meta.n_upd;
+        if let Some(ts) = &meta.ts {
+            s.ts_pages += ts.pages.len();
+        }
+        if let Some(c) = &meta.corner {
+            s.corner_pages += c.pages();
+        }
+        if let Some(td) = &meta.td {
+            if let Some(c) = &td.corner {
+                s.corner_pages += c.pages();
+            }
+        }
+        if meta.is_leaf() {
+            s.leaves += 1;
+        }
+        for c in &meta.children {
+            self.stats_rec(c.mb, depth + 1, s);
+        }
+    }
+
+    /// Walk the tree unbilled, assert every structural invariant, and return
+    /// all stored points. Test/debug only.
+    pub fn validate_unbilled(&self) -> Vec<Point> {
+        let mut all = Vec::new();
+        if let Some(root) = self.root {
+            self.validate_rec(root, (i64::MIN, 0), (i64::MAX, u64::MAX), None, &mut all);
+        }
+        assert_eq!(all.len(), self.len, "stored point count mismatch");
+        let mut ids: BTreeSet<u64> = BTreeSet::new();
+        for p in &all {
+            assert!(p.y >= p.x, "point below the diagonal: {p:?}");
+            assert!(ids.insert(p.id), "duplicate id {}", p.id);
+        }
+        all
+    }
+
+    /// Validate the subtree at `mb`, whose slab is `[slab_lo, slab_hi)` and
+    /// whose points must all be strictly `(y, id)`-below `y_bound` (the
+    /// parent's `y_lo_main`). Appends the subtree's points to `all`.
+    fn validate_rec(
+        &self,
+        mb: MbId,
+        slab_lo: Key,
+        slab_hi: Key,
+        y_bound: Option<Key>,
+        all: &mut Vec<Point>,
+    ) {
+        let meta = self.meta_unbilled(mb);
+        let mains = self.mains_unbilled(meta);
+        assert_eq!(mains.len(), meta.n_main, "main count mismatch");
+        assert!(
+            mains.len() <= 2 * self.cap() + self.geo.b,
+            "metablock overfull: {}",
+            mains.len()
+        );
+
+        // Blockings hold the same multiset, in the right orders.
+        let vertical = self.pages_unbilled(&meta.vertical);
+        assert!(
+            vertical.windows(2).all(|w| w[0].xkey() < w[1].xkey()),
+            "vertical blocking out of order"
+        );
+        let horizontal = self.pages_unbilled(&meta.horizontal);
+        assert!(
+            horizontal.windows(2).all(|w| w[0].ykey() > w[1].ykey()),
+            "horizontal blocking out of order"
+        );
+        let mut a: Vec<u64> = vertical.iter().map(|p| p.id).collect();
+        let mut b: Vec<u64> = horizontal.iter().map(|p| p.id).collect();
+        a.sort_unstable();
+        b.sort_unstable();
+        assert_eq!(a, b, "vertical and horizontal blockings disagree");
+
+        // Cached summaries are exact.
+        assert_eq!(meta.main_bbox, BBox::of_points(&mains), "stale main bbox");
+        assert_eq!(
+            meta.y_lo_main,
+            mains.iter().map(Point::ykey).min(),
+            "stale y_lo_main"
+        );
+
+        // Slab containment for every stored point (mains + updates).
+        let update = meta
+            .update
+            .map(|pg| self.store.read_unbilled(pg).to_vec())
+            .unwrap_or_default();
+        assert_eq!(update.len(), meta.n_upd, "update count mismatch");
+        assert!(update.len() < self.geo.b + 1, "update block overfull");
+        for p in mains.iter().chain(&update) {
+            assert!(
+                p.xkey() >= slab_lo && p.xkey() < slab_hi,
+                "point {p:?} outside slab [{slab_lo:?}, {slab_hi:?})"
+            );
+            if let Some(bound) = y_bound {
+                assert!(
+                    p.ykey() < bound,
+                    "routing invariant violated: {p:?} not below parent bound {bound:?}"
+                );
+            }
+        }
+        all.extend_from_slice(&mains);
+        all.extend_from_slice(&update);
+
+        // Children: contiguous slabs covering this slab, cached entries
+        // exact, TS coverage sound.
+        if !meta.children.is_empty() {
+            assert!(meta.td.is_some(), "internal metablock without TD");
+            assert_eq!(meta.children[0].slab_lo, slab_lo, "first slab misaligned");
+            assert_eq!(
+                meta.children.last().unwrap().slab_hi,
+                slab_hi,
+                "last slab misaligned"
+            );
+            for w in meta.children.windows(2) {
+                assert_eq!(w[0].slab_hi, w[1].slab_lo, "slab gap between children");
+            }
+            assert!(
+                meta.children.len() < 2 * self.geo.b + 1,
+                "branching factor overflow: {}",
+                meta.children.len()
+            );
+            self.validate_ts_coverage(meta);
+
+            let y_lo = meta.y_lo_main;
+            for c in &meta.children {
+                let child_meta = self.meta_unbilled(c.mb);
+                let child_mains = self.mains_unbilled(child_meta);
+                assert_eq!(
+                    c.main_bbox,
+                    BBox::of_points(&child_mains),
+                    "stale child main bbox"
+                );
+                let child_upd = child_meta
+                    .update
+                    .map(|pg| self.store.read_unbilled(pg).to_vec())
+                    .unwrap_or_default();
+                assert_eq!(
+                    c.upd_ymax,
+                    child_upd.iter().map(Point::ykey).max(),
+                    "stale child upd_ymax"
+                );
+                let mut sub = Vec::new();
+                for g in &child_meta.children {
+                    self.collect_unbilled(g.mb, &mut sub);
+                }
+                let true_sub_yhi = sub.iter().map(Point::ykey).max();
+                assert!(
+                    c.sub_yhi >= true_sub_yhi,
+                    "child sub_yhi underestimates: cached {:?} < true {:?}",
+                    c.sub_yhi,
+                    true_sub_yhi
+                );
+                self.validate_rec(c.mb, c.slab_lo, c.slab_hi, y_lo, all);
+            }
+        } else {
+            assert!(meta.td.is_none(), "leaf metablock with TD");
+        }
+    }
+
+    /// The query's TS coverage argument, as an invariant: for every child
+    /// with a TS snapshot, every point currently stored in its left siblings
+    /// is either in the snapshot, outranked by the snapshot's B² points, or
+    /// present in the parent's TD structure.
+    fn validate_ts_coverage(&self, parent: &MetaBlock) {
+        let mut td_ids: BTreeSet<u64> = BTreeSet::new();
+        if let Some(td) = &parent.td {
+            if let Some(c) = &td.corner {
+                for p in c.collect_points_unbilled(&self.store) {
+                    td_ids.insert(p.id);
+                }
+            }
+            if let Some(pg) = td.staged {
+                for p in self.store.read_unbilled(pg) {
+                    td_ids.insert(p.id);
+                }
+            }
+        }
+        let mut left_points: Vec<Point> = Vec::new();
+        for (i, c) in parent.children.iter().enumerate() {
+            let child_meta = self.meta_unbilled(c.mb);
+            if i > 0 {
+                let ts = child_meta.ts.as_ref().expect("non-first child has TS");
+                let ts_points = self.pages_unbilled(&ts.pages);
+                assert_eq!(ts_points.len(), ts.n, "TS count mismatch");
+                assert!(
+                    ts_points.windows(2).all(|w| w[0].ykey() > w[1].ykey()),
+                    "TS snapshot out of order"
+                );
+                assert!(ts.n <= self.cap(), "TS snapshot too large");
+                let ts_ids: BTreeSet<u64> = ts_points.iter().map(|p| p.id).collect();
+                let ts_min = ts_points.last().map(Point::ykey);
+                for p in &left_points {
+                    let covered = ts_ids.contains(&p.id)
+                        || td_ids.contains(&p.id)
+                        || (ts.n == self.cap() && ts_min.is_some_and(|m| p.ykey() < m));
+                    assert!(
+                        covered,
+                        "TS coverage hole: point {p:?} invisible to child {i}"
+                    );
+                }
+            } else {
+                assert!(child_meta.ts.is_none(), "first child must not have TS");
+            }
+            left_points.extend(self.mains_unbilled(child_meta));
+            if let Some(pg) = child_meta.update {
+                left_points.extend_from_slice(self.store.read_unbilled(pg));
+            }
+        }
+    }
+
+    fn mains_unbilled(&self, meta: &MetaBlock) -> Vec<Point> {
+        self.pages_unbilled(&meta.horizontal)
+    }
+
+    fn pages_unbilled(&self, pages: &[ccix_extmem::PageId]) -> Vec<Point> {
+        let mut out = Vec::new();
+        for &pg in pages {
+            out.extend_from_slice(self.store.read_unbilled(pg));
+        }
+        out
+    }
+
+    fn collect_unbilled(&self, mb: MbId, out: &mut Vec<Point>) {
+        let meta = self.meta_unbilled(mb);
+        out.extend(self.mains_unbilled(meta));
+        if let Some(pg) = meta.update {
+            out.extend_from_slice(self.store.read_unbilled(pg));
+        }
+        for c in &meta.children {
+            self.collect_unbilled(c.mb, out);
+        }
+    }
+}

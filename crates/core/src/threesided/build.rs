@@ -1,0 +1,213 @@
+//! Static construction of the 3-sided tree (the §3.1 shape with §4
+//! per-metablock structures).
+
+use ccix_extmem::{Geometry, IoCounter, Point};
+use ccix_pst::ExternalPst;
+
+use super::{ThreeSidedTree, TsMeta, TsTd};
+use crate::bbox::{BBox, Key};
+use crate::diag::{near_equal_groups, ChildEntry, MbId, TsInfo, FULL_RANGE};
+
+impl ThreeSidedTree {
+    /// Build a tree over `points` (anywhere in the plane; unique ids).
+    pub fn build(geo: Geometry, counter: IoCounter, mut points: Vec<Point>) -> Self {
+        {
+            let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
+        }
+        let mut tree = Self::new(geo, counter);
+        tree.len = points.len();
+        if points.is_empty() {
+            return tree;
+        }
+        ccix_extmem::sort_by_x(&mut points);
+        let (root, _, _) = tree.build_slab(points, FULL_RANGE.0, FULL_RANGE.1);
+        tree.root = Some(root);
+        tree
+    }
+
+    /// Build the subtree over an x-sorted vector responsible for `[lo, hi)`.
+    /// Returns (root, root's mains, max ykey strictly below the root).
+    pub(crate) fn build_slab(
+        &mut self,
+        mut pts: Vec<Point>,
+        lo: Key,
+        hi: Key,
+    ) -> (MbId, Vec<Point>, Option<Key>) {
+        debug_assert!(pts.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
+        let cap = self.cap();
+        if pts.len() <= cap {
+            let mains = pts;
+            let id = self.make_metablock(&mains, Vec::new(), false);
+            return (id, mains, None);
+        }
+
+        let mut ys: Vec<Key> = pts.iter().map(Point::ykey).collect();
+        ys.sort_unstable_by(|a, b| b.cmp(a));
+        let threshold = ys[cap - 1];
+        let mut mains = Vec::with_capacity(cap);
+        pts.retain(|p| {
+            if p.ykey() >= threshold {
+                mains.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert_eq!(mains.len(), cap);
+        let rest_yhi = pts.iter().map(Point::ykey).max();
+
+        // The paper divides the remainder into B groups; when n ≪ B³ that
+        // over-fragments the leaves (tiny leaves under B-ary fanout), so we
+        // split into just enough near-B²-sized groups, still at most B of
+        // them — every invariant and bound is preserved, leaves stay packed.
+        let target = pts.len().div_ceil(cap).clamp(2, self.geo.b);
+        let groups = near_equal_groups(pts, target);
+        let mut entries: Vec<ChildEntry> = Vec::with_capacity(groups.len());
+        let mut child_mains: Vec<Vec<Point>> = Vec::with_capacity(groups.len());
+        let mut first_keys: Vec<Key> = groups
+            .iter()
+            .map(|g| g.first().expect("nonempty group").xkey())
+            .collect();
+        first_keys[0] = lo;
+        for (i, group) in groups.into_iter().enumerate() {
+            let slab_lo = first_keys[i];
+            let slab_hi = first_keys.get(i + 1).copied().unwrap_or(hi);
+            let (child, cmains, sub_yhi) = self.build_slab(group, slab_lo, slab_hi);
+            entries.push(ChildEntry {
+                mb: child,
+                slab_lo,
+                slab_hi,
+                main_bbox: BBox::of_points(&cmains),
+                upd_ymax: None,
+                sub_yhi,
+            });
+            child_mains.push(cmains);
+        }
+
+        let id = self.make_metablock(&mains, entries, true);
+        self.install_sibling_snapshots(id, &child_mains);
+        (id, mains, rest_yhi)
+    }
+
+    /// Allocate a metablock with all §4 per-node structures.
+    pub(crate) fn make_metablock(
+        &mut self,
+        mains: &[Point],
+        children: Vec<ChildEntry>,
+        internal: bool,
+    ) -> MbId {
+        let meta = self.build_organizations(mains, children, internal);
+        self.alloc_meta(meta)
+    }
+
+    pub(crate) fn build_organizations(
+        &mut self,
+        mains: &[Point],
+        children: Vec<ChildEntry>,
+        internal: bool,
+    ) -> TsMeta {
+        let mut by_x = mains.to_vec();
+        ccix_extmem::sort_by_x(&mut by_x);
+        let vkeys: Vec<Key> = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
+        let vertical = self.store.alloc_run(&by_x);
+        let mut by_y = mains.to_vec();
+        ccix_extmem::sort_by_y_desc(&mut by_y);
+        let horizontal = self.store.alloc_run(&by_y);
+        // A PST pays off once the mains span multiple blocks; a single
+        // block is answered by scanning it.
+        let pst = (mains.len() > self.geo.b).then(|| {
+            ExternalPst::build(self.geo, self.counter.clone(), mains.to_vec())
+        });
+        TsMeta {
+            vertical,
+            vkeys,
+            horizontal,
+            n_main: mains.len(),
+            y_lo_main: mains.iter().map(Point::ykey).min(),
+            main_bbox: BBox::of_points(mains),
+            pst,
+            update: None,
+            n_upd: 0,
+            tsl: None,
+            tsr: None,
+            children_pst: None,
+            td: internal.then(TsTd::default),
+            children,
+        }
+    }
+
+    /// Install, for every child, the TSL and TSR snapshots and, on the
+    /// parent, the children PST — all from the supplied per-child point
+    /// snapshots.
+    pub(crate) fn install_sibling_snapshots(&mut self, parent: MbId, snapshots: &[Vec<Point>]) {
+        let cap = self.cap();
+        let child_ids: Vec<MbId> = self.metas[parent]
+            .as_ref()
+            .expect("live parent")
+            .children
+            .iter()
+            .map(|c| c.mb)
+            .collect();
+        debug_assert_eq!(child_ids.len(), snapshots.len());
+
+        let top_of = |acc: &[Point]| {
+            let mut top = acc.to_vec();
+            ccix_extmem::sort_by_y_desc(&mut top);
+            top.truncate(cap);
+            top
+        };
+
+        // Prefix (left-sibling) snapshots.
+        let mut acc: Vec<Point> = Vec::new();
+        let mut tsl: Vec<Option<(Vec<Point>, usize)>> = vec![None; child_ids.len()];
+        for (i, snap) in snapshots.iter().enumerate() {
+            if i > 0 {
+                let top = top_of(&acc);
+                tsl[i] = Some((top.clone(), top.len()));
+            }
+            acc.extend_from_slice(snap);
+        }
+        let all_points = acc;
+
+        // Suffix (right-sibling) snapshots.
+        let mut acc: Vec<Point> = Vec::new();
+        let mut tsr: Vec<Option<(Vec<Point>, usize)>> = vec![None; child_ids.len()];
+        for (i, snap) in snapshots.iter().enumerate().rev() {
+            if i + 1 < child_ids.len() {
+                let top = top_of(&acc);
+                tsr[i] = Some((top.clone(), top.len()));
+            }
+            acc.extend_from_slice(snap);
+        }
+
+        for (i, &child) in child_ids.iter().enumerate() {
+            let mut meta = self.take_meta(child);
+            if let Some(old) = meta.tsl.take() {
+                self.store.free_run(&old.pages);
+            }
+            if let Some(old) = meta.tsr.take() {
+                self.store.free_run(&old.pages);
+            }
+            if let Some((pts, n)) = tsl[i].take() {
+                let pages = self.store.alloc_run(&pts);
+                meta.tsl = Some(TsInfo { pages, n });
+            }
+            if let Some((pts, n)) = tsr[i].take() {
+                let pages = self.store.alloc_run(&pts);
+                meta.tsr = Some(TsInfo { pages, n });
+            }
+            self.put_meta(child, meta);
+        }
+
+        // The children PST over every child's snapshot points (≤ B³).
+        let mut pm = self.take_meta(parent);
+        pm.children_pst = Some(ExternalPst::build(
+            self.geo,
+            self.counter.clone(),
+            all_points,
+        ));
+        self.put_meta(parent, pm);
+    }
+}

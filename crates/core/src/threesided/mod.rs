@@ -1,0 +1,237 @@
+//! The 3-sided metablock tree (§4, Lemmas 4.3 and 4.4).
+//!
+//! Answers **3-sided queries** — report every point with `x1 ≤ x ≤ x2` and
+//! `y ≥ y0` — in `O(log_B n + t/B + log2 B)` I/Os, `O(n/B)` pages, with
+//! amortised `O(log_B n + (log2B n)/B)`-style insertion, mirroring §3.2.
+//!
+//! The skeleton is the metablock tree of §3; the paper adapts it by
+//! replacing the corner structures (which assume a corner on the diagonal)
+//! with Lemma 4.1 priority search trees, and by handling the five
+//! differences it lists for 3-sided queries (Fig. 20):
+//!
+//! 1./2. corners anywhere → each metablock carries an [`ExternalPst`] over
+//!   its mains, so a metablock straddling the query bottom answers in
+//!   `O(log2 B² + t/B)`;
+//! 3. two vertical sides in one metablock → the vertical blocking plus its
+//!   page-boundary keys locate the x-range directly;
+//! 4. the sides fall on two children of the same parent → every interior
+//!   metablock keeps a **children PST** over the `O(B³)` points of its
+//!   children (queried at most once per search: at the fork);
+//! 5. queries can open to the left *or* right → each child keeps **two** TS
+//!   snapshots, `TSL` over its left siblings and `TSR` over its right
+//!   siblings.
+//!
+//! Insertions replace the TD corner structure with a TD priority search
+//! tree; level-I/II reorganisations and branching splits carry over
+//! unchanged (Lemma 4.4).
+
+mod build;
+mod insert;
+mod query;
+mod validate;
+
+pub use validate::ThreeSidedStats;
+
+use ccix_extmem::{Geometry, IoCounter, PageId, Point, TypedStore};
+use ccix_pst::ExternalPst;
+
+use crate::bbox::{BBox, Key};
+use crate::diag::{ChildEntry, MbId, TsInfo};
+
+/// TD insert-tracking structure of an interior metablock: the points
+/// inserted into its children since the last TS reorganisation, queryable as
+/// a PST plus a one-block staging area.
+#[derive(Debug, Default)]
+pub(crate) struct TsTd {
+    pub pst: Option<ExternalPst>,
+    pub n_built: usize,
+    pub staged: Option<PageId>,
+    pub n_staged: usize,
+}
+
+impl TsTd {
+    pub fn total(&self) -> usize {
+        self.n_built + self.n_staged
+    }
+}
+
+/// One metablock of the 3-sided tree.
+#[derive(Debug)]
+pub(crate) struct TsMeta {
+    /// Mains, x-sorted, `B` per page.
+    pub vertical: Vec<PageId>,
+    /// First x-key of each vertical page (control info: "boundary values").
+    pub vkeys: Vec<Key>,
+    /// Mains, y-descending, `B` per page.
+    pub horizontal: Vec<PageId>,
+    pub n_main: usize,
+    pub y_lo_main: Option<Key>,
+    pub main_bbox: Option<BBox>,
+    /// Lemma 4.1 structure over the mains (absent for ≤ B mains, where the
+    /// single vertical block is scanned instead).
+    pub pst: Option<ExternalPst>,
+    /// Update block (≤ B buffered inserts).
+    pub update: Option<PageId>,
+    pub n_upd: usize,
+    /// Snapshot of the top `B²` points of the left siblings.
+    pub tsl: Option<TsInfo>,
+    /// Snapshot of the top `B²` points of the right siblings.
+    pub tsr: Option<TsInfo>,
+    /// Interior only: PST over all children's snapshot points (≤ `B³`).
+    pub children_pst: Option<ExternalPst>,
+    /// Interior only: TD insert tracking.
+    pub td: Option<TsTd>,
+    pub children: Vec<ChildEntry>,
+}
+
+impl TsMeta {
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// The semi-dynamic 3-sided metablock tree (§4).
+///
+/// Points may lie anywhere in the plane; ids must be unique. Costs on the
+/// shared counter:
+///
+/// * [`ThreeSidedTree::query_into`] — `O(log_B n + t/B + log2 B)` I/Os
+///   (Lemma 4.3);
+/// * [`ThreeSidedTree::insert`] — `O(log_B n + (log2B n)/B)` amortised I/Os
+///   (Lemma 4.4);
+/// * space `O(n/B)` pages.
+#[derive(Debug)]
+pub struct ThreeSidedTree {
+    pub(crate) geo: Geometry,
+    pub(crate) counter: IoCounter,
+    pub(crate) store: TypedStore<Point>,
+    pub(crate) metas: Vec<Option<TsMeta>>,
+    pub(crate) dead_metas: usize,
+    pub(crate) root: Option<MbId>,
+    pub(crate) len: usize,
+}
+
+impl ThreeSidedTree {
+    /// Create an empty tree.
+    pub fn new(geo: Geometry, counter: IoCounter) -> Self {
+        Self {
+            geo,
+            counter: counter.clone(),
+            store: TypedStore::new(geo.b, counter),
+            metas: Vec::new(),
+            dead_metas: 0,
+            root: None,
+            len: 0,
+        }
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no points are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Block geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// The shared I/O counter.
+    pub fn counter(&self) -> &IoCounter {
+        &self.counter
+    }
+
+    /// Disk blocks occupied: data pages, PST pages, plus one control block
+    /// per metablock.
+    pub fn space_pages(&self) -> usize {
+        let mut pages = self.store.pages_in_use() + (self.metas.len() - self.dead_metas);
+        for meta in self.metas.iter().flatten() {
+            pages += meta.pst.as_ref().map_or(0, ExternalPst::space_pages);
+            pages += meta
+                .children_pst
+                .as_ref()
+                .map_or(0, ExternalPst::space_pages);
+            if let Some(td) = &meta.td {
+                pages += td.pst.as_ref().map_or(0, ExternalPst::space_pages);
+            }
+        }
+        pages
+    }
+
+    // ---- control information (charged) -----------------------------------
+
+    pub(crate) fn meta(&self, mb: MbId) -> &TsMeta {
+        self.counter.add_reads(1);
+        self.metas[mb].as_ref().expect("read of freed metablock")
+    }
+
+    pub(crate) fn take_meta(&mut self, mb: MbId) -> TsMeta {
+        self.counter.add_reads(1);
+        self.metas[mb].take().expect("take of freed metablock")
+    }
+
+    pub(crate) fn put_meta(&mut self, mb: MbId, meta: TsMeta) {
+        self.counter.add_writes(1);
+        self.metas[mb] = Some(meta);
+    }
+
+    pub(crate) fn meta_unbilled(&self, mb: MbId) -> &TsMeta {
+        self.metas[mb].as_ref().expect("read of freed metablock")
+    }
+
+    pub(crate) fn alloc_meta(&mut self, meta: TsMeta) -> MbId {
+        self.counter.add_writes(1);
+        // Never reuse slots (reliable liveness; see the diagonal tree).
+        self.metas.push(Some(meta));
+        self.metas.len() - 1
+    }
+
+    pub(crate) fn free_metablock(&mut self, mb: MbId) -> TsMeta {
+        let meta = self.metas[mb].take().expect("double free of metablock");
+        self.dead_metas += 1;
+        self.store.free_run(&meta.vertical);
+        self.store.free_run(&meta.horizontal);
+        if let Some(pg) = meta.update {
+            self.store.free(pg);
+        }
+        if let Some(ts) = &meta.tsl {
+            self.store.free_run(&ts.pages);
+        }
+        if let Some(ts) = &meta.tsr {
+            self.store.free_run(&ts.pages);
+        }
+        if let Some(td) = &meta.td {
+            if let Some(pg) = td.staged {
+                self.store.free(pg);
+            }
+        }
+        // PSTs own their pages; dropping the meta releases them.
+        meta
+    }
+
+    // ---- helpers ----------------------------------------------------------
+
+    pub(crate) fn read_run(&self, pages: &[PageId]) -> Vec<Point> {
+        let mut out = Vec::with_capacity(pages.len() * self.geo.b);
+        for &pg in pages {
+            out.extend_from_slice(self.store.read(pg));
+        }
+        out
+    }
+
+    pub(crate) fn collect_points(&self, meta: &TsMeta) -> Vec<Point> {
+        let mut pts = self.read_run(&meta.horizontal);
+        if let Some(pg) = meta.update {
+            pts.extend_from_slice(self.store.read(pg));
+        }
+        pts
+    }
+
+    pub(crate) fn cap(&self) -> usize {
+        self.geo.b2()
+    }
+}

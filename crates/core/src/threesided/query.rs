@@ -1,0 +1,369 @@
+//! The 3-sided search (Lemma 4.3, Fig. 21).
+//!
+//! Report every point with `x1 ≤ x ≤ x2 ∧ y ≥ y0`. The search descends the
+//! (at most two) slabs containing the query's vertical sides. A visited
+//! metablock that straddles `y0` is answered by its own PST and is terminal
+//! (its subtree is strictly below, by the routing invariant). A metablock
+//! entirely above `y0` reports its mains inside `[x1, x2]` from the vertical
+//! blocking, recurses into its boundary children, and deals with the
+//! *middle* children (slabs fully inside the x-range) by class:
+//!
+//! * fully-above middles are reported wholesale (Type III);
+//! * straddling middles are resolved by a sibling snapshot — `TSR` of the
+//!   child left of the middles when the query opens to the right of the
+//!   slab, `TSL` mirrored — with the same certificate/crossing dichotomy as
+//!   the diagonal tree; at the unique *fork* node (both vertical sides in
+//!   different children, the paper's case (4)) the parent's **children PST**
+//!   answers for all of them at once, which is where the one `O(log2 B)`
+//!   term of Theorem 4.7 is spent.
+
+use ccix_extmem::Point;
+
+use super::{ThreeSidedTree, TsMeta};
+use crate::bbox::Key;
+use crate::diag::{ChildEntry, MbId, TsInfo};
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum ChildClass {
+    Full,
+    Partial,
+    Dead,
+}
+
+fn classify(c: &ChildEntry, y0: i64) -> ChildClass {
+    let qk: Key = (y0, 0);
+    let mains_full = c.main_bbox.is_some_and(|b| b.ylo >= qk);
+    let mains_some = c.main_bbox.is_some_and(|b| b.yhi >= qk);
+    let upd_some = c.upd_ymax.is_some_and(|y| y >= qk);
+    debug_assert!(
+        c.sub_yhi.is_none_or(|y| y < qk) || mains_full,
+        "routing invariant violated"
+    );
+    if mains_full && c.main_bbox.is_some() {
+        ChildClass::Full
+    } else if mains_some || upd_some {
+        ChildClass::Partial
+    } else {
+        ChildClass::Dead
+    }
+}
+
+fn child_live(c: &ChildEntry, y0: i64) -> bool {
+    let qk: Key = (y0, 0);
+    c.main_bbox.is_some_and(|b| b.yhi >= qk)
+        || c.upd_ymax.is_some_and(|y| y >= qk)
+        || c.sub_yhi.is_some_and(|y| y >= qk)
+}
+
+impl ThreeSidedTree {
+    /// Report every point with `x1 ≤ x ≤ x2 ∧ y ≥ y0`.
+    pub fn query(&self, x1: i64, x2: i64, y0: i64) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.query_into(x1, x2, y0, &mut out);
+        out
+    }
+
+    /// As [`ThreeSidedTree::query`], appending into `out`.
+    /// `O(log_B n + t/B + log2 B)` I/Os.
+    pub fn query_into(&self, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        if x1 > x2 {
+            return;
+        }
+        if let Some(root) = self.root {
+            self.process(root, x1, x2, y0, out);
+        }
+    }
+
+    /// Process a metablock on a boundary path.
+    fn process(&self, mb: MbId, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        let meta = self.meta(mb);
+        self.scan_update(meta, x1, x2, y0, out);
+        let (Some(bbox), Some(ylo)) = (meta.main_bbox, meta.y_lo_main) else {
+            return;
+        };
+        let qk: Key = (y0, 0);
+        if qk > bbox.yhi {
+            return; // mains and (by routing invariant) subtree below y0
+        }
+        if qk > ylo {
+            // Straddling node: its own PST answers; subtree is below y0.
+            if let Some(pst) = &meta.pst {
+                pst.query_into(x1, x2, y0, out);
+            } else {
+                debug_assert!(meta.n_main <= self.geo.b, "missing metablock PST");
+                for &pg in &meta.vertical {
+                    for p in self.store.read(pg) {
+                        if p.x >= x1 && p.x <= x2 && p.y >= y0 {
+                            out.push(*p);
+                        }
+                    }
+                }
+            }
+            return;
+        }
+
+        // Entirely above y0: mains inside [x1, x2] via the vertical blocking
+        // (page boundaries located from the control info, ≤ 2 slack blocks).
+        self.vertical_scan_range(meta, x1, x2, out);
+        if meta.is_leaf() {
+            return;
+        }
+        self.process_children(meta, x1, x2, y0, out);
+    }
+
+    fn process_children(&self, meta: &TsMeta, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        let children = &meta.children;
+        let a1k: Key = (x1, u64::MIN);
+        let a2k: Key = (x2, u64::MAX);
+        let len = children.len();
+
+        // First child that can hold x ≥ x1, and first whose slab extends
+        // beyond (x2, MAX).
+        let i1 = children.partition_point(|c| c.slab_hi <= a1k);
+        let i2 = children.partition_point(|c| c.slab_hi <= a2k);
+        if i1 >= len {
+            return; // every child is strictly left of x1
+        }
+        if i1 == i2 {
+            // Both vertical sides within one child: no middles, recurse.
+            let c = &children[i1];
+            if c.slab_lo <= a2k && child_live(c, y0) {
+                self.process(c.mb, x1, x2, y0, out);
+            }
+            return;
+        }
+
+        // Boundary children: i1 if x1 cuts into it, i2 if it exists and x2
+        // cuts into it. Everything between is a middle (slab ⊆ [x1, x2]).
+        let left_boundary = children[i1].slab_lo < a1k;
+        let right_boundary = i2 < len && children[i2].slab_lo <= a2k;
+        let m_start = if left_boundary { i1 + 1 } else { i1 };
+        let m_end = i2; // exclusive
+        if left_boundary && child_live(&children[i1], y0) {
+            self.process(children[i1].mb, x1, x2, y0, out);
+        }
+        if right_boundary && child_live(&children[i2], y0) {
+            self.process(children[i2].mb, x1, x2, y0, out);
+        }
+        if m_start >= m_end {
+            return;
+        }
+
+        let mut full: Vec<usize> = Vec::new();
+        let mut partial: Vec<usize> = Vec::new();
+        for (i, c) in children[m_start..m_end].iter().enumerate() {
+            match classify(c, y0) {
+                ChildClass::Full => full.push(m_start + i),
+                ChildClass::Partial => partial.push(m_start + i),
+                ChildClass::Dead => {}
+            }
+        }
+        for &i in &full {
+            self.report_all(children[i].mb, x1, x2, y0, out);
+        }
+        match partial.len() {
+            0 => {}
+            1 => {
+                // One straddling middle: examine it directly.
+                self.examine_partial(children[partial[0]].mb, x1, x2, y0, out);
+            }
+            _ => {
+                // Choose the sibling-snapshot that covers the whole middle
+                // range, if one exists; otherwise (fork / fully covered
+                // node) fall back to the children PST.
+                if m_end == len && m_start > 0 {
+                    let anchor = &children[m_start - 1];
+                    let ts = |m: &TsMeta| m.tsr.clone();
+                    self.snapshot_route(meta, children, anchor, &partial, ts, x1, x2, y0, out);
+                } else if m_start == 0 && m_end < len {
+                    let anchor = &children[m_end];
+                    let ts = |m: &TsMeta| m.tsl.clone();
+                    self.snapshot_route(meta, children, anchor, &partial, ts, x1, x2, y0, out);
+                } else {
+                    self.children_pst_route(meta, children, &partial, x1, x2, y0, out);
+                }
+            }
+        }
+    }
+
+    /// Resolve straddling middles from a sibling snapshot (`TSR` of the
+    /// child left of them, or `TSL` of the child right of them).
+    #[allow(clippy::too_many_arguments)]
+    fn snapshot_route(
+        &self,
+        parent: &TsMeta,
+        children: &[ChildEntry],
+        anchor: &ChildEntry,
+        partial: &[usize],
+        ts_of: impl Fn(&TsMeta) -> Option<TsInfo>,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        let anchor_meta = self.meta(anchor.mb);
+        let ts = ts_of(anchor_meta).expect("anchor child carries the sibling snapshot");
+        let mut scanned: Vec<Point> = Vec::new();
+        let mut crossed = false;
+        'ts: for &pg in &ts.pages {
+            for p in self.store.read(pg) {
+                if p.ykey() < (y0, 0) {
+                    crossed = true;
+                    break 'ts;
+                }
+                scanned.push(*p);
+            }
+        }
+        if crossed || ts.n < self.cap() {
+            // Crossing case: the snapshot holds every middle-sibling point
+            // with y ≥ y0 as of the last TS reorganisation; TD holds the
+            // rest. Restrict both to the straddling middles' slabs.
+            let in_partial = |p: &Point| {
+                let k = p.xkey();
+                partial.iter().any(|&i| children[i].slab_contains(k))
+            };
+            out.extend(scanned.iter().filter(|p| in_partial(p)));
+            self.query_td(parent, x1, x2, y0, &in_partial, out);
+        } else {
+            // Certificate: at least B² answers exist among the middles;
+            // examining each individually is paid for by the output.
+            for &i in partial {
+                self.examine_partial(children[i].mb, x1, x2, y0, out);
+            }
+        }
+    }
+
+    /// Resolve straddling middles at the fork node from the children PST
+    /// (the paper's case (4)); the only `O(log2 B)` access of the search.
+    #[allow(clippy::too_many_arguments)]
+    fn children_pst_route(
+        &self,
+        parent: &TsMeta,
+        children: &[ChildEntry],
+        partial: &[usize],
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        let in_partial = |p: &Point| {
+            let k = p.xkey();
+            partial.iter().any(|&i| children[i].slab_contains(k))
+        };
+        if let Some(cpst) = &parent.children_pst {
+            let mut tmp = Vec::new();
+            cpst.query_into(x1, x2, y0, &mut tmp);
+            out.extend(tmp.into_iter().filter(|p| in_partial(p)));
+        } else {
+            // No snapshot yet (fresh interior node): examine individually.
+            for &i in partial {
+                self.examine_partial(children[i].mb, x1, x2, y0, out);
+            }
+            return;
+        }
+        self.query_td(parent, x1, x2, y0, &in_partial, out);
+    }
+
+    /// Query the TD structure, keeping points that satisfy `filter`.
+    fn query_td(
+        &self,
+        meta: &TsMeta,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        filter: &dyn Fn(&Point) -> bool,
+        out: &mut Vec<Point>,
+    ) {
+        let Some(td) = &meta.td else { return };
+        if let Some(pst) = &td.pst {
+            let mut tmp = Vec::new();
+            pst.query_into(x1, x2, y0, &mut tmp);
+            out.extend(tmp.into_iter().filter(|p| filter(p)));
+        }
+        if let Some(pg) = td.staged {
+            for p in self.store.read(pg) {
+                if p.x >= x1 && p.x <= x2 && p.y >= y0 && filter(p) {
+                    out.push(*p);
+                }
+            }
+        }
+    }
+
+    /// Report a fully-covered, fully-above subtree (Type III).
+    fn report_all(&self, mb: MbId, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        let meta = self.meta(mb);
+        self.scan_update(meta, x1, x2, y0, out);
+        for &pg in &meta.horizontal {
+            for p in self.store.read(pg) {
+                debug_assert!(p.y >= y0 && p.x >= x1 && p.x <= x2);
+                out.push(*p);
+            }
+        }
+        for c in &meta.children {
+            match classify(c, y0) {
+                ChildClass::Full => self.report_all(c.mb, x1, x2, y0, out),
+                ChildClass::Partial => self.examine_partial(c.mb, x1, x2, y0, out),
+                ChildClass::Dead => {}
+            }
+        }
+    }
+
+    /// Examine a straddling metablock whose slab is fully inside `[x1, x2]`:
+    /// horizontal scan down to `y0` plus the update block; its subtree is
+    /// below `y0` by the routing invariant.
+    fn examine_partial(&self, mb: MbId, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        let meta = self.meta(mb);
+        self.scan_update(meta, x1, x2, y0, out);
+        if meta.main_bbox.is_some_and(|b| b.yhi >= (y0, 0)) {
+            'scan: for &pg in &meta.horizontal {
+                for p in self.store.read(pg) {
+                    if p.ykey() < (y0, 0) {
+                        break 'scan;
+                    }
+                    debug_assert!(p.x >= x1 && p.x <= x2);
+                    out.push(*p);
+                }
+            }
+        }
+        debug_assert!(
+            meta.children.iter().all(|c| classify(c, y0) == ChildClass::Dead),
+            "partial metablock with a live child"
+        );
+    }
+
+    fn scan_update(&self, meta: &TsMeta, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        if let Some(pg) = meta.update {
+            for p in self.store.read(pg) {
+                if p.x >= x1 && p.x <= x2 && p.y >= y0 {
+                    out.push(*p);
+                }
+            }
+        }
+    }
+
+    /// Report mains with `x ∈ [x1, x2]` from the vertical blocking, starting
+    /// at the page located via the cached page-boundary keys. Callers
+    /// guarantee all mains have `y ≥ y0`. At most 2 slack blocks.
+    fn vertical_scan_range(&self, meta: &TsMeta, x1: i64, x2: i64, out: &mut Vec<Point>) {
+        let a1k: Key = (x1, u64::MIN);
+        let a2k: Key = (x2, u64::MAX);
+        // Last page whose first key is ≤ a1k could still contain x ≥ x1.
+        let start = meta.vkeys.partition_point(|&k| k <= a1k).saturating_sub(1);
+        for &pg in meta.vertical.iter().skip(start) {
+            let mut beyond = false;
+            for p in self.store.read(pg) {
+                let k = p.xkey();
+                if k > a2k {
+                    beyond = true;
+                    break;
+                }
+                if k >= a1k {
+                    out.push(*p);
+                }
+            }
+            if beyond {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,286 @@
+//! Unbilled invariant checking and statistics for the 3-sided tree.
+
+use std::collections::BTreeSet;
+
+use ccix_extmem::Point;
+
+use super::{ThreeSidedTree, TsMeta};
+use crate::bbox::{BBox, Key};
+use crate::diag::{MbId, TsInfo};
+
+/// Shape statistics of a 3-sided metablock tree.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ThreeSidedStats {
+    /// Total metablocks.
+    pub metablocks: usize,
+    /// Leaf metablocks.
+    pub leaves: usize,
+    /// Height in metablock levels.
+    pub height: usize,
+    /// Total disk blocks (data + PSTs + control).
+    pub pages: usize,
+    /// Points stored.
+    pub points: usize,
+    /// Pages in per-metablock and children PSTs.
+    pub pst_pages: usize,
+}
+
+impl ThreeSidedTree {
+    /// Compute shape statistics without charging I/Os.
+    pub fn stats(&self) -> ThreeSidedStats {
+        let mut s = ThreeSidedStats {
+            pages: self.space_pages(),
+            ..ThreeSidedStats::default()
+        };
+        if let Some(root) = self.root {
+            self.stats_rec(root, 1, &mut s);
+        }
+        s
+    }
+
+    fn stats_rec(&self, mb: MbId, depth: usize, s: &mut ThreeSidedStats) {
+        let meta = self.meta_unbilled(mb);
+        s.metablocks += 1;
+        s.height = s.height.max(depth);
+        s.points += meta.n_main + meta.n_upd;
+        s.pst_pages += meta.pst.as_ref().map_or(0, |p| p.space_pages());
+        s.pst_pages += meta.children_pst.as_ref().map_or(0, |p| p.space_pages());
+        if meta.is_leaf() {
+            s.leaves += 1;
+        }
+        for c in &meta.children {
+            self.stats_rec(c.mb, depth + 1, s);
+        }
+    }
+
+    /// Walk the tree unbilled, assert all invariants, and return the stored
+    /// points. Test/debug only.
+    pub fn validate_unbilled(&self) -> Vec<Point> {
+        let mut all = Vec::new();
+        if let Some(root) = self.root {
+            self.validate_rec(root, (i64::MIN, 0), (i64::MAX, u64::MAX), None, &mut all);
+        }
+        assert_eq!(all.len(), self.len, "stored point count mismatch");
+        let mut ids: BTreeSet<u64> = BTreeSet::new();
+        for p in &all {
+            assert!(ids.insert(p.id), "duplicate id {}", p.id);
+        }
+        all
+    }
+
+    fn validate_rec(
+        &self,
+        mb: MbId,
+        slab_lo: Key,
+        slab_hi: Key,
+        y_bound: Option<Key>,
+        all: &mut Vec<Point>,
+    ) {
+        let meta = self.meta_unbilled(mb);
+        let mains = self.pages_unbilled(&meta.horizontal);
+        assert_eq!(mains.len(), meta.n_main, "main count mismatch");
+
+        let vertical = self.pages_unbilled(&meta.vertical);
+        assert!(
+            vertical.windows(2).all(|w| w[0].xkey() < w[1].xkey()),
+            "vertical blocking out of order"
+        );
+        assert_eq!(
+            meta.vkeys,
+            vertical
+                .chunks(self.geo.b)
+                .map(|c| c[0].xkey())
+                .collect::<Vec<_>>(),
+            "stale vertical page-boundary keys"
+        );
+        let horizontal = &mains;
+        assert!(
+            horizontal.windows(2).all(|w| w[0].ykey() > w[1].ykey()),
+            "horizontal blocking out of order"
+        );
+        assert_eq!(meta.main_bbox, BBox::of_points(&mains), "stale main bbox");
+        assert_eq!(
+            meta.y_lo_main,
+            mains.iter().map(Point::ykey).min(),
+            "stale y_lo_main"
+        );
+        if let Some(pst) = &meta.pst {
+            let mut a: Vec<u64> = pst.collect_points_unbilled().iter().map(|p| p.id).collect();
+            let mut b: Vec<u64> = mains.iter().map(|p| p.id).collect();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "metablock PST out of sync with mains");
+        } else {
+            assert!(
+                meta.n_main <= self.geo.b,
+                "multi-block mains without a PST"
+            );
+        }
+
+        let update = meta
+            .update
+            .map(|pg| self.store.read_unbilled(pg).to_vec())
+            .unwrap_or_default();
+        assert_eq!(update.len(), meta.n_upd, "update count mismatch");
+        for p in mains.iter().chain(&update) {
+            assert!(
+                p.xkey() >= slab_lo && p.xkey() < slab_hi,
+                "point {p:?} outside slab [{slab_lo:?}, {slab_hi:?})"
+            );
+            if let Some(bound) = y_bound {
+                assert!(p.ykey() < bound, "routing invariant violated: {p:?}");
+            }
+        }
+        all.extend_from_slice(&mains);
+        all.extend_from_slice(&update);
+
+        if !meta.children.is_empty() {
+            assert!(meta.td.is_some(), "interior metablock without TD");
+            assert_eq!(meta.children[0].slab_lo, slab_lo, "first slab misaligned");
+            assert_eq!(
+                meta.children.last().unwrap().slab_hi,
+                slab_hi,
+                "last slab misaligned"
+            );
+            for w in meta.children.windows(2) {
+                assert_eq!(w[0].slab_hi, w[1].slab_lo, "slab gap between children");
+            }
+            self.validate_sibling_coverage(meta);
+
+            let y_lo = meta.y_lo_main;
+            for c in &meta.children {
+                let child_meta = self.meta_unbilled(c.mb);
+                let child_mains = self.pages_unbilled(&child_meta.horizontal);
+                assert_eq!(
+                    c.main_bbox,
+                    BBox::of_points(&child_mains),
+                    "stale child main bbox"
+                );
+                let child_upd = child_meta
+                    .update
+                    .map(|pg| self.store.read_unbilled(pg).to_vec())
+                    .unwrap_or_default();
+                assert_eq!(
+                    c.upd_ymax,
+                    child_upd.iter().map(Point::ykey).max(),
+                    "stale child upd_ymax"
+                );
+                let mut sub = Vec::new();
+                for g in &child_meta.children {
+                    self.collect_unbilled(g.mb, &mut sub);
+                }
+                let true_sub_yhi = sub.iter().map(Point::ykey).max();
+                assert!(
+                    c.sub_yhi >= true_sub_yhi,
+                    "child sub_yhi underestimates: cached {:?} < true {:?}",
+                    c.sub_yhi,
+                    true_sub_yhi
+                );
+                self.validate_rec(c.mb, c.slab_lo, c.slab_hi, y_lo, all);
+            }
+        } else {
+            assert!(meta.td.is_none(), "leaf metablock with TD");
+            assert!(meta.children_pst.is_none(), "leaf with children PST");
+        }
+    }
+
+    /// The coverage invariant behind the snapshot routes and the children
+    /// PST: every point currently stored in a metablock's siblings (on the
+    /// relevant side) is in the snapshot, outranked by its B² points, or in
+    /// the parent's TD structure.
+    fn validate_sibling_coverage(&self, parent: &TsMeta) {
+        let mut td_ids: BTreeSet<u64> = BTreeSet::new();
+        if let Some(td) = &parent.td {
+            if let Some(pst) = &td.pst {
+                for p in pst.collect_points_unbilled() {
+                    td_ids.insert(p.id);
+                }
+            }
+            if let Some(pg) = td.staged {
+                for p in self.store.read_unbilled(pg) {
+                    td_ids.insert(p.id);
+                }
+            }
+        }
+        let stored: Vec<Vec<Point>> = parent
+            .children
+            .iter()
+            .map(|c| {
+                let cm = self.meta_unbilled(c.mb);
+                let mut pts = self.pages_unbilled(&cm.horizontal);
+                if let Some(pg) = cm.update {
+                    pts.extend_from_slice(self.store.read_unbilled(pg));
+                }
+                pts
+            })
+            .collect();
+
+        let check = |ts: &TsInfo, covered: &[Vec<Point>], what: &str| {
+            let ts_points = self.pages_unbilled(&ts.pages);
+            assert_eq!(ts_points.len(), ts.n, "{what} count mismatch");
+            assert!(
+                ts_points.windows(2).all(|w| w[0].ykey() > w[1].ykey()),
+                "{what} out of order"
+            );
+            let ts_ids: BTreeSet<u64> = ts_points.iter().map(|p| p.id).collect();
+            let ts_min = ts_points.last().map(Point::ykey);
+            for p in covered.iter().flatten() {
+                let ok = ts_ids.contains(&p.id)
+                    || td_ids.contains(&p.id)
+                    || (ts.n == self.cap() && ts_min.is_some_and(|m| p.ykey() < m));
+                assert!(ok, "{what} coverage hole: {p:?}");
+            }
+        };
+
+        for (i, c) in parent.children.iter().enumerate() {
+            let cm = self.meta_unbilled(c.mb);
+            if i > 0 {
+                let ts = cm.tsl.as_ref().expect("non-first child has TSL");
+                check(ts, &stored[..i], "TSL");
+            } else {
+                assert!(cm.tsl.is_none(), "first child must not have TSL");
+            }
+            if i + 1 < parent.children.len() {
+                let ts = cm.tsr.as_ref().expect("non-last child has TSR");
+                check(ts, &stored[i + 1..], "TSR");
+            } else {
+                assert!(cm.tsr.is_none(), "last child must not have TSR");
+            }
+        }
+
+        // Children PST coverage: every currently stored child point is in
+        // the snapshot or the TD.
+        if let Some(cpst) = &parent.children_pst {
+            let snap_ids: BTreeSet<u64> = cpst
+                .collect_points_unbilled()
+                .iter()
+                .map(|p| p.id)
+                .collect();
+            for p in stored.iter().flatten() {
+                assert!(
+                    snap_ids.contains(&p.id) || td_ids.contains(&p.id),
+                    "children PST coverage hole: {p:?}"
+                );
+            }
+        }
+    }
+
+    fn pages_unbilled(&self, pages: &[ccix_extmem::PageId]) -> Vec<Point> {
+        let mut out = Vec::new();
+        for &pg in pages {
+            out.extend_from_slice(self.store.read_unbilled(pg));
+        }
+        out
+    }
+
+    fn collect_unbilled(&self, mb: MbId, out: &mut Vec<Point>) {
+        let meta = self.meta_unbilled(mb);
+        out.extend(self.pages_unbilled(&meta.horizontal));
+        if let Some(pg) = meta.update {
+            out.extend_from_slice(self.store.read_unbilled(pg));
+        }
+        for c in &meta.children {
+            self.collect_unbilled(c.mb, out);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The ablation configurations (E13) must stay exactly correct — they trade
+//! I/O bounds, never answers.
+
+use ccix_core::{DiagOptions, MetablockTree};
+use ccix_extmem::{Geometry, IoCounter, Point};
+use ccix_pst::oracle;
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed | 1;
+    move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+}
+
+fn interval_points(n: usize, seed: u64, range: i64) -> Vec<Point> {
+    let mut next = xorshift(seed);
+    (0..n)
+        .map(|i| {
+            let a = (next() % range as u64) as i64;
+            let b = (next() % range as u64) as i64;
+            Point::new(a.min(b), a.max(b), i as u64)
+        })
+        .collect()
+}
+
+const CONFIGS: [DiagOptions; 4] = [
+    DiagOptions {
+        corner_structures: true,
+        ts_shortcut: true,
+    },
+    DiagOptions {
+        corner_structures: false,
+        ts_shortcut: true,
+    },
+    DiagOptions {
+        corner_structures: true,
+        ts_shortcut: false,
+    },
+    DiagOptions {
+        corner_structures: false,
+        ts_shortcut: false,
+    },
+];
+
+#[test]
+fn static_queries_identical_across_configs() {
+    let pts = interval_points(5_000, 0xAB1, 800);
+    for options in CONFIGS {
+        let tree = MetablockTree::build_with(Geometry::new(4), IoCounter::new(), pts.clone(), options);
+        tree.validate_unbilled();
+        for q in (-2..805).step_by(11) {
+            let got = tree.query(q);
+            let want = oracle::diagonal_corner(&pts, q);
+            oracle::assert_same_points(got, want, &format!("{options:?} q={q}"));
+        }
+    }
+}
+
+#[test]
+fn dynamic_inserts_identical_across_configs() {
+    for options in CONFIGS {
+        let mut next = xorshift(0xAB2);
+        let mut tree = MetablockTree::new_with(Geometry::new(3), IoCounter::new(), options);
+        let mut pts = Vec::new();
+        for i in 0..2_000u64 {
+            let a = (next() % 300) as i64;
+            let b = (next() % 300) as i64;
+            let p = Point::new(a.min(b), a.max(b), i);
+            tree.insert(p);
+            pts.push(p);
+        }
+        tree.validate_unbilled();
+        for q in (0..305).step_by(13) {
+            let got = tree.query(q);
+            let want = oracle::diagonal_corner(&pts, q);
+            oracle::assert_same_points(got, want, &format!("{options:?} q={q}"));
+        }
+    }
+}
+
+#[test]
+fn corner_ablation_saves_space() {
+    let pts = interval_points(50_000, 0xAB3, 50_000);
+    let with = MetablockTree::build_with(
+        Geometry::new(16),
+        IoCounter::new(),
+        pts.clone(),
+        DiagOptions::default(),
+    );
+    let without = MetablockTree::build_with(
+        Geometry::new(16),
+        IoCounter::new(),
+        pts,
+        DiagOptions {
+            corner_structures: false,
+            ts_shortcut: true,
+        },
+    );
+    assert!(
+        without.space_pages() < with.space_pages(),
+        "corner structures cost space: {} !< {}",
+        without.space_pages(),
+        with.space_pages()
+    );
+}
+
+#[test]
+fn options_accessor_reports_config() {
+    let t = MetablockTree::new_with(
+        Geometry::new(4),
+        IoCounter::new(),
+        DiagOptions {
+            corner_structures: false,
+            ts_shortcut: true,
+        },
+    );
+    assert!(!t.options().corner_structures);
+    assert!(t.options().ts_shortcut);
+    let d = MetablockTree::new(Geometry::new(4), IoCounter::new());
+    assert_eq!(d.options(), DiagOptions::default());
+}

@@ -1,0 +1,57 @@
+//! Property-based tests for the 3-sided metablock tree.
+
+use ccix_core::ThreeSidedTree;
+use ccix_extmem::{Geometry, IoCounter, Point};
+use ccix_pst::oracle;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn static_build_matches_oracle(
+        coords in proptest::collection::vec((0i64..50, -20i64..30), 0..250),
+        b in 2usize..5,
+        queries in proptest::collection::vec((-2i64..52, -2i64..52, -25i64..35), 1..15),
+    ) {
+        let pts: Vec<Point> = coords
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
+            .collect();
+        let tree = ThreeSidedTree::build(Geometry::new(b), IoCounter::new(), pts.clone());
+        tree.validate_unbilled();
+        for (a, c, y0) in queries {
+            let (x1, x2) = (a.min(c), a.max(c));
+            let got = tree.query(x1, x2, y0);
+            let want = oracle::three_sided(&pts, x1, x2, y0);
+            oracle::assert_same_points(got, want, &format!("b={b} q=({x1},{x2},{y0})"));
+        }
+    }
+
+    #[test]
+    fn mixed_build_and_inserts_match_oracle(
+        seed in proptest::collection::vec((0i64..40, 0i64..40), 0..100),
+        inserts in proptest::collection::vec((0i64..40, 0i64..40), 1..150),
+        b in 2usize..4,
+    ) {
+        let seed_pts: Vec<Point> = seed
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
+            .collect();
+        let mut tree = ThreeSidedTree::build(Geometry::new(b), IoCounter::new(), seed_pts.clone());
+        let mut all = seed_pts;
+        for (i, &(x, y)) in inserts.iter().enumerate() {
+            let p = Point::new(x, y, 1_000_000 + i as u64);
+            tree.insert(p);
+            all.push(p);
+        }
+        tree.validate_unbilled();
+        for (x1, x2, y0) in [(0i64, 39i64, 0i64), (0, 39, 20), (10, 25, 15), (5, 5, 0), (38, 39, 39)] {
+            let got = tree.query(x1, x2, y0);
+            let want = oracle::three_sided(&all, x1, x2, y0);
+            oracle::assert_same_points(got, want, &format!("b={b} q=({x1},{x2},{y0})"));
+        }
+    }
+}

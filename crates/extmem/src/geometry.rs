@@ -1,0 +1,100 @@
+//! Block geometry helpers.
+
+/// Parameters of the external-memory model: the block size `B`.
+///
+/// Bounds throughout the workspace are expressed with these helpers so that
+/// conformance tests read like the paper: `geo.log_b(n) + geo.out_blocks(t)`
+/// is `O(log_B n + t/B)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Geometry {
+    /// Records per disk block (`B`). Must be ≥ 2.
+    pub b: usize,
+}
+
+impl Geometry {
+    /// Create a geometry with block size `b`.
+    ///
+    /// # Panics
+    /// Panics if `b < 2` (the model needs a branching factor of at least 2).
+    pub fn new(b: usize) -> Self {
+        assert!(b >= 2, "block size must be at least 2");
+        Self { b }
+    }
+
+    /// `B^2`, the metablock point capacity and the paper's main-memory
+    /// working-set assumption.
+    #[inline]
+    pub fn b2(&self) -> usize {
+        self.b * self.b
+    }
+
+    /// `B^3`, the capacity of a children-level 3-sided structure (§4).
+    #[inline]
+    pub fn b3(&self) -> usize {
+        self.b * self.b * self.b
+    }
+
+    /// `⌈n / B⌉`: blocks needed to hold `n` records — the `t/B` output term.
+    #[inline]
+    pub fn out_blocks(&self, n: usize) -> usize {
+        n.div_ceil(self.b)
+    }
+
+    /// `⌈log_B (max(n, 2))⌉`, at least 1 — the `log_B n` search term.
+    pub fn log_b(&self, n: usize) -> usize {
+        let mut v = 1usize;
+        let mut levels = 0usize;
+        while v < n.max(2) {
+            v = v.saturating_mul(self.b);
+            levels += 1;
+        }
+        levels.max(1)
+    }
+
+    /// `⌈log2 (max(n, 2))⌉`, at least 1 — the `log2` terms in the class
+    /// bounds.
+    pub fn log2(n: usize) -> usize {
+        let n = n.max(2) as u64;
+        (64 - (n - 1).leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn powers() {
+        let g = Geometry::new(8);
+        assert_eq!(g.b2(), 64);
+        assert_eq!(g.b3(), 512);
+    }
+
+    #[test]
+    fn out_blocks_rounds_up() {
+        let g = Geometry::new(10);
+        assert_eq!(g.out_blocks(0), 0);
+        assert_eq!(g.out_blocks(1), 1);
+        assert_eq!(g.out_blocks(10), 1);
+        assert_eq!(g.out_blocks(11), 2);
+    }
+
+    #[test]
+    fn log_b_examples() {
+        let g = Geometry::new(10);
+        assert_eq!(g.log_b(1), 1);
+        assert_eq!(g.log_b(10), 1);
+        assert_eq!(g.log_b(11), 2);
+        assert_eq!(g.log_b(100), 2);
+        assert_eq!(g.log_b(1001), 4);
+    }
+
+    #[test]
+    fn log2_examples() {
+        assert_eq!(Geometry::log2(0), 1);
+        assert_eq!(Geometry::log2(2), 1);
+        assert_eq!(Geometry::log2(3), 2);
+        assert_eq!(Geometry::log2(1024), 10);
+        assert_eq!(Geometry::log2(1025), 11);
+    }
+}

@@ -1,0 +1,72 @@
+//! The planar record type shared by the two-dimensional structures.
+//!
+//! The paper's reductions (§2) turn every indexing problem into queries over
+//! points `(x, y)`: an interval `[x1, x2]` becomes the point `(x1, x2)` above
+//! the diagonal, an object in a labelled class becomes `(attribute, label)`.
+//! A [`Point`] carries the application's record id as payload.
+
+/// A point in the plane with an application-level id.
+///
+/// Ids must be unique within one structure; the structures use `(coordinate,
+/// id)` lexicographic orders so all selections and partitions are strict
+/// total orders even with duplicate coordinates.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Point {
+    /// x coordinate (e.g. interval left endpoint, or attribute value).
+    pub x: i64,
+    /// y coordinate (e.g. interval right endpoint, or class label).
+    pub y: i64,
+    /// Application record id (payload).
+    pub id: u64,
+}
+
+impl Point {
+    /// Construct a point.
+    pub fn new(x: i64, y: i64, id: u64) -> Self {
+        Self { x, y, id }
+    }
+
+    /// Strict total order by `(x, id)` — the x-partitioning order.
+    #[inline]
+    pub fn xkey(&self) -> (i64, u64) {
+        (self.x, self.id)
+    }
+
+    /// Strict total order by `(y, id)` — the "top by y" selection order.
+    #[inline]
+    pub fn ykey(&self) -> (i64, u64) {
+        (self.y, self.id)
+    }
+}
+
+/// Sort by `(x, id)` ascending.
+pub fn sort_by_x(points: &mut [Point]) {
+    points.sort_unstable_by_key(Point::xkey);
+}
+
+/// Sort by `(y, id)` descending (largest y first).
+pub fn sort_by_y_desc(points: &mut [Point]) {
+    points.sort_unstable_by_key(|p| std::cmp::Reverse(p.ykey()));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orders_break_ties_by_id() {
+        let mut pts = vec![
+            Point::new(1, 5, 2),
+            Point::new(1, 5, 1),
+            Point::new(0, 9, 3),
+        ];
+        sort_by_x(&mut pts);
+        assert_eq!(pts[0].id, 3);
+        assert_eq!(pts[1].id, 1);
+        assert_eq!(pts[2].id, 2);
+        sort_by_y_desc(&mut pts);
+        assert_eq!(pts[0].id, 3);
+        assert_eq!(pts[1].id, 2);
+        assert_eq!(pts[2].id, 1);
+    }
+}

@@ -1,0 +1,148 @@
+//! An LRU buffer pool over a [`Disk`].
+//!
+//! The paper's bounds assume every block access is an I/O; the measured query
+//! paths therefore use the raw stores. The pool exists for the complementary
+//! experiment ("how much does a small cache recover in practice?") and for
+//! realism in the example applications.
+
+use std::collections::HashMap;
+
+use crate::disk::Disk;
+use crate::store::PageId;
+
+/// A fixed-capacity least-recently-used page cache.
+///
+/// Reads served from the pool cost no I/O; misses read through to the
+/// underlying [`Disk`] (one I/O) and may evict. Writes are write-through:
+/// they always cost one I/O and refresh the cached copy.
+#[derive(Debug)]
+pub struct BufferPool {
+    frames: usize,
+    clock: u64,
+    cache: HashMap<PageId, (Vec<u8>, u64)>,
+    hits: u64,
+    misses: u64,
+}
+
+impl BufferPool {
+    /// Create a pool holding up to `frames` pages.
+    ///
+    /// # Panics
+    /// Panics if `frames == 0`.
+    pub fn new(frames: usize) -> Self {
+        assert!(frames > 0, "pool needs at least one frame");
+        Self {
+            frames,
+            clock: 0,
+            cache: HashMap::with_capacity(frames),
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Read `id`, consulting the cache first.
+    pub fn read(&mut self, disk: &Disk, id: PageId) -> Vec<u8> {
+        self.clock += 1;
+        if let Some((buf, used)) = self.cache.get_mut(&id) {
+            *used = self.clock;
+            self.hits += 1;
+            return buf.clone();
+        }
+        self.misses += 1;
+        let buf = disk.read(id).to_vec();
+        self.insert(id, buf.clone());
+        buf
+    }
+
+    /// Write through to the disk and refresh the cached copy.
+    pub fn write(&mut self, disk: &mut Disk, id: PageId, buf: &[u8]) {
+        self.clock += 1;
+        disk.write(id, buf);
+        self.insert(id, buf.to_vec());
+    }
+
+    /// Drop a page from the cache (e.g. after freeing it on disk).
+    pub fn invalidate(&mut self, id: PageId) {
+        self.cache.remove(&id);
+    }
+
+    /// Cache hits observed so far.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Cache misses observed so far.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    fn insert(&mut self, id: PageId, buf: Vec<u8>) {
+        if self.cache.len() >= self.frames && !self.cache.contains_key(&id) {
+            // Evict the least recently used frame. Linear scan is fine: pools
+            // in this workspace are small and eviction is off the measured
+            // path.
+            if let Some((&victim, _)) = self.cache.iter().min_by_key(|(_, (_, used))| *used) {
+                self.cache.remove(&victim);
+            }
+        }
+        self.cache.insert(id, (buf, self.clock));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::IoCounter;
+
+    #[test]
+    fn hits_do_not_cost_io() {
+        let counter = IoCounter::new();
+        let mut disk = Disk::new(8, counter.clone());
+        let id = disk.alloc();
+        disk.write(id, &[1u8; 8]);
+        let mut pool = BufferPool::new(2);
+        let before = counter.reads();
+        let _ = pool.read(&disk, id); // miss
+        let _ = pool.read(&disk, id); // hit
+        let _ = pool.read(&disk, id); // hit
+        assert_eq!(counter.reads() - before, 1);
+        assert_eq!(pool.hits(), 2);
+        assert_eq!(pool.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest() {
+        let counter = IoCounter::new();
+        let mut disk = Disk::new(4, counter.clone());
+        let a = disk.alloc();
+        let b = disk.alloc();
+        let c = disk.alloc();
+        for id in [a, b, c] {
+            disk.write(id, &[id.0 as u8; 4]);
+        }
+        let mut pool = BufferPool::new(2);
+        let _ = pool.read(&disk, a);
+        let _ = pool.read(&disk, b);
+        let _ = pool.read(&disk, c); // evicts a
+        let before = counter.reads();
+        let _ = pool.read(&disk, b); // hit
+        assert_eq!(counter.reads(), before);
+        let _ = pool.read(&disk, a); // miss again
+        assert_eq!(counter.reads(), before + 1);
+    }
+
+    #[test]
+    fn write_through_refreshes_cache() {
+        let counter = IoCounter::new();
+        let mut disk = Disk::new(4, counter.clone());
+        let id = disk.alloc();
+        disk.write(id, &[0u8; 4]);
+        let mut pool = BufferPool::new(1);
+        let _ = pool.read(&disk, id);
+        pool.write(&mut disk, id, &[9u8; 4]);
+        let before = counter.reads();
+        let buf = pool.read(&disk, id);
+        assert_eq!(buf, vec![9u8; 4]);
+        assert_eq!(counter.reads(), before, "served from cache");
+    }
+}

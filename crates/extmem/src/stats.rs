@@ -1,0 +1,182 @@
+//! I/O accounting.
+//!
+//! All stores in this crate (and all structures built on them) share an
+//! [`IoCounter`]: a cheap, cloneable handle to a pair of monotone counters.
+//! Measurements are taken with [`IoCounter::snapshot`] before an operation
+//! and [`IoSnapshot::delta`] (or [`IoCounter::since`]) after it.
+
+use std::cell::Cell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Monotone counters of page transfers.
+///
+/// `reads` counts disk-to-memory transfers, `writes` memory-to-disk.
+/// In the paper's cost model both directions cost one I/O.
+#[derive(Default, Debug)]
+pub struct IoStats {
+    reads: Cell<u64>,
+    writes: Cell<u64>,
+}
+
+impl IoStats {
+    /// Record `n` page reads.
+    #[inline]
+    pub fn add_reads(&self, n: u64) {
+        self.reads.set(self.reads.get() + n);
+    }
+
+    /// Record `n` page writes.
+    #[inline]
+    pub fn add_writes(&self, n: u64) {
+        self.writes.set(self.writes.get() + n);
+    }
+
+    /// Total page reads so far.
+    #[inline]
+    pub fn reads(&self) -> u64 {
+        self.reads.get()
+    }
+
+    /// Total page writes so far.
+    #[inline]
+    pub fn writes(&self) -> u64 {
+        self.writes.get()
+    }
+
+    /// Total page transfers (reads + writes).
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.reads() + self.writes()
+    }
+}
+
+/// A cloneable handle to shared [`IoStats`].
+///
+/// Every store constructed from the same counter contributes to the same
+/// totals, which is how multi-structure indexes (e.g. the interval manager's
+/// B+-tree plus metablock tree) report a single cost per operation.
+#[derive(Clone, Default)]
+pub struct IoCounter(Rc<IoStats>);
+
+impl IoCounter {
+    /// Create a fresh counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record `n` page reads.
+    #[inline]
+    pub fn add_reads(&self, n: u64) {
+        self.0.add_reads(n);
+    }
+
+    /// Record `n` page writes.
+    #[inline]
+    pub fn add_writes(&self, n: u64) {
+        self.0.add_writes(n);
+    }
+
+    /// Total page reads so far.
+    #[inline]
+    pub fn reads(&self) -> u64 {
+        self.0.reads()
+    }
+
+    /// Total page writes so far.
+    #[inline]
+    pub fn writes(&self) -> u64 {
+        self.0.writes()
+    }
+
+    /// Total page transfers so far.
+    #[inline]
+    pub fn total(&self) -> u64 {
+        self.0.total()
+    }
+
+    /// Capture the current counter values.
+    pub fn snapshot(&self) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads(),
+            writes: self.writes(),
+        }
+    }
+
+    /// Transfers performed since `snap` was taken.
+    pub fn since(&self, snap: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: self.reads() - snap.reads,
+            writes: self.writes() - snap.writes,
+        }
+    }
+}
+
+impl fmt::Debug for IoCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("IoCounter")
+            .field("reads", &self.reads())
+            .field("writes", &self.writes())
+            .finish()
+    }
+}
+
+/// A point-in-time view of the counters; also used as a delta.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IoSnapshot {
+    /// Page reads at snapshot time (or in the delta).
+    pub reads: u64,
+    /// Page writes at snapshot time (or in the delta).
+    pub writes: u64,
+}
+
+impl IoSnapshot {
+    /// Reads + writes.
+    pub fn total(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Difference between a later snapshot and this one.
+    pub fn delta(&self, later: IoSnapshot) -> IoSnapshot {
+        IoSnapshot {
+            reads: later.reads - self.reads,
+            writes: later.writes - self.writes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let c = IoCounter::new();
+        c.add_reads(3);
+        c.add_writes(2);
+        assert_eq!(c.reads(), 3);
+        assert_eq!(c.writes(), 2);
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn snapshot_delta() {
+        let c = IoCounter::new();
+        c.add_reads(10);
+        let s = c.snapshot();
+        c.add_reads(5);
+        c.add_writes(1);
+        let d = c.since(s);
+        assert_eq!(d.reads, 5);
+        assert_eq!(d.writes, 1);
+        assert_eq!(d.total(), 6);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let c = IoCounter::new();
+        let c2 = c.clone();
+        c2.add_writes(7);
+        assert_eq!(c.writes(), 7);
+    }
+}

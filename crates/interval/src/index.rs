@@ -1,0 +1,186 @@
+//! The generalized one-dimensional index of §2.1, realised as a B+-tree on
+//! left endpoints plus a metablock tree for stabbing queries.
+
+use ccix_bptree::{BPlusTree, Entry};
+use ccix_core::MetablockTree;
+use ccix_extmem::{Disk, Geometry, IoCounter, Point};
+
+/// A closed interval with an application id (a *generalized key*: the
+/// projection of a generalized tuple on the indexed attribute).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Interval {
+    /// Left endpoint.
+    pub lo: i64,
+    /// Right endpoint (`hi ≥ lo`).
+    pub hi: i64,
+    /// Application id (e.g. the generalized tuple it projects from).
+    pub id: u64,
+}
+
+impl Interval {
+    /// Construct an interval.
+    ///
+    /// # Panics
+    /// Panics if `hi < lo`.
+    pub fn new(lo: i64, hi: i64, id: u64) -> Self {
+        assert!(hi >= lo, "interval endpoints out of order");
+        Self { lo, hi, id }
+    }
+
+    /// The point `(lo, hi)` above the diagonal (Fig. 3's mapping).
+    fn point(&self) -> Point {
+        Point::new(self.lo, self.hi, self.id)
+    }
+}
+
+/// External dynamic interval management (Proposition 2.2 + Theorem 3.7).
+///
+/// Semi-dynamic: supports insertion; deletion is the paper's open problem
+/// (§5) and is unsupported here too.
+#[derive(Debug)]
+pub struct IntervalIndex {
+    geo: Geometry,
+    counter: IoCounter,
+    disk: Disk,
+    endpoints: BPlusTree,
+    stab: MetablockTree,
+    len: usize,
+}
+
+impl IntervalIndex {
+    /// Page size (bytes) giving the endpoint B+-tree the same record-per-
+    /// block budget as the typed stores: `B` 24-byte entries plus header.
+    fn page_size(geo: Geometry) -> usize {
+        (24 * geo.b + 7).max(103)
+    }
+
+    /// Create an empty index.
+    pub fn new(geo: Geometry, counter: IoCounter) -> Self {
+        let mut disk = Disk::new(Self::page_size(geo), counter.clone());
+        let endpoints = BPlusTree::new(&mut disk);
+        let stab = MetablockTree::new(geo, counter.clone());
+        Self {
+            geo,
+            counter,
+            disk,
+            endpoints,
+            stab,
+            len: 0,
+        }
+    }
+
+    /// Bulk-build from a set of intervals (ids must be unique).
+    pub fn build(geo: Geometry, counter: IoCounter, intervals: &[Interval]) -> Self {
+        let mut disk = Disk::new(Self::page_size(geo), counter.clone());
+        let mut entries: Vec<Entry> = intervals
+            .iter()
+            .map(|iv| Entry::with_aux(iv.lo, iv.id, iv.hi as u64))
+            .collect();
+        entries.sort_unstable();
+        let endpoints = BPlusTree::bulk_load(&mut disk, &entries);
+        let points: Vec<Point> = intervals.iter().map(Interval::point).collect();
+        let stab = MetablockTree::build(geo, counter.clone(), points);
+        Self {
+            geo,
+            counter,
+            disk,
+            endpoints,
+            stab,
+            len: intervals.len(),
+        }
+    }
+
+    /// Number of intervals stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Block geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// The shared I/O counter (covers both component structures).
+    pub fn counter(&self) -> &IoCounter {
+        &self.counter
+    }
+
+    /// Disk blocks occupied by both structures.
+    pub fn space_pages(&self) -> usize {
+        self.disk.pages_in_use() + self.stab.space_pages()
+    }
+
+    /// Insert `[lo, hi]` with `id`. Amortised
+    /// `O(log_B n + (log_B n)²/B)` I/Os.
+    pub fn insert(&mut self, lo: i64, hi: i64, id: u64) {
+        let iv = Interval::new(lo, hi, id);
+        self.endpoints
+            .insert_entry(&mut self.disk, Entry::with_aux(iv.lo, iv.id, iv.hi as u64));
+        self.stab.insert(iv.point());
+        self.len += 1;
+    }
+
+    /// Ids of all intervals containing `q` (stabbing query).
+    /// `O(log_B n + t/B)` I/Os.
+    pub fn stabbing(&self, q: i64) -> Vec<u64> {
+        self.stabbing_intervals(q).iter().map(|iv| iv.id).collect()
+    }
+
+    /// As [`IntervalIndex::stabbing`], returning full intervals.
+    pub fn stabbing_intervals(&self, q: i64) -> Vec<Interval> {
+        let mut pts = Vec::new();
+        self.stab.query_into(q, &mut pts);
+        pts.into_iter()
+            .map(|p| Interval::new(p.x, p.y, p.id))
+            .collect()
+    }
+
+    /// Ids of all intervals intersecting `[q1, q2]`.
+    /// `O(log_B n + t/B)` I/Os; no interval is reported twice.
+    pub fn intersecting(&self, q1: i64, q2: i64) -> Vec<u64> {
+        self.intersecting_intervals(q1, q2)
+            .iter()
+            .map(|iv| iv.id)
+            .collect()
+    }
+
+    /// As [`IntervalIndex::intersecting`], returning full intervals.
+    pub fn intersecting_intervals(&self, q1: i64, q2: i64) -> Vec<Interval> {
+        assert!(q1 <= q2, "query interval endpoints out of order");
+        // Types 3/4: intervals containing q1.
+        let mut out = self.stabbing_intervals(q1);
+        // Types 1/2: left endpoint strictly inside (q1, q2]. Strictness
+        // avoids double-reporting intervals with lo == q1, which the
+        // stabbing query already returned.
+        if q1 < q2 {
+            for e in self.endpoints.range_entries(&self.disk, q1 + 1, q2) {
+                // The leaf entry is a covering record: key = lo, value = id,
+                // aux = hi, so full intervals are reported with no extra I/O.
+                out.push(Interval::new(e.key, e.aux as i64, e.value));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interval_validation() {
+        let iv = Interval::new(2, 5, 1);
+        assert_eq!(iv.point(), Point::new(2, 5, 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of order")]
+    fn reversed_interval_rejected() {
+        let _ = Interval::new(5, 2, 1);
+    }
+}

@@ -1,0 +1,138 @@
+//! The baseline the paper dismisses in §2.1: a heap file of intervals,
+//! scanned linearly per query.
+//!
+//! "There is a trivial, but inefficient, solution … this involves a linear
+//! scan of the generalized relation." Insertions are `O(1)` (append to the
+//! last page); every query is `O(n/B)`. Experiment E9 measures the
+//! crossover against [`crate::IntervalIndex`].
+
+use ccix_extmem::{Geometry, IoCounter, PageId, TypedStore};
+
+use crate::Interval;
+
+/// An unindexed paged heap of intervals.
+#[derive(Debug)]
+pub struct NaiveIntervalStore {
+    store: TypedStore<Interval>,
+    pages: Vec<PageId>,
+    last_len: usize,
+    len: usize,
+}
+
+impl NaiveIntervalStore {
+    /// Create an empty store with block size `geo.b`.
+    pub fn new(geo: Geometry, counter: IoCounter) -> Self {
+        Self {
+            store: TypedStore::new(geo.b, counter),
+            pages: Vec::new(),
+            last_len: 0,
+            len: 0,
+        }
+    }
+
+    /// Number of intervals stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Disk blocks occupied.
+    pub fn space_pages(&self) -> usize {
+        self.store.pages_in_use()
+    }
+
+    /// The shared I/O counter.
+    pub fn counter(&self) -> &IoCounter {
+        self.store.counter()
+    }
+
+    /// Append an interval: `O(1)` I/Os (read-modify-write of the tail page).
+    pub fn insert(&mut self, lo: i64, hi: i64, id: u64) {
+        let iv = Interval::new(lo, hi, id);
+        if self.last_len == self.store.capacity() || self.pages.is_empty() {
+            let pg = self.store.alloc(vec![iv]);
+            self.pages.push(pg);
+            self.last_len = 1;
+        } else {
+            let pg = *self.pages.last().expect("nonempty");
+            let mut recs = self.store.read(pg).to_vec();
+            recs.push(iv);
+            self.store.write(pg, recs);
+            self.last_len += 1;
+        }
+        self.len += 1;
+    }
+
+    /// All intervals containing `q`: a full scan, `O(n/B)` I/Os.
+    pub fn stabbing(&self, q: i64) -> Vec<u64> {
+        let mut out = Vec::new();
+        for &pg in &self.pages {
+            for iv in self.store.read(pg) {
+                if iv.lo <= q && q <= iv.hi {
+                    out.push(iv.id);
+                }
+            }
+        }
+        out
+    }
+
+    /// All intervals intersecting `[q1, q2]`: a full scan, `O(n/B)` I/Os.
+    pub fn intersecting(&self, q1: i64, q2: i64) -> Vec<u64> {
+        assert!(q1 <= q2, "query interval endpoints out of order");
+        let mut out = Vec::new();
+        for &pg in &self.pages {
+            for iv in self.store.read(pg) {
+                if iv.lo <= q2 && q1 <= iv.hi {
+                    out.push(iv.id);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_costs_n_over_b() {
+        let counter = IoCounter::new();
+        let mut s = NaiveIntervalStore::new(Geometry::new(8), counter.clone());
+        for i in 0..800u64 {
+            s.insert(i as i64, i as i64 + 5, i);
+        }
+        assert_eq!(s.space_pages(), 100);
+        let before = counter.snapshot();
+        let hits = s.stabbing(400);
+        assert_eq!(hits.len(), 6);
+        assert_eq!(counter.since(before).reads, 100, "full scan");
+    }
+
+    #[test]
+    fn append_is_constant_io() {
+        let counter = IoCounter::new();
+        let mut s = NaiveIntervalStore::new(Geometry::new(16), counter.clone());
+        s.insert(0, 1, 0);
+        let before = counter.snapshot();
+        s.insert(1, 2, 1);
+        assert!(counter.since(before).total() <= 2);
+    }
+
+    #[test]
+    fn intersecting_matches_semantics() {
+        let counter = IoCounter::new();
+        let mut s = NaiveIntervalStore::new(Geometry::new(4), counter);
+        s.insert(0, 2, 1);
+        s.insert(5, 9, 2);
+        s.insert(3, 4, 3);
+        let mut hits = s.intersecting(2, 5);
+        hits.sort_unstable();
+        assert_eq!(hits, vec![1, 2, 3]);
+        assert!(s.intersecting(10, 12).is_empty());
+    }
+}

@@ -1,0 +1,200 @@
+//! Correctness and bound tests for external dynamic interval management
+//! (Proposition 2.2 / §2.1).
+
+use ccix_extmem::{Geometry, IoCounter};
+use ccix_interval::{Interval, IntervalIndex, NaiveIntervalStore};
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed | 1;
+    move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+}
+
+fn random_intervals(n: usize, seed: u64, range: i64, max_len: i64) -> Vec<Interval> {
+    let mut next = xorshift(seed);
+    (0..n)
+        .map(|i| {
+            let lo = (next() % range as u64) as i64;
+            let len = (next() % max_len as u64) as i64;
+            Interval::new(lo, lo + len, i as u64)
+        })
+        .collect()
+}
+
+fn oracle_stab(ivs: &[Interval], q: i64) -> Vec<u64> {
+    let mut v: Vec<u64> = ivs
+        .iter()
+        .filter(|iv| iv.lo <= q && q <= iv.hi)
+        .map(|iv| iv.id)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+fn oracle_intersect(ivs: &[Interval], q1: i64, q2: i64) -> Vec<u64> {
+    let mut v: Vec<u64> = ivs
+        .iter()
+        .filter(|iv| iv.lo <= q2 && q1 <= iv.hi)
+        .map(|iv| iv.id)
+        .collect();
+    v.sort_unstable();
+    v
+}
+
+#[test]
+fn empty_index() {
+    let idx = IntervalIndex::new(Geometry::new(8), IoCounter::new());
+    assert!(idx.is_empty());
+    assert!(idx.stabbing(0).is_empty());
+    assert!(idx.intersecting(-5, 5).is_empty());
+}
+
+#[test]
+fn built_index_matches_oracle() {
+    for &(n, b) in &[(100usize, 4usize), (2_000, 8), (5_000, 16)] {
+        let ivs = random_intervals(n, 0x1D + n as u64, 1_000, 50);
+        let idx = IntervalIndex::build(Geometry::new(b), IoCounter::new(), &ivs);
+        for q in (-10..1_060).step_by(53) {
+            let mut got = idx.stabbing(q);
+            got.sort_unstable();
+            assert_eq!(got, oracle_stab(&ivs, q), "stab n={n} b={b} q={q}");
+        }
+        for (q1, w) in [(0i64, 10i64), (500, 0), (100, 400), (-20, 2_000)] {
+            let mut got = idx.intersecting(q1, q1 + w);
+            got.sort_unstable();
+            assert_eq!(
+                got,
+                oracle_intersect(&ivs, q1, q1 + w),
+                "intersect n={n} b={b} q=[{q1},{}]",
+                q1 + w
+            );
+        }
+    }
+}
+
+#[test]
+fn incremental_index_matches_oracle() {
+    let mut idx = IntervalIndex::new(Geometry::new(4), IoCounter::new());
+    let ivs = random_intervals(3_000, 0xF1FE, 500, 30);
+    for (i, iv) in ivs.iter().enumerate() {
+        idx.insert(iv.lo, iv.hi, iv.id);
+        if i % 613 == 0 {
+            let q = (i % 500) as i64;
+            let mut got = idx.stabbing(q);
+            got.sort_unstable();
+            assert_eq!(got, oracle_stab(&ivs[..=i], q), "i={i} q={q}");
+        }
+    }
+    for q in (0..530).step_by(19) {
+        let mut got = idx.stabbing(q);
+        got.sort_unstable();
+        assert_eq!(got, oracle_stab(&ivs, q), "final q={q}");
+        let mut got = idx.intersecting(q, q + 25);
+        got.sort_unstable();
+        assert_eq!(got, oracle_intersect(&ivs, q, q + 25), "final [{q},{}]", q + 25);
+    }
+}
+
+#[test]
+fn full_interval_reporting_preserves_endpoints() {
+    let ivs = vec![
+        Interval::new(0, 10, 1),
+        Interval::new(5, 6, 2),
+        Interval::new(8, 20, 3),
+    ];
+    let idx = IntervalIndex::build(Geometry::new(4), IoCounter::new(), &ivs);
+    let mut got = idx.intersecting_intervals(6, 9);
+    got.sort_unstable_by_key(|iv| iv.id);
+    assert_eq!(got, ivs, "full records including right endpoints");
+}
+
+#[test]
+fn no_duplicates_when_lo_equals_query_start() {
+    let ivs = vec![
+        Interval::new(5, 10, 1), // lo == q1: must come from stabbing only
+        Interval::new(5, 5, 2),
+        Interval::new(6, 7, 3),
+    ];
+    let idx = IntervalIndex::build(Geometry::new(4), IoCounter::new(), &ivs);
+    let mut got = idx.intersecting(5, 7);
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2, 3]);
+}
+
+/// Theorem 3.7 through the reduction: stabbing and intersection queries cost
+/// `O(log_B n + t/B)` I/Os.
+#[test]
+fn query_io_bound() {
+    let b = 16;
+    let geo = Geometry::new(b);
+    let n = 40_000;
+    let ivs = random_intervals(n, 0xB0B0, 200_000, 1_000);
+    let counter = IoCounter::new();
+    let idx = IntervalIndex::build(geo, counter.clone(), &ivs);
+    for q in (0..200_000).step_by(7_919) {
+        let before = counter.snapshot();
+        let got = idx.intersecting(q, q + 500);
+        let cost = counter.since(before);
+        let bound = 12 * geo.log_b(n) + 5 * geo.out_blocks(got.len()) + 14;
+        assert!(
+            cost.reads <= bound as u64,
+            "q={q}: {} reads > {bound} (t={})",
+            cost.reads,
+            got.len()
+        );
+        assert_eq!(cost.writes, 0);
+    }
+}
+
+/// Space is `O(n/B)` pages across both component structures.
+#[test]
+fn space_bound() {
+    let b = 16;
+    let geo = Geometry::new(b);
+    let n = 40_000;
+    let ivs = random_intervals(n, 3, 1_000_000, 500);
+    let idx = IntervalIndex::build(geo, IoCounter::new(), &ivs);
+    let budget = 12 * geo.out_blocks(n) + 30;
+    assert!(
+        idx.space_pages() <= budget,
+        "{} pages > {budget}",
+        idx.space_pages()
+    );
+}
+
+/// E9 sanity: the index beats the naive scan for point queries once n is
+/// large, and the naive store wins on raw insert cost.
+#[test]
+fn naive_crossover_direction() {
+    let geo = Geometry::new(16);
+    let n = 20_000;
+    let ivs = random_intervals(n, 0xE9, 100_000, 100);
+
+    let idx_counter = IoCounter::new();
+    let idx = IntervalIndex::build(geo, idx_counter.clone(), &ivs);
+    let naive_counter = IoCounter::new();
+    let mut naive = NaiveIntervalStore::new(geo, naive_counter.clone());
+    for iv in &ivs {
+        naive.insert(iv.lo, iv.hi, iv.id);
+    }
+
+    let before = idx_counter.snapshot();
+    let a = idx.stabbing(50_000);
+    let idx_cost = idx_counter.since(before).reads;
+    let before = naive_counter.snapshot();
+    let mut b = naive.stabbing(50_000);
+    let naive_cost = naive_counter.since(before).reads;
+
+    let mut a_sorted = a;
+    a_sorted.sort_unstable();
+    b.sort_unstable();
+    assert_eq!(a_sorted, b, "answers agree");
+    assert!(
+        10 * idx_cost < naive_cost,
+        "index ({idx_cost}) should beat scan ({naive_cost}) by ≥10x at n={n}"
+    );
+}

@@ -1,0 +1,370 @@
+//! The external static priority search tree of Lemma 4.1 (\[17\]).
+//!
+//! "The data structure is essentially a priority search tree where each node
+//! contains B points." Every node occupies exactly one disk page holding its
+//! control record plus up to `B − 1` points — the `B − 1` largest-`y` points
+//! of its subtree, with the remainder split at the median `x` between two
+//! children. Hence:
+//!
+//! * space `O(n/B)` pages,
+//! * 3-sided query `O(log2 n + t/B)` I/Os,
+//! * bulk build `O((n/B) log_B n)` I/Os (one write per page emitted).
+
+use ccix_extmem::{Geometry, IoCounter, PageId, Point, TypedStore};
+
+/// One record on a PST page: the leading control record or a data point.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum PstRec {
+    /// First record of each page: split key and child pointers.
+    Meta {
+        /// x-split: points with `xkey ≤ split` are in the left subtree.
+        split: (i64, u64),
+        /// Left child page.
+        left: Option<PageId>,
+        /// Right child page.
+        right: Option<PageId>,
+    },
+    /// A data point; stored sorted by `y` descending after the meta record.
+    Pt(Point),
+}
+
+/// External static priority search tree (Lemma 4.1).
+///
+/// Answers `x1 ≤ x ≤ x2 ∧ y ≥ y0` in `O(log2 n + t/B)` I/Os on the shared
+/// counter. Static: rebuild to change contents (the §3–4 structures rebuild
+/// their PSTs during amortised reorganisations).
+#[derive(Debug)]
+pub struct ExternalPst {
+    store: TypedStore<PstRec>,
+    root: Option<PageId>,
+    len: usize,
+    height: usize,
+}
+
+impl ExternalPst {
+    /// Points stored per node page (`B − 1`; one record is the meta).
+    fn node_cap(geo: Geometry) -> usize {
+        geo.b - 1
+    }
+
+    /// Build from `points` (any order; ids must be unique).
+    pub fn build(geo: Geometry, counter: IoCounter, mut points: Vec<Point>) -> Self {
+        assert!(geo.b >= 2, "external PST needs B ≥ 2");
+        {
+            let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
+        }
+        let mut store = TypedStore::new(geo.b, counter);
+        let len = points.len();
+        ccix_extmem::sort_by_x(&mut points);
+        let (root, height) = Self::build_rec(&mut store, geo, &mut points);
+        Self {
+            store,
+            root,
+            len,
+            height,
+        }
+    }
+
+    /// Build over an x-sorted vector; returns (root page, height).
+    fn build_rec(
+        store: &mut TypedStore<PstRec>,
+        geo: Geometry,
+        points: &mut Vec<Point>,
+    ) -> (Option<PageId>, usize) {
+        if points.is_empty() {
+            return (None, 0);
+        }
+        let k = Self::node_cap(geo).min(points.len());
+        // Select the k largest ykeys, removing them while preserving x order.
+        let mut ys: Vec<(i64, u64)> = points.iter().map(Point::ykey).collect();
+        ys.sort_unstable_by(|a, b| b.cmp(a));
+        let threshold = ys[k - 1];
+        let mut top: Vec<Point> = Vec::with_capacity(k);
+        points.retain(|p| {
+            if p.ykey() >= threshold {
+                top.push(*p);
+                false
+            } else {
+                true
+            }
+        });
+        debug_assert_eq!(top.len(), k);
+        ccix_extmem::sort_by_y_desc(&mut top);
+
+        let (meta, depth) = if points.is_empty() {
+            (
+                PstRec::Meta {
+                    split: (i64::MIN, 0),
+                    left: None,
+                    right: None,
+                },
+                1,
+            )
+        } else {
+            let mid = (points.len() - 1) / 2;
+            let split = points[mid].xkey();
+            let mut right_part = points.split_off(mid + 1);
+            let (left, lh) = Self::build_rec(store, geo, points);
+            let (right, rh) = Self::build_rec(store, geo, &mut right_part);
+            (PstRec::Meta { split, left, right }, 1 + lh.max(rh))
+        };
+        let mut recs = Vec::with_capacity(k + 1);
+        recs.push(meta);
+        recs.extend(top.into_iter().map(PstRec::Pt));
+        (Some(store.alloc(recs)), depth)
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Tree height in nodes (0 when empty).
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Disk blocks occupied.
+    pub fn space_pages(&self) -> usize {
+        self.store.pages_in_use()
+    }
+
+    /// The I/O counter shared by this structure.
+    pub fn counter(&self) -> &IoCounter {
+        self.store.counter()
+    }
+
+    /// Report every point with `x1 ≤ x ≤ x2` and `y ≥ y0`.
+    pub fn query(&self, x1: i64, x2: i64, y0: i64) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.query_into(x1, x2, y0, &mut out);
+        out
+    }
+
+    /// As [`ExternalPst::query`], appending into `out`.
+    pub fn query_into(&self, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        if x1 > x2 {
+            return;
+        }
+        if let Some(root) = self.root {
+            self.visit(root, x1, x2, y0, out);
+        }
+    }
+
+    /// Diagonal-corner query `x ≤ q ≤ y` (a special case of 3-sided); used
+    /// by experiment E12 to compare against the metablock tree.
+    pub fn diagonal_into(&self, q: i64, out: &mut Vec<Point>) {
+        self.query_into(i64::MIN, q, q, out);
+    }
+
+    /// Read back every stored point (one I/O per page); used when a dynamic
+    /// wrapper rebuilds a PST with newly staged points.
+    pub fn collect_points(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack: Vec<PageId> = self.root.into_iter().collect();
+        while let Some(page) = stack.pop() {
+            let recs = self.store.read(page);
+            let PstRec::Meta { left, right, .. } = recs[0] else {
+                unreachable!("first record of a PST page is always the meta");
+            };
+            for rec in &recs[1..] {
+                let PstRec::Pt(p) = rec else {
+                    unreachable!("data records follow the meta record")
+                };
+                out.push(*p);
+            }
+            stack.extend(left);
+            stack.extend(right);
+        }
+        out
+    }
+
+    /// As [`ExternalPst::collect_points`] without charging I/Os (validation
+    /// only).
+    pub fn collect_points_unbilled(&self) -> Vec<Point> {
+        let mut out = Vec::with_capacity(self.len);
+        let mut stack: Vec<PageId> = self.root.into_iter().collect();
+        while let Some(page) = stack.pop() {
+            let recs = self.store.read_unbilled(page);
+            let PstRec::Meta { left, right, .. } = recs[0] else {
+                unreachable!("first record of a PST page is always the meta");
+            };
+            for rec in &recs[1..] {
+                let PstRec::Pt(p) = rec else {
+                    unreachable!("data records follow the meta record")
+                };
+                out.push(*p);
+            }
+            stack.extend(left);
+            stack.extend(right);
+        }
+        out
+    }
+
+    fn visit(&self, page: PageId, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        let recs = self.store.read(page); // one I/O per visited node
+        let PstRec::Meta { split, left, right } = recs[0] else {
+            unreachable!("first record of a PST page is always the meta");
+        };
+        // Points are y-descending: stop at the first below y0. If any stored
+        // point is below y0, the subtree below is exhausted (heap property).
+        let mut all_above = true;
+        for rec in &recs[1..] {
+            let PstRec::Pt(p) = rec else {
+                unreachable!("data records follow the meta record")
+            };
+            if p.y < y0 {
+                all_above = false;
+                break;
+            }
+            if p.x >= x1 && p.x <= x2 {
+                out.push(*p);
+            }
+        }
+        if !all_above {
+            return;
+        }
+        if let Some(l) = left {
+            if (x1, u64::MIN) <= split {
+                self.visit(l, x1, x2, y0, out);
+            }
+        }
+        if let Some(r) = right {
+            if (x2, u64::MAX) > split {
+                self.visit(r, x1, x2, y0, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    fn build(b: usize, pts: &[Point]) -> ExternalPst {
+        ExternalPst::build(Geometry::new(b), IoCounter::new(), pts.to_vec())
+    }
+
+    fn random_points(n: usize, seed: u64, range: i64) -> Vec<Point> {
+        let mut x = seed | 1;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        (0..n)
+            .map(|i| {
+                Point::new(
+                    (next() % range as u64) as i64,
+                    (next() % range as u64) as i64,
+                    i as u64,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn empty_build() {
+        let pst = build(4, &[]);
+        assert!(pst.is_empty());
+        assert_eq!(pst.height(), 0);
+        assert!(pst.query(i64::MIN, i64::MAX, i64::MIN).is_empty());
+    }
+
+    #[test]
+    fn inverted_range_is_empty() {
+        let pst = build(4, &[Point::new(0, 0, 1)]);
+        assert!(pst.query(5, 3, 0).is_empty());
+    }
+
+    #[test]
+    fn queries_match_oracle_on_random_sets() {
+        for &(n, b) in &[(1usize, 2usize), (7, 2), (100, 4), (1000, 8), (3000, 16)] {
+            let pts = random_points(n, 0xC0FFEE + n as u64, 500);
+            let pst = build(b, &pts);
+            for &(x1, x2, y0) in &[
+                (0i64, 499i64, 0i64),
+                (100, 300, 250),
+                (250, 250, 0),
+                (0, 499, 499),
+                (400, 499, 400),
+            ] {
+                let got = pst.query(x1, x2, y0);
+                let want = oracle::three_sided(&pts, x1, x2, y0);
+                oracle::assert_same_points(got, want, &format!("n={n} b={b} q=({x1},{x2},{y0})"));
+            }
+        }
+    }
+
+    #[test]
+    fn space_is_linear_in_n_over_b() {
+        let geo = Geometry::new(16);
+        let pts = random_points(5000, 7, 10_000);
+        let pst = ExternalPst::build(geo, IoCounter::new(), pts);
+        let pages = pst.space_pages();
+        // Each page holds B−1 = 15 points; allow the tree's slack.
+        assert!(pages >= 5000 / 16);
+        assert!(pages <= 3 * (5000 / 15) + 3, "pages = {pages}");
+    }
+
+    /// Lemma 4.1: query cost `O(log2 n + t/B)`.
+    #[test]
+    fn query_io_bound() {
+        let b = 16;
+        let geo = Geometry::new(b);
+        let n = 20_000;
+        let pts = random_points(n, 99, 100_000);
+        let counter = IoCounter::new();
+        let pst = ExternalPst::build(geo, counter.clone(), pts.clone());
+        for &(x1, x2, y0) in &[
+            (0i64, 99_999i64, 0i64),
+            (0, 99_999, 95_000),
+            (20_000, 30_000, 50_000),
+            (50_000, 50_100, 0),
+        ] {
+            let before = counter.snapshot();
+            let got = pst.query(x1, x2, y0);
+            let cost = counter.since(before);
+            let t = got.len();
+            let bound = 4 * (Geometry::log2(n) + geo.out_blocks(t)) + 4;
+            assert!(
+                cost.reads <= bound as u64,
+                "q=({x1},{x2},{y0}): {} reads > bound {bound} (t={t})",
+                cost.reads
+            );
+            assert_eq!(cost.writes, 0);
+        }
+    }
+
+    #[test]
+    fn all_duplicate_coordinates() {
+        let pts: Vec<Point> = (0..200).map(|i| Point::new(5, 5, i)).collect();
+        let pst = build(4, &pts);
+        assert_eq!(pst.query(5, 5, 5).len(), 200);
+        assert!(pst.query(5, 5, 6).is_empty());
+        assert!(pst.query(6, 7, 0).is_empty());
+    }
+
+    #[test]
+    fn diagonal_equals_three_sided_special_case() {
+        let pts: Vec<Point> = (0..500)
+            .map(|i| Point::new(i, i + (i % 37), i as u64))
+            .collect();
+        let pst = build(8, &pts);
+        for q in [0i64, 100, 250, 499, 600] {
+            let mut got = Vec::new();
+            pst.diagonal_into(q, &mut got);
+            let want = oracle::diagonal_corner(&pts, q);
+            oracle::assert_same_points(got, want, &format!("diag q={q}"));
+        }
+    }
+}

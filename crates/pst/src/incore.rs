@@ -1,0 +1,212 @@
+//! McCreight's in-core priority search tree \[25\].
+//!
+//! The paper's yardstick for dynamic interval management (§1.4): `O(n)`
+//! space, `O(log2 n + t)` query. We implement the classic static variant —
+//! the root stores the point with maximum `y`; the remaining points are
+//! split at the median `x` into two subtrees — which is all the paper uses
+//! it for (the in-core bound to be matched externally).
+
+use ccix_extmem::Point;
+
+/// A static in-core priority search tree over unique-id points.
+#[derive(Debug)]
+pub struct InCorePst {
+    nodes: Vec<Node>,
+    root: Option<usize>,
+    len: usize,
+}
+
+#[derive(Debug)]
+struct Node {
+    /// The maximum-`(y, id)` point of this subtree.
+    top: Point,
+    /// x-split: points with `xkey ≤ split` go left, others right.
+    split: (i64, u64),
+    left: Option<usize>,
+    right: Option<usize>,
+}
+
+impl InCorePst {
+    /// Build from a set of points (any order). `O(n log n)` time.
+    ///
+    /// # Panics
+    /// Panics if two points share an id.
+    pub fn build(mut points: Vec<Point>) -> Self {
+        let len = points.len();
+        let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
+
+        ccix_extmem::sort_by_x(&mut points);
+        let mut tree = Self {
+            nodes: Vec::with_capacity(len),
+            root: None,
+            len,
+        };
+        tree.root = tree.build_rec(&mut points);
+        tree
+    }
+
+    /// Recursively build over an x-sorted slice; extracts the max-y point,
+    /// then splits the remainder at the median x.
+    fn build_rec(&mut self, points: &mut Vec<Point>) -> Option<usize> {
+        if points.is_empty() {
+            return None;
+        }
+        // Extract the top point, keeping x order in the remainder.
+        let top_idx = points
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, p)| p.ykey())
+            .map(|(i, _)| i)
+            .expect("nonempty");
+        let top = points.remove(top_idx);
+        if points.is_empty() {
+            let id = self.nodes.len();
+            self.nodes.push(Node {
+                top,
+                split: top.xkey(),
+                left: None,
+                right: None,
+            });
+            return Some(id);
+        }
+        let mid = (points.len() - 1) / 2;
+        let split = points[mid].xkey();
+        let mut right_part = points.split_off(mid + 1);
+        let left = self.build_rec(points);
+        let right = self.build_rec(&mut right_part);
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            top,
+            split,
+            left,
+            right,
+        });
+        Some(id)
+    }
+
+    /// Number of points stored.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Report every point with `x1 ≤ x ≤ x2` and `y ≥ y0`.
+    pub fn query(&self, x1: i64, x2: i64, y0: i64) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.query_into(x1, x2, y0, &mut out);
+        out
+    }
+
+    /// As [`InCorePst::query`], appending into `out`.
+    pub fn query_into(&self, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        if let Some(root) = self.root {
+            self.visit(root, x1, x2, y0, out);
+        }
+    }
+
+    fn visit(&self, idx: usize, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        let node = &self.nodes[idx];
+        // Heap property: every point below has y ≤ this node's top.
+        if node.top.y < y0 {
+            return;
+        }
+        if node.top.x >= x1 && node.top.x <= x2 {
+            out.push(node.top);
+        }
+        // x-BST property on the split key: left subtree ≤ split < right.
+        if let Some(l) = node.left {
+            if (x1, u64::MIN) <= node.split {
+                self.visit(l, x1, x2, y0, out);
+            }
+        }
+        if let Some(r) = node.right {
+            if (x2, u64::MAX) > node.split {
+                self.visit(r, x1, x2, y0, out);
+            }
+        }
+    }
+
+    /// Stabbing query for interval management: treating each point `(x, y)`
+    /// as the interval `[x, y]`, report the intervals containing `q` —
+    /// i.e. the 3-sided query `x ≤ q ≤ y` (a 2-sided query, per Fig. 3).
+    pub fn stab(&self, q: i64) -> Vec<Point> {
+        self.query(i64::MIN, q, q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::oracle;
+
+    fn grid(w: i64, h: i64) -> Vec<Point> {
+        let mut id = 0;
+        let mut out = Vec::new();
+        for x in 0..w {
+            for y in 0..h {
+                out.push(Point::new(x, y, id));
+                id += 1;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn empty_tree() {
+        let t = InCorePst::build(vec![]);
+        assert!(t.is_empty());
+        assert!(t.query(0, 10, 0).is_empty());
+    }
+
+    #[test]
+    fn single_point() {
+        let t = InCorePst::build(vec![Point::new(3, 7, 1)]);
+        assert_eq!(t.query(0, 5, 7).len(), 1);
+        assert!(t.query(0, 5, 8).is_empty());
+        assert!(t.query(4, 5, 0).is_empty());
+    }
+
+    #[test]
+    fn grid_queries_match_oracle() {
+        let pts = grid(12, 12);
+        let t = InCorePst::build(pts.clone());
+        for (x1, x2, y0) in [(0, 11, 0), (3, 7, 5), (5, 5, 11), (8, 2, 0), (0, 0, 0)] {
+            let got = t.query(x1, x2, y0);
+            let want = oracle::three_sided(&pts, x1, x2, y0);
+            oracle::assert_same_points(got, want, &format!("grid q=({x1},{x2},{y0})"));
+        }
+    }
+
+    #[test]
+    fn duplicate_coordinates_are_supported() {
+        let pts: Vec<Point> = (0..50).map(|i| Point::new(1, 2, i)).collect();
+        let t = InCorePst::build(pts.clone());
+        let got = t.query(1, 1, 2);
+        assert_eq!(got.len(), 50);
+        assert!(t.query(1, 1, 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate point ids")]
+    fn duplicate_ids_rejected() {
+        let _ = InCorePst::build(vec![Point::new(0, 0, 1), Point::new(1, 1, 1)]);
+    }
+
+    #[test]
+    fn stab_reports_containing_intervals() {
+        // Intervals [0,4], [2,9], [5,6] as points.
+        let pts = vec![Point::new(0, 4, 1), Point::new(2, 9, 2), Point::new(5, 6, 3)];
+        let t = InCorePst::build(pts);
+        let mut ids: Vec<u64> = t.stab(5).iter().map(|p| p.id).collect();
+        ids.sort_unstable();
+        assert_eq!(ids, vec![2, 3]);
+        let ids: Vec<u64> = t.stab(0).iter().map(|p| p.id).collect();
+        assert_eq!(ids, vec![1]);
+    }
+}

@@ -1,0 +1,37 @@
+//! # `ccix-pst` — priority search trees
+//!
+//! Two structures for **3-sided range reporting** — given points in the
+//! plane, report every point with `x1 ≤ x ≤ x2` and `y ≥ y0`:
+//!
+//! * [`InCorePst`] — McCreight's priority search tree \[25\], the in-core
+//!   yardstick the paper cites: `O(n)` space, `O(log2 n + t)` query.
+//! * [`ExternalPst`] — the external static structure of Lemma 4.1 (after
+//!   Icking, Klein and Ottmann \[17\]): a binary tree whose every node packs
+//!   `B` points into one disk page; `O(n/B)` pages, `O(log2 n + t/B)` I/Os
+//!   per query.
+//!
+//! The external PST is the workhorse of §4: the 3-sided metablock tree
+//! builds one per metablock (`B²` points), one per interior node's children
+//! (`B³` points), and uses them as its "TD" insert buffers. On `B³`-sized
+//! inputs its query cost is the `O(log2 B)` additive term in Theorem 4.7.
+//!
+//! ```
+//! use ccix_extmem::{Geometry, IoCounter, Point};
+//! use ccix_pst::ExternalPst;
+//!
+//! let pts: Vec<Point> = (0..100).map(|i| Point::new(i, i % 10, i as u64)).collect();
+//! let pst = ExternalPst::build(Geometry::new(4), IoCounter::new(), pts);
+//! let mut out = Vec::new();
+//! pst.query_into(20, 40, 8, &mut out);
+//! assert!(out.iter().all(|p| p.x >= 20 && p.x <= 40 && p.y >= 8));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod external;
+mod incore;
+pub mod oracle;
+
+pub use external::ExternalPst;
+pub use incore::InCorePst;

@@ -1,0 +1,85 @@
+//! Naive reference answers for the query shapes used across the workspace.
+//!
+//! Tests in every crate compare structure output against these linear scans;
+//! they are deliberately the most obvious possible implementations.
+
+use ccix_extmem::Point;
+
+/// Points with `x1 ≤ x ≤ x2` and `y ≥ y0` (3-sided query).
+pub fn three_sided(points: &[Point], x1: i64, x2: i64, y0: i64) -> Vec<Point> {
+    points
+        .iter()
+        .copied()
+        .filter(|p| p.x >= x1 && p.x <= x2 && p.y >= y0)
+        .collect()
+}
+
+/// Points with `x ≤ q ≤ y` (diagonal-corner query anchored at `(q, q)`).
+pub fn diagonal_corner(points: &[Point], q: i64) -> Vec<Point> {
+    points
+        .iter()
+        .copied()
+        .filter(|p| p.x <= q && p.y >= q)
+        .collect()
+}
+
+/// Canonical sort for set comparison: by id.
+pub fn sort_for_compare(points: &mut [Point]) {
+    points.sort_unstable_by_key(|p| p.id);
+}
+
+/// Assert two answers are equal as sets (and free of duplicates).
+///
+/// # Panics
+/// Panics with a readable diff when the sets differ.
+pub fn assert_same_points(mut got: Vec<Point>, mut want: Vec<Point>, context: &str) {
+    sort_for_compare(&mut got);
+    sort_for_compare(&mut want);
+    let dup = got.windows(2).find(|w| w[0].id == w[1].id);
+    assert!(
+        dup.is_none(),
+        "{context}: duplicate id {:?} in reported answer",
+        dup.unwrap()[0]
+    );
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{context}: got {} points, want {} (got={got:?}, want={want:?})",
+        got.len(),
+        want.len()
+    );
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g, w, "{context}: answers differ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn three_sided_filters() {
+        let pts = vec![
+            Point::new(0, 10, 1),
+            Point::new(5, 3, 2),
+            Point::new(9, 9, 3),
+        ];
+        let got = three_sided(&pts, 0, 5, 4);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].id, 1);
+    }
+
+    #[test]
+    fn diagonal_is_two_sided_on_the_line() {
+        let pts = vec![Point::new(1, 4, 1), Point::new(3, 3, 2), Point::new(4, 9, 3)];
+        let got = diagonal_corner(&pts, 3);
+        assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate id")]
+    fn duplicate_detection() {
+        let p = Point::new(0, 0, 7);
+        assert_same_points(vec![p, p], vec![p], "dup test");
+    }
+}

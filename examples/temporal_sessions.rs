@@ -1,0 +1,88 @@
+//! Temporal workload: live-session lookups over an append-only log.
+//!
+//! Sessions `[login, logout]` arrive in (roughly) login order — the
+//! adversarial pattern for amortised structures, since every insert lands
+//! at the current right edge. The example streams a day of sessions into
+//! the interval index, interleaving "who was online at time T?" queries,
+//! and prints the running amortised costs — Theorem 3.7 live.
+//!
+//! Run with: `cargo run --release --example temporal_sessions`
+
+use ccix::extmem::{Geometry, IoCounter};
+use ccix::interval::{IntervalIndex, NaiveIntervalStore};
+
+fn main() {
+    let geo = Geometry::new(32);
+    let counter = IoCounter::new();
+    let mut index = IntervalIndex::new(geo, counter.clone());
+    let naive_counter = IoCounter::new();
+    let mut naive = NaiveIntervalStore::new(geo, naive_counter.clone());
+
+    let mut rng: u64 = 0xDA7E;
+    let mut next = move || {
+        rng ^= rng << 13;
+        rng ^= rng >> 7;
+        rng ^= rng << 17;
+        rng
+    };
+
+    // One simulated day at one login/second; sessions last 1s..4h.
+    let day = 86_400i64;
+    let mut inserted = 0u64;
+    let mut insert_io = 0u64;
+    let mut query_io_index = 0u64;
+    let mut query_io_naive = 0u64;
+    let mut queries = 0u64;
+
+    for t in 0..day {
+        let login = t;
+        let dur = 1 + (next() % 14_400) as i64;
+        let before = counter.snapshot();
+        index.insert(login, login + dur, inserted);
+        insert_io += counter.since(before).total();
+        naive.insert(login, login + dur, inserted);
+        inserted += 1;
+
+        // Every 10 minutes, ask who is online right now.
+        if t % 600 == 599 {
+            let before = counter.snapshot();
+            let online = index.stabbing(t);
+            query_io_index += counter.since(before).reads;
+            let before = naive_counter.snapshot();
+            let mut check = naive.stabbing(t);
+            query_io_naive += naive_counter.since(before).reads;
+
+            let mut online_sorted = online;
+            online_sorted.sort_unstable();
+            check.sort_unstable();
+            assert_eq!(online_sorted, check, "index and scan disagree at t={t}");
+            queries += 1;
+            if t % 14_400 == 14_399 {
+                println!(
+                    "t={t:>6}: {:>5} online; index {:>4.1} I/Os/query vs scan {:>6.1}; \
+                     inserts {:>4.1} I/Os each",
+                    online_sorted.len(),
+                    query_io_index as f64 / queries as f64,
+                    query_io_naive as f64 / queries as f64,
+                    insert_io as f64 / inserted as f64,
+                );
+            }
+        }
+    }
+
+    println!();
+    println!(
+        "day complete: {} sessions, {} spot queries",
+        inserted, queries
+    );
+    println!(
+        "amortised insert: {:.2} I/Os (bound: O(log_B n + log_B^2 n / B))",
+        insert_io as f64 / inserted as f64
+    );
+    println!(
+        "mean stabbing query: {:.2} I/Os indexed vs {:.2} scanning",
+        query_io_index as f64 / queries as f64,
+        query_io_naive as f64 / queries as f64
+    );
+    println!("index: {} pages; heap file: {} pages", index.space_pages(), naive.space_pages());
+}

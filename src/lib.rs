@@ -1,0 +1,48 @@
+//! # `ccix` — Indexing for Data Models with Constraints and Classes
+//!
+//! A faithful, I/O-accounted reproduction of Kanellakis, Ramaswamy, Vengroff
+//! and Vitter, *Indexing for Data Models with Constraints and Classes*
+//! (PODS'93; JCSS 52(3):589–612, 1996).
+//!
+//! This umbrella crate re-exports the workspace's layers:
+//!
+//! * [`extmem`] — the external-memory cost model (pages of `B` records, one
+//!   I/O per page transfer) with exact counters;
+//! * [`bptree`] — external B+-trees, the paper's one-dimensional yardstick;
+//! * [`pst`] — priority search trees (in-core McCreight; external static
+//!   B-PST of Lemma 4.1);
+//! * [`core`] — **the paper's contribution**: the metablock tree for
+//!   diagonal-corner queries (§3) and its 3-sided variant (§4), both
+//!   semi-dynamic;
+//! * [`interval`] — external dynamic interval management via the reduction
+//!   of Proposition 2.2;
+//! * [`class`] — class-hierarchy indexing: the range-tree method
+//!   (Theorem 2.6) and the rake-and-contract composite (Theorem 4.7);
+//! * [`constraint`] — the CQL layer of §2.1: generalized tuples/relations
+//!   and one-dimensional indexing of constraints.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use ccix::interval::IntervalIndex;
+//! use ccix::extmem::{Geometry, IoCounter};
+//!
+//! // Index intervals (e.g. projections of generalized tuples onto an
+//! // attribute) and answer intersection queries I/O-efficiently.
+//! let counter = IoCounter::new();
+//! let mut idx = IntervalIndex::new(Geometry::new(8), counter);
+//! idx.insert(2, 5, 100);
+//! idx.insert(4, 9, 101);
+//! idx.insert(7, 8, 102);
+//! let mut hits = idx.intersecting(5, 7);
+//! hits.sort_unstable();
+//! assert_eq!(hits, vec![100, 101, 102]);
+//! ```
+
+pub use ccix_bptree as bptree;
+pub use ccix_class as class;
+pub use ccix_constraint as constraint;
+pub use ccix_core as core;
+pub use ccix_extmem as extmem;
+pub use ccix_interval as interval;
+pub use ccix_pst as pst;

@@ -1,0 +1,184 @@
+//! Integration tests across the whole stack: CQL layer → generalized index
+//! → interval manager → metablock tree → block store, and the class stack
+//! → 3-sided trees → PSTs. These exercise the crates exactly as the
+//! examples and experiments do.
+
+use ccix::class::{ClassIndex, Hierarchy, Object, RakeClassIndex, RangeTreeClassIndex};
+use ccix::constraint::{Atom, GeneralizedIndex, GeneralizedRelation, GeneralizedTuple, Rat};
+use ccix::extmem::{Geometry, IoCounter};
+use ccix::interval::IntervalIndex;
+
+fn xorshift(seed: u64) -> impl FnMut() -> u64 {
+    let mut x = seed | 1;
+    move || {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        x
+    }
+}
+
+/// The §2.1 reduction end to end: a generalized relation of 1-D segments,
+/// indexed, stabbed, and refined — answers must match direct evaluation of
+/// the refined DNF formulas.
+#[test]
+fn cql_range_search_matches_semantics() {
+    let mut next = xorshift(0xCE11);
+    let mut rel = GeneralizedRelation::new(2);
+    let mut spans = Vec::new();
+    for _ in 0..500 {
+        let lo = (next() % 1_000) as i64;
+        let len = (next() % 60) as i64;
+        let mut t = GeneralizedTuple::new(2);
+        t.and(Atom::var_ge_const(0, Rat::from(lo)));
+        t.and(Atom::var_le_const(0, Rat::from(lo + len)));
+        // A second attribute rides along, untouched by the index.
+        t.and(Atom::var_eq_const(1, Rat::from((next() % 10) as i64)));
+        rel.add(t);
+        spans.push((lo, lo + len));
+    }
+    let idx = GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+
+    for probe in (0..1_100).step_by(37) {
+        let result = idx.stab(Rat::from(probe));
+        let expected = spans
+            .iter()
+            .filter(|&&(lo, hi)| lo <= probe && probe <= hi)
+            .count();
+        assert_eq!(result.len(), expected, "stab({probe})");
+        // Every returned disjunct must actually admit x_0 = probe.
+        for t in result.tuples() {
+            let (lo, hi) = t.project(0).expect("refined tuple satisfiable");
+            let lo = lo.value().expect("bounded");
+            let hi = hi.value().expect("bounded");
+            assert!(lo <= Rat::from(probe) && Rat::from(probe) <= hi);
+        }
+    }
+}
+
+/// One shared counter across the full interval stack: component costs add
+/// up and no hidden I/Os bypass the accounting.
+#[test]
+fn shared_counter_accounts_everything() {
+    let counter = IoCounter::new();
+    let mut idx = IntervalIndex::new(Geometry::new(8), counter.clone());
+    let after_new = counter.snapshot();
+    idx.insert(0, 10, 1);
+    let after_insert = counter.since(after_new).total();
+    assert!(after_insert > 0, "inserts must be charged");
+    let _ = idx.stabbing(5);
+    assert!(counter.reads() > 0, "queries must be charged");
+    // Space accounting is unbilled.
+    let before = counter.total();
+    let _ = idx.space_pages();
+    assert_eq!(counter.total(), before);
+}
+
+/// Class indexing over a deep random hierarchy: the Theorem 4.7 index and
+/// the Theorem 2.6 index agree under interleaved inserts and queries, and
+/// the 4.7 query cost does not scale with c.
+#[test]
+fn class_stack_interleaved() {
+    let mut next = xorshift(0x0DB);
+    let c = 200;
+    let parents: Vec<Option<usize>> = (0..c)
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                // Skewed: deep chains with occasional branching.
+                Some(if next().is_multiple_of(4) {
+                    (next() % i as u64) as usize
+                } else {
+                    i - 1
+                })
+            }
+        })
+        .collect();
+    let h = Hierarchy::from_parents(&parents);
+    let geo = Geometry::new(8);
+    let rc = IoCounter::new();
+    let mut rake = RakeClassIndex::new(h.clone(), geo, rc.clone());
+    let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+
+    let mut objects: Vec<Object> = Vec::new();
+    for i in 0..4_000u64 {
+        let o = Object::new(
+            (next() % c as u64) as usize,
+            (next() % 10_000) as i64,
+            i,
+        );
+        rake.insert(o);
+        rtree.insert(o);
+        objects.push(o);
+
+        if i % 401 == 0 {
+            let class = (next() % c as u64) as usize;
+            let a = (next() % 10_000) as i64;
+            let mut want: Vec<u64> = objects
+                .iter()
+                .filter(|ob| h.is_ancestor_or_self(class, ob.class))
+                .filter(|ob| ob.attr >= a && ob.attr <= a + 800)
+                .map(|ob| ob.id)
+                .collect();
+            want.sort_unstable();
+            let mut got_rake = rake.query(class, a, a + 800);
+            got_rake.sort_unstable();
+            let mut got_rtree = rtree.query(class, a, a + 800);
+            got_rtree.sort_unstable();
+            assert_eq!(got_rake, want, "rake i={i}");
+            assert_eq!(got_rtree, want, "rtree i={i}");
+        }
+    }
+}
+
+/// The paper's Example 2.4 exactly, through the umbrella crate.
+#[test]
+fn example_2_4_people_queries() {
+    let (h, [person, professor, student, _asst]) = Hierarchy::example_people();
+    let mut idx = RakeClassIndex::new(h, Geometry::new(4), IoCounter::new());
+    // Incomes in thousands.
+    idx.insert(Object::new(professor, 55, 1)); // professor at 55K
+    idx.insert(Object::new(student, 55, 2)); // student at 55K
+    idx.insert(Object::new(person, 150, 3)); // person at 150K
+    idx.insert(Object::new(professor, 150, 4)); // professor at 150K
+
+    // "all people in (the full extent of) class Professor with income
+    // between 50K and 60K"
+    assert_eq!(idx.query(professor, 50, 60), vec![1]);
+    // "all people in (the full extent of) class Person with income between
+    // 100K and 200K"
+    let mut rich = idx.query(person, 100, 200);
+    rich.sort_unstable();
+    assert_eq!(rich, vec![3, 4]);
+    // "insert a new person with income 10K in the Student class"
+    idx.insert(Object::new(student, 10, 5));
+    assert_eq!(idx.query(student, 0, 20), vec![5]);
+}
+
+/// Mixed-denominator rationals through the index grid.
+#[test]
+fn rational_grid_round_trip() {
+    let mut rel = GeneralizedRelation::new(1);
+    for (i, (lo, hi)) in [
+        (Rat::new(1, 2), Rat::new(5, 2)),
+        (Rat::new(1, 3), Rat::new(2, 3)),
+        (Rat::new(-7, 6), Rat::new(1, 6)),
+    ]
+    .iter()
+    .enumerate()
+    {
+        let mut t = GeneralizedTuple::new(1);
+        t.and(Atom::var_ge_const(0, *lo));
+        t.and(Atom::var_le_const(0, *hi));
+        let _ = i;
+        rel.add(t);
+    }
+    let idx = GeneralizedIndex::build(&rel, 0, Geometry::new(4), IoCounter::new()).unwrap();
+    // Grid is sixths; probe on the grid. 1/2 lies in the first two spans
+    // only (it exceeds 1/6).
+    assert_eq!(idx.stab(Rat::new(1, 2)).len(), 2);
+    assert_eq!(idx.stab(Rat::new(2, 3)).len(), 2);
+    assert_eq!(idx.stab(Rat::new(-1, 1)).len(), 1);
+    assert_eq!(idx.stab(Rat::from(3)).len(), 0);
+}
