@@ -1,11 +1,17 @@
-//! Criterion wall-clock benchmarks for every structure in the workspace.
+//! Wall-clock benchmarks for every structure in the workspace.
 //!
 //! These complement the I/O-count experiments (`src/bin/exp_*`): the
 //! paper's claims are about page transfers, which the experiments measure
 //! exactly; these benchmarks confirm the in-memory simulator itself is fast
 //! enough that the I/O model, not CPU time, dominates realistic use.
+//!
+//! The harness is a minimal `harness = false` timer (the workspace builds
+//! with no external crates): each benchmark is warmed up, then run in
+//! batches until ~0.5 s has elapsed, and the per-iteration mean over the
+//! fastest half of batches is reported. Run with
+//! `cargo bench -p ccix-bench`; pass a substring to filter by name.
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use ccix_bench::workloads;
 use ccix_bptree::{BPlusTree, Entry};
@@ -14,175 +20,231 @@ use ccix_core::{MetablockTree, ThreeSidedTree};
 use ccix_extmem::{Disk, Geometry, IoCounter};
 use ccix_interval::IntervalIndex;
 use ccix_pst::{ExternalPst, InCorePst};
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use rand::Rng;
 
 const N: usize = 50_000;
 const B: usize = 64;
 
-fn bench_bptree(c: &mut Criterion) {
-    let mut group = c.benchmark_group("bptree");
+/// Minimal bench runner: batched timing with a warm-up pass.
+struct Harness {
+    filter: Option<String>,
+    budget: Duration,
+}
+
+impl Harness {
+    fn from_args() -> Self {
+        // Cargo's bench runner passes `--bench`; anything else is a filter.
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-'))
+            .filter(|a| !a.is_empty());
+        Self {
+            filter,
+            budget: Duration::from_millis(500),
+        }
+    }
+
+    /// Time `iter` (one logical iteration per call) and print ns/iter.
+    fn bench(&self, name: &str, mut iter: impl FnMut()) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        // Warm-up and batch sizing: grow the batch until it takes ≥ 1 ms.
+        let mut batch = 1u32;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                iter();
+            }
+            if t0.elapsed() >= Duration::from_millis(1) || batch >= 1 << 20 {
+                break;
+            }
+            batch *= 2;
+        }
+        let mut samples: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.budget || samples.len() < 4 {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                iter();
+            }
+            samples.push(t0.elapsed().as_nanos() as f64 / f64::from(batch));
+            if samples.len() >= 256 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let half = &samples[..samples.len().div_ceil(2)];
+        let mean = half.iter().sum::<f64>() / half.len() as f64;
+        println!(
+            "bench {name:<40} {mean:>14.0} ns/iter ({} batches of {batch})",
+            samples.len()
+        );
+    }
+
+    /// Time `routine` against fresh state from `setup` (criterion's
+    /// `iter_batched`): setup runs untimed before every sample, so
+    /// mutating routines (inserts) are always measured against the same
+    /// starting structure instead of one that grows across samples.
+    fn bench_batched<T>(
+        &self,
+        name: &str,
+        mut setup: impl FnMut() -> T,
+        mut routine: impl FnMut(&mut T),
+    ) {
+        if let Some(f) = &self.filter {
+            if !name.contains(f.as_str()) {
+                return;
+            }
+        }
+        let mut state = setup();
+        routine(&mut state); // warm-up
+        let mut samples: Vec<f64> = Vec::new();
+        let start = Instant::now();
+        while start.elapsed() < self.budget || samples.len() < 4 {
+            let mut state = setup();
+            let t0 = Instant::now();
+            routine(&mut state);
+            samples.push(t0.elapsed().as_nanos() as f64);
+            if samples.len() >= 64 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("no NaN timings"));
+        let half = &samples[..samples.len().div_ceil(2)];
+        let mean = half.iter().sum::<f64>() / half.len() as f64;
+        println!(
+            "bench {name:<40} {mean:>14.0} ns/iter ({} fresh-state samples)",
+            samples.len()
+        );
+    }
+}
+
+fn bench_bptree(h: &Harness) {
     let counter = IoCounter::new();
     let mut disk = Disk::new(1024, counter);
     let entries: Vec<Entry> = (0..N as i64).map(|k| Entry::new(k, k as u64)).collect();
     let tree = BPlusTree::bulk_load(&mut disk, &entries);
     let mut r = workloads::rng(1);
-    group.bench_function("range_2000", |bench| {
-        bench.iter(|| {
-            let a = r.gen_range(0..(N as i64 - 2_000));
-            tree.range(&disk, a, a + 2_000)
-        })
+    h.bench("bptree/range_2000", || {
+        let a = r.gen_range(0..(N as i64 - 2_000));
+        let _ = tree.range(&disk, a, a + 2_000);
     });
-    group.bench_function("insert", |bench| {
-        bench.iter_batched(
-            || {
-                let counter = IoCounter::new();
-                let mut disk = Disk::new(1024, counter);
-                let tree = BPlusTree::bulk_load(&mut disk, &entries);
-                (disk, tree, 0i64)
-            },
-            |(mut disk, mut tree, mut k)| {
-                for _ in 0..100 {
-                    tree.insert(&mut disk, k % N as i64, (N as i64 + k) as u64);
-                    k += 7;
-                }
-                (disk, tree)
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    h.bench_batched(
+        "bptree/insert_100",
+        || {
+            let counter = IoCounter::new();
+            let mut disk = Disk::new(1024, counter);
+            let tree = BPlusTree::bulk_load(&mut disk, &entries);
+            (disk, tree)
+        },
+        |(disk, tree)| {
+            let mut k = 0i64;
+            for _ in 0..100 {
+                tree.insert(disk, k % N as i64, (N as i64 + k) as u64);
+                k += 7;
+            }
+        },
+    );
 }
 
-fn bench_metablock(c: &mut Criterion) {
-    let mut group = c.benchmark_group("metablock");
+fn bench_metablock(h: &Harness) {
     let geo = Geometry::new(B);
     let ivs = workloads::uniform_intervals(N, 3, 4 * N as i64, 2_000);
     let pts = workloads::interval_points(&ivs);
     let tree = MetablockTree::build(geo, IoCounter::new(), pts.clone());
     let mut r = workloads::rng(2);
-    group.bench_function("diagonal_query", |bench| {
-        bench.iter(|| tree.query(r.gen_range(0..4 * N as i64)))
+    h.bench("metablock/diagonal_query", || {
+        let _ = tree.query(r.gen_range(0..4 * N as i64));
     });
-    group.bench_function("build_50k", |bench| {
-        bench.iter_batched(
-            || pts.clone(),
-            |pts| MetablockTree::build(geo, IoCounter::new(), pts),
-            BatchSize::LargeInput,
-        )
+    h.bench("metablock/build_50k", || {
+        let _ = MetablockTree::build(geo, IoCounter::new(), pts.clone());
     });
-    group.bench_function("insert_100", |bench| {
-        let mut id = 10_000_000u64;
-        bench.iter_batched(
-            || MetablockTree::build(geo, IoCounter::new(), pts.clone()),
-            |mut tree| {
-                for _ in 0..100 {
-                    let lo = r.gen_range(0..4 * N as i64);
-                    id += 1;
-                    tree.insert(ccix_extmem::Point::new(lo, lo + 100, id));
-                }
-                tree
-            },
-            BatchSize::LargeInput,
-        )
-    });
-    group.finish();
+    let mut id = 10_000_000u64;
+    h.bench_batched(
+        "metablock/insert_100",
+        || MetablockTree::build(geo, IoCounter::new(), pts.clone()),
+        |tree| {
+            for _ in 0..100 {
+                let lo = r.gen_range(0..4 * N as i64);
+                id += 1;
+                tree.insert(ccix_extmem::Point::new(lo, lo + 100, id));
+            }
+        },
+    );
 }
 
-fn bench_threesided(c: &mut Criterion) {
-    let mut group = c.benchmark_group("threesided");
+fn bench_threesided(h: &Harness) {
     let geo = Geometry::new(B);
     let pts = workloads::uniform_points(N, 5, 1_000_000);
     let tree = ThreeSidedTree::build(geo, IoCounter::new(), pts);
     let mut r = workloads::rng(6);
-    group.bench_function("query", |bench| {
-        bench.iter(|| {
-            let a = r.gen_range(0..900_000i64);
-            tree.query(a, a + 100_000, r.gen_range(0..1_000_000i64))
-        })
+    h.bench("threesided/query", || {
+        let a = r.gen_range(0..900_000i64);
+        let _ = tree.query(a, a + 100_000, r.gen_range(0..1_000_000i64));
     });
-    group.finish();
 }
 
-fn bench_pst(c: &mut Criterion) {
-    let mut group = c.benchmark_group("pst");
+fn bench_pst(h: &Harness) {
     let geo = Geometry::new(B);
     let pts = workloads::uniform_points(N, 7, 1_000_000);
     let ext = ExternalPst::build(geo, IoCounter::new(), pts.clone());
     let incore = InCorePst::build(pts);
     let mut r = workloads::rng(8);
-    group.bench_function("external_query", |bench| {
-        bench.iter(|| {
-            let a = r.gen_range(0..900_000i64);
-            ext.query(a, a + 100_000, r.gen_range(0..1_000_000i64))
-        })
+    h.bench("pst/external_query", || {
+        let a = r.gen_range(0..900_000i64);
+        let _ = ext.query(a, a + 100_000, r.gen_range(0..1_000_000i64));
     });
-    group.bench_function("incore_query", |bench| {
-        bench.iter(|| {
-            let a = r.gen_range(0..900_000i64);
-            incore.query(a, a + 100_000, r.gen_range(0..1_000_000i64))
-        })
+    h.bench("pst/incore_query", || {
+        let a = r.gen_range(0..900_000i64);
+        let _ = incore.query(a, a + 100_000, r.gen_range(0..1_000_000i64));
     });
-    group.finish();
 }
 
-fn bench_interval(c: &mut Criterion) {
-    let mut group = c.benchmark_group("interval");
+fn bench_interval(h: &Harness) {
     let geo = Geometry::new(B);
     let ivs = workloads::uniform_intervals(N, 9, 4 * N as i64, 2_000);
     let idx = IntervalIndex::build(geo, IoCounter::new(), &ivs);
     let mut r = workloads::rng(10);
-    group.bench_function("stabbing", |bench| {
-        bench.iter(|| idx.stabbing(r.gen_range(0..4 * N as i64)))
+    h.bench("interval/stabbing", || {
+        let _ = idx.stabbing(r.gen_range(0..4 * N as i64));
     });
-    group.bench_function("intersecting", |bench| {
-        bench.iter(|| {
-            let q = r.gen_range(0..4 * N as i64);
-            idx.intersecting(q, q + 1_000)
-        })
+    h.bench("interval/intersecting", || {
+        let q = r.gen_range(0..4 * N as i64);
+        let _ = idx.intersecting(q, q + 1_000);
     });
-    group.finish();
 }
 
-fn bench_class(c: &mut Criterion) {
-    let mut group = c.benchmark_group("class");
+fn bench_class(h: &Harness) {
     let geo = Geometry::new(16);
-    let h = workloads::hierarchy(workloads::HierarchyShape::Balanced, 255, 1);
-    let objects = workloads::uniform_objects(&h, N, 11, 1_000_000);
-    let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
-    let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+    let hier = workloads::hierarchy(workloads::HierarchyShape::Balanced, 255, 1);
+    let objects = workloads::uniform_objects(&hier, N, 11, 1_000_000);
+    let mut rake = RakeClassIndex::new(hier.clone(), geo, IoCounter::new());
+    let mut rtree = RangeTreeClassIndex::new(hier.clone(), geo, IoCounter::new());
     for o in &objects {
         rake.insert(*o);
         rtree.insert(*o);
     }
     let mut r = workloads::rng(12);
-    group.bench_function("rake_query", |bench| {
-        bench.iter(|| {
-            let class = r.gen_range(0..h.len());
-            let a = r.gen_range(0..900_000i64);
-            rake.query(class, a, a + 50_000)
-        })
+    h.bench("class/rake_query", || {
+        let class = r.gen_range(0..hier.len());
+        let a = r.gen_range(0..900_000i64);
+        let _ = rake.query(class, a, a + 50_000);
     });
-    group.bench_function("rangetree_query", |bench| {
-        bench.iter(|| {
-            let class = r.gen_range(0..h.len());
-            let a = r.gen_range(0..900_000i64);
-            rtree.query(class, a, a + 50_000)
-        })
+    h.bench("class/rangetree_query", || {
+        let class = r.gen_range(0..hier.len());
+        let a = r.gen_range(0..900_000i64);
+        let _ = rtree.query(class, a, a + 50_000);
     });
-    group.finish();
 }
 
-fn config() -> Criterion {
-    Criterion::default()
-        .sample_size(20)
-        .measurement_time(Duration::from_secs(3))
-        .warm_up_time(Duration::from_secs(1))
+fn main() {
+    let h = Harness::from_args();
+    bench_bptree(&h);
+    bench_metablock(&h);
+    bench_threesided(&h);
+    bench_pst(&h);
+    bench_interval(&h);
+    bench_class(&h);
 }
-
-criterion_group! {
-    name = benches;
-    config = config();
-    targets = bench_bptree, bench_metablock, bench_threesided, bench_pst, bench_interval, bench_class
-}
-criterion_main!(benches);

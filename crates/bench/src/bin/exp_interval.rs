@@ -1,6 +1,18 @@
 //! Experiment binary: see `ccix_bench::experiments::e9_interval`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_baseline.json` (the workspace's I/O-count perf baseline):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_interval -- --json > BENCH_baseline.json
+//! ```
 fn main() {
-    for table in ccix_bench::experiments::e9_interval() {
-        table.print();
+    let tables = ccix_bench::experiments::e9_interval();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
     }
 }

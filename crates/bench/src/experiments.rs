@@ -13,7 +13,6 @@ use ccix_core::{CornerStructure, DiagOptions, MetablockTree};
 use ccix_extmem::{Disk, Geometry, IoCounter, Point, TypedStore};
 use ccix_interval::{IntervalIndex, NaiveIntervalStore};
 use ccix_pst::ExternalPst;
-use rand::Rng;
 
 use crate::report::{ratio, Table};
 use crate::workloads::{self, HierarchyShape};
@@ -25,7 +24,15 @@ pub fn e1_metablock_query() -> Vec<Table> {
         "E1 — Theorem 3.2 (static metablock tree)",
         "Diagonal-corner queries cost O(log_B n + t/B) I/Os; space O(n/B) pages.",
         &[
-            "B", "n", "queries", "avg t", "avg I/O", "max I/O", "bound", "max/bound", "pages",
+            "B",
+            "n",
+            "queries",
+            "avg t",
+            "avg I/O",
+            "max I/O",
+            "bound",
+            "max/bound",
+            "pages",
             "pages/(n/B)",
         ],
     );
@@ -38,7 +45,8 @@ pub fn e1_metablock_query() -> Vec<Table> {
             let tree = MetablockTree::build(geo, counter.clone(), pts);
             let mut r = workloads::rng(0x01E1);
             let queries = 64usize;
-            let (mut sum_io, mut max_io, mut sum_t, mut worst_ratio_bound) = (0u64, 0u64, 0usize, 0usize);
+            let (mut sum_io, mut max_io, mut sum_t, mut worst_ratio_bound) =
+                (0u64, 0u64, 0usize, 0usize);
             for _ in 0..queries {
                 let q = r.gen_range(0..4 * n as i64);
                 let before = counter.snapshot();
@@ -79,7 +87,14 @@ pub fn e2_corner_structure() -> Vec<Table> {
         "E2 — Lemma 3.1 (corner structure)",
         "A kB²-point corner structure answers diagonal queries in ≤ 2t/B + O(1) I/Os.",
         &[
-            "B", "|S|", "queries", "max I/O", "max 2⌈t/B⌉+6", "worst slack", "pages", "pages/(|S|/B)",
+            "B",
+            "|S|",
+            "queries",
+            "max I/O",
+            "max 2⌈t/B⌉+6",
+            "worst slack",
+            "pages",
+            "pages/(|S|/B)",
         ],
     );
     for &b in &[16usize, 64] {
@@ -126,7 +141,15 @@ pub fn e3_lower_bound() -> Vec<Table> {
     let mut t = Table::new(
         "E3 — Proposition 3.3 (lower-bound instance)",
         "Staircase S = {(x, x+1)}: measured I/O over the Ω(log_B n + t/B) lower bound.",
-        &["B", "n", "queries", "avg I/O", "max I/O", "lower bound", "max/LB"],
+        &[
+            "B",
+            "n",
+            "queries",
+            "avg I/O",
+            "max I/O",
+            "lower bound",
+            "max/LB",
+        ],
     );
     for &b in &[16usize, 64] {
         for &n in &[10_000usize, 100_000] {
@@ -166,7 +189,14 @@ pub fn e4_metablock_insert() -> Vec<Table> {
         "E4 — Theorem 3.7 (semi-dynamic insertion)",
         "Amortised insert I/O is O(log_B n + (log_B n)²/B); queries stay optimal afterwards.",
         &[
-            "B", "order", "n", "amort I/O", "bound", "amort/bound", "worst op", "post-insert q avg",
+            "B",
+            "order",
+            "n",
+            "amort I/O",
+            "bound",
+            "amort/bound",
+            "worst op",
+            "post-insert q avg",
         ],
     );
     for &b in &[16usize, 64] {
@@ -279,10 +309,7 @@ fn class_experiment<I: ClassIndex>(
             max_io.to_string(),
             worst_bound.to_string(),
             ratio(max_io, worst_bound),
-            format!(
-                "{:.1}/{narrow_max}",
-                narrow_sum as f64 / narrow_n as f64
-            ),
+            format!("{:.1}/{narrow_max}", narrow_sum as f64 / narrow_n as f64),
             format!("{insert_amort:.1}"),
             idx.space_pages().to_string(),
         ]);
@@ -295,8 +322,17 @@ pub fn e5_class_simple() -> Vec<Table> {
         "E5 — Theorem 2.6 (range-tree class index)",
         "Query O(log2 c·log_B n + t/B); insert O(log2 c·log_B n); space O((n/B)·log2 c).",
         &[
-            "shape", "c", "n", "avg t", "avg I/O", "max I/O", "bound", "max/bound",
-            "narrow avg/max", "insert I/O", "pages",
+            "shape",
+            "c",
+            "n",
+            "avg t",
+            "avg I/O",
+            "max I/O",
+            "bound",
+            "max/bound",
+            "narrow avg/max",
+            "insert I/O",
+            "pages",
         ],
     );
     let shapes = [
@@ -323,8 +359,17 @@ pub fn e6_class_rc() -> Vec<Table> {
         "E6 — Theorem 4.7 (rake-and-contract class index)",
         "Query O(log_B n + t/B + log2 B) — independent of c; space O((n/B)·log2 c).",
         &[
-            "shape", "c", "n", "avg t", "avg I/O", "max I/O", "bound", "max/bound",
-            "narrow avg/max", "insert I/O", "pages",
+            "shape",
+            "c",
+            "n",
+            "avg t",
+            "avg I/O",
+            "max I/O",
+            "bound",
+            "max/bound",
+            "narrow avg/max",
+            "insert I/O",
+            "pages",
         ],
     );
     let shapes = [
@@ -351,7 +396,16 @@ pub fn e7_pst() -> Vec<Table> {
     let mut t = Table::new(
         "E7 — Lemma 4.1 (external priority search tree)",
         "3-sided queries in O(log2 n + t/B) I/Os; space O(n/B) pages.",
-        &["B", "n", "avg t", "avg I/O", "max I/O", "bound", "max/bound", "pages"],
+        &[
+            "B",
+            "n",
+            "avg t",
+            "avg I/O",
+            "max I/O",
+            "bound",
+            "max/bound",
+            "pages",
+        ],
     );
     for &b in &[16usize, 64] {
         for &n in &[10_000usize, 100_000, 400_000] {
@@ -439,8 +493,16 @@ pub fn e9_interval() -> Vec<Table> {
         "E9 — Proposition 2.2 (interval management vs naive scan)",
         "Index queries cost O(log_B n + t/B); the heap-file scan costs n/B. Crossover is tiny.",
         &[
-            "B", "n", "avg t", "index q I/O", "scan q I/O", "speedup", "index ins I/O",
-            "scan ins I/O", "index pages", "scan pages",
+            "B",
+            "n",
+            "avg t",
+            "index q I/O",
+            "scan q I/O",
+            "speedup",
+            "index ins I/O",
+            "scan ins I/O",
+            "index pages",
+            "scan pages",
         ],
     );
     let b = 32;
@@ -504,8 +566,13 @@ pub fn e10_class_strategies() -> Vec<Table> {
         "E10 — §2.2 (class-indexing strategy trade-offs)",
         "All four strategies on one workload: c=255 balanced, n=100k, B=16.",
         &[
-            "strategy", "selective q I/O", "selective t", "broad q I/O", "broad t",
-            "insert I/O", "pages",
+            "strategy",
+            "selective q I/O",
+            "selective t",
+            "broad q I/O",
+            "broad t",
+            "insert I/O",
+            "pages",
         ],
     );
     let geo = Geometry::new(16);
@@ -519,9 +586,17 @@ pub fn e10_class_strategies() -> Vec<Table> {
 
     let counters: Vec<IoCounter> = (0..4).map(|_| IoCounter::new()).collect();
     let mut strategies: Vec<Box<dyn ClassIndex>> = vec![
-        Box::new(SingleIndexBaseline::new(h.clone(), geo, counters[0].clone())),
+        Box::new(SingleIndexBaseline::new(
+            h.clone(),
+            geo,
+            counters[0].clone(),
+        )),
         Box::new(FullExtentBaseline::new(h.clone(), geo, counters[1].clone())),
-        Box::new(RangeTreeClassIndex::new(h.clone(), geo, counters[2].clone())),
+        Box::new(RangeTreeClassIndex::new(
+            h.clone(),
+            geo,
+            counters[2].clone(),
+        )),
         Box::new(RakeClassIndex::new(h.clone(), geo, counters[3].clone())),
     ];
     for (s, counter) in strategies.iter_mut().zip(&counters) {
@@ -555,7 +630,14 @@ pub fn e11_structure_shape() -> Vec<Table> {
         "E11 — Figs. 8–10 (metablock tree anatomy)",
         "Metablock counts, heights and page breakdown; every non-leaf holds exactly B² points.",
         &[
-            "B", "n", "metablocks", "leaves", "height", "pages", "TS pages", "corner pages",
+            "B",
+            "n",
+            "metablocks",
+            "leaves",
+            "height",
+            "pages",
+            "TS pages",
+            "corner pages",
             "pages/(n/B)",
         ],
     );
@@ -563,7 +645,8 @@ pub fn e11_structure_shape() -> Vec<Table> {
         for &n in &[10_000usize, 100_000, 400_000] {
             let geo = Geometry::new(b);
             let ivs = workloads::uniform_intervals(n, 0xE11, 4 * n as i64, 5_000);
-            let tree = MetablockTree::build(geo, IoCounter::new(), workloads::interval_points(&ivs));
+            let tree =
+                MetablockTree::build(geo, IoCounter::new(), workloads::interval_points(&ivs));
             let s = tree.stats();
             t.row(vec![
                 b.to_string(),
@@ -587,7 +670,15 @@ pub fn e12_pst_vs_metablock() -> Vec<Table> {
     let mut t = Table::new(
         "E12 — §5 (metablock tree vs external PST on diagonal queries)",
         "Same data, same queries: the metablock search term scales as log_B n, the PST as log2 n.",
-        &["B", "n", "avg t", "metablock avg I/O", "PST avg I/O", "log_B n", "log2 n"],
+        &[
+            "B",
+            "n",
+            "avg t",
+            "metablock avg I/O",
+            "PST avg I/O",
+            "log_B n",
+            "log2 n",
+        ],
     );
     for &b in &[16usize, 64, 256] {
         let n = 400_000usize;
@@ -631,7 +722,15 @@ pub fn e0_bptree_reference() -> Vec<Table> {
     let mut t = Table::new(
         "E0 — §1.1 (B+-tree yardstick)",
         "External 1-D range search: query O(log_B n + t/B), insert O(log_B n), space O(n/B).",
-        &["B(leaf)", "n", "avg q I/O", "max q I/O", "insert I/O", "pages", "pages/(n/B)"],
+        &[
+            "B(leaf)",
+            "n",
+            "avg q I/O",
+            "max q I/O",
+            "insert I/O",
+            "pages",
+            "pages/(n/B)",
+        ],
     );
     let page_size = 1024usize;
     let leaf_cap = (page_size - 7) / 24;

@@ -52,7 +52,11 @@ impl Table {
                 .join("  ")
         };
         let _ = writeln!(out, "{}", line(&self.headers, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+        let _ = writeln!(
+            out,
+            "{}",
+            "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+        );
         for row in &self.rows {
             let _ = writeln!(out, "{}", line(row, &widths));
         }
@@ -68,7 +72,11 @@ impl Table {
         let _ = writeln!(
             out,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
@@ -76,10 +84,60 @@ impl Table {
         out
     }
 
+    /// Render as a JSON object (hand-rolled: the workspace has no serde).
+    pub fn to_json(&self) -> String {
+        let esc = |s: &str| -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for ch in s.chars() {
+                match ch {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => {
+                        let _ = write!(out, "\\u{:04x}", c as u32);
+                    }
+                    c => out.push(c),
+                }
+            }
+            out
+        };
+        let list = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .map(|c| format!("\"{}\"", esc(c)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        let rows = self
+            .rows
+            .iter()
+            .map(|r| format!("    [{}]", list(r)))
+            .collect::<Vec<_>>()
+            .join(",\n");
+        format!(
+            "{{\n  \"title\": \"{}\",\n  \"claim\": \"{}\",\n  \"headers\": [{}],\n  \"rows\": [\n{}\n  ]\n}}",
+            esc(&self.title),
+            esc(&self.claim),
+            list(&self.headers),
+            rows
+        )
+    }
+
     /// Print the text rendering to stdout.
     pub fn print(&self) {
         println!("{}", self.to_text());
     }
+}
+
+/// Render a list of tables as one JSON array.
+pub fn tables_to_json(tables: &[Table]) -> String {
+    let body = tables
+        .iter()
+        .map(Table::to_json)
+        .collect::<Vec<_>>()
+        .join(",\n");
+    format!("[\n{body}\n]")
 }
 
 /// Format a ratio to two decimals.

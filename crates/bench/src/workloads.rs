@@ -1,110 +1,27 @@
-//! Deterministic workload generators shared by experiments and Criterion
-//! benches.
+//! Deterministic workload generators for experiments and benches.
+//!
+//! The generators themselves live in [`ccix_testkit::workloads`] so the
+//! differential test suites and the bench harness draw from the exact same
+//! input families; this module re-exports them and adds the seeded-RNG
+//! helper the experiment drivers use for query streams.
 
-use ccix_class::{Hierarchy, Object};
-use ccix_extmem::Point;
-use ccix_interval::Interval;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use ccix_testkit::DetRng;
+
+pub use ccix_testkit::workloads::{
+    adversarial_intervals, clustered_points, hierarchy, interval_points, nested_intervals,
+    skewed_intervals, skewed_objects, staircase_points, uniform_intervals, uniform_objects,
+    uniform_points, HierarchyShape,
+};
 
 /// A seeded RNG (experiments are fully reproducible).
-pub fn rng(seed: u64) -> StdRng {
-    StdRng::seed_from_u64(seed)
-}
-
-/// Uniform random intervals: left endpoints over `[0, range)`, lengths over
-/// `[0, max_len)`.
-pub fn uniform_intervals(n: usize, seed: u64, range: i64, max_len: i64) -> Vec<Interval> {
-    let mut r = rng(seed);
-    (0..n)
-        .map(|i| {
-            let lo = r.gen_range(0..range);
-            let len = r.gen_range(0..max_len);
-            Interval::new(lo, lo + len, i as u64)
-        })
-        .collect()
-}
-
-/// Nested intervals around a common centre — every stabbing query near the
-/// centre returns a long prefix (the high-overlap regime).
-pub fn nested_intervals(n: usize, centre: i64) -> Vec<Interval> {
-    (0..n)
-        .map(|i| Interval::new(centre - i as i64, centre + i as i64, i as u64))
-        .collect()
-}
-
-/// The Proposition 3.3 staircase: `(x, x+1)` for `x ∈ [0, n)`.
-pub fn staircase_points(n: usize) -> Vec<Point> {
-    (0..n as i64).map(|x| Point::new(x, x + 1, x as u64)).collect()
-}
-
-/// Intervals as diagonal points `(lo, hi)`.
-pub fn interval_points(intervals: &[Interval]) -> Vec<Point> {
-    intervals
-        .iter()
-        .map(|iv| Point::new(iv.lo, iv.hi, iv.id))
-        .collect()
-}
-
-/// Uniform random points in `[0, range)²`.
-pub fn uniform_points(n: usize, seed: u64, range: i64) -> Vec<Point> {
-    let mut r = rng(seed);
-    (0..n)
-        .map(|i| Point::new(r.gen_range(0..range), r.gen_range(0..range), i as u64))
-        .collect()
-}
-
-/// Hierarchy shapes used by the class experiments.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum HierarchyShape {
-    /// Complete binary tree.
-    Balanced,
-    /// A single chain (the degenerate case of Lemma 4.3).
-    Path,
-    /// One root, `c − 1` leaf children (the Theorem 2.8 shape).
-    Star,
-    /// Random attachment (each class picks a uniform earlier parent).
-    Random,
-}
-
-/// Build a hierarchy of (about) `c` classes with the given shape.
-pub fn hierarchy(shape: HierarchyShape, c: usize, seed: u64) -> Hierarchy {
-    let mut r = rng(seed);
-    let parents: Vec<Option<usize>> = (0..c)
-        .map(|i| {
-            if i == 0 {
-                None
-            } else {
-                Some(match shape {
-                    HierarchyShape::Balanced => (i - 1) / 2,
-                    HierarchyShape::Path => i - 1,
-                    HierarchyShape::Star => 0,
-                    HierarchyShape::Random => r.gen_range(0..i),
-                })
-            }
-        })
-        .collect();
-    Hierarchy::from_parents(&parents)
-}
-
-/// Uniform objects over a hierarchy: random class, attribute in
-/// `[0, attr_range)`.
-pub fn uniform_objects(h: &Hierarchy, n: usize, seed: u64, attr_range: i64) -> Vec<Object> {
-    let mut r = rng(seed);
-    (0..n)
-        .map(|i| {
-            Object::new(
-                r.gen_range(0..h.len()),
-                r.gen_range(0..attr_range),
-                i as u64,
-            )
-        })
-        .collect()
+pub fn rng(seed: u64) -> DetRng {
+    DetRng::new(seed)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ccix_extmem::Point;
 
     #[test]
     fn generators_are_deterministic() {

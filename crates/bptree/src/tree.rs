@@ -62,8 +62,7 @@ impl BPlusTree {
         // Leaf level: pre-allocate ids so each leaf can point to its
         // successor, then write each page once. Chunks are balanced at the
         // tail so no leaf is below half occupancy.
-        let chunks: Vec<&[Entry]> =
-            balanced_chunks(entries, layout.leaf_cap, layout.leaf_cap / 2);
+        let chunks: Vec<&[Entry]> = balanced_chunks(entries, layout.leaf_cap, layout.leaf_cap / 2);
         let ids: Vec<PageId> = chunks.iter().map(|_| disk.alloc()).collect();
         for (i, chunk) in chunks.iter().enumerate() {
             let next = ids.get(i + 1).copied();
@@ -240,10 +239,7 @@ impl BPlusTree {
                     match next {
                         Some(nid) => match read_node(disk, nid) {
                             Node::Leaf { entries, .. } => {
-                                return entries
-                                    .first()
-                                    .filter(|e| e.key == key)
-                                    .map(|e| e.value);
+                                return entries.first().filter(|e| e.key == key).map(|e| e.value);
                             }
                             Node::Internal { .. } => {
                                 unreachable!("leaf chain points at internal node")
@@ -460,7 +456,11 @@ impl BPlusTree {
         child_node: Node,
     ) {
         // Prefer the left sibling, matching the usual textbook presentation.
-        let (left_idx, right_idx) = if idx > 0 { (idx - 1, idx) } else { (idx, idx + 1) };
+        let (left_idx, right_idx) = if idx > 0 {
+            (idx - 1, idx)
+        } else {
+            (idx, idx + 1)
+        };
         let left_id = children[left_idx];
         let right_id = children[right_idx];
         let (left, right) = if idx > 0 {
@@ -629,7 +629,14 @@ impl BPlusTree {
         }
 
         impl Walk<'_> {
-            fn go(&mut self, id: PageId, depth: usize, lo: Option<Entry>, hi: Option<Entry>, is_root: bool) {
+            fn go(
+                &mut self,
+                id: PageId,
+                depth: usize,
+                lo: Option<Entry>,
+                hi: Option<Entry>,
+                is_root: bool,
+            ) {
                 self.pages += 1;
                 match decode_unbilled(self.disk, id) {
                     Node::Leaf { entries, .. } => {

@@ -1,9 +1,10 @@
-//! Property-based tests: the B+-tree behaves exactly like an ordered set of
-//! `(key, value)` pairs under arbitrary interleavings of operations.
+//! Property-based tests (on the shared testkit harness): the B+-tree
+//! behaves exactly like an ordered set of `(key, value)` pairs under
+//! arbitrary interleavings of operations.
 
 use ccix_bptree::BPlusTree;
 use ccix_extmem::{Disk, IoCounter};
-use proptest::prelude::*;
+use ccix_testkit::{check, DetRng};
 use std::collections::BTreeSet;
 
 #[derive(Clone, Debug)]
@@ -14,42 +15,45 @@ enum Op {
     Range(i64, i64),
 }
 
-fn op_strategy() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (any::<i8>(), 0u64..8).prop_map(|(k, v)| Op::Insert(k as i64, v)),
-        (any::<i8>(), 0u64..8).prop_map(|(k, v)| Op::Delete(k as i64, v)),
-        any::<i8>().prop_map(|k| Op::Get(k as i64)),
-        (any::<i8>(), any::<i8>()).prop_map(|(a, b)| {
-            let (a, b) = (a as i64, b as i64);
+fn random_op(rng: &mut DetRng) -> Op {
+    match rng.gen_range(0..4u32) {
+        0 => Op::Insert(rng.gen_range(-128i64..128), rng.gen_range(0u64..8)),
+        1 => Op::Delete(rng.gen_range(-128i64..128), rng.gen_range(0u64..8)),
+        2 => Op::Get(rng.gen_range(-128i64..128)),
+        _ => {
+            let a = rng.gen_range(-128i64..128);
+            let b = rng.gen_range(-128i64..128);
             Op::Range(a.min(b), a.max(b))
-        }),
-    ]
+        }
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn matches_btreeset_oracle(ops in proptest::collection::vec(op_strategy(), 1..400),
-                               page_size in prop_oneof![Just(128usize), Just(256), Just(512)]) {
+#[test]
+fn matches_btreeset_oracle() {
+    check::trials("bptree::matches_btreeset_oracle", 64, 0xB91, |rng| {
+        let page_size = *rng.choose(&[128usize, 256, 512]).expect("nonempty");
+        let n_ops = rng.gen_range(1..400usize);
         let counter = IoCounter::new();
         let mut disk = Disk::new(page_size, counter);
         let mut tree = BPlusTree::new(&mut disk);
         let mut oracle: BTreeSet<(i64, u64)> = BTreeSet::new();
 
-        for op in ops {
-            match op {
+        for _ in 0..n_ops {
+            match random_op(rng) {
                 Op::Insert(k, v) => {
                     tree.insert(&mut disk, k, v);
                     oracle.insert((k, v));
                 }
                 Op::Delete(k, v) => {
                     let removed = tree.delete(&mut disk, k, v);
-                    prop_assert_eq!(removed, oracle.remove(&(k, v)));
+                    assert_eq!(removed, oracle.remove(&(k, v)));
                 }
                 Op::Get(k) => {
-                    let want = oracle.range((k, u64::MIN)..=(k, u64::MAX)).next().map(|&(_, v)| v);
-                    prop_assert_eq!(tree.get(&disk, k), want);
+                    let want = oracle
+                        .range((k, u64::MIN)..=(k, u64::MAX))
+                        .next()
+                        .map(|&(_, v)| v);
+                    assert_eq!(tree.get(&disk, k), want);
                 }
                 Op::Range(lo, hi) => {
                     let want: Vec<u64> = oracle
@@ -57,16 +61,27 @@ proptest! {
                         .filter(|(k, _)| *k >= lo && *k <= hi)
                         .map(|&(_, v)| v)
                         .collect();
-                    prop_assert_eq!(tree.range(&disk, lo, hi), want);
+                    assert_eq!(tree.range(&disk, lo, hi), want);
                 }
             }
-            prop_assert_eq!(tree.len(), oracle.len() as u64);
+            assert_eq!(tree.len(), oracle.len() as u64);
         }
         tree.validate_unbilled(&disk);
-    }
+    });
+}
 
-    #[test]
-    fn bulk_load_matches_oracle(mut keys in proptest::collection::vec((any::<i16>(), any::<u16>()), 0..600)) {
+#[test]
+fn bulk_load_matches_oracle() {
+    check::trials("bptree::bulk_load_matches_oracle", 64, 0xB92, |rng| {
+        let n = rng.gen_range(0..600usize);
+        let mut keys: Vec<(i16, u16)> = (0..n)
+            .map(|_| {
+                (
+                    rng.gen_range(i16::MIN..i16::MAX),
+                    rng.gen_range(0u16..u16::MAX),
+                )
+            })
+            .collect();
         keys.sort_unstable();
         keys.dedup();
         let entries: Vec<ccix_bptree::Entry> = keys
@@ -79,6 +94,6 @@ proptest! {
         tree.validate_unbilled(&disk);
         let all = tree.range(&disk, i64::MIN, i64::MAX);
         let want: Vec<u64> = entries.iter().map(|e| e.value).collect();
-        prop_assert_eq!(all, want);
-    }
+        assert_eq!(all, want);
+    });
 }

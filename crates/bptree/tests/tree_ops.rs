@@ -143,7 +143,9 @@ fn delete_everything_collapses_to_empty_root() {
 #[test]
 fn bulk_load_equals_incremental() {
     let (mut disk, _) = fresh(512);
-    let entries: Vec<Entry> = (0..5000i64).map(|k| Entry::new(k, (k * 2) as u64)).collect();
+    let entries: Vec<Entry> = (0..5000i64)
+        .map(|k| Entry::new(k, (k * 2) as u64))
+        .collect();
     let bulk = BPlusTree::bulk_load(&mut disk, &entries);
     bulk.validate_unbilled(&disk);
 
@@ -155,10 +157,7 @@ fn bulk_load_equals_incremental() {
     for probe in [-1i64, 0, 1, 2499, 4999, 5000] {
         assert_eq!(bulk.get(&disk, probe), inc.get(&disk2, probe));
     }
-    assert_eq!(
-        bulk.range(&disk, 100, 222),
-        inc.range(&disk2, 100, 222)
-    );
+    assert_eq!(bulk.range(&disk, 100, 222), inc.range(&disk2, 100, 222));
 }
 
 #[test]

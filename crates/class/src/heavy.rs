@@ -114,8 +114,9 @@ mod tests {
 
     #[test]
     fn degenerate_hierarchy_is_one_path() {
-        let parents: Vec<Option<usize>> =
-            (0..20).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..20)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let h = Hierarchy::from_parents(&parents);
         let hp = decompose(&h);
         assert_eq!(hp.paths.len(), 1);
@@ -135,7 +136,10 @@ mod tests {
         let bound = Geometry::log2(h.len());
         for c in 0..h.len() {
             let thin = hp.thin_edges_to_root(&h, c);
-            assert!(thin <= bound, "class {c}: {thin} thin edges > log2 c = {bound}");
+            assert!(
+                thin <= bound,
+                "class {c}: {thin} thin edges > log2 c = {bound}"
+            );
         }
     }
 

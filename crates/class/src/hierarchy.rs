@@ -129,7 +129,10 @@ impl Hierarchy {
         let mut order: Vec<ClassId> = (0..self.parent.len()).collect();
         order.sort_unstable_by_key(|&v| std::cmp::Reverse(self.pre[v]));
         for v in order {
-            self.size[v] = 1 + self.children[v].iter().map(|&c| self.size[c]).sum::<usize>();
+            self.size[v] = 1 + self.children[v]
+                .iter()
+                .map(|&c| self.size[c])
+                .sum::<usize>();
         }
     }
 
@@ -263,8 +266,9 @@ mod tests {
 
     #[test]
     fn degenerate_path_hierarchy() {
-        let parents: Vec<Option<usize>> =
-            (0..10).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+        let parents: Vec<Option<usize>> = (0..10)
+            .map(|i| if i == 0 { None } else { Some(i - 1) })
+            .collect();
         let h = Hierarchy::from_parents(&parents);
         assert_eq!(h.max_depth(), 10);
         for i in 0..10 {

@@ -150,8 +150,9 @@ mod tests {
 
     #[test]
     fn canonical_cover_is_logarithmic() {
-        let parents: Vec<Option<usize>> =
-            std::iter::once(None).chain((1..64).map(|i| Some((i - 1) / 2))).collect();
+        let parents: Vec<Option<usize>> = std::iter::once(None)
+            .chain((1..64).map(|i| Some((i - 1) / 2)))
+            .collect();
         let h = Hierarchy::from_parents(&parents);
         let idx = RangeTreeClassIndex::new(h, Geometry::new(8), IoCounter::new());
         for class in 0..64 {

@@ -103,12 +103,7 @@ fn all_strategies_agree_small() {
                 (class, a, a + w)
             })
             .collect();
-        check_all(
-            &h,
-            &objects,
-            &[&single, &full, &rtree, &rake],
-            &queries,
-        );
+        check_all(&h, &objects, &[&single, &full, &rtree, &rake], &queries);
     }
 }
 
@@ -117,8 +112,9 @@ fn degenerate_path_hierarchy_all_strategies() {
     // The Lemma 4.3 case: one long chain. The rake index must use a single
     // 3-sided structure with no replication.
     let c = 30;
-    let parents: Vec<Option<usize>> =
-        (0..c).map(|i| if i == 0 { None } else { Some(i - 1) }).collect();
+    let parents: Vec<Option<usize>> = (0..c)
+        .map(|i| if i == 0 { None } else { Some(i - 1) })
+        .collect();
     let h = Hierarchy::from_parents(&parents);
     let geo = Geometry::new(4);
     let objects = random_objects(&h, 600, 0xD1, 50);
@@ -140,8 +136,9 @@ fn degenerate_path_hierarchy_all_strategies() {
 fn star_hierarchy_all_strategies() {
     // c-1 leaves under one root: the Theorem 2.8 shape.
     let c = 50;
-    let parents: Vec<Option<usize>> =
-        (0..c).map(|i| if i == 0 { None } else { Some(0) }).collect();
+    let parents: Vec<Option<usize>> = (0..c)
+        .map(|i| if i == 0 { None } else { Some(0) })
+        .collect();
     let h = Hierarchy::from_parents(&parents);
     let geo = Geometry::new(4);
     let objects = random_objects(&h, 800, 0x57A7, 200);
@@ -276,8 +273,9 @@ fn single_index_cannot_compact_output() {
     let geo = Geometry::new(16);
     // Root plus 20 leaf classes; query a single leaf.
     let c = 21;
-    let parents: Vec<Option<usize>> =
-        (0..c).map(|i| if i == 0 { None } else { Some(0) }).collect();
+    let parents: Vec<Option<usize>> = (0..c)
+        .map(|i| if i == 0 { None } else { Some(0) })
+        .collect();
     let h = Hierarchy::from_parents(&parents);
     let n = 20_000;
     let objects = random_objects(&h, n, 0x88, 1_000);

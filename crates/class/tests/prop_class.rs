@@ -1,104 +1,78 @@
-//! Property tests over random forests: labeling invariants, heavy-path
-//! bounds, and agreement of the two non-baseline strategies with a naive
-//! oracle under interleaved inserts.
+//! Property tests (on the shared testkit harness) over random forests:
+//! labeling invariants, heavy-path bounds, and agreement of the two
+//! non-baseline strategies with a naive oracle under interleaved inserts.
 
 use ccix_class::{heavy, ClassIndex, Hierarchy, Object, RakeClassIndex, RangeTreeClassIndex};
 use ccix_extmem::{Geometry, IoCounter};
-use proptest::prelude::*;
+use ccix_testkit::{check, oracle, workloads};
 
-/// Strategy: a random parent array over `c` classes (forest shaped).
-fn forest(max_c: usize) -> impl Strategy<Value = Vec<Option<usize>>> {
-    (1..=max_c).prop_flat_map(|c| {
-        let mut parts: Vec<BoxedStrategy<Option<usize>>> = Vec::with_capacity(c);
-        for i in 0..c {
-            if i == 0 {
-                parts.push(Just(None).boxed());
-            } else {
-                parts.push(
-                    prop_oneof![
-                        1 => Just(None),
-                        9 => (0..i).prop_map(Some),
-                    ]
-                    .boxed(),
-                );
-            }
-        }
-        parts
-    })
-}
-
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    #[test]
-    fn label_ranges_nest_and_partition(parents in forest(40)) {
+#[test]
+fn label_ranges_nest_and_partition() {
+    check::trials("class::label_ranges_nest_and_partition", 64, 0xC1A, |rng| {
+        let parents = workloads::random_forest(rng, 40);
         let h = Hierarchy::from_parents(&parents);
         let c = h.len();
         for a in 0..c {
             let (lo, hi) = h.label_range(a);
-            prop_assert!(lo < hi);
-            prop_assert_eq!((hi - lo) as usize, h.subtree_size(a));
+            assert!(lo < hi);
+            assert_eq!((hi - lo) as usize, h.subtree_size(a));
             // Label of a is the low end of its range.
-            prop_assert_eq!(h.label(a), lo);
+            assert_eq!(h.label(a), lo);
             for b in 0..c {
                 let (blo, bhi) = h.label_range(b);
                 let nested = (lo <= blo && bhi <= hi) || (blo <= lo && hi <= bhi);
                 let disjoint = bhi <= lo || hi <= blo;
-                prop_assert!(nested || disjoint, "ranges neither nest nor are disjoint");
+                assert!(nested || disjoint, "ranges neither nest nor are disjoint");
                 // Range containment must agree with ancestry.
-                prop_assert_eq!(
+                assert_eq!(
                     h.is_ancestor_or_self(a, b),
                     lo <= blo && bhi <= hi,
-                    "ancestry/range mismatch for {} vs {}", a, b
+                    "ancestry/range mismatch for {a} vs {b}"
                 );
             }
         }
-    }
+    });
+}
 
-    #[test]
-    fn heavy_paths_respect_lemma_4_5(parents in forest(64)) {
+#[test]
+fn heavy_paths_respect_lemma_4_5() {
+    check::trials("class::heavy_paths_respect_lemma_4_5", 64, 0xC1B, |rng| {
+        let parents = workloads::random_forest(rng, 64);
         let h = Hierarchy::from_parents(&parents);
         let hp = heavy::decompose(&h);
         let total: usize = hp.paths.iter().map(Vec::len).sum();
-        prop_assert_eq!(total, h.len(), "paths partition the classes");
+        assert_eq!(total, h.len(), "paths partition the classes");
         let bound = Geometry::log2(h.len());
         for c in 0..h.len() {
-            prop_assert!(hp.thin_edges_to_root(&h, c) <= bound);
+            assert!(hp.thin_edges_to_root(&h, c) <= bound);
         }
-    }
+    });
+}
 
-    #[test]
-    fn strategies_agree_with_oracle(
-        parents in forest(24),
-        objects in proptest::collection::vec((0usize..24, 0i64..60), 1..120),
-        queries in proptest::collection::vec((0usize..24, 0i64..60, 0i64..30), 1..10),
-    ) {
+#[test]
+fn strategies_agree_with_oracle() {
+    check::trials("class::strategies_agree_with_oracle", 64, 0xC1C, |rng| {
+        let parents = workloads::random_forest(rng, 24);
         let h = Hierarchy::from_parents(&parents);
         let geo = Geometry::new(4);
         let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
         let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
         let mut all: Vec<Object> = Vec::new();
-        for (i, &(class, attr)) in objects.iter().enumerate() {
-            let o = Object::new(class % h.len(), attr, i as u64);
+        let n_objects = rng.gen_range(1..120usize);
+        for i in 0..n_objects {
+            let o = Object::new(rng.gen_range(0..h.len()), rng.gen_range(0i64..60), i as u64);
             rake.insert(o);
             rtree.insert(o);
             all.push(o);
         }
-        for &(class, a, w) in &queries {
-            let class = class % h.len();
-            let mut want: Vec<u64> = all
-                .iter()
-                .filter(|o| h.is_ancestor_or_self(class, o.class))
-                .filter(|o| o.attr >= a && o.attr <= a + w)
-                .map(|o| o.id)
-                .collect();
-            want.sort_unstable();
-            let mut got = rake.query(class, a, a + w);
-            got.sort_unstable();
-            prop_assert_eq!(&got, &want, "rake");
-            let mut got = rtree.query(class, a, a + w);
-            got.sort_unstable();
-            prop_assert_eq!(&got, &want, "rangetree");
+        let n_queries = rng.gen_range(1..10usize);
+        for _ in 0..n_queries {
+            let class = rng.gen_range(0..h.len());
+            let a = rng.gen_range(0i64..60);
+            let w = rng.gen_range(0i64..30);
+            let want = oracle::class_range_ids(&h, &all, class, a, a + w);
+            oracle::assert_same_ids(rake.query(class, a, a + w), want.clone(), "rake");
+            oracle::assert_same_ids(rtree.query(class, a, a + w), want, "rangetree");
         }
-    }
+    });
 }

@@ -138,11 +138,7 @@ impl GeneralizedIndex {
     /// satisfies `a1 ≤ x_var ≤ a2` — operation (i) of §2.1: the returned
     /// disjuncts are the intersecting tuples with the query constraint
     /// conjoined.
-    pub fn try_range_search(
-        &self,
-        a1: Rat,
-        a2: Rat,
-    ) -> Result<GeneralizedRelation, IndexError> {
+    pub fn try_range_search(&self, a1: Rat, a2: Rat) -> Result<GeneralizedRelation, IndexError> {
         let q1 = a1.scaled(self.scale2).ok_or(IndexError::OffGridQuery)?;
         let q2 = a2.scaled(self.scale2).ok_or(IndexError::OffGridQuery)?;
         let mut out = GeneralizedRelation::new(self.relation.arity());
@@ -188,8 +184,7 @@ mod tests {
         let mut rel = GeneralizedRelation::new(1);
         rel.add(interval_tuple(Rat::from(0), Rat::from(5)));
         rel.add(interval_tuple(Rat::from(10), Rat::from(20)));
-        let idx =
-            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        let idx = GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
         let hits = idx.range_search(Rat::from(4), Rat::from(11));
         assert_eq!(hits.len(), 2);
         // Refined tuples respect both the original and the query constraint.
@@ -206,8 +201,7 @@ mod tests {
         t.and(Atom::var_gt_const(0, Rat::new(1, 2)));
         let mut rel = GeneralizedRelation::new(1);
         rel.add(t);
-        let idx =
-            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        let idx = GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
         assert!(idx.stab(Rat::new(1, 2)).is_empty());
         assert_eq!(idx.stab(Rat::new(3, 4)).len(), 1);
     }
@@ -216,8 +210,7 @@ mod tests {
     fn off_grid_query_is_reported() {
         let mut rel = GeneralizedRelation::new(1);
         rel.add(interval_tuple(Rat::from(0), Rat::from(1)));
-        let idx =
-            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        let idx = GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
         // Grid is halves of integers; thirds are off-grid.
         assert_eq!(
             idx.try_range_search(Rat::new(1, 3), Rat::from(1)).err(),
@@ -233,8 +226,7 @@ mod tests {
         t.and(Atom::var_lt_const(0, Rat::from(5)));
         rel.add(t);
         rel.add(interval_tuple(Rat::from(0), Rat::from(1)));
-        let idx =
-            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        let idx = GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
         assert_eq!(idx.stab(Rat::from(5)).len(), 0);
         assert_eq!(idx.stab(Rat::from(1)).len(), 1);
     }
@@ -245,8 +237,7 @@ mod tests {
         let mut t = GeneralizedTuple::new(2);
         t.and(Atom::var_le_const(1, Rat::from(3))); // no constraint on x_0
         rel.add(t);
-        let idx =
-            GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
+        let idx = GeneralizedIndex::build(&rel, 0, Geometry::new(8), IoCounter::new()).unwrap();
         assert_eq!(idx.stab(Rat::from(-1_000_000)).len(), 1);
         assert_eq!(idx.stab(Rat::from(1_000_000)).len(), 1);
     }

@@ -1,9 +1,10 @@
-//! Property tests for the order-constraint decision procedure: the solver's
-//! satisfiability and projection answers must agree with brute-force
-//! evaluation over a dense grid of candidate assignments.
+//! Property tests (on the shared testkit harness) for the order-constraint
+//! decision procedure: the solver's satisfiability and projection answers
+//! must agree with brute-force evaluation over a dense grid of candidate
+//! assignments.
 
 use ccix_constraint::{Atom, Bound, Cmp, GeneralizedTuple, Rat};
-use proptest::prelude::*;
+use ccix_testkit::{check, DetRng};
 
 /// Candidate values: integers and half-integers in a small window —
 /// dense enough to witness any satisfiable combination of constraints whose
@@ -18,19 +19,33 @@ fn grid() -> Vec<Rat> {
     v
 }
 
-fn atom_strategy(arity: usize) -> impl Strategy<Value = Atom> {
-    let cmp = prop_oneof![
-        Just(Cmp::Lt),
-        Just(Cmp::Le),
-        Just(Cmp::Eq),
-        Just(Cmp::Ge),
-        Just(Cmp::Gt),
-    ];
-    prop_oneof![
-        (0..arity, cmp.clone(), -6..6i64)
-            .prop_map(|(v, c, k)| Atom::var_cmp_const(v, c, Rat::from(k))),
-        (0..arity, cmp, 0..arity).prop_map(|(u, c, v)| Atom::var_cmp_var(u, c, v)),
-    ]
+fn random_cmp(rng: &mut DetRng) -> Cmp {
+    *rng.choose(&[Cmp::Lt, Cmp::Le, Cmp::Eq, Cmp::Ge, Cmp::Gt])
+        .expect("nonempty")
+}
+
+fn random_atom(rng: &mut DetRng, arity: usize) -> Atom {
+    if rng.gen_bool(0.5) {
+        Atom::var_cmp_const(
+            rng.gen_range(0..arity),
+            random_cmp(rng),
+            Rat::from(rng.gen_range(-6i64..6)),
+        )
+    } else {
+        Atom::var_cmp_var(
+            rng.gen_range(0..arity),
+            random_cmp(rng),
+            rng.gen_range(0..arity),
+        )
+    }
+}
+
+fn random_tuple(rng: &mut DetRng, arity: usize, max_atoms: usize) -> GeneralizedTuple {
+    let mut t = GeneralizedTuple::new(arity);
+    for _ in 0..rng.gen_range(0..max_atoms) {
+        t.and(random_atom(rng, arity));
+    }
+    t
 }
 
 /// Brute-force satisfiability over the grid (complete for ≤ 2 variables,
@@ -39,9 +54,7 @@ fn brute_sat(t: &GeneralizedTuple) -> bool {
     let g = grid();
     match t.arity() {
         1 => g.iter().any(|&a| t.satisfies(&[a])),
-        2 => g
-            .iter()
-            .any(|&a| g.iter().any(|&b| t.satisfies(&[a, b]))),
+        2 => g.iter().any(|&a| g.iter().any(|&b| t.satisfies(&[a, b]))),
         _ => unreachable!("tests use arity ≤ 2"),
     }
 }
@@ -73,79 +86,81 @@ fn brute_project(t: &GeneralizedTuple, v: usize) -> Option<(Rat, Rat)> {
     lo.zip(hi)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
+#[test]
+fn solver_agrees_with_brute_force_sat() {
+    check::trials(
+        "constraint::solver_agrees_with_brute_force_sat",
+        256,
+        0x5A7,
+        |rng| {
+            let t = random_tuple(rng, 2, 6);
+            let solver = t.is_satisfiable();
+            let brute = brute_sat(&t);
+            // The grid is dense within the constant window, so brute-force SAT
+            // implies solver SAT, and solver UNSAT implies brute-force UNSAT.
+            // (A satisfiable tuple always has a witness on the grid because
+            // constants lie in [-6, 6] and the domain is dense.)
+            assert_eq!(solver, brute, "atoms: {:?}", t.atoms());
+        },
+    );
+}
 
-    #[test]
-    fn solver_agrees_with_brute_force_sat(
-        atoms in proptest::collection::vec(atom_strategy(2), 0..6)
-    ) {
-        let mut t = GeneralizedTuple::new(2);
-        for a in atoms {
-            t.and(a);
-        }
-        let solver = t.is_satisfiable();
-        let brute = brute_sat(&t);
-        // The grid is dense within the constant window, so brute-force SAT
-        // implies solver SAT, and solver UNSAT implies brute-force UNSAT.
-        // (A satisfiable tuple always has a witness on the grid because
-        // constants lie in [-6, 6] and the domain is dense.)
-        prop_assert_eq!(solver, brute, "atoms: {:?}", t.atoms());
-    }
+#[test]
+fn projection_contains_all_witnesses() {
+    check::trials(
+        "constraint::projection_contains_all_witnesses",
+        256,
+        0x5A8,
+        |rng| {
+            let t = random_tuple(rng, 2, 6);
+            let v = rng.gen_range(0usize..2);
+            match (t.project(v), brute_project(&t, v)) {
+                (None, w) => assert!(w.is_none(), "solver UNSAT but witnesses exist"),
+                (Some((lo, hi)), Some((wlo, whi))) => {
+                    // Every witnessed value lies inside the projected interval.
+                    match lo {
+                        Bound::Unbounded => {}
+                        Bound::Closed(b) => assert!(wlo >= b),
+                        Bound::Open(b) => assert!(wlo > b),
+                    }
+                    match hi {
+                        Bound::Unbounded => {}
+                        Bound::Closed(b) => assert!(whi <= b),
+                        Bound::Open(b) => assert!(whi < b),
+                    }
+                }
+                (Some(_), None) => {
+                    // Solver SAT but no grid witness would contradict density.
+                    panic!("projection nonempty but no grid witness");
+                }
+            }
+        },
+    );
+}
 
-    #[test]
-    fn projection_contains_all_witnesses(
-        atoms in proptest::collection::vec(atom_strategy(2), 0..6),
-        v in 0usize..2,
-    ) {
-        let mut t = GeneralizedTuple::new(2);
-        for a in atoms {
-            t.and(a);
-        }
-        match (t.project(v), brute_project(&t, v)) {
-            (None, w) => prop_assert!(w.is_none(), "solver UNSAT but witnesses exist"),
-            (Some((lo, hi)), Some((wlo, whi))) => {
-                // Every witnessed value lies inside the projected interval.
+#[test]
+fn ground_evaluation_is_consistent_with_projection() {
+    check::trials(
+        "constraint::ground_eval_consistent_with_projection",
+        256,
+        0x5A9,
+        |rng| {
+            let t = random_tuple(rng, 1, 5);
+            let probe = rng.gen_range(-8i64..8);
+            let val = Rat::from(probe);
+            if t.satisfies(&[val]) {
+                let (lo, hi) = t.project(0).expect("satisfied implies satisfiable");
                 match lo {
                     Bound::Unbounded => {}
-                    Bound::Closed(b) => prop_assert!(wlo >= b),
-                    Bound::Open(b) => prop_assert!(wlo > b),
+                    Bound::Closed(b) => assert!(val >= b),
+                    Bound::Open(b) => assert!(val > b),
                 }
                 match hi {
                     Bound::Unbounded => {}
-                    Bound::Closed(b) => prop_assert!(whi <= b),
-                    Bound::Open(b) => prop_assert!(whi < b),
+                    Bound::Closed(b) => assert!(val <= b),
+                    Bound::Open(b) => assert!(val < b),
                 }
             }
-            (Some(_), None) => {
-                // Solver SAT but no grid witness would contradict density.
-                prop_assert!(false, "projection nonempty but no grid witness");
-            }
-        }
-    }
-
-    #[test]
-    fn ground_evaluation_is_consistent_with_projection(
-        atoms in proptest::collection::vec(atom_strategy(1), 0..5),
-        probe in -8..8i64,
-    ) {
-        let mut t = GeneralizedTuple::new(1);
-        for a in atoms {
-            t.and(a);
-        }
-        let val = Rat::from(probe);
-        if t.satisfies(&[val]) {
-            let (lo, hi) = t.project(0).expect("satisfied implies satisfiable");
-            match lo {
-                Bound::Unbounded => {}
-                Bound::Closed(b) => prop_assert!(val >= b),
-                Bound::Open(b) => prop_assert!(val > b),
-            }
-            match hi {
-                Bound::Unbounded => {}
-                Bound::Closed(b) => prop_assert!(val <= b),
-                Bound::Open(b) => prop_assert!(val < b),
-            }
-        }
-    }
+        },
+    );
 }

@@ -327,7 +327,11 @@ mod tests {
 
     #[test]
     fn single_block_set() {
-        let pts = vec![Point::new(0, 5, 1), Point::new(2, 3, 2), Point::new(4, 9, 3)];
+        let pts = vec![
+            Point::new(0, 5, 1),
+            Point::new(2, 3, 2),
+            Point::new(4, 9, 3),
+        ];
         let (store, cs, _) = build(4, &pts);
         for q in -1..=10 {
             let mut out = Vec::new();
@@ -338,7 +342,13 @@ mod tests {
 
     #[test]
     fn random_sets_match_oracle() {
-        for &(n, b) in &[(50usize, 4usize), (300, 4), (256, 16), (1000, 8), (2048, 16)] {
+        for &(n, b) in &[
+            (50usize, 4usize),
+            (300, 4),
+            (256, 16),
+            (1000, 8),
+            (2048, 16),
+        ] {
             let pts = above_diagonal_points(n, 0xABC + n as u64, 200);
             let (store, cs, _) = build(b, &pts);
             for q in (-5..205).step_by(7) {

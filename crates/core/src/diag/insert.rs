@@ -165,12 +165,7 @@ impl MetablockTree {
     /// its current mains + updates and discard the TD. `O(B²)` I/Os, once
     /// per `B²` inserts below `parent`.
     pub(crate) fn ts_reorg(&mut self, parent: MbId) {
-        let child_ids: Vec<MbId> = self
-            .meta(parent)
-            .children
-            .iter()
-            .map(|c| c.mb)
-            .collect();
+        let child_ids: Vec<MbId> = self.meta(parent).children.iter().map(|c| c.mb).collect();
         let snapshots: Vec<Vec<Point>> = child_ids
             .iter()
             .map(|&c| {
@@ -308,7 +303,8 @@ impl MetablockTree {
             // The root itself is a full leaf: grow the tree by a static
             // rebuild (it creates the new root + B children).
             self.free_metablock(mb);
-            let (root, _, _) = self.build_slab(pts, super::build::FULL_RANGE.0, super::build::FULL_RANGE.1);
+            let (root, _, _) =
+                self.build_slab(pts, super::build::FULL_RANGE.0, super::build::FULL_RANGE.1);
             self.root = Some(root);
             return;
         };

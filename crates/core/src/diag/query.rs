@@ -204,9 +204,7 @@ impl MetablockTree {
                     // restricted to the covered children's slabs.
                     let in_covered = |p: &Point| {
                         let k = p.xkey();
-                        covered
-                            .iter()
-                            .any(|&i| children[i].slab_contains(k))
+                        covered.iter().any(|&i| children[i].slab_contains(k))
                     };
                     out.extend(scanned.iter().filter(|p| in_covered(p)));
                     self.query_td(meta, q, &in_covered, out);

@@ -117,9 +117,8 @@ impl ThreeSidedTree {
         let horizontal = self.store.alloc_run(&by_y);
         // A PST pays off once the mains span multiple blocks; a single
         // block is answered by scanning it.
-        let pst = (mains.len() > self.geo.b).then(|| {
-            ExternalPst::build(self.geo, self.counter.clone(), mains.to_vec())
-        });
+        let pst = (mains.len() > self.geo.b)
+            .then(|| ExternalPst::build(self.geo, self.counter.clone(), mains.to_vec()));
         TsMeta {
             vertical,
             vkeys,

@@ -326,7 +326,9 @@ impl ThreeSidedTree {
             }
         }
         debug_assert!(
-            meta.children.iter().all(|c| classify(c, y0) == ChildClass::Dead),
+            meta.children
+                .iter()
+                .all(|c| classify(c, y0) == ChildClass::Dead),
             "partial metablock with a live child"
         );
     }

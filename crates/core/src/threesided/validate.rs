@@ -111,10 +111,7 @@ impl ThreeSidedTree {
             b.sort_unstable();
             assert_eq!(a, b, "metablock PST out of sync with mains");
         } else {
-            assert!(
-                meta.n_main <= self.geo.b,
-                "multi-block mains without a PST"
-            );
+            assert!(meta.n_main <= self.geo.b, "multi-block mains without a PST");
         }
 
         let update = meta

@@ -49,7 +49,8 @@ const CONFIGS: [DiagOptions; 4] = [
 fn static_queries_identical_across_configs() {
     let pts = interval_points(5_000, 0xAB1, 800);
     for options in CONFIGS {
-        let tree = MetablockTree::build_with(Geometry::new(4), IoCounter::new(), pts.clone(), options);
+        let tree =
+            MetablockTree::build_with(Geometry::new(4), IoCounter::new(), pts.clone(), options);
         tree.validate_unbilled();
         for q in (-2..805).step_by(11) {
             let got = tree.query(q);

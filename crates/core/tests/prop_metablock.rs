@@ -1,88 +1,99 @@
-//! Property-based tests: the metablock tree answers every diagonal-corner
-//! query exactly like a linear scan, under arbitrary interleavings of
-//! builds, inserts and queries, at tiny block sizes that force every
-//! reorganisation path.
+//! Property-based tests (on the shared testkit harness): the metablock tree
+//! answers every diagonal-corner query exactly like a linear scan, under
+//! arbitrary interleavings of builds, inserts and queries, at tiny block
+//! sizes that force every reorganisation path.
 
 use ccix_core::MetablockTree;
 use ccix_extmem::{Geometry, IoCounter, Point};
 use ccix_pst::oracle;
-use proptest::prelude::*;
+use ccix_testkit::{check, DetRng};
 
-fn interval(range: i64) -> impl Strategy<Value = (i64, i64)> {
-    (0..range, 0..range).prop_map(|(a, b)| (a.min(b), a.max(b)))
+fn random_interval(rng: &mut DetRng, range: i64) -> (i64, i64) {
+    let a = rng.gen_range(0..range);
+    let b = rng.gen_range(0..range);
+    (a.min(b), a.max(b))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn interval_pts(rng: &mut DetRng, range: i64, n: usize, id_base: u64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let (x, y) = random_interval(rng, range);
+            Point::new(x, y, id_base + i as u64)
+        })
+        .collect()
+}
 
-    #[test]
-    fn static_build_matches_oracle(
-        intervals in proptest::collection::vec(interval(60), 0..250),
-        b in 2usize..5,
-        queries in proptest::collection::vec(-2i64..64, 1..20),
-    ) {
-        let pts: Vec<Point> = intervals
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
-            .collect();
+#[test]
+fn static_build_matches_oracle() {
+    check::trials("metablock::static_build_matches_oracle", 48, 0xD1A, |rng| {
+        let n = rng.gen_range(0..250usize);
+        let b = rng.gen_range(2usize..5);
+        let pts = interval_pts(rng, 60, n, 0);
         let tree = MetablockTree::build(Geometry::new(b), IoCounter::new(), pts.clone());
         tree.validate_unbilled();
-        for q in queries {
+        let n_queries = rng.gen_range(1..20usize);
+        for _ in 0..n_queries {
+            let q = rng.gen_range(-2i64..64);
             let got = tree.query(q);
             let want = oracle::diagonal_corner(&pts, q);
             oracle::assert_same_points(got, want, &format!("b={b} q={q}"));
         }
-    }
+    });
+}
 
-    #[test]
-    fn incremental_inserts_match_oracle(
-        seed in proptest::collection::vec(interval(60), 0..80),
-        inserts in proptest::collection::vec(interval(60), 1..200),
-        b in 2usize..5,
-    ) {
-        let seed_pts: Vec<Point> = seed
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
-            .collect();
-        let mut tree = MetablockTree::build(Geometry::new(b), IoCounter::new(), seed_pts.clone());
-        let mut all = seed_pts;
-        for (i, &(x, y)) in inserts.iter().enumerate() {
-            let p = Point::new(x, y, 1_000_000 + i as u64);
-            tree.insert(p);
-            all.push(p);
-        }
-        tree.validate_unbilled();
-        for q in [-1i64, 0, 15, 30, 45, 59, 60] {
-            let got = tree.query(q);
-            let want = oracle::diagonal_corner(&all, q);
-            oracle::assert_same_points(got, want, &format!("b={b} q={q}"));
-        }
-    }
+#[test]
+fn incremental_inserts_match_oracle() {
+    check::trials(
+        "metablock::incremental_inserts_match_oracle",
+        48,
+        0xD1B,
+        |rng| {
+            let b = rng.gen_range(2usize..5);
+            let n_seed = rng.gen_range(0..80usize);
+            let n_ins = rng.gen_range(1..200usize);
+            let seed_pts = interval_pts(rng, 60, n_seed, 0);
+            let mut tree =
+                MetablockTree::build(Geometry::new(b), IoCounter::new(), seed_pts.clone());
+            let mut all = seed_pts;
+            for i in 0..n_ins {
+                let (x, y) = random_interval(rng, 60);
+                let p = Point::new(x, y, 1_000_000 + i as u64);
+                tree.insert(p);
+                all.push(p);
+            }
+            tree.validate_unbilled();
+            for q in [-1i64, 0, 15, 30, 45, 59, 60] {
+                let got = tree.query(q);
+                let want = oracle::diagonal_corner(&all, q);
+                oracle::assert_same_points(got, want, &format!("b={b} q={q}"));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn stored_multiset_is_preserved(
-        intervals in proptest::collection::vec(interval(100), 1..300),
-        split in 0usize..300,
-    ) {
-        // Half built statically, half inserted; the tree must store exactly
-        // the input multiset regardless of reorganisation history.
-        let pts: Vec<Point> = intervals
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
-            .collect();
-        let k = split.min(pts.len());
-        let mut tree =
-            MetablockTree::build(Geometry::new(2), IoCounter::new(), pts[..k].to_vec());
-        for p in &pts[k..] {
-            tree.insert(*p);
-        }
-        let mut stored = tree.validate_unbilled();
-        stored.sort_unstable_by_key(|p| p.id);
-        let mut want = pts.clone();
-        want.sort_unstable_by_key(|p| p.id);
-        prop_assert_eq!(stored, want);
-    }
+#[test]
+fn stored_multiset_is_preserved() {
+    check::trials(
+        "metablock::stored_multiset_is_preserved",
+        48,
+        0xD1C,
+        |rng| {
+            // Half built statically, half inserted; the tree must store exactly
+            // the input multiset regardless of reorganisation history.
+            let n = rng.gen_range(1..300usize);
+            let split = rng.gen_range(0..300usize);
+            let pts = interval_pts(rng, 100, n, 0);
+            let k = split.min(pts.len());
+            let mut tree =
+                MetablockTree::build(Geometry::new(2), IoCounter::new(), pts[..k].to_vec());
+            for p in &pts[k..] {
+                tree.insert(*p);
+            }
+            let mut stored = tree.validate_unbilled();
+            stored.sort_unstable_by_key(|p| p.id);
+            let mut want = pts.clone();
+            want.sort_unstable_by_key(|p| p.id);
+            assert_eq!(stored, want);
+        },
+    );
 }

@@ -1,57 +1,83 @@
-//! Property-based tests for the 3-sided metablock tree.
+//! Property-based tests (on the shared testkit harness) for the 3-sided
+//! metablock tree.
 
 use ccix_core::ThreeSidedTree;
 use ccix_extmem::{Geometry, IoCounter, Point};
 use ccix_pst::oracle;
-use proptest::prelude::*;
+use ccix_testkit::{check, DetRng};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
+fn random_pts(
+    rng: &mut DetRng,
+    n: usize,
+    xr: std::ops::Range<i64>,
+    yr: std::ops::Range<i64>,
+) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            Point::new(
+                rng.gen_range(xr.clone()),
+                rng.gen_range(yr.clone()),
+                i as u64,
+            )
+        })
+        .collect()
+}
 
-    #[test]
-    fn static_build_matches_oracle(
-        coords in proptest::collection::vec((0i64..50, -20i64..30), 0..250),
-        b in 2usize..5,
-        queries in proptest::collection::vec((-2i64..52, -2i64..52, -25i64..35), 1..15),
-    ) {
-        let pts: Vec<Point> = coords
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
-            .collect();
-        let tree = ThreeSidedTree::build(Geometry::new(b), IoCounter::new(), pts.clone());
-        tree.validate_unbilled();
-        for (a, c, y0) in queries {
-            let (x1, x2) = (a.min(c), a.max(c));
-            let got = tree.query(x1, x2, y0);
-            let want = oracle::three_sided(&pts, x1, x2, y0);
-            oracle::assert_same_points(got, want, &format!("b={b} q=({x1},{x2},{y0})"));
-        }
-    }
+#[test]
+fn static_build_matches_oracle() {
+    check::trials(
+        "threesided::static_build_matches_oracle",
+        40,
+        0x35A,
+        |rng| {
+            let n = rng.gen_range(0..250usize);
+            let b = rng.gen_range(2usize..5);
+            let pts = random_pts(rng, n, 0..50, -20..30);
+            let tree = ThreeSidedTree::build(Geometry::new(b), IoCounter::new(), pts.clone());
+            tree.validate_unbilled();
+            let n_queries = rng.gen_range(1..15usize);
+            for _ in 0..n_queries {
+                let a = rng.gen_range(-2i64..52);
+                let c = rng.gen_range(-2i64..52);
+                let y0 = rng.gen_range(-25i64..35);
+                let (x1, x2) = (a.min(c), a.max(c));
+                let got = tree.query(x1, x2, y0);
+                let want = oracle::three_sided(&pts, x1, x2, y0);
+                oracle::assert_same_points(got, want, &format!("b={b} q=({x1},{x2},{y0})"));
+            }
+        },
+    );
+}
 
-    #[test]
-    fn mixed_build_and_inserts_match_oracle(
-        seed in proptest::collection::vec((0i64..40, 0i64..40), 0..100),
-        inserts in proptest::collection::vec((0i64..40, 0i64..40), 1..150),
-        b in 2usize..4,
-    ) {
-        let seed_pts: Vec<Point> = seed
-            .iter()
-            .enumerate()
-            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
-            .collect();
+#[test]
+fn mixed_build_and_inserts_match_oracle() {
+    check::trials("threesided::mixed_build_and_inserts", 40, 0x35B, |rng| {
+        let b = rng.gen_range(2usize..4);
+        let n_seed = rng.gen_range(0..100usize);
+        let n_ins = rng.gen_range(1..150usize);
+        let seed_pts = random_pts(rng, n_seed, 0..40, 0..40);
         let mut tree = ThreeSidedTree::build(Geometry::new(b), IoCounter::new(), seed_pts.clone());
         let mut all = seed_pts;
-        for (i, &(x, y)) in inserts.iter().enumerate() {
-            let p = Point::new(x, y, 1_000_000 + i as u64);
+        for i in 0..n_ins {
+            let p = Point::new(
+                rng.gen_range(0i64..40),
+                rng.gen_range(0i64..40),
+                1_000_000 + i as u64,
+            );
             tree.insert(p);
             all.push(p);
         }
         tree.validate_unbilled();
-        for (x1, x2, y0) in [(0i64, 39i64, 0i64), (0, 39, 20), (10, 25, 15), (5, 5, 0), (38, 39, 39)] {
+        for (x1, x2, y0) in [
+            (0i64, 39i64, 0i64),
+            (0, 39, 20),
+            (10, 25, 15),
+            (5, 5, 0),
+            (38, 39, 39),
+        ] {
             let got = tree.query(x1, x2, y0);
             let want = oracle::three_sided(&all, x1, x2, y0);
             oracle::assert_same_points(got, want, &format!("b={b} q=({x1},{x2},{y0})"));
         }
-    }
+    });
 }

@@ -156,11 +156,7 @@ fn inserts_into_built_tree_match_oracle() {
     let mut next = xorshift(0xCAFE);
     let queries: Vec<(i64, i64, i64)> = vec![(0, 499, 250), (100, 150, 0), (250, 260, 490)];
     for i in 0..2_000u64 {
-        let p = Point::new(
-            (next() % 500) as i64,
-            (next() % 500) as i64,
-            100_000 + i,
-        );
+        let p = Point::new((next() % 500) as i64, (next() % 500) as i64, 100_000 + i);
         t.insert(p);
         pts.push(p);
         if i % 311 == 0 {
@@ -179,20 +175,16 @@ fn adversarial_insert_orders() {
         let mut pts = Vec::new();
         for i in 0..n {
             let p = match mode {
-                0 => Point::new(i, n - i, i as u64),         // ascending x
-                1 => Point::new(n - i, i, i as u64),         // descending x
-                _ => Point::new(i % 10, i / 10, i as u64),   // few x values
+                0 => Point::new(i, n - i, i as u64),       // ascending x
+                1 => Point::new(n - i, i, i as u64),       // descending x
+                _ => Point::new(i % 10, i / 10, i as u64), // few x values
             };
             t.insert(p);
             pts.push(p);
         }
         t.validate_unbilled();
-        let queries: Vec<(i64, i64, i64)> = vec![
-            (0, n, 0),
-            (0, n, n / 2),
-            (n / 4, n / 2, n / 3),
-            (0, 9, 100),
-        ];
+        let queries: Vec<(i64, i64, i64)> =
+            vec![(0, n, 0), (0, n, n / 2), (n / 4, n / 2, n / 3), (0, 9, 100)];
         check_queries(&t, &pts, &queries, &format!("mode={mode}"));
     }
 }
@@ -297,7 +289,7 @@ fn striped_straddlers_hit_snapshot_routes() {
         let t = ThreeSidedTree::build(Geometry::new(b), counter.clone(), pts.clone());
         t.validate_unbilled();
         let queries: Vec<(i64, i64, i64)> = vec![
-            (0, n as i64, 50),        // full cover: children-PST at the root
+            (0, n as i64, 50),         // full cover: children-PST at the root
             (100, n as i64 - 100, 50), // fork with many partial middles
             (100, n as i64, 97),       // left-boundary only (TSR route), tiny t
             (0, n as i64 - 100, 97),   // right-boundary only (TSL route), tiny t

@@ -1,0 +1,238 @@
+//! Integration tests for the external-memory substrate's internals:
+//! buffer-pool eviction against a reference LRU model, snapshot/since
+//! arithmetic, and Geometry edge cases (the smallest legal `B` and
+//! overflow-prone large `B`).
+
+use ccix_extmem::{BufferPool, Disk, Geometry, IoCounter, IoSnapshot, PageId, TypedStore};
+use ccix_testkit::check;
+
+// ------------------------------------------------------------------- pool
+
+/// A reference LRU: the same policy as `BufferPool`, in the most obvious
+/// encoding (a recency-ordered vector of page ids).
+struct ModelLru {
+    frames: usize,
+    order: Vec<PageId>, // most recent last
+}
+
+impl ModelLru {
+    fn new(frames: usize) -> Self {
+        Self {
+            frames,
+            order: Vec::new(),
+        }
+    }
+
+    /// Touch a page; returns true when it was already cached (a hit).
+    fn touch(&mut self, id: PageId) -> bool {
+        let hit = if let Some(pos) = self.order.iter().position(|&p| p == id) {
+            self.order.remove(pos);
+            true
+        } else {
+            if self.order.len() == self.frames {
+                self.order.remove(0);
+            }
+            false
+        };
+        self.order.push(id);
+        hit
+    }
+
+    fn invalidate(&mut self, id: PageId) {
+        self.order.retain(|&p| p != id);
+    }
+}
+
+#[test]
+fn pool_eviction_matches_reference_lru() {
+    check::trials(
+        "extmem::pool_eviction_matches_reference_lru",
+        40,
+        0xE41,
+        |rng| {
+            let frames = rng.gen_range(1usize..6);
+            let n_pages = rng.gen_range(1usize..12);
+            let counter = IoCounter::new();
+            let mut disk = Disk::new(8, counter.clone());
+            let ids: Vec<PageId> = (0..n_pages)
+                .map(|i| {
+                    let id = disk.alloc();
+                    disk.write(id, &[i as u8; 8]);
+                    id
+                })
+                .collect();
+            let mut pool = BufferPool::new(frames);
+            let mut model = ModelLru::new(frames);
+            for _ in 0..200 {
+                let id = *rng.choose(&ids).expect("nonempty");
+                if rng.gen_bool(0.1) {
+                    pool.invalidate(id);
+                    model.invalidate(id);
+                    continue;
+                }
+                let want_hit = model.touch(id);
+                let reads_before = counter.reads();
+                let buf = pool.read(&disk, id);
+                assert_eq!(buf, disk.read_unbilled(id), "cache returned stale bytes");
+                let was_hit = counter.reads() == reads_before;
+                assert_eq!(
+                    was_hit, want_hit,
+                    "pool and reference LRU disagree (frames={frames}, page={id:?})"
+                );
+            }
+        },
+    );
+}
+
+#[test]
+fn pool_write_through_always_costs_io_and_keeps_cache_fresh() {
+    let counter = IoCounter::new();
+    let mut disk = Disk::new(4, counter.clone());
+    let id = disk.alloc();
+    disk.write(id, &[0u8; 4]);
+    let mut pool = BufferPool::new(1);
+    let writes_before = counter.writes();
+    for round in 1..=5u8 {
+        pool.write(&mut disk, id, &[round; 4]);
+        assert_eq!(counter.writes(), writes_before + u64::from(round));
+        let reads_before = counter.reads();
+        assert_eq!(pool.read(&disk, id), vec![round; 4]);
+        assert_eq!(counter.reads(), reads_before, "read after write must hit");
+    }
+}
+
+#[test]
+fn single_frame_pool_thrashes_between_two_pages() {
+    let counter = IoCounter::new();
+    let mut disk = Disk::new(4, counter.clone());
+    let a = disk.alloc();
+    let b = disk.alloc();
+    disk.write(a, &[1u8; 4]);
+    disk.write(b, &[2u8; 4]);
+    let mut pool = BufferPool::new(1);
+    let before = counter.reads();
+    for _ in 0..5 {
+        let _ = pool.read(&disk, a);
+        let _ = pool.read(&disk, b);
+    }
+    assert_eq!(
+        counter.reads() - before,
+        10,
+        "every alternating read misses"
+    );
+    assert_eq!(pool.hits(), 0);
+    assert_eq!(pool.misses(), 10);
+}
+
+#[test]
+#[should_panic(expected = "at least one frame")]
+fn zero_frame_pool_rejected() {
+    let _ = BufferPool::new(0);
+}
+
+// ------------------------------------------------- snapshot / since maths
+
+#[test]
+fn since_and_delta_compose() {
+    let c = IoCounter::new();
+    let s0 = c.snapshot();
+    c.add_reads(3);
+    let s1 = c.snapshot();
+    c.add_writes(4);
+    c.add_reads(1);
+    let s2 = c.snapshot();
+
+    // since(s) == s.delta(now) for every snapshot.
+    assert_eq!(c.since(s0), s0.delta(s2));
+    assert_eq!(c.since(s1), s1.delta(s2));
+    // Deltas over adjacent windows add up to the delta over the union.
+    let d01 = s0.delta(s1);
+    let d12 = s1.delta(s2);
+    let d02 = s0.delta(s2);
+    assert_eq!(d01.reads + d12.reads, d02.reads);
+    assert_eq!(d01.writes + d12.writes, d02.writes);
+    assert_eq!(d01.total() + d12.total(), d02.total());
+    assert_eq!(
+        d02,
+        IoSnapshot {
+            reads: 4,
+            writes: 4
+        }
+    );
+}
+
+#[test]
+fn empty_window_has_zero_delta() {
+    let c = IoCounter::new();
+    c.add_reads(7);
+    let s = c.snapshot();
+    assert_eq!(c.since(s), IoSnapshot::default());
+    assert_eq!(s.delta(s).total(), 0);
+}
+
+#[test]
+fn counters_shared_across_stores_accumulate_once() {
+    let c = IoCounter::new();
+    let mut a: TypedStore<u8> = TypedStore::new(2, c.clone());
+    let mut b: TypedStore<u8> = TypedStore::new(2, c.clone());
+    let s = c.snapshot();
+    let pa = a.alloc(vec![1]);
+    let pb = b.alloc(vec![2]);
+    let _ = a.read(pa);
+    let _ = b.read(pb);
+    let d = c.since(s);
+    assert_eq!(d.reads, 2);
+    assert_eq!(d.writes, 2);
+}
+
+// ---------------------------------------------------------- geometry edges
+
+#[test]
+#[should_panic(expected = "at least 2")]
+fn geometry_b1_rejected() {
+    // B = 1 would make every "block" a record and log_B meaningless.
+    let _ = Geometry::new(1);
+}
+
+#[test]
+fn geometry_b2_is_the_smallest_legal_block() {
+    let g = Geometry::new(2);
+    assert_eq!(g.b2(), 4);
+    assert_eq!(g.b3(), 8);
+    assert_eq!(g.out_blocks(5), 3);
+    // log_2 is just the binary logarithm here.
+    assert_eq!(g.log_b(1024), 10);
+    assert_eq!(g.log_b(1025), 11);
+}
+
+#[test]
+fn geometry_near_max_b_does_not_overflow() {
+    // The largest B whose B³ still fits in usize (on 64-bit: 2^21 when
+    // cubed gives 2^63). b2/b3 must not wrap and bounds stay sane.
+    let b = 1usize << 21;
+    let g = Geometry::new(b);
+    assert_eq!(g.b2(), 1usize << 42);
+    assert_eq!(g.b3(), 1usize << 63);
+    assert_eq!(g.log_b(b), 1);
+    assert_eq!(g.log_b(b + 1), 2);
+    assert_eq!(g.out_blocks(usize::MAX), usize::MAX / b + 1);
+}
+
+#[test]
+fn geometry_log_b_saturates_instead_of_overflowing() {
+    // log_b uses saturating_mul internally: astronomically large n must
+    // terminate and give the ceiling, not loop or wrap.
+    let g = Geometry::new(2);
+    assert_eq!(g.log_b(usize::MAX), 64);
+    let g = Geometry::new(usize::MAX);
+    assert_eq!(g.log_b(usize::MAX), 1);
+    assert_eq!(g.log_b(2), 1);
+}
+
+#[test]
+fn geometry_log2_covers_boundaries() {
+    assert_eq!(Geometry::log2(0), 1);
+    assert_eq!(Geometry::log2(1), 1);
+    assert_eq!(Geometry::log2(2), 1);
+    assert_eq!(Geometry::log2(usize::MAX), 64);
+}

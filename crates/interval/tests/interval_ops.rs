@@ -95,7 +95,12 @@ fn incremental_index_matches_oracle() {
         assert_eq!(got, oracle_stab(&ivs, q), "final q={q}");
         let mut got = idx.intersecting(q, q + 25);
         got.sort_unstable();
-        assert_eq!(got, oracle_intersect(&ivs, q, q + 25), "final [{q},{}]", q + 25);
+        assert_eq!(
+            got,
+            oracle_intersect(&ivs, q, q + 25),
+            "final [{q},{}]",
+            q + 25
+        );
     }
 }
 

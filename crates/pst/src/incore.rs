@@ -201,7 +201,11 @@ mod tests {
     #[test]
     fn stab_reports_containing_intervals() {
         // Intervals [0,4], [2,9], [5,6] as points.
-        let pts = vec![Point::new(0, 4, 1), Point::new(2, 9, 2), Point::new(5, 6, 3)];
+        let pts = vec![
+            Point::new(0, 4, 1),
+            Point::new(2, 9, 2),
+            Point::new(5, 6, 3),
+        ];
         let t = InCorePst::build(pts);
         let mut ids: Vec<u64> = t.stab(5).iter().map(|p| p.id).collect();
         ids.sort_unstable();

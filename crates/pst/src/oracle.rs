@@ -71,7 +71,11 @@ mod tests {
 
     #[test]
     fn diagonal_is_two_sided_on_the_line() {
-        let pts = vec![Point::new(1, 4, 1), Point::new(3, 3, 2), Point::new(4, 9, 3)];
+        let pts = vec![
+            Point::new(1, 4, 1),
+            Point::new(3, 3, 2),
+            Point::new(4, 9, 3),
+        ];
         let got = diagonal_corner(&pts, 3);
         assert_eq!(got.iter().map(|p| p.id).collect::<Vec<_>>(), vec![1, 2]);
     }

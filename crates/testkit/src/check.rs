@@ -1,0 +1,87 @@
+//! A minimal many-seed trial loop.
+//!
+//! The proptest-style suites in this workspace are plain loops over derived
+//! seeds: `trials(N, BASE_SEED, |rng| …)` runs the closure on `N`
+//! independent generators. When a trial panics, the failing seed is printed
+//! *before* the panic propagates, so the exact input reproduces with
+//! `DetRng::new(seed)` — no shrinking machinery, but perfect replay.
+
+use crate::rng::DetRng;
+
+/// Prints the failing seed if dropped while panicking.
+struct SeedReporter {
+    label: &'static str,
+    trial: usize,
+    seed: u64,
+}
+
+impl Drop for SeedReporter {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            eprintln!(
+                "[testkit] {} failed at trial {} — reproduce with DetRng::new({:#x})",
+                self.label, self.trial, self.seed
+            );
+        }
+    }
+}
+
+/// Run `f` on `n` independently seeded generators derived from `base_seed`.
+///
+/// Each trial's seed is derived by one splitmix64 step, so trials are
+/// decorrelated but the whole run is a pure function of `base_seed`.
+pub fn trials(label: &'static str, n: usize, base_seed: u64, mut f: impl FnMut(&mut DetRng)) {
+    let mut seeder = DetRng::new(base_seed);
+    for trial in 0..n {
+        let seed = seeder.next_u64();
+        let reporter = SeedReporter { label, trial, seed };
+        let mut rng = DetRng::new(seed);
+        f(&mut rng);
+        std::mem::forget(reporter);
+    }
+}
+
+/// Run `f` once for a single named seed (for pinning a regression).
+pub fn replay(label: &'static str, seed: u64, mut f: impl FnMut(&mut DetRng)) {
+    let reporter = SeedReporter {
+        label,
+        trial: 0,
+        seed,
+    };
+    let mut rng = DetRng::new(seed);
+    f(&mut rng);
+    std::mem::forget(reporter);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trials_run_the_requested_count() {
+        let mut count = 0;
+        trials("count", 17, 0, |_| count += 1);
+        assert_eq!(count, 17);
+    }
+
+    #[test]
+    fn trials_are_decorrelated() {
+        let mut firsts = Vec::new();
+        trials("firsts", 8, 1, |rng| firsts.push(rng.next_u64()));
+        firsts.sort_unstable();
+        firsts.dedup();
+        assert_eq!(firsts.len(), 8);
+    }
+
+    #[test]
+    fn replay_reproduces_a_trial() {
+        let mut seen = Vec::new();
+        trials("record", 3, 99, |rng| seen.push(rng.next_u64()));
+        let mut seeder = DetRng::new(99);
+        seeder.next_u64();
+        let second = seeder.next_u64();
+        let mut replayed = 0;
+        replay("replay", second, |rng| replayed = rng.next_u64());
+        assert_eq!(replayed, seen[1]);
+    }
+}

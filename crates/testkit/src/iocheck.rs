@@ -1,0 +1,136 @@
+//! I/O-accounting probes.
+//!
+//! The cost model only means something if every measured operation is
+//! actually charged to the shared counter. [`IoProbe`] brackets an
+//! operation: it snapshots the counter at start and, on `finish_*`, asserts
+//! the operation transferred at least one page (no counter bypass) and —
+//! optionally — no more than a claimed bound.
+
+use ccix_extmem::{IoCounter, IoSnapshot};
+
+/// A bracketing probe over one operation on a counted structure.
+#[must_use = "a probe measures nothing until finished"]
+pub struct IoProbe<'a> {
+    counter: &'a IoCounter,
+    start: IoSnapshot,
+    label: String,
+}
+
+impl<'a> IoProbe<'a> {
+    /// Start measuring. `label` names the operation in assertion messages.
+    pub fn start(counter: &'a IoCounter, label: impl Into<String>) -> Self {
+        Self {
+            start: counter.snapshot(),
+            counter,
+            label: label.into(),
+        }
+    }
+
+    /// Transfers since the probe started, without asserting anything.
+    pub fn delta(&self) -> IoSnapshot {
+        self.counter.since(self.start)
+    }
+
+    /// Finish and return the delta with no assertion.
+    pub fn finish(self) -> IoSnapshot {
+        self.delta()
+    }
+
+    /// Finish, asserting the operation was charged at least one I/O.
+    ///
+    /// This is the no-bypass check: an operation that touches a structure's
+    /// pages but reports zero transfers is reading around the cost model
+    /// (e.g. via an `*_unbilled` accessor on a measured path).
+    ///
+    /// # Panics
+    /// Panics if no page transfer was recorded.
+    pub fn finish_charged(self) -> IoSnapshot {
+        let d = self.delta();
+        assert!(
+            d.total() > 0,
+            "{}: operation bypassed the I/O counter (0 transfers recorded)",
+            self.label
+        );
+        d
+    }
+
+    /// Finish, asserting ≥ 1 transfer and at most `bound` total transfers.
+    ///
+    /// # Panics
+    /// Panics on zero transfers or on exceeding the bound.
+    pub fn finish_within(self, bound: u64) -> IoSnapshot {
+        let label = self.label.clone();
+        let d = self.finish_charged();
+        assert!(
+            d.total() <= bound,
+            "{label}: used {} I/Os, bound is {bound} (reads={}, writes={})",
+            d.total(),
+            d.reads,
+            d.writes
+        );
+        d
+    }
+}
+
+/// Assert a read-only operation performed no writes.
+///
+/// # Panics
+/// Panics when the delta contains writes.
+pub fn assert_read_only(delta: IoSnapshot, label: &str) {
+    assert_eq!(
+        delta.writes, 0,
+        "{label}: read-only operation performed {} writes",
+        delta.writes
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccix_extmem::{IoCounter, TypedStore};
+
+    #[test]
+    fn probe_measures_delta() {
+        let c = IoCounter::new();
+        let mut s: TypedStore<u32> = TypedStore::new(4, c.clone());
+        let probe = IoProbe::start(&c, "alloc+read");
+        let id = s.alloc(vec![1, 2]);
+        let _ = s.read(id);
+        let d = probe.finish_within(2);
+        assert_eq!(d.reads, 1);
+        assert_eq!(d.writes, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bypassed the I/O counter")]
+    fn bypass_detected() {
+        let c = IoCounter::new();
+        let mut s: TypedStore<u32> = TypedStore::new(4, c.clone());
+        let id = s.alloc(vec![1]);
+        let probe = IoProbe::start(&c, "unbilled read");
+        let _ = s.read_unbilled(id);
+        probe.finish_charged();
+    }
+
+    #[test]
+    #[should_panic(expected = "bound is 1")]
+    fn bound_enforced() {
+        let c = IoCounter::new();
+        let mut s: TypedStore<u32> = TypedStore::new(4, c.clone());
+        let probe = IoProbe::start(&c, "two allocs");
+        s.alloc(vec![1]);
+        s.alloc(vec![2]);
+        probe.finish_within(1);
+    }
+
+    #[test]
+    fn read_only_assertion() {
+        let c = IoCounter::new();
+        let mut s: TypedStore<u32> = TypedStore::new(4, c.clone());
+        let id = s.alloc(vec![1]);
+        let probe = IoProbe::start(&c, "query");
+        let _ = s.read(id);
+        let d = probe.finish_charged();
+        assert_read_only(d, "query");
+    }
+}

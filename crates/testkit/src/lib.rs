@@ -1,0 +1,38 @@
+//! # `ccix-testkit` — the shared differential-testing kit
+//!
+//! Every structure in this workspace is verified by the same discipline:
+//! **agree with the naive answer on randomized workloads, under exact I/O
+//! accounting**. This crate packages that discipline so each crate's tests
+//! (and the bench harness) share one vocabulary:
+//!
+//! * [`DetRng`] — a tiny, dependency-free, splitmix64-based deterministic
+//!   RNG. Every workload is a pure function of a `u64` seed, so failures
+//!   reproduce exactly from the seed printed by [`check::trials`].
+//! * [`workloads`] — generators for the paper's input families: uniform /
+//!   skewed / adversarial intervals, 3-sided point sets, and hierarchy
+//!   shapes (balanced, path, star, random attachment).
+//! * [`oracle`] — linear-scan reference answers for the four query shapes
+//!   (stabbing, interval intersection, diagonal-corner, 3-sided, and
+//!   class-extent range), plus set-equality assertions with readable diffs
+//!   and duplicate detection.
+//! * [`iocheck`] — probes that assert an operation was actually *charged*
+//!   to the shared [`IoCounter`](ccix_extmem::IoCounter) (no counter
+//!   bypass) and stayed within a claimed bound.
+//! * [`check`] — a minimal many-seed trial loop that prints the failing
+//!   seed before propagating a panic.
+//!
+//! The differential suites themselves live in this crate's `tests/`
+//! directory: `IntervalIndex` vs the naive heap file, `RakeClassIndex` vs
+//! `RangeTreeClassIndex` vs a flat scan, and metablock trees vs priority
+//! search trees on identical point sets.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod check;
+pub mod iocheck;
+pub mod oracle;
+pub mod rng;
+pub mod workloads;
+
+pub use rng::DetRng;

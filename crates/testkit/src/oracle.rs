@@ -1,0 +1,172 @@
+//! Naive reference answers ("agree with the scan" oracles).
+//!
+//! Deliberately the most obvious possible implementations: every structure's
+//! answer is compared against a linear scan of the same input. These cover
+//! the four query shapes the paper's reductions produce, plus the
+//! class-extent range query of Example 2.4.
+
+use ccix_class::{ClassId, Hierarchy, Object};
+use ccix_extmem::Point;
+use ccix_interval::Interval;
+
+/// Ids of intervals containing `q` (stabbing query).
+pub fn stabbing_ids(intervals: &[Interval], q: i64) -> Vec<u64> {
+    intervals
+        .iter()
+        .filter(|iv| iv.lo <= q && q <= iv.hi)
+        .map(|iv| iv.id)
+        .collect()
+}
+
+/// Ids of intervals intersecting `[q1, q2]`.
+pub fn intersecting_ids(intervals: &[Interval], q1: i64, q2: i64) -> Vec<u64> {
+    assert!(q1 <= q2, "query interval endpoints out of order");
+    intervals
+        .iter()
+        .filter(|iv| iv.lo <= q2 && q1 <= iv.hi)
+        .map(|iv| iv.id)
+        .collect()
+}
+
+/// Points with `x ≤ q ≤ y` (diagonal-corner query anchored at `(q, q)`).
+pub fn diagonal_corner(points: &[Point], q: i64) -> Vec<Point> {
+    points
+        .iter()
+        .copied()
+        .filter(|p| p.x <= q && p.y >= q)
+        .collect()
+}
+
+/// Points with `x1 ≤ x ≤ x2` and `y ≥ y0` (3-sided query).
+pub fn three_sided(points: &[Point], x1: i64, x2: i64, y0: i64) -> Vec<Point> {
+    points
+        .iter()
+        .copied()
+        .filter(|p| p.x >= x1 && p.x <= x2 && p.y >= y0)
+        .collect()
+}
+
+/// Ids of objects in the **full extent** of `class` (the class and all its
+/// descendants) with attribute in `[a1, a2]` — the flat-scan baseline for
+/// every class-indexing strategy.
+pub fn class_range_ids(
+    h: &Hierarchy,
+    objects: &[Object],
+    class: ClassId,
+    a1: i64,
+    a2: i64,
+) -> Vec<u64> {
+    objects
+        .iter()
+        .filter(|o| h.is_ancestor_or_self(class, o.class))
+        .filter(|o| o.attr >= a1 && o.attr <= a2)
+        .map(|o| o.id)
+        .collect()
+}
+
+/// Assert two id sets are equal and duplicate-free, with a readable diff.
+///
+/// # Panics
+/// Panics when `got` contains duplicates or differs from `want` as a set.
+pub fn assert_same_ids(mut got: Vec<u64>, mut want: Vec<u64>, context: &str) {
+    got.sort_unstable();
+    want.sort_unstable();
+    if let Some(w) = got.windows(2).find(|w| w[0] == w[1]) {
+        panic!("{context}: duplicate id {} in reported answer", w[0]);
+    }
+    if got != want {
+        let missing: Vec<u64> = want.iter().filter(|v| !got.contains(v)).copied().collect();
+        let spurious: Vec<u64> = got.iter().filter(|v| !want.contains(v)).copied().collect();
+        panic!(
+            "{context}: answers differ (got {}, want {}; missing={missing:?}, spurious={spurious:?})",
+            got.len(),
+            want.len()
+        );
+    }
+}
+
+/// Assert two point answers are equal as sets (and free of duplicate ids).
+///
+/// # Panics
+/// Panics with a readable diff when the sets differ.
+pub fn assert_same_points(mut got: Vec<Point>, mut want: Vec<Point>, context: &str) {
+    got.sort_unstable_by_key(|p| p.id);
+    want.sort_unstable_by_key(|p| p.id);
+    if let Some(w) = got.windows(2).find(|w| w[0].id == w[1].id) {
+        panic!("{context}: duplicate id {:?} in reported answer", w[0]);
+    }
+    assert_eq!(
+        got.len(),
+        want.len(),
+        "{context}: got {} points, want {} (got={got:?}, want={want:?})",
+        got.len(),
+        want.len()
+    );
+    for (g, w) in got.iter().zip(&want) {
+        assert_eq!(g, w, "{context}: answers differ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workloads;
+
+    #[test]
+    fn stabbing_and_intersecting_agree_on_degenerate_query() {
+        let ivs = workloads::uniform_intervals(50, 1, 40, 6);
+        for q in -1..42 {
+            assert_eq!(stabbing_ids(&ivs, q), intersecting_ids(&ivs, q, q));
+        }
+    }
+
+    #[test]
+    fn stabbing_matches_diagonal_corner_under_the_fig3_mapping() {
+        let ivs = workloads::uniform_intervals(80, 2, 40, 8);
+        let pts = workloads::interval_points(&ivs);
+        for q in -1..42 {
+            let via_corner: Vec<u64> = diagonal_corner(&pts, q).iter().map(|p| p.id).collect();
+            assert_same_ids(stabbing_ids(&ivs, q), via_corner, "fig3");
+        }
+    }
+
+    #[test]
+    fn class_range_respects_ancestry() {
+        let (h, [person, professor, student, asst_prof]) = Hierarchy::example_people();
+        let objs = vec![
+            Object::new(person, 10, 1),
+            Object::new(professor, 20, 2),
+            Object::new(student, 30, 3),
+            Object::new(asst_prof, 40, 4),
+        ];
+        assert_same_ids(
+            class_range_ids(&h, &objs, professor, 0, 100),
+            vec![2, 4],
+            "professors",
+        );
+        assert_same_ids(
+            class_range_ids(&h, &objs, person, 15, 35),
+            vec![2, 3],
+            "people by range",
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate id")]
+    fn duplicate_ids_detected() {
+        assert_same_ids(vec![1, 1], vec![1], "dup");
+    }
+
+    #[test]
+    #[should_panic(expected = "missing=[3]")]
+    fn diff_is_readable() {
+        assert_same_ids(vec![1, 2], vec![1, 2, 3], "diff");
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate id")]
+    fn duplicate_points_detected() {
+        let p = Point::new(0, 0, 7);
+        assert_same_points(vec![p, p], vec![p], "dup points");
+    }
+}

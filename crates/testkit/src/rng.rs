@@ -1,0 +1,203 @@
+//! A deterministic, dependency-free random number generator.
+//!
+//! The workspace builds with no external crates, so tests and benches use
+//! this splitmix64 generator instead of `rand`. It is not cryptographic and
+//! does not need to be: what matters is that every workload is a pure
+//! function of its seed, identical across platforms and releases, so any
+//! failing trial reproduces from the printed seed.
+
+use std::ops::Range;
+
+/// A splitmix64 generator (Steele, Lea & Flood; the `java.util` seeder).
+///
+/// Passes BigCrush on its own and has a full 2^64 period over seeds, which
+/// is far more than a test kit needs.
+#[derive(Clone, Debug)]
+pub struct DetRng {
+    state: u64,
+}
+
+impl DetRng {
+    /// Create a generator from a seed. Equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        Self { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A value uniform in `[0, 1)`.
+    #[inline]
+    pub fn next_f64(&mut self) -> f64 {
+        // 53 high bits → the standard uniform double construction.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// An independent generator split off this one (for nested workloads
+    /// that must not perturb the parent stream).
+    pub fn fork(&mut self) -> DetRng {
+        DetRng::new(self.next_u64())
+    }
+
+    /// A value uniform over a non-empty half-open integer range.
+    ///
+    /// # Panics
+    /// Panics if `range` is empty.
+    #[inline]
+    pub fn gen_range<T: UniformInt>(&mut self, range: Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.next_f64() < p
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.gen_range(0..i + 1);
+            xs.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element, or `None` when empty.
+    pub fn choose<'a, T>(&mut self, xs: &'a [T]) -> Option<&'a T> {
+        if xs.is_empty() {
+            None
+        } else {
+            Some(&xs[self.gen_range(0..xs.len())])
+        }
+    }
+}
+
+/// Integer types [`DetRng::gen_range`] can sample uniformly.
+pub trait UniformInt: Copy {
+    /// A value uniform in `[lo, hi)`.
+    fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self;
+}
+
+/// Map a raw draw onto `[0, span)` by the widening-multiply method
+/// (Lemire's multiply-shift; bias is at most `span / 2^64`).
+#[inline]
+fn bounded(rng: &mut DetRng, span: u64) -> u64 {
+    ((u128::from(rng.next_u64()) * u128::from(span)) >> 64) as u64
+}
+
+macro_rules! impl_uniform_unsigned {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range over empty range {lo}..{hi}");
+                lo + bounded(rng, (hi - lo) as u64) as $t
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_uniform_signed {
+    ($($t:ty),*) => {$(
+        impl UniformInt for $t {
+            #[inline]
+            fn sample(rng: &mut DetRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range over empty range {lo}..{hi}");
+                let span = (hi as i64).wrapping_sub(lo as i64) as u64;
+                (lo as i64).wrapping_add(bounded(rng, span) as i64) as $t
+            }
+        }
+    )*};
+}
+
+impl_uniform_unsigned!(u8, u16, u32, u64, usize);
+impl_uniform_signed!(i8, i16, i32, i64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_equal_streams() {
+        let mut a = DetRng::new(42);
+        let mut b = DetRng::new(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_diverge() {
+        let mut a = DetRng::new(1);
+        let mut b = DetRng::new(2);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // The generator is part of the reproducibility contract: changing
+        // it invalidates every recorded failing seed, so the first outputs
+        // of seed 0 are pinned here (reference splitmix64 values).
+        let mut r = DetRng::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+    }
+
+    #[test]
+    fn ranges_are_in_bounds() {
+        let mut r = DetRng::new(7);
+        for _ in 0..1000 {
+            let v = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&v));
+            let u = r.gen_range(3usize..4);
+            assert_eq!(u, 3);
+        }
+    }
+
+    #[test]
+    fn range_is_roughly_uniform() {
+        let mut r = DetRng::new(11);
+        let mut counts = [0usize; 8];
+        for _ in 0..8000 {
+            counts[r.gen_range(0usize..8)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "skewed bucket: {counts:?}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        DetRng::new(0).gen_range(5i64..5);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = DetRng::new(3);
+        let mut xs: Vec<u32> = (0..50).collect();
+        r.shuffle(&mut xs);
+        let mut sorted = xs.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            xs, sorted,
+            "50 elements virtually never shuffle to identity"
+        );
+    }
+
+    #[test]
+    fn fork_decorrelates() {
+        let mut r = DetRng::new(9);
+        let mut f = r.fork();
+        assert_ne!(r.next_u64(), f.next_u64());
+    }
+}

@@ -1,0 +1,291 @@
+//! Deterministic workload generators shared by tests, differential suites
+//! and the bench harness.
+//!
+//! Three regimes per input family, mirroring the evaluation style of the
+//! paper's experiments: **uniform** (the average case the theorems price),
+//! **skewed** (hot spots — most mass near a few centres), and
+//! **adversarial** (the structures' worst shapes: deep nesting for stabbing
+//! queries, the Proposition 3.3 staircase for diagonal-corner queries).
+
+use ccix_class::{Hierarchy, Object};
+use ccix_extmem::Point;
+use ccix_interval::Interval;
+
+use crate::rng::DetRng;
+
+// ---------------------------------------------------------------- intervals
+
+/// Uniform random intervals: left endpoints over `[0, range)`, lengths over
+/// `[0, max_len)`.
+pub fn uniform_intervals(n: usize, seed: u64, range: i64, max_len: i64) -> Vec<Interval> {
+    let mut r = DetRng::new(seed);
+    (0..n)
+        .map(|i| {
+            let lo = r.gen_range(0..range);
+            let len = r.gen_range(0..max_len);
+            Interval::new(lo, lo + len, i as u64)
+        })
+        .collect()
+}
+
+/// Skewed intervals: endpoints cluster geometrically around a few hot
+/// centres, so some stabbing points see a large fraction of the input.
+pub fn skewed_intervals(n: usize, seed: u64, range: i64, centres: usize) -> Vec<Interval> {
+    assert!(centres > 0, "need at least one hot centre");
+    let mut r = DetRng::new(seed);
+    let hot: Vec<i64> = (0..centres).map(|_| r.gen_range(0..range)).collect();
+    (0..n)
+        .map(|i| {
+            let c = *r.choose(&hot).expect("nonempty");
+            // Geometric spread: most intervals are tight around the centre.
+            let mut spread = 1i64;
+            while spread < range && r.gen_bool(0.5) {
+                spread *= 2;
+            }
+            let lo = (c - r.gen_range(0..spread + 1)).max(0);
+            let hi = (c + r.gen_range(0..spread + 1)).min(range.max(1));
+            Interval::new(lo, hi.max(lo), i as u64)
+        })
+        .collect()
+}
+
+/// Nested intervals around a common centre — every stabbing query near the
+/// centre returns a long prefix (the high-overlap adversarial regime).
+pub fn nested_intervals(n: usize, centre: i64) -> Vec<Interval> {
+    (0..n)
+        .map(|i| Interval::new(centre - i as i64, centre + i as i64, i as u64))
+        .collect()
+}
+
+/// Adversarial mix: half deeply nested around `range/2`, half staircase
+/// `[x, x+1]` — simultaneously the worst stabbing output and the shape that
+/// witnesses the Proposition 3.3 lower bound.
+pub fn adversarial_intervals(n: usize, range: i64) -> Vec<Interval> {
+    let half = n / 2;
+    let mut out = nested_intervals(half, range / 2);
+    out.extend((half..n).map(|i| {
+        let x = (i - half) as i64 % range.max(1);
+        Interval::new(x, x + 1, i as u64)
+    }));
+    out
+}
+
+/// Intervals as diagonal points `(lo, hi)` (Fig. 3's mapping).
+pub fn interval_points(intervals: &[Interval]) -> Vec<Point> {
+    intervals
+        .iter()
+        .map(|iv| Point::new(iv.lo, iv.hi, iv.id))
+        .collect()
+}
+
+// ------------------------------------------------------------------ points
+
+/// The Proposition 3.3 staircase: `(x, x+1)` for `x ∈ [0, n)`.
+pub fn staircase_points(n: usize) -> Vec<Point> {
+    (0..n as i64)
+        .map(|x| Point::new(x, x + 1, x as u64))
+        .collect()
+}
+
+/// Uniform random points in `[0, range)²`.
+pub fn uniform_points(n: usize, seed: u64, range: i64) -> Vec<Point> {
+    let mut r = DetRng::new(seed);
+    (0..n)
+        .map(|i| Point::new(r.gen_range(0..range), r.gen_range(0..range), i as u64))
+        .collect()
+}
+
+/// Clustered points for 3-sided queries: `clusters` columns of equal `x`
+/// with uniform `y` — stresses tie-breaking in the x-partitioning orders.
+pub fn clustered_points(n: usize, seed: u64, range: i64, clusters: usize) -> Vec<Point> {
+    assert!(clusters > 0, "need at least one cluster");
+    let mut r = DetRng::new(seed);
+    let xs: Vec<i64> = (0..clusters).map(|_| r.gen_range(0..range)).collect();
+    (0..n)
+        .map(|i| {
+            let x = *r.choose(&xs).expect("nonempty");
+            Point::new(x, r.gen_range(0..range), i as u64)
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------- hierarchies
+
+/// Hierarchy shapes used by the class tests and experiments.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HierarchyShape {
+    /// Complete binary tree.
+    Balanced,
+    /// A single chain (the degenerate case of Lemma 4.3).
+    Path,
+    /// One root, `c − 1` leaf children (the Theorem 2.8 shape).
+    Star,
+    /// Random attachment (each class picks a uniform earlier parent).
+    Random,
+}
+
+impl HierarchyShape {
+    /// All shapes, for exhaustive sweeps.
+    pub const ALL: [HierarchyShape; 4] = [
+        HierarchyShape::Balanced,
+        HierarchyShape::Path,
+        HierarchyShape::Star,
+        HierarchyShape::Random,
+    ];
+}
+
+/// Build a hierarchy of `c` classes with the given shape.
+pub fn hierarchy(shape: HierarchyShape, c: usize, seed: u64) -> Hierarchy {
+    let mut r = DetRng::new(seed);
+    let parents: Vec<Option<usize>> = (0..c)
+        .map(|i| {
+            if i == 0 {
+                None
+            } else {
+                Some(match shape {
+                    HierarchyShape::Balanced => (i - 1) / 2,
+                    HierarchyShape::Path => i - 1,
+                    HierarchyShape::Star => 0,
+                    HierarchyShape::Random => r.gen_range(0..i),
+                })
+            }
+        })
+        .collect();
+    Hierarchy::from_parents(&parents)
+}
+
+/// A random forest's parent array: class 0 is a root, later classes attach
+/// to a uniform earlier class or (with probability 1/10) start a new tree.
+pub fn random_forest(rng: &mut DetRng, max_c: usize) -> Vec<Option<usize>> {
+    let c = rng.gen_range(1..max_c + 1);
+    (0..c)
+        .map(|i| {
+            if i == 0 || rng.gen_bool(0.1) {
+                None
+            } else {
+                Some(rng.gen_range(0..i))
+            }
+        })
+        .collect()
+}
+
+/// Uniform objects over a hierarchy: random class, attribute in
+/// `[0, attr_range)`.
+pub fn uniform_objects(h: &Hierarchy, n: usize, seed: u64, attr_range: i64) -> Vec<Object> {
+    let mut r = DetRng::new(seed);
+    (0..n)
+        .map(|i| {
+            Object::new(
+                r.gen_range(0..h.len()),
+                r.gen_range(0..attr_range),
+                i as u64,
+            )
+        })
+        .collect()
+}
+
+/// Skewed objects: most objects land in one hot class (deep in the
+/// hierarchy when possible), stressing full-extent compaction.
+pub fn skewed_objects(h: &Hierarchy, n: usize, seed: u64, attr_range: i64) -> Vec<Object> {
+    let mut r = DetRng::new(seed);
+    let hot = (0..h.len())
+        .max_by_key(|&c| h.depth(c))
+        .expect("nonempty hierarchy");
+    (0..n)
+        .map(|i| {
+            let class = if r.gen_bool(0.8) {
+                hot
+            } else {
+                r.gen_range(0..h.len())
+            };
+            Object::new(class, r.gen_range(0..attr_range), i as u64)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generators_are_deterministic() {
+        assert_eq!(
+            uniform_intervals(10, 7, 100, 10),
+            uniform_intervals(10, 7, 100, 10)
+        );
+        assert_eq!(uniform_points(5, 1, 50), uniform_points(5, 1, 50));
+        assert_eq!(
+            skewed_intervals(20, 3, 100, 4),
+            skewed_intervals(20, 3, 100, 4)
+        );
+        assert_eq!(
+            clustered_points(20, 5, 100, 3),
+            clustered_points(20, 5, 100, 3)
+        );
+    }
+
+    #[test]
+    fn intervals_are_well_formed() {
+        for iv in skewed_intervals(500, 9, 1000, 5)
+            .into_iter()
+            .chain(adversarial_intervals(500, 100))
+        {
+            assert!(iv.lo <= iv.hi);
+        }
+    }
+
+    #[test]
+    fn staircase_shape() {
+        let pts = staircase_points(4);
+        assert_eq!(pts[3], Point::new(3, 4, 3));
+    }
+
+    #[test]
+    fn clustered_points_use_few_columns() {
+        let pts = clustered_points(200, 2, 1000, 3);
+        let mut xs: Vec<i64> = pts.iter().map(|p| p.x).collect();
+        xs.sort_unstable();
+        xs.dedup();
+        assert!(xs.len() <= 3);
+    }
+
+    #[test]
+    fn hierarchy_shapes() {
+        let p = hierarchy(HierarchyShape::Path, 5, 0);
+        assert_eq!(p.max_depth(), 5);
+        let s = hierarchy(HierarchyShape::Star, 5, 0);
+        assert_eq!(s.max_depth(), 2);
+        let b = hierarchy(HierarchyShape::Balanced, 7, 0);
+        assert_eq!(b.max_depth(), 3);
+        let r = hierarchy(HierarchyShape::Random, 30, 1);
+        assert_eq!(r.len(), 30);
+    }
+
+    #[test]
+    fn random_forest_is_valid() {
+        let mut rng = DetRng::new(4);
+        for _ in 0..50 {
+            let parents = random_forest(&mut rng, 40);
+            let h = Hierarchy::from_parents(&parents);
+            assert!(!h.is_empty());
+        }
+    }
+
+    #[test]
+    fn skewed_objects_concentrate() {
+        let h = hierarchy(HierarchyShape::Balanced, 15, 0);
+        let objs = skewed_objects(&h, 200, 6, 50);
+        assert_eq!(objs.len(), 200);
+        // The generator routes 80% of objects to the deepest class (same
+        // selection rule as the generator), so well over half must land
+        // there — a uniform regression would spread them ~1/15 each.
+        let hot_class = (0..h.len())
+            .max_by_key(|&c| h.depth(c))
+            .expect("nonempty hierarchy");
+        let hot = objs.iter().filter(|o| o.class == hot_class).count();
+        assert!(
+            hot > objs.len() / 2,
+            "only {hot}/200 objects in the hot class — skew lost"
+        );
+    }
+}

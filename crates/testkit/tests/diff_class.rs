@@ -1,0 +1,126 @@
+//! Differential suite: `RakeClassIndex` vs `RangeTreeClassIndex` vs the
+//! flat-scan oracle (and, on a fixed workload, both baselines too), across
+//! all hierarchy shapes and object skews, under interleaved insertion.
+
+use ccix_class::{
+    ClassIndex, FullExtentBaseline, Hierarchy, Object, RakeClassIndex, RangeTreeClassIndex,
+    SingleIndexBaseline,
+};
+use ccix_extmem::{Geometry, IoCounter};
+use ccix_testkit::{check, oracle, workloads, DetRng};
+
+fn random_hierarchy(rng: &mut DetRng) -> Hierarchy {
+    if rng.gen_bool(0.5) {
+        let shape = *rng
+            .choose(&workloads::HierarchyShape::ALL)
+            .expect("nonempty");
+        workloads::hierarchy(shape, rng.gen_range(1..40usize), rng.next_u64())
+    } else {
+        Hierarchy::from_parents(&workloads::random_forest(rng, 40))
+    }
+}
+
+fn random_objects(rng: &mut DetRng, h: &Hierarchy, attr_range: i64) -> Vec<Object> {
+    let n = rng.gen_range(1..250usize);
+    if rng.gen_bool(0.5) {
+        workloads::uniform_objects(h, n, rng.next_u64(), attr_range)
+    } else {
+        workloads::skewed_objects(h, n, rng.next_u64(), attr_range)
+    }
+}
+
+#[test]
+fn rake_rangetree_and_scan_agree() {
+    check::trials("diff_class::rake_rangetree_scan", 50, 0xCA1, |rng| {
+        let h = random_hierarchy(rng);
+        let geo = Geometry::new(rng.gen_range(2usize..8));
+        let attr_range = 120i64;
+        let objects = random_objects(rng, &h, attr_range);
+        let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
+        let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+        let mut inserted: Vec<Object> = Vec::new();
+        for o in &objects {
+            rake.insert(*o);
+            rtree.insert(*o);
+            inserted.push(*o);
+            // Query mid-stream every so often: agreement must hold at every
+            // prefix, not only after the full load.
+            if inserted.len().is_multiple_of(60) {
+                let class = rng.gen_range(0..h.len());
+                let a = rng.gen_range(0..attr_range);
+                let want = oracle::class_range_ids(&h, &inserted, class, a, a + 20);
+                oracle::assert_same_ids(rake.query(class, a, a + 20), want.clone(), "rake mid");
+                oracle::assert_same_ids(rtree.query(class, a, a + 20), want, "rangetree mid");
+            }
+        }
+        for _ in 0..10 {
+            let class = rng.gen_range(0..h.len());
+            let a = rng.gen_range(-5i64..attr_range);
+            let w = rng.gen_range(0i64..attr_range / 2);
+            let want = oracle::class_range_ids(&h, &inserted, class, a, a + w);
+            oracle::assert_same_ids(
+                rake.query(class, a, a + w),
+                want.clone(),
+                &format!("rake class={class} [{a},{}]", a + w),
+            );
+            oracle::assert_same_ids(
+                rtree.query(class, a, a + w),
+                want,
+                &format!("rangetree class={class} [{a},{}]", a + w),
+            );
+        }
+    });
+}
+
+#[test]
+fn all_four_strategies_agree_on_example_hierarchy() {
+    let (h, [person, professor, student, asst_prof]) = Hierarchy::example_people();
+    let geo = Geometry::new(4);
+    let objects = workloads::uniform_objects(&h, 300, 0xCA2, 100);
+    let mut strategies: Vec<Box<dyn ClassIndex>> = vec![
+        Box::new(SingleIndexBaseline::new(h.clone(), geo, IoCounter::new())),
+        Box::new(FullExtentBaseline::new(h.clone(), geo, IoCounter::new())),
+        Box::new(RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new())),
+        Box::new(RakeClassIndex::new(h.clone(), geo, IoCounter::new())),
+    ];
+    for s in strategies.iter_mut() {
+        for o in &objects {
+            s.insert(*o);
+        }
+    }
+    for class in [person, professor, student, asst_prof] {
+        for (a1, a2) in [(0i64, 99i64), (25, 75), (50, 50), (90, 120), (-10, -1)] {
+            let want = oracle::class_range_ids(&h, &objects, class, a1, a2);
+            for s in &strategies {
+                oracle::assert_same_ids(
+                    s.query(class, a1, a2),
+                    want.clone(),
+                    &format!("{} class={class} [{a1},{a2}]", s.name()),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn deep_path_hierarchy_stresses_full_extents() {
+    // A pure chain is the worst case for full-extent queries: the root's
+    // extent is everything, and each step down sheds exactly one class.
+    check::trials("diff_class::deep_path", 20, 0xCA3, |rng| {
+        let depth = rng.gen_range(2usize..30);
+        let h = workloads::hierarchy(workloads::HierarchyShape::Path, depth, 0);
+        let geo = Geometry::new(3);
+        let objects = workloads::uniform_objects(&h, 150, rng.next_u64(), 60);
+        let mut rake = RakeClassIndex::new(h.clone(), geo, IoCounter::new());
+        let mut rtree = RangeTreeClassIndex::new(h.clone(), geo, IoCounter::new());
+        for o in &objects {
+            rake.insert(*o);
+            rtree.insert(*o);
+        }
+        for class in 0..h.len() {
+            let want = oracle::class_range_ids(&h, &objects, class, 0, 60);
+            oracle::assert_same_ids(rake.query(class, 0, 60), want.clone(), "rake chain");
+            oracle::assert_same_ids(rtree.query(class, 0, 60), want, "rangetree chain");
+        }
+    });
+}

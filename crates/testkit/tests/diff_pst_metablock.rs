@@ -1,0 +1,127 @@
+//! Differential suite: metablock trees vs priority search trees on
+//! identical point sets.
+//!
+//! The paper's §5 comparison in test form: a `MetablockTree` and an
+//! `ExternalPst` built from the same points must answer every
+//! diagonal-corner query identically (the PST via the 3-sided query
+//! `x ≤ q ∧ y ≥ q`), and a `ThreeSidedTree`, `ExternalPst` and `InCorePst`
+//! must agree on every 3-sided query — all checked against the scan oracle.
+
+use ccix_core::{MetablockTree, ThreeSidedTree};
+use ccix_extmem::{Geometry, IoCounter, Point};
+use ccix_pst::{ExternalPst, InCorePst};
+use ccix_testkit::iocheck::{assert_read_only, IoProbe};
+use ccix_testkit::{check, oracle, workloads, DetRng};
+
+/// Point-set regimes: uniform, staircase (the Prop. 3.3 witness), interval
+/// points from the adversarial interval mix, and x-clustered columns.
+fn point_set(rng: &mut DetRng) -> Vec<Point> {
+    let n = rng.gen_range(1..350usize);
+    let range = rng.gen_range(10i64..400);
+    match rng.gen_range(0..4u32) {
+        0 => workloads::uniform_points(n, rng.next_u64(), range),
+        1 => workloads::staircase_points(n),
+        2 => workloads::interval_points(&workloads::adversarial_intervals(n, range)),
+        _ => workloads::clustered_points(n, rng.next_u64(), range, rng.gen_range(1..8usize)),
+    }
+}
+
+/// Diagonal point sets (y ≥ x), the shape `MetablockTree` stores.
+fn diagonal_point_set(rng: &mut DetRng) -> Vec<Point> {
+    let mut pts = point_set(rng);
+    for p in &mut pts {
+        if p.y < p.x {
+            std::mem::swap(&mut p.x, &mut p.y);
+        }
+    }
+    pts
+}
+
+#[test]
+fn metablock_and_pst_agree_on_diagonal_queries() {
+    check::trials("diff_pst_metablock::diagonal", 50, 0xAB1, |rng| {
+        let b = rng.gen_range(2usize..8);
+        let geo = Geometry::new(b);
+        let pts = diagonal_point_set(rng);
+        let tree = MetablockTree::build(geo, IoCounter::new(), pts.clone());
+        let pst = ExternalPst::build(geo, IoCounter::new(), pts.clone());
+        for _ in 0..12 {
+            let q = rng.gen_range(-5i64..405);
+            let want = oracle::diagonal_corner(&pts, q);
+            let probe = IoProbe::start(tree.counter(), format!("metablock q={q}"));
+            let got_tree = tree.query(q);
+            assert_read_only(probe.finish_charged(), "metablock query");
+            oracle::assert_same_points(got_tree, want.clone(), &format!("metablock b={b} q={q}"));
+            // point_set() always yields ≥ 1 point, so the PST is nonempty
+            // and even an empty-answer descent must be charged.
+            let mut got_pst = Vec::new();
+            let probe = IoProbe::start(pst.counter(), format!("pst q={q}"));
+            pst.diagonal_into(q, &mut got_pst);
+            assert_read_only(probe.finish_charged(), "pst diagonal");
+            oracle::assert_same_points(got_pst, want, &format!("pst b={b} q={q}"));
+        }
+    });
+}
+
+#[test]
+fn threesided_tree_and_both_psts_agree() {
+    check::trials("diff_pst_metablock::threesided", 50, 0xAB2, |rng| {
+        let b = rng.gen_range(2usize..8);
+        let geo = Geometry::new(b);
+        let pts = point_set(rng);
+        let tree = ThreeSidedTree::build(geo, IoCounter::new(), pts.clone());
+        let ext = ExternalPst::build(geo, IoCounter::new(), pts.clone());
+        let incore = InCorePst::build(pts.clone());
+        for _ in 0..12 {
+            let a = rng.gen_range(-5i64..405);
+            let c = rng.gen_range(-5i64..405);
+            let (x1, x2) = (a.min(c), a.max(c));
+            let y0 = rng.gen_range(-5i64..405);
+            let want = oracle::three_sided(&pts, x1, x2, y0);
+            let ctx = format!("b={b} q=({x1},{x2},{y0})");
+            oracle::assert_same_points(
+                tree.query(x1, x2, y0),
+                want.clone(),
+                &format!("3s-tree {ctx}"),
+            );
+            oracle::assert_same_points(
+                ext.query(x1, x2, y0),
+                want.clone(),
+                &format!("ext-pst {ctx}"),
+            );
+            oracle::assert_same_points(
+                incore.query(x1, x2, y0),
+                want,
+                &format!("incore-pst {ctx}"),
+            );
+        }
+    });
+}
+
+#[test]
+fn agreement_survives_metablock_inserts() {
+    // The PST here is static, so rebuild it after the insert phase; the
+    // metablock tree must keep agreeing through its reorganisations.
+    check::trials("diff_pst_metablock::inserts", 30, 0xAB3, |rng| {
+        let b = rng.gen_range(2usize..5);
+        let geo = Geometry::new(b);
+        let mut pts = diagonal_point_set(rng);
+        let split = rng.gen_range(0..pts.len() + 1);
+        let mut tree = MetablockTree::build(geo, IoCounter::new(), pts[..split].to_vec());
+        for (i, p) in pts[split..].iter().enumerate() {
+            let p = Point::new(p.x, p.y, 1_000_000 + i as u64);
+            tree.insert(p);
+        }
+        for (i, p) in pts[split..].iter_mut().enumerate() {
+            p.id = 1_000_000 + i as u64;
+        }
+        let pst = ExternalPst::build(geo, IoCounter::new(), pts.clone());
+        for _ in 0..10 {
+            let q = rng.gen_range(-5i64..405);
+            let got_tree = tree.query(q);
+            let mut got_pst = Vec::new();
+            pst.diagonal_into(q, &mut got_pst);
+            oracle::assert_same_points(got_tree, got_pst, &format!("post-insert b={b} q={q}"));
+        }
+    });
+}

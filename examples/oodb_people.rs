@@ -28,10 +28,10 @@ fn main() {
     let mut objects = Vec::new();
     for id in 0..200_000u64 {
         let (class, base, spread) = match next() % 10 {
-            0..=4 => (student, 8_000, 30_000),       // 50%
-            5..=6 => (person, 20_000, 80_000),       // 20%
-            7..=8 => (professor, 60_000, 90_000),    // 20%
-            _ => (asst_prof, 50_000, 40_000),        // 10%
+            0..=4 => (student, 8_000, 30_000),    // 50%
+            5..=6 => (person, 20_000, 80_000),    // 20%
+            7..=8 => (professor, 60_000, 90_000), // 20%
+            _ => (asst_prof, 50_000, 40_000),     // 10%
         };
         let income = base + (next() % spread) as i64;
         objects.push(Object::new(class, income, id));

@@ -97,6 +97,9 @@ fn main() {
             }
         }
     }
-    assert_eq!(pairs, expect, "index-driven join must agree with brute force");
+    assert_eq!(
+        pairs, expect,
+        "index-driven join must agree with brute force"
+    );
     println!("verified against brute force ({expect} pairs)");
 }

@@ -84,5 +84,9 @@ fn main() {
         query_io_index as f64 / queries as f64,
         query_io_naive as f64 / queries as f64
     );
-    println!("index: {} pages; heap file: {} pages", index.space_pages(), naive.space_pages());
+    println!(
+        "index: {} pages; heap file: {} pages",
+        index.space_pages(),
+        naive.space_pages()
+    );
 }

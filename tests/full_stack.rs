@@ -103,11 +103,7 @@ fn class_stack_interleaved() {
 
     let mut objects: Vec<Object> = Vec::new();
     for i in 0..4_000u64 {
-        let o = Object::new(
-            (next() % c as u64) as usize,
-            (next() % 10_000) as i64,
-            i,
-        );
+        let o = Object::new((next() % c as u64) as usize, (next() % 10_000) as i64, i);
         rake.insert(o);
         rtree.insert(o);
         objects.push(o);
