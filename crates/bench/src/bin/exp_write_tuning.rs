@@ -1,0 +1,16 @@
+//! Experiment binary: see `ccix_bench::experiments::e14_write_tuning`.
+//!
+//! Sweeps the `ccix_core::Tuning` knobs (update batch, TD batch, TS budget,
+//! corner adoption factor) on the E9 workload and reports stabbing-query
+//! I/O, amortised insert I/O, and space, to justify the shipped defaults
+//! (`docs/tuning.md`).
+fn main() {
+    let tables = ccix_bench::experiments::e14_write_tuning();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

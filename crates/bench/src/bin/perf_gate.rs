@@ -1,0 +1,421 @@
+//! CI perf gate: diff two `exp_interval --json` outputs and fail on any
+//! I/O or space regression.
+//!
+//! The workspace's I/O counts are bit-reproducible (seeded workloads, exact
+//! counters), so this is an *exact* comparison, not a flaky timing gate: a
+//! rise of more than 5% in any gated column on any (B, n) row is a real
+//! algorithmic regression. On top of the relative diff, the n=500k row must
+//! satisfy the absolute budgets the write-path rework ships with: insert
+//! ≤ 15 I/Os amortised, stabbing ≤ 15.8 I/Os, index pages ≤ 4× the
+//! heap-file scan.
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_interval -- --json > new.json
+//! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_baseline.json new.json
+//! ```
+//!
+//! Std-only (the workspace has no registry access): the JSON reader below
+//! understands exactly the subset `report::tables_to_json` emits — arrays,
+//! objects, strings and numbers — and the tables carry all cells as strings.
+
+use std::process::ExitCode;
+
+/// Columns gated relative to the baseline (lower is better).
+const GATED_COLUMNS: &[&str] = &["index q I/O", "index ins I/O", "index pages"];
+/// Relative headroom before a rise counts as a regression.
+const TOLERANCE_PCT: f64 = 5.0;
+/// Absolute budgets for the n=500000 row: (column, bound).
+const ABSOLUTE_BUDGETS: &[(&str, f64)] = &[("index ins I/O", 15.0), ("index q I/O", 15.8)];
+/// Space budget: index pages ≤ this multiple of scan pages, at n=500000.
+const SPACE_FACTOR: f64 = 4.0;
+
+// ---- minimal JSON value ---------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    String(String),
+    Number(f64),
+    Array(Vec<Json>),
+    Object(Vec<(String, Json)>),
+    Bool(bool),
+    Null,
+}
+
+impl Json {
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn as_array(&self) -> &[Json] {
+        match self {
+            Json::Array(items) => items,
+            _ => &[],
+        }
+    }
+
+    fn as_str(&self) -> &str {
+        match self {
+            Json::String(s) => s,
+            _ => "",
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Self {
+            bytes: text.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn error(&self, what: &str) -> String {
+        format!("JSON parse error at byte {}: {what}", self.pos)
+    }
+
+    fn skip_ws(&mut self) {
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&c) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected '{}'", c as char)))
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.peek() {
+            Some(b'"') => Ok(Json::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.error("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected '{text}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while let Some(&c) = self.bytes.get(self.pos) {
+            if c.is_ascii_digit() || matches!(c, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii slice");
+        text.parse::<f64>()
+            .map(Json::Number)
+            .map_err(|_| self.error("malformed number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.error("truncated \\u escape"))?;
+                            let code = std::str::from_utf8(hex)
+                                .ok()
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.error("malformed \\u escape"))?;
+                            out.push(char::from_u32(code).unwrap_or('\u{FFFD}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.error("unknown escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Copy the whole UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8"))?;
+                    let ch = rest.chars().next().expect("nonempty rest");
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Object(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            fields.push((key, self.value()?));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Object(fields));
+                }
+                _ => return Err(self.error("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+// ---- table extraction -----------------------------------------------------
+
+/// One experiment table: headers plus rows keyed by the (B, n) columns.
+struct GateTable {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl GateTable {
+    fn column(&self, name: &str) -> Option<usize> {
+        self.headers.iter().position(|h| h == name)
+    }
+
+    fn cell(&self, row: &[String], name: &str) -> Result<f64, String> {
+        let idx = self
+            .column(name)
+            .ok_or_else(|| format!("column {name:?} missing"))?;
+        let raw = row.get(idx).map(String::as_str).unwrap_or("");
+        raw.trim_end_matches('x')
+            .parse::<f64>()
+            .map_err(|_| format!("column {name:?} holds non-numeric cell {raw:?}"))
+    }
+
+    fn key(&self, row: &[String]) -> (String, String) {
+        let b = self.column("B").and_then(|i| row.get(i)).cloned();
+        let n = self.column("n").and_then(|i| row.get(i)).cloned();
+        (b.unwrap_or_default(), n.unwrap_or_default())
+    }
+}
+
+/// Load the E9 table from a `tables_to_json` file.
+fn load_e9(path: &str) -> Result<GateTable, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut parser = Parser::new(&text);
+    let root = parser.value()?;
+    let table = root
+        .as_array()
+        .iter()
+        .find(|t| t.get("title").is_some_and(|v| v.as_str().starts_with("E9")))
+        .ok_or_else(|| format!("{path}: no table titled E9…"))?;
+    let headers: Vec<String> = table
+        .get("headers")
+        .map(|h| {
+            h.as_array()
+                .iter()
+                .map(|c| c.as_str().to_string())
+                .collect()
+        })
+        .unwrap_or_default();
+    let rows: Vec<Vec<String>> = table
+        .get("rows")
+        .map(|r| {
+            r.as_array()
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .iter()
+                        .map(|c| c.as_str().to_string())
+                        .collect()
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    if headers.is_empty() || rows.is_empty() {
+        return Err(format!("{path}: E9 table is empty"));
+    }
+    Ok(GateTable { headers, rows })
+}
+
+fn run(baseline_path: &str, candidate_path: &str) -> Result<Vec<String>, String> {
+    let baseline = load_e9(baseline_path)?;
+    let candidate = load_e9(candidate_path)?;
+    let mut failures = Vec::new();
+
+    // Relative gate: every baseline row must still exist and must not have
+    // regressed in any gated column.
+    for base_row in &baseline.rows {
+        let key = baseline.key(base_row);
+        let Some(cand_row) = candidate.rows.iter().find(|r| candidate.key(r) == key) else {
+            failures.push(format!("row (B={}, n={}) disappeared", key.0, key.1));
+            continue;
+        };
+        for &col in GATED_COLUMNS {
+            let base = baseline.cell(base_row, col)?;
+            let cand = candidate.cell(cand_row, col)?;
+            let limit = base * (1.0 + TOLERANCE_PCT / 100.0);
+            if cand > limit {
+                failures.push(format!(
+                    "(B={}, n={}) {col}: {cand} > {base} +{TOLERANCE_PCT}% (limit {limit:.2})",
+                    key.0, key.1
+                ));
+            }
+        }
+    }
+
+    // Absolute gate on the largest row.
+    let Some(big) = candidate
+        .rows
+        .iter()
+        .find(|r| candidate.key(r).1 == "500000")
+    else {
+        return Err("candidate has no n=500000 row".into());
+    };
+    for &(col, bound) in ABSOLUTE_BUDGETS {
+        let v = candidate.cell(big, col)?;
+        if v > bound {
+            failures.push(format!("n=500000 {col}: {v} > absolute budget {bound}"));
+        }
+    }
+    let pages = candidate.cell(big, "index pages")?;
+    let scan = candidate.cell(big, "scan pages")?;
+    if pages > SPACE_FACTOR * scan {
+        failures.push(format!(
+            "n=500000 index pages: {pages} > {SPACE_FACTOR}× scan pages ({scan})"
+        ));
+    }
+    Ok(failures)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline, candidate] = args.as_slice() else {
+        eprintln!("usage: perf_gate <baseline.json> <candidate.json>");
+        return ExitCode::from(2);
+    };
+    match run(baseline, candidate) {
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::from(2)
+        }
+        Ok(failures) if failures.is_empty() => {
+            println!("perf_gate: OK — no I/O or space regression vs {baseline}");
+            ExitCode::SUCCESS
+        }
+        Ok(failures) => {
+            eprintln!("perf_gate: {} regression(s) vs {baseline}:", failures.len());
+            for f in &failures {
+                eprintln!("  - {f}");
+            }
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_report_json() {
+        let text = r#"[{"title": "E9 — test", "claim": "c", "headers": ["B", "n", "index q I/O", "index ins I/O", "index pages", "scan pages"], "rows": [["32", "500000", "15.8", "11.0", "61170", "15625"]]}]"#;
+        let mut p = Parser::new(text);
+        let v = p.value().expect("parses");
+        let t = v.as_array()[0].get("title").unwrap().as_str().to_string();
+        assert!(t.starts_with("E9"));
+    }
+
+    #[test]
+    fn regression_detected_and_tolerance_respected() {
+        let dir = std::env::temp_dir().join("ccix_perf_gate_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |name: &str, q: &str, ins: &str, pages: &str| {
+            let path = dir.join(name);
+            let body = format!(
+                r#"[{{"title": "E9 — t", "claim": "c", "headers": ["B", "n", "index q I/O", "index ins I/O", "index pages", "scan pages"], "rows": [["32", "500000", {q:?}, {ins:?}, {pages:?}, "15625"]]}}]"#
+            );
+            std::fs::write(&path, body).unwrap();
+            path.to_str().unwrap().to_string()
+        };
+        let base = mk("base.json", "15.8", "11.0", "61170");
+        let same = mk("same.json", "15.8", "11.0", "61170");
+        let within = mk("within.json", "15.8", "11.3", "62000");
+        let worse = mk("worse.json", "15.8", "12.0", "61170");
+        let over_budget = mk("over.json", "15.8", "11.0", "64000");
+        assert!(run(&base, &same).unwrap().is_empty());
+        assert!(run(&base, &within).unwrap().is_empty(), "5% headroom");
+        assert_eq!(run(&base, &worse).unwrap().len(), 1, "relative gate");
+        assert_eq!(
+            run(&base, &over_budget).unwrap().len(),
+            1,
+            "absolute 4x gate"
+        );
+    }
+}

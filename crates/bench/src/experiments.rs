@@ -887,6 +887,97 @@ pub fn e13_ablation() -> Vec<Table> {
     vec![t1, t2]
 }
 
+/// E14 — write-path tuning: the `Tuning` knobs on the E9 workload.
+///
+/// One row per configuration; the shipped `Tuning::default()` is the row
+/// that dominates the paper's constants on insert and space without giving
+/// up stabbing-query I/O.
+pub fn e14_write_tuning() -> Vec<Table> {
+    let mut t = Table::new(
+        "E14 — write-path tuning (batched reorganisation + space knobs)",
+        "Update batching amortises level-I; α and the TS budget trade query slack for space.",
+        &[
+            "batch",
+            "td",
+            "ts pages",
+            "α",
+            "n",
+            "q I/O",
+            "ins I/O",
+            "pages",
+            "pages/scan",
+        ],
+    );
+    let b = 32;
+    let geo = Geometry::new(b);
+    let n = 200_000usize;
+    let ivs = workloads::uniform_intervals(n, 0xE9, 4 * n as i64, 2_000);
+    let configs: &[ccix_core::Tuning] = &[
+        // The paper's constants, then each knob family in isolation on top
+        // of them, then the shipped default, then an aggressive corner.
+        ccix_core::Tuning::paper(),
+        ccix_core::Tuning {
+            update_batch_pages: 4,
+            td_batch_pages: 2,
+            ts_snapshot_pages: None,
+            corner_alpha: 2,
+        },
+        ccix_core::Tuning {
+            ts_snapshot_pages: Some(16),
+            ..ccix_core::Tuning::default()
+        },
+        ccix_core::Tuning::default(),
+        ccix_core::Tuning {
+            corner_alpha: 3,
+            ..ccix_core::Tuning::default()
+        },
+        ccix_core::Tuning {
+            update_batch_pages: 8,
+            td_batch_pages: 4,
+            ts_snapshot_pages: Some(8),
+            corner_alpha: 4,
+        },
+    ];
+    for &tuning in configs {
+        let options = ccix_interval::IntervalOptions {
+            tuning,
+            ..Default::default()
+        };
+        let ic = IoCounter::new();
+        let idx = IntervalIndex::build_with(geo, ic.clone(), &ivs, options);
+        let mut r = workloads::rng(9);
+        let queries = 32;
+        let mut iq = 0u64;
+        for _ in 0..queries {
+            let q = r.gen_range(0..4 * n as i64);
+            let before = ic.snapshot();
+            let _ = idx.stabbing(q);
+            iq += ic.since(before).reads;
+        }
+        let ic2 = IoCounter::new();
+        let mut idx2 = IntervalIndex::new_with(geo, ic2.clone(), options);
+        let before = ic2.snapshot();
+        for iv in ivs.iter().take(20_000) {
+            idx2.insert(iv.lo, iv.hi, iv.id);
+        }
+        let ins = ic2.since(before).total() as f64 / 20_000.0;
+        t.row(vec![
+            tuning.update_batch_pages.to_string(),
+            tuning.td_batch_pages.to_string(),
+            tuning
+                .ts_snapshot_pages
+                .map_or("B".into(), |p| p.to_string()),
+            tuning.corner_alpha.to_string(),
+            n.to_string(),
+            format!("{:.1}", iq as f64 / queries as f64),
+            format!("{ins:.1}"),
+            idx.space_pages().to_string(),
+            format!("{:.2}", idx.space_pages() as f64 / geo.out_blocks(n) as f64),
+        ]);
+    }
+    vec![t]
+}
+
 /// Run every experiment in order.
 pub fn all() -> Vec<Table> {
     let mut out = Vec::new();
@@ -904,5 +995,6 @@ pub fn all() -> Vec<Table> {
     out.extend(e11_structure_shape());
     out.extend(e12_pst_vs_metablock());
     out.extend(e13_ablation());
+    out.extend(e14_write_tuning());
     out
 }

@@ -38,10 +38,18 @@ struct CStar {
 /// A Lemma 3.1 corner structure over one metablock's point set.
 ///
 /// Pages live in the tree's shared point store; [`CornerStructure::free`]
-/// releases them during reorganisations.
+/// releases them during reorganisations. The stage-2 vertical blocking can
+/// either be owned (standalone structures, TD tracking) or *borrowed* from
+/// the metablock's own vertical blocking — the two are byte-identical
+/// (x-sorted, `B` per block), so a per-metablock corner structure built via
+/// [`CornerStructure::build_shared`] stores only the explicit `C*` answer
+/// sets and cuts the structure's space by a full `|S|/B` blocks.
 #[derive(Clone, Debug, Default)]
 pub struct CornerStructure {
     vertical: Vec<PageId>,
+    /// Whether `vertical` is owned (freed with the structure) or borrowed
+    /// from the host metablock's vertical blocking.
+    owns_vertical: bool,
     /// Right-boundary key of each vertical block (the candidate set `C`).
     boundaries: Vec<Key>,
     cstars: Vec<CStar>,
@@ -49,16 +57,54 @@ pub struct CornerStructure {
 }
 
 impl CornerStructure {
-    /// Build over `points` (unsorted is fine; a copy is sorted internally).
+    /// Build over `points` (unsorted is fine; a copy is sorted internally),
+    /// with the paper's adoption factor `α = 2` and an owned vertical
+    /// blocking.
     ///
     /// I/O cost: one write per emitted page (vertical blocking + explicit
     /// sets). The greedy selection itself runs in memory — the set is at
     /// most `2B²` points, within the paper's `O(B²)` main-memory assumption.
     pub fn build(store: &mut TypedStore<Point>, points: &[Point]) -> Self {
-        let b = store.capacity();
+        Self::build_tuned(store, points, 2)
+    }
+
+    /// As [`CornerStructure::build`], with an explicit adoption factor
+    /// (see [`CornerStructure::build_shared`] for its meaning).
+    pub fn build_tuned(store: &mut TypedStore<Point>, points: &[Point], alpha: usize) -> Self {
         let mut sorted = points.to_vec();
         ccix_extmem::sort_by_x(&mut sorted);
         let vertical = store.alloc_run(&sorted);
+        Self::build_inner(store, &sorted, vertical, true, alpha)
+    }
+
+    /// Build over a point set whose x-sorted vertical blocking already
+    /// exists (a metablock's own vertical blocking): only the explicit
+    /// answer sets are allocated; stage 2 reads the shared pages.
+    ///
+    /// `by_x` must be x-sorted and `vertical` must be its `B`-per-page run.
+    /// `alpha` is the greedy adoption factor: candidate `cᵢ` is adopted when
+    /// `|S*_j| > α·Ωᵢ` (the paper's rule is `α = 2`, which bounds the
+    /// explicit storage by `2|S|`; larger `α` adopts fewer corners — less
+    /// space, a little more stage-2 scanning per query).
+    pub fn build_shared(
+        store: &mut TypedStore<Point>,
+        by_x: &[Point],
+        vertical: &[PageId],
+        alpha: usize,
+    ) -> Self {
+        debug_assert!(by_x.windows(2).all(|w| w[0].xkey() <= w[1].xkey()));
+        Self::build_inner(store, by_x, vertical.to_vec(), false, alpha)
+    }
+
+    fn build_inner(
+        store: &mut TypedStore<Point>,
+        sorted: &[Point],
+        vertical: Vec<PageId>,
+        owns_vertical: bool,
+        alpha: usize,
+    ) -> Self {
+        assert!(alpha >= 1, "adoption factor must be at least 1");
+        let b = store.capacity();
         let boundaries: Vec<Key> = sorted
             .chunks(b)
             .map(|c| c.last().expect("chunks are nonempty").xkey())
@@ -66,6 +112,7 @@ impl CornerStructure {
         let m = vertical.len();
         let mut structure = Self {
             vertical,
+            owns_vertical,
             boundaries,
             cstars: Vec::new(),
             n: sorted.len(),
@@ -86,7 +133,7 @@ impl CornerStructure {
         //   Δ⁺_i = |S*_j| − Ω_i
         // The adoption test |Δ⁻| + |Δ⁺| > |S_i| is therefore equivalent to
         // |S*_j| > 2·Ω_i.
-        let mut fen = YFenwick::new(&sorted);
+        let mut fen = YFenwick::new(sorted);
         // Start with blocks 0..=m-2 in the counting structure (candidate
         // m-2's prefix); shrink as the sweep moves left.
         let mut prefix_len = sorted.len().min((m - 1) * b);
@@ -110,7 +157,7 @@ impl CornerStructure {
 
             let ci = structure.boundaries[i];
             let omega = fen.count_y_ge(sj_x);
-            if sj_size > 2 * omega {
+            if sj_size > alpha * omega {
                 let si = fen.count_y_ge(ci.0);
                 adopted.push((i, ci));
                 sj_x = ci.0;
@@ -140,9 +187,15 @@ impl CornerStructure {
         self.n == 0
     }
 
-    /// Pages occupied (vertical blocking + explicit sets).
+    /// Pages *owned* by the structure (explicit sets, plus the vertical
+    /// blocking unless it is shared with the host metablock).
     pub fn pages(&self) -> usize {
-        self.vertical.len() + self.cstars.iter().map(|c| c.pages.len()).sum::<usize>()
+        let vertical = if self.owns_vertical {
+            self.vertical.len()
+        } else {
+            0
+        };
+        vertical + self.cstars.iter().map(|c| c.pages.len()).sum::<usize>()
     }
 
     /// Answer the diagonal-corner query at `q`, appending matches to `out`.
@@ -226,9 +279,12 @@ impl CornerStructure {
         out
     }
 
-    /// Release every page owned by the structure.
+    /// Release every page owned by the structure (a shared vertical blocking
+    /// belongs to the host metablock and is left alone).
     pub fn free(self, store: &mut TypedStore<Point>) {
-        store.free_run(&self.vertical);
+        if self.owns_vertical {
+            store.free_run(&self.vertical);
+        }
         for c in self.cstars {
             store.free_run(&c.pages);
         }
@@ -429,6 +485,52 @@ mod tests {
             let mut out = Vec::new();
             cs.query_into(&store, q, &mut out);
             oracle::assert_same_points(out, oracle::diagonal_corner(&pts, q), &format!("q={q}"));
+        }
+    }
+
+    #[test]
+    fn shared_vertical_matches_owning_build() {
+        let pts = above_diagonal_points(700, 0x5AA, 300);
+        let counter = IoCounter::new();
+        let mut store = TypedStore::new(8, counter);
+        let mut by_x = pts.clone();
+        ccix_extmem::sort_by_x(&mut by_x);
+        let vertical = store.alloc_run(&by_x);
+        let cs = CornerStructure::build_shared(&mut store, &by_x, &vertical, 2);
+        for q in (-5..305).step_by(11) {
+            let mut out = Vec::new();
+            cs.query_into(&store, q, &mut out);
+            oracle::assert_same_points(out, oracle::diagonal_corner(&pts, q), &format!("q={q}"));
+        }
+        // Freeing the structure must leave the host blocking alive.
+        let explicit = cs.pages();
+        let before = store.pages_in_use();
+        cs.free(&mut store);
+        assert_eq!(store.pages_in_use(), before - explicit);
+        assert_eq!(store.read_unbilled(vertical[0]).len(), 8);
+    }
+
+    #[test]
+    fn larger_alpha_trades_pages_for_scanning() {
+        let pts = above_diagonal_points(4096, 0xA1FA, 2000);
+        let (_, cs2, _) = build(16, &pts);
+        let counter = IoCounter::new();
+        let mut store = TypedStore::new(16, counter);
+        let cs4 = CornerStructure::build_tuned(&mut store, &pts, 4);
+        assert!(
+            cs4.pages() <= cs2.pages(),
+            "alpha=4 uses {} pages, alpha=2 uses {}",
+            cs4.pages(),
+            cs2.pages()
+        );
+        for q in (-5..2005).step_by(37) {
+            let mut out = Vec::new();
+            cs4.query_into(&store, q, &mut out);
+            oracle::assert_same_points(
+                out,
+                oracle::diagonal_corner(&pts, q),
+                &format!("alpha=4 q={q}"),
+            );
         }
     }
 

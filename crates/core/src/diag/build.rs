@@ -6,6 +6,14 @@
 //! shape we build, per metablock: the vertical and horizontal blockings, the
 //! corner structure where the region can contain a query corner, and the
 //! `TS` snapshots of every non-first child.
+//!
+//! The build is **sort-once and arena-backed**: the input is x-sorted a
+//! single time and the recursion then works on disjoint subslices of that
+//! one buffer. Selecting a metablock's mains is an `O(n)` in-place stable
+//! partition around a `select_nth` threshold (no per-level sorts, no
+//! per-level copies of the remainder), and the `TS` snapshots of a level are
+//! maintained as one incrementally merged top list instead of re-sorting a
+//! growing prefix per child.
 
 use ccix_extmem::{Geometry, IoCounter, Point};
 
@@ -32,8 +40,22 @@ impl MetablockTree {
     pub fn build_with(
         geo: Geometry,
         counter: IoCounter,
+        points: Vec<Point>,
+        options: super::DiagOptions,
+    ) -> Self {
+        Self::build_tuned(geo, counter, points, options, crate::Tuning::default())
+    }
+
+    /// Build a tree over `points` with explicit ablation options and tuning.
+    ///
+    /// # Panics
+    /// Panics if any point has `y < x` or ids repeat.
+    pub fn build_tuned(
+        geo: Geometry,
+        counter: IoCounter,
         mut points: Vec<Point>,
         options: super::DiagOptions,
+        tuning: crate::Tuning,
     ) -> Self {
         assert!(
             points.iter().all(|p| p.y >= p.x),
@@ -44,7 +66,7 @@ impl MetablockTree {
             ids.sort_unstable();
             assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
         }
-        let mut tree = Self::new_with(geo, counter, options);
+        let mut tree = Self::new_tuned(geo, counter, options, tuning);
         tree.len = points.len();
         if points.is_empty() {
             return tree;
@@ -67,51 +89,52 @@ impl MetablockTree {
         lo: Key,
         hi: Key,
     ) -> (MbId, Vec<Point>, Option<Key>) {
+        let mut ybuf = Vec::new();
+        self.build_slab_in(&mut pts, lo, hi, &mut ybuf)
+    }
+
+    /// The in-place recursion behind [`MetablockTree::build_slab`]: `pts` is
+    /// a subslice of the build arena (x-sorted); `ybuf` is a reusable
+    /// scratch buffer for the main-selection threshold.
+    fn build_slab_in(
+        &mut self,
+        pts: &mut [Point],
+        lo: Key,
+        hi: Key,
+        ybuf: &mut Vec<Key>,
+    ) -> (MbId, Vec<Point>, Option<Key>) {
         debug_assert!(pts.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
         let cap = self.cap();
         if pts.len() <= cap {
-            let mains = pts;
+            let mains = pts.to_vec();
             let id = self.make_metablock(&mains, Vec::new(), false);
             return (id, mains, None);
         }
 
         // Select the B² largest-(y, id) points as the root's mains,
-        // preserving x order in the remainder.
-        let mut ys: Vec<Key> = pts.iter().map(Point::ykey).collect();
-        ys.sort_unstable_by(|a, b| b.cmp(a));
-        let threshold = ys[cap - 1];
-        let mut mains = Vec::with_capacity(cap);
-        pts.retain(|p| {
-            if p.ykey() >= threshold {
-                mains.push(*p);
-                false
-            } else {
-                true
-            }
-        });
-        debug_assert_eq!(mains.len(), cap);
-        let rest_yhi = pts.iter().map(Point::ykey).max();
+        // compacting the remainder in place (x order preserved on both
+        // sides).
+        let (mains, rest_len, rest_yhi) = extract_top_y(pts, cap, ybuf);
+        let rest = &mut pts[..rest_len];
 
         // Divide the remainder into at most B near-equal contiguous slabs.
         // The paper divides the remainder into B groups; when n ≪ B³ that
         // over-fragments the leaves (tiny leaves under B-ary fanout), so we
         // split into just enough near-B²-sized groups, still at most B of
         // them — every invariant and bound is preserved, leaves stay packed.
-        let target = pts.len().div_ceil(cap).clamp(2, self.geo.b);
-        let groups = near_equal_groups(pts, target);
+        let target = rest_len.div_ceil(cap).clamp(2, self.geo.b);
+        let ranges = near_equal_ranges(rest_len, target);
 
         // Recurse, collecting child mains for the TS snapshots.
-        let mut entries: Vec<ChildEntry> = Vec::with_capacity(groups.len());
-        let mut child_mains: Vec<Vec<Point>> = Vec::with_capacity(groups.len());
-        let mut first_keys: Vec<Key> = groups
-            .iter()
-            .map(|g| g.first().expect("nonempty group").xkey())
-            .collect();
+        let mut first_keys: Vec<Key> = ranges.iter().map(|&(s, _)| rest[s].xkey()).collect();
         first_keys[0] = lo;
-        for (i, group) in groups.into_iter().enumerate() {
+        let mut entries: Vec<ChildEntry> = Vec::with_capacity(ranges.len());
+        let mut child_mains: Vec<Vec<Point>> = Vec::with_capacity(ranges.len());
+        for (i, &(s, e)) in ranges.iter().enumerate() {
             let slab_lo = first_keys[i];
             let slab_hi = first_keys.get(i + 1).copied().unwrap_or(hi);
-            let (child, cmains, sub_yhi) = self.build_slab(group, slab_lo, slab_hi);
+            let (child, cmains, sub_yhi) =
+                self.build_slab_in(&mut rest[s..e], slab_lo, slab_hi, ybuf);
             entries.push(ChildEntry {
                 mb: child,
                 slab_lo,
@@ -124,7 +147,7 @@ impl MetablockTree {
         }
 
         let id = self.make_metablock(&mains, entries, true);
-        self.install_ts_snapshots(id, &child_mains);
+        self.install_ts_snapshots(id, child_mains);
         (id, mains, rest_yhi)
     }
 
@@ -148,14 +171,24 @@ impl MetablockTree {
         children: Vec<ChildEntry>,
         internal: bool,
     ) -> MetaBlock {
-        let mut by_x = mains.to_vec();
-        ccix_extmem::sort_by_x(&mut by_x);
-        let vertical = self.store.alloc_run(&by_x);
-        let mut by_y = mains.to_vec();
+        // The static build hands mains over already x-sorted; only the
+        // dynamic reorganisations (horizontal + update order) need a sort.
+        let sorted_storage;
+        let by_x: &[Point] = if mains.windows(2).all(|w| w[0].xkey() < w[1].xkey()) {
+            mains
+        } else {
+            let mut v = mains.to_vec();
+            ccix_extmem::sort_by_x(&mut v);
+            sorted_storage = v;
+            &sorted_storage
+        };
+        let vertical = self.store.alloc_run(by_x);
+        let vkeys: Vec<Key> = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
+        let mut by_y = by_x.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
         let horizontal = self.store.alloc_run(&by_y);
-        let main_bbox = BBox::of_points(mains);
-        let y_lo_main = mains.iter().map(Point::ykey).min();
+        let main_bbox = BBox::of_points(by_x);
+        let y_lo_main = by_y.last().map(Point::ykey);
         let corner = match (main_bbox, y_lo_main) {
             // A corner (q, q) can fall strictly inside the region only if
             // some diagonal value lies between the lowest y and the highest
@@ -165,18 +198,24 @@ impl MetablockTree {
                     && ylo.0 <= bb.xhi.0
                     && mains.len() > self.geo.b =>
             {
-                Some(CornerStructure::build(&mut self.store, mains))
+                Some(CornerStructure::build_shared(
+                    &mut self.store,
+                    by_x,
+                    &vertical,
+                    self.tuning.corner_alpha,
+                ))
             }
             _ => None,
         };
         MetaBlock {
             vertical,
+            vkeys,
             horizontal,
             n_main: mains.len(),
             y_lo_main,
             main_bbox,
             corner,
-            update: None,
+            update: Vec::new(),
             n_upd: 0,
             ts: None,
             td: internal.then(TdInfo::default),
@@ -187,8 +226,8 @@ impl MetablockTree {
     /// Build and attach `TS` snapshots for every non-first child, from the
     /// supplied per-child point snapshots (mains, or mains+updates during a
     /// TS reorganisation).
-    pub(crate) fn install_ts_snapshots(&mut self, parent: MbId, snapshots: &[Vec<Point>]) {
-        let cap = self.cap();
+    pub(crate) fn install_ts_snapshots(&mut self, parent: MbId, snapshots: Vec<Vec<Point>>) {
+        let cap = self.ts_cap_points();
         let child_ids: Vec<MbId> = self.metas[parent]
             .as_ref()
             .expect("live parent")
@@ -197,42 +236,94 @@ impl MetablockTree {
             .map(|c| c.mb)
             .collect();
         debug_assert_eq!(child_ids.len(), snapshots.len());
-        let mut acc: Vec<Point> = Vec::new();
-        for (i, &child) in child_ids.iter().enumerate() {
+        // Maintain the top-`cap` prefix incrementally: sort each child's
+        // snapshot once, then merge it into the running capped top list.
+        let mut top: Vec<Point> = Vec::new();
+        let mut total = 0usize;
+        for (i, mut snap) in snapshots.into_iter().enumerate() {
             if i > 0 {
-                let mut top = acc.clone();
-                ccix_extmem::sort_by_y_desc(&mut top);
-                top.truncate(cap);
                 let pages = self.store.alloc_run(&top);
-                let mut meta = self.take_meta(child);
+                let mut meta = self.take_meta(child_ids[i]);
                 if let Some(old) = meta.ts.take() {
                     self.store.free_run(&old.pages);
                 }
                 meta.ts = Some(TsInfo {
                     pages,
                     n: top.len(),
+                    truncated: total > top.len(),
                 });
-                self.put_meta(child, meta);
+                self.put_meta(child_ids[i], meta);
             }
-            acc.extend_from_slice(&snapshots[i]);
+            total += snap.len();
+            ccix_extmem::sort_by_y_desc(&mut snap);
+            top = merge_y_desc_capped(std::mem::take(&mut top), snap, cap);
         }
     }
 }
 
-/// Split an x-sorted vector into at most `b` nonempty contiguous groups of
-/// near-equal size.
-pub(crate) fn near_equal_groups(pts: Vec<Point>, b: usize) -> Vec<Vec<Point>> {
-    let n = pts.len();
-    let groups = b.min(n).max(1);
-    let base = n / groups;
-    let extra = n % groups;
-    let mut out = Vec::with_capacity(groups);
-    let mut iter = pts.into_iter();
-    for g in 0..groups {
-        let size = base + usize::from(g < extra);
-        out.push(iter.by_ref().take(size).collect());
+pub(crate) use ccix_extmem::near_equal_ranges;
+
+/// Move the `cap` largest-`(y, id)` points out of `pts` into a fresh vector,
+/// compacting the rest to the front of `pts` (both sides keep their relative
+/// order, so an x-sorted slice stays x-sorted). Returns the extracted mains,
+/// the remainder's length, and the largest `(y, id)` in the remainder.
+pub(crate) fn extract_top_y(
+    pts: &mut [Point],
+    cap: usize,
+    ybuf: &mut Vec<Key>,
+) -> (Vec<Point>, usize, Option<Key>) {
+    debug_assert!(cap < pts.len());
+    ybuf.clear();
+    ybuf.extend(pts.iter().map(Point::ykey));
+    // (y, id) keys are unique, so exactly `cap` points are ≥ the threshold.
+    ybuf.select_nth_unstable_by(cap - 1, |a, b| b.cmp(a));
+    let threshold = ybuf[cap - 1];
+    let mut mains = Vec::with_capacity(cap);
+    let mut w = 0usize;
+    let mut rest_yhi: Option<Key> = None;
+    for r in 0..pts.len() {
+        let p = pts[r];
+        if p.ykey() >= threshold {
+            mains.push(p);
+        } else {
+            rest_yhi = Some(rest_yhi.map_or(p.ykey(), |m| m.max(p.ykey())));
+            pts[w] = p;
+            w += 1;
+        }
     }
-    debug_assert!(iter.next().is_none());
+    debug_assert_eq!(mains.len(), cap);
+    (mains, w, rest_yhi)
+}
+
+/// Merge two y-descending point vectors, keeping at most `cap` points.
+pub(crate) fn merge_y_desc_capped(a: Vec<Point>, b: Vec<Point>, cap: usize) -> Vec<Point> {
+    if b.is_empty() && a.len() <= cap {
+        return a;
+    }
+    let mut out = Vec::with_capacity((a.len() + b.len()).min(cap));
+    let (mut i, mut j) = (0usize, 0usize);
+    while out.len() < cap {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => {
+                if x.ykey() > y.ykey() {
+                    out.push(*x);
+                    i += 1;
+                } else {
+                    out.push(*y);
+                    j += 1;
+                }
+            }
+            (Some(x), None) => {
+                out.push(*x);
+                i += 1;
+            }
+            (None, Some(y)) => {
+                out.push(*y);
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
     out
 }
 
@@ -241,23 +332,45 @@ mod tests {
     use super::*;
 
     #[test]
-    fn groups_are_near_equal_and_cover() {
-        let pts: Vec<Point> = (0..103).map(|i| Point::new(i, i + 1, i as u64)).collect();
-        let groups = near_equal_groups(pts.clone(), 10);
-        assert_eq!(groups.len(), 10);
-        let sizes: Vec<usize> = groups.iter().map(Vec::len).collect();
-        assert!(sizes.iter().all(|&s| s == 10 || s == 11));
-        let total: usize = sizes.iter().sum();
-        assert_eq!(total, 103);
-        let flat: Vec<Point> = groups.into_iter().flatten().collect();
-        assert_eq!(flat, pts, "order preserved");
+    fn extract_top_y_is_stable_and_exact() {
+        let mut pts: Vec<Point> = (0..40)
+            .map(|i| Point::new(i, 100 + (i * 7) % 40, i as u64))
+            .collect();
+        let orig = pts.clone();
+        let mut ybuf = Vec::new();
+        let (mains, rest_len, rest_yhi) = extract_top_y(&mut pts, 10, &mut ybuf);
+        assert_eq!(mains.len(), 10);
+        assert_eq!(rest_len, 30);
+        let rest = &pts[..rest_len];
+        // Both sides keep x order.
+        assert!(mains.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
+        assert!(rest.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
+        // The split is exactly by the y threshold.
+        let min_main = mains.iter().map(Point::ykey).min().unwrap();
+        assert!(rest.iter().all(|p| p.ykey() < min_main));
+        assert_eq!(rest.iter().map(Point::ykey).max(), rest_yhi);
+        // Nothing lost.
+        let mut all: Vec<u64> = mains.iter().chain(rest).map(|p| p.id).collect();
+        all.sort_unstable();
+        let mut want: Vec<u64> = orig.iter().map(|p| p.id).collect();
+        want.sort_unstable();
+        assert_eq!(all, want);
     }
 
     #[test]
-    fn fewer_points_than_groups() {
-        let pts: Vec<Point> = (0..3).map(|i| Point::new(i, i, i as u64)).collect();
-        let groups = near_equal_groups(pts, 10);
-        assert_eq!(groups.len(), 3);
-        assert!(groups.iter().all(|g| g.len() == 1));
+    fn merge_caps_and_orders() {
+        let a: Vec<Point> = [9i64, 7, 3]
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| Point::new(0, y, i as u64))
+            .collect();
+        let b: Vec<Point> = [8i64, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| Point::new(0, y, 10 + i as u64))
+            .collect();
+        let m = merge_y_desc_capped(a, b, 4);
+        let ys: Vec<i64> = m.iter().map(|p| p.y).collect();
+        assert_eq!(ys, vec![9, 8, 7, 3]);
     }
 }

@@ -1,14 +1,17 @@
-//! Semi-dynamic insertion (§3.2, Fig. 19).
+//! Semi-dynamic insertion (§3.2, Fig. 19), with batched reorganisation.
 //!
 //! A new point is routed down the slab containing its x, stopping at the
 //! first metablock whose mains it is not strictly below, and buffered in
-//! that metablock's **update block**; a copy goes into the parent's **TD**
-//! corner structure. Amortisation then proceeds exactly as in the paper:
+//! that metablock's **update buffer**; a copy goes into the parent's **TD**
+//! corner structure. Amortisation then proceeds as in the paper, with the
+//! buffer sizes generalised from one block to the tuned budgets:
 //!
-//! * update block full (`B` points) → **level-I reorganisation**: merge into
-//!   the mains and rebuild the vertical/horizontal/corner organisations
-//!   (`O(B)` I/Os, once per `B` inserts);
-//! * TD staging full (`B` points) → rebuild the TD corner structure;
+//! * update buffer full (`k·B` points, [`crate::Tuning::update_batch_pages`])
+//!   → **level-I reorganisation**: merge into the mains and rebuild the
+//!   vertical/horizontal/corner organisations (`O(B)` I/Os, once per `k·B`
+//!   inserts — the batching amortises the rebuild `k`× further than the
+//!   paper's `B`);
+//! * TD staging full → rebuild the TD corner structure;
 //! * TD reaches `B²` points → **TS reorganisation** of the children: rebuild
 //!   every child's TS snapshot from current contents and discard the TD;
 //! * metablock reaches `2B²` points → **level-II reorganisation**: an
@@ -17,12 +20,24 @@
 //! * a parent reaching `2B` children → **branching split**: the subtree is
 //!   rebuilt statically as two trees of half the leaves (at the root: the
 //!   whole tree is rebuilt), costs amortised over the inserts that grew it.
+//!
+//! The hot path pins the search path's control blocks: one read on first
+//! touch, one write per dirty block at the end (see
+//! [`MetablockTree::pin_meta`]) — the paper's accounting, without the
+//! one-I/O-per-access overcharge of re-reading a block it already holds.
 
 use ccix_extmem::Point;
 
 use super::{ChildEntry, MbId, MetablockTree, TdInfo};
 use crate::bbox::BBox;
 use crate::corner::CornerStructure;
+
+/// Record `mb` as dirty (dedup'd) for the end-of-operation writeback.
+fn mark_dirty(dirty: &mut Vec<MbId>, mb: MbId) {
+    if !dirty.contains(&mb) {
+        dirty.push(mb);
+    }
+}
 
 impl MetablockTree {
     /// Insert a point. Amortised `O(log_B n + (log_B n)²/B)` I/Os
@@ -48,9 +63,13 @@ impl MetablockTree {
     fn insert_routed(&mut self, above: Vec<MbId>, start: MbId, p: Point) {
         let mut path = above;
         let fix_from = path.len();
+        let mut pinned: Vec<MbId> = Vec::new();
+        let mut dirty: Vec<MbId> = Vec::new();
+
+        // Phase 1 — descend, pinning each control block on the way down.
         let mut cur = start;
         loop {
-            let meta = self.meta(cur);
+            let meta = self.pin_meta(&mut pinned, cur);
             let lands = meta.is_leaf() || meta.y_lo_main.is_none_or(|ylo| p.ykey() >= ylo);
             if lands {
                 break;
@@ -66,75 +85,130 @@ impl MetablockTree {
         }
         let target = cur;
 
-        // Refresh the caches the query relies on, along the newly descended
-        // part of the path (ancestors above `start` already cover `p`).
+        // Phase 2 — refresh the caches the query relies on, along the newly
+        // descended part of the path (ancestors above `start` already cover
+        // `p`). Purely in-memory on pinned blocks; only actual changes make
+        // a block dirty.
         for i in fix_from..path.len() {
             let a = path[i];
             let on_path_child = path.get(i + 1).copied().unwrap_or(target);
-            let mut m = self.take_meta(a);
+            let m = self.metas[a].as_mut().expect("pinned ancestor is live");
             let e = m
                 .children
                 .iter_mut()
                 .find(|c| c.mb == on_path_child)
                 .expect("descent child present in parent");
-            if on_path_child == target {
-                e.upd_ymax = Some(e.upd_ymax.map_or(p.ykey(), |y| y.max(p.ykey())));
+            let changed = if on_path_child == target {
+                if e.upd_ymax.is_none_or(|y| p.ykey() > y) {
+                    e.upd_ymax = Some(p.ykey());
+                    true
+                } else {
+                    false
+                }
+            } else if e.sub_yhi.is_none_or(|y| p.ykey() > y) {
+                e.sub_yhi = Some(p.ykey());
+                true
             } else {
-                e.sub_yhi = Some(e.sub_yhi.map_or(p.ykey(), |y| y.max(p.ykey())));
+                false
+            };
+            if changed {
+                mark_dirty(&mut dirty, a);
             }
-            self.put_meta(a, m);
         }
 
-        // Buffer in the target's update block.
-        let mut m = self.take_meta(target);
-        match m.update {
+        // Phase 3 — append to the target's update buffer (pages fill
+        // left-to-right, B at a time, so a non-multiple-of-B count means the
+        // last page has room).
+        let b = self.geo.b;
+        let open_page = {
+            let m = self.metas[target].as_ref().expect("target is live");
+            (!m.n_upd.is_multiple_of(b)).then(|| *m.update.last().expect("partial page exists"))
+        };
+        match open_page {
             Some(pg) => {
                 let mut pts = self.store.read(pg).to_vec();
                 pts.push(p);
                 self.store.write(pg, pts);
             }
-            None => m.update = Some(self.store.alloc(vec![p])),
+            None => {
+                let pg = self.store.alloc(vec![p]);
+                self.metas[target]
+                    .as_mut()
+                    .expect("target is live")
+                    .update
+                    .push(pg);
+            }
         }
-        m.n_upd += 1;
-        let update_full = m.n_upd >= self.geo.b;
-        self.put_meta(target, m);
+        let update_full = {
+            let m = self.metas[target].as_mut().expect("target is live");
+            m.n_upd += 1;
+            m.n_upd >= self.upd_cap_pages() * b
+        };
+        mark_dirty(&mut dirty, target);
 
-        // Track the insert in the parent's TD structure.
-        if let Some(&parent) = path.last() {
-            self.td_add(parent, p);
+        // Phase 4 — track the insert in the parent's TD structure.
+        let parent = path.last().copied();
+        let mut td_total = 0usize;
+        let mut staged_full = false;
+        if let Some(par) = parent {
+            self.pin_meta(&mut pinned, par);
+            let open_page = {
+                let td = self.metas[par]
+                    .as_ref()
+                    .expect("parent is live")
+                    .td
+                    .as_ref();
+                let td = td.expect("internal metablock carries a TD");
+                (!td.n_staged.is_multiple_of(b))
+                    .then(|| *td.staged.last().expect("partial page exists"))
+            };
+            match open_page {
+                Some(pg) => {
+                    let mut pts = self.store.read(pg).to_vec();
+                    pts.push(p);
+                    self.store.write(pg, pts);
+                }
+                None => {
+                    let pg = self.store.alloc(vec![p]);
+                    self.metas[par]
+                        .as_mut()
+                        .expect("parent is live")
+                        .td
+                        .as_mut()
+                        .expect("TD present")
+                        .staged
+                        .push(pg);
+                }
+            }
+            let td = self.metas[par]
+                .as_mut()
+                .expect("parent is live")
+                .td
+                .as_mut()
+                .expect("TD present");
+            td.n_staged += 1;
+            td_total = td.total();
+            staged_full = td.n_staged >= self.td_cap_pages() * b;
+            mark_dirty(&mut dirty, par);
         }
 
+        // Phase 5 — write back every dirty control block, then unpin.
+        self.flush_dirty(&dirty);
+
+        // Phase 6 — amortised triggers (reorganisations bill through the
+        // ordinary take/put helpers; their cost is the amortised term).
+        if let Some(par) = parent {
+            if td_total >= self.cap() {
+                self.ts_reorg(par);
+            } else if staged_full {
+                self.td_rebuild(par);
+            }
+        }
         if update_full && self.metas[target].is_some() {
-            let parent = path.last().copied();
             let n_main = self.level_i(target, parent);
             if n_main >= 2 * self.cap() {
                 self.level_ii(target, &path);
             }
-        }
-    }
-
-    /// Record `p` in `parent`'s TD structure; rebuild it every `B` inserts
-    /// and trade it for a TS reorganisation at `B²` points.
-    fn td_add(&mut self, parent: MbId, p: Point) {
-        let mut m = self.take_meta(parent);
-        let td = m.td.as_mut().expect("internal metablock carries a TD");
-        match td.staged {
-            Some(pg) => {
-                let mut pts = self.store.read(pg).to_vec();
-                pts.push(p);
-                self.store.write(pg, pts);
-            }
-            None => td.staged = Some(self.store.alloc(vec![p])),
-        }
-        td.n_staged += 1;
-        let total = td.total();
-        let staged_full = td.n_staged >= self.geo.b;
-        self.put_meta(parent, m);
-
-        if total >= self.cap() {
-            self.ts_reorg(parent);
-        } else if staged_full {
-            self.td_rebuild(parent);
         }
     }
 
@@ -151,13 +225,18 @@ impl MetablockTree {
             }
             None => Vec::new(),
         };
-        if let Some(pg) = td.staged.take() {
+        for &pg in &td.staged {
             pts.extend_from_slice(self.store.read(pg));
-            self.store.free(pg);
         }
+        self.store.free_run(&td.staged);
+        td.staged.clear();
         td.n_staged = 0;
         td.n_built = pts.len();
-        td.corner = Some(CornerStructure::build(&mut self.store, &pts));
+        td.corner = Some(CornerStructure::build_tuned(
+            &mut self.store,
+            &pts,
+            self.tuning.corner_alpha,
+        ));
         self.put_meta(parent, m);
     }
 
@@ -178,16 +257,14 @@ impl MetablockTree {
             if let Some(c) = td.corner.take() {
                 c.free(&mut self.store);
             }
-            if let Some(pg) = td.staged.take() {
-                self.store.free(pg);
-            }
+            self.store.free_run(&td.staged);
             *td = TdInfo::default();
         }
         self.put_meta(parent, m);
-        self.install_ts_snapshots(parent, &snapshots);
+        self.install_ts_snapshots(parent, snapshots);
     }
 
-    /// Level-I reorganisation: merge the update block into the mains and
+    /// Level-I reorganisation: merge the update buffer into the mains and
     /// rebuild all organisations. Returns the new main count.
     fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
         let mut m = self.take_meta(mb);
@@ -208,30 +285,35 @@ impl MetablockTree {
     }
 
     /// Replace a metablock's blockings (and corner structure) with ones
-    /// built over `pts`, clearing the update block. Children/TS/TD survive.
+    /// built over `pts`, clearing the update buffer. Children/TS/TD survive.
     fn rebuild_orgs(&mut self, m: &mut super::MetaBlock, pts: &[Point]) {
         self.store.free_run(&m.vertical);
         self.store.free_run(&m.horizontal);
         if let Some(c) = m.corner.take() {
             c.free(&mut self.store);
         }
-        if let Some(pg) = m.update.take() {
-            self.store.free(pg);
-        }
+        self.store.free_run(&m.update);
+        m.update.clear();
         m.n_upd = 0;
 
         let mut by_x = pts.to_vec();
         ccix_extmem::sort_by_x(&mut by_x);
         m.vertical = self.store.alloc_run(&by_x);
+        m.vkeys = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
         let mut by_y = pts.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
         m.horizontal = self.store.alloc_run(&by_y);
         m.n_main = pts.len();
         m.main_bbox = BBox::of_points(pts);
-        m.y_lo_main = pts.iter().map(Point::ykey).min();
+        m.y_lo_main = by_y.last().map(Point::ykey);
         if let (Some(bb), Some(ylo)) = (m.main_bbox, m.y_lo_main) {
             if self.options.corner_structures && ylo.0 <= bb.xhi.0 && pts.len() > self.geo.b {
-                m.corner = Some(CornerStructure::build(&mut self.store, pts));
+                m.corner = Some(CornerStructure::build_shared(
+                    &mut self.store,
+                    &by_x,
+                    &m.vertical,
+                    self.tuning.corner_alpha,
+                ));
             }
         }
     }
@@ -246,13 +328,13 @@ impl MetablockTree {
         }
     }
 
-    /// Internal level-II: keep the top `B²` points, trickle the bottom `B²`
-    /// into the children, and TS-reorganise this level.
+    /// Internal level-II: keep the top `B²` points, trickle the bottom
+    /// points into the children, and TS-reorganise this level.
     fn push_down(&mut self, mb: MbId, path: &[MbId]) {
         let mut m = self.take_meta(mb);
         debug_assert_eq!(m.n_upd, 0, "level-II runs after level-I");
         let mut pts = self.read_run(&m.horizontal);
-        ccix_extmem::sort_by_y_desc(&mut pts);
+        debug_assert!(pts.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
         let bottom = pts.split_off(self.cap());
         let top = pts;
         self.rebuild_orgs(&mut m, &top);
@@ -291,8 +373,8 @@ impl MetablockTree {
         }
     }
 
-    /// Leaf level-II: split into two leaves of `B²` points around the median
-    /// x, grow the parent's branching factor, and TS-reorganise the level.
+    /// Leaf level-II: split into two leaves around the median x, grow the
+    /// parent's branching factor, and TS-reorganise the level.
     fn split_leaf(&mut self, mb: MbId, path: &[MbId]) {
         let meta = self.meta(mb);
         debug_assert_eq!(meta.n_upd, 0, "level-II runs after level-I");
@@ -423,7 +505,7 @@ impl MetablockTree {
         }
     }
 
-    /// Every point in the subtree (mains + update blocks), with charged
+    /// Every point in the subtree (mains + update buffers), with charged
     /// reads. TS/TD/corner pages are copies and are deliberately skipped.
     fn collect_subtree_points(&self, mb: MbId) -> Vec<Point> {
         let meta = self.meta(mb);

@@ -13,12 +13,13 @@ mod validate;
 pub use validate::DiagStats;
 // DiagOptions is defined below and re-exported from the crate root.
 
-pub(crate) use build::{near_equal_groups, FULL_RANGE};
+pub(crate) use build::{extract_top_y, merge_y_desc_capped, near_equal_ranges, FULL_RANGE};
 
 use ccix_extmem::{Geometry, IoCounter, PageId, Point, TypedStore};
 
 use crate::bbox::{BBox, Key};
 use crate::corner::CornerStructure;
+use crate::tuning::Tuning;
 
 /// Identifier of a metablock within one tree.
 pub(crate) type MbId = usize;
@@ -55,13 +56,19 @@ impl ChildEntry {
     }
 }
 
-/// The left-sibling snapshot `TS(M)` (Fig. 10): the top `B²` points among
+/// The left-sibling snapshot `TS(M)` (Fig. 10): the top points among
 /// everything stored in `M`'s left siblings at the last TS reorganisation,
-/// blocked horizontally (y-descending).
+/// blocked horizontally (y-descending). The paper stores the top `B²`;
+/// [`Tuning::ts_snapshot_pages`] can cap the budget lower.
 #[derive(Clone, Debug)]
 pub(crate) struct TsInfo {
     pub pages: Vec<PageId>,
     pub n: usize,
+    /// True when sibling points were dropped to fit the budget. A scan of a
+    /// non-truncated snapshot that never crosses the query bottom has seen
+    /// *every* sibling point above it (the crossing case of Fig. 17b); a
+    /// truncated one only certifies `n` answers (Fig. 17a).
+    pub truncated: bool,
 }
 
 /// The `TD` corner structure of an internal metablock (§3.2): the points
@@ -72,8 +79,9 @@ pub(crate) struct TdInfo {
     /// Corner structure over the settled TD points.
     pub corner: Option<CornerStructure>,
     pub n_built: usize,
-    /// Staging page: at most `B` points awaiting the next TD rebuild.
-    pub staged: Option<PageId>,
+    /// Staging pages: points awaiting the next TD rebuild, at most
+    /// [`MetablockTree::td_cap_pages`] pages of `B`.
+    pub staged: Vec<PageId>,
     pub n_staged: usize,
 }
 
@@ -88,6 +96,9 @@ impl TdInfo {
 pub(crate) struct MetaBlock {
     /// Main points, x-sorted, `B` per page ("vertically oriented blocks").
     pub vertical: Vec<PageId>,
+    /// First x-key of each vertical page (control info: the slab's
+    /// "boundary values"), used to locate a page without a linear scan.
+    pub vkeys: Vec<Key>,
     /// Main points, y-descending, `B` per page ("horizontally oriented").
     pub horizontal: Vec<PageId>,
     pub n_main: usize,
@@ -96,10 +107,13 @@ pub(crate) struct MetaBlock {
     pub y_lo_main: Option<Key>,
     pub main_bbox: Option<BBox>,
     /// Corner structure (Lemma 3.1), present when the metablock's region can
-    /// contain a query corner (its mains straddle some diagonal value).
+    /// contain a query corner (its mains straddle some diagonal value). Its
+    /// stage-2 blocking is shared with `vertical`.
     pub corner: Option<CornerStructure>,
-    /// Update block: at most `B` buffered inserts (§3.2).
-    pub update: Option<PageId>,
+    /// Update buffer: buffered inserts (§3.2), at most
+    /// [`MetablockTree::upd_cap_pages`] pages of `B`. The paper's update
+    /// *block* is the 1-page special case.
+    pub update: Vec<PageId>,
     pub n_upd: usize,
     /// Left-sibling snapshot; `None` for a first child or the root.
     pub ts: Option<TsInfo>,
@@ -161,16 +175,28 @@ pub struct MetablockTree {
     pub(crate) root: Option<MbId>,
     pub(crate) len: usize,
     pub(crate) options: DiagOptions,
+    pub(crate) tuning: Tuning,
 }
 
 impl MetablockTree {
-    /// Create an empty tree with the paper's design (default options).
+    /// Create an empty tree with the paper's design (default options) and
+    /// the measured default [`Tuning`].
     pub fn new(geo: Geometry, counter: IoCounter) -> Self {
         Self::new_with(geo, counter, DiagOptions::default())
     }
 
     /// Create an empty tree with explicit ablation options.
     pub fn new_with(geo: Geometry, counter: IoCounter, options: DiagOptions) -> Self {
+        Self::new_tuned(geo, counter, options, Tuning::default())
+    }
+
+    /// Create an empty tree with explicit ablation options and tuning.
+    pub fn new_tuned(
+        geo: Geometry,
+        counter: IoCounter,
+        options: DiagOptions,
+        tuning: Tuning,
+    ) -> Self {
         Self {
             geo,
             counter: counter.clone(),
@@ -180,12 +206,45 @@ impl MetablockTree {
             root: None,
             len: 0,
             options,
+            tuning,
         }
     }
 
     /// The tree's ablation options.
     pub fn options(&self) -> DiagOptions {
         self.options
+    }
+
+    /// The tree's write-path tuning.
+    pub fn tuning(&self) -> Tuning {
+        self.tuning
+    }
+
+    // ---- tuning-derived budgets -----------------------------------------
+    //
+    // Buffers are clamped to B/2 pages so a buffer (≤ B²/2 points) never
+    // rivals the B² metablock capacity: the paper's invariants and the
+    // level-II threshold arithmetic survive for every geometry, including
+    // the tiny-B property tests.
+
+    /// Update-buffer budget in pages (≥ 1).
+    pub(crate) fn upd_cap_pages(&self) -> usize {
+        self.tuning
+            .update_batch_pages
+            .clamp(1, (self.geo.b / 2).max(1))
+    }
+
+    /// TD staging budget in pages (≥ 1).
+    pub(crate) fn td_cap_pages(&self) -> usize {
+        self.tuning.td_batch_pages.clamp(1, (self.geo.b / 2).max(1))
+    }
+
+    /// TS snapshot budget in points (≥ B).
+    pub(crate) fn ts_cap_points(&self) -> usize {
+        match self.tuning.ts_snapshot_pages {
+            None => self.geo.b2(),
+            Some(pages) => (pages.max(1) * self.geo.b).min(self.geo.b2()),
+        }
     }
 
     /// Number of points stored.
@@ -241,6 +300,28 @@ impl MetablockTree {
         self.metas[mb].as_ref().expect("read of freed metablock")
     }
 
+    /// Pinned read for one multi-step operation: the first touch of a
+    /// control block charges one read; further touches are free while it
+    /// stays pinned. The search path is `O(log_B n)` control blocks, well
+    /// within the model's `Θ(B²)`-point working memory, so pinning it is the
+    /// faithful charge — the paper's update analysis (§3.2) likewise counts
+    /// each control block once per insert, not once per access. Mutations go
+    /// through `metas[..].as_mut()` and are paid by one write per *dirty*
+    /// block at the end of the operation (see `flush_dirty`).
+    pub(crate) fn pin_meta(&self, pinned: &mut Vec<MbId>, mb: MbId) -> &MetaBlock {
+        if !pinned.contains(&mb) {
+            self.counter.add_reads(1);
+            pinned.push(mb);
+        }
+        self.metas[mb].as_ref().expect("pinned metablock is live")
+    }
+
+    /// Charge one write per distinct dirty control block of a pinned
+    /// operation.
+    pub(crate) fn flush_dirty(&self, dirty: &[MbId]) {
+        self.counter.add_writes(dirty.len() as u64);
+    }
+
     pub(crate) fn alloc_meta(&mut self, meta: MetaBlock) -> MbId {
         self.counter.add_writes(1);
         // Meta slots are never reused: a freed MbId stays permanently dead,
@@ -258,11 +339,11 @@ impl MetablockTree {
         self.store.free_run(&meta.vertical);
         self.store.free_run(&meta.horizontal);
         if let Some(c) = meta.corner.clone() {
+            // The corner's stage-2 blocking is `meta.vertical` (shared),
+            // already freed above; this releases only the explicit sets.
             c.free(&mut self.store);
         }
-        if let Some(pg) = meta.update {
-            self.store.free(pg);
-        }
+        self.store.free_run(&meta.update);
         if let Some(ts) = &meta.ts {
             self.store.free_run(&ts.pages);
         }
@@ -270,9 +351,7 @@ impl MetablockTree {
             if let Some(c) = td.corner.clone() {
                 c.free(&mut self.store);
             }
-            if let Some(pg) = td.staged {
-                self.store.free(pg);
-            }
+            self.store.free_run(&td.staged);
         }
         meta
     }
@@ -292,7 +371,7 @@ impl MetablockTree {
     /// reorganisations.
     pub(crate) fn collect_points(&self, meta: &MetaBlock) -> Vec<Point> {
         let mut pts = self.read_run(&meta.horizontal);
-        if let Some(pg) = meta.update {
+        for &pg in &meta.update {
             pts.extend_from_slice(self.store.read(pg));
         }
         pts

@@ -196,7 +196,7 @@ impl MetablockTree {
                         scanned.push(*p);
                     }
                 }
-                let complete = crossed || ts.n < self.cap();
+                let complete = crossed || !ts.truncated;
                 if complete {
                     // Crossing case (Fig. 17b): the snapshot contains every
                     // left-sibling point with y ≥ q as of the last TS reorg;
@@ -254,7 +254,7 @@ impl MetablockTree {
             corner.query_into(&self.store, q, &mut tmp);
             out.extend(tmp.into_iter().filter(|p| filter(p)));
         }
-        if let Some(pg) = td.staged {
+        for &pg in &td.staged {
             for p in self.store.read(pg) {
                 if p.x <= q && p.y >= q && filter(p) {
                     out.push(*p);
@@ -305,9 +305,10 @@ impl MetablockTree {
         );
     }
 
-    /// Scan an update block, reporting points inside the query. One I/O.
+    /// Scan the update buffer, reporting points inside the query. One I/O
+    /// per pending page (Lemma 3.5, generalised to the batched buffer).
     fn scan_update(&self, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
-        if let Some(pg) = meta.update {
+        for &pg in &meta.update {
             for p in self.store.read(pg) {
                 if p.x <= q && p.y >= q {
                     out.push(*p);
@@ -347,6 +348,82 @@ impl MetablockTree {
                 debug_assert!(p.x <= q, "horizontal scan point right of query");
                 out.push(*p);
             }
+        }
+    }
+
+    // ---- one-dimensional x-range reporting -------------------------------
+
+    /// Report every stored point with `x1 ≤ x ≤ x2`, in `O(log_B n + t/B)`
+    /// I/Os.
+    ///
+    /// The slab decomposition already orders the tree by x, so the
+    /// metablock tree doubles as a one-dimensional index on left endpoints:
+    /// at most two boundary slabs per level are descended (≤ 2 partly-useful
+    /// vertical blocks each, located via the cached page-boundary keys),
+    /// and every slab strictly inside the range is reported wholesale.
+    /// This is what lets the interval index answer the left-endpoint range
+    /// of an intersection query without a second copy of the data in a
+    /// B+-tree.
+    pub fn x_range_into(&self, x1: i64, x2: i64, out: &mut Vec<Point>) {
+        if x1 > x2 {
+            return;
+        }
+        if let Some(root) = self.root {
+            self.x_range_rec(root, (x1, u64::MIN), (x2, u64::MAX), out);
+        }
+    }
+
+    /// Process a metablock on an x-range boundary path.
+    fn x_range_rec(&self, mb: MbId, a1k: Key, a2k: Key, out: &mut Vec<Point>) {
+        let meta = self.meta(mb);
+        for &pg in &meta.update {
+            for p in self.store.read(pg) {
+                let k = p.xkey();
+                if k >= a1k && k <= a2k {
+                    out.push(*p);
+                }
+            }
+        }
+        // Mains inside the range, starting from the page located via the
+        // boundary keys (≤ 2 slack blocks).
+        let start = meta.vkeys.partition_point(|&k| k <= a1k).saturating_sub(1);
+        'vertical: for &pg in meta.vertical.iter().skip(start) {
+            for p in self.store.read(pg) {
+                let k = p.xkey();
+                if k > a2k {
+                    break 'vertical;
+                }
+                if k >= a1k {
+                    out.push(*p);
+                }
+            }
+        }
+        // Children: recurse into the ≤ 2 boundary slabs, report the middles
+        // (slab ⊆ range) wholesale.
+        let children = &meta.children;
+        let i1 = children.partition_point(|c| c.slab_hi <= a1k);
+        let i2 = children.partition_point(|c| c.slab_hi <= a2k);
+        for c in children.iter().take(i2 + 1).skip(i1) {
+            if c.slab_lo > a2k {
+                break;
+            }
+            if c.slab_lo >= a1k && c.slab_hi <= a2k {
+                self.x_report_all(c.mb, out);
+            } else {
+                self.x_range_rec(c.mb, a1k, a2k, out);
+            }
+        }
+    }
+
+    /// Report a subtree whose slab lies entirely inside the x-range: every
+    /// main and buffered point, output-paying I/Os only.
+    fn x_report_all(&self, mb: MbId, out: &mut Vec<Point>) {
+        let meta = self.meta(mb);
+        for &pg in meta.horizontal.iter().chain(&meta.update) {
+            out.extend_from_slice(self.store.read(pg));
+        }
+        for c in &meta.children {
+            self.x_report_all(c.mb, out);
         }
     }
 }

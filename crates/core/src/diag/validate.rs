@@ -102,7 +102,7 @@ impl MetablockTree {
         let mains = self.mains_unbilled(meta);
         assert_eq!(mains.len(), meta.n_main, "main count mismatch");
         assert!(
-            mains.len() <= 2 * self.cap() + self.geo.b,
+            mains.len() <= 2 * self.cap() + self.upd_cap_pages() * self.geo.b,
             "metablock overfull: {}",
             mains.len()
         );
@@ -112,6 +112,14 @@ impl MetablockTree {
         assert!(
             vertical.windows(2).all(|w| w[0].xkey() < w[1].xkey()),
             "vertical blocking out of order"
+        );
+        assert_eq!(
+            meta.vkeys,
+            vertical
+                .chunks(self.geo.b)
+                .map(|c| c[0].xkey())
+                .collect::<Vec<_>>(),
+            "stale vertical page-boundary keys"
         );
         let horizontal = self.pages_unbilled(&meta.horizontal);
         assert!(
@@ -133,12 +141,13 @@ impl MetablockTree {
         );
 
         // Slab containment for every stored point (mains + updates).
-        let update = meta
-            .update
-            .map(|pg| self.store.read_unbilled(pg).to_vec())
-            .unwrap_or_default();
+        let update = self.pages_unbilled(&meta.update);
         assert_eq!(update.len(), meta.n_upd, "update count mismatch");
-        assert!(update.len() < self.geo.b + 1, "update block overfull");
+        assert!(
+            update.len() <= self.upd_cap_pages() * self.geo.b,
+            "update buffer overfull: {} points",
+            update.len()
+        );
         for p in mains.iter().chain(&update) {
             assert!(
                 p.xkey() >= slab_lo && p.xkey() < slab_hi,
@@ -183,10 +192,7 @@ impl MetablockTree {
                     BBox::of_points(&child_mains),
                     "stale child main bbox"
                 );
-                let child_upd = child_meta
-                    .update
-                    .map(|pg| self.store.read_unbilled(pg).to_vec())
-                    .unwrap_or_default();
+                let child_upd = self.pages_unbilled(&child_meta.update);
                 assert_eq!(
                     c.upd_ymax,
                     child_upd.iter().map(Point::ykey).max(),
@@ -222,7 +228,7 @@ impl MetablockTree {
                     td_ids.insert(p.id);
                 }
             }
-            if let Some(pg) = td.staged {
+            for &pg in &td.staged {
                 for p in self.store.read_unbilled(pg) {
                     td_ids.insert(p.id);
                 }
@@ -239,13 +245,13 @@ impl MetablockTree {
                     ts_points.windows(2).all(|w| w[0].ykey() > w[1].ykey()),
                     "TS snapshot out of order"
                 );
-                assert!(ts.n <= self.cap(), "TS snapshot too large");
+                assert!(ts.n <= self.ts_cap_points(), "TS snapshot too large");
                 let ts_ids: BTreeSet<u64> = ts_points.iter().map(|p| p.id).collect();
                 let ts_min = ts_points.last().map(Point::ykey);
                 for p in &left_points {
                     let covered = ts_ids.contains(&p.id)
                         || td_ids.contains(&p.id)
-                        || (ts.n == self.cap() && ts_min.is_some_and(|m| p.ykey() < m));
+                        || (ts.truncated && ts_min.is_some_and(|m| p.ykey() < m));
                     assert!(
                         covered,
                         "TS coverage hole: point {p:?} invisible to child {i}"
@@ -255,9 +261,7 @@ impl MetablockTree {
                 assert!(child_meta.ts.is_none(), "first child must not have TS");
             }
             left_points.extend(self.mains_unbilled(child_meta));
-            if let Some(pg) = child_meta.update {
-                left_points.extend_from_slice(self.store.read_unbilled(pg));
-            }
+            left_points.extend(self.pages_unbilled(&child_meta.update));
         }
     }
 
@@ -276,9 +280,7 @@ impl MetablockTree {
     fn collect_unbilled(&self, mb: MbId, out: &mut Vec<Point>) {
         let meta = self.meta_unbilled(mb);
         out.extend(self.mains_unbilled(meta));
-        if let Some(pg) = meta.update {
-            out.extend_from_slice(self.store.read_unbilled(pg));
-        }
+        out.extend(self.pages_unbilled(&meta.update));
         for c in &meta.children {
             self.collect_unbilled(c.mb, out);
         }

@@ -35,7 +35,9 @@ pub mod bbox;
 pub mod corner;
 mod diag;
 mod threesided;
+mod tuning;
 
 pub use corner::CornerStructure;
 pub use diag::{DiagOptions, DiagStats, MetablockTree};
 pub use threesided::{ThreeSidedStats, ThreeSidedTree};
+pub use tuning::Tuning;

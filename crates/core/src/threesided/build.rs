@@ -1,22 +1,39 @@
 //! Static construction of the 3-sided tree (the §3.1 shape with §4
 //! per-metablock structures).
+//!
+//! Sort-once and arena-backed like the diagonal tree's build: one x-sort up
+//! front, in-place slab partitioning, and incrementally merged sibling
+//! snapshots (here in both directions — TSL and TSR).
 
 use ccix_extmem::{Geometry, IoCounter, Point};
 use ccix_pst::ExternalPst;
 
 use super::{ThreeSidedTree, TsMeta, TsTd};
 use crate::bbox::{BBox, Key};
-use crate::diag::{near_equal_groups, ChildEntry, MbId, TsInfo, FULL_RANGE};
+use crate::diag::{
+    extract_top_y, merge_y_desc_capped, near_equal_ranges, ChildEntry, MbId, TsInfo, FULL_RANGE,
+};
 
 impl ThreeSidedTree {
-    /// Build a tree over `points` (anywhere in the plane; unique ids).
-    pub fn build(geo: Geometry, counter: IoCounter, mut points: Vec<Point>) -> Self {
+    /// Build a tree over `points` (anywhere in the plane; unique ids) with
+    /// the measured default [`crate::Tuning`].
+    pub fn build(geo: Geometry, counter: IoCounter, points: Vec<Point>) -> Self {
+        Self::build_tuned(geo, counter, points, crate::Tuning::default())
+    }
+
+    /// As [`ThreeSidedTree::build`], with explicit tuning.
+    pub fn build_tuned(
+        geo: Geometry,
+        counter: IoCounter,
+        mut points: Vec<Point>,
+        tuning: crate::Tuning,
+    ) -> Self {
         {
             let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
             ids.sort_unstable();
             assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
         }
-        let mut tree = Self::new(geo, counter);
+        let mut tree = Self::new_tuned(geo, counter, tuning);
         tree.len = points.len();
         if points.is_empty() {
             return tree;
@@ -35,46 +52,43 @@ impl ThreeSidedTree {
         lo: Key,
         hi: Key,
     ) -> (MbId, Vec<Point>, Option<Key>) {
+        let mut ybuf = Vec::new();
+        self.build_slab_in(&mut pts, lo, hi, &mut ybuf)
+    }
+
+    fn build_slab_in(
+        &mut self,
+        pts: &mut [Point],
+        lo: Key,
+        hi: Key,
+        ybuf: &mut Vec<Key>,
+    ) -> (MbId, Vec<Point>, Option<Key>) {
         debug_assert!(pts.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
         let cap = self.cap();
         if pts.len() <= cap {
-            let mains = pts;
+            let mains = pts.to_vec();
             let id = self.make_metablock(&mains, Vec::new(), false);
             return (id, mains, None);
         }
 
-        let mut ys: Vec<Key> = pts.iter().map(Point::ykey).collect();
-        ys.sort_unstable_by(|a, b| b.cmp(a));
-        let threshold = ys[cap - 1];
-        let mut mains = Vec::with_capacity(cap);
-        pts.retain(|p| {
-            if p.ykey() >= threshold {
-                mains.push(*p);
-                false
-            } else {
-                true
-            }
-        });
-        debug_assert_eq!(mains.len(), cap);
-        let rest_yhi = pts.iter().map(Point::ykey).max();
+        let (mains, rest_len, rest_yhi) = extract_top_y(pts, cap, ybuf);
+        let rest = &mut pts[..rest_len];
 
         // The paper divides the remainder into B groups; when n ≪ B³ that
         // over-fragments the leaves (tiny leaves under B-ary fanout), so we
         // split into just enough near-B²-sized groups, still at most B of
         // them — every invariant and bound is preserved, leaves stay packed.
-        let target = pts.len().div_ceil(cap).clamp(2, self.geo.b);
-        let groups = near_equal_groups(pts, target);
-        let mut entries: Vec<ChildEntry> = Vec::with_capacity(groups.len());
-        let mut child_mains: Vec<Vec<Point>> = Vec::with_capacity(groups.len());
-        let mut first_keys: Vec<Key> = groups
-            .iter()
-            .map(|g| g.first().expect("nonempty group").xkey())
-            .collect();
+        let target = rest_len.div_ceil(cap).clamp(2, self.geo.b);
+        let ranges = near_equal_ranges(rest_len, target);
+        let mut first_keys: Vec<Key> = ranges.iter().map(|&(s, _)| rest[s].xkey()).collect();
         first_keys[0] = lo;
-        for (i, group) in groups.into_iter().enumerate() {
+        let mut entries: Vec<ChildEntry> = Vec::with_capacity(ranges.len());
+        let mut child_mains: Vec<Vec<Point>> = Vec::with_capacity(ranges.len());
+        for (i, &(s, e)) in ranges.iter().enumerate() {
             let slab_lo = first_keys[i];
             let slab_hi = first_keys.get(i + 1).copied().unwrap_or(hi);
-            let (child, cmains, sub_yhi) = self.build_slab(group, slab_lo, slab_hi);
+            let (child, cmains, sub_yhi) =
+                self.build_slab_in(&mut rest[s..e], slab_lo, slab_hi, ybuf);
             entries.push(ChildEntry {
                 mb: child,
                 slab_lo,
@@ -87,7 +101,7 @@ impl ThreeSidedTree {
         }
 
         let id = self.make_metablock(&mains, entries, true);
-        self.install_sibling_snapshots(id, &child_mains);
+        self.install_sibling_snapshots(id, child_mains);
         (id, mains, rest_yhi)
     }
 
@@ -108,26 +122,35 @@ impl ThreeSidedTree {
         children: Vec<ChildEntry>,
         internal: bool,
     ) -> TsMeta {
-        let mut by_x = mains.to_vec();
-        ccix_extmem::sort_by_x(&mut by_x);
+        // The static build hands mains over already x-sorted; only the
+        // dynamic reorganisations need a sort.
+        let sorted_storage;
+        let by_x: &[Point] = if mains.windows(2).all(|w| w[0].xkey() < w[1].xkey()) {
+            mains
+        } else {
+            let mut v = mains.to_vec();
+            ccix_extmem::sort_by_x(&mut v);
+            sorted_storage = v;
+            &sorted_storage
+        };
         let vkeys: Vec<Key> = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
-        let vertical = self.store.alloc_run(&by_x);
-        let mut by_y = mains.to_vec();
+        let vertical = self.store.alloc_run(by_x);
+        let mut by_y = by_x.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
         let horizontal = self.store.alloc_run(&by_y);
         // A PST pays off once the mains span multiple blocks; a single
         // block is answered by scanning it.
         let pst = (mains.len() > self.geo.b)
-            .then(|| ExternalPst::build(self.geo, self.counter.clone(), mains.to_vec()));
+            .then(|| ExternalPst::build(self.geo, self.counter.clone(), by_x.to_vec()));
         TsMeta {
             vertical,
             vkeys,
             horizontal,
             n_main: mains.len(),
-            y_lo_main: mains.iter().map(Point::ykey).min(),
-            main_bbox: BBox::of_points(mains),
+            y_lo_main: by_y.last().map(Point::ykey),
+            main_bbox: BBox::of_points(by_x),
             pst,
-            update: None,
+            update: Vec::new(),
             n_upd: 0,
             tsl: None,
             tsr: None,
@@ -139,9 +162,11 @@ impl ThreeSidedTree {
 
     /// Install, for every child, the TSL and TSR snapshots and, on the
     /// parent, the children PST — all from the supplied per-child point
-    /// snapshots.
-    pub(crate) fn install_sibling_snapshots(&mut self, parent: MbId, snapshots: &[Vec<Point>]) {
-        let cap = self.cap();
+    /// snapshots. Each snapshot is y-sorted once; the capped prefix/suffix
+    /// top lists are maintained by merging instead of re-sorting a growing
+    /// accumulator per child.
+    pub(crate) fn install_sibling_snapshots(&mut self, parent: MbId, snapshots: Vec<Vec<Point>>) {
+        let cap = self.ts_cap_points();
         let child_ids: Vec<MbId> = self.metas[parent]
             .as_ref()
             .expect("live parent")
@@ -150,35 +175,35 @@ impl ThreeSidedTree {
             .map(|c| c.mb)
             .collect();
         debug_assert_eq!(child_ids.len(), snapshots.len());
+        let len = child_ids.len();
 
-        let top_of = |acc: &[Point]| {
-            let mut top = acc.to_vec();
-            ccix_extmem::sort_by_y_desc(&mut top);
-            top.truncate(cap);
-            top
-        };
+        let mut sorted = snapshots;
+        for s in &mut sorted {
+            ccix_extmem::sort_by_y_desc(s);
+        }
 
         // Prefix (left-sibling) snapshots.
-        let mut acc: Vec<Point> = Vec::new();
-        let mut tsl: Vec<Option<(Vec<Point>, usize)>> = vec![None; child_ids.len()];
-        for (i, snap) in snapshots.iter().enumerate() {
+        let mut tsl: Vec<Option<(Vec<Point>, bool)>> = vec![None; len];
+        let mut top: Vec<Point> = Vec::new();
+        let mut total = 0usize;
+        for i in 0..len {
             if i > 0 {
-                let top = top_of(&acc);
-                tsl[i] = Some((top.clone(), top.len()));
+                tsl[i] = Some((top.clone(), total > top.len()));
             }
-            acc.extend_from_slice(snap);
+            total += sorted[i].len();
+            top = merge_y_desc_capped(std::mem::take(&mut top), sorted[i].clone(), cap);
         }
-        let all_points = acc;
 
         // Suffix (right-sibling) snapshots.
-        let mut acc: Vec<Point> = Vec::new();
-        let mut tsr: Vec<Option<(Vec<Point>, usize)>> = vec![None; child_ids.len()];
-        for (i, snap) in snapshots.iter().enumerate().rev() {
-            if i + 1 < child_ids.len() {
-                let top = top_of(&acc);
-                tsr[i] = Some((top.clone(), top.len()));
+        let mut tsr: Vec<Option<(Vec<Point>, bool)>> = vec![None; len];
+        let mut top: Vec<Point> = Vec::new();
+        let mut total = 0usize;
+        for i in (0..len).rev() {
+            if i + 1 < len {
+                tsr[i] = Some((top.clone(), total > top.len()));
             }
-            acc.extend_from_slice(snap);
+            total += sorted[i].len();
+            top = merge_y_desc_capped(std::mem::take(&mut top), sorted[i].clone(), cap);
         }
 
         for (i, &child) in child_ids.iter().enumerate() {
@@ -189,18 +214,29 @@ impl ThreeSidedTree {
             if let Some(old) = meta.tsr.take() {
                 self.store.free_run(&old.pages);
             }
-            if let Some((pts, n)) = tsl[i].take() {
+            if let Some((pts, truncated)) = tsl[i].take() {
                 let pages = self.store.alloc_run(&pts);
-                meta.tsl = Some(TsInfo { pages, n });
+                meta.tsl = Some(TsInfo {
+                    pages,
+                    n: pts.len(),
+                    truncated,
+                });
             }
-            if let Some((pts, n)) = tsr[i].take() {
+            if let Some((pts, truncated)) = tsr[i].take() {
                 let pages = self.store.alloc_run(&pts);
-                meta.tsr = Some(TsInfo { pages, n });
+                meta.tsr = Some(TsInfo {
+                    pages,
+                    n: pts.len(),
+                    truncated,
+                });
             }
             self.put_meta(child, meta);
         }
 
-        // The children PST over every child's snapshot points (≤ B³).
+        // The children PST over every child's snapshot points (≤ B³). This
+        // one is deliberately uncapped: the fork-node route answers from it
+        // alone, so it must cover every sibling point.
+        let all_points: Vec<Point> = sorted.into_iter().flatten().collect();
         let mut pm = self.take_meta(parent);
         pm.children_pst = Some(ExternalPst::build(
             self.geo,

@@ -1,11 +1,13 @@
 //! Semi-dynamic insertion for the 3-sided tree (Lemma 4.4).
 //!
 //! The proof of Lemma 4.4 "parallels that of Lemma 3.6": the same routing,
-//! update blocks, level-I/II reorganisations, TS reorganisations and
+//! update buffers, level-I/II reorganisations, TS reorganisations and
 //! branching splits as §3.2, with the corner structures replaced by
 //! Lemma 4.1 PSTs. A level-I reorganisation additionally rebuilds the
 //! metablock's own PST; a TS reorganisation also rebuilds the parent's
-//! children PST; the TD tracking structure is a PST with a staging block.
+//! children PST; the TD tracking structure is a PST with a staging area.
+//! Batching and the pinned-path accounting mirror the diagonal tree (see
+//! `crate::diag::insert`).
 
 use ccix_extmem::Point;
 use ccix_pst::ExternalPst;
@@ -13,6 +15,13 @@ use ccix_pst::ExternalPst;
 use super::{ThreeSidedTree, TsMeta, TsTd};
 use crate::bbox::BBox;
 use crate::diag::{ChildEntry, MbId, FULL_RANGE};
+
+/// Record `mb` as dirty (dedup'd) for the end-of-operation writeback.
+fn mark_dirty(dirty: &mut Vec<MbId>, mb: MbId) {
+    if !dirty.contains(&mb) {
+        dirty.push(mb);
+    }
+}
 
 impl ThreeSidedTree {
     /// Insert a point. Amortised
@@ -31,9 +40,13 @@ impl ThreeSidedTree {
     fn insert_routed(&mut self, above: Vec<MbId>, start: MbId, p: Point) {
         let mut path = above;
         let fix_from = path.len();
+        let mut pinned: Vec<MbId> = Vec::new();
+        let mut dirty: Vec<MbId> = Vec::new();
+
+        // Phase 1 — descend, pinning each control block on the way down.
         let mut cur = start;
         loop {
-            let meta = self.meta(cur);
+            let meta = self.pin_meta(&mut pinned, cur);
             let lands = meta.is_leaf() || meta.y_lo_main.is_none_or(|ylo| p.ykey() >= ylo);
             if lands {
                 break;
@@ -49,69 +62,124 @@ impl ThreeSidedTree {
         }
         let target = cur;
 
+        // Phase 2 — refresh ancestor caches in memory, marking real changes.
         for i in fix_from..path.len() {
             let a = path[i];
             let on_path_child = path.get(i + 1).copied().unwrap_or(target);
-            let mut m = self.take_meta(a);
+            let m = self.metas[a].as_mut().expect("pinned ancestor is live");
             let e = m
                 .children
                 .iter_mut()
                 .find(|c| c.mb == on_path_child)
                 .expect("descent child present in parent");
-            if on_path_child == target {
-                e.upd_ymax = Some(e.upd_ymax.map_or(p.ykey(), |y| y.max(p.ykey())));
+            let changed = if on_path_child == target {
+                if e.upd_ymax.is_none_or(|y| p.ykey() > y) {
+                    e.upd_ymax = Some(p.ykey());
+                    true
+                } else {
+                    false
+                }
+            } else if e.sub_yhi.is_none_or(|y| p.ykey() > y) {
+                e.sub_yhi = Some(p.ykey());
+                true
             } else {
-                e.sub_yhi = Some(e.sub_yhi.map_or(p.ykey(), |y| y.max(p.ykey())));
+                false
+            };
+            if changed {
+                mark_dirty(&mut dirty, a);
             }
-            self.put_meta(a, m);
         }
 
-        let mut m = self.take_meta(target);
-        match m.update {
+        // Phase 3 — append to the target's update buffer.
+        let b = self.geo.b;
+        let open_page = {
+            let m = self.metas[target].as_ref().expect("target is live");
+            (!m.n_upd.is_multiple_of(b)).then(|| *m.update.last().expect("partial page exists"))
+        };
+        match open_page {
             Some(pg) => {
                 let mut pts = self.store.read(pg).to_vec();
                 pts.push(p);
                 self.store.write(pg, pts);
             }
-            None => m.update = Some(self.store.alloc(vec![p])),
+            None => {
+                let pg = self.store.alloc(vec![p]);
+                self.metas[target]
+                    .as_mut()
+                    .expect("target is live")
+                    .update
+                    .push(pg);
+            }
         }
-        m.n_upd += 1;
-        let update_full = m.n_upd >= self.geo.b;
-        self.put_meta(target, m);
+        let update_full = {
+            let m = self.metas[target].as_mut().expect("target is live");
+            m.n_upd += 1;
+            m.n_upd >= self.upd_cap_pages() * b
+        };
+        mark_dirty(&mut dirty, target);
 
-        if let Some(&parent) = path.last() {
-            self.td_add(parent, p);
+        // Phase 4 — track the insert in the parent's TD structure.
+        let parent = path.last().copied();
+        let mut td_total = 0usize;
+        let mut staged_full = false;
+        if let Some(par) = parent {
+            self.pin_meta(&mut pinned, par);
+            let open_page = {
+                let td = self.metas[par]
+                    .as_ref()
+                    .expect("parent is live")
+                    .td
+                    .as_ref();
+                let td = td.expect("interior metablock carries a TD");
+                (!td.n_staged.is_multiple_of(b))
+                    .then(|| *td.staged.last().expect("partial page exists"))
+            };
+            match open_page {
+                Some(pg) => {
+                    let mut pts = self.store.read(pg).to_vec();
+                    pts.push(p);
+                    self.store.write(pg, pts);
+                }
+                None => {
+                    let pg = self.store.alloc(vec![p]);
+                    self.metas[par]
+                        .as_mut()
+                        .expect("parent is live")
+                        .td
+                        .as_mut()
+                        .expect("TD present")
+                        .staged
+                        .push(pg);
+                }
+            }
+            let td = self.metas[par]
+                .as_mut()
+                .expect("parent is live")
+                .td
+                .as_mut()
+                .expect("TD present");
+            td.n_staged += 1;
+            td_total = td.total();
+            staged_full = td.n_staged >= self.td_cap_pages() * b;
+            mark_dirty(&mut dirty, par);
         }
 
+        // Phase 5 — write back every dirty control block.
+        self.flush_dirty(&dirty);
+
+        // Phase 6 — amortised triggers.
+        if let Some(par) = parent {
+            if td_total >= self.cap() {
+                self.ts_reorg(par);
+            } else if staged_full {
+                self.td_rebuild(par);
+            }
+        }
         if update_full && self.metas[target].is_some() {
-            let parent = path.last().copied();
             let n_main = self.level_i(target, parent);
             if n_main >= 2 * self.cap() {
                 self.level_ii(target, &path);
             }
-        }
-    }
-
-    fn td_add(&mut self, parent: MbId, p: Point) {
-        let mut m = self.take_meta(parent);
-        let td = m.td.as_mut().expect("interior metablock carries a TD");
-        match td.staged {
-            Some(pg) => {
-                let mut pts = self.store.read(pg).to_vec();
-                pts.push(p);
-                self.store.write(pg, pts);
-            }
-            None => td.staged = Some(self.store.alloc(vec![p])),
-        }
-        td.n_staged += 1;
-        let total = td.total();
-        let staged_full = td.n_staged >= self.geo.b;
-        self.put_meta(parent, m);
-
-        if total >= self.cap() {
-            self.ts_reorg(parent);
-        } else if staged_full {
-            self.td_rebuild(parent);
         }
     }
 
@@ -122,10 +190,11 @@ impl ThreeSidedTree {
             Some(pst) => pst.collect_points(), // pages freed on drop
             None => Vec::new(),
         };
-        if let Some(pg) = td.staged.take() {
+        for &pg in &td.staged {
             pts.extend_from_slice(self.store.read(pg));
-            self.store.free(pg);
         }
+        self.store.free_run(&td.staged);
+        td.staged.clear();
         td.n_staged = 0;
         td.n_built = pts.len();
         td.pst = Some(ExternalPst::build(self.geo, self.counter.clone(), pts));
@@ -145,13 +214,11 @@ impl ThreeSidedTree {
             .collect();
         let mut m = self.take_meta(parent);
         if let Some(td) = m.td.as_mut() {
-            if let Some(pg) = td.staged.take() {
-                self.store.free(pg);
-            }
+            self.store.free_run(&td.staged);
             *td = TsTd::default(); // old TD PST pages freed on drop
         }
         self.put_meta(parent, m);
-        self.install_sibling_snapshots(parent, &snapshots);
+        self.install_sibling_snapshots(parent, snapshots);
     }
 
     fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
@@ -177,9 +244,8 @@ impl ThreeSidedTree {
         self.store.free_run(&m.vertical);
         self.store.free_run(&m.horizontal);
         m.pst = None; // pages freed on drop
-        if let Some(pg) = m.update.take() {
-            self.store.free(pg);
-        }
+        self.store.free_run(&m.update);
+        m.update.clear();
         m.n_upd = 0;
 
         let mut by_x = pts.to_vec();
@@ -191,13 +257,9 @@ impl ThreeSidedTree {
         m.horizontal = self.store.alloc_run(&by_y);
         m.n_main = pts.len();
         m.main_bbox = BBox::of_points(pts);
-        m.y_lo_main = pts.iter().map(Point::ykey).min();
+        m.y_lo_main = by_y.last().map(Point::ykey);
         if pts.len() > self.geo.b {
-            m.pst = Some(ExternalPst::build(
-                self.geo,
-                self.counter.clone(),
-                pts.to_vec(),
-            ));
+            m.pst = Some(ExternalPst::build(self.geo, self.counter.clone(), by_x));
         }
     }
 
@@ -214,7 +276,7 @@ impl ThreeSidedTree {
         let mut m = self.take_meta(mb);
         debug_assert_eq!(m.n_upd, 0, "level-II runs after level-I");
         let mut pts = self.read_run(&m.horizontal);
-        ccix_extmem::sort_by_y_desc(&mut pts);
+        debug_assert!(pts.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
         let bottom = pts.split_off(self.cap());
         let top = pts;
         self.rebuild_orgs(&mut m, &top);

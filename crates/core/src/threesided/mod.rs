@@ -40,12 +40,13 @@ use crate::diag::{ChildEntry, MbId, TsInfo};
 
 /// TD insert-tracking structure of an interior metablock: the points
 /// inserted into its children since the last TS reorganisation, queryable as
-/// a PST plus a one-block staging area.
+/// a PST plus a staging area of at most
+/// [`ThreeSidedTree::td_cap_pages`] pages.
 #[derive(Debug, Default)]
 pub(crate) struct TsTd {
     pub pst: Option<ExternalPst>,
     pub n_built: usize,
-    pub staged: Option<PageId>,
+    pub staged: Vec<PageId>,
     pub n_staged: usize,
 }
 
@@ -70,8 +71,9 @@ pub(crate) struct TsMeta {
     /// Lemma 4.1 structure over the mains (absent for ≤ B mains, where the
     /// single vertical block is scanned instead).
     pub pst: Option<ExternalPst>,
-    /// Update block (≤ B buffered inserts).
-    pub update: Option<PageId>,
+    /// Update buffer: buffered inserts, at most
+    /// [`ThreeSidedTree::upd_cap_pages`] pages of `B`.
+    pub update: Vec<PageId>,
     pub n_upd: usize,
     /// Snapshot of the top `B²` points of the left siblings.
     pub tsl: Option<TsInfo>,
@@ -109,11 +111,18 @@ pub struct ThreeSidedTree {
     pub(crate) dead_metas: usize,
     pub(crate) root: Option<MbId>,
     pub(crate) len: usize,
+    pub(crate) tuning: crate::Tuning,
 }
 
 impl ThreeSidedTree {
-    /// Create an empty tree.
+    /// Create an empty tree with the measured default [`crate::Tuning`].
     pub fn new(geo: Geometry, counter: IoCounter) -> Self {
+        Self::new_tuned(geo, counter, crate::Tuning::default())
+    }
+
+    /// Create an empty tree with explicit tuning (the corner-structure knob
+    /// is unused here; §4 replaces corner structures with PSTs).
+    pub fn new_tuned(geo: Geometry, counter: IoCounter, tuning: crate::Tuning) -> Self {
         Self {
             geo,
             counter: counter.clone(),
@@ -122,6 +131,33 @@ impl ThreeSidedTree {
             dead_metas: 0,
             root: None,
             len: 0,
+            tuning,
+        }
+    }
+
+    /// The tree's write-path tuning.
+    pub fn tuning(&self) -> crate::Tuning {
+        self.tuning
+    }
+
+    /// Update-buffer budget in pages (≥ 1); see the diagonal tree's clamp
+    /// rationale.
+    pub(crate) fn upd_cap_pages(&self) -> usize {
+        self.tuning
+            .update_batch_pages
+            .clamp(1, (self.geo.b / 2).max(1))
+    }
+
+    /// TD staging budget in pages (≥ 1).
+    pub(crate) fn td_cap_pages(&self) -> usize {
+        self.tuning.td_batch_pages.clamp(1, (self.geo.b / 2).max(1))
+    }
+
+    /// TSL/TSR snapshot budget in points (≥ B).
+    pub(crate) fn ts_cap_points(&self) -> usize {
+        match self.tuning.ts_snapshot_pages {
+            None => self.geo.b2(),
+            Some(pages) => (pages.max(1) * self.geo.b).min(self.geo.b2()),
         }
     }
 
@@ -183,6 +219,22 @@ impl ThreeSidedTree {
         self.metas[mb].as_ref().expect("read of freed metablock")
     }
 
+    /// Pinned read for one multi-step operation; see the diagonal tree's
+    /// [`crate::MetablockTree::pin_meta`] for the accounting argument.
+    pub(crate) fn pin_meta(&self, pinned: &mut Vec<MbId>, mb: MbId) -> &TsMeta {
+        if !pinned.contains(&mb) {
+            self.counter.add_reads(1);
+            pinned.push(mb);
+        }
+        self.metas[mb].as_ref().expect("pinned metablock is live")
+    }
+
+    /// Charge one write per distinct dirty control block of a pinned
+    /// operation.
+    pub(crate) fn flush_dirty(&self, dirty: &[MbId]) {
+        self.counter.add_writes(dirty.len() as u64);
+    }
+
     pub(crate) fn alloc_meta(&mut self, meta: TsMeta) -> MbId {
         self.counter.add_writes(1);
         // Never reuse slots (reliable liveness; see the diagonal tree).
@@ -195,9 +247,7 @@ impl ThreeSidedTree {
         self.dead_metas += 1;
         self.store.free_run(&meta.vertical);
         self.store.free_run(&meta.horizontal);
-        if let Some(pg) = meta.update {
-            self.store.free(pg);
-        }
+        self.store.free_run(&meta.update);
         if let Some(ts) = &meta.tsl {
             self.store.free_run(&ts.pages);
         }
@@ -205,9 +255,7 @@ impl ThreeSidedTree {
             self.store.free_run(&ts.pages);
         }
         if let Some(td) = &meta.td {
-            if let Some(pg) = td.staged {
-                self.store.free(pg);
-            }
+            self.store.free_run(&td.staged);
         }
         // PSTs own their pages; dropping the meta releases them.
         meta
@@ -225,7 +273,7 @@ impl ThreeSidedTree {
 
     pub(crate) fn collect_points(&self, meta: &TsMeta) -> Vec<Point> {
         let mut pts = self.read_run(&meta.horizontal);
-        if let Some(pg) = meta.update {
+        for &pg in &meta.update {
             pts.extend_from_slice(self.store.read(pg));
         }
         pts

@@ -214,7 +214,7 @@ impl ThreeSidedTree {
                 scanned.push(*p);
             }
         }
-        if crossed || ts.n < self.cap() {
+        if crossed || !ts.truncated {
             // Crossing case: the snapshot holds every middle-sibling point
             // with y ≥ y0 as of the last TS reorganisation; TD holds the
             // rest. Restrict both to the straddling middles' slabs.
@@ -280,7 +280,7 @@ impl ThreeSidedTree {
             pst.query_into(x1, x2, y0, &mut tmp);
             out.extend(tmp.into_iter().filter(|p| filter(p)));
         }
-        if let Some(pg) = td.staged {
+        for &pg in &td.staged {
             for p in self.store.read(pg) {
                 if p.x >= x1 && p.x <= x2 && p.y >= y0 && filter(p) {
                     out.push(*p);
@@ -334,7 +334,7 @@ impl ThreeSidedTree {
     }
 
     fn scan_update(&self, meta: &TsMeta, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
-        if let Some(pg) = meta.update {
+        for &pg in &meta.update {
             for p in self.store.read(pg) {
                 if p.x >= x1 && p.x <= x2 && p.y >= y0 {
                     out.push(*p);

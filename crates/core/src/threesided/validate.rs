@@ -114,11 +114,13 @@ impl ThreeSidedTree {
             assert!(meta.n_main <= self.geo.b, "multi-block mains without a PST");
         }
 
-        let update = meta
-            .update
-            .map(|pg| self.store.read_unbilled(pg).to_vec())
-            .unwrap_or_default();
+        let update = self.pages_unbilled(&meta.update);
         assert_eq!(update.len(), meta.n_upd, "update count mismatch");
+        assert!(
+            update.len() <= self.upd_cap_pages() * self.geo.b,
+            "update buffer overfull: {} points",
+            update.len()
+        );
         for p in mains.iter().chain(&update) {
             assert!(
                 p.xkey() >= slab_lo && p.xkey() < slab_hi,
@@ -153,10 +155,7 @@ impl ThreeSidedTree {
                     BBox::of_points(&child_mains),
                     "stale child main bbox"
                 );
-                let child_upd = child_meta
-                    .update
-                    .map(|pg| self.store.read_unbilled(pg).to_vec())
-                    .unwrap_or_default();
+                let child_upd = self.pages_unbilled(&child_meta.update);
                 assert_eq!(
                     c.upd_ymax,
                     child_upd.iter().map(Point::ykey).max(),
@@ -193,7 +192,7 @@ impl ThreeSidedTree {
                     td_ids.insert(p.id);
                 }
             }
-            if let Some(pg) = td.staged {
+            for &pg in &td.staged {
                 for p in self.store.read_unbilled(pg) {
                     td_ids.insert(p.id);
                 }
@@ -205,9 +204,7 @@ impl ThreeSidedTree {
             .map(|c| {
                 let cm = self.meta_unbilled(c.mb);
                 let mut pts = self.pages_unbilled(&cm.horizontal);
-                if let Some(pg) = cm.update {
-                    pts.extend_from_slice(self.store.read_unbilled(pg));
-                }
+                pts.extend(self.pages_unbilled(&cm.update));
                 pts
             })
             .collect();
@@ -219,12 +216,13 @@ impl ThreeSidedTree {
                 ts_points.windows(2).all(|w| w[0].ykey() > w[1].ykey()),
                 "{what} out of order"
             );
+            assert!(ts.n <= self.ts_cap_points(), "{what} too large");
             let ts_ids: BTreeSet<u64> = ts_points.iter().map(|p| p.id).collect();
             let ts_min = ts_points.last().map(Point::ykey);
             for p in covered.iter().flatten() {
                 let ok = ts_ids.contains(&p.id)
                     || td_ids.contains(&p.id)
-                    || (ts.n == self.cap() && ts_min.is_some_and(|m| p.ykey() < m));
+                    || (ts.truncated && ts_min.is_some_and(|m| p.ykey() < m));
                 assert!(ok, "{what} coverage hole: {p:?}");
             }
         };
@@ -273,9 +271,7 @@ impl ThreeSidedTree {
     fn collect_unbilled(&self, mb: MbId, out: &mut Vec<Point>) {
         let meta = self.meta_unbilled(mb);
         out.extend(self.pages_unbilled(&meta.horizontal));
-        if let Some(pg) = meta.update {
-            out.extend_from_slice(self.store.read_unbilled(pg));
-        }
+        out.extend(self.pages_unbilled(&meta.update));
         for c in &meta.children {
             self.collect_unbilled(c.mb, out);
         }

@@ -59,6 +59,25 @@ impl Geometry {
     }
 }
 
+/// Split the index range `0..n` into at most `k` nonempty contiguous ranges
+/// of near-equal size (sizes differ by at most one). Used wherever records
+/// are spread over pages or slabs evenly: metablock slab grouping, B+-tree
+/// leaf packing at partial fill.
+pub fn near_equal_ranges(n: usize, k: usize) -> Vec<(usize, usize)> {
+    let groups = k.min(n).max(1);
+    let base = n / groups;
+    let extra = n % groups;
+    let mut out = Vec::with_capacity(groups);
+    let mut start = 0usize;
+    for g in 0..groups {
+        let size = base + usize::from(g < extra);
+        out.push((start, start + size));
+        start += size;
+    }
+    debug_assert_eq!(start, n);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +115,26 @@ mod tests {
         assert_eq!(Geometry::log2(3), 2);
         assert_eq!(Geometry::log2(1024), 10);
         assert_eq!(Geometry::log2(1025), 11);
+    }
+
+    #[test]
+    fn ranges_are_near_equal_and_cover() {
+        let ranges = near_equal_ranges(103, 10);
+        assert_eq!(ranges.len(), 10);
+        let sizes: Vec<usize> = ranges.iter().map(|&(s, e)| e - s).collect();
+        assert!(sizes.iter().all(|&s| s == 10 || s == 11));
+        assert_eq!(sizes.iter().sum::<usize>(), 103);
+        assert_eq!(ranges.first().unwrap().0, 0);
+        assert_eq!(ranges.last().unwrap().1, 103);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].1, w[1].0, "contiguous");
+        }
+    }
+
+    #[test]
+    fn fewer_items_than_ranges() {
+        let ranges = near_equal_ranges(3, 10);
+        assert_eq!(ranges.len(), 3);
+        assert!(ranges.iter().all(|&(s, e)| e - s == 1));
     }
 }

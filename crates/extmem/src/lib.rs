@@ -39,7 +39,7 @@ mod stats;
 mod store;
 
 pub use disk::{Disk, PageBuf};
-pub use geometry::Geometry;
+pub use geometry::{near_equal_ranges, Geometry};
 pub use point::{sort_by_x, sort_by_y_desc, Point};
 pub use pool::BufferPool;
 pub use stats::{IoCounter, IoSnapshot, IoStats};

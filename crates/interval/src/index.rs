@@ -1,8 +1,21 @@
-//! The generalized one-dimensional index of §2.1, realised as a B+-tree on
-//! left endpoints plus a metablock tree for stabbing queries.
+//! The generalized one-dimensional index of §2.1.
+//!
+//! Stabbing queries are answered by a metablock tree over the points
+//! `(lo, hi)` (Proposition 2.2's reduction). For the left-endpoint range of
+//! an intersection query there are two endpoint modes:
+//!
+//! * [`EndpointMode::Slab`] (default) answers it from the metablock tree
+//!   itself — the slab decomposition is x-ordered, so
+//!   [`ccix_core::MetablockTree::x_range_into`] reports left endpoints in
+//!   `O(log_B n + t/B)` I/Os with **no second copy of the data**. This cuts
+//!   both the index's space (the B+-tree was a full extra `n/B`-page copy)
+//!   and its insert cost (one structure to maintain instead of two).
+//! * [`EndpointMode::BTree`] keeps the paper's §2.1 layout: a B+-tree on
+//!   left endpoints with covering `(lo, id, hi)` records, bulk-loaded at a
+//!   tunable leaf fill factor.
 
 use ccix_bptree::{BPlusTree, Entry};
-use ccix_core::MetablockTree;
+use ccix_core::{MetablockTree, Tuning};
 use ccix_extmem::{Disk, Geometry, IoCounter, Point};
 
 /// A closed interval with an application id (a *generalized key*: the
@@ -33,6 +46,41 @@ impl Interval {
     }
 }
 
+/// How the index answers left-endpoint range queries (the Type 1/2 part of
+/// an intersection query).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EndpointMode {
+    /// Answer from the metablock tree's slab order; no endpoint B+-tree.
+    #[default]
+    Slab,
+    /// Keep a B+-tree of covering `(lo, id, hi)` records (§2.1's layout).
+    BTree,
+}
+
+/// Construction options for [`IntervalIndex`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct IntervalOptions {
+    /// Endpoint-range strategy.
+    pub endpoints: EndpointMode,
+    /// Write-path/space tuning for the metablock tree.
+    pub tuning: Tuning,
+    /// Leaf fill factor (percent, 50–100) for the endpoint B+-tree's bulk
+    /// load; ignored in slab mode. `None` packs leaves full.
+    pub btree_leaf_fill: Option<usize>,
+}
+
+impl IntervalOptions {
+    /// The paper's §2.1 layout: endpoint B+-tree plus the paper's buffer
+    /// constants.
+    pub fn paper() -> Self {
+        Self {
+            endpoints: EndpointMode::BTree,
+            tuning: Tuning::paper(),
+            btree_leaf_fill: None,
+        }
+    }
+}
+
 /// External dynamic interval management (Proposition 2.2 + Theorem 3.7).
 ///
 /// Semi-dynamic: supports insertion; deletion is the paper's open problem
@@ -41,8 +89,8 @@ impl Interval {
 pub struct IntervalIndex {
     geo: Geometry,
     counter: IoCounter,
-    disk: Disk,
-    endpoints: BPlusTree,
+    /// Endpoint B+-tree with its backing disk ([`EndpointMode::BTree`] only).
+    endpoints: Option<(Disk, BPlusTree)>,
     stab: MetablockTree,
     len: usize,
 }
@@ -54,36 +102,74 @@ impl IntervalIndex {
         (24 * geo.b + 7).max(103)
     }
 
-    /// Create an empty index.
+    /// Create an empty index with the default (slab-endpoint, tuned) layout.
     pub fn new(geo: Geometry, counter: IoCounter) -> Self {
-        let mut disk = Disk::new(Self::page_size(geo), counter.clone());
-        let endpoints = BPlusTree::new(&mut disk);
-        let stab = MetablockTree::new(geo, counter.clone());
+        Self::new_with(geo, counter, IntervalOptions::default())
+    }
+
+    /// Create an empty index with explicit options.
+    pub fn new_with(geo: Geometry, counter: IoCounter, options: IntervalOptions) -> Self {
+        let endpoints = match options.endpoints {
+            EndpointMode::Slab => None,
+            EndpointMode::BTree => {
+                let mut disk = Disk::new(Self::page_size(geo), counter.clone());
+                let tree = BPlusTree::new(&mut disk);
+                Some((disk, tree))
+            }
+        };
+        let stab = MetablockTree::new_tuned(
+            geo,
+            counter.clone(),
+            ccix_core::DiagOptions::default(),
+            options.tuning,
+        );
         Self {
             geo,
             counter,
-            disk,
             endpoints,
             stab,
             len: 0,
         }
     }
 
-    /// Bulk-build from a set of intervals (ids must be unique).
+    /// Bulk-build from a set of intervals (ids must be unique), with the
+    /// default layout.
     pub fn build(geo: Geometry, counter: IoCounter, intervals: &[Interval]) -> Self {
-        let mut disk = Disk::new(Self::page_size(geo), counter.clone());
-        let mut entries: Vec<Entry> = intervals
-            .iter()
-            .map(|iv| Entry::with_aux(iv.lo, iv.id, iv.hi as u64))
-            .collect();
-        entries.sort_unstable();
-        let endpoints = BPlusTree::bulk_load(&mut disk, &entries);
+        Self::build_with(geo, counter, intervals, IntervalOptions::default())
+    }
+
+    /// Bulk-build with explicit options.
+    pub fn build_with(
+        geo: Geometry,
+        counter: IoCounter,
+        intervals: &[Interval],
+        options: IntervalOptions,
+    ) -> Self {
+        let endpoints = match options.endpoints {
+            EndpointMode::Slab => None,
+            EndpointMode::BTree => {
+                let mut disk = Disk::new(Self::page_size(geo), counter.clone());
+                let mut entries: Vec<Entry> = intervals
+                    .iter()
+                    .map(|iv| Entry::with_aux(iv.lo, iv.id, iv.hi as u64))
+                    .collect();
+                entries.sort_unstable();
+                let fill = options.btree_leaf_fill.unwrap_or(100);
+                let tree = BPlusTree::bulk_load_with_fill(&mut disk, &entries, fill);
+                Some((disk, tree))
+            }
+        };
         let points: Vec<Point> = intervals.iter().map(Interval::point).collect();
-        let stab = MetablockTree::build(geo, counter.clone(), points);
+        let stab = MetablockTree::build_tuned(
+            geo,
+            counter.clone(),
+            points,
+            ccix_core::DiagOptions::default(),
+            options.tuning,
+        );
         Self {
             geo,
             counter,
-            disk,
             endpoints,
             stab,
             len: intervals.len(),
@@ -105,22 +191,27 @@ impl IntervalIndex {
         self.geo
     }
 
-    /// The shared I/O counter (covers both component structures).
+    /// The shared I/O counter (covers every component structure).
     pub fn counter(&self) -> &IoCounter {
         &self.counter
     }
 
-    /// Disk blocks occupied by both structures.
+    /// Disk blocks occupied by all component structures.
     pub fn space_pages(&self) -> usize {
-        self.disk.pages_in_use() + self.stab.space_pages()
+        let endpoints = self
+            .endpoints
+            .as_ref()
+            .map_or(0, |(disk, _)| disk.pages_in_use());
+        endpoints + self.stab.space_pages()
     }
 
     /// Insert `[lo, hi]` with `id`. Amortised
     /// `O(log_B n + (log_B n)²/B)` I/Os.
     pub fn insert(&mut self, lo: i64, hi: i64, id: u64) {
         let iv = Interval::new(lo, hi, id);
-        self.endpoints
-            .insert_entry(&mut self.disk, Entry::with_aux(iv.lo, iv.id, iv.hi as u64));
+        if let Some((disk, tree)) = &mut self.endpoints {
+            tree.insert_entry(disk, Entry::with_aux(iv.lo, iv.id, iv.hi as u64));
+        }
         self.stab.insert(iv.point());
         self.len += 1;
     }
@@ -158,10 +249,20 @@ impl IntervalIndex {
         // avoids double-reporting intervals with lo == q1, which the
         // stabbing query already returned.
         if q1 < q2 {
-            for e in self.endpoints.range_entries(&self.disk, q1 + 1, q2) {
-                // The leaf entry is a covering record: key = lo, value = id,
-                // aux = hi, so full intervals are reported with no extra I/O.
-                out.push(Interval::new(e.key, e.aux as i64, e.value));
+            match &self.endpoints {
+                Some((disk, tree)) => {
+                    for e in tree.range_entries(disk, q1 + 1, q2) {
+                        // The leaf entry is a covering record: key = lo,
+                        // value = id, aux = hi, so full intervals are
+                        // reported with no extra I/O.
+                        out.push(Interval::new(e.key, e.aux as i64, e.value));
+                    }
+                }
+                None => {
+                    let mut pts = Vec::new();
+                    self.stab.x_range_into(q1 + 1, q2, &mut pts);
+                    out.extend(pts.into_iter().map(|p| Interval::new(p.x, p.y, p.id)));
+                }
             }
         }
         out
@@ -182,5 +283,33 @@ mod tests {
     #[should_panic(expected = "out of order")]
     fn reversed_interval_rejected() {
         let _ = Interval::new(5, 2, 1);
+    }
+
+    #[test]
+    fn slab_and_btree_modes_agree() {
+        let ivs: Vec<Interval> = (0..300)
+            .map(|i| {
+                let lo = (i * 37) % 500;
+                Interval::new(lo, lo + (i * 13) % 90, i as u64)
+            })
+            .collect();
+        let slab = IntervalIndex::build(Geometry::new(8), IoCounter::new(), &ivs);
+        let btree = IntervalIndex::build_with(
+            Geometry::new(8),
+            IoCounter::new(),
+            &ivs,
+            IntervalOptions::paper(),
+        );
+        assert!(
+            slab.space_pages() < btree.space_pages(),
+            "slab mode drops a copy"
+        );
+        for q in (-10..610).step_by(7) {
+            let mut a = slab.intersecting(q, q + 25);
+            let mut b = btree.intersecting(q, q + 25);
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b, "q={q}");
+        }
     }
 }

@@ -41,5 +41,5 @@
 mod index;
 mod naive;
 
-pub use index::{Interval, IntervalIndex};
+pub use index::{EndpointMode, Interval, IntervalIndex, IntervalOptions};
 pub use naive::NaiveIntervalStore;
