@@ -1,0 +1,18 @@
+//! Experiment binary: see `ccix_bench::experiments::eqb_query_batch`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_query_baseline.json` (the batched-read perf baseline):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_query_batch -- --json > BENCH_query_baseline.json
+//! ```
+fn main() {
+    let tables = ccix_bench::experiments::eqb_query_batch();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

@@ -1,17 +1,29 @@
-//! CI perf gate: diff two `exp_interval --json` outputs and fail on any
-//! I/O or space regression.
+//! CI perf gate: diff two experiment `--json` outputs and fail on any I/O,
+//! space or wall-clock-budget regression.
 //!
 //! The workspace's I/O counts are bit-reproducible (seeded workloads, exact
-//! counters), so this is an *exact* comparison, not a flaky timing gate: a
-//! rise of more than 5% in any gated column on any (B, n) row is a real
-//! algorithmic regression. On top of the relative diff, the n=500k row must
-//! satisfy the absolute budgets the write-path rework ships with: insert
-//! ≤ 15 I/Os amortised, stabbing ≤ 15.8 I/Os, index pages ≤ 4× the
-//! heap-file scan.
+//! counters), so the I/O comparison is *exact*, not a flaky timing gate: a
+//! rise of more than 5% in any gated column on any keyed row is a real
+//! algorithmic regression. Two experiment tables are understood, each with
+//! its own absolute budgets; a run gates whichever of them its baseline
+//! file contains:
+//!
+//! * **E9** (`exp_interval --json`, baseline `BENCH_baseline.json`) — the
+//!   n=500k row must satisfy the read/write-path budgets: stabbing ≤ 12
+//!   I/Os (PR 3's pinned/packed read path), insert ≤ 15 I/Os amortised,
+//!   index pages ≤ 4× the heap-file scan.
+//! * **EQB** (`exp_query_batch --json`, baseline
+//!   `BENCH_query_baseline.json`) — the batched engine's budgets at n=500k,
+//!   B=32: uniform single-query ≤ 12 I/Os, adversarial-correlated flood
+//!   ≤ 6 I/Os amortised at batch = 64; plus a generous wall-clock *smoke*
+//!   ceiling on the corner-structure build (EQB-build — absolute only,
+//!   timings are not diffed).
 //!
 //! ```text
 //! cargo run --release -p ccix-bench --bin exp_interval -- --json > new.json
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_baseline.json new.json
+//! cargo run --release -p ccix-bench --bin exp_query_batch -- --json > newq.json
+//! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_query_baseline.json newq.json
 //! ```
 //!
 //! Std-only (the workspace has no registry access): the JSON reader below
@@ -20,14 +32,73 @@
 
 use std::process::ExitCode;
 
-/// Columns gated relative to the baseline (lower is better).
-const GATED_COLUMNS: &[&str] = &["index q I/O", "index ins I/O", "index pages"];
 /// Relative headroom before a rise counts as a regression.
 const TOLERANCE_PCT: f64 = 5.0;
-/// Absolute budgets for the n=500000 row: (column, bound).
-const ABSOLUTE_BUDGETS: &[(&str, f64)] = &[("index ins I/O", 15.0), ("index q I/O", 15.8)];
-/// Space budget: index pages ≤ this multiple of scan pages, at n=500000.
+/// Space budget: index pages ≤ this multiple of scan pages, at n=500000
+/// (E9 only).
 const SPACE_FACTOR: f64 = 4.0;
+
+/// Row selector for an absolute budget: every (column, value) pair must
+/// match.
+type Selector = &'static [(&'static str, &'static str)];
+
+/// One gated experiment table.
+struct Spec {
+    /// Matched against the table's title.
+    title_prefix: &'static str,
+    /// Columns whose values form a row's identity.
+    key_cols: &'static [&'static str],
+    /// Columns gated relative to the baseline (lower is better).
+    gated: &'static [&'static str],
+    /// Absolute budgets: rows matching the selector must keep
+    /// `column ≤ bound`.
+    absolute: &'static [(Selector, &'static str, f64)],
+    /// E9's special rule: index pages ≤ SPACE_FACTOR × scan pages.
+    space_rule: bool,
+}
+
+const SPECS: &[Spec] = &[
+    Spec {
+        title_prefix: "E9",
+        key_cols: &["B", "n"],
+        gated: &["index q I/O", "index ins I/O", "index pages"],
+        absolute: &[
+            (&[("n", "500000")], "index ins I/O", 15.0),
+            (&[("n", "500000")], "index q I/O", 12.0),
+        ],
+        space_rule: true,
+    },
+    Spec {
+        title_prefix: "EQB —",
+        key_cols: &["B", "n", "workload"],
+        gated: &["single q I/O", "amortised q I/O"],
+        absolute: &[
+            (
+                &[("n", "500000"), ("workload", "uniform")],
+                "single q I/O",
+                12.0,
+            ),
+            (
+                &[("n", "500000"), ("workload", "correlated-2k")],
+                "amortised q I/O",
+                6.0,
+            ),
+        ],
+        space_rule: false,
+    },
+    Spec {
+        // Wall-clock smoke: absolute ceilings only (timings are noisy, so
+        // no relative diff), sized ~10× above the measured build times.
+        title_prefix: "EQB-build",
+        key_cols: &["B"],
+        gated: &[],
+        absolute: &[
+            (&[("B", "256")], "build ms", 2_000.0),
+            (&[("B", "1024")], "build ms", 15_000.0),
+        ],
+        space_rule: false,
+    },
+];
 
 // ---- minimal JSON value ---------------------------------------------------
 
@@ -258,98 +329,174 @@ impl GateTable {
             .map_err(|_| format!("column {name:?} holds non-numeric cell {raw:?}"))
     }
 
-    fn key(&self, row: &[String]) -> (String, String) {
-        let b = self.column("B").and_then(|i| row.get(i)).cloned();
-        let n = self.column("n").and_then(|i| row.get(i)).cloned();
-        (b.unwrap_or_default(), n.unwrap_or_default())
+    /// A row's identity under `key_cols`, e.g. "(B=32, n=500000)".
+    fn key_of(&self, row: &[String], key_cols: &[&str]) -> String {
+        let parts: Vec<String> = key_cols
+            .iter()
+            .map(|&k| {
+                let v = self
+                    .column(k)
+                    .and_then(|i| row.get(i))
+                    .map(String::as_str)
+                    .unwrap_or("");
+                format!("{k}={v}")
+            })
+            .collect();
+        format!("({})", parts.join(", "))
     }
 }
 
-/// Load the E9 table from a `tables_to_json` file.
-fn load_e9(path: &str) -> Result<GateTable, String> {
+/// Load every table from a `tables_to_json` file, with titles.
+fn load_tables(path: &str) -> Result<Vec<(String, GateTable)>, String> {
     let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     let mut parser = Parser::new(&text);
     let root = parser.value()?;
-    let table = root
-        .as_array()
-        .iter()
-        .find(|t| t.get("title").is_some_and(|v| v.as_str().starts_with("E9")))
-        .ok_or_else(|| format!("{path}: no table titled E9…"))?;
-    let headers: Vec<String> = table
-        .get("headers")
-        .map(|h| {
-            h.as_array()
-                .iter()
-                .map(|c| c.as_str().to_string())
-                .collect()
-        })
-        .unwrap_or_default();
-    let rows: Vec<Vec<String>> = table
-        .get("rows")
-        .map(|r| {
-            r.as_array()
-                .iter()
-                .map(|row| {
-                    row.as_array()
-                        .iter()
-                        .map(|c| c.as_str().to_string())
-                        .collect()
-                })
-                .collect()
-        })
-        .unwrap_or_default();
-    if headers.is_empty() || rows.is_empty() {
-        return Err(format!("{path}: E9 table is empty"));
+    let mut out = Vec::new();
+    for table in root.as_array() {
+        let title = table
+            .get("title")
+            .map(|v| v.as_str().to_string())
+            .unwrap_or_default();
+        let headers: Vec<String> = table
+            .get("headers")
+            .map(|h| {
+                h.as_array()
+                    .iter()
+                    .map(|c| c.as_str().to_string())
+                    .collect()
+            })
+            .unwrap_or_default();
+        let rows: Vec<Vec<String>> = table
+            .get("rows")
+            .map(|r| {
+                r.as_array()
+                    .iter()
+                    .map(|row| {
+                        row.as_array()
+                            .iter()
+                            .map(|c| c.as_str().to_string())
+                            .collect()
+                    })
+                    .collect()
+            })
+            .unwrap_or_default();
+        out.push((title, GateTable { headers, rows }));
     }
-    Ok(GateTable { headers, rows })
+    Ok(out)
 }
 
-fn run(baseline_path: &str, candidate_path: &str) -> Result<Vec<String>, String> {
-    let baseline = load_e9(baseline_path)?;
-    let candidate = load_e9(candidate_path)?;
-    let mut failures = Vec::new();
+fn find<'t>(tables: &'t [(String, GateTable)], prefix: &str) -> Option<&'t GateTable> {
+    tables
+        .iter()
+        .find(|(title, _)| title.starts_with(prefix))
+        .map(|(_, t)| t)
+}
 
-    // Relative gate: every baseline row must still exist and must not have
-    // regressed in any gated column.
+/// Gate one spec's table: relative diff on every keyed baseline row, then
+/// the absolute budgets on the candidate.
+fn gate_spec(
+    spec: &Spec,
+    baseline: &GateTable,
+    candidate: &GateTable,
+    failures: &mut Vec<String>,
+) -> Result<(), String> {
     for base_row in &baseline.rows {
-        let key = baseline.key(base_row);
-        let Some(cand_row) = candidate.rows.iter().find(|r| candidate.key(r) == key) else {
-            failures.push(format!("row (B={}, n={}) disappeared", key.0, key.1));
+        let key = baseline.key_of(base_row, spec.key_cols);
+        let Some(cand_row) = candidate
+            .rows
+            .iter()
+            .find(|r| candidate.key_of(r, spec.key_cols) == key)
+        else {
+            failures.push(format!("[{}] row {key} disappeared", spec.title_prefix));
             continue;
         };
-        for &col in GATED_COLUMNS {
+        for &col in spec.gated {
             let base = baseline.cell(base_row, col)?;
             let cand = candidate.cell(cand_row, col)?;
             let limit = base * (1.0 + TOLERANCE_PCT / 100.0);
             if cand > limit {
                 failures.push(format!(
-                    "(B={}, n={}) {col}: {cand} > {base} +{TOLERANCE_PCT}% (limit {limit:.2})",
-                    key.0, key.1
+                    "[{}] {key} {col}: {cand} > {base} +{TOLERANCE_PCT}% (limit {limit:.2})",
+                    spec.title_prefix
                 ));
             }
         }
     }
-
-    // Absolute gate on the largest row.
-    let Some(big) = candidate
-        .rows
-        .iter()
-        .find(|r| candidate.key(r).1 == "500000")
-    else {
-        return Err("candidate has no n=500000 row".into());
-    };
-    for &(col, bound) in ABSOLUTE_BUDGETS {
-        let v = candidate.cell(big, col)?;
-        if v > bound {
-            failures.push(format!("n=500000 {col}: {v} > absolute budget {bound}"));
+    for &(selector, col, bound) in spec.absolute {
+        let mut matched = 0usize;
+        for row in candidate.rows.iter().filter(|r| {
+            selector.iter().all(|&(k, v)| {
+                candidate
+                    .column(k)
+                    .and_then(|i| r.get(i))
+                    .is_some_and(|cell| cell == v)
+            })
+        }) {
+            matched += 1;
+            let v = candidate.cell(row, col)?;
+            if v > bound {
+                failures.push(format!(
+                    "[{}] {} {col}: {v} > absolute budget {bound}",
+                    spec.title_prefix,
+                    candidate.key_of(row, spec.key_cols)
+                ));
+            }
+        }
+        if matched == 0 {
+            // A budget that stops matching any row is a gate that silently
+            // stopped gating — treat it as a configuration error.
+            return Err(format!(
+                "no candidate row matches the absolute budget {selector:?} on {col:?} ({})",
+                spec.title_prefix
+            ));
         }
     }
-    let pages = candidate.cell(big, "index pages")?;
-    let scan = candidate.cell(big, "scan pages")?;
-    if pages > SPACE_FACTOR * scan {
-        failures.push(format!(
-            "n=500000 index pages: {pages} > {SPACE_FACTOR}× scan pages ({scan})"
-        ));
+    if spec.space_rule {
+        let Some(big) = candidate.rows.iter().find(|r| {
+            candidate
+                .column("n")
+                .and_then(|i| r.get(i))
+                .is_some_and(|c| c == "500000")
+        }) else {
+            return Err("candidate has no n=500000 row".into());
+        };
+        let pages = candidate.cell(big, "index pages")?;
+        let scan = candidate.cell(big, "scan pages")?;
+        if pages > SPACE_FACTOR * scan {
+            failures.push(format!(
+                "n=500000 index pages: {pages} > {SPACE_FACTOR}× scan pages ({scan})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+fn run(baseline_path: &str, candidate_path: &str) -> Result<Vec<String>, String> {
+    let baseline = load_tables(baseline_path)?;
+    let candidate = load_tables(candidate_path)?;
+    let mut failures = Vec::new();
+    let mut gated = 0usize;
+    for spec in SPECS {
+        let Some(base) = find(&baseline, spec.title_prefix) else {
+            continue; // this baseline file doesn't carry the table
+        };
+        let Some(cand) = find(&candidate, spec.title_prefix) else {
+            return Err(format!(
+                "{candidate_path}: table {:?} present in baseline but missing",
+                spec.title_prefix
+            ));
+        };
+        if base.headers.is_empty() || base.rows.is_empty() {
+            return Err(format!(
+                "{baseline_path}: {:?} table is empty",
+                spec.title_prefix
+            ));
+        }
+        gate_spec(spec, base, cand, &mut failures)?;
+        gated += 1;
+    }
+    if gated == 0 {
+        return Err(format!("{baseline_path}: no gated table found"));
     }
     Ok(failures)
 }
@@ -404,11 +551,12 @@ mod tests {
             std::fs::write(&path, body).unwrap();
             path.to_str().unwrap().to_string()
         };
-        let base = mk("base.json", "15.8", "11.0", "61170");
-        let same = mk("same.json", "15.8", "11.0", "61170");
-        let within = mk("within.json", "15.8", "11.3", "62000");
-        let worse = mk("worse.json", "15.8", "12.0", "61170");
-        let over_budget = mk("over.json", "15.8", "11.0", "64000");
+        let base = mk("base.json", "11.4", "11.0", "61170");
+        let same = mk("same.json", "11.4", "11.0", "61170");
+        let within = mk("within.json", "11.4", "11.3", "62000");
+        let worse = mk("worse.json", "11.4", "12.0", "61170");
+        let over_budget = mk("over.json", "11.4", "11.0", "64000");
+        let over_absolute = mk("over_abs.json", "12.1", "11.0", "61170");
         assert!(run(&base, &same).unwrap().is_empty());
         assert!(run(&base, &within).unwrap().is_empty(), "5% headroom");
         assert_eq!(run(&base, &worse).unwrap().len(), 1, "relative gate");
@@ -416,6 +564,49 @@ mod tests {
             run(&base, &over_budget).unwrap().len(),
             1,
             "absolute 4x gate"
+        );
+        assert_eq!(
+            run(&base, &over_absolute).unwrap().len(),
+            2,
+            "absolute q budget (12) plus the relative rise both fire"
+        );
+    }
+
+    #[test]
+    fn eqb_tables_are_gated() {
+        let dir = std::env::temp_dir().join("ccix_perf_gate_eqb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |name: &str, single: &str, amort: &str, ms: &str| {
+            let path = dir.join(name);
+            let body = format!(
+                concat!(
+                    r#"[{{"title": "EQB — floods", "claim": "c", "headers": ["B", "n", "workload", "batch", "single q I/O", "amortised q I/O"], "#,
+                    r#""rows": [["32", "500000", "uniform", "64", {s:?}, "10.5"], ["32", "500000", "correlated-2k", "64", "11.4", {a:?}]]}}, "#,
+                    r#"{{"title": "EQB-build — wall clock", "claim": "c", "headers": ["B", "|S|", "build ms"], "rows": [["256", "131072", "32"], ["1024", "2097152", {m:?}]]}}]"#
+                ),
+                s = single,
+                a = amort,
+                m = ms
+            );
+            std::fs::write(&path, body).unwrap();
+            path.to_str().unwrap().to_string()
+        };
+        let base = mk("base.json", "11.4", "0.9", "1400");
+        let ok = mk("ok.json", "11.5", "0.9", "9000");
+        let slow_query = mk("slow.json", "12.5", "0.9", "1400");
+        let slow_batch = mk("slowb.json", "11.4", "6.5", "1400");
+        let slow_build = mk("slowc.json", "11.4", "0.9", "16000");
+        assert!(run(&base, &ok).unwrap().is_empty(), "within tolerance");
+        assert_eq!(
+            run(&base, &slow_query).unwrap().len(),
+            2,
+            "relative + absolute single-query budget"
+        );
+        assert!(!run(&base, &slow_batch).unwrap().is_empty(), "batch budget");
+        assert_eq!(
+            run(&base, &slow_build).unwrap().len(),
+            1,
+            "wall-clock smoke ceiling"
         );
     }
 }

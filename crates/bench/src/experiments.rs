@@ -921,6 +921,8 @@ pub fn e14_write_tuning() -> Vec<Table> {
             td_batch_pages: 2,
             ts_snapshot_pages: None,
             corner_alpha: 2,
+            pack_h_pages: 4,
+            resident_root: true,
         },
         ccix_core::Tuning {
             ts_snapshot_pages: Some(16),
@@ -936,6 +938,8 @@ pub fn e14_write_tuning() -> Vec<Table> {
             td_batch_pages: 4,
             ts_snapshot_pages: Some(8),
             corner_alpha: 4,
+            pack_h_pages: 4,
+            resident_root: true,
         },
     ];
     for &tuning in configs {
@@ -978,6 +982,89 @@ pub fn e14_write_tuning() -> Vec<Table> {
     vec![t]
 }
 
+/// EQB — PR 3's batched multi-query engine: single vs amortised stabbing
+/// I/O on the `workloads::*_flood` families, plus the corner-build
+/// wall-clock smoke for the Fenwick-selection fix.
+///
+/// The budgets the perf gate enforces on the n=500k, B=32 rows: uniform
+/// single-query ≤ 12 I/Os, adversarial-correlated flood ≤ 6 I/Os amortised
+/// at batch = 64.
+pub fn eqb_query_batch() -> Vec<Table> {
+    let mut t = Table::new(
+        "EQB — batched multi-query engine (stabbing floods)",
+        "A sorted flood over one pinned read context bills each shared descent block once per residency.",
+        &[
+            "B",
+            "n",
+            "workload",
+            "batch",
+            "avg t",
+            "single q I/O",
+            "amortised q I/O",
+            "batch speedup",
+        ],
+    );
+    let b = 32;
+    let geo = Geometry::new(b);
+    let batch = 64usize;
+    for &n in &[100_000usize, 500_000] {
+        let range = 4 * n as i64;
+        let ivs = workloads::uniform_intervals(n, 0xE9, range, 2_000);
+        let ic = IoCounter::new();
+        let idx = IntervalIndex::build(geo, ic.clone(), &ivs);
+        let floods: Vec<(&str, Vec<i64>)> = vec![
+            ("uniform", workloads::uniform_flood(batch, 0xEB1, range)),
+            ("skewed-8", workloads::skewed_flood(batch, 0xEB2, range, 8)),
+            (
+                "correlated-2k",
+                workloads::correlated_flood(batch, 0xEB3, range, 2_000),
+            ),
+        ];
+        for (name, qs) in floods {
+            let before = ic.snapshot();
+            let mut sum_t = 0usize;
+            for &q in &qs {
+                sum_t += idx.stabbing(q).len();
+            }
+            let single = ic.since(before).reads as f64 / batch as f64;
+            let before = ic.snapshot();
+            let outs = idx.stab_batch(&qs);
+            let amortised = ic.since(before).reads as f64 / batch as f64;
+            let batch_t: usize = outs.iter().map(Vec::len).sum();
+            assert_eq!(batch_t, sum_t, "batched flood disagrees with singles");
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                name.to_string(),
+                batch.to_string(),
+                (sum_t / batch).to_string(),
+                format!("{single:.1}"),
+                format!("{amortised:.1}"),
+                format!("{:.1}x", single / amortised.max(0.01)),
+            ]);
+        }
+    }
+
+    let mut w = Table::new(
+        "EQB-build — corner-structure build wall-clock",
+        "CornerStructure::build stays off the wall-clock profile at large B (Fenwick selection: precomputed ranks + maintained live total).",
+        &["B", "|S|", "build ms"],
+    );
+    for &bb in &[256usize, 1024] {
+        let s = 2 * bb * bb;
+        let ivs = workloads::uniform_intervals(s, 0xEBB + bb as u64, 4 * s as i64, 10_000);
+        let pts = workloads::interval_points(&ivs);
+        let counter = IoCounter::new();
+        let mut store = TypedStore::new(bb, counter);
+        let started = std::time::Instant::now();
+        let cs = ccix_core::CornerStructure::build(&mut store, &pts);
+        let ms = started.elapsed().as_millis();
+        assert_eq!(cs.len(), s);
+        w.row(vec![bb.to_string(), s.to_string(), ms.to_string()]);
+    }
+    vec![t, w]
+}
+
 /// Run every experiment in order.
 pub fn all() -> Vec<Table> {
     let mut out = Vec::new();
@@ -996,5 +1083,6 @@ pub fn all() -> Vec<Table> {
     out.extend(e12_pst_vs_metablock());
     out.extend(e13_ablation());
     out.extend(e14_write_tuning());
+    out.extend(eqb_query_batch());
     out
 }

@@ -8,9 +8,9 @@
 use ccix_testkit::DetRng;
 
 pub use ccix_testkit::workloads::{
-    adversarial_intervals, clustered_points, hierarchy, interval_points, nested_intervals,
-    skewed_intervals, skewed_objects, staircase_points, uniform_intervals, uniform_objects,
-    uniform_points, HierarchyShape,
+    adversarial_intervals, clustered_points, correlated_flood, hierarchy, interval_points,
+    nested_intervals, skewed_flood, skewed_intervals, skewed_objects, staircase_points,
+    uniform_flood, uniform_intervals, uniform_objects, uniform_points, HierarchyShape,
 };
 
 /// A seeded RNG (experiments are fully reproducible).

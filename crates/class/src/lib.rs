@@ -67,6 +67,20 @@ pub trait ClassIndex {
     /// lies in `[a1, a2]`.
     fn query(&self, class: ClassId, a1: i64, a2: i64) -> Vec<u64>;
 
+    /// Answer a flood of full-extent range queries, one result per input
+    /// query, in input order.
+    ///
+    /// The default implementation answers them one at a time; strategies
+    /// whose backing structures support batched descent (the rake index's
+    /// 3-sided metablock trees) override it to share each structure's
+    /// descent across the queries that land on it.
+    fn query_batch(&self, queries: &[(ClassId, i64, i64)]) -> Vec<Vec<u64>> {
+        queries
+            .iter()
+            .map(|&(c, a1, a2)| self.query(c, a1, a2))
+            .collect()
+    }
+
     /// Disk blocks occupied.
     fn space_pages(&self) -> usize;
 

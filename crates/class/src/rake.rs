@@ -151,6 +151,45 @@ impl ClassIndex for RakeClassIndex {
         }
     }
 
+    /// Batched flood: queries are grouped by the heavy-path structure that
+    /// answers them, and each 3-sided tree runs its group as one pinned
+    /// batch — the shared descent (control blocks, children-PST nodes, data
+    /// pages) is billed once per residency instead of once per query.
+    fn query_batch(&self, queries: &[(ClassId, i64, i64)]) -> Vec<Vec<u64>> {
+        let mut outs: Vec<Vec<u64>> = vec![Vec::new(); queries.len()];
+        // Group query indices by path structure.
+        let mut groups: Vec<Vec<usize>> = vec![Vec::new(); self.structures.len()];
+        for (i, &(class, _, _)) in queries.iter().enumerate() {
+            groups[self.paths.path_of[class]].push(i);
+        }
+        for (path, group) in groups.iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            match &self.structures[path] {
+                PathStructure::ThreeSided(t) => {
+                    let batch: Vec<(i64, i64, i64)> = group
+                        .iter()
+                        .map(|&i| {
+                            let (class, a1, a2) = queries[i];
+                            (a1, a2, self.paths.pos_of[class] as i64)
+                        })
+                        .collect();
+                    for (&i, pts) in group.iter().zip(t.query_batch(&batch)) {
+                        outs[i] = pts.into_iter().map(|p| p.id).collect();
+                    }
+                }
+                PathStructure::Flat(t) => {
+                    for &i in group {
+                        let (_, a1, a2) = queries[i];
+                        outs[i] = t.range(&self.disk, a1, a2);
+                    }
+                }
+            }
+        }
+        outs
+    }
+
     fn space_pages(&self) -> usize {
         let mut pages = self.disk.pages_in_use();
         for s in &self.structures {

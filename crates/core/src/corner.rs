@@ -33,6 +33,9 @@ struct CStar {
     /// Explicit answer `{p : p.xkey ≤ key ∧ p.y ≥ key.0}`, y-descending,
     /// `B` points per page.
     pages: Vec<PageId>,
+    /// First (largest) y-key of each explicit page — directory info that
+    /// stops the stage-1 scan *before* a page with no answers.
+    page_tops: Vec<Key>,
 }
 
 /// A Lemma 3.1 corner structure over one metablock's point set.
@@ -52,6 +55,9 @@ pub struct CornerStructure {
     owns_vertical: bool,
     /// Right-boundary key of each vertical block (the candidate set `C`).
     boundaries: Vec<Key>,
+    /// Largest `y` in each vertical block, so a stage-2 scan skips blocks
+    /// that cannot contain an answer (directory info, like `boundaries`).
+    block_ymax: Vec<i64>,
     cstars: Vec<CStar>,
     n: usize,
 }
@@ -109,11 +115,16 @@ impl CornerStructure {
             .chunks(b)
             .map(|c| c.last().expect("chunks are nonempty").xkey())
             .collect();
+        let block_ymax: Vec<i64> = sorted
+            .chunks(b)
+            .map(|c| c.iter().map(|p| p.y).max().expect("chunks are nonempty"))
+            .collect();
         let m = vertical.len();
         let mut structure = Self {
             vertical,
             owns_vertical,
             boundaries,
+            block_ymax,
             cstars: Vec::new(),
             n: sorted.len(),
         };
@@ -137,8 +148,8 @@ impl CornerStructure {
         // Start with blocks 0..=m-2 in the counting structure (candidate
         // m-2's prefix); shrink as the sweep moves left.
         let mut prefix_len = sorted.len().min((m - 1) * b);
-        for p in &sorted[..prefix_len] {
-            fen.add(p.y, 1);
+        for idx in 0..prefix_len {
+            fen.add_idx(idx, 1);
         }
 
         let mut adopted: Vec<(usize, Key)> = Vec::new();
@@ -150,8 +161,8 @@ impl CornerStructure {
         for i in (0..last_cand).rev() {
             // Shrink the prefix to blocks 0..=i.
             let new_len = (i + 1) * b;
-            for p in &sorted[new_len..prefix_len] {
-                fen.add(p.y, -1);
+            for idx in new_len..prefix_len {
+                fen.add_idx(idx, -1);
             }
             prefix_len = new_len;
 
@@ -166,13 +177,35 @@ impl CornerStructure {
         }
         adopted.reverse(); // ascending block order
 
-        // Explicitly block the answer for every adopted corner.
-        for (block, key) in adopted {
-            let prefix = &sorted[..(block + 1) * b];
-            let mut answer: Vec<Point> = prefix.iter().copied().filter(|p| p.y >= key.0).collect();
+        // Explicitly block the answer for every adopted corner, in one
+        // sweep over the points instead of one prefix re-scan per corner
+        // (the old per-corner filter was quadratic in the block count and
+        // dominated build wall-clock at large B — see docs/tuning.md).
+        // Point p belongs to the answer of adopted corner c iff
+        // `block(p) ≤ c.block` (so `p.xkey ≤ c.key`) and `p.y ≥ c.key.0` —
+        // with corners in ascending block/key order that is a contiguous
+        // corner range, and the total bucket volume is ≤ 2|S| by the
+        // paper's charging argument.
+        let corner_xs: Vec<i64> = adopted.iter().map(|&(_, k)| k.0).collect();
+        let corner_blocks: Vec<usize> = adopted.iter().map(|&(bl, _)| bl).collect();
+        let mut answers: Vec<Vec<Point>> = vec![Vec::new(); adopted.len()];
+        for (idx, p) in sorted.iter().enumerate() {
+            let start = corner_blocks.partition_point(|&bl| bl < idx / b);
+            let end = corner_xs.partition_point(|&x| x <= p.y);
+            for bucket in answers[..end].iter_mut().skip(start) {
+                bucket.push(*p);
+            }
+        }
+        for ((block, key), mut answer) in adopted.into_iter().zip(answers) {
             ccix_extmem::sort_by_y_desc(&mut answer);
+            let page_tops: Vec<Key> = answer.chunks(b).map(|c| c[0].ykey()).collect();
             let pages = store.alloc_run(&answer);
-            structure.cstars.push(CStar { key, block, pages });
+            structure.cstars.push(CStar {
+                key,
+                block,
+                pages,
+                page_tops,
+            });
         }
         structure
     }
@@ -198,20 +231,86 @@ impl CornerStructure {
         vertical + self.cstars.iter().map(|c| c.pages.len()).sum::<usize>()
     }
 
+    /// Exact page count the query at `q` would read, computed purely from
+    /// directory information (per-page top keys, per-block y-maxima). Lets
+    /// a host metablock pick the cheaper of the corner query and a filtered
+    /// scan of its own horizontal blocking.
+    pub fn planned_cost(&self, q: i64) -> usize {
+        if self.n == 0 {
+            return 0;
+        }
+        let qkey: Key = (q, u64::MAX);
+        let qk: Key = (q, 0);
+        let floor = self.cstars.partition_point(|c| c.key <= qkey);
+        let (start_block, stage1) = match floor {
+            0 => (0, 0),
+            i => {
+                let c = &self.cstars[i - 1];
+                // The scan reads pages while their top is ≥ (q, 0) and
+                // stops inside the crossing page — exactly this count.
+                (
+                    c.block + 1,
+                    c.page_tops.iter().take_while(|&&t| t >= qk).count(),
+                )
+            }
+        };
+        let mut stage2 = 0;
+        for i in start_block..self.vertical.len() {
+            if self.block_ymax[i] >= q {
+                stage2 += 1;
+            }
+            if self.boundaries[i] >= qkey {
+                break;
+            }
+        }
+        stage1 + stage2
+    }
+
     /// Answer the diagonal-corner query at `q`, appending matches to `out`.
     ///
     /// Costs at most `2⌈t/B⌉ + 6` reads (Lemma 3.1 gives `2t/B + 4` in
     /// ceiling-free arithmetic; two extra blocks come from rounding the two
     /// stages separately): one index read, the stage-1 explicit scan, and
-    /// the stage-2 vertical scan.
+    /// the stage-2 vertical scan. The per-page directory keys usually do
+    /// better: a page is read only if it contains at least one answer.
     pub fn query_into(&self, store: &TypedStore<Point>, q: i64, out: &mut Vec<Point>) {
         if self.n == 0 {
             return;
         }
-        // The index block: boundaries of C and the C* directory fit in one
-        // page for k ≤ B (|C| = kB/B ≤ B entries); charge one read.
+        // The index block: boundaries of C and the C* directory fit in a
+        // constant number of pages for k ≤ B (|C| = kB/B ≤ B entries);
+        // charge one read.
         store.counter().add_reads(1);
+        self.query_stages(store, &mut PlainReads, q, out);
+    }
 
+    /// As [`CornerStructure::query_into`] inside a pinned operation: pages
+    /// are billed through the operation's [`ReadCtx`], and the directory —
+    /// which rides in the host metablock's control block `host` — costs
+    /// nothing when that block is already resident.
+    pub(crate) fn query_pinned(
+        &self,
+        store: &TypedStore<Point>,
+        ctx: &mut crate::diag::ReadCtx,
+        host: (u32, u64),
+        q: i64,
+        out: &mut Vec<Point>,
+    ) {
+        if self.n == 0 {
+            return;
+        }
+        ctx.touch(host.0, host.1);
+        self.query_stages(store, &mut PinnedReads { ctx }, q, out);
+    }
+
+    /// The two query stages, parameterised over how page reads are billed.
+    fn query_stages<R: PageReads>(
+        &self,
+        store: &TypedStore<Point>,
+        reads: &mut R,
+        q: i64,
+        out: &mut Vec<Point>,
+    ) {
         let qkey: Key = (q, u64::MAX);
         // Rightmost adopted corner at or left of q.
         let floor = self.cstars.partition_point(|c| c.key <= qkey);
@@ -224,10 +323,14 @@ impl CornerStructure {
         };
 
         // Stage 1: explicit answer of the floor corner, top-down until the
-        // query's bottom boundary. Every point there has x ≤ c* ≤ q.
+        // query's bottom boundary. Every point there has x ≤ c* ≤ q; the
+        // page-top keys stop before a page with no answers.
         if let Some(c) = stage1 {
-            'stage1: for &page in &c.pages {
-                for p in store.read(page) {
+            'stage1: for (i, &page) in c.pages.iter().enumerate() {
+                if c.page_tops[i] < (q, 0) {
+                    break;
+                }
+                for p in reads.read(store, page) {
                     if p.y < q {
                         break 'stage1;
                     }
@@ -237,20 +340,23 @@ impl CornerStructure {
         }
 
         // Stage 2: vertical blocks strictly right of the floor corner, left
-        // to right, up to the block containing q.
-        for (i, &page) in self.vertical.iter().enumerate().skip(start_block) {
-            let mut crossed = false;
-            for p in store.read(page) {
-                if p.xkey() > qkey {
-                    crossed = true;
+        // to right, up to the block containing q; blocks whose largest y is
+        // below the corner are skipped from the directory.
+        for i in start_block..self.vertical.len() {
+            if self.block_ymax[i] >= q {
+                let mut crossed = false;
+                for p in reads.read(store, self.vertical[i]) {
+                    if p.xkey() > qkey {
+                        crossed = true;
+                        break;
+                    }
+                    if p.y >= q {
+                        out.push(*p);
+                    }
+                }
+                if crossed {
                     break;
                 }
-                if p.y >= q {
-                    out.push(*p);
-                }
-            }
-            if crossed {
-                break;
             }
             // If this block's boundary already covers q we are done.
             if self.boundaries[i] >= qkey {
@@ -291,11 +397,46 @@ impl CornerStructure {
     }
 }
 
+/// How [`CornerStructure::query_stages`] bills page reads: directly against
+/// the store's counter, or through a per-operation pin.
+trait PageReads {
+    fn read<'s>(&mut self, store: &'s TypedStore<Point>, pg: PageId) -> &'s [Point];
+}
+
+struct PlainReads;
+
+impl PageReads for PlainReads {
+    fn read<'s>(&mut self, store: &'s TypedStore<Point>, pg: PageId) -> &'s [Point] {
+        store.read(pg)
+    }
+}
+
+struct PinnedReads<'c> {
+    ctx: &'c mut crate::diag::ReadCtx,
+}
+
+impl PageReads for PinnedReads<'_> {
+    fn read<'s>(&mut self, store: &'s TypedStore<Point>, pg: PageId) -> &'s [Point] {
+        store.read_pinned(&mut self.ctx.pin, crate::diag::SPACE_STORE, pg)
+    }
+}
+
 /// A Fenwick tree counting points by `y` value, for the greedy selection.
+///
+/// The sweep adds every point once and removes it once, so the per-point
+/// y-rank is resolved a single time up front (one sorted-run pass instead
+/// of a binary search per update), and the live count is maintained as a
+/// counter rather than re-summed from the tree on every query — together
+/// these took the selection off the build's wall-clock profile at large B
+/// (see `docs/tuning.md`).
 struct YFenwick {
     /// Sorted distinct y values.
     ys: Vec<i64>,
+    /// y-rank of each point of the (x-sorted) build slice, by index.
+    ranks: Vec<usize>,
     tree: Vec<i64>,
+    /// Number of points currently present.
+    live: i64,
 }
 
 impl YFenwick {
@@ -303,42 +444,40 @@ impl YFenwick {
         let mut ys: Vec<i64> = points.iter().map(|p| p.y).collect();
         ys.sort_unstable();
         ys.dedup();
+        let ranks = points
+            .iter()
+            .map(|p| ys.partition_point(|&v| v < p.y))
+            .collect();
         let len = ys.len();
         Self {
             ys,
+            ranks,
             tree: vec![0; len + 1],
+            live: 0,
         }
     }
 
-    fn rank(&self, y: i64) -> usize {
-        self.ys.partition_point(|&v| v < y)
-    }
-
-    fn add(&mut self, y: i64, delta: i64) {
-        let mut i = self.rank(y) + 1;
-        debug_assert!(i <= self.ys.len(), "unknown y value");
+    /// Add (`delta = 1`) or remove (`delta = -1`) the point at index `idx`
+    /// of the build slice.
+    fn add_idx(&mut self, idx: usize, delta: i64) {
+        let mut i = self.ranks[idx] + 1;
         while i < self.tree.len() {
             self.tree[i] += delta;
             i += i & i.wrapping_neg();
         }
+        self.live += delta;
     }
 
     /// Count of points currently present with `y ≥ bound`.
     fn count_y_ge(&self, bound: i64) -> usize {
-        let upto = self.rank(bound); // points with y < bound
+        let upto = self.ys.partition_point(|&v| v < bound); // y < bound
         let mut i = upto;
         let mut below = 0i64;
         while i > 0 {
             below += self.tree[i];
             i -= i & i.wrapping_neg();
         }
-        let mut total = 0i64;
-        let mut i = self.tree.len() - 1;
-        while i > 0 {
-            total += self.tree[i];
-            i -= i & i.wrapping_neg();
-        }
-        (total - below) as usize
+        (self.live - below) as usize
     }
 }
 

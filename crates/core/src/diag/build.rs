@@ -142,11 +142,13 @@ impl MetablockTree {
                 main_bbox: BBox::of_points(&cmains),
                 upd_ymax: None,
                 sub_yhi,
+                packed: super::PackedInfo::default(),
             });
             child_mains.push(cmains);
         }
 
         let id = self.make_metablock(&mains, entries, true);
+        self.sync_packed_children(id);
         self.install_ts_snapshots(id, child_mains);
         (id, mains, rest_yhi)
     }
@@ -186,6 +188,7 @@ impl MetablockTree {
         let vkeys: Vec<Key> = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
         let mut by_y = by_x.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
+        let hkeys: Vec<Key> = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
         let horizontal = self.store.alloc_run(&by_y);
         let main_bbox = BBox::of_points(by_x);
         let y_lo_main = by_y.last().map(Point::ykey);
@@ -211,6 +214,7 @@ impl MetablockTree {
             vertical,
             vkeys,
             horizontal,
+            hkeys,
             n_main: mains.len(),
             y_lo_main,
             main_bbox,
@@ -238,11 +242,14 @@ impl MetablockTree {
         debug_assert_eq!(child_ids.len(), snapshots.len());
         // Maintain the top-`cap` prefix incrementally: sort each child's
         // snapshot once, then merge it into the running capped top list.
+        let mut mirrors: Vec<(usize, Vec<ccix_extmem::PageId>, bool)> = Vec::new();
         let mut top: Vec<Point> = Vec::new();
         let mut total = 0usize;
         for (i, mut snap) in snapshots.into_iter().enumerate() {
             if i > 0 {
                 let pages = self.store.alloc_run(&top);
+                let truncated = total > top.len();
+                mirrors.push((i, pages.clone(), truncated));
                 let mut meta = self.take_meta(child_ids[i]);
                 if let Some(old) = meta.ts.take() {
                     self.store.free_run(&old.pages);
@@ -250,13 +257,23 @@ impl MetablockTree {
                 meta.ts = Some(TsInfo {
                     pages,
                     n: top.len(),
-                    truncated: total > top.len(),
+                    truncated,
                 });
                 self.put_meta(child_ids[i], meta);
             }
             total += snap.len();
             ccix_extmem::sort_by_y_desc(&mut snap);
             top = merge_y_desc_capped(std::mem::take(&mut top), snap, cap);
+        }
+        // Mirror the snapshot runs into the parent's packed entries so the
+        // TS route reads the snapshot without loading its owner's control
+        // block first (in-memory: the parent is held by this operation).
+        if self.pack_h() > 0 {
+            let pm = self.metas[parent].as_mut().expect("live parent");
+            for (i, pages, truncated) in mirrors {
+                pm.children[i].packed.ts_pages = pages;
+                pm.children[i].packed.ts_truncated = truncated;
+            }
         }
     }
 }

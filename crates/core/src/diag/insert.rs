@@ -65,6 +65,13 @@ impl MetablockTree {
         let fix_from = path.len();
         let mut pinned: Vec<MbId> = Vec::new();
         let mut dirty: Vec<MbId> = Vec::new();
+        if self.tuning.resident_root {
+            // The root control block lives in dedicated main memory (see
+            // [`crate::Tuning::resident_root`]): pinned for free.
+            if let Some(root) = self.root {
+                pinned.push(root);
+            }
+        }
 
         // Phase 1 — descend, pinning each control block on the way down.
         let mut cur = start;
@@ -137,6 +144,17 @@ impl MetablockTree {
                     .expect("target is live")
                     .update
                     .push(pg);
+                // Mirror the new buffer page into the parent's packed entry
+                // (in-memory: the parent is pinned on the descent path).
+                if self.pack_h() > 0 {
+                    if let Some(&par) = path.last() {
+                        let pm = self.metas[par].as_mut().expect("parent is live");
+                        if let Some(e) = pm.children.iter_mut().find(|c| c.mb == target) {
+                            e.packed.upd_pages.push(pg);
+                            mark_dirty(&mut dirty, par);
+                        }
+                    }
+                }
             }
         }
         let update_full = {
@@ -278,8 +296,10 @@ impl MetablockTree {
             if let Some(e) = pm.children.iter_mut().find(|c| c.mb == mb) {
                 e.main_bbox = new_bbox;
                 e.upd_ymax = None;
+                e.packed.upd_pages.clear();
             }
             self.put_meta(parent, pm);
+            self.sync_packed_entry(parent, mb);
         }
         n_main
     }
@@ -302,6 +322,7 @@ impl MetablockTree {
         m.vkeys = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
         let mut by_y = pts.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
+        m.hkeys = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
         m.horizontal = self.store.alloc_run(&by_y);
         m.n_main = pts.len();
         m.main_bbox = BBox::of_points(pts);
@@ -355,6 +376,7 @@ impl MetablockTree {
                 };
             }
             self.put_meta(parent, pm);
+            self.sync_packed_entry(parent, mb);
             self.ts_reorg(parent);
         }
 
@@ -417,6 +439,7 @@ impl MetablockTree {
                 main_bbox: left_bbox,
                 upd_ymax: None,
                 sub_yhi: None,
+                packed: super::PackedInfo::default(),
             },
         );
         pm.children.insert(
@@ -428,10 +451,12 @@ impl MetablockTree {
                 main_bbox: right_bbox,
                 upd_ymax: None,
                 sub_yhi: None,
+                packed: super::PackedInfo::default(),
             },
         );
         let overflow = pm.children.len() >= 2 * self.geo.b;
         self.put_meta(parent, pm);
+        self.sync_packed_children(parent);
         self.ts_reorg(parent);
         if overflow {
             self.branching_split(parent, &path[..path.len() - 1]);
@@ -484,6 +509,7 @@ impl MetablockTree {
                 main_bbox: BBox::of_points(&lmains),
                 upd_ymax: None,
                 sub_yhi: lsub,
+                packed: super::PackedInfo::default(),
             },
         );
         pm.children.insert(
@@ -495,10 +521,12 @@ impl MetablockTree {
                 main_bbox: BBox::of_points(&rmains),
                 upd_ymax: None,
                 sub_yhi: rsub,
+                packed: super::PackedInfo::default(),
             },
         );
         let overflow = pm.children.len() >= 2 * self.geo.b;
         self.put_meta(parent, pm);
+        self.sync_packed_children(parent);
         self.ts_reorg(parent);
         if overflow {
             self.branching_split(parent, &ancestors[..ancestors.len() - 1]);

@@ -15,7 +15,7 @@ pub use validate::DiagStats;
 
 pub(crate) use build::{extract_top_y, merge_y_desc_capped, near_equal_ranges, FULL_RANGE};
 
-use ccix_extmem::{Geometry, IoCounter, PageId, Point, TypedStore};
+use ccix_extmem::{Geometry, IoCounter, PageId, PathPin, Point, TypedStore};
 
 use crate::bbox::{BBox, Key};
 use crate::corner::CornerStructure;
@@ -23,6 +23,58 @@ use crate::tuning::Tuning;
 
 /// Identifier of a metablock within one tree.
 pub(crate) type MbId = usize;
+
+// ---- pinned reads ---------------------------------------------------------
+
+/// Pin key-space of a tree's control blocks (keys are [`MbId`]s).
+pub(crate) const SPACE_META: u32 = 0;
+/// Pin key-space of a tree's point store (keys are [`PageId`]s).
+pub(crate) const SPACE_STORE: u32 = 1;
+/// First key-space available for per-metablock side structures (the 3-sided
+/// tree's PSTs); space `SPACE_AUX + 3·mb + j` addresses structure `j` of
+/// metablock `mb`.
+pub(crate) const SPACE_AUX: u32 = 2;
+
+/// Read context of one query-side operation: a single query, an x-range, or
+/// a whole sorted batch. Every page the operation touches is billed through
+/// the bounded [`PathPin`], so a block is paid once per residency instead of
+/// once per access — the paper's accounting (each *distinct* block transfers
+/// once, §2's model), kept honest by the pin's `B`-frame LRU budget.
+///
+/// With [`Tuning::resident_root`], the tree's root control block lives in
+/// its own dedicated slot of long-lived main memory (outside the pin's LRU
+/// frames, so it can never be evicted mid-batch) and is read for free.
+pub(crate) struct ReadCtx {
+    pub pin: PathPin,
+    /// Control block held in dedicated memory (`(space, key)`).
+    pub(crate) resident: Option<(u32, u64)>,
+}
+
+impl ReadCtx {
+    /// A context over `counter` with the model's working memory: `B` frames
+    /// of `B` records is the `Θ(B²)`-unit main memory the paper grants an
+    /// operation.
+    pub(crate) fn new(geo: Geometry, counter: IoCounter) -> Self {
+        Self {
+            pin: PathPin::new(counter, geo.b),
+            resident: None,
+        }
+    }
+
+    /// Note a page touch: free when it is the resident block, otherwise
+    /// billed through the pin.
+    pub(crate) fn touch(&mut self, space: u32, key: u64) {
+        if self.resident == Some((space, key)) {
+            return;
+        }
+        self.pin.touch(space, key);
+    }
+
+    /// Note a control-block touch.
+    pub(crate) fn touch_meta(&mut self, mb: MbId) {
+        self.touch(SPACE_META, mb as u64);
+    }
+}
 
 /// A child slot in a metablock's control information (one entry of the
 /// "pointers to each of its B children, as well as the location of each
@@ -47,6 +99,9 @@ pub(crate) struct ChildEntry {
     /// Largest `(y, id)` among points strictly below the child metablock.
     /// The routing invariant keeps this below the child's `y_lo_main`.
     pub sub_yhi: Option<Key>,
+    /// Packed control information about the child (PR 3); empty defaults
+    /// when packing is disabled ([`Tuning::pack_top_points`] = 0).
+    pub packed: PackedInfo,
 }
 
 impl ChildEntry {
@@ -54,6 +109,39 @@ impl ChildEntry {
     pub fn slab_contains(&self, k: Key) -> bool {
         self.slab_lo <= k && k < self.slab_hi
     }
+}
+
+/// Per-child mirrors packed into the parent's control blocks, so that
+/// examining a straddling child walks the top of the child's horizontal
+/// blocking and its update buffer straight from the parent — no read of the
+/// child's own control block — and the TS route reads snapshot pages
+/// without first loading their owner. The child's control block is touched
+/// only when a scan outgrows the mirrored horizontal prefix, by which point
+/// `pack_h_pages · B` reported answers have paid for it.
+///
+/// Size accounting: every mirror is a few words per child — the same scale
+/// as the entry's slab keys and the metablock's own `vkeys`, within §3.1's
+/// "constant number of disk blocks" of control information per metablock.
+#[derive(Clone, Debug, Default)]
+pub(crate) struct PackedInfo {
+    /// Mirror of the first [`Tuning::pack_h_pages`] pages of the child's
+    /// horizontal blocking (its top mains, y-descending).
+    pub h_pages: Vec<PageId>,
+    /// First (largest) y-key of each mirrored page, so the scan skips a
+    /// crossing page with no answers.
+    pub h_tops: Vec<Key>,
+    /// The child's horizontal blocking extends beyond the mirror.
+    pub h_more: bool,
+    /// Mirror of the child's update-buffer page run.
+    pub upd_pages: Vec<PageId>,
+    /// Mirror of the child's TS (diagonal) / TSL (3-sided) snapshot run.
+    pub ts_pages: Vec<PageId>,
+    /// Mirror of the snapshot's truncation bit.
+    pub ts_truncated: bool,
+    /// 3-sided only: mirror of the child's TSR snapshot run.
+    pub tsr_pages: Vec<PageId>,
+    /// Mirror of the TSR truncation bit.
+    pub tsr_truncated: bool,
 }
 
 /// The left-sibling snapshot `TS(M)` (Fig. 10): the top points among
@@ -101,6 +189,9 @@ pub(crate) struct MetaBlock {
     pub vkeys: Vec<Key>,
     /// Main points, y-descending, `B` per page ("horizontally oriented").
     pub horizontal: Vec<PageId>,
+    /// First (largest) y-key of each horizontal page, so scans skip a
+    /// crossing page that cannot contain an answer.
+    pub hkeys: Vec<Key>,
     pub n_main: usize,
     /// Smallest `(y, id)` among mains. Routing invariant: every point in a
     /// descendant metablock (mains *and* updates) is strictly below this.
@@ -247,6 +338,11 @@ impl MetablockTree {
         }
     }
 
+    /// Mirrored horizontal pages per child entry (0 = packing disabled).
+    pub(crate) fn pack_h(&self) -> usize {
+        self.tuning.pack_h_pages
+    }
+
     /// Number of points stored.
     pub fn len(&self) -> usize {
         self.len
@@ -298,6 +394,33 @@ impl MetablockTree {
     /// Access control information without billing (tests/validation only).
     pub(crate) fn meta_unbilled(&self, mb: MbId) -> &MetaBlock {
         self.metas[mb].as_ref().expect("read of freed metablock")
+    }
+
+    // ---- pinned query-side access ----------------------------------------
+
+    /// Fresh read context for one query-side operation (or one batch).
+    /// With [`Tuning::resident_root`], the root control block starts
+    /// resident: the tree dedicates one block of long-lived main memory to
+    /// it, so descents do not re-read it every operation.
+    pub(crate) fn read_ctx(&self) -> ReadCtx {
+        let mut ctx = ReadCtx::new(self.geo, self.counter.clone());
+        if self.tuning.resident_root {
+            if let Some(root) = self.root {
+                ctx.resident = Some((SPACE_META, root as u64));
+            }
+        }
+        ctx
+    }
+
+    /// Pinned control-block read: one I/O per residency in `ctx`.
+    pub(crate) fn ctx_meta(&self, ctx: &mut ReadCtx, mb: MbId) -> &MetaBlock {
+        ctx.touch_meta(mb);
+        self.metas[mb].as_ref().expect("read of freed metablock")
+    }
+
+    /// Pinned data-page read: one I/O per residency in `ctx`.
+    pub(crate) fn ctx_read(&self, ctx: &mut ReadCtx, pg: PageId) -> &[Point] {
+        self.store.read_pinned(&mut ctx.pin, SPACE_STORE, pg)
     }
 
     /// Pinned read for one multi-step operation: the first touch of a
@@ -380,5 +503,56 @@ impl MetablockTree {
     /// Metablock point capacity `B²`.
     pub(crate) fn cap(&self) -> usize {
         self.geo.b2()
+    }
+
+    // ---- packed-entry maintenance ----------------------------------------
+
+    /// Mirror `child`'s query-side control info (top horizontal pages,
+    /// update-buffer run) into its entry in `parent`. Purely in-memory: the
+    /// caller's operation already holds both control blocks, and every
+    /// mirrored value is a page id or key already known to it. TS mirrors
+    /// are maintained by `install_ts_snapshots`.
+    pub(crate) fn sync_packed_entry(&mut self, parent: MbId, child: MbId) {
+        let h = self.pack_h();
+        if h == 0 {
+            return;
+        }
+        let (h_pages, h_tops, h_more, upd) = {
+            let cm = self.metas[child].as_ref().expect("live child");
+            (
+                cm.horizontal.iter().take(h).copied().collect::<Vec<_>>(),
+                cm.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
+                cm.horizontal.len() > h,
+                cm.update.clone(),
+            )
+        };
+        let pm = self.metas[parent].as_mut().expect("live parent");
+        let e = pm
+            .children
+            .iter_mut()
+            .find(|c| c.mb == child)
+            .expect("child present in parent");
+        e.packed.h_pages = h_pages;
+        e.packed.h_tops = h_tops;
+        e.packed.h_more = h_more;
+        e.packed.upd_pages = upd;
+    }
+
+    /// Refresh every child mirror of `parent` (used where the child list
+    /// itself changed, i.e. splits and static builds).
+    pub(crate) fn sync_packed_children(&mut self, parent: MbId) {
+        if self.pack_h() == 0 {
+            return;
+        }
+        let children: Vec<MbId> = self.metas[parent]
+            .as_ref()
+            .expect("live parent")
+            .children
+            .iter()
+            .map(|c| c.mb)
+            .collect();
+        for c in children {
+            self.sync_packed_entry(parent, c);
+        }
     }
 }

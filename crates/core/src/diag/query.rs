@@ -1,4 +1,4 @@
-//! Diagonal-corner search (Theorem 3.2, Figs. 15–17).
+//! Diagonal-corner search (Theorem 3.2, Figs. 15–17), pinned and packed.
 //!
 //! A diagonal-corner query anchored at `(q, q)` reports every point with
 //! `x ≤ q ≤ y`. Walking from the root along the slab containing `q`, each
@@ -23,10 +23,29 @@
 //! answers exist) or can be answered straight from the snapshot plus the
 //! parent's `TD` structure (the "crossing" case, Fig. 17b). Update blocks
 //! are scanned wherever a metablock is examined (Lemma 3.5).
+//!
+//! **PR 3's read-path rework**, all billed through a [`ReadCtx`] so a
+//! distinct block is paid once per operation:
+//!
+//! * every read goes through the per-operation pin, so a control or data
+//!   page the operation already holds is never billed twice — and a whole
+//!   *batch* of queries ([`MetablockTree::query_batch`]) shares one pin, so
+//!   sorted query floods pay for the shared descent prefix once; with
+//!   [`crate::Tuning::resident_root`], the root control block is
+//!   memory-resident across operations like any storage engine's;
+//! * straddling children are examined from the parent's **packed control
+//!   blocks**: the entry mirrors the child's update-buffer run, TS-snapshot
+//!   run and the top of its horizontal blocking, so a Type IV child is
+//!   answered without touching its own control block (which is read only
+//!   when the scan outgrows the mirrored prefix — amply output-backed);
+//! * the `vkeys`/`hkeys` boundary keys and the corner structure's per-page
+//!   tops skip crossing pages that cannot contain an answer, and the
+//!   terminal Type II node picks the cheaper of the corner query and a
+//!   filtered horizontal scan from exact directory-computed page counts.
 
 use ccix_extmem::Point;
 
-use super::{ChildEntry, MbId, MetaBlock, MetablockTree};
+use super::{ChildEntry, MbId, MetaBlock, MetablockTree, ReadCtx, SPACE_META};
 use crate::bbox::Key;
 
 /// How a child relates to the query bottom `y = q` (Fig. 16), judged purely
@@ -72,15 +91,42 @@ impl MetablockTree {
     /// As [`MetablockTree::query`], appending into `out`.
     /// `O(log_B n + t/B)` I/Os.
     pub fn query_into(&self, q: i64, out: &mut Vec<Point>) {
+        let mut ctx = self.read_ctx();
+        self.query_ctx(&mut ctx, q, out);
+    }
+
+    /// Answer a whole batch of diagonal-corner queries as **one pinned
+    /// operation**: the queries are processed in sorted order over a single
+    /// read context, so every page of the shared descent prefix — control
+    /// blocks, vertical-scan prefixes, TS snapshots, corner pages — is
+    /// billed once per residency instead of once per query. Results are
+    /// returned in input order.
+    ///
+    /// Cost: `O(log_B n + Σtᵢ/B)` I/Os for a flood of nearby query points
+    /// (they share the whole path); fully scattered batches degrade
+    /// gracefully to per-query cost.
+    pub fn query_batch(&self, qs: &[i64]) -> Vec<Vec<Point>> {
+        let mut order: Vec<usize> = (0..qs.len()).collect();
+        order.sort_by_key(|&i| qs[i]);
+        let mut ctx = self.read_ctx();
+        let mut outs: Vec<Vec<Point>> = vec![Vec::new(); qs.len()];
+        for &i in &order {
+            self.query_ctx(&mut ctx, qs[i], &mut outs[i]);
+        }
+        outs
+    }
+
+    /// One query within an existing read context.
+    pub(crate) fn query_ctx(&self, ctx: &mut ReadCtx, q: i64, out: &mut Vec<Point>) {
         if let Some(root) = self.root {
-            self.process_path(root, q, out);
+            self.process_path(ctx, root, q, out);
         }
     }
 
     /// Process a metablock on the search path (the slab containing `q`).
-    fn process_path(&self, mb: MbId, q: i64, out: &mut Vec<Point>) {
-        let meta = self.meta(mb);
-        self.scan_update(meta, q, out);
+    fn process_path(&self, ctx: &mut ReadCtx, mb: MbId, q: i64, out: &mut Vec<Point>) {
+        let meta = self.ctx_meta(ctx, mb);
+        self.scan_update_pages(ctx, &meta.update, q, out);
         let (Some(bbox), Some(ylo)) = (meta.main_bbox, meta.y_lo_main) else {
             return; // empty metablock: only possible for a fresh root
         };
@@ -92,18 +138,42 @@ impl MetablockTree {
         }
         if qk <= ylo {
             // Type I: all mains are inside in y; take those with x ≤ q.
-            self.vertical_scan_leq(meta, q, out);
+            self.vertical_scan_leq(ctx, meta, q, out);
             if !meta.is_leaf() {
-                self.process_children(mb, meta, q, out);
+                self.process_children(ctx, mb, meta, q, out);
             }
         } else {
             // The corner falls inside the metablock's y-range (Type II), or
             // to the right of all its mains. Descendants are strictly below
             // `ylo < (q,0)` by the routing invariant: recursion ends here.
             if bbox.all_x_at_most(q) {
-                self.horizontal_scan_down(&meta.horizontal, q, out);
+                self.horizontal_scan_down(ctx, meta, q, out);
             } else if let Some(corner) = &meta.corner {
-                corner.query_into(&self.store, q, out);
+                // Cost-planned Type II: both routes' page counts are exact
+                // functions of directory information — the corner query
+                // from its per-page tops, the filtered horizontal scan from
+                // `hkeys` — so take whichever is cheaper for this `q`. (The
+                // corner directory rides in this metablock's control block,
+                // which the operation already holds.)
+                let h_cost = meta.hkeys.iter().take_while(|&&k| k >= qk).count();
+                if h_cost <= corner.planned_cost(q) {
+                    let qx: Key = (q, u64::MAX);
+                    'h: for (i, &pg) in meta.horizontal.iter().enumerate() {
+                        if meta.hkeys[i] < qk {
+                            break;
+                        }
+                        for p in self.ctx_read(ctx, pg) {
+                            if p.ykey() < qk {
+                                break 'h;
+                            }
+                            if p.xkey() <= qx {
+                                out.push(*p);
+                            }
+                        }
+                    }
+                } else {
+                    corner.query_pinned(&self.store, ctx, (SPACE_META, mb as u64), q, out);
+                }
             } else {
                 // Mains fit in one vertical block, or corner structures are
                 // ablated (E13): filtered scan of the vertical blocking up
@@ -113,9 +183,12 @@ impl MetablockTree {
                     "missing corner structure"
                 );
                 let qx: Key = (q, u64::MAX);
-                for &pg in &meta.vertical {
+                for (i, &pg) in meta.vertical.iter().enumerate() {
+                    if meta.vkeys[i] > qx {
+                        break;
+                    }
                     let mut crossed = false;
-                    for p in self.store.read(pg) {
+                    for p in self.ctx_read(ctx, pg) {
                         if p.xkey() > qx {
                             crossed = true;
                             break;
@@ -132,10 +205,17 @@ impl MetablockTree {
         }
     }
 
-    /// Handle the children of a Type I metablock `mb` (already loaded as
-    /// `meta`): left siblings of the path child via the TS/TD protocol, then
-    /// recurse into the path child.
-    fn process_children(&self, _mb: MbId, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
+    /// Handle the children of a Type I metablock (already loaded as `meta`):
+    /// left siblings of the path child via the TS/TD protocol, then recurse
+    /// into the path child.
+    fn process_children(
+        &self,
+        ctx: &mut ReadCtx,
+        mb: MbId,
+        meta: &MetaBlock,
+        q: i64,
+        out: &mut Vec<Point>,
+    ) {
         let children = &meta.children;
         let qx: Key = (q, u64::MAX);
         // Path child: the first whose slab extends beyond (q, MAX). All
@@ -155,40 +235,50 @@ impl MetablockTree {
         match partial.len() {
             0 => {
                 for &i in &full {
-                    self.report_all(children[i].mb, q, out);
+                    self.report_all(ctx, children[i].mb, q, out);
                 }
             }
             1 => {
-                // A single straddling child: examine it directly (≤ 2 I/Os
-                // of slack, charged to the path — one such node per level).
-                self.examine_partial(children[partial[0]].mb, q, out);
+                // A single straddling child: examine it (from the packed
+                // summary when it suffices; ≤ 2 I/Os of slack otherwise,
+                // charged to the path — one such node per level).
+                self.examine_child(ctx, meta, partial[0], q, out);
                 for &i in &full {
-                    self.report_all(children[i].mb, q, out);
+                    self.report_all(ctx, children[i].mb, q, out);
                 }
             }
             _ if !self.options.ts_shortcut => {
                 // Ablated (E13): examine every straddling sibling directly.
                 for &i in &partial {
-                    self.examine_partial(children[i].mb, q, out);
+                    self.examine_child(ctx, meta, i, q, out);
                 }
                 for &i in &full {
-                    self.report_all(children[i].mb, q, out);
+                    self.report_all(ctx, children[i].mb, q, out);
                 }
             }
             _ => {
                 let cr = *partial.last().expect("nonempty");
                 let covered = &partial[..partial.len() - 1];
-                // Read TS(children[cr]) top-down; one meta read for cr also
-                // serves its individual examination below.
-                let cr_meta = self.meta(children[cr].mb);
-                let ts = cr_meta
-                    .ts
-                    .as_ref()
-                    .expect("non-first child carries a TS snapshot");
+                // TS(children[cr]) top-down. With packing on, the snapshot's
+                // page run is mirrored in the parent's entry, so no control
+                // block of cr is touched; otherwise read cr's meta for it.
+                let (ts_pages, ts_truncated) = if self.pack_h() > 0 {
+                    (
+                        children[cr].packed.ts_pages.clone(),
+                        children[cr].packed.ts_truncated,
+                    )
+                } else {
+                    let cr_meta = self.ctx_meta(ctx, children[cr].mb);
+                    let ts = cr_meta
+                        .ts
+                        .as_ref()
+                        .expect("non-first child carries a TS snapshot");
+                    (ts.pages.clone(), ts.truncated)
+                };
                 let mut scanned: Vec<Point> = Vec::new();
                 let mut crossed = false;
-                'ts: for &pg in &ts.pages {
-                    for p in self.store.read(pg) {
+                'ts: for &pg in &ts_pages {
+                    for p in self.ctx_read(ctx, pg) {
                         if p.ykey() < (q, 0) {
                             crossed = true;
                             break 'ts;
@@ -196,7 +286,7 @@ impl MetablockTree {
                         scanned.push(*p);
                     }
                 }
-                let complete = crossed || !ts.truncated;
+                let complete = crossed || !ts_truncated;
                 if complete {
                     // Crossing case (Fig. 17b): the snapshot contains every
                     // left-sibling point with y ≥ q as of the last TS reorg;
@@ -207,21 +297,20 @@ impl MetablockTree {
                         covered.iter().any(|&i| children[i].slab_contains(k))
                     };
                     out.extend(scanned.iter().filter(|p| in_covered(p)));
-                    self.query_td(meta, q, &in_covered, out);
-                    self.examine_partial_loaded(cr_meta, q, out);
+                    self.query_td(ctx, mb, meta, q, &in_covered, out);
+                    self.examine_child(ctx, meta, cr, q, out);
                     for &i in &full {
-                        self.report_all(children[i].mb, q, out);
+                        self.report_all(ctx, children[i].mb, q, out);
                     }
                 } else {
                     // Certificate case (Fig. 17a): the snapshot proves at
                     // least B² answers exist among the left siblings, so
                     // examining each individually is paid for by the output.
-                    self.examine_partial_loaded(cr_meta, q, out);
-                    for &i in covered {
-                        self.examine_partial(children[i].mb, q, out);
+                    for &i in &partial {
+                        self.examine_child(ctx, meta, i, q, out);
                     }
                     for &i in &full {
-                        self.report_all(children[i].mb, q, out);
+                        self.report_all(ctx, children[i].mb, q, out);
                     }
                 }
             }
@@ -234,15 +323,18 @@ impl MetablockTree {
                 || path.upd_ymax.is_some_and(|y| y >= qk)
                 || path.sub_yhi.is_some_and(|y| y >= qk);
             if live {
-                self.process_path(path.mb, q, out);
+                self.process_path(ctx, path.mb, q, out);
             }
         }
     }
 
     /// Query the TD structure of `meta` at `q`, keeping points that satisfy
-    /// `filter`, and append to `out`.
+    /// `filter`, and append to `out`. The TD corner's directory rides in
+    /// the parent's control block, which the operation already holds.
     fn query_td(
         &self,
+        ctx: &mut ReadCtx,
+        mb: MbId,
         meta: &MetaBlock,
         q: i64,
         filter: &dyn Fn(&Point) -> bool,
@@ -251,11 +343,11 @@ impl MetablockTree {
         let Some(td) = &meta.td else { return };
         if let Some(corner) = &td.corner {
             let mut tmp = Vec::new();
-            corner.query_into(&self.store, q, &mut tmp);
+            corner.query_pinned(&self.store, ctx, (SPACE_META, mb as u64), q, &mut tmp);
             out.extend(tmp.into_iter().filter(|p| filter(p)));
         }
         for &pg in &td.staged {
-            for p in self.store.read(pg) {
+            for p in self.ctx_read(ctx, pg) {
                 if p.x <= q && p.y >= q && filter(p) {
                     out.push(*p);
                 }
@@ -266,50 +358,111 @@ impl MetablockTree {
     /// Report a Type III subtree: everything in the metablock, then its
     /// children by class. Children's slack I/Os are absorbed by this
     /// metablock's `B²` reported points.
-    fn report_all(&self, mb: MbId, q: i64, out: &mut Vec<Point>) {
-        let meta = self.meta(mb);
-        self.scan_update(meta, q, out);
+    fn report_all(&self, ctx: &mut ReadCtx, mb: MbId, q: i64, out: &mut Vec<Point>) {
+        let meta = self.ctx_meta(ctx, mb);
+        self.scan_update_pages(ctx, &meta.update, q, out);
         for &pg in &meta.horizontal {
-            for p in self.store.read(pg) {
+            for p in self.ctx_read(ctx, pg) {
                 debug_assert!(p.y >= q, "type III metablock holds a point below q");
                 out.push(*p);
             }
         }
-        for c in &meta.children {
-            match classify(c, q) {
-                ChildClass::Full => self.report_all(c.mb, q, out),
-                ChildClass::Partial => self.examine_partial(c.mb, q, out),
+        for i in 0..meta.children.len() {
+            match classify(&meta.children[i], q) {
+                ChildClass::Full => self.report_all(ctx, meta.children[i].mb, q, out),
+                ChildClass::Partial => self.examine_child(ctx, meta, i, q, out),
                 ChildClass::Dead => {}
             }
         }
     }
 
-    /// Examine a Type IV (or update-only) metablock: horizontal scan down to
-    /// `q` plus the update block. By the routing invariant its subtree is
-    /// entirely below `q`.
-    fn examine_partial(&self, mb: MbId, q: i64, out: &mut Vec<Point>) {
-        let meta = self.meta(mb);
-        self.examine_partial_loaded(meta, q, out);
-    }
-
-    fn examine_partial_loaded(&self, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
-        self.scan_update(meta, q, out);
-        if meta.main_bbox.is_some_and(|b| b.yhi >= (q, 0)) {
-            self.horizontal_scan_down(&meta.horizontal, q, out);
+    /// Examine child `idx` of `parent` — a Type IV (or update-only)
+    /// metablock. By the routing invariant its subtree is entirely below
+    /// `q`, so only its update buffer and the top of its mains matter.
+    ///
+    /// With packing on, the whole examination runs off the parent's control
+    /// information: the entry's update-page mirror and its mirror of the
+    /// top of the child's horizontal blocking. The child's own control
+    /// block is read only when the scan outgrows the mirrored prefix — by
+    /// which point `pack_h_pages · B` reported answers have paid for it.
+    fn examine_child(
+        &self,
+        ctx: &mut ReadCtx,
+        parent: &MetaBlock,
+        idx: usize,
+        q: i64,
+        out: &mut Vec<Point>,
+    ) {
+        let entry = &parent.children[idx];
+        if self.pack_h() == 0 {
+            let meta = self.ctx_meta(ctx, entry.mb);
+            self.scan_update_pages(ctx, &meta.update, q, out);
+            if meta.main_bbox.is_some_and(|b| b.yhi >= (q, 0)) {
+                self.horizontal_scan_down(ctx, meta, q, out);
+            }
+            debug_assert_no_live_children(meta, q);
+            return;
         }
-        debug_assert!(
-            meta.children
-                .iter()
-                .all(|c| classify(c, q) == ChildClass::Dead),
-            "partial metablock with a live child"
-        );
+        let qk: Key = (q, 0);
+        if entry.upd_ymax.is_some_and(|y| y >= qk) {
+            self.scan_update_pages(ctx, &entry.packed.upd_pages, q, out);
+        }
+        if entry.main_bbox.is_some_and(|b| b.yhi >= qk) {
+            let mut crossed = false;
+            for (i, &pg) in entry.packed.h_pages.iter().enumerate() {
+                if entry.packed.h_tops[i] < qk {
+                    crossed = true;
+                    break;
+                }
+                for p in self.ctx_read(ctx, pg) {
+                    if p.ykey() < qk {
+                        crossed = true;
+                        break;
+                    }
+                    out.push(*p);
+                }
+                if crossed {
+                    break;
+                }
+            }
+            if !crossed && entry.packed.h_more {
+                // The whole mirrored prefix qualified: continue from the
+                // child's control block (amply output-backed).
+                let meta = self.ctx_meta(ctx, entry.mb);
+                let skip = entry.packed.h_pages.len();
+                for (i, &pg) in meta.horizontal.iter().enumerate().skip(skip) {
+                    if meta.hkeys[i] < qk {
+                        break;
+                    }
+                    let mut done = false;
+                    for p in self.ctx_read(ctx, pg) {
+                        if p.ykey() < qk {
+                            done = true;
+                            break;
+                        }
+                        out.push(*p);
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                debug_assert_no_live_children(meta, q);
+            }
+        }
     }
 
-    /// Scan the update buffer, reporting points inside the query. One I/O
-    /// per pending page (Lemma 3.5, generalised to the batched buffer).
-    fn scan_update(&self, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
-        for &pg in &meta.update {
-            for p in self.store.read(pg) {
+    /// Scan a run of update-buffer pages, reporting points inside the
+    /// query. One I/O per pending page (Lemma 3.5, generalised to the
+    /// batched buffer).
+    fn scan_update_pages(
+        &self,
+        ctx: &mut ReadCtx,
+        pages: &[ccix_extmem::PageId],
+        q: i64,
+        out: &mut Vec<Point>,
+    ) {
+        for &pg in pages {
+            for p in self.ctx_read(ctx, pg) {
                 if p.x <= q && p.y >= q {
                     out.push(*p);
                 }
@@ -318,12 +471,17 @@ impl MetablockTree {
     }
 
     /// Left-to-right vertical scan reporting points with `x ≤ q` (callers
-    /// guarantee `y ≥ q` for all mains). At most one partly-useful block.
-    fn vertical_scan_leq(&self, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
+    /// guarantee `y ≥ q` for all mains). The cached page-boundary keys stop
+    /// the scan before a page that cannot contain an answer, so every page
+    /// read reports at least one point.
+    fn vertical_scan_leq(&self, ctx: &mut ReadCtx, meta: &MetaBlock, q: i64, out: &mut Vec<Point>) {
         let qx: Key = (q, u64::MAX);
-        for &pg in &meta.vertical {
+        for (i, &pg) in meta.vertical.iter().enumerate() {
+            if meta.vkeys[i] > qx {
+                break;
+            }
             let mut crossed = false;
-            for p in self.store.read(pg) {
+            for p in self.ctx_read(ctx, pg) {
                 if p.xkey() > qx {
                     crossed = true;
                     break;
@@ -338,15 +496,30 @@ impl MetablockTree {
     }
 
     /// Top-down horizontal scan reporting points with `y ≥ q` (callers
-    /// guarantee `x ≤ q`). At most one wasted block.
-    fn horizontal_scan_down(&self, pages: &[ccix_extmem::PageId], q: i64, out: &mut Vec<Point>) {
-        'scan: for &pg in pages {
-            for p in self.store.read(pg) {
+    /// guarantee `x ≤ q`). The cached page-top keys skip a crossing page
+    /// with no answers.
+    fn horizontal_scan_down(
+        &self,
+        ctx: &mut ReadCtx,
+        meta: &MetaBlock,
+        q: i64,
+        out: &mut Vec<Point>,
+    ) {
+        for (i, &pg) in meta.horizontal.iter().enumerate() {
+            if meta.hkeys[i] < (q, 0) {
+                break;
+            }
+            let mut crossed = false;
+            for p in self.ctx_read(ctx, pg) {
                 if p.ykey() < (q, 0) {
-                    break 'scan;
+                    crossed = true;
+                    break;
                 }
                 debug_assert!(p.x <= q, "horizontal scan point right of query");
                 out.push(*p);
+            }
+            if crossed {
+                break;
             }
         }
     }
@@ -365,19 +538,25 @@ impl MetablockTree {
     /// of an intersection query without a second copy of the data in a
     /// B+-tree.
     pub fn x_range_into(&self, x1: i64, x2: i64, out: &mut Vec<Point>) {
+        let mut ctx = self.read_ctx();
+        self.x_range_ctx(&mut ctx, x1, x2, out);
+    }
+
+    /// As [`MetablockTree::x_range_into`] within an existing read context.
+    pub(crate) fn x_range_ctx(&self, ctx: &mut ReadCtx, x1: i64, x2: i64, out: &mut Vec<Point>) {
         if x1 > x2 {
             return;
         }
         if let Some(root) = self.root {
-            self.x_range_rec(root, (x1, u64::MIN), (x2, u64::MAX), out);
+            self.x_range_rec(ctx, root, (x1, u64::MIN), (x2, u64::MAX), out);
         }
     }
 
     /// Process a metablock on an x-range boundary path.
-    fn x_range_rec(&self, mb: MbId, a1k: Key, a2k: Key, out: &mut Vec<Point>) {
-        let meta = self.meta(mb);
+    fn x_range_rec(&self, ctx: &mut ReadCtx, mb: MbId, a1k: Key, a2k: Key, out: &mut Vec<Point>) {
+        let meta = self.ctx_meta(ctx, mb);
         for &pg in &meta.update {
-            for p in self.store.read(pg) {
+            for p in self.ctx_read(ctx, pg) {
                 let k = p.xkey();
                 if k >= a1k && k <= a2k {
                     out.push(*p);
@@ -387,8 +566,11 @@ impl MetablockTree {
         // Mains inside the range, starting from the page located via the
         // boundary keys (≤ 2 slack blocks).
         let start = meta.vkeys.partition_point(|&k| k <= a1k).saturating_sub(1);
-        'vertical: for &pg in meta.vertical.iter().skip(start) {
-            for p in self.store.read(pg) {
+        'vertical: for (i, &pg) in meta.vertical.iter().enumerate().skip(start) {
+            if meta.vkeys[i] > a2k {
+                break;
+            }
+            for p in self.ctx_read(ctx, pg) {
                 let k = p.xkey();
                 if k > a2k {
                     break 'vertical;
@@ -408,22 +590,34 @@ impl MetablockTree {
                 break;
             }
             if c.slab_lo >= a1k && c.slab_hi <= a2k {
-                self.x_report_all(c.mb, out);
+                self.x_report_all(ctx, c.mb, out);
             } else {
-                self.x_range_rec(c.mb, a1k, a2k, out);
+                self.x_range_rec(ctx, c.mb, a1k, a2k, out);
             }
         }
     }
 
     /// Report a subtree whose slab lies entirely inside the x-range: every
     /// main and buffered point, output-paying I/Os only.
-    fn x_report_all(&self, mb: MbId, out: &mut Vec<Point>) {
-        let meta = self.meta(mb);
+    fn x_report_all(&self, ctx: &mut ReadCtx, mb: MbId, out: &mut Vec<Point>) {
+        let meta = self.ctx_meta(ctx, mb);
         for &pg in meta.horizontal.iter().chain(&meta.update) {
-            out.extend_from_slice(self.store.read(pg));
+            out.extend_from_slice(self.ctx_read(ctx, pg));
         }
-        for c in &meta.children {
-            self.x_report_all(c.mb, out);
+        for i in 0..meta.children.len() {
+            self.x_report_all(ctx, meta.children[i].mb, out);
         }
     }
+}
+
+/// Debug check: a partial metablock's children are all dead (routing
+/// invariant).
+fn debug_assert_no_live_children(meta: &MetaBlock, q: i64) {
+    debug_assert!(
+        meta.children
+            .iter()
+            .all(|c| classify(c, q) == ChildClass::Dead),
+        "partial metablock with a live child"
+    );
+    let _ = (meta, q);
 }

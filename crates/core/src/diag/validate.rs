@@ -126,6 +126,14 @@ impl MetablockTree {
             horizontal.windows(2).all(|w| w[0].ykey() > w[1].ykey()),
             "horizontal blocking out of order"
         );
+        assert_eq!(
+            meta.hkeys,
+            horizontal
+                .chunks(self.geo.b)
+                .map(|c| c[0].ykey())
+                .collect::<Vec<_>>(),
+            "stale horizontal page-top keys"
+        );
         let mut a: Vec<u64> = vertical.iter().map(|p| p.id).collect();
         let mut b: Vec<u64> = horizontal.iter().map(|p| p.id).collect();
         a.sort_unstable();
@@ -182,6 +190,8 @@ impl MetablockTree {
                 meta.children.len()
             );
             self.validate_ts_coverage(meta);
+
+            self.validate_packed(meta);
 
             let y_lo = meta.y_lo_main;
             for c in &meta.children {
@@ -262,6 +272,57 @@ impl MetablockTree {
             }
             left_points.extend(self.mains_unbilled(child_meta));
             left_points.extend(self.pages_unbilled(&child_meta.update));
+        }
+    }
+
+    /// Packed control information is an exact mirror of the children's
+    /// state: horizontal-prefix, update-page and TS-page mirrors all match.
+    fn validate_packed(&self, meta: &MetaBlock) {
+        let h = self.pack_h();
+        if h == 0 {
+            for c in &meta.children {
+                assert!(c.packed.h_pages.is_empty(), "mirror while packing off");
+                assert!(c.packed.upd_pages.is_empty(), "mirror while packing off");
+                assert!(c.packed.ts_pages.is_empty(), "mirror while packing off");
+            }
+            return;
+        }
+        for c in &meta.children {
+            let child_meta = self.meta_unbilled(c.mb);
+            assert_eq!(
+                c.packed.h_pages,
+                child_meta
+                    .horizontal
+                    .iter()
+                    .take(h)
+                    .copied()
+                    .collect::<Vec<_>>(),
+                "stale packed horizontal-prefix mirror"
+            );
+            assert_eq!(
+                c.packed.h_tops,
+                child_meta.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
+                "stale packed horizontal-top mirror"
+            );
+            assert_eq!(
+                c.packed.h_more,
+                child_meta.horizontal.len() > h,
+                "stale packed h_more bit"
+            );
+            assert_eq!(
+                c.packed.upd_pages, child_meta.update,
+                "stale packed update-page mirror"
+            );
+            match &child_meta.ts {
+                Some(ts) => {
+                    assert_eq!(c.packed.ts_pages, ts.pages, "stale packed TS mirror");
+                    assert_eq!(
+                        c.packed.ts_truncated, ts.truncated,
+                        "stale packed TS truncation bit"
+                    );
+                }
+                None => assert!(c.packed.ts_pages.is_empty(), "packed TS for first child"),
+            }
         }
     }
 

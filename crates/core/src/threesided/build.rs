@@ -11,7 +11,8 @@ use ccix_pst::ExternalPst;
 use super::{ThreeSidedTree, TsMeta, TsTd};
 use crate::bbox::{BBox, Key};
 use crate::diag::{
-    extract_top_y, merge_y_desc_capped, near_equal_ranges, ChildEntry, MbId, TsInfo, FULL_RANGE,
+    extract_top_y, merge_y_desc_capped, near_equal_ranges, ChildEntry, MbId, PackedInfo, TsInfo,
+    FULL_RANGE,
 };
 
 impl ThreeSidedTree {
@@ -96,11 +97,13 @@ impl ThreeSidedTree {
                 main_bbox: BBox::of_points(&cmains),
                 upd_ymax: None,
                 sub_yhi,
+                packed: PackedInfo::default(),
             });
             child_mains.push(cmains);
         }
 
         let id = self.make_metablock(&mains, entries, true);
+        self.sync_packed_children(id);
         self.install_sibling_snapshots(id, child_mains);
         (id, mains, rest_yhi)
     }
@@ -137,6 +140,7 @@ impl ThreeSidedTree {
         let vertical = self.store.alloc_run(by_x);
         let mut by_y = by_x.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
+        let hkeys: Vec<Key> = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
         let horizontal = self.store.alloc_run(&by_y);
         // A PST pays off once the mains span multiple blocks; a single
         // block is answered by scanning it.
@@ -146,6 +150,7 @@ impl ThreeSidedTree {
             vertical,
             vkeys,
             horizontal,
+            hkeys,
             n_main: mains.len(),
             y_lo_main: by_y.last().map(Point::ykey),
             main_bbox: BBox::of_points(by_x),
@@ -206,6 +211,12 @@ impl ThreeSidedTree {
             top = merge_y_desc_capped(std::mem::take(&mut top), sorted[i].clone(), cap);
         }
 
+        let mut mirrors: Vec<(
+            Vec<ccix_extmem::PageId>,
+            bool,
+            Vec<ccix_extmem::PageId>,
+            bool,
+        )> = Vec::with_capacity(len);
         for (i, &child) in child_ids.iter().enumerate() {
             let mut meta = self.take_meta(child);
             if let Some(old) = meta.tsl.take() {
@@ -230,7 +241,30 @@ impl ThreeSidedTree {
                     truncated,
                 });
             }
+            mirrors.push((
+                meta.tsl
+                    .as_ref()
+                    .map(|t| t.pages.clone())
+                    .unwrap_or_default(),
+                meta.tsl.as_ref().is_some_and(|t| t.truncated),
+                meta.tsr
+                    .as_ref()
+                    .map(|t| t.pages.clone())
+                    .unwrap_or_default(),
+                meta.tsr.as_ref().is_some_and(|t| t.truncated),
+            ));
             self.put_meta(child, meta);
+        }
+        // Mirror both snapshot runs into the parent's packed entries (the
+        // parent is held in memory by this operation).
+        if self.pack_h() > 0 {
+            let pm = self.metas[parent].as_mut().expect("live parent");
+            for (e, (tsl_pages, tsl_tr, tsr_pages, tsr_tr)) in pm.children.iter_mut().zip(mirrors) {
+                e.packed.ts_pages = tsl_pages;
+                e.packed.ts_truncated = tsl_tr;
+                e.packed.tsr_pages = tsr_pages;
+                e.packed.tsr_truncated = tsr_tr;
+            }
         }
 
         // The children PST over every child's snapshot points (≤ B³). This

@@ -14,7 +14,7 @@ use ccix_pst::ExternalPst;
 
 use super::{ThreeSidedTree, TsMeta, TsTd};
 use crate::bbox::BBox;
-use crate::diag::{ChildEntry, MbId, FULL_RANGE};
+use crate::diag::{ChildEntry, MbId, PackedInfo, FULL_RANGE};
 
 /// Record `mb` as dirty (dedup'd) for the end-of-operation writeback.
 fn mark_dirty(dirty: &mut Vec<MbId>, mb: MbId) {
@@ -42,6 +42,13 @@ impl ThreeSidedTree {
         let fix_from = path.len();
         let mut pinned: Vec<MbId> = Vec::new();
         let mut dirty: Vec<MbId> = Vec::new();
+        if self.tuning.resident_root {
+            // The root control block lives in dedicated main memory (see
+            // [`crate::Tuning::resident_root`]): pinned for free.
+            if let Some(root) = self.root {
+                pinned.push(root);
+            }
+        }
 
         // Phase 1 — descend, pinning each control block on the way down.
         let mut cur = start;
@@ -109,6 +116,17 @@ impl ThreeSidedTree {
                     .expect("target is live")
                     .update
                     .push(pg);
+                // Mirror the new buffer page into the parent's packed entry
+                // (in-memory: the parent is pinned on the descent path).
+                if self.pack_h() > 0 {
+                    if let Some(&par) = path.last() {
+                        let pm = self.metas[par].as_mut().expect("parent is live");
+                        if let Some(e) = pm.children.iter_mut().find(|c| c.mb == target) {
+                            e.packed.upd_pages.push(pg);
+                            mark_dirty(&mut dirty, par);
+                        }
+                    }
+                }
             }
         }
         let update_full = {
@@ -233,8 +251,10 @@ impl ThreeSidedTree {
             if let Some(e) = pm.children.iter_mut().find(|c| c.mb == mb) {
                 e.main_bbox = new_bbox;
                 e.upd_ymax = None;
+                e.packed.upd_pages.clear();
             }
             self.put_meta(parent, pm);
+            self.sync_packed_entry(parent, mb);
         }
         n_main
     }
@@ -254,6 +274,7 @@ impl ThreeSidedTree {
         m.vertical = self.store.alloc_run(&by_x);
         let mut by_y = pts.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
+        m.hkeys = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
         m.horizontal = self.store.alloc_run(&by_y);
         m.n_main = pts.len();
         m.main_bbox = BBox::of_points(pts);
@@ -295,6 +316,7 @@ impl ThreeSidedTree {
                 };
             }
             self.put_meta(parent, pm);
+            self.sync_packed_entry(parent, mb);
             self.ts_reorg(parent);
         }
 
@@ -349,6 +371,7 @@ impl ThreeSidedTree {
                 main_bbox: left_bbox,
                 upd_ymax: None,
                 sub_yhi: None,
+                packed: PackedInfo::default(),
             },
         );
         pm.children.insert(
@@ -360,10 +383,12 @@ impl ThreeSidedTree {
                 main_bbox: right_bbox,
                 upd_ymax: None,
                 sub_yhi: None,
+                packed: PackedInfo::default(),
             },
         );
         let overflow = pm.children.len() >= 2 * self.geo.b;
         self.put_meta(parent, pm);
+        self.sync_packed_children(parent);
         self.ts_reorg(parent);
         if overflow {
             self.branching_split(parent, &path[..path.len() - 1]);
@@ -412,6 +437,7 @@ impl ThreeSidedTree {
                 main_bbox: BBox::of_points(&lmains),
                 upd_ymax: None,
                 sub_yhi: lsub,
+                packed: PackedInfo::default(),
             },
         );
         pm.children.insert(
@@ -423,10 +449,12 @@ impl ThreeSidedTree {
                 main_bbox: BBox::of_points(&rmains),
                 upd_ymax: None,
                 sub_yhi: rsub,
+                packed: PackedInfo::default(),
             },
         );
         let overflow = pm.children.len() >= 2 * self.geo.b;
         self.put_meta(parent, pm);
+        self.sync_packed_children(parent);
         self.ts_reorg(parent);
         if overflow {
             self.branching_split(parent, &ancestors[..ancestors.len() - 1]);

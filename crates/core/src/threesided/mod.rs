@@ -36,7 +36,7 @@ use ccix_extmem::{Geometry, IoCounter, PageId, Point, TypedStore};
 use ccix_pst::ExternalPst;
 
 use crate::bbox::{BBox, Key};
-use crate::diag::{ChildEntry, MbId, TsInfo};
+use crate::diag::{ChildEntry, MbId, ReadCtx, TsInfo, SPACE_AUX, SPACE_META, SPACE_STORE};
 
 /// TD insert-tracking structure of an interior metablock: the points
 /// inserted into its children since the last TS reorganisation, queryable as
@@ -65,6 +65,8 @@ pub(crate) struct TsMeta {
     pub vkeys: Vec<Key>,
     /// Mains, y-descending, `B` per page.
     pub horizontal: Vec<PageId>,
+    /// First (largest) y-key of each horizontal page.
+    pub hkeys: Vec<Key>,
     pub n_main: usize,
     pub y_lo_main: Option<Key>,
     pub main_bbox: Option<BBox>,
@@ -161,6 +163,12 @@ impl ThreeSidedTree {
         }
     }
 
+    /// Mirrored horizontal pages per child entry (0 = packing disabled);
+    /// see the diagonal tree's [`crate::MetablockTree::pack_h`].
+    pub(crate) fn pack_h(&self) -> usize {
+        self.tuning.pack_h_pages
+    }
+
     /// Number of points stored.
     pub fn len(&self) -> usize {
         self.len
@@ -217,6 +225,38 @@ impl ThreeSidedTree {
 
     pub(crate) fn meta_unbilled(&self, mb: MbId) -> &TsMeta {
         self.metas[mb].as_ref().expect("read of freed metablock")
+    }
+
+    // ---- pinned query-side access ----------------------------------------
+
+    /// Fresh read context for one query-side operation (or one batch);
+    /// with [`crate::Tuning::resident_root`], the root control block starts
+    /// resident (see the diagonal tree).
+    pub(crate) fn read_ctx(&self) -> ReadCtx {
+        let mut ctx = ReadCtx::new(self.geo, self.counter.clone());
+        if self.tuning.resident_root {
+            if let Some(root) = self.root {
+                ctx.resident = Some((SPACE_META, root as u64));
+            }
+        }
+        ctx
+    }
+
+    /// Pinned control-block read: one I/O per residency in `ctx`.
+    pub(crate) fn ctx_meta(&self, ctx: &mut ReadCtx, mb: MbId) -> &TsMeta {
+        ctx.touch_meta(mb);
+        self.metas[mb].as_ref().expect("read of freed metablock")
+    }
+
+    /// Pinned data-page read: one I/O per residency in `ctx`.
+    pub(crate) fn ctx_read(&self, ctx: &mut ReadCtx, pg: PageId) -> &[Point] {
+        self.store.read_pinned(&mut ctx.pin, SPACE_STORE, pg)
+    }
+
+    /// Pin key-space of metablock `mb`'s own PST (`j = 0`), children PST
+    /// (`j = 1`) or TD PST (`j = 2`).
+    pub(crate) fn pst_space(mb: MbId, j: u32) -> u32 {
+        SPACE_AUX + 3 * (mb as u32) + j
     }
 
     /// Pinned read for one multi-step operation; see the diagonal tree's
@@ -281,5 +321,52 @@ impl ThreeSidedTree {
 
     pub(crate) fn cap(&self) -> usize {
         self.geo.b2()
+    }
+
+    // ---- packed-entry maintenance (mirrors the diagonal tree) ------------
+
+    /// Mirror `child`'s query-side control info into its entry in `parent`
+    /// (in-memory; see [`crate::MetablockTree::sync_packed_entry`]).
+    pub(crate) fn sync_packed_entry(&mut self, parent: MbId, child: MbId) {
+        let h = self.pack_h();
+        if h == 0 {
+            return;
+        }
+        let (h_pages, h_tops, h_more, upd) = {
+            let cm = self.metas[child].as_ref().expect("live child");
+            (
+                cm.horizontal.iter().take(h).copied().collect::<Vec<_>>(),
+                cm.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
+                cm.horizontal.len() > h,
+                cm.update.clone(),
+            )
+        };
+        let pm = self.metas[parent].as_mut().expect("live parent");
+        let e = pm
+            .children
+            .iter_mut()
+            .find(|c| c.mb == child)
+            .expect("child present in parent");
+        e.packed.h_pages = h_pages;
+        e.packed.h_tops = h_tops;
+        e.packed.h_more = h_more;
+        e.packed.upd_pages = upd;
+    }
+
+    /// Refresh every child mirror of `parent` (child list changed).
+    pub(crate) fn sync_packed_children(&mut self, parent: MbId) {
+        if self.pack_h() == 0 {
+            return;
+        }
+        let children: Vec<MbId> = self.metas[parent]
+            .as_ref()
+            .expect("live parent")
+            .children
+            .iter()
+            .map(|c| c.mb)
+            .collect();
+        for c in children {
+            self.sync_packed_entry(parent, c);
+        }
     }
 }

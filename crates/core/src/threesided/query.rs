@@ -1,4 +1,4 @@
-//! The 3-sided search (Lemma 4.3, Fig. 21).
+//! The 3-sided search (Lemma 4.3, Fig. 21), pinned and packed.
 //!
 //! Report every point with `x1 ≤ x ≤ x2 ∧ y ≥ y0`. The search descends the
 //! (at most two) slabs containing the query's vertical sides. A visited
@@ -16,12 +16,21 @@
 //!   different children, the paper's case (4)) the parent's **children PST**
 //!   answers for all of them at once, which is where the one `O(log2 B)`
 //!   term of Theorem 4.7 is spent.
+//!
+//! PR 3's read-path rework applies exactly as in `crate::diag::query`:
+//! every read is billed once per residency through the operation's
+//! [`ReadCtx`] (shared by a whole [`ThreeSidedTree::query_batch`], which
+//! also pins PST node pages); the sibling-snapshot runs are mirrored in the
+//! parent's packed entries so the route never loads the anchor child's
+//! control block; straddling middles are examined from the packed
+//! horizontal-prefix mirrors; and the `vkeys`/`hkeys` boundary keys stop
+//! scans before a page with no answers.
 
 use ccix_extmem::Point;
 
 use super::{ThreeSidedTree, TsMeta};
 use crate::bbox::Key;
-use crate::diag::{ChildEntry, MbId, TsInfo};
+use crate::diag::{ChildEntry, MbId, ReadCtx};
 
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 enum ChildClass {
@@ -55,6 +64,15 @@ fn child_live(c: &ChildEntry, y0: i64) -> bool {
         || c.sub_yhi.is_some_and(|y| y >= qk)
 }
 
+/// Which sibling snapshot resolves the straddling middles.
+#[derive(Clone, Copy)]
+enum SnapshotSide {
+    /// `TSR` of the child left of the middles.
+    Right,
+    /// `TSL` of the child right of the middles.
+    Left,
+}
+
 impl ThreeSidedTree {
     /// Report every point with `x1 ≤ x ≤ x2 ∧ y ≥ y0`.
     pub fn query(&self, x1: i64, x2: i64, y0: i64) -> Vec<Point> {
@@ -66,18 +84,56 @@ impl ThreeSidedTree {
     /// As [`ThreeSidedTree::query`], appending into `out`.
     /// `O(log_B n + t/B + log2 B)` I/Os.
     pub fn query_into(&self, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+        let mut ctx = self.read_ctx();
+        self.query_ctx(&mut ctx, x1, x2, y0, out);
+    }
+
+    /// Answer a batch of 3-sided queries as one pinned operation: queries
+    /// are processed in sorted order over a shared read context, so control
+    /// blocks, PST nodes and data pages of the shared descent prefix are
+    /// billed once per residency instead of once per query. Results are in
+    /// input order.
+    pub fn query_batch(&self, queries: &[(i64, i64, i64)]) -> Vec<Vec<Point>> {
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by_key(|&i| queries[i]);
+        let mut ctx = self.read_ctx();
+        let mut outs: Vec<Vec<Point>> = vec![Vec::new(); queries.len()];
+        for &i in &order {
+            let (x1, x2, y0) = queries[i];
+            self.query_ctx(&mut ctx, x1, x2, y0, &mut outs[i]);
+        }
+        outs
+    }
+
+    /// One query within an existing read context.
+    pub(crate) fn query_ctx(
+        &self,
+        ctx: &mut ReadCtx,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
         if x1 > x2 {
             return;
         }
         if let Some(root) = self.root {
-            self.process(root, x1, x2, y0, out);
+            self.process(ctx, root, x1, x2, y0, out);
         }
     }
 
     /// Process a metablock on a boundary path.
-    fn process(&self, mb: MbId, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
-        let meta = self.meta(mb);
-        self.scan_update(meta, x1, x2, y0, out);
+    fn process(
+        &self,
+        ctx: &mut ReadCtx,
+        mb: MbId,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        let meta = self.ctx_meta(ctx, mb);
+        self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
         let (Some(bbox), Some(ylo)) = (meta.main_bbox, meta.y_lo_main) else {
             return;
         };
@@ -88,11 +144,11 @@ impl ThreeSidedTree {
         if qk > ylo {
             // Straddling node: its own PST answers; subtree is below y0.
             if let Some(pst) = &meta.pst {
-                pst.query_into(x1, x2, y0, out);
+                pst.query_pinned(&mut ctx.pin, Self::pst_space(mb, 0), x1, x2, y0, out);
             } else {
                 debug_assert!(meta.n_main <= self.geo.b, "missing metablock PST");
                 for &pg in &meta.vertical {
-                    for p in self.store.read(pg) {
+                    for p in self.ctx_read(ctx, pg) {
                         if p.x >= x1 && p.x <= x2 && p.y >= y0 {
                             out.push(*p);
                         }
@@ -104,14 +160,24 @@ impl ThreeSidedTree {
 
         // Entirely above y0: mains inside [x1, x2] via the vertical blocking
         // (page boundaries located from the control info, ≤ 2 slack blocks).
-        self.vertical_scan_range(meta, x1, x2, out);
+        self.vertical_scan_range(ctx, meta, x1, x2, out);
         if meta.is_leaf() {
             return;
         }
-        self.process_children(meta, x1, x2, y0, out);
+        self.process_children(ctx, mb, meta, x1, x2, y0, out);
     }
 
-    fn process_children(&self, meta: &TsMeta, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
+    #[allow(clippy::too_many_arguments)]
+    fn process_children(
+        &self,
+        ctx: &mut ReadCtx,
+        mb: MbId,
+        meta: &TsMeta,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
         let children = &meta.children;
         let a1k: Key = (x1, u64::MIN);
         let a2k: Key = (x2, u64::MAX);
@@ -128,7 +194,7 @@ impl ThreeSidedTree {
             // Both vertical sides within one child: no middles, recurse.
             let c = &children[i1];
             if c.slab_lo <= a2k && child_live(c, y0) {
-                self.process(c.mb, x1, x2, y0, out);
+                self.process(ctx, c.mb, x1, x2, y0, out);
             }
             return;
         }
@@ -140,10 +206,10 @@ impl ThreeSidedTree {
         let m_start = if left_boundary { i1 + 1 } else { i1 };
         let m_end = i2; // exclusive
         if left_boundary && child_live(&children[i1], y0) {
-            self.process(children[i1].mb, x1, x2, y0, out);
+            self.process(ctx, children[i1].mb, x1, x2, y0, out);
         }
         if right_boundary && child_live(&children[i2], y0) {
-            self.process(children[i2].mb, x1, x2, y0, out);
+            self.process(ctx, children[i2].mb, x1, x2, y0, out);
         }
         if m_start >= m_end {
             return;
@@ -159,54 +225,70 @@ impl ThreeSidedTree {
             }
         }
         for &i in &full {
-            self.report_all(children[i].mb, x1, x2, y0, out);
+            self.report_all(ctx, children[i].mb, x1, x2, y0, out);
         }
         match partial.len() {
             0 => {}
             1 => {
                 // One straddling middle: examine it directly.
-                self.examine_partial(children[partial[0]].mb, x1, x2, y0, out);
+                self.examine_child(ctx, meta, partial[0], x1, x2, y0, out);
             }
             _ => {
                 // Choose the sibling-snapshot that covers the whole middle
                 // range, if one exists; otherwise (fork / fully covered
                 // node) fall back to the children PST.
                 if m_end == len && m_start > 0 {
-                    let anchor = &children[m_start - 1];
-                    let ts = |m: &TsMeta| m.tsr.clone();
-                    self.snapshot_route(meta, children, anchor, &partial, ts, x1, x2, y0, out);
+                    let side = (m_start - 1, SnapshotSide::Right);
+                    self.snapshot_route(ctx, mb, meta, side, &partial, x1, x2, y0, out);
                 } else if m_start == 0 && m_end < len {
-                    let anchor = &children[m_end];
-                    let ts = |m: &TsMeta| m.tsl.clone();
-                    self.snapshot_route(meta, children, anchor, &partial, ts, x1, x2, y0, out);
+                    let side = (m_end, SnapshotSide::Left);
+                    self.snapshot_route(ctx, mb, meta, side, &partial, x1, x2, y0, out);
                 } else {
-                    self.children_pst_route(meta, children, &partial, x1, x2, y0, out);
+                    self.children_pst_route(ctx, mb, meta, &partial, x1, x2, y0, out);
                 }
             }
         }
     }
 
     /// Resolve straddling middles from a sibling snapshot (`TSR` of the
-    /// child left of them, or `TSL` of the child right of them).
+    /// child left of them, or `TSL` of the child right of them). With
+    /// packing on, the snapshot's run rides in the parent's entry; the
+    /// anchor's control block is never touched.
     #[allow(clippy::too_many_arguments)]
     fn snapshot_route(
         &self,
+        ctx: &mut ReadCtx,
+        mb: MbId,
         parent: &TsMeta,
-        children: &[ChildEntry],
-        anchor: &ChildEntry,
+        (anchor_idx, side): (usize, SnapshotSide),
         partial: &[usize],
-        ts_of: impl Fn(&TsMeta) -> Option<TsInfo>,
         x1: i64,
         x2: i64,
         y0: i64,
         out: &mut Vec<Point>,
     ) {
-        let anchor_meta = self.meta(anchor.mb);
-        let ts = ts_of(anchor_meta).expect("anchor child carries the sibling snapshot");
+        let children = &parent.children;
+        let anchor = &children[anchor_idx];
+        let (ts_pages, ts_truncated) = if self.pack_h() > 0 {
+            match side {
+                SnapshotSide::Right => {
+                    (anchor.packed.tsr_pages.clone(), anchor.packed.tsr_truncated)
+                }
+                SnapshotSide::Left => (anchor.packed.ts_pages.clone(), anchor.packed.ts_truncated),
+            }
+        } else {
+            let anchor_meta = self.ctx_meta(ctx, anchor.mb);
+            let info = match side {
+                SnapshotSide::Right => anchor_meta.tsr.as_ref(),
+                SnapshotSide::Left => anchor_meta.tsl.as_ref(),
+            };
+            let info = info.expect("anchor child carries the sibling snapshot");
+            (info.pages.clone(), info.truncated)
+        };
         let mut scanned: Vec<Point> = Vec::new();
         let mut crossed = false;
-        'ts: for &pg in &ts.pages {
-            for p in self.store.read(pg) {
+        'ts: for &pg in &ts_pages {
+            for p in self.ctx_read(ctx, pg) {
                 if p.ykey() < (y0, 0) {
                     crossed = true;
                     break 'ts;
@@ -214,7 +296,7 @@ impl ThreeSidedTree {
                 scanned.push(*p);
             }
         }
-        if crossed || !ts.truncated {
+        if crossed || !ts_truncated {
             // Crossing case: the snapshot holds every middle-sibling point
             // with y ≥ y0 as of the last TS reorganisation; TD holds the
             // rest. Restrict both to the straddling middles' slabs.
@@ -223,12 +305,12 @@ impl ThreeSidedTree {
                 partial.iter().any(|&i| children[i].slab_contains(k))
             };
             out.extend(scanned.iter().filter(|p| in_partial(p)));
-            self.query_td(parent, x1, x2, y0, &in_partial, out);
+            self.query_td(ctx, mb, parent, x1, x2, y0, &in_partial, out);
         } else {
             // Certificate: at least B² answers exist among the middles;
             // examining each individually is paid for by the output.
             for &i in partial {
-                self.examine_partial(children[i].mb, x1, x2, y0, out);
+                self.examine_child(ctx, parent, i, x1, x2, y0, out);
             }
         }
     }
@@ -238,35 +320,40 @@ impl ThreeSidedTree {
     #[allow(clippy::too_many_arguments)]
     fn children_pst_route(
         &self,
+        ctx: &mut ReadCtx,
+        mb: MbId,
         parent: &TsMeta,
-        children: &[ChildEntry],
         partial: &[usize],
         x1: i64,
         x2: i64,
         y0: i64,
         out: &mut Vec<Point>,
     ) {
+        let children = &parent.children;
         let in_partial = |p: &Point| {
             let k = p.xkey();
             partial.iter().any(|&i| children[i].slab_contains(k))
         };
         if let Some(cpst) = &parent.children_pst {
             let mut tmp = Vec::new();
-            cpst.query_into(x1, x2, y0, &mut tmp);
+            cpst.query_pinned(&mut ctx.pin, Self::pst_space(mb, 1), x1, x2, y0, &mut tmp);
             out.extend(tmp.into_iter().filter(|p| in_partial(p)));
         } else {
             // No snapshot yet (fresh interior node): examine individually.
             for &i in partial {
-                self.examine_partial(children[i].mb, x1, x2, y0, out);
+                self.examine_child(ctx, parent, i, x1, x2, y0, out);
             }
             return;
         }
-        self.query_td(parent, x1, x2, y0, &in_partial, out);
+        self.query_td(ctx, mb, parent, x1, x2, y0, &in_partial, out);
     }
 
     /// Query the TD structure, keeping points that satisfy `filter`.
+    #[allow(clippy::too_many_arguments)]
     fn query_td(
         &self,
+        ctx: &mut ReadCtx,
+        mb: MbId,
         meta: &TsMeta,
         x1: i64,
         x2: i64,
@@ -277,11 +364,11 @@ impl ThreeSidedTree {
         let Some(td) = &meta.td else { return };
         if let Some(pst) = &td.pst {
             let mut tmp = Vec::new();
-            pst.query_into(x1, x2, y0, &mut tmp);
+            pst.query_pinned(&mut ctx.pin, Self::pst_space(mb, 2), x1, x2, y0, &mut tmp);
             out.extend(tmp.into_iter().filter(|p| filter(p)));
         }
         for &pg in &td.staged {
-            for p in self.store.read(pg) {
+            for p in self.ctx_read(ctx, pg) {
                 if p.x >= x1 && p.x <= x2 && p.y >= y0 && filter(p) {
                     out.push(*p);
                 }
@@ -290,52 +377,149 @@ impl ThreeSidedTree {
     }
 
     /// Report a fully-covered, fully-above subtree (Type III).
-    fn report_all(&self, mb: MbId, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
-        let meta = self.meta(mb);
-        self.scan_update(meta, x1, x2, y0, out);
+    fn report_all(
+        &self,
+        ctx: &mut ReadCtx,
+        mb: MbId,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        let meta = self.ctx_meta(ctx, mb);
+        self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
         for &pg in &meta.horizontal {
-            for p in self.store.read(pg) {
+            for p in self.ctx_read(ctx, pg) {
                 debug_assert!(p.y >= y0 && p.x >= x1 && p.x <= x2);
                 out.push(*p);
             }
         }
-        for c in &meta.children {
-            match classify(c, y0) {
-                ChildClass::Full => self.report_all(c.mb, x1, x2, y0, out),
-                ChildClass::Partial => self.examine_partial(c.mb, x1, x2, y0, out),
+        for i in 0..meta.children.len() {
+            match classify(&meta.children[i], y0) {
+                ChildClass::Full => self.report_all(ctx, meta.children[i].mb, x1, x2, y0, out),
+                ChildClass::Partial => self.examine_child(ctx, meta, i, x1, x2, y0, out),
                 ChildClass::Dead => {}
             }
         }
     }
 
-    /// Examine a straddling metablock whose slab is fully inside `[x1, x2]`:
-    /// horizontal scan down to `y0` plus the update block; its subtree is
-    /// below `y0` by the routing invariant.
-    fn examine_partial(&self, mb: MbId, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
-        let meta = self.meta(mb);
-        self.scan_update(meta, x1, x2, y0, out);
-        if meta.main_bbox.is_some_and(|b| b.yhi >= (y0, 0)) {
-            'scan: for &pg in &meta.horizontal {
-                for p in self.store.read(pg) {
-                    if p.ykey() < (y0, 0) {
-                        break 'scan;
+    /// Examine child `idx` of `parent` — a straddling metablock whose slab
+    /// is fully inside `[x1, x2]`; its subtree is below `y0` by the routing
+    /// invariant. With packing on, the examination runs off the parent's
+    /// control information (update mirror + horizontal-prefix mirror),
+    /// touching the child's control block only when the scan outgrows the
+    /// mirrored prefix (amply output-backed).
+    #[allow(clippy::too_many_arguments)]
+    fn examine_child(
+        &self,
+        ctx: &mut ReadCtx,
+        parent: &TsMeta,
+        idx: usize,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        let entry = &parent.children[idx];
+        if self.pack_h() == 0 {
+            let meta = self.ctx_meta(ctx, entry.mb);
+            self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
+            if meta.main_bbox.is_some_and(|b| b.yhi >= (y0, 0)) {
+                self.horizontal_scan_down(ctx, meta, x1, x2, y0, out);
+            }
+            debug_assert_no_live_children(meta, y0);
+            return;
+        }
+        let qk: Key = (y0, 0);
+        if entry.upd_ymax.is_some_and(|y| y >= qk) {
+            self.scan_update_pages(ctx, &entry.packed.upd_pages, x1, x2, y0, out);
+        }
+        if entry.main_bbox.is_some_and(|b| b.yhi >= qk) {
+            let mut crossed = false;
+            for (i, &pg) in entry.packed.h_pages.iter().enumerate() {
+                if entry.packed.h_tops[i] < qk {
+                    crossed = true;
+                    break;
+                }
+                for p in self.ctx_read(ctx, pg) {
+                    if p.ykey() < qk {
+                        crossed = true;
+                        break;
                     }
                     debug_assert!(p.x >= x1 && p.x <= x2);
                     out.push(*p);
                 }
+                if crossed {
+                    break;
+                }
+            }
+            if !crossed && entry.packed.h_more {
+                let meta = self.ctx_meta(ctx, entry.mb);
+                let skip = entry.packed.h_pages.len();
+                for (i, &pg) in meta.horizontal.iter().enumerate().skip(skip) {
+                    if meta.hkeys[i] < qk {
+                        break;
+                    }
+                    let mut done = false;
+                    for p in self.ctx_read(ctx, pg) {
+                        if p.ykey() < qk {
+                            done = true;
+                            break;
+                        }
+                        debug_assert!(p.x >= x1 && p.x <= x2);
+                        out.push(*p);
+                    }
+                    if done {
+                        break;
+                    }
+                }
+                debug_assert_no_live_children(meta, y0);
             }
         }
-        debug_assert!(
-            meta.children
-                .iter()
-                .all(|c| classify(c, y0) == ChildClass::Dead),
-            "partial metablock with a live child"
-        );
     }
 
-    fn scan_update(&self, meta: &TsMeta, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
-        for &pg in &meta.update {
-            for p in self.store.read(pg) {
+    /// Top-down horizontal scan reporting points with `y ≥ y0`; the cached
+    /// page-top keys skip a crossing page with no answers.
+    fn horizontal_scan_down(
+        &self,
+        ctx: &mut ReadCtx,
+        meta: &TsMeta,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        for (i, &pg) in meta.horizontal.iter().enumerate() {
+            if meta.hkeys[i] < (y0, 0) {
+                break;
+            }
+            let mut crossed = false;
+            for p in self.ctx_read(ctx, pg) {
+                if p.ykey() < (y0, 0) {
+                    crossed = true;
+                    break;
+                }
+                debug_assert!(p.x >= x1 && p.x <= x2);
+                out.push(*p);
+            }
+            if crossed {
+                break;
+            }
+        }
+        let _ = (x1, x2);
+    }
+
+    fn scan_update_pages(
+        &self,
+        ctx: &mut ReadCtx,
+        pages: &[ccix_extmem::PageId],
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        for &pg in pages {
+            for p in self.ctx_read(ctx, pg) {
                 if p.x >= x1 && p.x <= x2 && p.y >= y0 {
                     out.push(*p);
                 }
@@ -346,14 +530,24 @@ impl ThreeSidedTree {
     /// Report mains with `x ∈ [x1, x2]` from the vertical blocking, starting
     /// at the page located via the cached page-boundary keys. Callers
     /// guarantee all mains have `y ≥ y0`. At most 2 slack blocks.
-    fn vertical_scan_range(&self, meta: &TsMeta, x1: i64, x2: i64, out: &mut Vec<Point>) {
+    fn vertical_scan_range(
+        &self,
+        ctx: &mut ReadCtx,
+        meta: &TsMeta,
+        x1: i64,
+        x2: i64,
+        out: &mut Vec<Point>,
+    ) {
         let a1k: Key = (x1, u64::MIN);
         let a2k: Key = (x2, u64::MAX);
         // Last page whose first key is ≤ a1k could still contain x ≥ x1.
         let start = meta.vkeys.partition_point(|&k| k <= a1k).saturating_sub(1);
-        for &pg in meta.vertical.iter().skip(start) {
+        for (i, &pg) in meta.vertical.iter().enumerate().skip(start) {
+            if meta.vkeys[i] > a2k {
+                break;
+            }
             let mut beyond = false;
-            for p in self.store.read(pg) {
+            for p in self.ctx_read(ctx, pg) {
                 let k = p.xkey();
                 if k > a2k {
                     beyond = true;
@@ -368,4 +562,16 @@ impl ThreeSidedTree {
             }
         }
     }
+}
+
+/// Debug check: a partial metablock's children are all dead (routing
+/// invariant).
+fn debug_assert_no_live_children(meta: &TsMeta, y0: i64) {
+    debug_assert!(
+        meta.children
+            .iter()
+            .all(|c| classify(c, y0) == ChildClass::Dead),
+        "partial metablock with a live child"
+    );
+    let _ = (meta, y0);
 }

@@ -98,6 +98,14 @@ impl ThreeSidedTree {
             horizontal.windows(2).all(|w| w[0].ykey() > w[1].ykey()),
             "horizontal blocking out of order"
         );
+        assert_eq!(
+            meta.hkeys,
+            horizontal
+                .chunks(self.geo.b)
+                .map(|c| c[0].ykey())
+                .collect::<Vec<_>>(),
+            "stale horizontal page-top keys"
+        );
         assert_eq!(meta.main_bbox, BBox::of_points(&mains), "stale main bbox");
         assert_eq!(
             meta.y_lo_main,
@@ -145,6 +153,7 @@ impl ThreeSidedTree {
                 assert_eq!(w[0].slab_hi, w[1].slab_lo, "slab gap between children");
             }
             self.validate_sibling_coverage(meta);
+            self.validate_packed(meta);
 
             let y_lo = meta.y_lo_main;
             for c in &meta.children {
@@ -177,6 +186,69 @@ impl ThreeSidedTree {
         } else {
             assert!(meta.td.is_none(), "leaf metablock with TD");
             assert!(meta.children_pst.is_none(), "leaf with children PST");
+        }
+    }
+
+    /// Packed control information is an exact mirror of the children's
+    /// state: horizontal-prefix, update-page and TSL/TSR-page mirrors all
+    /// match (see the diagonal tree's validator).
+    fn validate_packed(&self, meta: &TsMeta) {
+        let h = self.pack_h();
+        if h == 0 {
+            for c in &meta.children {
+                assert!(c.packed.h_pages.is_empty(), "mirror while packing off");
+                assert!(c.packed.upd_pages.is_empty(), "mirror while packing off");
+                assert!(c.packed.ts_pages.is_empty(), "mirror while packing off");
+                assert!(c.packed.tsr_pages.is_empty(), "mirror while packing off");
+            }
+            return;
+        }
+        for c in &meta.children {
+            let child_meta = self.meta_unbilled(c.mb);
+            assert_eq!(
+                c.packed.h_pages,
+                child_meta
+                    .horizontal
+                    .iter()
+                    .take(h)
+                    .copied()
+                    .collect::<Vec<_>>(),
+                "stale packed horizontal-prefix mirror"
+            );
+            assert_eq!(
+                c.packed.h_tops,
+                child_meta.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
+                "stale packed horizontal-top mirror"
+            );
+            assert_eq!(
+                c.packed.h_more,
+                child_meta.horizontal.len() > h,
+                "stale packed h_more bit"
+            );
+            assert_eq!(
+                c.packed.upd_pages, child_meta.update,
+                "stale packed update-page mirror"
+            );
+            match &child_meta.tsl {
+                Some(ts) => {
+                    assert_eq!(c.packed.ts_pages, ts.pages, "stale packed TSL mirror");
+                    assert_eq!(
+                        c.packed.ts_truncated, ts.truncated,
+                        "stale packed TSL truncation bit"
+                    );
+                }
+                None => assert!(c.packed.ts_pages.is_empty(), "packed TSL for first child"),
+            }
+            match &child_meta.tsr {
+                Some(ts) => {
+                    assert_eq!(c.packed.tsr_pages, ts.pages, "stale packed TSR mirror");
+                    assert_eq!(
+                        c.packed.tsr_truncated, ts.truncated,
+                        "stale packed TSR truncation bit"
+                    );
+                }
+                None => assert!(c.packed.tsr_pages.is_empty(), "packed TSR for last child"),
+            }
         }
     }
 

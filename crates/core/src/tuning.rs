@@ -41,6 +41,28 @@ pub struct Tuning {
     /// by `2|S|`; larger values store fewer explicit answers at the price
     /// of more stage-2 scanning.
     pub corner_alpha: usize,
+    /// **Packed control blocks**: how many of each child's top horizontal
+    /// pages (ids + page-top keys) an interior metablock mirrors inline in
+    /// its child entries, alongside mirrors of the child's update-buffer
+    /// and TS-snapshot page runs. A query that must examine a straddling
+    /// child then walks the child's top pages straight from the parent's
+    /// control block — no read of the child's own control block — and the
+    /// TS route reads snapshot pages without loading their owner first.
+    /// The child's control block is touched only when the query outgrows
+    /// the mirrored prefix, which at least `k·B` answers have then paid
+    /// for. A few words per child, within §3.1's "constant number of disk
+    /// blocks" of control information. `0` reproduces the paper's layout
+    /// (no packing).
+    pub pack_h_pages: usize,
+    /// Keep the root control block **memory-resident across operations** —
+    /// one block of the model's `Θ(B²)`-unit persistent main memory
+    /// dedicated to the open tree, exactly as every production storage
+    /// engine pins the top of its tree. Descents then read it for free;
+    /// writes to it are still charged (durability), and it still counts in
+    /// the structure's space. `false` reproduces the paper's strict
+    /// cold-per-operation accounting, where even the root transfers once
+    /// per operation.
+    pub resident_root: bool,
 }
 
 impl Default for Tuning {
@@ -54,6 +76,8 @@ impl Default for Tuning {
             td_batch_pages: 2,
             ts_snapshot_pages: Some(8),
             corner_alpha: 2,
+            pack_h_pages: 4,
+            resident_root: true,
         }
     }
 }
@@ -67,6 +91,8 @@ impl Tuning {
             td_batch_pages: 1,
             ts_snapshot_pages: None,
             corner_alpha: 2,
+            pack_h_pages: 0,
+            resident_root: false,
         }
     }
 }

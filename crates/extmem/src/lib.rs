@@ -33,6 +33,7 @@
 
 mod disk;
 mod geometry;
+mod pin;
 mod point;
 mod pool;
 mod stats;
@@ -40,6 +41,7 @@ mod store;
 
 pub use disk::{Disk, PageBuf};
 pub use geometry::{near_equal_ranges, Geometry};
+pub use pin::PathPin;
 pub use point::{sort_by_x, sort_by_y_desc, Point};
 pub use pool::BufferPool;
 pub use stats::{IoCounter, IoSnapshot, IoStats};

@@ -41,17 +41,26 @@ impl BufferPool {
     }
 
     /// Read `id`, consulting the cache first.
+    ///
+    /// Allocates one copy for the caller; the cached copy on a miss is
+    /// filled directly from the disk buffer. Use [`BufferPool::read_with`]
+    /// to borrow the cached page and skip the allocation entirely.
     pub fn read(&mut self, disk: &Disk, id: PageId) -> Vec<u8> {
+        self.read_with(disk, id, <[u8]>::to_vec)
+    }
+
+    /// Read `id` and pass the page bytes to `f` without copying them out of
+    /// the cache.
+    pub fn read_with<R>(&mut self, disk: &Disk, id: PageId, f: impl FnOnce(&[u8]) -> R) -> R {
         self.clock += 1;
         if let Some((buf, used)) = self.cache.get_mut(&id) {
             *used = self.clock;
             self.hits += 1;
-            return buf.clone();
+            return f(buf);
         }
         self.misses += 1;
-        let buf = disk.read(id).to_vec();
-        self.insert(id, buf.clone());
-        buf
+        self.insert(id, disk.read(id).to_vec());
+        f(&self.cache[&id].0)
     }
 
     /// Write through to the disk and refresh the cached copy.
@@ -129,6 +138,24 @@ mod tests {
         assert_eq!(counter.reads(), before);
         let _ = pool.read(&disk, a); // miss again
         assert_eq!(counter.reads(), before + 1);
+    }
+
+    #[test]
+    fn read_with_borrows_and_costs_like_read() {
+        let counter = IoCounter::new();
+        let mut disk = Disk::new(4, counter.clone());
+        let id = disk.alloc();
+        disk.write(id, &[5u8; 4]);
+        let mut pool = BufferPool::new(2);
+        let before = counter.reads();
+        let sum: u32 = pool.read_with(&disk, id, |b| b.iter().map(|&x| u32::from(x)).sum());
+        assert_eq!(sum, 20);
+        assert_eq!(counter.reads() - before, 1, "miss reads through");
+        let sum2: u32 = pool.read_with(&disk, id, |b| b.iter().map(|&x| u32::from(x)).sum());
+        assert_eq!(sum2, 20);
+        assert_eq!(counter.reads() - before, 1, "hit is free");
+        assert_eq!(pool.hits(), 1);
+        assert_eq!(pool.misses(), 1);
     }
 
     #[test]

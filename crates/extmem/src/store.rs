@@ -155,6 +155,12 @@ impl<T: Clone> TypedStore<T> {
     /// Only for validation code in tests (oracle comparisons, invariant
     /// checks); never used on a measured query path.
     pub fn read_unbilled(&self, id: PageId) -> &[T] {
+        self.read_unbilled_internal(id)
+    }
+
+    /// Uncharged access for the pinning layer, which bills through
+    /// [`crate::PathPin`] instead.
+    pub(crate) fn read_unbilled_internal(&self, id: PageId) -> &[T] {
         self.pages[id.index()]
             .as_deref()
             .expect("read of freed page")

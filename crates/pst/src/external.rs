@@ -10,7 +10,7 @@
 //! * 3-sided query `O(log2 n + t/B)` I/Os,
 //! * bulk build `O((n/B) log_B n)` I/Os (one write per page emitted).
 
-use ccix_extmem::{Geometry, IoCounter, PageId, Point, TypedStore};
+use ccix_extmem::{Geometry, IoCounter, PageId, PathPin, Point, TypedStore};
 
 /// One record on a PST page: the leading control record or a data point.
 #[derive(Clone, Copy, Debug)]
@@ -162,6 +162,70 @@ impl ExternalPst {
     /// by experiment E12 to compare against the metablock tree.
     pub fn diagonal_into(&self, q: i64, out: &mut Vec<Point>) {
         self.query_into(i64::MIN, q, q, out);
+    }
+
+    /// As [`ExternalPst::query_into`] within a pinned operation: node pages
+    /// are billed through `pin` under key-space `space`, so a batch of
+    /// queries sharing the pin pays for each visited node once per
+    /// residency instead of once per query.
+    pub fn query_pinned(
+        &self,
+        pin: &mut PathPin,
+        space: u32,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        if x1 > x2 {
+            return;
+        }
+        if let Some(root) = self.root {
+            self.visit_pinned(pin, space, root, x1, x2, y0, out);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn visit_pinned(
+        &self,
+        pin: &mut PathPin,
+        space: u32,
+        page: PageId,
+        x1: i64,
+        x2: i64,
+        y0: i64,
+        out: &mut Vec<Point>,
+    ) {
+        let recs = self.store.read_pinned(pin, space, page);
+        let PstRec::Meta { split, left, right } = recs[0] else {
+            unreachable!("first record of a PST page is always the meta");
+        };
+        let mut all_above = true;
+        for rec in &recs[1..] {
+            let PstRec::Pt(p) = rec else {
+                unreachable!("data records follow the meta record")
+            };
+            if p.y < y0 {
+                all_above = false;
+                break;
+            }
+            if p.x >= x1 && p.x <= x2 {
+                out.push(*p);
+            }
+        }
+        if !all_above {
+            return;
+        }
+        if let Some(l) = left {
+            if (x1, u64::MIN) <= split {
+                self.visit_pinned(pin, space, l, x1, x2, y0, out);
+            }
+        }
+        if let Some(r) = right {
+            if (x2, u64::MAX) > split {
+                self.visit_pinned(pin, space, r, x1, x2, y0, out);
+            }
+        }
     }
 
     /// Read back every stored point (one I/O per page); used when a dynamic

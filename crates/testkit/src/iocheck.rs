@@ -54,6 +54,27 @@ impl<'a> IoProbe<'a> {
         d
     }
 
+    /// Finish a *query* probe, asserting the cost model was not bypassed:
+    /// at least one page transfer unless the answer is empty.
+    ///
+    /// With `ccix_core::Tuning::resident_root` a tree's root control
+    /// block is memory-resident, so a query that dies at the root (nothing
+    /// can qualify) legitimately costs zero I/Os — but any *reported*
+    /// record lives on a charged data page, so a nonempty answer with zero
+    /// transfers is still a counter bypass.
+    ///
+    /// # Panics
+    /// Panics if `answers > 0` and no page transfer was recorded.
+    pub fn finish_query(self, answers: usize) -> IoSnapshot {
+        let d = self.delta();
+        assert!(
+            d.total() > 0 || answers == 0,
+            "{}: {answers} answers reported with 0 transfers (counter bypass)",
+            self.label
+        );
+        d
+    }
+
     /// Finish, asserting ≥ 1 transfer and at most `bound` total transfers.
     ///
     /// # Panics

@@ -37,6 +37,16 @@ pub fn diagonal_corner(points: &[Point], q: i64) -> Vec<Point> {
         .collect()
 }
 
+/// Points with `x1 ≤ x ≤ x2` (one-dimensional x-range reporting, the
+/// left-endpoint half of an intersection query).
+pub fn x_range(points: &[Point], x1: i64, x2: i64) -> Vec<Point> {
+    points
+        .iter()
+        .copied()
+        .filter(|p| p.x >= x1 && p.x <= x2)
+        .collect()
+}
+
 /// Points with `x1 ≤ x ≤ x2` and `y ≥ y0` (3-sided query).
 pub fn three_sided(points: &[Point], x1: i64, x2: i64, y0: i64) -> Vec<Point> {
     points

@@ -78,6 +78,65 @@ pub fn interval_points(intervals: &[Interval]) -> Vec<Point> {
         .collect()
 }
 
+// ------------------------------------------------------------ query floods
+//
+// Stabbing-query batches for the batched read engines (`query_batch` /
+// `stab_batch`): the north-star workload is millions of users issuing
+// query floods, so suites and benches share these three regimes. The
+// engines sort internally — the generators deliberately deliver points in
+// cache-hostile order so nothing depends on accidental input order.
+
+/// Uniform flood: `batch` independent stabbing points over `[0, range)` —
+/// the scattered regime, where batching can only share the descent's top.
+pub fn uniform_flood(batch: usize, seed: u64, range: i64) -> Vec<i64> {
+    let mut r = DetRng::new(seed);
+    (0..batch).map(|_| r.gen_range(0..range)).collect()
+}
+
+/// Skewed flood: stabbing points cluster geometrically around a few hot
+/// spots (most users query the same hot keys).
+pub fn skewed_flood(batch: usize, seed: u64, range: i64, centres: usize) -> Vec<i64> {
+    assert!(centres > 0, "need at least one hot centre");
+    let mut r = DetRng::new(seed);
+    let hot: Vec<i64> = (0..centres).map(|_| r.gen_range(0..range)).collect();
+    (0..batch)
+        .map(|_| {
+            let c = *r.choose(&hot).expect("nonempty");
+            let mut spread = 1i64;
+            while spread < range && r.gen_bool(0.5) {
+                spread *= 2;
+            }
+            (c + r.gen_range(-spread..spread + 1)).clamp(0, range.max(1) - 1)
+        })
+        .collect()
+}
+
+/// Adversarial-correlated flood: every stabbing point falls inside one
+/// tight window, but the batch is delivered in a maximally un-sorted
+/// (ends-inward interleaved) order — the shape a batched engine must sort
+/// to exploit, and the worst case for any engine that processes the batch
+/// in arrival order with a small cache.
+pub fn correlated_flood(batch: usize, seed: u64, range: i64, window: i64) -> Vec<i64> {
+    let mut r = DetRng::new(seed);
+    let lo = r.gen_range(0..(range - window).max(1));
+    let mut sorted: Vec<i64> = (0..batch)
+        .map(|_| lo + r.gen_range(0..window.max(1)))
+        .collect();
+    sorted.sort_unstable();
+    // Ends-inward interleave: max, min, 2nd max, 2nd min, …
+    let mut out = Vec::with_capacity(batch);
+    let (mut i, mut j) = (0usize, batch);
+    while i < j {
+        j -= 1;
+        out.push(sorted[j]);
+        if i < j {
+            out.push(sorted[i]);
+            i += 1;
+        }
+    }
+    out
+}
+
 // ------------------------------------------------------------------ points
 
 /// The Proposition 3.3 staircase: `(x, x+1)` for `x ∈ [0, n)`.
@@ -232,6 +291,35 @@ mod tests {
         {
             assert!(iv.lo <= iv.hi);
         }
+    }
+
+    #[test]
+    fn floods_are_deterministic_and_in_range() {
+        assert_eq!(uniform_flood(16, 3, 100), uniform_flood(16, 3, 100));
+        assert_eq!(skewed_flood(16, 5, 1000, 3), skewed_flood(16, 5, 1000, 3));
+        assert_eq!(
+            correlated_flood(17, 7, 10_000, 50),
+            correlated_flood(17, 7, 10_000, 50)
+        );
+        for q in uniform_flood(50, 1, 100)
+            .into_iter()
+            .chain(skewed_flood(50, 2, 100, 4))
+        {
+            assert!((0..100).contains(&q));
+        }
+    }
+
+    #[test]
+    fn correlated_flood_is_tight_but_unsorted() {
+        let batch = 64;
+        let window = 100;
+        let qs = correlated_flood(batch, 9, 100_000, window);
+        assert_eq!(qs.len(), batch);
+        let (lo, hi) = (*qs.iter().min().unwrap(), *qs.iter().max().unwrap());
+        assert!(hi - lo < window, "flood wider than its window");
+        // Ends-inward interleave: adjacent deliveries jump across the
+        // window instead of creeping through it.
+        assert!(qs.windows(2).any(|w| w[0] > w[1]) && qs.windows(2).any(|w| w[0] < w[1]));
     }
 
     #[test]

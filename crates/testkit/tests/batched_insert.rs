@@ -25,12 +25,16 @@ fn random_tuning(rng: &mut DetRng) -> Tuning {
             td_batch_pages: rng.gen_range(1..5usize),
             ts_snapshot_pages: None,
             corner_alpha: rng.gen_range(2..5usize),
+            pack_h_pages: rng.gen_range(0..9usize),
+            resident_root: rng.gen_bool(0.5),
         },
         _ => Tuning {
             update_batch_pages: 8,
             td_batch_pages: 4,
             ts_snapshot_pages: Some(rng.gen_range(1..9usize)),
             corner_alpha: 2,
+            pack_h_pages: rng.gen_range(0..5usize),
+            resident_root: rng.gen_bool(0.5),
         },
     }
 }
@@ -67,7 +71,7 @@ fn mid_batch_queries_agree_with_oracle() {
                 let q = rng.gen_range(-5..range + 5);
                 let probe = IoProbe::start(&counter, format!("mid-batch stabbing({q})"));
                 let got: Vec<u64> = tree.query(q).iter().map(|p| p.id).collect();
-                assert_read_only(probe.finish_charged(), "mid-batch stabbing");
+                assert_read_only(probe.finish_query(got.len()), "mid-batch stabbing");
                 oracle::assert_same_ids(
                     got,
                     oracle::stabbing_ids(so_far, q),
@@ -112,7 +116,7 @@ fn mid_batch_intersections_agree_with_oracle() {
                     let probe =
                         IoProbe::start(idx.counter(), format!("intersecting({a},{})", a + w));
                     let got = idx.intersecting(a, a + w);
-                    assert_read_only(probe.finish_charged(), "mid-batch intersecting");
+                    assert_read_only(probe.finish_query(got.len()), "mid-batch intersecting");
                     oracle::assert_same_ids(
                         got,
                         oracle::intersecting_ids(so_far, a, a + w),

@@ -53,7 +53,7 @@ fn stabbing_agrees_with_naive_and_oracle() {
             let want = oracle::stabbing_ids(&ivs, q);
             let probe = IoProbe::start(idx.counter(), format!("stabbing({q})"));
             let got = idx.stabbing(q);
-            assert_read_only(probe.finish_charged(), "index stabbing");
+            assert_read_only(probe.finish_query(got.len()), "index stabbing");
             oracle::assert_same_ids(got, want.clone(), &format!("index b={b} q={q}"));
             // workload() always yields ≥ 1 interval, so the naive store has
             // ≥ 1 page and even an empty-answer scan must be charged.
@@ -78,7 +78,7 @@ fn intersecting_agrees_with_naive_and_oracle() {
             let want = oracle::intersecting_ids(&ivs, a, a + w);
             let probe = IoProbe::start(idx.counter(), format!("intersecting({a},{})", a + w));
             let got = idx.intersecting(a, a + w);
-            assert_read_only(probe.finish_charged(), "index intersecting");
+            assert_read_only(probe.finish_query(got.len()), "index intersecting");
             oracle::assert_same_ids(got, want.clone(), &format!("index b={b} q=[{a},{}]", a + w));
             oracle::assert_same_ids(
                 naive.intersecting(a, a + w),
@@ -109,7 +109,7 @@ fn index_beats_scan_at_scale() {
         let q = rng.gen_range(0..4 * n as i64);
         let probe = IoProbe::start(idx.counter(), "index");
         let a = idx.stabbing(q);
-        idx_io += probe.finish_charged().reads;
+        idx_io += probe.finish_query(a.len()).reads;
         let probe = IoProbe::start(naive.counter(), "scan");
         let b = naive.stabbing(q);
         scan_io += probe.finish_charged().reads;

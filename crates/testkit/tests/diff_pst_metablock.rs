@@ -50,7 +50,7 @@ fn metablock_and_pst_agree_on_diagonal_queries() {
             let want = oracle::diagonal_corner(&pts, q);
             let probe = IoProbe::start(tree.counter(), format!("metablock q={q}"));
             let got_tree = tree.query(q);
-            assert_read_only(probe.finish_charged(), "metablock query");
+            assert_read_only(probe.finish_query(got_tree.len()), "metablock query");
             oracle::assert_same_points(got_tree, want.clone(), &format!("metablock b={b} q={q}"));
             // point_set() always yields ≥ 1 point, so the PST is nonempty
             // and even an empty-answer descent must be charged.

@@ -1,0 +1,257 @@
+//! PR 3's read path: x-range edge cases against the oracle, and the
+//! batched multi-query engine (agreement + amortisation, enforced by
+//! [`IoProbe`]).
+
+use ccix_class::{ClassIndex, RakeClassIndex};
+use ccix_core::{MetablockTree, ThreeSidedTree};
+use ccix_extmem::{Geometry, IoCounter, Point};
+use ccix_interval::IntervalIndex;
+use ccix_testkit::iocheck::{assert_read_only, IoProbe};
+use ccix_testkit::{check, oracle, workloads, DetRng};
+
+fn diagonal_points(rng: &mut DetRng, n: usize, range: i64) -> Vec<Point> {
+    (0..n)
+        .map(|i| {
+            let a = rng.gen_range(0..range);
+            let b = rng.gen_range(0..range);
+            Point::new(a.min(b), a.max(b), i as u64)
+        })
+        .collect()
+}
+
+/// `x_range_into` edge cases: empty and inverted ranges, a single-point
+/// range, ranges aligned exactly on vertical-page and slab boundaries, a
+/// range inside one slab, and the full key space — all against the oracle.
+#[test]
+fn x_range_edge_cases_match_oracle() {
+    check::trials("query_path::x_range_edges", 40, 0xA3E1, |rng| {
+        let b = rng.gen_range(2usize..9);
+        let geo = Geometry::new(b);
+        let n = rng.gen_range(1usize..600);
+        let range = rng.gen_range(10i64..1_000);
+        let pts = diagonal_points(rng, n, range);
+        let tree = MetablockTree::build(geo, IoCounter::new(), pts.clone());
+
+        let mut xs: Vec<i64> = pts.iter().map(|p| p.x).collect();
+        xs.sort_unstable();
+
+        let mut cases: Vec<(i64, i64)> = vec![
+            (5, 4),                 // inverted: must report nothing
+            (range + 1, range + 5), // entirely right of the data
+            (-10, -1),              // entirely left of the data
+            (xs[0], xs[0]),         // single point at the smallest key
+            (xs[0], xs[n - 1]),     // the full data range
+            (i64::MIN, i64::MAX),   // the full key space
+        ];
+        // Ranges starting/ending exactly at vertical-page boundary keys
+        // (every B-th x in sorted order), the `vkeys` seams.
+        for page_start in (0..n).step_by(b) {
+            cases.push((xs[page_start], xs[(page_start + b - 1).min(n - 1)]));
+            if page_start > 0 {
+                cases.push((xs[page_start - 1], xs[page_start]));
+            }
+        }
+        // A few narrow single-slab ranges and random ranges.
+        for _ in 0..6 {
+            let a = rng.gen_range(0..range);
+            cases.push((a, a + rng.gen_range(0..range / 8 + 1)));
+        }
+
+        for (x1, x2) in cases {
+            let mut got = Vec::new();
+            let probe = IoProbe::start(tree.counter(), format!("x_range [{x1}, {x2}]"));
+            tree.x_range_into(x1, x2, &mut got);
+            assert_read_only(probe.finish_query(got.len()), "x_range");
+            oracle::assert_same_points(
+                got,
+                oracle::x_range(&pts, x1, x2),
+                &format!("b={b} n={n} x_range=[{x1}, {x2}]"),
+            );
+        }
+    });
+}
+
+/// The batched stabbing engine agrees with one-at-a-time queries on every
+/// flood family, never costs more I/Os than the singles, and on a
+/// correlated flood amortises well below the single-query average.
+#[test]
+fn stab_batch_agrees_and_amortises() {
+    let geo = Geometry::new(16);
+    let n = 60_000usize;
+    let range = 4 * n as i64;
+    let ivs = workloads::uniform_intervals(n, 0xBA7E, range, 1_500);
+    let counter = IoCounter::new();
+    let idx = IntervalIndex::build(geo, counter.clone(), &ivs);
+    let batch = 64usize;
+
+    let floods: Vec<(&str, Vec<i64>)> = vec![
+        ("uniform", workloads::uniform_flood(batch, 1, range)),
+        ("skewed", workloads::skewed_flood(batch, 2, range, 6)),
+        (
+            "correlated",
+            workloads::correlated_flood(batch, 3, range, 1_500),
+        ),
+    ];
+    for (name, qs) in floods {
+        let before = counter.snapshot();
+        let singles: Vec<Vec<u64>> = qs.iter().map(|&q| idx.stabbing(q)).collect();
+        let single_reads = counter.since(before).reads;
+
+        let probe = IoProbe::start(&counter, format!("stab_batch {name}"));
+        let batched = idx.stab_batch(&qs);
+        let answers: usize = batched.iter().map(Vec::len).sum();
+        let delta = probe.finish_query(answers);
+        assert_read_only(delta, "stab_batch");
+
+        // Input-order agreement, per query, against singles and the oracle.
+        assert_eq!(batched.len(), qs.len());
+        for ((q, got), want) in qs.iter().zip(&batched).zip(&singles) {
+            oracle::assert_same_ids(got.clone(), want.clone(), &format!("{name} q={q}"));
+            oracle::assert_same_ids(
+                got.clone(),
+                oracle::stabbing_ids(&ivs, *q),
+                &format!("{name} oracle q={q}"),
+            );
+        }
+
+        // One pinned operation never pays more than the singles did.
+        assert!(
+            delta.reads <= single_reads,
+            "{name}: batch cost {} > singles cost {single_reads}",
+            delta.reads
+        );
+        if name == "correlated" {
+            // The shared descent and the heavily overlapping answers must
+            // amortise well below the single-query cost (the pin's B-frame
+            // budget caps how much overlap small geometries can capture).
+            assert!(
+                3 * delta.reads <= 2 * single_reads,
+                "correlated flood should amortise ≥ 1.5×: batch {} vs singles {single_reads}",
+                delta.reads
+            );
+        }
+    }
+}
+
+/// Randomized cross-check at property-test scale: batches drawn from all
+/// three flood families agree with singles for every geometry and never
+/// cost more.
+#[test]
+fn stab_batch_randomized_agreement() {
+    check::trials("query_path::stab_batch", 40, 0xBA7F, |rng| {
+        let b = rng.gen_range(2usize..9);
+        let geo = Geometry::new(b);
+        let n = rng.gen_range(1usize..500);
+        let range = rng.gen_range(20i64..800);
+        let ivs = workloads::uniform_intervals(n, rng.next_u64(), range, range / 3 + 1);
+        let counter = IoCounter::new();
+        let idx = IntervalIndex::build(geo, counter.clone(), &ivs);
+        let batch = rng.gen_range(1usize..40);
+        let qs = match rng.gen_range(0..3u32) {
+            0 => workloads::uniform_flood(batch, rng.next_u64(), range),
+            1 => workloads::skewed_flood(batch, rng.next_u64(), range, 3),
+            _ => workloads::correlated_flood(batch, rng.next_u64(), range, range / 4 + 1),
+        };
+        let before = counter.snapshot();
+        let singles: Vec<Vec<u64>> = qs.iter().map(|&q| idx.stabbing(q)).collect();
+        let single_reads = counter.since(before).reads;
+        let before = counter.snapshot();
+        let batched = idx.stab_batch(&qs);
+        let batch_reads = counter.since(before).reads;
+        for ((q, got), want) in qs.iter().zip(batched).zip(singles) {
+            oracle::assert_same_ids(got, want, &format!("b={b} n={n} q={q}"));
+        }
+        assert!(
+            batch_reads <= single_reads,
+            "b={b} n={n}: batch {batch_reads} > singles {single_reads}"
+        );
+    });
+}
+
+/// The 3-sided tree's batched queries agree with singles and with the
+/// oracle, PST descent included.
+#[test]
+fn threesided_batch_agrees() {
+    check::trials("query_path::threesided_batch", 30, 0x35B1, |rng| {
+        let b = rng.gen_range(2usize..8);
+        let geo = Geometry::new(b);
+        let n = rng.gen_range(1usize..400);
+        let range = rng.gen_range(20i64..600);
+        let pts: Vec<Point> = (0..n)
+            .map(|i| Point::new(rng.gen_range(0..range), rng.gen_range(0..range), i as u64))
+            .collect();
+        let counter = IoCounter::new();
+        let tree = ThreeSidedTree::build(geo, counter.clone(), pts.clone());
+        let queries: Vec<(i64, i64, i64)> = (0..rng.gen_range(1usize..24))
+            .map(|_| {
+                let x1 = rng.gen_range(-5..range);
+                let w = rng.gen_range(0..range / 2 + 1);
+                (x1, x1 + w, rng.gen_range(-5..range + 5))
+            })
+            .collect();
+        let before = counter.snapshot();
+        let singles: Vec<Vec<Point>> = queries
+            .iter()
+            .map(|&(x1, x2, y0)| tree.query(x1, x2, y0))
+            .collect();
+        let single_reads = counter.since(before).reads;
+        let before = counter.snapshot();
+        let batched = tree.query_batch(&queries);
+        let batch_reads = counter.since(before).reads;
+        for ((&(x1, x2, y0), got), want) in queries.iter().zip(batched).zip(singles) {
+            oracle::assert_same_points(got.clone(), want, &format!("q=({x1},{x2},{y0})"));
+            oracle::assert_same_points(
+                got,
+                oracle::three_sided(&pts, x1, x2, y0),
+                &format!("oracle q=({x1},{x2},{y0})"),
+            );
+        }
+        assert!(batch_reads <= single_reads);
+    });
+}
+
+/// The rake class index's batched floods agree with singles across
+/// hierarchy shapes (grouping by heavy-path structure, children-PST
+/// descent included) and never cost more.
+#[test]
+fn class_query_batch_agrees() {
+    check::trials("query_path::class_batch", 24, 0xC1A5, |rng| {
+        let c = rng.gen_range(2usize..40);
+        let shape = *rng
+            .choose(&workloads::HierarchyShape::ALL)
+            .expect("nonempty");
+        let h = workloads::hierarchy(shape, c, rng.next_u64());
+        let geo = Geometry::new(rng.gen_range(2usize..6));
+        let counter = IoCounter::new();
+        let mut idx = RakeClassIndex::new(h.clone(), geo, counter.clone());
+        let n = rng.gen_range(1usize..300);
+        let objects = workloads::uniform_objects(&h, n, rng.next_u64(), 500);
+        for o in &objects {
+            idx.insert(*o);
+        }
+        let queries: Vec<(usize, i64, i64)> = (0..rng.gen_range(1usize..20))
+            .map(|_| {
+                let a1 = rng.gen_range(-10i64..510);
+                (rng.gen_range(0..c), a1, a1 + rng.gen_range(0..200))
+            })
+            .collect();
+        let before = counter.snapshot();
+        let singles: Vec<Vec<u64>> = queries
+            .iter()
+            .map(|&(cl, a1, a2)| idx.query(cl, a1, a2))
+            .collect();
+        let single_reads = counter.since(before).reads;
+        let before = counter.snapshot();
+        let batched = idx.query_batch(&queries);
+        let batch_reads = counter.since(before).reads;
+        for ((&(cl, a1, a2), got), want) in queries.iter().zip(batched).zip(singles) {
+            oracle::assert_same_ids(got.clone(), want, &format!("class={cl} [{a1},{a2}]"));
+            oracle::assert_same_ids(
+                got,
+                oracle::class_range_ids(&h, &objects, cl, a1, a2),
+                &format!("oracle class={cl} [{a1},{a2}]"),
+            );
+        }
+        assert!(batch_reads <= single_reads, "shape={shape:?} c={c}");
+    });
+}
