@@ -1,0 +1,18 @@
+//! Experiment binary: see `ccix_bench::experiments::eb_build`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_build_baseline.json` (the rebuild-pipeline wall-clock baseline):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_build -- --json > BENCH_build_baseline.json
+//! ```
+fn main() {
+    let tables = ccix_bench::experiments::eb_build();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

@@ -18,12 +18,21 @@
 //!   ≤ 6 I/Os amortised at batch = 64; plus a generous wall-clock *smoke*
 //!   ceiling on the corner-structure build (EQB-build — absolute only,
 //!   timings are not diffed).
+//! * **EB** (`exp_build --json`, baseline `BENCH_build_baseline.json`) —
+//!   the merge-based rebuild pipeline's wall-clock table (static build +
+//!   rebuild-heavy insert flood, 1 thread and max threads). Build I/O is
+//!   gated exactly like any count (parallel planning must not change it);
+//!   the wall-clock cells get variance-tolerant absolute ceilings only,
+//!   sized ~10× the measured dev-box numbers (see docs/tuning.md for how
+//!   they were chosen).
 //!
 //! ```text
 //! cargo run --release -p ccix-bench --bin exp_interval -- --json > new.json
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_baseline.json new.json
 //! cargo run --release -p ccix-bench --bin exp_query_batch -- --json > newq.json
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_query_baseline.json newq.json
+//! cargo run --release -p ccix-bench --bin exp_build -- --json > newb.json
+//! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_build_baseline.json newb.json
 //! ```
 //!
 //! Std-only (the workspace has no registry access): the JSON reader below
@@ -95,6 +104,39 @@ const SPECS: &[Spec] = &[
         absolute: &[
             (&[("B", "256")], "build ms", 2_000.0),
             (&[("B", "1024")], "build ms", 15_000.0),
+        ],
+        space_rule: false,
+    },
+    Spec {
+        // The rebuild pipeline. Build I/O is exact and bit-reproducible —
+        // any rise is a real regression (and the thread count must not
+        // change it, which the shared key row pair checks implicitly).
+        // Wall-clock cells are absolute smoke ceilings only, ~10× the
+        // measured dev numbers (docs/tuning.md records them).
+        title_prefix: "EB —",
+        key_cols: &["tree", "n", "threads"],
+        gated: &["build I/O"],
+        absolute: &[
+            (
+                &[("tree", "diag"), ("n", "500000"), ("threads", "1")],
+                "build ms",
+                2_000.0,
+            ),
+            (
+                &[("tree", "diag"), ("n", "500000"), ("threads", "1")],
+                "flood ms",
+                1_000.0,
+            ),
+            (
+                &[("tree", "diag"), ("n", "2100000"), ("threads", "max")],
+                "build ms",
+                12_000.0,
+            ),
+            (
+                &[("tree", "3sided"), ("n", "500000"), ("threads", "1")],
+                "flood ms",
+                2_500.0,
+            ),
         ],
         space_rule: false,
     },
@@ -570,6 +612,41 @@ mod tests {
             2,
             "absolute q budget (12) plus the relative rise both fire"
         );
+    }
+
+    #[test]
+    fn eb_table_is_gated() {
+        let dir = std::env::temp_dir().join("ccix_perf_gate_eb_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let mk = |name: &str, io: &str, build: &str, flood: &str| {
+            let path = dir.join(name);
+            let body = format!(
+                concat!(
+                    r#"[{{"title": "EB — rebuild", "claim": "c", "headers": ["tree", "B", "n", "threads", "build ms", "build I/O", "flood", "flood ms"], "#,
+                    r#""rows": [["diag", "32", "500000", "1", {bu:?}, {io:?}, "50000", {fl:?}], "#,
+                    r#"["diag", "32", "2100000", "max", "900", "256150", "60000", "70"], "#,
+                    r#"["3sided", "32", "500000", "1", "200", "81425", "50000", "180"]]}}]"#
+                ),
+                bu = build,
+                io = io,
+                fl = flood
+            );
+            std::fs::write(&path, body).unwrap();
+            path.to_str().unwrap().to_string()
+        };
+        let base = mk("base.json", "62135", "160", "60");
+        let ok = mk("ok.json", "62135", "500", "300");
+        let io_regressed = mk("io.json", "70000", "160", "60");
+        let slow_build = mk("slowb.json", "62135", "2500", "60");
+        let slow_flood = mk("slowf.json", "62135", "160", "1100");
+        assert!(run(&base, &ok).unwrap().is_empty(), "timings not diffed");
+        assert_eq!(
+            run(&base, &io_regressed).unwrap().len(),
+            1,
+            "exact I/O gate"
+        );
+        assert_eq!(run(&base, &slow_build).unwrap().len(), 1, "build ceiling");
+        assert_eq!(run(&base, &slow_flood).unwrap().len(), 1, "flood ceiling");
     }
 
     #[test]

@@ -917,12 +917,8 @@ pub fn e14_write_tuning() -> Vec<Table> {
         // of them, then the shipped default, then an aggressive corner.
         ccix_core::Tuning::paper(),
         ccix_core::Tuning {
-            update_batch_pages: 4,
-            td_batch_pages: 2,
             ts_snapshot_pages: None,
-            corner_alpha: 2,
-            pack_h_pages: 4,
-            resident_root: true,
+            ..ccix_core::Tuning::default()
         },
         ccix_core::Tuning {
             ts_snapshot_pages: Some(16),
@@ -936,10 +932,8 @@ pub fn e14_write_tuning() -> Vec<Table> {
         ccix_core::Tuning {
             update_batch_pages: 8,
             td_batch_pages: 4,
-            ts_snapshot_pages: Some(8),
             corner_alpha: 4,
-            pack_h_pages: 4,
-            resident_root: true,
+            ..ccix_core::Tuning::default()
         },
     ];
     for &tuning in configs {
@@ -1065,6 +1059,101 @@ pub fn eqb_query_batch() -> Vec<Table> {
     vec![t, w]
 }
 
+/// EB — the merge-based reorganisation pipeline's wall clock: static build
+/// plus a rebuild-heavy insert flood (level-I merges, TS reorganisations,
+/// level-II push-downs and branching splits all fire), at 1 thread and at
+/// the machine's available parallelism.
+///
+/// I/O counts are identical across thread counts (planning is the only
+/// parallel phase; every page allocation stays on the calling thread), so
+/// this table is gated on **absolute wall-clock ceilings only** — timings
+/// are noisy where I/O counts are exact (see `perf_gate`).
+pub fn eb_build() -> Vec<Table> {
+    let mut t = Table::new(
+        "EB — rebuild-pipeline wall clock (build + insert flood)",
+        "Sortedness-preserving merges + parallel build planning: (re)builds scale with cores, not n·log n re-sorting.",
+        &[
+            "tree", "B", "n", "threads", "build ms", "build I/O", "flood", "flood ms",
+        ],
+    );
+    let b = 32;
+    let geo = Geometry::new(b);
+    let thread_cfgs: [(&str, usize); 2] = [("1", 1), ("max", 0)];
+    for &n in &[100_000usize, 500_000, 2_100_000] {
+        let flood_n = (n / 10).min(60_000);
+        let ivs = workloads::uniform_intervals(n + flood_n, 0xEB0 + n as u64, 4 * n as i64, 2_000);
+        let base = workloads::interval_points(&ivs[..n]);
+        for (label, threads) in thread_cfgs {
+            let tuning = ccix_core::Tuning {
+                build_threads: threads,
+                ..ccix_core::Tuning::default()
+            };
+            let counter = IoCounter::new();
+            let probe = ccix_testkit::iocheck::IoProbe::start(&counter, "EB diag build");
+            let mut tree = MetablockTree::build_tuned(
+                geo,
+                counter.clone(),
+                base.clone(),
+                DiagOptions::default(),
+                tuning,
+            );
+            let (build_io, build_span) = probe.finish_timed();
+            let probe = ccix_testkit::iocheck::IoProbe::start(&counter, "EB diag flood");
+            for iv in &ivs[n..] {
+                tree.insert(Point::new(iv.lo, iv.hi, iv.id));
+            }
+            let (_, flood_span) = probe.finish_timed();
+            t.row(vec![
+                "diag".into(),
+                b.to_string(),
+                n.to_string(),
+                label.to_string(),
+                build_span.as_millis().to_string(),
+                build_io.total().to_string(),
+                flood_n.to_string(),
+                flood_span.as_millis().to_string(),
+            ]);
+        }
+    }
+    // The 3-sided tree exercises the PST planning + layout-reuse side of the
+    // pipeline; its flood rebuilds per-metablock and children PSTs.
+    for &n in &[100_000usize, 500_000] {
+        let flood_n = n / 10;
+        let pts = workloads::uniform_points(n + flood_n, 0xEB5 + n as u64, 4 * n as i64);
+        for (label, threads) in thread_cfgs {
+            let tuning = ccix_core::Tuning {
+                build_threads: threads,
+                ..ccix_core::Tuning::default()
+            };
+            let counter = IoCounter::new();
+            let probe = ccix_testkit::iocheck::IoProbe::start(&counter, "EB 3sided build");
+            let mut tree = ccix_core::ThreeSidedTree::build_tuned(
+                geo,
+                counter.clone(),
+                pts[..n].to_vec(),
+                tuning,
+            );
+            let (build_io, build_span) = probe.finish_timed();
+            let probe = ccix_testkit::iocheck::IoProbe::start(&counter, "EB 3sided flood");
+            for p in &pts[n..] {
+                tree.insert(*p);
+            }
+            let (_, flood_span) = probe.finish_timed();
+            t.row(vec![
+                "3sided".into(),
+                b.to_string(),
+                n.to_string(),
+                label.to_string(),
+                build_span.as_millis().to_string(),
+                build_io.total().to_string(),
+                flood_n.to_string(),
+                flood_span.as_millis().to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
 /// Run every experiment in order.
 pub fn all() -> Vec<Table> {
     let mut out = Vec::new();
@@ -1084,5 +1173,6 @@ pub fn all() -> Vec<Table> {
     out.extend(e13_ablation());
     out.extend(e14_write_tuning());
     out.extend(eqb_query_batch());
+    out.extend(eb_build());
     out
 }

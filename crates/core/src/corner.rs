@@ -77,10 +77,24 @@ impl CornerStructure {
     /// As [`CornerStructure::build`], with an explicit adoption factor
     /// (see [`CornerStructure::build_shared`] for its meaning).
     pub fn build_tuned(store: &mut TypedStore<Point>, points: &[Point], alpha: usize) -> Self {
-        let mut sorted = points.to_vec();
-        ccix_extmem::sort_by_x(&mut sorted);
-        let vertical = store.alloc_run(&sorted);
-        Self::build_inner(store, &sorted, vertical, true, alpha)
+        Self::build_from_sorted(
+            store,
+            &ccix_extmem::SortedRun::from_unsorted(points.to_vec()),
+            alpha,
+        )
+    }
+
+    /// As [`CornerStructure::build_tuned`] over an already x-sorted run —
+    /// the TD rebuild path: the previous TD corner's vertical blocking is
+    /// x-sorted, so folding a staged delta in is a merge, not a re-sort.
+    pub fn build_from_sorted(
+        store: &mut TypedStore<Point>,
+        sorted: &ccix_extmem::SortedRun,
+        alpha: usize,
+    ) -> Self {
+        let plan = CornerPlan::plan(sorted, store.capacity(), alpha);
+        let vertical = store.alloc_run(sorted);
+        plan.materialise(store, vertical, true)
     }
 
     /// Build over a point set whose x-sorted vertical blocking already
@@ -99,115 +113,7 @@ impl CornerStructure {
         alpha: usize,
     ) -> Self {
         debug_assert!(by_x.windows(2).all(|w| w[0].xkey() <= w[1].xkey()));
-        Self::build_inner(store, by_x, vertical.to_vec(), false, alpha)
-    }
-
-    fn build_inner(
-        store: &mut TypedStore<Point>,
-        sorted: &[Point],
-        vertical: Vec<PageId>,
-        owns_vertical: bool,
-        alpha: usize,
-    ) -> Self {
-        assert!(alpha >= 1, "adoption factor must be at least 1");
-        let b = store.capacity();
-        let boundaries: Vec<Key> = sorted
-            .chunks(b)
-            .map(|c| c.last().expect("chunks are nonempty").xkey())
-            .collect();
-        let block_ymax: Vec<i64> = sorted
-            .chunks(b)
-            .map(|c| c.iter().map(|p| p.y).max().expect("chunks are nonempty"))
-            .collect();
-        let m = vertical.len();
-        let mut structure = Self {
-            vertical,
-            owns_vertical,
-            boundaries,
-            block_ymax,
-            cstars: Vec::new(),
-            n: sorted.len(),
-        };
-        if m < 2 {
-            return structure; // single block: stage 2 alone answers queries
-        }
-
-        // Candidate i is the right boundary of block i, for i = 0..m-1
-        // (the last block's boundary is not a candidate). Process right to
-        // left; the rightmost candidate is always adopted.
-        //
-        // Given the last adopted corner c*_j and a candidate c_i < c*_j
-        // (Fig. 12):
-        //   Ω_i  = |{p : p.xkey ≤ c_i ∧ p.y ≥ c*_j.x}|
-        //   S_i  = |{p : p.xkey ≤ c_i ∧ p.y ≥ c_i.x}|   (answer at c_i)
-        //   Δ⁻_i = S_i − Ω_i
-        //   Δ⁺_i = |S*_j| − Ω_i
-        // The adoption test |Δ⁻| + |Δ⁺| > |S_i| is therefore equivalent to
-        // |S*_j| > 2·Ω_i.
-        let mut fen = YFenwick::new(sorted);
-        // Start with blocks 0..=m-2 in the counting structure (candidate
-        // m-2's prefix); shrink as the sweep moves left.
-        let mut prefix_len = sorted.len().min((m - 1) * b);
-        for idx in 0..prefix_len {
-            fen.add_idx(idx, 1);
-        }
-
-        let mut adopted: Vec<(usize, Key)> = Vec::new();
-        let last_cand = m - 2;
-        adopted.push((last_cand, structure.boundaries[last_cand]));
-        let mut sj_x = structure.boundaries[last_cand].0;
-        let mut sj_size = fen.count_y_ge(sj_x);
-
-        for i in (0..last_cand).rev() {
-            // Shrink the prefix to blocks 0..=i.
-            let new_len = (i + 1) * b;
-            for idx in new_len..prefix_len {
-                fen.add_idx(idx, -1);
-            }
-            prefix_len = new_len;
-
-            let ci = structure.boundaries[i];
-            let omega = fen.count_y_ge(sj_x);
-            if sj_size > alpha * omega {
-                let si = fen.count_y_ge(ci.0);
-                adopted.push((i, ci));
-                sj_x = ci.0;
-                sj_size = si;
-            }
-        }
-        adopted.reverse(); // ascending block order
-
-        // Explicitly block the answer for every adopted corner, in one
-        // sweep over the points instead of one prefix re-scan per corner
-        // (the old per-corner filter was quadratic in the block count and
-        // dominated build wall-clock at large B — see docs/tuning.md).
-        // Point p belongs to the answer of adopted corner c iff
-        // `block(p) ≤ c.block` (so `p.xkey ≤ c.key`) and `p.y ≥ c.key.0` —
-        // with corners in ascending block/key order that is a contiguous
-        // corner range, and the total bucket volume is ≤ 2|S| by the
-        // paper's charging argument.
-        let corner_xs: Vec<i64> = adopted.iter().map(|&(_, k)| k.0).collect();
-        let corner_blocks: Vec<usize> = adopted.iter().map(|&(bl, _)| bl).collect();
-        let mut answers: Vec<Vec<Point>> = vec![Vec::new(); adopted.len()];
-        for (idx, p) in sorted.iter().enumerate() {
-            let start = corner_blocks.partition_point(|&bl| bl < idx / b);
-            let end = corner_xs.partition_point(|&x| x <= p.y);
-            for bucket in answers[..end].iter_mut().skip(start) {
-                bucket.push(*p);
-            }
-        }
-        for ((block, key), mut answer) in adopted.into_iter().zip(answers) {
-            ccix_extmem::sort_by_y_desc(&mut answer);
-            let page_tops: Vec<Key> = answer.chunks(b).map(|c| c[0].ykey()).collect();
-            let pages = store.alloc_run(&answer);
-            structure.cstars.push(CStar {
-                key,
-                block,
-                pages,
-                page_tops,
-            });
-        }
-        structure
+        CornerPlan::plan(by_x, store.capacity(), alpha).materialise(store, vertical.to_vec(), false)
     }
 
     /// Number of points indexed.
@@ -397,6 +303,163 @@ impl CornerStructure {
     }
 }
 
+/// The CPU-only half of a corner-structure build: the Fenwick-backed greedy
+/// corner selection (Fig. 12) and the one-sweep explicit-answer bucketing,
+/// computed from the x-sorted point set with **no store access and no
+/// I/O** — a pure function, so the metablock trees run it on scoped worker
+/// threads during their parallel build-planning phases.
+/// [`CornerPlan::materialise`] then allocates the explicit answer sets on
+/// the calling thread (one write per page, as before).
+#[derive(Clone, Debug)]
+pub(crate) struct CornerPlan {
+    boundaries: Vec<Key>,
+    block_ymax: Vec<i64>,
+    /// Adopted corners in ascending block order: (vertical block index,
+    /// corner key, explicit answer y-descending).
+    answers: Vec<(usize, Key, Vec<Point>)>,
+    n: usize,
+}
+
+impl CornerPlan {
+    /// Plan over x-sorted `sorted` with vertical block size `b` and greedy
+    /// adoption factor `alpha`.
+    pub(crate) fn plan(sorted: &[Point], b: usize, alpha: usize) -> Self {
+        assert!(alpha >= 1, "adoption factor must be at least 1");
+        let boundaries: Vec<Key> = sorted
+            .chunks(b)
+            .map(|c| c.last().expect("chunks are nonempty").xkey())
+            .collect();
+        let block_ymax: Vec<i64> = sorted
+            .chunks(b)
+            .map(|c| c.iter().map(|p| p.y).max().expect("chunks are nonempty"))
+            .collect();
+        let m = boundaries.len();
+        let mut plan = Self {
+            boundaries,
+            block_ymax,
+            answers: Vec::new(),
+            n: sorted.len(),
+        };
+        if m < 2 {
+            return plan; // single block: stage 2 alone answers queries
+        }
+
+        // One y-argsort (descending ykey) shared by the Fenwick ranks and
+        // the answer bucketing below — the plan's only `O(n log n)` sort.
+        let mut by_y_idx: Vec<u32> = (0..sorted.len() as u32).collect();
+        by_y_idx.sort_unstable_by_key(|&i| std::cmp::Reverse(sorted[i as usize].ykey()));
+
+        // Candidate i is the right boundary of block i, for i = 0..m-1
+        // (the last block's boundary is not a candidate). Process right to
+        // left; the rightmost candidate is always adopted.
+        //
+        // Given the last adopted corner c*_j and a candidate c_i < c*_j
+        // (Fig. 12):
+        //   Ω_i  = |{p : p.xkey ≤ c_i ∧ p.y ≥ c*_j.x}|
+        //   S_i  = |{p : p.xkey ≤ c_i ∧ p.y ≥ c_i.x}|   (answer at c_i)
+        //   Δ⁻_i = S_i − Ω_i
+        //   Δ⁺_i = |S*_j| − Ω_i
+        // The adoption test |Δ⁻| + |Δ⁺| > |S_i| is therefore equivalent to
+        // |S*_j| > 2·Ω_i.
+        //
+        // The counts come from per-block y-descending key lists (filled in
+        // one pass off the shared argsort): "points with y ≥ bound among
+        // blocks 0..=i" is a partition-point sum, `O(i log B)` per
+        // candidate. With m ≤ 2B + 1 blocks for every corner structure a
+        // metablock or TD can hold, the whole sweep is `O(m² log B)` —
+        // cheaper (and far lighter on the allocator) than the Fenwick
+        // sweep it replaces, with bit-identical adoption decisions. This
+        // matters because the TD fold rebuilds its corner every `k·B`
+        // inserts (see docs/tuning.md).
+        let counts = BlockCounts::new(sorted, b, &by_y_idx);
+
+        let mut adopted: Vec<(usize, Key)> = Vec::new();
+        let last_cand = m - 2;
+        adopted.push((last_cand, plan.boundaries[last_cand]));
+        let mut sj_x = plan.boundaries[last_cand].0;
+        let mut sj_size = counts.count_y_ge(last_cand, sj_x);
+
+        for i in (0..last_cand).rev() {
+            let ci = plan.boundaries[i];
+            let omega = counts.count_y_ge(i, sj_x);
+            if sj_size > alpha * omega {
+                let si = counts.count_y_ge(i, ci.0);
+                adopted.push((i, ci));
+                sj_x = ci.0;
+                sj_size = si;
+            }
+        }
+        adopted.reverse(); // ascending block order
+
+        // Explicitly block the answer for every adopted corner, in one
+        // sweep over the points instead of one prefix re-scan per corner
+        // (the old per-corner filter was quadratic in the block count and
+        // dominated build wall-clock at large B — see docs/tuning.md).
+        // Point p belongs to the answer of adopted corner c iff
+        // `block(p) ≤ c.block` (so `p.xkey ≤ c.key`) and `p.y ≥ c.key.0` —
+        // with corners in ascending block/key order that is a contiguous
+        // corner range, and the total bucket volume is ≤ 2|S| by the
+        // paper's charging argument.
+        let corner_xs: Vec<i64> = adopted.iter().map(|&(_, k)| k.0).collect();
+        let corner_blocks: Vec<usize> = adopted.iter().map(|&(bl, _)| bl).collect();
+        let mut answers: Vec<Vec<Point>> = vec![Vec::new(); adopted.len()];
+        // Sweep in descending-y order (the shared argsort) so every bucket
+        // comes out y-sorted for free — no per-answer re-sort. The strict
+        // `(y, id)` order makes the result identical to sorting each
+        // bucket, and the TD fold (which rebuilds its corner every `k·B`
+        // inserts) stops paying `O(|answers| log)` per fold.
+        for &i in &by_y_idx {
+            let idx = i as usize;
+            let p = sorted[idx];
+            let start = corner_blocks.partition_point(|&bl| bl < idx / b);
+            let end = corner_xs.partition_point(|&x| x <= p.y);
+            for bucket in answers[..end].iter_mut().skip(start) {
+                bucket.push(p);
+            }
+        }
+        plan.answers = adopted
+            .into_iter()
+            .zip(answers)
+            .map(|((block, key), answer)| (block, key, answer))
+            .collect();
+        plan
+    }
+
+    /// Allocate the explicit answer sets and assemble the structure over
+    /// the given vertical blocking (owned or borrowed from the host
+    /// metablock). One write I/O per emitted page, on the calling thread.
+    pub(crate) fn materialise(
+        self,
+        store: &mut TypedStore<Point>,
+        vertical: Vec<PageId>,
+        owns_vertical: bool,
+    ) -> CornerStructure {
+        let b = store.capacity();
+        let cstars = self
+            .answers
+            .into_iter()
+            .map(|(block, key, answer)| {
+                let page_tops: Vec<Key> = answer.chunks(b).map(|c| c[0].ykey()).collect();
+                let pages = store.alloc_run(&answer);
+                CStar {
+                    key,
+                    block,
+                    pages,
+                    page_tops,
+                }
+            })
+            .collect();
+        CornerStructure {
+            vertical,
+            owns_vertical,
+            boundaries: self.boundaries,
+            block_ymax: self.block_ymax,
+            cstars,
+            n: self.n,
+        }
+    }
+}
+
 /// How [`CornerStructure::query_stages`] bills page reads: directly against
 /// the store's counter, or through a per-operation pin.
 trait PageReads {
@@ -421,63 +484,44 @@ impl PageReads for PinnedReads<'_> {
     }
 }
 
-/// A Fenwick tree counting points by `y` value, for the greedy selection.
-///
-/// The sweep adds every point once and removes it once, so the per-point
-/// y-rank is resolved a single time up front (one sorted-run pass instead
-/// of a binary search per update), and the live count is maintained as a
-/// counter rather than re-summed from the tree on every query — together
-/// these took the selection off the build's wall-clock profile at large B
-/// (see `docs/tuning.md`).
-struct YFenwick {
-    /// Sorted distinct y values.
+/// Per-block y-descending key lists for the greedy selection's prefix
+/// counts: one flat buffer, block `j`'s keys at `j·B..` in descending
+/// order, filled in a single pass off the shared y-argsort. A corner
+/// structure never spans more than `2B + 1` vertical blocks (its host
+/// holds at most `2B²` points), so the `O(prefix · log B)` per-candidate
+/// count keeps the whole sweep cheaper than maintaining a Fenwick tree —
+/// with exactly the same counts, hence bit-identical adoption.
+struct BlockCounts {
+    /// y values, block-major, descending within each block.
     ys: Vec<i64>,
-    /// y-rank of each point of the (x-sorted) build slice, by index.
-    ranks: Vec<usize>,
-    tree: Vec<i64>,
-    /// Number of points currently present.
-    live: i64,
+    /// Block size `B` (last block may be shorter).
+    b: usize,
+    n: usize,
 }
 
-impl YFenwick {
-    fn new(points: &[Point]) -> Self {
-        let mut ys: Vec<i64> = points.iter().map(|p| p.y).collect();
-        ys.sort_unstable();
-        ys.dedup();
-        let ranks = points
-            .iter()
-            .map(|p| ys.partition_point(|&v| v < p.y))
-            .collect();
-        let len = ys.len();
-        Self {
-            ys,
-            ranks,
-            tree: vec![0; len + 1],
-            live: 0,
+impl BlockCounts {
+    fn new(points: &[Point], b: usize, by_y_idx: &[u32]) -> Self {
+        let n = points.len();
+        let mut ys = vec![0i64; n];
+        let blocks = n.div_ceil(b);
+        // Per-block write cursors: walking the global y-desc order fills
+        // each block's slice in descending order.
+        let mut cursor: Vec<usize> = (0..blocks).map(|j| j * b).collect();
+        for &i in by_y_idx {
+            let j = i as usize / b;
+            ys[cursor[j]] = points[i as usize].y;
+            cursor[j] += 1;
         }
+        Self { ys, b, n }
     }
 
-    /// Add (`delta = 1`) or remove (`delta = -1`) the point at index `idx`
-    /// of the build slice.
-    fn add_idx(&mut self, idx: usize, delta: i64) {
-        let mut i = self.ranks[idx] + 1;
-        while i < self.tree.len() {
-            self.tree[i] += delta;
-            i += i & i.wrapping_neg();
-        }
-        self.live += delta;
-    }
-
-    /// Count of points currently present with `y ≥ bound`.
-    fn count_y_ge(&self, bound: i64) -> usize {
-        let upto = self.ys.partition_point(|&v| v < bound); // y < bound
-        let mut i = upto;
-        let mut below = 0i64;
-        while i > 0 {
-            below += self.tree[i];
-            i -= i & i.wrapping_neg();
-        }
-        (self.live - below) as usize
+    /// Points with `y ≥ bound` among blocks `0..=upto_block`.
+    fn count_y_ge(&self, upto_block: usize, bound: i64) -> usize {
+        let end = self.n.min((upto_block + 1) * self.b);
+        self.ys[..end]
+            .chunks(self.b)
+            .map(|block| block.partition_point(|&v| v >= bound))
+            .sum()
     }
 }
 

@@ -7,22 +7,137 @@
 //! corner structure where the region can contain a query corner, and the
 //! `TS` snapshots of every non-first child.
 //!
-//! The build is **sort-once and arena-backed**: the input is x-sorted a
-//! single time and the recursion then works on disjoint subslices of that
-//! one buffer. Selecting a metablock's mains is an `O(n)` in-place stable
-//! partition around a `select_nth` threshold (no per-level sorts, no
-//! per-level copies of the remainder), and the `TS` snapshots of a level are
-//! maintained as one incrementally merged top list instead of re-sorting a
-//! growing prefix per child.
+//! The build is **sort-once, arena-backed and two-phase**. The input is
+//! x-sorted a single time into a [`SortedRun`] — from there sortedness is a
+//! *typed* invariant, and the recursion works on disjoint subslices of that
+//! one buffer. **Phase 1 (planning)** is a pure function over the arena:
+//! selecting a metablock's mains is an `O(n)` in-place stable partition
+//! around a `select_nth` threshold, and each node's y-order and corner
+//! selection ([`CornerPlan`]) are computed with no store access — so
+//! sibling slabs plan in parallel over [`crate::par::run_parallel`]
+//! ([`crate::Tuning::build_threads`]). **Phase 2 (materialisation)** walks
+//! the plan on the calling thread, allocating pages and charging I/O
+//! exactly as a sequential build would; the `TS` snapshots of a level reuse
+//! the children's planned y-orders and a capped incremental merge instead
+//! of re-sorting a growing prefix per child.
 
-use ccix_extmem::{Geometry, IoCounter, Point};
+use ccix_extmem::{merge_y_desc_capped, Geometry, IoCounter, Point, SortedRun};
 
 use super::{ChildEntry, MbId, MetaBlock, MetablockTree, TdInfo, TsInfo};
 use crate::bbox::{BBox, Key};
-use crate::corner::CornerStructure;
+use crate::corner::CornerPlan;
+use crate::par::{run_parallel, PAR_THRESHOLD};
 
 /// The whole key space: the root's slab.
 pub(crate) const FULL_RANGE: (Key, Key) = ((i64::MIN, 0), (i64::MAX, u64::MAX));
+
+/// Pure planning context: everything the slab recursion needs besides the
+/// arena itself. Shared immutably across planning threads.
+struct PlanCtx {
+    b: usize,
+    cap: usize,
+    corner_structures: bool,
+    alpha: usize,
+}
+
+/// One planned metablock: contents and per-node organisations decided, no
+/// page allocated, no I/O charged yet.
+pub(crate) struct SlabPlan {
+    /// Mains, x-sorted (the typed invariant the organisations build on).
+    mains_x: SortedRun,
+    /// Mains, y-descending.
+    mains_y: Vec<Point>,
+    /// Planned corner structure, when the region can contain a corner.
+    corner: Option<CornerPlan>,
+    children: Vec<SlabPlan>,
+    slab_lo: Key,
+    slab_hi: Key,
+    /// Largest `(y, id)` strictly below this metablock (for the parent's
+    /// `sub_yhi` cache).
+    sub_yhi: Option<Key>,
+}
+
+/// Plan the subtree for the x-sorted arena slice `pts` responsible for
+/// `[lo, hi)`. Pure CPU; `budget` is the remaining thread budget.
+fn plan_slab(pts: &mut [Point], lo: Key, hi: Key, ctx: &PlanCtx, budget: usize) -> SlabPlan {
+    debug_assert!(pts.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
+    if pts.len() <= ctx.cap {
+        return finish_plan(pts.to_vec(), Vec::new(), lo, hi, None, ctx);
+    }
+
+    // Select the B² largest-(y, id) points as this metablock's mains,
+    // compacting the remainder in place (x order preserved on both sides).
+    let mut ybuf = Vec::new();
+    let (mains, rest_len, rest_yhi) = extract_top_y(pts, ctx.cap, &mut ybuf);
+    let rest = &mut pts[..rest_len];
+
+    // Divide the remainder into at most B near-equal contiguous slabs.
+    // The paper divides the remainder into B groups; when n ≪ B³ that
+    // over-fragments the leaves (tiny leaves under B-ary fanout), so we
+    // split into just enough near-B²-sized groups, still at most B of
+    // them — every invariant and bound is preserved, leaves stay packed.
+    let target = rest_len.div_ceil(ctx.cap).clamp(2, ctx.b);
+    let ranges = near_equal_ranges(rest_len, target);
+    let mut first_keys: Vec<Key> = ranges.iter().map(|&(s, _)| rest[s].xkey()).collect();
+    first_keys[0] = lo;
+
+    // Child slabs are disjoint arena slices: plan them in parallel.
+    let mut tasks = Vec::with_capacity(ranges.len());
+    let mut remainder: &mut [Point] = rest;
+    for (i, &(s, e)) in ranges.iter().enumerate() {
+        let (head, tail) = remainder.split_at_mut(e - s);
+        remainder = tail;
+        let slab_lo = first_keys[i];
+        let slab_hi = first_keys.get(i + 1).copied().unwrap_or(hi);
+        tasks.push(move |inner: usize| plan_slab(head, slab_lo, slab_hi, ctx, inner));
+    }
+    let child_budget = if rest_len >= PAR_THRESHOLD { budget } else { 1 };
+    let children = run_parallel(tasks, child_budget);
+    finish_plan(mains, children, lo, hi, rest_yhi, ctx)
+}
+
+/// The per-node CPU work: y-order the mains and plan the corner structure.
+fn finish_plan(
+    mains_x: Vec<Point>,
+    children: Vec<SlabPlan>,
+    slab_lo: Key,
+    slab_hi: Key,
+    sub_yhi: Option<Key>,
+    ctx: &PlanCtx,
+) -> SlabPlan {
+    let mut mains_y = mains_x.clone();
+    ccix_extmem::sort_by_y_desc(&mut mains_y);
+    let mains_x = SortedRun::from_sorted(mains_x);
+    let corner = plan_corner(&mains_x, &mains_y, ctx.b, ctx.corner_structures, ctx.alpha);
+    SlabPlan {
+        mains_x,
+        mains_y,
+        corner,
+        children,
+        slab_lo,
+        slab_hi,
+        sub_yhi,
+    }
+}
+
+/// Plan a corner structure when the metablock's region can contain a query
+/// corner: some diagonal value lies between the lowest y and the highest x
+/// of the mains (and the mains span more than one block).
+fn plan_corner(
+    by_x: &SortedRun,
+    by_y: &[Point],
+    b: usize,
+    enabled: bool,
+    alpha: usize,
+) -> Option<CornerPlan> {
+    if !enabled || by_x.len() <= b {
+        return None;
+    }
+    match (BBox::of_points(by_x), by_y.last().map(Point::ykey)) {
+        (Some(bb), Some(ylo)) if ylo.0 <= bb.xhi.0 => Some(CornerPlan::plan(by_x, b, alpha)),
+        _ => None,
+    }
+}
 
 impl MetablockTree {
     /// Build a tree over `points` with the paper's design (default options).
@@ -53,7 +168,7 @@ impl MetablockTree {
     pub fn build_tuned(
         geo: Geometry,
         counter: IoCounter,
-        mut points: Vec<Point>,
+        points: Vec<Point>,
         options: super::DiagOptions,
         tuning: crate::Tuning,
     ) -> Self {
@@ -71,93 +186,81 @@ impl MetablockTree {
         if points.is_empty() {
             return tree;
         }
-        ccix_extmem::sort_by_x(&mut points);
-        let (root, _, _) = tree.build_slab(points, FULL_RANGE.0, FULL_RANGE.1);
+        let (root, _, _) =
+            tree.build_slab(SortedRun::from_unsorted(points), FULL_RANGE.0, FULL_RANGE.1);
         tree.root = Some(root);
         tree
     }
 
-    /// Rebuild the subtree for an x-sorted point vector responsible for the
-    /// slab `[lo, hi)`. Returns the new subtree root, the root's main
-    /// points, and the largest `(y, id)` among points *below* the root
-    /// metablock (for the parent's `sub_yhi` cache).
+    /// Rebuild the subtree for an x-sorted run responsible for the slab
+    /// `[lo, hi)`. Returns the new subtree root, the root's main points
+    /// (y-descending), and the largest `(y, id)` among points *below* the
+    /// root metablock (for the parent's `sub_yhi` cache).
     ///
-    /// Also used by the dynamic side for branching-factor splits.
+    /// Also used by the dynamic side for branching-factor splits; the
+    /// planning phase fans out over [`crate::Tuning::build_threads`].
     pub(crate) fn build_slab(
         &mut self,
-        mut pts: Vec<Point>,
+        pts: SortedRun,
         lo: Key,
         hi: Key,
     ) -> (MbId, Vec<Point>, Option<Key>) {
-        let mut ybuf = Vec::new();
-        self.build_slab_in(&mut pts, lo, hi, &mut ybuf)
+        let ctx = PlanCtx {
+            b: self.geo.b,
+            cap: self.cap(),
+            corner_structures: self.options.corner_structures,
+            alpha: self.tuning.corner_alpha,
+        };
+        let budget = self.tuning.effective_build_threads();
+        let mut arena = pts.into_inner();
+        let plan = plan_slab(&mut arena, lo, hi, &ctx, budget);
+        drop(arena);
+        self.materialise_slab(plan)
     }
 
-    /// The in-place recursion behind [`MetablockTree::build_slab`]: `pts` is
-    /// a subslice of the build arena (x-sorted); `ybuf` is a reusable
-    /// scratch buffer for the main-selection threshold.
-    fn build_slab_in(
-        &mut self,
-        pts: &mut [Point],
-        lo: Key,
-        hi: Key,
-        ybuf: &mut Vec<Key>,
-    ) -> (MbId, Vec<Point>, Option<Key>) {
-        debug_assert!(pts.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
-        let cap = self.cap();
-        if pts.len() <= cap {
-            let mains = pts.to_vec();
-            let id = self.make_metablock(&mains, Vec::new(), false);
-            return (id, mains, None);
-        }
-
-        // Select the B² largest-(y, id) points as the root's mains,
-        // compacting the remainder in place (x order preserved on both
-        // sides).
-        let (mains, rest_len, rest_yhi) = extract_top_y(pts, cap, ybuf);
-        let rest = &mut pts[..rest_len];
-
-        // Divide the remainder into at most B near-equal contiguous slabs.
-        // The paper divides the remainder into B groups; when n ≪ B³ that
-        // over-fragments the leaves (tiny leaves under B-ary fanout), so we
-        // split into just enough near-B²-sized groups, still at most B of
-        // them — every invariant and bound is preserved, leaves stay packed.
-        let target = rest_len.div_ceil(cap).clamp(2, self.geo.b);
-        let ranges = near_equal_ranges(rest_len, target);
-
-        // Recurse, collecting child mains for the TS snapshots.
-        let mut first_keys: Vec<Key> = ranges.iter().map(|&(s, _)| rest[s].xkey()).collect();
-        first_keys[0] = lo;
-        let mut entries: Vec<ChildEntry> = Vec::with_capacity(ranges.len());
-        let mut child_mains: Vec<Vec<Point>> = Vec::with_capacity(ranges.len());
-        for (i, &(s, e)) in ranges.iter().enumerate() {
-            let slab_lo = first_keys[i];
-            let slab_hi = first_keys.get(i + 1).copied().unwrap_or(hi);
-            let (child, cmains, sub_yhi) =
-                self.build_slab_in(&mut rest[s..e], slab_lo, slab_hi, ybuf);
+    /// Phase 2: allocate pages and control blocks for a planned subtree,
+    /// sequentially on the calling thread (all I/O charges live here).
+    /// Returns `(id, mains y-descending, sub_yhi)`.
+    fn materialise_slab(&mut self, plan: SlabPlan) -> (MbId, Vec<Point>, Option<Key>) {
+        let SlabPlan {
+            mains_x,
+            mains_y,
+            corner,
+            children,
+            sub_yhi,
+            ..
+        } = plan;
+        let internal = !children.is_empty();
+        let mut entries: Vec<ChildEntry> = Vec::with_capacity(children.len());
+        let mut snapshots: Vec<Vec<Point>> = Vec::with_capacity(children.len());
+        for child in children {
+            let (slab_lo, slab_hi) = (child.slab_lo, child.slab_hi);
+            let (mb, child_y, child_sub) = self.materialise_slab(child);
             entries.push(ChildEntry {
-                mb: child,
+                mb,
                 slab_lo,
                 slab_hi,
-                main_bbox: BBox::of_points(&cmains),
+                main_bbox: BBox::of_points(&child_y),
                 upd_ymax: None,
-                sub_yhi,
+                sub_yhi: child_sub,
                 packed: super::PackedInfo::default(),
             });
-            child_mains.push(cmains);
+            snapshots.push(child_y);
         }
-
-        let id = self.make_metablock(&mains, entries, true);
-        self.sync_packed_children(id);
-        self.install_ts_snapshots(id, child_mains);
-        (id, mains, rest_yhi)
+        let meta = self.build_organizations_planned(&mains_x, &mains_y, corner, entries, internal);
+        let id = self.alloc_meta(meta);
+        if internal {
+            self.sync_packed_children(id);
+            self.install_ts_snapshots(id, snapshots);
+        }
+        (id, mains_y, sub_yhi)
     }
 
     /// Allocate a metablock with its blockings and (if warranted) corner
     /// structure. `internal` decides whether a TD slot is created.
     pub(crate) fn make_metablock(
         &mut self,
-        mains: &[Point],
+        mains: &SortedRun,
         children: Vec<ChildEntry>,
         internal: bool,
     ) -> MbId {
@@ -166,58 +269,53 @@ impl MetablockTree {
         self.alloc_meta(meta)
     }
 
-    /// Construct the per-metablock organisations for a main point set.
+    /// Construct the per-metablock organisations for a main point set. The
+    /// [`SortedRun`] parameter is the typed sortedness invariant: callers
+    /// prove x-order at compile time (sorting only what actually needs it,
+    /// e.g. an update-buffer delta) instead of this function re-checking —
+    /// or worse, re-sorting — the full block.
     pub(crate) fn build_organizations(
         &mut self,
-        mains: &[Point],
+        mains: &SortedRun,
         children: Vec<ChildEntry>,
         internal: bool,
     ) -> MetaBlock {
-        // The static build hands mains over already x-sorted; only the
-        // dynamic reorganisations (horizontal + update order) need a sort.
-        let sorted_storage;
-        let by_x: &[Point] = if mains.windows(2).all(|w| w[0].xkey() < w[1].xkey()) {
-            mains
-        } else {
-            let mut v = mains.to_vec();
-            ccix_extmem::sort_by_x(&mut v);
-            sorted_storage = v;
-            &sorted_storage
-        };
+        let mut by_y = mains.to_vec();
+        ccix_extmem::sort_by_y_desc(&mut by_y);
+        let corner = plan_corner(
+            mains,
+            &by_y,
+            self.geo.b,
+            self.options.corner_structures,
+            self.tuning.corner_alpha,
+        );
+        self.build_organizations_planned(mains, &by_y, corner, children, internal)
+    }
+
+    /// As [`MetablockTree::build_organizations`], with the y-order and the
+    /// corner plan already computed (the planning phase supplies both).
+    pub(crate) fn build_organizations_planned(
+        &mut self,
+        by_x: &SortedRun,
+        by_y: &[Point],
+        corner: Option<CornerPlan>,
+        children: Vec<ChildEntry>,
+        internal: bool,
+    ) -> MetaBlock {
+        debug_assert!(by_y.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
         let vertical = self.store.alloc_run(by_x);
         let vkeys: Vec<Key> = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
-        let mut by_y = by_x.to_vec();
-        ccix_extmem::sort_by_y_desc(&mut by_y);
         let hkeys: Vec<Key> = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
-        let horizontal = self.store.alloc_run(&by_y);
-        let main_bbox = BBox::of_points(by_x);
-        let y_lo_main = by_y.last().map(Point::ykey);
-        let corner = match (main_bbox, y_lo_main) {
-            // A corner (q, q) can fall strictly inside the region only if
-            // some diagonal value lies between the lowest y and the highest
-            // x of the mains.
-            (Some(bb), Some(ylo))
-                if self.options.corner_structures
-                    && ylo.0 <= bb.xhi.0
-                    && mains.len() > self.geo.b =>
-            {
-                Some(CornerStructure::build_shared(
-                    &mut self.store,
-                    by_x,
-                    &vertical,
-                    self.tuning.corner_alpha,
-                ))
-            }
-            _ => None,
-        };
+        let horizontal = self.store.alloc_run(by_y);
+        let corner = corner.map(|cp| cp.materialise(&mut self.store, vertical.clone(), false));
         MetaBlock {
             vertical,
             vkeys,
             horizontal,
             hkeys,
-            n_main: mains.len(),
-            y_lo_main,
-            main_bbox,
+            n_main: by_x.len(),
+            y_lo_main: by_y.last().map(Point::ykey),
+            main_bbox: BBox::of_points(by_x),
             corner,
             update: Vec::new(),
             n_upd: 0,
@@ -228,8 +326,10 @@ impl MetablockTree {
     }
 
     /// Build and attach `TS` snapshots for every non-first child, from the
-    /// supplied per-child point snapshots (mains, or mains+updates during a
-    /// TS reorganisation).
+    /// supplied per-child point snapshots — **y-descending already**: the
+    /// static build hands over the planned y-orders, the TS reorganisation
+    /// hands over merged horizontal-run + sorted-delta snapshots; nobody
+    /// re-sorts a snapshot here.
     pub(crate) fn install_ts_snapshots(&mut self, parent: MbId, snapshots: Vec<Vec<Point>>) {
         let cap = self.ts_cap_points();
         let child_ids: Vec<MbId> = self.metas[parent]
@@ -240,12 +340,15 @@ impl MetablockTree {
             .map(|c| c.mb)
             .collect();
         debug_assert_eq!(child_ids.len(), snapshots.len());
-        // Maintain the top-`cap` prefix incrementally: sort each child's
-        // snapshot once, then merge it into the running capped top list.
+        debug_assert!(snapshots
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0].ykey() > w[1].ykey())));
+        // Maintain the top-`cap` prefix incrementally, merging each
+        // (already sorted) snapshot into the running capped top list.
         let mut mirrors: Vec<(usize, Vec<ccix_extmem::PageId>, bool)> = Vec::new();
         let mut top: Vec<Point> = Vec::new();
         let mut total = 0usize;
-        for (i, mut snap) in snapshots.into_iter().enumerate() {
+        for (i, snap) in snapshots.into_iter().enumerate() {
             if i > 0 {
                 let pages = self.store.alloc_run(&top);
                 let truncated = total > top.len();
@@ -262,7 +365,6 @@ impl MetablockTree {
                 self.put_meta(child_ids[i], meta);
             }
             total += snap.len();
-            ccix_extmem::sort_by_y_desc(&mut snap);
             top = merge_y_desc_capped(std::mem::take(&mut top), snap, cap);
         }
         // Mirror the snapshot runs into the parent's packed entries so the
@@ -312,38 +414,6 @@ pub(crate) fn extract_top_y(
     (mains, w, rest_yhi)
 }
 
-/// Merge two y-descending point vectors, keeping at most `cap` points.
-pub(crate) fn merge_y_desc_capped(a: Vec<Point>, b: Vec<Point>, cap: usize) -> Vec<Point> {
-    if b.is_empty() && a.len() <= cap {
-        return a;
-    }
-    let mut out = Vec::with_capacity((a.len() + b.len()).min(cap));
-    let (mut i, mut j) = (0usize, 0usize);
-    while out.len() < cap {
-        match (a.get(i), b.get(j)) {
-            (Some(x), Some(y)) => {
-                if x.ykey() > y.ykey() {
-                    out.push(*x);
-                    i += 1;
-                } else {
-                    out.push(*y);
-                    j += 1;
-                }
-            }
-            (Some(x), None) => {
-                out.push(*x);
-                i += 1;
-            }
-            (None, Some(y)) => {
-                out.push(*y);
-                j += 1;
-            }
-            (None, None) => break,
-        }
-    }
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -374,20 +444,37 @@ mod tests {
         assert_eq!(all, want);
     }
 
+    /// The planned build is bit-identical for every thread budget: same
+    /// metablocks, same page counts, same stats.
     #[test]
-    fn merge_caps_and_orders() {
-        let a: Vec<Point> = [9i64, 7, 3]
-            .iter()
-            .enumerate()
-            .map(|(i, &y)| Point::new(0, y, i as u64))
+    fn build_is_identical_across_thread_counts() {
+        let geo = Geometry::new(4);
+        let pts: Vec<Point> = (0..3_000)
+            .map(|i| {
+                let x = (i * 37) % 1_000;
+                Point::new(x, x + (i * 13) % 500, i as u64)
+            })
             .collect();
-        let b: Vec<Point> = [8i64, 2]
-            .iter()
-            .enumerate()
-            .map(|(i, &y)| Point::new(0, y, 10 + i as u64))
-            .collect();
-        let m = merge_y_desc_capped(a, b, 4);
-        let ys: Vec<i64> = m.iter().map(|p| p.y).collect();
-        assert_eq!(ys, vec![9, 8, 7, 3]);
+        let mut reference: Option<(crate::DiagStats, u64, u64)> = None;
+        for threads in [1usize, 2, 7] {
+            let tuning = crate::Tuning {
+                build_threads: threads,
+                ..crate::Tuning::default()
+            };
+            let counter = IoCounter::new();
+            let tree = MetablockTree::build_tuned(
+                geo,
+                counter.clone(),
+                pts.clone(),
+                super::super::DiagOptions::default(),
+                tuning,
+            );
+            tree.validate_unbilled();
+            let sig = (tree.stats(), counter.reads(), counter.writes());
+            match &reference {
+                None => reference = Some(sig),
+                Some(want) => assert_eq!(&sig, want, "threads={threads}"),
+            }
+        }
     }
 }

@@ -25,8 +25,19 @@
 //! touch, one write per dirty block at the end (see
 //! [`MetablockTree::pin_meta`]) — the paper's accounting, without the
 //! one-I/O-per-access overcharge of re-reading a block it already holds.
+//!
+//! Reorganisations are **sortedness-preserving** (see
+//! [`ccix_extmem::merge`]): level-I reads the x-sorted vertical run and
+//! merges the sorted (≤ `k·B`-point) update delta into it instead of
+//! re-sorting the whole block; a TS reorganisation merges each child's
+//! y-sorted horizontal run with its sorted delta; a leaf split reads the
+//! vertical run and partitions it in place; a branching split k-way merges
+//! the subtree's vertical runs. Every read touches exactly the pages the
+//! sort-based pipeline read (the two blockings hold the same point count),
+//! so I/O counts are bit-identical — only the `O(n log n)` CPU re-sorts
+//! disappear.
 
-use ccix_extmem::Point;
+use ccix_extmem::{Point, SortedRun};
 
 use super::{ChildEntry, MbId, MetablockTree, TdInfo};
 use crate::bbox::BBox;
@@ -51,7 +62,7 @@ impl MetablockTree {
         self.len += 1;
         match self.root {
             None => {
-                let id = self.make_metablock(&[p], Vec::new(), false);
+                let id = self.make_metablock(&SortedRun::from_sorted(vec![p]), Vec::new(), false);
                 self.root = Some(id);
             }
             Some(root) => self.insert_routed(Vec::new(), root, p),
@@ -132,11 +143,9 @@ impl MetablockTree {
             (!m.n_upd.is_multiple_of(b)).then(|| *m.update.last().expect("partial page exists"))
         };
         match open_page {
-            Some(pg) => {
-                let mut pts = self.store.read(pg).to_vec();
-                pts.push(p);
-                self.store.write(pg, pts);
-            }
+            // In-place append: the same read-modify-write charge as the
+            // separate read/write pair, without cloning the page buffer.
+            Some(pg) => self.store.append(pg, p),
             None => {
                 let pg = self.store.alloc(vec![p]);
                 self.metas[target]
@@ -181,11 +190,7 @@ impl MetablockTree {
                     .then(|| *td.staged.last().expect("partial page exists"))
             };
             match open_page {
-                Some(pg) => {
-                    let mut pts = self.store.read(pg).to_vec();
-                    pts.push(p);
-                    self.store.write(pg, pts);
-                }
+                Some(pg) => self.store.append(pg, p),
                 None => {
                     let pg = self.store.alloc(vec![p]);
                     self.metas[par]
@@ -231,26 +236,32 @@ impl MetablockTree {
     }
 
     /// Fold the staged points into the TD corner structure (`O(B)` I/Os,
-    /// since the TD holds at most `B²` points).
+    /// since the TD holds at most `B²` points). The old TD corner's
+    /// vertical blocking is already x-sorted, so only the staged delta is
+    /// sorted and galloped in — this fold fires every `k·B` inserts per
+    /// parent, which made its full re-sort the single hottest CPU cost of
+    /// an insert flood (see docs/tuning.md).
     fn td_rebuild(&mut self, parent: MbId) {
         let mut m = self.take_meta(parent);
         let td = m.td.as_mut().expect("TD present");
-        let mut pts = match td.corner.take() {
+        let built = match td.corner.take() {
             Some(c) => {
-                let v = c.collect_points(&self.store);
+                let v = SortedRun::from_sorted(c.collect_points(&self.store));
                 c.free(&mut self.store);
                 v
             }
-            None => Vec::new(),
+            None => SortedRun::new(),
         };
+        let mut delta = Vec::new();
         for &pg in &td.staged {
-            pts.extend_from_slice(self.store.read(pg));
+            delta.extend_from_slice(self.store.read(pg));
         }
         self.store.free_run(&td.staged);
         td.staged.clear();
         td.n_staged = 0;
+        let pts = built.merge(SortedRun::from_unsorted(delta));
         td.n_built = pts.len();
-        td.corner = Some(CornerStructure::build_tuned(
+        td.corner = Some(CornerStructure::build_from_sorted(
             &mut self.store,
             &pts,
             self.tuning.corner_alpha,
@@ -260,14 +271,18 @@ impl MetablockTree {
 
     /// TS reorganisation at `parent`: rebuild every child's TS snapshot from
     /// its current mains + updates and discard the TD. `O(B²)` I/Os, once
-    /// per `B²` inserts below `parent`.
+    /// per `B²` inserts below `parent`. Each child's snapshot is its
+    /// already-y-sorted horizontal run merged with its sorted delta — the
+    /// same page reads as before, no full re-sort.
     pub(crate) fn ts_reorg(&mut self, parent: MbId) {
         let child_ids: Vec<MbId> = self.meta(parent).children.iter().map(|c| c.mb).collect();
         let snapshots: Vec<Vec<Point>> = child_ids
             .iter()
             .map(|&c| {
                 let cm = self.meta(c);
-                self.collect_points(cm)
+                let mains_y = self.read_run(&cm.horizontal);
+                let delta = self.read_run(&cm.update);
+                ccix_extmem::merge_delta_y_desc(mains_y, delta)
             })
             .collect();
         let mut m = self.take_meta(parent);
@@ -284,10 +299,19 @@ impl MetablockTree {
 
     /// Level-I reorganisation: merge the update buffer into the mains and
     /// rebuild all organisations. Returns the new main count.
+    ///
+    /// Sortedness-preserving: the x-sorted vertical run is read (the same
+    /// page count as the horizontal run the sort-based pipeline read) and
+    /// only the delta is sorted, then galloped in — one `O(n log n)` sort
+    /// (the y-order) remains instead of two.
     fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
         let mut m = self.take_meta(mb);
-        let pts = self.collect_points(&m);
-        self.rebuild_orgs(&mut m, &pts);
+        let mains_x = SortedRun::from_sorted(self.read_run(&m.vertical));
+        let delta = SortedRun::from_unsorted(self.read_run(&m.update));
+        let by_x = mains_x.merge(delta);
+        let mut by_y = by_x.to_vec();
+        ccix_extmem::sort_by_y_desc(&mut by_y);
+        self.rebuild_orgs(&mut m, &by_x, &by_y);
         let n_main = m.n_main;
         let new_bbox = m.main_bbox;
         self.put_meta(mb, m);
@@ -305,8 +329,13 @@ impl MetablockTree {
     }
 
     /// Replace a metablock's blockings (and corner structure) with ones
-    /// built over `pts`, clearing the update buffer. Children/TS/TD survive.
-    fn rebuild_orgs(&mut self, m: &mut super::MetaBlock, pts: &[Point]) {
+    /// built over the given pre-sorted orders, clearing the update buffer.
+    /// Children/TS/TD survive. No sorting happens here: `by_x` is a typed
+    /// invariant and `by_y` is debug-checked — callers merge, filter or
+    /// sort whichever side actually needs it.
+    fn rebuild_orgs(&mut self, m: &mut super::MetaBlock, by_x: &SortedRun, by_y: &[Point]) {
+        debug_assert!(by_y.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
+        debug_assert_eq!(by_x.len(), by_y.len());
         self.store.free_run(&m.vertical);
         self.store.free_run(&m.horizontal);
         if let Some(c) = m.corner.take() {
@@ -316,22 +345,18 @@ impl MetablockTree {
         m.update.clear();
         m.n_upd = 0;
 
-        let mut by_x = pts.to_vec();
-        ccix_extmem::sort_by_x(&mut by_x);
-        m.vertical = self.store.alloc_run(&by_x);
+        m.vertical = self.store.alloc_run(by_x);
         m.vkeys = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
-        let mut by_y = pts.to_vec();
-        ccix_extmem::sort_by_y_desc(&mut by_y);
         m.hkeys = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
-        m.horizontal = self.store.alloc_run(&by_y);
-        m.n_main = pts.len();
-        m.main_bbox = BBox::of_points(pts);
+        m.horizontal = self.store.alloc_run(by_y);
+        m.n_main = by_x.len();
+        m.main_bbox = BBox::of_points(by_x);
         m.y_lo_main = by_y.last().map(Point::ykey);
         if let (Some(bb), Some(ylo)) = (m.main_bbox, m.y_lo_main) {
-            if self.options.corner_structures && ylo.0 <= bb.xhi.0 && pts.len() > self.geo.b {
+            if self.options.corner_structures && ylo.0 <= bb.xhi.0 && by_x.len() > self.geo.b {
                 m.corner = Some(CornerStructure::build_shared(
                     &mut self.store,
-                    &by_x,
+                    by_x,
                     &m.vertical,
                     self.tuning.corner_alpha,
                 ));
@@ -350,15 +375,18 @@ impl MetablockTree {
     }
 
     /// Internal level-II: keep the top `B²` points, trickle the bottom
-    /// points into the children, and TS-reorganise this level.
+    /// points into the children, and TS-reorganise this level. The y-split
+    /// is a prefix of the already-y-sorted horizontal run, so only the
+    /// kept top needs an x-sort.
     fn push_down(&mut self, mb: MbId, path: &[MbId]) {
         let mut m = self.take_meta(mb);
         debug_assert_eq!(m.n_upd, 0, "level-II runs after level-I");
         let mut pts = self.read_run(&m.horizontal);
         debug_assert!(pts.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
         let bottom = pts.split_off(self.cap());
-        let top = pts;
-        self.rebuild_orgs(&mut m, &top);
+        let top_y = pts;
+        let top_x = SortedRun::from_unsorted(top_y.clone());
+        self.rebuild_orgs(&mut m, &top_x, &top_y);
         let new_bbox = m.main_bbox;
         self.put_meta(mb, m);
 
@@ -396,12 +424,13 @@ impl MetablockTree {
     }
 
     /// Leaf level-II: split into two leaves around the median x, grow the
-    /// parent's branching factor, and TS-reorganise the level.
+    /// parent's branching factor, and TS-reorganise the level. The split
+    /// reads the **vertical** run (same page count as the horizontal one)
+    /// and partitions the existing x-sorted order in place — no re-sort.
     fn split_leaf(&mut self, mb: MbId, path: &[MbId]) {
         let meta = self.meta(mb);
         debug_assert_eq!(meta.n_upd, 0, "level-II runs after level-I");
-        let mut pts = self.read_run(&meta.horizontal);
-        ccix_extmem::sort_by_x(&mut pts);
+        let pts = SortedRun::from_sorted(self.read_run(&meta.vertical));
 
         let Some(&parent) = path.last() else {
             // The root itself is a full leaf: grow the tree by a static
@@ -414,8 +443,7 @@ impl MetablockTree {
         };
 
         let half = pts.len() / 2;
-        let right = pts.split_off(half);
-        let left = pts;
+        let (left, right) = pts.split_at(half);
         let median = right[0].xkey();
         self.free_metablock(mb);
         let left_bbox = BBox::of_points(&left);
@@ -465,10 +493,12 @@ impl MetablockTree {
 
     /// Branching-factor split: statically rebuild the subtree at `x` as two
     /// trees of half the points each, replacing `x` in its parent. At the
-    /// root, rebuild the whole tree (this is how its height grows).
+    /// root, rebuild the whole tree (this is how its height grows). The
+    /// subtree's points are gathered as a k-way merge of its x-sorted
+    /// vertical runs (plus sorted deltas) — `O(n log k)` with gallop fast
+    /// paths over the x-disjoint slabs, instead of an `O(n log n)` re-sort.
     fn branching_split(&mut self, x: MbId, ancestors: &[MbId]) {
-        let mut pts = self.collect_subtree_points(x);
-        ccix_extmem::sort_by_x(&mut pts);
+        let pts = self.collect_subtree_sorted(x);
         self.free_subtree(x);
 
         let Some(&parent) = ancestors.last() else {
@@ -479,8 +509,7 @@ impl MetablockTree {
         };
 
         let half = pts.len() / 2;
-        let right = pts.split_off(half);
-        let left = pts;
+        let (left, right) = pts.split_at(half);
         let median = right[0].xkey();
         let old = {
             let pm = self.meta(parent);
@@ -533,16 +562,27 @@ impl MetablockTree {
         }
     }
 
-    /// Every point in the subtree (mains + update buffers), with charged
-    /// reads. TS/TD/corner pages are copies and are deliberately skipped.
-    fn collect_subtree_points(&self, mb: MbId) -> Vec<Point> {
+    /// Every point in the subtree (mains + update buffers) as one x-sorted
+    /// run, with charged reads (each metablock's vertical run — the same
+    /// page count its horizontal run would cost — plus its update pages).
+    /// TS/TD/corner pages are copies and are deliberately skipped.
+    fn collect_subtree_sorted(&self, mb: MbId) -> SortedRun {
+        let mut runs = Vec::new();
+        self.collect_subtree_runs(mb, &mut runs);
+        SortedRun::merge_many(runs)
+    }
+
+    fn collect_subtree_runs(&self, mb: MbId, runs: &mut Vec<SortedRun>) {
         let meta = self.meta(mb);
-        let mut pts = self.collect_points(meta);
+        runs.push(SortedRun::from_sorted(self.read_run(&meta.vertical)));
+        let delta = self.read_run(&meta.update);
+        if !delta.is_empty() {
+            runs.push(SortedRun::from_unsorted(delta));
+        }
         let children: Vec<MbId> = meta.children.iter().map(|c| c.mb).collect();
         for c in children {
-            pts.extend(self.collect_subtree_points(c));
+            self.collect_subtree_runs(c, runs);
         }
-        pts
     }
 
     /// Free a subtree's metablocks and every page they own.

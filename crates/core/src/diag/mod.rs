@@ -13,7 +13,7 @@ mod validate;
 pub use validate::DiagStats;
 // DiagOptions is defined below and re-exported from the crate root.
 
-pub(crate) use build::{extract_top_y, merge_y_desc_capped, near_equal_ranges, FULL_RANGE};
+pub(crate) use build::{extract_top_y, near_equal_ranges, FULL_RANGE};
 
 use ccix_extmem::{Geometry, IoCounter, PageId, PathPin, Point, TypedStore};
 
@@ -488,16 +488,6 @@ impl MetablockTree {
             out.extend_from_slice(self.store.read(pg));
         }
         out
-    }
-
-    /// Current main + update points of a metablock (charged reads), used by
-    /// reorganisations.
-    pub(crate) fn collect_points(&self, meta: &MetaBlock) -> Vec<Point> {
-        let mut pts = self.read_run(&meta.horizontal);
-        for &pg in &meta.update {
-            pts.extend_from_slice(self.store.read(pg));
-        }
-        pts
     }
 
     /// Metablock point capacity `B²`.

@@ -107,7 +107,14 @@ impl MetablockTree {
             mains.len()
         );
 
-        // Blockings hold the same multiset, in the right orders.
+        // Blockings hold the same multiset, in the right orders, densely
+        // packed (every page full except the last — the merge pipeline must
+        // emit the same runs a sort-based rebuild would).
+        self.assert_dense_run(&meta.vertical, "vertical");
+        self.assert_dense_run(&meta.horizontal, "horizontal");
+        if let Some(ts) = &meta.ts {
+            self.assert_dense_run(&ts.pages, "TS snapshot");
+        }
         let vertical = self.pages_unbilled(&meta.vertical);
         assert!(
             vertical.windows(2).all(|w| w[0].xkey() < w[1].xkey()),
@@ -328,6 +335,21 @@ impl MetablockTree {
 
     fn mains_unbilled(&self, meta: &MetaBlock) -> Vec<Point> {
         self.pages_unbilled(&meta.horizontal)
+    }
+
+    /// Every page of a blocked run must be full except the last: a merge
+    /// (or sort) rebuild that leaked partial pages mid-run would break the
+    /// `t/B` output accounting of every scan over it.
+    fn assert_dense_run(&self, pages: &[ccix_extmem::PageId], what: &str) {
+        for (i, &pg) in pages.iter().enumerate() {
+            if i + 1 < pages.len() {
+                assert_eq!(
+                    self.store.len_unbilled(pg),
+                    self.geo.b,
+                    "{what} run has a sparse page mid-run"
+                );
+            }
+        }
     }
 
     fn pages_unbilled(&self, pages: &[ccix_extmem::PageId]) -> Vec<Point> {

@@ -34,6 +34,7 @@
 pub mod bbox;
 pub mod corner;
 mod diag;
+mod par;
 mod threesided;
 mod tuning;
 

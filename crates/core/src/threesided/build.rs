@@ -1,19 +1,118 @@
 //! Static construction of the 3-sided tree (the §3.1 shape with §4
 //! per-metablock structures).
 //!
-//! Sort-once and arena-backed like the diagonal tree's build: one x-sort up
-//! front, in-place slab partitioning, and incrementally merged sibling
-//! snapshots (here in both directions — TSL and TSR).
+//! Two-phase like the diagonal tree's build (see `crate::diag::build`): a
+//! **pure planning phase** — one x-sort up front, in-place slab
+//! partitioning, per-node y-orders and [`PstPlan`]s (the per-metablock PST
+//! *and* the parent's children PST, whose input is the x-sorted
+//! concatenation of the children's x-disjoint mains) — fanned out over
+//! scoped threads ([`crate::Tuning::build_threads`]); then a sequential
+//! **materialisation** that allocates every page on the calling thread.
+//! Sibling snapshots (here in both directions — TSL and TSR) are capped
+//! incremental merges over the planned y-orders.
 
-use ccix_extmem::{Geometry, IoCounter, Point};
-use ccix_pst::ExternalPst;
+use ccix_extmem::{merge_y_desc_capped, Geometry, IoCounter, Point, SortedRun};
+use ccix_pst::{ExternalPst, PstPlan};
 
 use super::{ThreeSidedTree, TsMeta, TsTd};
 use crate::bbox::{BBox, Key};
 use crate::diag::{
-    extract_top_y, merge_y_desc_capped, near_equal_ranges, ChildEntry, MbId, PackedInfo, TsInfo,
-    FULL_RANGE,
+    extract_top_y, near_equal_ranges, ChildEntry, MbId, PackedInfo, TsInfo, FULL_RANGE,
 };
+use crate::par::{run_parallel, PAR_THRESHOLD};
+
+/// Pure planning context for the 3-sided slab recursion.
+struct PlanCtx {
+    geo: Geometry,
+    cap: usize,
+}
+
+/// One planned 3-sided metablock: contents, orders and PST plans decided,
+/// nothing allocated yet.
+struct SlabPlan {
+    mains_x: SortedRun,
+    mains_y: Vec<Point>,
+    /// Plan of the Lemma 4.1 PST over the mains (absent for ≤ B mains).
+    pst: Option<PstPlan>,
+    /// Interior only: plan of the children PST over every child's mains.
+    children_pst: Option<PstPlan>,
+    children: Vec<SlabPlan>,
+    slab_lo: Key,
+    slab_hi: Key,
+    sub_yhi: Option<Key>,
+}
+
+fn plan_slab(pts: &mut [Point], lo: Key, hi: Key, ctx: &PlanCtx, budget: usize) -> SlabPlan {
+    debug_assert!(pts.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
+    if pts.len() <= ctx.cap {
+        return finish_plan(pts.to_vec(), Vec::new(), lo, hi, None, ctx);
+    }
+
+    let (mains, rest_len, rest_yhi) = {
+        let mut ybuf = Vec::new();
+        extract_top_y(pts, ctx.cap, &mut ybuf)
+    };
+    let rest = &mut pts[..rest_len];
+
+    // The paper divides the remainder into B groups; when n ≪ B³ that
+    // over-fragments the leaves (tiny leaves under B-ary fanout), so we
+    // split into just enough near-B²-sized groups, still at most B of
+    // them — every invariant and bound is preserved, leaves stay packed.
+    let target = rest_len.div_ceil(ctx.cap).clamp(2, ctx.geo.b);
+    let ranges = near_equal_ranges(rest_len, target);
+    let mut first_keys: Vec<Key> = ranges.iter().map(|&(s, _)| rest[s].xkey()).collect();
+    first_keys[0] = lo;
+
+    let mut tasks = Vec::with_capacity(ranges.len());
+    let mut remainder: &mut [Point] = rest;
+    for (i, &(s, e)) in ranges.iter().enumerate() {
+        let (head, tail) = remainder.split_at_mut(e - s);
+        remainder = tail;
+        let slab_lo = first_keys[i];
+        let slab_hi = first_keys.get(i + 1).copied().unwrap_or(hi);
+        tasks.push(move |inner: usize| plan_slab(head, slab_lo, slab_hi, ctx, inner));
+    }
+    let child_budget = if rest_len >= PAR_THRESHOLD { budget } else { 1 };
+    let children = run_parallel(tasks, child_budget);
+    finish_plan(mains, children, lo, hi, rest_yhi, ctx)
+}
+
+fn finish_plan(
+    mains_x: Vec<Point>,
+    children: Vec<SlabPlan>,
+    slab_lo: Key,
+    slab_hi: Key,
+    sub_yhi: Option<Key>,
+    ctx: &PlanCtx,
+) -> SlabPlan {
+    let mut mains_y = mains_x.clone();
+    ccix_extmem::sort_by_y_desc(&mut mains_y);
+    let mains_x = SortedRun::from_sorted(mains_x);
+    // A PST pays off once the mains span multiple blocks; a single block
+    // is answered by scanning it.
+    let pst = (mains_x.len() > ctx.geo.b)
+        .then(|| PstPlan::plan(ctx.geo, SortedRun::from_sorted(mains_x.to_vec())));
+    // The children PST over every child's mains (≤ B³). Children slabs are
+    // x-disjoint and in slab order, so concatenating their sorted mains is
+    // already sorted — no re-sort before planning.
+    let children_pst = (!children.is_empty()).then(|| {
+        let all: Vec<Point> = children
+            .iter()
+            .flat_map(|c| c.mains_x.iter().copied())
+            .collect();
+        PstPlan::plan(ctx.geo, SortedRun::from_sorted(all))
+    });
+    SlabPlan {
+        mains_x,
+        mains_y,
+        pst,
+        children_pst,
+        children,
+        slab_lo,
+        slab_hi,
+        sub_yhi,
+    }
+}
 
 impl ThreeSidedTree {
     /// Build a tree over `points` (anywhere in the plane; unique ids) with
@@ -26,7 +125,7 @@ impl ThreeSidedTree {
     pub fn build_tuned(
         geo: Geometry,
         counter: IoCounter,
-        mut points: Vec<Point>,
+        points: Vec<Point>,
         tuning: crate::Tuning,
     ) -> Self {
         {
@@ -39,79 +138,74 @@ impl ThreeSidedTree {
         if points.is_empty() {
             return tree;
         }
-        ccix_extmem::sort_by_x(&mut points);
-        let (root, _, _) = tree.build_slab(points, FULL_RANGE.0, FULL_RANGE.1);
+        let (root, _, _) =
+            tree.build_slab(SortedRun::from_unsorted(points), FULL_RANGE.0, FULL_RANGE.1);
         tree.root = Some(root);
         tree
     }
 
-    /// Build the subtree over an x-sorted vector responsible for `[lo, hi)`.
-    /// Returns (root, root's mains, max ykey strictly below the root).
+    /// Build the subtree over an x-sorted run responsible for `[lo, hi)`.
+    /// Returns (root, root's mains y-descending, max ykey strictly below
+    /// the root).
     pub(crate) fn build_slab(
         &mut self,
-        mut pts: Vec<Point>,
+        pts: SortedRun,
         lo: Key,
         hi: Key,
     ) -> (MbId, Vec<Point>, Option<Key>) {
-        let mut ybuf = Vec::new();
-        self.build_slab_in(&mut pts, lo, hi, &mut ybuf)
+        let ctx = PlanCtx {
+            geo: self.geo,
+            cap: self.cap(),
+        };
+        let budget = self.tuning.effective_build_threads();
+        let mut arena = pts.into_inner();
+        let plan = plan_slab(&mut arena, lo, hi, &ctx, budget);
+        drop(arena);
+        self.materialise_slab(plan)
     }
 
-    fn build_slab_in(
-        &mut self,
-        pts: &mut [Point],
-        lo: Key,
-        hi: Key,
-        ybuf: &mut Vec<Key>,
-    ) -> (MbId, Vec<Point>, Option<Key>) {
-        debug_assert!(pts.windows(2).all(|w| w[0].xkey() < w[1].xkey()));
-        let cap = self.cap();
-        if pts.len() <= cap {
-            let mains = pts.to_vec();
-            let id = self.make_metablock(&mains, Vec::new(), false);
-            return (id, mains, None);
-        }
-
-        let (mains, rest_len, rest_yhi) = extract_top_y(pts, cap, ybuf);
-        let rest = &mut pts[..rest_len];
-
-        // The paper divides the remainder into B groups; when n ≪ B³ that
-        // over-fragments the leaves (tiny leaves under B-ary fanout), so we
-        // split into just enough near-B²-sized groups, still at most B of
-        // them — every invariant and bound is preserved, leaves stay packed.
-        let target = rest_len.div_ceil(cap).clamp(2, self.geo.b);
-        let ranges = near_equal_ranges(rest_len, target);
-        let mut first_keys: Vec<Key> = ranges.iter().map(|&(s, _)| rest[s].xkey()).collect();
-        first_keys[0] = lo;
-        let mut entries: Vec<ChildEntry> = Vec::with_capacity(ranges.len());
-        let mut child_mains: Vec<Vec<Point>> = Vec::with_capacity(ranges.len());
-        for (i, &(s, e)) in ranges.iter().enumerate() {
-            let slab_lo = first_keys[i];
-            let slab_hi = first_keys.get(i + 1).copied().unwrap_or(hi);
-            let (child, cmains, sub_yhi) =
-                self.build_slab_in(&mut rest[s..e], slab_lo, slab_hi, ybuf);
+    /// Allocate pages and control blocks for a planned subtree, on the
+    /// calling thread.
+    fn materialise_slab(&mut self, plan: SlabPlan) -> (MbId, Vec<Point>, Option<Key>) {
+        let SlabPlan {
+            mains_x,
+            mains_y,
+            pst,
+            children_pst,
+            children,
+            sub_yhi,
+            ..
+        } = plan;
+        let internal = !children.is_empty();
+        let mut entries: Vec<ChildEntry> = Vec::with_capacity(children.len());
+        let mut snapshots: Vec<Vec<Point>> = Vec::with_capacity(children.len());
+        for child in children {
+            let (slab_lo, slab_hi) = (child.slab_lo, child.slab_hi);
+            let (mb, child_y, child_sub) = self.materialise_slab(child);
             entries.push(ChildEntry {
-                mb: child,
+                mb,
                 slab_lo,
                 slab_hi,
-                main_bbox: BBox::of_points(&cmains),
+                main_bbox: BBox::of_points(&child_y),
                 upd_ymax: None,
-                sub_yhi,
+                sub_yhi: child_sub,
                 packed: PackedInfo::default(),
             });
-            child_mains.push(cmains);
+            snapshots.push(child_y);
         }
-
-        let id = self.make_metablock(&mains, entries, true);
-        self.sync_packed_children(id);
-        self.install_sibling_snapshots(id, child_mains);
-        (id, mains, rest_yhi)
+        let meta = self.build_organizations_planned(&mains_x, &mains_y, pst, entries, internal);
+        let id = self.alloc_meta(meta);
+        if internal {
+            self.sync_packed_children(id);
+            self.install_sibling_snapshots(id, snapshots, children_pst);
+        }
+        (id, mains_y, sub_yhi)
     }
 
     /// Allocate a metablock with all §4 per-node structures.
     pub(crate) fn make_metablock(
         &mut self,
-        mains: &[Point],
+        mains: &SortedRun,
         children: Vec<ChildEntry>,
         internal: bool,
     ) -> MbId {
@@ -119,39 +213,44 @@ impl ThreeSidedTree {
         self.alloc_meta(meta)
     }
 
+    /// Construct the per-metablock organisations; the [`SortedRun`] makes
+    /// the x-sortedness of the mains a typed invariant (callers sort only
+    /// what needs it).
     pub(crate) fn build_organizations(
         &mut self,
-        mains: &[Point],
+        mains: &SortedRun,
         children: Vec<ChildEntry>,
         internal: bool,
     ) -> TsMeta {
-        // The static build hands mains over already x-sorted; only the
-        // dynamic reorganisations need a sort.
-        let sorted_storage;
-        let by_x: &[Point] = if mains.windows(2).all(|w| w[0].xkey() < w[1].xkey()) {
-            mains
-        } else {
-            let mut v = mains.to_vec();
-            ccix_extmem::sort_by_x(&mut v);
-            sorted_storage = v;
-            &sorted_storage
-        };
+        let mut by_y = mains.to_vec();
+        ccix_extmem::sort_by_y_desc(&mut by_y);
+        let pst = (mains.len() > self.geo.b)
+            .then(|| PstPlan::plan(self.geo, SortedRun::from_sorted(mains.to_vec())));
+        self.build_organizations_planned(mains, &by_y, pst, children, internal)
+    }
+
+    /// As [`ThreeSidedTree::build_organizations`], with the y-order and the
+    /// PST plan already computed.
+    pub(crate) fn build_organizations_planned(
+        &mut self,
+        by_x: &SortedRun,
+        by_y: &[Point],
+        pst: Option<PstPlan>,
+        children: Vec<ChildEntry>,
+        internal: bool,
+    ) -> TsMeta {
+        debug_assert!(by_y.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
         let vkeys: Vec<Key> = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
         let vertical = self.store.alloc_run(by_x);
-        let mut by_y = by_x.to_vec();
-        ccix_extmem::sort_by_y_desc(&mut by_y);
         let hkeys: Vec<Key> = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
-        let horizontal = self.store.alloc_run(&by_y);
-        // A PST pays off once the mains span multiple blocks; a single
-        // block is answered by scanning it.
-        let pst = (mains.len() > self.geo.b)
-            .then(|| ExternalPst::build(self.geo, self.counter.clone(), by_x.to_vec()));
+        let horizontal = self.store.alloc_run(by_y);
+        let pst = pst.map(|plan| ExternalPst::from_plan(self.geo, self.counter.clone(), plan));
         TsMeta {
             vertical,
             vkeys,
             horizontal,
             hkeys,
-            n_main: mains.len(),
+            n_main: by_x.len(),
             y_lo_main: by_y.last().map(Point::ykey),
             main_bbox: BBox::of_points(by_x),
             pst,
@@ -166,11 +265,19 @@ impl ThreeSidedTree {
     }
 
     /// Install, for every child, the TSL and TSR snapshots and, on the
-    /// parent, the children PST — all from the supplied per-child point
-    /// snapshots. Each snapshot is y-sorted once; the capped prefix/suffix
-    /// top lists are maintained by merging instead of re-sorting a growing
-    /// accumulator per child.
-    pub(crate) fn install_sibling_snapshots(&mut self, parent: MbId, snapshots: Vec<Vec<Point>>) {
+    /// parent, the children PST — from per-child snapshots that arrive
+    /// **y-descending already** (planned y-orders on the static path,
+    /// horizontal-run + sorted-delta merges from the TS reorganisation).
+    /// The capped prefix/suffix top lists are maintained by merging; the
+    /// children PST comes from `children_pst` when the planning phase
+    /// already built it, and otherwise reuses the previous PST's node
+    /// layout via [`ExternalPst::rebuild_from_sorted`].
+    pub(crate) fn install_sibling_snapshots(
+        &mut self,
+        parent: MbId,
+        snapshots: Vec<Vec<Point>>,
+        children_pst_plan: Option<PstPlan>,
+    ) {
         let cap = self.ts_cap_points();
         let child_ids: Vec<MbId> = self.metas[parent]
             .as_ref()
@@ -180,12 +287,11 @@ impl ThreeSidedTree {
             .map(|c| c.mb)
             .collect();
         debug_assert_eq!(child_ids.len(), snapshots.len());
+        debug_assert!(snapshots
+            .iter()
+            .all(|s| s.windows(2).all(|w| w[0].ykey() > w[1].ykey())));
         let len = child_ids.len();
-
-        let mut sorted = snapshots;
-        for s in &mut sorted {
-            ccix_extmem::sort_by_y_desc(s);
-        }
+        let sorted = snapshots;
 
         // Prefix (left-sibling) snapshots.
         let mut tsl: Vec<Option<(Vec<Point>, bool)>> = vec![None; len];
@@ -270,13 +376,33 @@ impl ThreeSidedTree {
         // The children PST over every child's snapshot points (≤ B³). This
         // one is deliberately uncapped: the fork-node route answers from it
         // alone, so it must cover every sibling point.
-        let all_points: Vec<Point> = sorted.into_iter().flatten().collect();
         let mut pm = self.take_meta(parent);
-        pm.children_pst = Some(ExternalPst::build(
-            self.geo,
-            self.counter.clone(),
-            all_points,
-        ));
+        match children_pst_plan {
+            Some(plan) => {
+                debug_assert!(pm.children_pst.is_none(), "planned PST over a live one");
+                pm.children_pst =
+                    Some(ExternalPst::from_plan(self.geo, self.counter.clone(), plan));
+            }
+            None => {
+                // Children snapshots live in x-disjoint slabs: sorting each
+                // child separately and k-way merging (gallop fast path over
+                // the disjoint ranges) beats one big re-sort of up to B³
+                // points.
+                let all = SortedRun::merge_many(
+                    sorted.into_iter().map(SortedRun::from_unsorted).collect(),
+                );
+                match pm.children_pst.as_mut() {
+                    Some(pst) => pst.rebuild_from_sorted(self.geo, all),
+                    None => {
+                        pm.children_pst = Some(ExternalPst::build_from_sorted(
+                            self.geo,
+                            self.counter.clone(),
+                            all,
+                        ))
+                    }
+                }
+            }
+        }
         self.put_meta(parent, pm);
     }
 }

@@ -9,7 +9,7 @@
 //! Batching and the pinned-path accounting mirror the diagonal tree (see
 //! `crate::diag::insert`).
 
-use ccix_extmem::Point;
+use ccix_extmem::{Point, SortedRun};
 use ccix_pst::ExternalPst;
 
 use super::{ThreeSidedTree, TsMeta, TsTd};
@@ -30,7 +30,7 @@ impl ThreeSidedTree {
         self.len += 1;
         match self.root {
             None => {
-                let id = self.make_metablock(&[p], Vec::new(), false);
+                let id = self.make_metablock(&SortedRun::from_sorted(vec![p]), Vec::new(), false);
                 self.root = Some(id);
             }
             Some(root) => self.insert_routed(Vec::new(), root, p),
@@ -104,11 +104,9 @@ impl ThreeSidedTree {
             (!m.n_upd.is_multiple_of(b)).then(|| *m.update.last().expect("partial page exists"))
         };
         match open_page {
-            Some(pg) => {
-                let mut pts = self.store.read(pg).to_vec();
-                pts.push(p);
-                self.store.write(pg, pts);
-            }
+            // In-place append: the same read-modify-write charge as the
+            // separate read/write pair, without cloning the page buffer.
+            Some(pg) => self.store.append(pg, p),
             None => {
                 let pg = self.store.alloc(vec![p]);
                 self.metas[target]
@@ -153,11 +151,7 @@ impl ThreeSidedTree {
                     .then(|| *td.staged.last().expect("partial page exists"))
             };
             match open_page {
-                Some(pg) => {
-                    let mut pts = self.store.read(pg).to_vec();
-                    pts.push(p);
-                    self.store.write(pg, pts);
-                }
+                Some(pg) => self.store.append(pg, p),
                 None => {
                     let pg = self.store.alloc(vec![p]);
                     self.metas[par]
@@ -204,8 +198,8 @@ impl ThreeSidedTree {
     fn td_rebuild(&mut self, parent: MbId) {
         let mut m = self.take_meta(parent);
         let td = m.td.as_mut().expect("TD present");
-        let mut pts = match td.pst.take() {
-            Some(pst) => pst.collect_points(), // pages freed on drop
+        let mut pts = match &td.pst {
+            Some(pst) => pst.collect_points(),
             None => Vec::new(),
         };
         for &pg in &td.staged {
@@ -215,19 +209,35 @@ impl ThreeSidedTree {
         td.staged.clear();
         td.n_staged = 0;
         td.n_built = pts.len();
-        td.pst = Some(ExternalPst::build(self.geo, self.counter.clone(), pts));
+        let run = SortedRun::from_unsorted(pts);
+        match td.pst.as_mut() {
+            // Rebuild in place, reusing page slots and the layout of any
+            // node whose population the staged delta did not move.
+            Some(pst) => pst.rebuild_from_sorted(self.geo, run),
+            None => {
+                td.pst = Some(ExternalPst::build_from_sorted(
+                    self.geo,
+                    self.counter.clone(),
+                    run,
+                ))
+            }
+        }
         self.put_meta(parent, m);
     }
 
     /// Rebuild every child's TSL/TSR snapshot and the parent's children PST
-    /// from current contents; discard the TD. `O(B²)` I/Os.
+    /// from current contents; discard the TD. `O(B²)` I/Os. Each child's
+    /// snapshot is its already-y-sorted horizontal run merged with its
+    /// sorted delta — the same page reads, no full re-sort.
     pub(crate) fn ts_reorg(&mut self, parent: MbId) {
         let child_ids: Vec<MbId> = self.meta(parent).children.iter().map(|c| c.mb).collect();
         let snapshots: Vec<Vec<Point>> = child_ids
             .iter()
             .map(|&c| {
                 let cm = self.meta(c);
-                self.collect_points(cm)
+                let mains_y = self.read_run(&cm.horizontal);
+                let delta = self.read_run(&cm.update);
+                ccix_extmem::merge_delta_y_desc(mains_y, delta)
             })
             .collect();
         let mut m = self.take_meta(parent);
@@ -236,13 +246,20 @@ impl ThreeSidedTree {
             *td = TsTd::default(); // old TD PST pages freed on drop
         }
         self.put_meta(parent, m);
-        self.install_sibling_snapshots(parent, snapshots);
+        self.install_sibling_snapshots(parent, snapshots, None);
     }
 
+    /// Level-I: sortedness-preserving like the diagonal tree's — the
+    /// x-sorted vertical run absorbs the sorted delta by a galloping merge;
+    /// only the y-order is re-sorted.
     fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
         let mut m = self.take_meta(mb);
-        let pts = self.collect_points(&m);
-        self.rebuild_orgs(&mut m, &pts);
+        let mains_x = SortedRun::from_sorted(self.read_run(&m.vertical));
+        let delta = SortedRun::from_unsorted(self.read_run(&m.update));
+        let by_x = mains_x.merge(delta);
+        let mut by_y = by_x.to_vec();
+        ccix_extmem::sort_by_y_desc(&mut by_y);
+        self.rebuild_orgs(&mut m, &by_x, &by_y);
         let n_main = m.n_main;
         let new_bbox = m.main_bbox;
         self.put_meta(mb, m);
@@ -259,28 +276,39 @@ impl ThreeSidedTree {
         n_main
     }
 
-    /// Replace blockings and the per-metablock PST with ones over `pts`.
-    fn rebuild_orgs(&mut self, m: &mut TsMeta, pts: &[Point]) {
+    /// Replace blockings and the per-metablock PST with ones over the given
+    /// pre-sorted orders. No sorting happens here; the PST rebuild reuses
+    /// the previous node layout where populations are unchanged.
+    fn rebuild_orgs(&mut self, m: &mut TsMeta, by_x: &SortedRun, by_y: &[Point]) {
+        debug_assert!(by_y.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
+        debug_assert_eq!(by_x.len(), by_y.len());
         self.store.free_run(&m.vertical);
         self.store.free_run(&m.horizontal);
-        m.pst = None; // pages freed on drop
         self.store.free_run(&m.update);
         m.update.clear();
         m.n_upd = 0;
 
-        let mut by_x = pts.to_vec();
-        ccix_extmem::sort_by_x(&mut by_x);
         m.vkeys = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
-        m.vertical = self.store.alloc_run(&by_x);
-        let mut by_y = pts.to_vec();
-        ccix_extmem::sort_by_y_desc(&mut by_y);
+        m.vertical = self.store.alloc_run(by_x);
         m.hkeys = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
-        m.horizontal = self.store.alloc_run(&by_y);
-        m.n_main = pts.len();
-        m.main_bbox = BBox::of_points(pts);
+        m.horizontal = self.store.alloc_run(by_y);
+        m.n_main = by_x.len();
+        m.main_bbox = BBox::of_points(by_x);
         m.y_lo_main = by_y.last().map(Point::ykey);
-        if pts.len() > self.geo.b {
-            m.pst = Some(ExternalPst::build(self.geo, self.counter.clone(), by_x));
+        if by_x.len() > self.geo.b {
+            let run = SortedRun::from_sorted(by_x.to_vec());
+            match m.pst.as_mut() {
+                Some(pst) => pst.rebuild_from_sorted(self.geo, run),
+                None => {
+                    m.pst = Some(ExternalPst::build_from_sorted(
+                        self.geo,
+                        self.counter.clone(),
+                        run,
+                    ))
+                }
+            }
+        } else {
+            m.pst = None; // pages freed on drop
         }
     }
 
@@ -299,8 +327,9 @@ impl ThreeSidedTree {
         let mut pts = self.read_run(&m.horizontal);
         debug_assert!(pts.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
         let bottom = pts.split_off(self.cap());
-        let top = pts;
-        self.rebuild_orgs(&mut m, &top);
+        let top_y = pts;
+        let top_x = SortedRun::from_unsorted(top_y.clone());
+        self.rebuild_orgs(&mut m, &top_x, &top_y);
         let new_bbox = m.main_bbox;
         self.put_meta(mb, m);
 
@@ -332,11 +361,12 @@ impl ThreeSidedTree {
         }
     }
 
+    /// Leaf split over the already-x-sorted vertical run (same page count
+    /// as the horizontal run) — partitioned in place, no re-sort.
     fn split_leaf(&mut self, mb: MbId, path: &[MbId]) {
         let meta = self.meta(mb);
         debug_assert_eq!(meta.n_upd, 0, "level-II runs after level-I");
-        let mut pts = self.read_run(&meta.horizontal);
-        ccix_extmem::sort_by_x(&mut pts);
+        let pts = SortedRun::from_sorted(self.read_run(&meta.vertical));
 
         let Some(&parent) = path.last() else {
             self.free_metablock(mb);
@@ -346,8 +376,7 @@ impl ThreeSidedTree {
         };
 
         let half = pts.len() / 2;
-        let right = pts.split_off(half);
-        let left = pts;
+        let (left, right) = pts.split_at(half);
         let median = right[0].xkey();
         self.free_metablock(mb);
         let left_bbox = BBox::of_points(&left);
@@ -395,9 +424,10 @@ impl ThreeSidedTree {
         }
     }
 
+    /// Branching split over the k-way merge of the subtree's x-sorted
+    /// vertical runs (see the diagonal tree's `branching_split`).
     fn branching_split(&mut self, x: MbId, ancestors: &[MbId]) {
-        let mut pts = self.collect_subtree_points(x);
-        ccix_extmem::sort_by_x(&mut pts);
+        let pts = self.collect_subtree_sorted(x);
         self.free_subtree(x);
 
         let Some(&parent) = ancestors.last() else {
@@ -407,8 +437,7 @@ impl ThreeSidedTree {
         };
 
         let half = pts.len() / 2;
-        let right = pts.split_off(half);
-        let left = pts;
+        let (left, right) = pts.split_at(half);
         let median = right[0].xkey();
         let old = {
             let pm = self.meta(parent);
@@ -461,14 +490,23 @@ impl ThreeSidedTree {
         }
     }
 
-    fn collect_subtree_points(&self, mb: MbId) -> Vec<Point> {
+    fn collect_subtree_sorted(&self, mb: MbId) -> SortedRun {
+        let mut runs = Vec::new();
+        self.collect_subtree_runs(mb, &mut runs);
+        SortedRun::merge_many(runs)
+    }
+
+    fn collect_subtree_runs(&self, mb: MbId, runs: &mut Vec<SortedRun>) {
         let meta = self.meta(mb);
-        let mut pts = self.collect_points(meta);
+        runs.push(SortedRun::from_sorted(self.read_run(&meta.vertical)));
+        let delta = self.read_run(&meta.update);
+        if !delta.is_empty() {
+            runs.push(SortedRun::from_unsorted(delta));
+        }
         let children: Vec<MbId> = meta.children.iter().map(|c| c.mb).collect();
         for c in children {
-            pts.extend(self.collect_subtree_points(c));
+            self.collect_subtree_runs(c, runs);
         }
-        pts
     }
 
     fn free_subtree(&mut self, mb: MbId) {

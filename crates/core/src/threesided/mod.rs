@@ -311,14 +311,6 @@ impl ThreeSidedTree {
         out
     }
 
-    pub(crate) fn collect_points(&self, meta: &TsMeta) -> Vec<Point> {
-        let mut pts = self.read_run(&meta.horizontal);
-        for &pg in &meta.update {
-            pts.extend_from_slice(self.store.read(pg));
-        }
-        pts
-    }
-
     pub(crate) fn cap(&self) -> usize {
         self.geo.b2()
     }

@@ -77,6 +77,16 @@ impl ThreeSidedTree {
         all: &mut Vec<Point>,
     ) {
         let meta = self.meta_unbilled(mb);
+        // Dense blocking: every run page full except the last (the merge
+        // pipeline must emit exactly the runs a sort-based rebuild would).
+        self.assert_dense_run(&meta.vertical, "vertical");
+        self.assert_dense_run(&meta.horizontal, "horizontal");
+        if let Some(ts) = &meta.tsl {
+            self.assert_dense_run(&ts.pages, "TSL snapshot");
+        }
+        if let Some(ts) = &meta.tsr {
+            self.assert_dense_run(&ts.pages, "TSR snapshot");
+        }
         let mains = self.pages_unbilled(&meta.horizontal);
         assert_eq!(mains.len(), meta.n_main, "main count mismatch");
 
@@ -338,6 +348,20 @@ impl ThreeSidedTree {
             out.extend_from_slice(self.store.read_unbilled(pg));
         }
         out
+    }
+
+    /// Every page of a blocked run must be full except the last (see the
+    /// diagonal validator's `assert_dense_run`).
+    fn assert_dense_run(&self, pages: &[ccix_extmem::PageId], what: &str) {
+        for (i, &pg) in pages.iter().enumerate() {
+            if i + 1 < pages.len() {
+                assert_eq!(
+                    self.store.len_unbilled(pg),
+                    self.geo.b,
+                    "{what} run has a sparse page mid-run"
+                );
+            }
+        }
     }
 
     fn collect_unbilled(&self, mb: MbId, out: &mut Vec<Point>) {

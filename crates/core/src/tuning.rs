@@ -63,6 +63,15 @@ pub struct Tuning {
     /// cold-per-operation accounting, where even the root transfers once
     /// per operation.
     pub resident_root: bool,
+    /// Threads for the **CPU-bound planning phases** of static (re)builds:
+    /// the per-child sort/partition/corner/PST planning of
+    /// `MetablockTree::build`, `ThreeSidedTree::build` and the subtree
+    /// rebuilds of branching splits fan out over `std::thread::scope` on
+    /// disjoint arena slices. `0` means "use the machine's available
+    /// parallelism"; `1` is strictly sequential. Page allocation and every
+    /// I/O charge stay on the calling thread, so the knob never changes an
+    /// I/O count — the built structure is bit-identical for every setting.
+    pub build_threads: usize,
 }
 
 impl Default for Tuning {
@@ -78,13 +87,15 @@ impl Default for Tuning {
             corner_alpha: 2,
             pack_h_pages: 4,
             resident_root: true,
+            build_threads: 0,
         }
     }
 }
 
 impl Tuning {
     /// The paper's constants: one-block buffers, full `B²` TS snapshots,
-    /// adoption factor 2.
+    /// adoption factor 2 (and, outside the paper's vocabulary, a strictly
+    /// sequential build).
     pub fn paper() -> Self {
         Self {
             update_batch_pages: 1,
@@ -93,6 +104,16 @@ impl Tuning {
             corner_alpha: 2,
             pack_h_pages: 0,
             resident_root: false,
+            build_threads: 1,
+        }
+    }
+
+    /// Effective thread count for build planning: `build_threads`, with `0`
+    /// resolved to the machine's available parallelism.
+    pub fn effective_build_threads(&self) -> usize {
+        match self.build_threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
         }
     }
 }

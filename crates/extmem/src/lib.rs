@@ -33,6 +33,7 @@
 
 mod disk;
 mod geometry;
+pub mod merge;
 mod pin;
 mod point;
 mod pool;
@@ -41,6 +42,7 @@ mod store;
 
 pub use disk::{Disk, PageBuf};
 pub use geometry::{near_equal_ranges, Geometry};
+pub use merge::{merge_delta_y_desc, merge_y_desc, merge_y_desc_capped, SortedRun};
 pub use pin::PathPin;
 pub use point::{sort_by_x, sort_by_y_desc, Point};
 pub use pool::BufferPool;

@@ -1,0 +1,399 @@
+//! Sortedness-preserving merge primitives over point runs.
+//!
+//! The metablock trees' reorganisations (§3.2, Fig. 19) work over data that
+//! is *already sorted*: the vertical blockings are x-sorted, the horizontal
+//! blockings and `TS` snapshots are y-sorted, and only the small
+//! update-buffer deltas arrive unordered. Re-sorting a whole metablock on
+//! every level-I/TS/level-II reorganisation therefore pays `O(n log n)`
+//! where an `O(n)` merge (or an `O(delta · log n)` galloping merge)
+//! suffices. This module provides those primitives, plus the [`SortedRun`]
+//! newtype that makes x-sortedness a *typed* invariant: APIs that require
+//! sorted input take a `SortedRun`, so the compiler — not a comment —
+//! enforces who sorts.
+//!
+//! All orders are strict total orders (`(coordinate, id)` with unique ids),
+//! so a merge produces exactly the sequence a full sort would: the two
+//! pipelines are interchangeable bit-for-bit, which is what lets the
+//! differential suites compare them directly.
+
+use crate::point::{sort_by_x, sort_by_y_desc, Point};
+
+/// A run of points in strictly ascending `(x, id)` order — the order of the
+/// vertical blockings and of every build arena.
+///
+/// The only constructors either sort ([`SortedRun::from_unsorted`]) or
+/// debug-assert an already-sorted vector ([`SortedRun::from_sorted`]), so a
+/// `SortedRun` in hand is proof of sortedness: consumers (metablock
+/// organisation builders, slab planners, PST builders) need no runtime
+/// re-check and no defensive re-sort.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SortedRun(Vec<Point>);
+
+impl SortedRun {
+    /// An empty run.
+    pub fn new() -> Self {
+        Self(Vec::new())
+    }
+
+    /// Sort `points` by `(x, id)` and wrap them.
+    pub fn from_unsorted(mut points: Vec<Point>) -> Self {
+        sort_by_x(&mut points);
+        Self(points)
+    }
+
+    /// Wrap a vector the caller promises is strictly `(x, id)`-ascending
+    /// (checked in debug builds).
+    pub fn from_sorted(points: Vec<Point>) -> Self {
+        debug_assert!(
+            points.windows(2).all(|w| w[0].xkey() < w[1].xkey()),
+            "SortedRun::from_sorted received an unsorted vector"
+        );
+        Self(points)
+    }
+
+    /// The points, in order.
+    pub fn as_slice(&self) -> &[Point] {
+        &self.0
+    }
+
+    /// Unwrap into the underlying vector (still sorted, obviously).
+    pub fn into_inner(self) -> Vec<Point> {
+        self.0
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the run holds no points.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Merge two runs into one, galloping through stretches of either input
+    /// that fall entirely below the other's head. Disjoint or barely
+    /// interleaved runs (adjacent slabs, a small delta against a large main
+    /// run) cost `O(runs · log n)` comparisons plus the unavoidable copies;
+    /// the worst case is the ordinary `O(n)` two-way merge.
+    pub fn merge(self, other: SortedRun) -> SortedRun {
+        if self.is_empty() {
+            return other;
+        }
+        if other.is_empty() {
+            return self;
+        }
+        let (a, b) = (self.0, other.0);
+        let mut out = Vec::with_capacity(a.len() + b.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.len() && j < b.len() {
+            if a[i].xkey() < b[j].xkey() {
+                let k = i + gallop_x(&a[i..], b[j].xkey());
+                out.extend_from_slice(&a[i..k]);
+                i = k;
+            } else {
+                let k = j + gallop_x(&b[j..], a[i].xkey());
+                out.extend_from_slice(&b[j..k]);
+                j = k;
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        out.extend_from_slice(&b[j..]);
+        SortedRun(out)
+    }
+
+    /// K-way merge by pairwise rounds: `O(n log k)` with plain two-way
+    /// merges (and the gallop fast path makes concatenable runs — e.g. the
+    /// x-disjoint vertical runs of a subtree collected in slab order —
+    /// nearly free). Used by branching splits to rebuild a subtree without
+    /// re-sorting its `O(n)` points from scratch.
+    pub fn merge_many(mut runs: Vec<SortedRun>) -> SortedRun {
+        runs.retain(|r| !r.is_empty());
+        while runs.len() > 1 {
+            let mut next = Vec::with_capacity(runs.len().div_ceil(2));
+            let mut it = runs.into_iter();
+            while let Some(a) = it.next() {
+                match it.next() {
+                    Some(b) => next.push(a.merge(b)),
+                    None => next.push(a),
+                }
+            }
+            runs = next;
+        }
+        runs.pop().unwrap_or_default()
+    }
+
+    /// Split the run at `index` (both halves stay sorted by construction).
+    ///
+    /// # Panics
+    /// Panics if `index > len`.
+    pub fn split_at(self, index: usize) -> (SortedRun, SortedRun) {
+        let mut left = self.0;
+        let right = left.split_off(index);
+        (SortedRun(left), SortedRun(right))
+    }
+
+    /// Index of the first point with `xkey ≥ key` — the slab partition
+    /// point — found by galloping (exponential probe + binary search), so
+    /// redistributing an existing x-sorted run across slab boundaries costs
+    /// `O(log n)` per boundary instead of a re-sort of the concatenation.
+    pub fn partition_point(&self, key: (i64, u64)) -> usize {
+        gallop_x(&self.0, key)
+    }
+}
+
+impl std::ops::Deref for SortedRun {
+    type Target = [Point];
+
+    fn deref(&self) -> &[Point] {
+        &self.0
+    }
+}
+
+/// First index of `slice` whose `xkey` is `≥ key`, by exponential probing
+/// then binary search over the final octave. `O(log distance)`.
+fn gallop_x(slice: &[Point], key: (i64, u64)) -> usize {
+    if slice.first().is_none_or(|p| p.xkey() >= key) {
+        return 0;
+    }
+    // Invariant: slice[lo - 1].xkey() < key.
+    let mut lo = 1usize;
+    let mut step = 1usize;
+    while lo < slice.len() && slice[lo].xkey() < key {
+        lo += step;
+        step *= 2;
+    }
+    let hi = lo.min(slice.len());
+    let base = lo - step / 2;
+    base + slice[base..hi].partition_point(|p| p.xkey() < key)
+}
+
+/// Merge two y-descending vectors (the order of horizontal blockings and
+/// `TS` snapshots) into one, galloping like [`SortedRun::merge`]. Strict
+/// total order on `(y, id)` makes the result identical to re-sorting the
+/// concatenation.
+pub fn merge_y_desc(a: Vec<Point>, b: Vec<Point>) -> Vec<Point> {
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    debug_assert!(a.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
+    debug_assert!(b.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i].ykey() > b[j].ykey() {
+            let k = i + gallop_y_desc(&a[i..], b[j].ykey());
+            out.extend_from_slice(&a[i..k]);
+            i = k;
+        } else {
+            let k = j + gallop_y_desc(&b[j..], a[i].ykey());
+            out.extend_from_slice(&b[j..k]);
+            j = k;
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+/// First index of y-descending `slice` whose `ykey` is `≤ key`.
+fn gallop_y_desc(slice: &[Point], key: (i64, u64)) -> usize {
+    if slice.first().is_none_or(|p| p.ykey() <= key) {
+        return 0;
+    }
+    let mut lo = 1usize;
+    let mut step = 1usize;
+    while lo < slice.len() && slice[lo].ykey() > key {
+        lo += step;
+        step *= 2;
+    }
+    let hi = lo.min(slice.len());
+    let base = lo - step / 2;
+    base + slice[base..hi].partition_point(|p| p.ykey() > key)
+}
+
+/// Merge two y-descending vectors, keeping at most `cap` points — the
+/// bounded merge behind the capped `TS`/`TSL`/`TSR` sibling snapshots
+/// (whose `truncated` bit the caller derives from `total > kept`).
+pub fn merge_y_desc_capped(a: Vec<Point>, b: Vec<Point>, cap: usize) -> Vec<Point> {
+    if b.is_empty() && a.len() <= cap {
+        return a;
+    }
+    if a.is_empty() && b.len() <= cap {
+        return b;
+    }
+    debug_assert!(a.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
+    debug_assert!(b.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
+    let mut out = Vec::with_capacity((a.len() + b.len()).min(cap));
+    let (mut i, mut j) = (0usize, 0usize);
+    while out.len() < cap {
+        match (a.get(i), b.get(j)) {
+            (Some(x), Some(y)) => {
+                if x.ykey() > y.ykey() {
+                    out.push(*x);
+                    i += 1;
+                } else {
+                    out.push(*y);
+                    j += 1;
+                }
+            }
+            (Some(x), None) => {
+                out.push(*x);
+                i += 1;
+            }
+            (None, Some(y)) => {
+                out.push(*y);
+                j += 1;
+            }
+            (None, None) => break,
+        }
+    }
+    out
+}
+
+/// Sort a small delta by y descending and merge it into an already
+/// y-descending run — the `TS`-reorganisation step (y-sorted snapshot +
+/// sorted delta, no full re-sort).
+pub fn merge_delta_y_desc(run: Vec<Point>, mut delta: Vec<Point>) -> Vec<Point> {
+    sort_by_y_desc(&mut delta);
+    merge_y_desc(run, delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::sort_by_x;
+
+    fn pts(pairs: &[(i64, i64)]) -> Vec<Point> {
+        pairs
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| Point::new(x, y, i as u64))
+            .collect()
+    }
+
+    fn pseudo_points(n: usize, seed: u64) -> Vec<Point> {
+        let mut s = seed | 1;
+        (0..n)
+            .map(|i| {
+                s ^= s << 13;
+                s ^= s >> 7;
+                s ^= s << 17;
+                Point::new((s % 1000) as i64, ((s >> 32) % 1000) as i64, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn merge_equals_sort() {
+        for &(na, nb) in &[(0usize, 5usize), (5, 0), (7, 9), (100, 3), (64, 64)] {
+            let a = pseudo_points(na, 0xA);
+            let b: Vec<Point> = pseudo_points(nb, 0xB)
+                .into_iter()
+                .map(|p| Point::new(p.x, p.y, p.id + 10_000))
+                .collect();
+            let merged = SortedRun::from_unsorted(a.clone())
+                .merge(SortedRun::from_unsorted(b.clone()))
+                .into_inner();
+            let mut want: Vec<Point> = a.into_iter().chain(b).collect();
+            sort_by_x(&mut want);
+            assert_eq!(merged, want, "na={na} nb={nb}");
+        }
+    }
+
+    #[test]
+    fn merge_many_equals_sort() {
+        let mut all = Vec::new();
+        let mut runs = Vec::new();
+        for r in 0..7u64 {
+            let run: Vec<Point> = pseudo_points(30 + r as usize * 11, r + 1)
+                .into_iter()
+                .map(|p| Point::new(p.x, p.y, p.id + r * 100_000))
+                .collect();
+            all.extend(run.iter().copied());
+            runs.push(SortedRun::from_unsorted(run));
+        }
+        let merged = SortedRun::merge_many(runs).into_inner();
+        sort_by_x(&mut all);
+        assert_eq!(merged, all);
+        assert!(SortedRun::merge_many(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn gallop_partition_matches_linear_scan() {
+        let run = SortedRun::from_unsorted(pseudo_points(257, 0x9E));
+        for probe in [-1i64, 0, 1, 250, 500, 999, 1000, 2000] {
+            for id in [0u64, 77, u64::MAX] {
+                let got = run.partition_point((probe, id));
+                let want = run.iter().take_while(|p| p.xkey() < (probe, id)).count();
+                assert_eq!(got, want, "probe=({probe},{id})");
+            }
+        }
+    }
+
+    #[test]
+    fn y_desc_merge_equals_sort() {
+        let a = {
+            let mut v = pts(&[(0, 9), (1, 7), (2, 3)]);
+            sort_by_y_desc(&mut v);
+            v
+        };
+        let b: Vec<Point> = {
+            let mut v: Vec<Point> = pts(&[(5, 8), (6, 2), (7, 7)])
+                .into_iter()
+                .map(|p| Point::new(p.x, p.y, p.id + 50))
+                .collect();
+            sort_by_y_desc(&mut v);
+            v
+        };
+        let merged = merge_y_desc(a.clone(), b.clone());
+        let mut want: Vec<Point> = a.into_iter().chain(b).collect();
+        sort_by_y_desc(&mut want);
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn capped_merge_caps_and_orders() {
+        let a: Vec<Point> = [9i64, 7, 3]
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| Point::new(0, y, i as u64))
+            .collect();
+        let b: Vec<Point> = [8i64, 2]
+            .iter()
+            .enumerate()
+            .map(|(i, &y)| Point::new(0, y, 10 + i as u64))
+            .collect();
+        let m = merge_y_desc_capped(a, b, 4);
+        let ys: Vec<i64> = m.iter().map(|p| p.y).collect();
+        assert_eq!(ys, vec![9, 8, 7, 3]);
+    }
+
+    #[test]
+    fn delta_merge_sorts_only_the_delta() {
+        let mut run = pseudo_points(200, 3);
+        sort_by_y_desc(&mut run);
+        let delta: Vec<Point> = pseudo_points(17, 5)
+            .into_iter()
+            .map(|p| Point::new(p.x, p.y, p.id + 1_000))
+            .collect();
+        let merged = merge_delta_y_desc(run.clone(), delta.clone());
+        let mut want: Vec<Point> = run.into_iter().chain(delta).collect();
+        sort_by_y_desc(&mut want);
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn split_preserves_sortedness_and_content() {
+        let run = SortedRun::from_unsorted(pseudo_points(101, 0xF));
+        let all: Vec<Point> = run.to_vec();
+        let (l, r) = run.split_at(40);
+        assert_eq!(l.len(), 40);
+        assert_eq!(r.len(), 61);
+        let rejoined: Vec<Point> = l.iter().chain(r.iter()).copied().collect();
+        assert_eq!(rejoined, all);
+    }
+}

@@ -9,8 +9,19 @@
 //! * space `O(n/B)` pages,
 //! * 3-sided query `O(log2 n + t/B)` I/Os,
 //! * bulk build `O((n/B) log_B n)` I/Os (one write per page emitted).
+//!
+//! Construction is split into a **pure planning phase** ([`PstPlan`]) that
+//! computes every node's contents from the x-sorted input without touching
+//! a store — so hosts can run it on worker threads during their parallel
+//! build phases — and a sequential **materialisation** that allocates one
+//! page per planned node on the calling thread. The tree retains its plan
+//! as an in-memory layout mirror, which is what lets
+//! [`ExternalPst::rebuild_from_sorted`] reuse the node layout across the
+//! amortised reorganisations of §3.2/§4: a node whose planned population is
+//! unchanged keeps its page untouched, so rebuild-heavy insert floods stop
+//! re-materialising identical nodes.
 
-use ccix_extmem::{Geometry, IoCounter, PageId, PathPin, Point, TypedStore};
+use ccix_extmem::{Geometry, IoCounter, PageId, PathPin, Point, SortedRun, TypedStore};
 
 /// One record on a PST page: the leading control record or a data point.
 #[derive(Clone, Copy, Debug)]
@@ -28,59 +39,58 @@ pub(crate) enum PstRec {
     Pt(Point),
 }
 
-/// External static priority search tree (Lemma 4.1).
-///
-/// Answers `x1 ≤ x ≤ x2 ∧ y ≥ y0` in `O(log2 n + t/B)` I/Os on the shared
-/// counter. Static: rebuild to change contents (the §3–4 structures rebuild
-/// their PSTs during amortised reorganisations).
-#[derive(Debug)]
-pub struct ExternalPst {
-    store: TypedStore<PstRec>,
-    root: Option<PageId>,
-    len: usize,
-    height: usize,
+/// One planned PST node: the page contents decided, no page allocated yet.
+#[derive(Debug, PartialEq, Eq)]
+struct PlanNode {
+    /// x-split between the children.
+    split: (i64, u64),
+    /// The node's points, y-descending (the `B − 1` largest of its subtree).
+    top: Vec<Point>,
+    left: Option<Box<PlanNode>>,
+    right: Option<Box<PlanNode>>,
 }
 
-impl ExternalPst {
-    /// Points stored per node page (`B − 1`; one record is the meta).
-    fn node_cap(geo: Geometry) -> usize {
-        geo.b - 1
-    }
+/// A CPU-only construction plan for an [`ExternalPst`]: every node's
+/// population, split key and shape, computed from x-sorted input with no
+/// store access and no I/O. Planning is a pure function, so hosts
+/// parallelise it freely (the metablock trees plan the PSTs of independent
+/// slabs on scoped worker threads); materialisation
+/// ([`ExternalPst::from_plan`]) then allocates pages sequentially on the
+/// calling thread, keeping the I/O accounting single-threaded.
+#[derive(Debug)]
+pub struct PstPlan {
+    root: Option<Box<PlanNode>>,
+    height: usize,
+    len: usize,
+}
 
-    /// Build from `points` (any order; ids must be unique).
-    pub fn build(geo: Geometry, counter: IoCounter, mut points: Vec<Point>) -> Self {
+impl PstPlan {
+    /// Plan a tree over an x-sorted run.
+    pub fn plan(geo: Geometry, sorted: SortedRun) -> Self {
         assert!(geo.b >= 2, "external PST needs B ≥ 2");
-        {
-            let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
-            ids.sort_unstable();
-            assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
-        }
-        let mut store = TypedStore::new(geo.b, counter);
+        let mut points = sorted.into_inner();
         let len = points.len();
-        ccix_extmem::sort_by_x(&mut points);
-        let (root, height) = Self::build_rec(&mut store, geo, &mut points);
-        Self {
-            store,
-            root,
-            len,
-            height,
-        }
+        let (root, height) = Self::plan_rec(geo, &mut points);
+        Self { root, height, len }
     }
 
-    /// Build over an x-sorted vector; returns (root page, height).
-    fn build_rec(
-        store: &mut TypedStore<PstRec>,
-        geo: Geometry,
-        points: &mut Vec<Point>,
-    ) -> (Option<PageId>, usize) {
+    /// Plan over an x-sorted vector; returns (root node, height).
+    fn plan_rec(geo: Geometry, points: &mut Vec<Point>) -> (Option<Box<PlanNode>>, usize) {
         if points.is_empty() {
             return (None, 0);
         }
-        let k = Self::node_cap(geo).min(points.len());
-        // Select the k largest ykeys, removing them while preserving x order.
+        let k = ExternalPst::node_cap(geo).min(points.len());
+        // Select the k largest ykeys, removing them while preserving x
+        // order. `select_nth` finds the threshold in `O(n)` — a full sort
+        // here made every plan level pay `O(n log n)`, the dominant CPU
+        // cost of the B³-point children-PST rebuilds.
         let mut ys: Vec<(i64, u64)> = points.iter().map(Point::ykey).collect();
-        ys.sort_unstable_by(|a, b| b.cmp(a));
-        let threshold = ys[k - 1];
+        let threshold = if k == ys.len() {
+            *ys.iter().min().expect("nonempty")
+        } else {
+            ys.select_nth_unstable_by(k - 1, |a, b| b.cmp(a));
+            ys[k - 1]
+        };
         let mut top: Vec<Point> = Vec::with_capacity(k);
         points.retain(|p| {
             if p.ykey() >= threshold {
@@ -93,27 +103,208 @@ impl ExternalPst {
         debug_assert_eq!(top.len(), k);
         ccix_extmem::sort_by_y_desc(&mut top);
 
-        let (meta, depth) = if points.is_empty() {
-            (
-                PstRec::Meta {
-                    split: (i64::MIN, 0),
-                    left: None,
-                    right: None,
-                },
-                1,
-            )
+        let (split, left, right, depth) = if points.is_empty() {
+            ((i64::MIN, 0), None, None, 1)
         } else {
             let mid = (points.len() - 1) / 2;
             let split = points[mid].xkey();
             let mut right_part = points.split_off(mid + 1);
-            let (left, lh) = Self::build_rec(store, geo, points);
-            let (right, rh) = Self::build_rec(store, geo, &mut right_part);
-            (PstRec::Meta { split, left, right }, 1 + lh.max(rh))
+            let (left, lh) = Self::plan_rec(geo, points);
+            let (right, rh) = Self::plan_rec(geo, &mut right_part);
+            (split, left, right, 1 + lh.max(rh))
         };
-        let mut recs = Vec::with_capacity(k + 1);
-        recs.push(meta);
-        recs.extend(top.into_iter().map(PstRec::Pt));
-        (Some(store.alloc(recs)), depth)
+        (
+            Some(Box::new(PlanNode {
+                split,
+                top,
+                left,
+                right,
+            })),
+            depth,
+        )
+    }
+}
+
+/// A materialised plan node: the layout mirror the tree retains so the next
+/// rebuild can tell which node populations changed without re-reading them.
+#[derive(Debug)]
+struct LayoutNode {
+    page: PageId,
+    split: (i64, u64),
+    top: Vec<Point>,
+    left: Option<Box<LayoutNode>>,
+    right: Option<Box<LayoutNode>>,
+}
+
+/// External static priority search tree (Lemma 4.1).
+///
+/// Answers `x1 ≤ x ≤ x2 ∧ y ≥ y0` in `O(log2 n + t/B)` I/Os on the shared
+/// counter. Static at query time; contents change through whole-structure
+/// rebuilds ([`ExternalPst::rebuild_from_sorted`]), which the §3–4
+/// structures drive from their amortised reorganisations and which reuse
+/// the layout of nodes whose population is unchanged.
+#[derive(Debug)]
+pub struct ExternalPst {
+    store: TypedStore<PstRec>,
+    root: Option<PageId>,
+    len: usize,
+    height: usize,
+    layout: Option<Box<LayoutNode>>,
+}
+
+impl ExternalPst {
+    /// Points stored per node page (`B − 1`; one record is the meta).
+    fn node_cap(geo: Geometry) -> usize {
+        geo.b - 1
+    }
+
+    /// Build from `points` (any order; ids must be unique).
+    pub fn build(geo: Geometry, counter: IoCounter, points: Vec<Point>) -> Self {
+        {
+            let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
+            ids.sort_unstable();
+            assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
+        }
+        Self::build_from_sorted(geo, counter, SortedRun::from_unsorted(points))
+    }
+
+    /// Build from an already x-sorted run, skipping the sort (and the
+    /// duplicate-id scan — the run's strict order is the caller's proof).
+    pub fn build_from_sorted(geo: Geometry, counter: IoCounter, sorted: SortedRun) -> Self {
+        Self::from_plan(geo, counter, PstPlan::plan(geo, sorted))
+    }
+
+    /// Materialise a plan: one page allocated (one write I/O) per node, on
+    /// the calling thread.
+    pub fn from_plan(geo: Geometry, counter: IoCounter, plan: PstPlan) -> Self {
+        assert!(geo.b >= 2, "external PST needs B ≥ 2");
+        let mut store = TypedStore::new(geo.b, counter);
+        let layout = plan.root.map(|n| Self::alloc_rec(&mut store, *n));
+        Self {
+            root: layout.as_ref().map(|l| l.page),
+            store,
+            len: plan.len,
+            height: plan.height,
+            layout,
+        }
+    }
+
+    /// Allocate pages for a planned subtree, post-order (children first, so
+    /// the node's meta record can carry their page ids).
+    fn alloc_rec(store: &mut TypedStore<PstRec>, node: PlanNode) -> Box<LayoutNode> {
+        let left = node.left.map(|n| Self::alloc_rec(store, *n));
+        let right = node.right.map(|n| Self::alloc_rec(store, *n));
+        let page = store.alloc(Self::node_recs(&node.split, &node.top, &left, &right));
+        Box::new(LayoutNode {
+            page,
+            split: node.split,
+            top: node.top,
+            left,
+            right,
+        })
+    }
+
+    /// The page records of a node: meta first, then the points y-descending.
+    fn node_recs(
+        split: &(i64, u64),
+        top: &[Point],
+        left: &Option<Box<LayoutNode>>,
+        right: &Option<Box<LayoutNode>>,
+    ) -> Vec<PstRec> {
+        let mut recs = Vec::with_capacity(top.len() + 1);
+        recs.push(PstRec::Meta {
+            split: *split,
+            left: left.as_ref().map(|l| l.page),
+            right: right.as_ref().map(|r| r.page),
+        });
+        recs.extend(top.iter().copied().map(PstRec::Pt));
+        recs
+    }
+
+    /// Rebuild over a new x-sorted point set, **reusing the node layout**
+    /// wherever a node's population is unchanged: a node whose split key,
+    /// point set and child shape all match the previous layout keeps its
+    /// page untouched (its on-disk content is already exact, so no transfer
+    /// is charged — the retained layout mirror plays the role of the
+    /// page-version metadata any real storage engine keeps); a changed node
+    /// is overwritten in place (one write); growth allocates and shrinkage
+    /// frees. Rebuild-heavy insert floods thus stop re-materialising the
+    /// nodes their deltas never touched, and page slots are recycled
+    /// through the store's free list instead of a fresh store.
+    pub fn rebuild_from_sorted(&mut self, geo: Geometry, sorted: SortedRun) {
+        let plan = PstPlan::plan(geo, sorted);
+        self.len = plan.len;
+        self.height = plan.height;
+        let old = self.layout.take();
+        self.layout = match (old, plan.root) {
+            (old, None) => {
+                if let Some(o) = old {
+                    Self::free_rec(&mut self.store, *o);
+                }
+                None
+            }
+            (None, Some(n)) => Some(Self::alloc_rec(&mut self.store, *n)),
+            (Some(o), Some(n)) => Some(self.reuse_rec(*o, *n)),
+        };
+        self.root = self.layout.as_ref().map(|l| l.page);
+    }
+
+    /// Free a layout subtree's pages.
+    fn free_rec(store: &mut TypedStore<PstRec>, node: LayoutNode) {
+        store.free(node.page);
+        if let Some(l) = node.left {
+            Self::free_rec(store, *l);
+        }
+        if let Some(r) = node.right {
+            Self::free_rec(store, *r);
+        }
+    }
+
+    /// Materialise a planned subtree on top of an old layout subtree,
+    /// page-for-page: unchanged nodes are kept without a transfer, changed
+    /// nodes are overwritten in place (their page id — and therefore their
+    /// parent's meta record — survives), shape differences alloc/free.
+    fn reuse_rec(&mut self, old: LayoutNode, new: PlanNode) -> Box<LayoutNode> {
+        let old_left_page = old.left.as_ref().map(|l| l.page);
+        let old_right_page = old.right.as_ref().map(|r| r.page);
+        let left = match (old.left, new.left) {
+            (Some(o), Some(n)) => Some(self.reuse_rec(*o, *n)),
+            (Some(o), None) => {
+                Self::free_rec(&mut self.store, *o);
+                None
+            }
+            (None, Some(n)) => Some(Self::alloc_rec(&mut self.store, *n)),
+            (None, None) => None,
+        };
+        let right = match (old.right, new.right) {
+            (Some(o), Some(n)) => Some(self.reuse_rec(*o, *n)),
+            (Some(o), None) => {
+                Self::free_rec(&mut self.store, *o);
+                None
+            }
+            (None, Some(n)) => Some(Self::alloc_rec(&mut self.store, *n)),
+            (None, None) => None,
+        };
+        // The node's page content is a pure function of (split, top, child
+        // pages); children reused in place keep their ids, so equality of
+        // the in-memory mirrors means the on-disk page is already exact.
+        let unchanged = old.split == new.split
+            && old.top == new.top
+            && left.as_ref().map(|l| l.page) == old_left_page
+            && right.as_ref().map(|r| r.page) == old_right_page;
+        if !unchanged {
+            self.store.write(
+                old.page,
+                Self::node_recs(&new.split, &new.top, &left, &right),
+            );
+        }
+        Box::new(LayoutNode {
+            page: old.page,
+            split: new.split,
+            top: new.top,
+            left,
+            right,
+        })
     }
 
     /// Number of points stored.
@@ -416,6 +607,90 @@ mod tests {
         assert_eq!(pst.query(5, 5, 5).len(), 200);
         assert!(pst.query(5, 5, 6).is_empty());
         assert!(pst.query(6, 7, 0).is_empty());
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_and_reuses_unchanged_layout() {
+        let geo = Geometry::new(8);
+        let counter = IoCounter::new();
+        let base = random_points(800, 0x5EED, 2_000);
+        let mut pst = ExternalPst::build(geo, counter.clone(), base.clone());
+        let pages_before = pst.space_pages();
+
+        // Identical population: the whole layout is reused, zero transfers.
+        let before = counter.snapshot();
+        pst.rebuild_from_sorted(geo, SortedRun::from_unsorted(base.clone()));
+        assert_eq!(
+            counter.since(before).total(),
+            0,
+            "identical rebuild is free"
+        );
+        assert_eq!(pst.space_pages(), pages_before);
+
+        // A small delta: far fewer writes than a full re-materialisation,
+        // and the result answers exactly like a fresh build.
+        let mut grown = base.clone();
+        grown.extend((0..40).map(|i| Point::new(1_000 + i, 3_000 + i, 10_000 + i as u64)));
+        let before = counter.snapshot();
+        pst.rebuild_from_sorted(geo, SortedRun::from_unsorted(grown.clone()));
+        let delta = counter.since(before);
+        assert!(
+            delta.writes < pst.space_pages() as u64,
+            "rebuild rewrote every node ({} writes, {} pages)",
+            delta.writes,
+            pst.space_pages()
+        );
+        let fresh = ExternalPst::build(geo, IoCounter::new(), grown.clone());
+        assert_eq!(pst.len(), fresh.len());
+        assert_eq!(pst.height(), fresh.height());
+        assert_eq!(pst.space_pages(), fresh.space_pages());
+        for &(x1, x2, y0) in &[
+            (0i64, 2_000i64, 0i64),
+            (100, 900, 1_500),
+            (1_000, 1_040, 3_000),
+            (0, 2_000, 1_999),
+        ] {
+            oracle::assert_same_points(
+                pst.query(x1, x2, y0),
+                fresh.query(x1, x2, y0),
+                &format!("rebuild vs fresh q=({x1},{x2},{y0})"),
+            );
+            oracle::assert_same_points(
+                pst.query(x1, x2, y0),
+                oracle::three_sided(&grown, x1, x2, y0),
+                &format!("rebuild vs oracle q=({x1},{x2},{y0})"),
+            );
+        }
+
+        // Shrinking far enough frees pages back to the store.
+        pst.rebuild_from_sorted(geo, SortedRun::from_unsorted(base[..50].to_vec()));
+        assert!(pst.space_pages() < pages_before);
+        oracle::assert_same_points(
+            pst.query(i64::MIN, i64::MAX, i64::MIN),
+            base[..50].to_vec(),
+            "shrunk rebuild",
+        );
+    }
+
+    #[test]
+    fn build_from_sorted_matches_build() {
+        let geo = Geometry::new(4);
+        let pts = random_points(300, 0xABCD, 700);
+        let a = ExternalPst::build(geo, IoCounter::new(), pts.clone());
+        let b = ExternalPst::build_from_sorted(
+            geo,
+            IoCounter::new(),
+            SortedRun::from_unsorted(pts.clone()),
+        );
+        assert_eq!(a.space_pages(), b.space_pages());
+        assert_eq!(a.height(), b.height());
+        for q in [(0i64, 700i64, 0i64), (10, 20, 300), (350, 350, 0)] {
+            oracle::assert_same_points(
+                a.query(q.0, q.1, q.2),
+                b.query(q.0, q.1, q.2),
+                &format!("{q:?}"),
+            );
+        }
     }
 
     #[test]

@@ -33,5 +33,5 @@ mod external;
 mod incore;
 pub mod oracle;
 
-pub use external::ExternalPst;
+pub use external::{ExternalPst, PstPlan};
 pub use incore::InCorePst;

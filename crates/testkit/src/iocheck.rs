@@ -13,6 +13,7 @@ use ccix_extmem::{IoCounter, IoSnapshot};
 pub struct IoProbe<'a> {
     counter: &'a IoCounter,
     start: IoSnapshot,
+    started_at: std::time::Instant,
     label: String,
 }
 
@@ -21,6 +22,7 @@ impl<'a> IoProbe<'a> {
     pub fn start(counter: &'a IoCounter, label: impl Into<String>) -> Self {
         Self {
             start: counter.snapshot(),
+            started_at: std::time::Instant::now(),
             counter,
             label: label.into(),
         }
@@ -34,6 +36,14 @@ impl<'a> IoProbe<'a> {
     /// Finish and return the delta with no assertion.
     pub fn finish(self) -> IoSnapshot {
         self.delta()
+    }
+
+    /// Finish and return the I/O delta **and the wall-clock span** since the
+    /// probe started, with no assertion. One probe captures both costs of an
+    /// operation, so suites and benches that report I/O next to time cannot
+    /// accidentally bracket different spans.
+    pub fn finish_timed(self) -> (IoSnapshot, std::time::Duration) {
+        (self.delta(), self.started_at.elapsed())
     }
 
     /// Finish, asserting the operation was charged at least one I/O.

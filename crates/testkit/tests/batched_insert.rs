@@ -27,6 +27,7 @@ fn random_tuning(rng: &mut DetRng) -> Tuning {
             corner_alpha: rng.gen_range(2..5usize),
             pack_h_pages: rng.gen_range(0..9usize),
             resident_root: rng.gen_bool(0.5),
+            build_threads: rng.gen_range(1..5usize),
         },
         _ => Tuning {
             update_batch_pages: 8,
@@ -35,6 +36,7 @@ fn random_tuning(rng: &mut DetRng) -> Tuning {
             corner_alpha: 2,
             pack_h_pages: rng.gen_range(0..5usize),
             resident_root: rng.gen_bool(0.5),
+            build_threads: 1,
         },
     }
 }
