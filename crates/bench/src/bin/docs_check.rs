@@ -1,0 +1,189 @@
+//! CI docs gate: validate every **relative** Markdown link and anchor in
+//! `README.md` and `docs/*.md`.
+//!
+//! Std-only (the workspace has no registry access), like `perf_gate`. The
+//! checker walks each file for inline links `[text](target)`, skips
+//! absolute URLs (`http:`, `https:`, `mailto:`), and verifies that
+//!
+//! * a relative path target resolves to an existing file (relative to the
+//!   linking file's directory), and
+//! * an `#anchor` fragment (with or without a path) matches a heading of
+//!   the target file under GitHub's slugification (lowercase; spaces to
+//!   `-`; punctuation dropped).
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin docs_check [repo-root]
+//! ```
+//!
+//! Exits non-zero listing every broken link, so a renamed doc section or a
+//! moved file fails CI instead of rotting quietly.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+/// GitHub's heading slugification: lowercase, alphanumerics kept, spaces
+/// and hyphens become hyphens, everything else dropped.
+fn slugify(heading: &str) -> String {
+    let mut out = String::new();
+    for ch in heading.trim().chars() {
+        if ch.is_alphanumeric() {
+            out.extend(ch.to_lowercase());
+        } else if ch == ' ' || ch == '-' || ch == '_' {
+            out.push(if ch == '_' { '_' } else { '-' });
+        }
+        // Other punctuation is dropped.
+    }
+    out
+}
+
+/// The anchors a Markdown file defines: one slug per ATX heading, with
+/// GitHub's `-1`, `-2` … suffixes for repeats.
+fn anchors_of(text: &str) -> Vec<String> {
+    let mut counts: std::collections::HashMap<String, usize> = std::collections::HashMap::new();
+    let mut out = Vec::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code {
+            continue;
+        }
+        let trimmed = line.trim_start();
+        let hashes = trimmed.chars().take_while(|&c| c == '#').count();
+        if hashes == 0 || hashes > 6 || !trimmed[hashes..].starts_with(' ') {
+            continue;
+        }
+        let slug = slugify(&trimmed[hashes + 1..]);
+        let n = counts.entry(slug.clone()).or_insert(0);
+        out.push(if *n == 0 {
+            slug.clone()
+        } else {
+            format!("{slug}-{n}")
+        });
+        *n += 1;
+    }
+    out
+}
+
+/// Inline Markdown link targets of a file: the parenthesised part of every
+/// `[text](target)`, skipping fenced code blocks and inline code spans.
+fn link_targets(text: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut in_code = false;
+    for line in text.lines() {
+        if line.trim_start().starts_with("```") {
+            in_code = !in_code;
+            continue;
+        }
+        if in_code {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        let mut in_span = false;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'`' => in_span = !in_span,
+                b']' if !in_span && i + 1 < bytes.len() && bytes[i + 1] == b'(' => {
+                    if let Some(end) = line[i + 2..].find(')') {
+                        out.push(line[i + 2..i + 2 + end].to_string());
+                    }
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Check one file's links; push failures into `errors`.
+fn check_file(root: &Path, file: &Path, errors: &mut Vec<String>) {
+    let text = match std::fs::read_to_string(file) {
+        Ok(t) => t,
+        Err(e) => {
+            errors.push(format!("{}: unreadable: {e}", file.display()));
+            return;
+        }
+    };
+    let dir = file.parent().unwrap_or(root);
+    for target in link_targets(&text) {
+        let target = target.split_whitespace().next().unwrap_or("").to_string();
+        if target.is_empty()
+            || target.starts_with("http://")
+            || target.starts_with("https://")
+            || target.starts_with("mailto:")
+        {
+            continue;
+        }
+        let (path_part, anchor) = match target.split_once('#') {
+            Some((p, a)) => (p, Some(a.to_string())),
+            None => (target.as_str(), None),
+        };
+        let resolved: PathBuf = if path_part.is_empty() {
+            file.to_path_buf()
+        } else {
+            dir.join(path_part)
+        };
+        if !resolved.exists() {
+            errors.push(format!(
+                "{}: broken link target `{target}` (no such file {})",
+                file.display(),
+                resolved.display()
+            ));
+            continue;
+        }
+        if let Some(anchor) = anchor {
+            let is_md = resolved
+                .extension()
+                .is_some_and(|e| e.eq_ignore_ascii_case("md"));
+            if !is_md {
+                continue; // anchors into non-Markdown files are not checked
+            }
+            let target_text = std::fs::read_to_string(&resolved).unwrap_or_default();
+            if !anchors_of(&target_text).contains(&anchor) {
+                errors.push(format!(
+                    "{}: dead anchor `#{anchor}` in {}",
+                    file.display(),
+                    resolved.display()
+                ));
+            }
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let root = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("."));
+    let mut files = vec![root.join("README.md")];
+    if let Ok(entries) = std::fs::read_dir(root.join("docs")) {
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().is_some_and(|x| x == "md") {
+                files.push(p);
+            }
+        }
+    }
+    files.sort();
+    let mut errors = Vec::new();
+    for f in &files {
+        check_file(&root, f, &mut errors);
+    }
+    if errors.is_empty() {
+        println!(
+            "docs_check: OK — {} files, all relative links live",
+            files.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        for e in &errors {
+            eprintln!("docs_check: {e}");
+        }
+        eprintln!("docs_check: {} broken link(s)", errors.len());
+        ExitCode::FAILURE
+    }
+}

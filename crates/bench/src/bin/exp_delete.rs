@@ -1,0 +1,18 @@
+//! Experiment binary: see `ccix_bench::experiments::ed_delete`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_delete_baseline.json` (the tombstone delete-path baseline):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_delete -- --json > BENCH_delete_baseline.json
+//! ```
+fn main() {
+    let tables = ccix_bench::experiments::ed_delete();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

@@ -25,6 +25,13 @@
 //!   the wall-clock cells get variance-tolerant absolute ceilings only,
 //!   sized ~10× the measured dev-box numbers (see docs/tuning.md for how
 //!   they were chosen).
+//! * **ED** (`exp_delete --json`, baseline `BENCH_delete_baseline.json`) —
+//!   the tombstone delete path: serial and batched delete floods, a mixed
+//!   insert/delete/query flood, and a drain to 10% occupancy. Absolute
+//!   budgets: delete-flood amortised ≤ 15 I/Os (the E9 *insert* budget —
+//!   deletes ride the insert machinery), batched ≤ 10, post-flood stabbing
+//!   ≤ 20, drained pages ≤ 7000 (the occupancy shrink), plus a drain
+//!   wall-clock smoke ceiling.
 //!
 //! ```text
 //! cargo run --release -p ccix-bench --bin exp_interval -- --json > new.json
@@ -33,6 +40,8 @@
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_query_baseline.json newq.json
 //! cargo run --release -p ccix-bench --bin exp_build -- --json > newb.json
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_build_baseline.json newb.json
+//! cargo run --release -p ccix-bench --bin exp_delete -- --json > newd.json
+//! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_delete_baseline.json newd.json
 //! ```
 //!
 //! Std-only (the workspace has no registry access): the JSON reader below
@@ -104,6 +113,43 @@ const SPECS: &[Spec] = &[
         absolute: &[
             (&[("B", "256")], "build ms", 2_000.0),
             (&[("B", "1024")], "build ms", 15_000.0),
+        ],
+        space_rule: false,
+    },
+    Spec {
+        // The tombstone delete path. All I/O columns are exact and
+        // bit-reproducible. Absolute budgets pin the PR's acceptance
+        // criteria: deletes amortise within the E9 *insert* budget (15),
+        // batched deletes beat serial routing, queries with pending
+        // tombstones stay bounded, and the occupancy shrink returns a 10%-
+        // drained index to ~4× the live heap-file scan (50k live / B=32 →
+        // 1563 scan pages; measured 6038). The drain wall clock gets a
+        // ~10× smoke ceiling like EB.
+        title_prefix: "ED —",
+        key_cols: &["B", "n", "phase"],
+        gated: &["amortised I/O", "q I/O", "pages"],
+        absolute: &[
+            (
+                &[("n", "500000"), ("phase", "delete-flood")],
+                "amortised I/O",
+                15.0,
+            ),
+            (
+                &[("n", "500000"), ("phase", "delete-batch64")],
+                "amortised I/O",
+                10.0,
+            ),
+            (&[("n", "500000"), ("phase", "delete-flood")], "q I/O", 20.0),
+            (
+                &[("n", "500000"), ("phase", "drain-to-10pct")],
+                "pages",
+                7_000.0,
+            ),
+            (
+                &[("n", "500000"), ("phase", "drain-to-10pct")],
+                "ms",
+                15_000.0,
+            ),
         ],
         space_rule: false,
     },

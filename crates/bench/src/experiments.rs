@@ -1154,6 +1154,171 @@ pub fn eb_build() -> Vec<Table> {
     vec![t]
 }
 
+/// ED — deletion support: the tombstone write path under delete and mixed
+/// floods (the paper's §5 open problem, closed in this reproduction).
+///
+/// Four phases per `n`, all seeded and exactly reproducible:
+///
+/// * **delete-flood** — serial deletes of 10% random-ish victims from a
+///   bulk-built index; the amortised cost per delete must stay within the
+///   E9 *insert* budget (deletes ride the insert machinery);
+/// * **delete-batch64** — the same volume as correlated batches of 64
+///   through [`IntervalIndex::delete_batch`] (one pinned routing context
+///   per batch);
+/// * **mixed-45-35-20** — an empty index driven by
+///   `workloads::mixed_interval_flood` (45% inserts, 35% deletes, 20%
+///   stabbing queries), the workload shape the insert-only suite could not
+///   express; the `q I/O` column is the mid-flood stabbing cost with
+///   tombstone buffers live;
+/// * **drain-to-10pct** (largest `n` only) — batched deletes down to 10%
+///   occupancy; the `pages` column pins the occupancy-triggered shrink.
+pub fn ed_delete() -> Vec<Table> {
+    let mut t = Table::new(
+        "ED — deletion support (tombstone write path, mixed floods)",
+        "Deletes are amortised within the insert budget; queries filter tombstones; shrink bounds space.",
+        &[
+            "B",
+            "n",
+            "phase",
+            "ops",
+            "amortised I/O",
+            "q I/O",
+            "pending",
+            "pages",
+            "ms",
+        ],
+    );
+    let b = 32usize;
+    let geo = Geometry::new(b);
+    // Average stabbing-read cost over a fixed probe flood.
+    fn avg_q(idx: &IntervalIndex, ic: &IoCounter, range: i64) -> f64 {
+        let mut r = workloads::rng(0xED0);
+        let queries = 32u64;
+        let mut reads = 0u64;
+        for _ in 0..queries {
+            let q = r.gen_range(0..range);
+            let before = ic.snapshot();
+            let _ = idx.stabbing(q);
+            reads += ic.since(before).reads;
+        }
+        reads as f64 / queries as f64
+    }
+    for &n in &[100_000usize, 500_000] {
+        let range = 4 * n as i64;
+        let ivs = workloads::uniform_intervals(n, 0xED, range, 2_000);
+        let n_del = n / 10;
+
+        // Phase 1 — serial delete flood.
+        {
+            let ic = IoCounter::new();
+            let mut idx = IntervalIndex::build(geo, ic.clone(), &ivs);
+            let probe = ccix_testkit::iocheck::IoProbe::start(&ic, "ED serial deletes");
+            for i in 0..n_del {
+                let iv = ivs[i * 10];
+                idx.delete(iv.lo, iv.hi, iv.id);
+            }
+            let (d, span) = probe.finish_timed();
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                "delete-flood".into(),
+                n_del.to_string(),
+                format!("{:.1}", d.total() as f64 / n_del as f64),
+                format!("{:.1}", avg_q(&idx, &ic, range)),
+                idx.pending_deletes().to_string(),
+                idx.space_pages().to_string(),
+                span.as_millis().to_string(),
+            ]);
+        }
+
+        // Phase 2 — correlated batches of 64.
+        {
+            let ic = IoCounter::new();
+            let mut idx = IntervalIndex::build(geo, ic.clone(), &ivs);
+            let mut victims: Vec<&ccix_interval::Interval> = ivs.iter().step_by(10).collect();
+            victims.sort_unstable_by_key(|iv| (iv.lo, iv.id));
+            let probe = ccix_testkit::iocheck::IoProbe::start(&ic, "ED batched deletes");
+            for chunk in victims.chunks(64) {
+                let batch: Vec<(i64, i64, u64)> =
+                    chunk.iter().map(|iv| (iv.lo, iv.hi, iv.id)).collect();
+                idx.delete_batch(&batch);
+            }
+            let (d, span) = probe.finish_timed();
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                "delete-batch64".into(),
+                victims.len().to_string(),
+                format!("{:.1}", d.total() as f64 / victims.len() as f64),
+                format!("{:.1}", avg_q(&idx, &ic, range)),
+                idx.pending_deletes().to_string(),
+                idx.space_pages().to_string(),
+                span.as_millis().to_string(),
+            ]);
+        }
+
+        // Phase 3 — mixed flood from empty (45% ins / 35% del / 20% stab).
+        {
+            let n_ops = n / 2;
+            let ops = workloads::mixed_interval_flood(n_ops, 0xED3, range, 2_000, 35, 20);
+            let ic = IoCounter::new();
+            let mut idx = IntervalIndex::new(geo, ic.clone());
+            let probe = ccix_testkit::iocheck::IoProbe::start(&ic, "ED mixed flood");
+            let (mut q_reads, mut q_count) = (0u64, 0u64);
+            for op in &ops {
+                match *op {
+                    workloads::IntervalOp::Insert(iv) => idx.insert(iv.lo, iv.hi, iv.id),
+                    workloads::IntervalOp::Delete(iv) => idx.delete(iv.lo, iv.hi, iv.id),
+                    workloads::IntervalOp::Stab(q) => {
+                        let before = ic.snapshot();
+                        let _ = idx.stabbing(q);
+                        q_reads += ic.since(before).reads;
+                        q_count += 1;
+                    }
+                }
+            }
+            let (d, span) = probe.finish_timed();
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                "mixed-45-35-20".into(),
+                n_ops.to_string(),
+                format!("{:.1}", d.total() as f64 / n_ops as f64),
+                format!("{:.1}", q_reads as f64 / q_count.max(1) as f64),
+                idx.pending_deletes().to_string(),
+                idx.space_pages().to_string(),
+                span.as_millis().to_string(),
+            ]);
+        }
+
+        // Phase 4 — drain to 10% occupancy (largest n only): the shrink.
+        if n == 500_000 {
+            let ic = IoCounter::new();
+            let mut idx = IntervalIndex::build(geo, ic.clone(), &ivs);
+            let drain = 9 * n / 10;
+            let probe = ccix_testkit::iocheck::IoProbe::start(&ic, "ED drain");
+            for chunk in ivs[..drain].chunks(256) {
+                let batch: Vec<(i64, i64, u64)> =
+                    chunk.iter().map(|iv| (iv.lo, iv.hi, iv.id)).collect();
+                idx.delete_batch(&batch);
+            }
+            let (d, span) = probe.finish_timed();
+            t.row(vec![
+                b.to_string(),
+                n.to_string(),
+                "drain-to-10pct".into(),
+                drain.to_string(),
+                format!("{:.1}", d.total() as f64 / drain as f64),
+                format!("{:.1}", avg_q(&idx, &ic, range)),
+                idx.pending_deletes().to_string(),
+                idx.space_pages().to_string(),
+                span.as_millis().to_string(),
+            ]);
+        }
+    }
+    vec![t]
+}
+
 /// Run every experiment in order.
 pub fn all() -> Vec<Table> {
     let mut out = Vec::new();
@@ -1174,5 +1339,6 @@ pub fn all() -> Vec<Table> {
     out.extend(e14_write_tuning());
     out.extend(eqb_query_batch());
     out.extend(eb_build());
+    out.extend(ed_delete());
     out
 }

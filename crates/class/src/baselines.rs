@@ -43,6 +43,11 @@ impl ClassIndex for SingleIndexBaseline {
             .insert_entry(&mut self.disk, Entry::with_aux(o.attr, o.id, label));
     }
 
+    fn delete(&mut self, o: Object) {
+        let removed = self.tree.delete(&mut self.disk, o.attr, o.id);
+        debug_assert!(removed, "deleted object {o:?} is not stored");
+    }
+
     fn query(&self, class: ClassId, a1: i64, a2: i64) -> Vec<u64> {
         let (lo, hi) = self.hierarchy.label_range(class);
         self.tree
@@ -94,6 +99,16 @@ impl ClassIndex for FullExtentBaseline {
         let mut cur = Some(o.class);
         while let Some(c) = cur {
             self.trees[c].insert(&mut self.disk, o.attr, o.id);
+            cur = self.hierarchy.parent(c);
+        }
+    }
+
+    fn delete(&mut self, o: Object) {
+        // Out of every replica along the ancestor path.
+        let mut cur = Some(o.class);
+        while let Some(c) = cur {
+            let removed = self.trees[c].delete(&mut self.disk, o.attr, o.id);
+            debug_assert!(removed, "deleted object {o:?} is not stored in class {c}");
             cur = self.hierarchy.parent(c);
         }
     }

@@ -58,10 +58,29 @@ impl Object {
 }
 
 /// A class-indexing strategy: answer attribute-range queries over full
-/// extents, under object insertion.
+/// extents, under object insertion and deletion.
 pub trait ClassIndex {
     /// Insert an object.
     fn insert(&mut self, object: Object);
+
+    /// Delete a previously inserted object — exactly the `(class, attr,
+    /// id)` triple it was inserted with. Every strategy removes the object
+    /// from each structure its insertion replicated it into (ancestor
+    /// trees, range-tree path, heavy-path placements), at the strategy's
+    /// insert budget; the rake index's 3-sided trees use the tombstone
+    /// machinery of [`ccix_core::ThreeSidedTree::delete`]. Deleting an
+    /// object that is not stored is a contract violation.
+    fn delete(&mut self, object: Object);
+
+    /// Delete a flood of objects, one structure-level batch per backing
+    /// structure where the strategy supports it (the rake index groups by
+    /// heavy-path structure and uses the trees' batched tombstone routing);
+    /// the default implementation deletes one at a time.
+    fn delete_batch(&mut self, objects: &[Object]) {
+        for o in objects {
+            self.delete(*o);
+        }
+    }
 
     /// Ids of all objects in the **full extent** of `class` whose attribute
     /// lies in `[a1, a2]`.

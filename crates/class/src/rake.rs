@@ -27,8 +27,9 @@ use crate::{ClassId, ClassIndex, Hierarchy, Object};
 /// Per-heavy-path structure.
 #[derive(Debug)]
 enum PathStructure {
-    /// Paths of length ≥ 2: 3-sided queries over (attr, position).
-    ThreeSided(ThreeSidedTree),
+    /// Paths of length ≥ 2: 3-sided queries over (attr, position). Boxed:
+    /// the tree's control state dwarfs the flat variant's.
+    ThreeSided(Box<ThreeSidedTree>),
     /// Singleton leaf paths: a plain attribute B+-tree (Lemma 4.2's move).
     Flat(BPlusTree),
 }
@@ -60,7 +61,7 @@ impl RakeClassIndex {
                 if is_singleton_leaf {
                     PathStructure::Flat(BPlusTree::new(&mut disk))
                 } else {
-                    PathStructure::ThreeSided(ThreeSidedTree::new(geo, counter.clone()))
+                    PathStructure::ThreeSided(Box::new(ThreeSidedTree::new(geo, counter.clone())))
                 }
             })
             .collect();
@@ -138,6 +139,52 @@ impl ClassIndex for RakeClassIndex {
             }
         }
         self.len += 1;
+    }
+
+    fn delete(&mut self, o: Object) {
+        // One tombstone per placement — the exact mirror of `insert`: the
+        // 3-sided path structures route a tombstone next to the live copy
+        // and cancel at the next reorganisation; the flat B+-trees remove
+        // eagerly.
+        for &(path, y) in &self.placements[o.class] {
+            match &mut self.structures[path] {
+                PathStructure::ThreeSided(t) => t.delete(Point::new(o.attr, y, o.id)),
+                PathStructure::Flat(t) => {
+                    let removed = t.delete(&mut self.disk, o.attr, o.id);
+                    debug_assert!(removed, "deleted object {o:?} missing from flat path");
+                }
+            }
+        }
+        self.len -= 1;
+    }
+
+    /// Batched delete flood: objects are grouped by the heavy-path
+    /// structure each placement lands on, and every 3-sided tree routes
+    /// its group's tombstones as one batched operation
+    /// ([`ThreeSidedTree::delete_batch`]) — the shared descent prefix is
+    /// billed once per residency, mirroring `query_batch`.
+    fn delete_batch(&mut self, objects: &[Object]) {
+        let mut groups: Vec<Vec<Point>> = vec![Vec::new(); self.structures.len()];
+        for o in objects {
+            for &(path, y) in &self.placements[o.class] {
+                groups[path].push(Point::new(o.attr, y, o.id));
+            }
+        }
+        for (path, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            match &mut self.structures[path] {
+                PathStructure::ThreeSided(t) => t.delete_batch(&group),
+                PathStructure::Flat(t) => {
+                    for p in group {
+                        let removed = t.delete(&mut self.disk, p.x, p.id);
+                        debug_assert!(removed, "deleted object missing from flat path");
+                    }
+                }
+            }
+        }
+        self.len -= objects.len();
     }
 
     fn query(&self, class: ClassId, a1: i64, a2: i64) -> Vec<u64> {

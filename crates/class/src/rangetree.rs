@@ -122,6 +122,28 @@ impl ClassIndex for RangeTreeClassIndex {
         }
     }
 
+    fn delete(&mut self, o: Object) {
+        let label = self.hierarchy.label(o.class);
+        // Remove from every collection on the root-to-leaf path for
+        // `label` — the exact mirror of `insert`.
+        let mut cur = self.root;
+        while let Some(i) = cur {
+            let node = &mut self.nodes[i];
+            let removed = node.tree.delete(&mut self.disk, o.attr, o.id);
+            debug_assert!(removed, "deleted object {o:?} missing at segment node");
+            cur = if node.hi - node.lo == 1 {
+                None
+            } else {
+                let mid = node.lo + (node.hi - node.lo) / 2;
+                if label < mid {
+                    node.left
+                } else {
+                    node.right
+                }
+            };
+        }
+    }
+
     fn query(&self, class: ClassId, a1: i64, a2: i64) -> Vec<u64> {
         let (lo, hi) = self.hierarchy.label_range(class);
         let mut cover = Vec::new();

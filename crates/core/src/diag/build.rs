@@ -183,6 +183,7 @@ impl MetablockTree {
         }
         let mut tree = Self::new_tuned(geo, counter, options, tuning);
         tree.len = points.len();
+        tree.shrink_base = points.len();
         if points.is_empty() {
             return tree;
         }
@@ -319,6 +320,8 @@ impl MetablockTree {
             corner,
             update: Vec::new(),
             n_upd: 0,
+            tomb: Vec::new(),
+            n_tomb: 0,
             ts: None,
             td: internal.then(TdInfo::default),
             children,

@@ -39,16 +39,9 @@
 
 use ccix_extmem::{Point, SortedRun};
 
-use super::{ChildEntry, MbId, MetablockTree, TdInfo};
+use super::{mark_dirty, ChildEntry, MbId, MetablockTree, TdInfo};
 use crate::bbox::BBox;
 use crate::corner::CornerStructure;
-
-/// Record `mb` as dirty (dedup'd) for the end-of-operation writeback.
-fn mark_dirty(dirty: &mut Vec<MbId>, mb: MbId) {
-    if !dirty.contains(&mb) {
-        dirty.push(mb);
-    }
-}
 
 impl MetablockTree {
     /// Insert a point. Amortised `O(log_B n + (log_B n)²/B)` I/Os
@@ -85,13 +78,22 @@ impl MetablockTree {
         }
 
         // Phase 1 — descend, pinning each control block on the way down.
+        // An interior metablock whose mains a delete flood emptied is a
+        // pure router (its buffer is empty and stays empty): landing there
+        // would later rebuild a `y_lo_main` that no longer bounds its
+        // descendants, so the descent passes it by. Unreachable on
+        // insert-only workloads, where interior mains are never empty.
         let mut cur = start;
         loop {
             let meta = self.pin_meta(&mut pinned, cur);
-            let lands = meta.is_leaf() || meta.y_lo_main.is_none_or(|ylo| p.ykey() >= ylo);
+            let lands = meta.is_leaf() || meta.y_lo_main.is_some_and(|ylo| p.ykey() >= ylo);
             if lands {
                 break;
             }
+            debug_assert!(
+                meta.y_lo_main.is_some() || meta.n_upd == 0,
+                "emptied interior metablock holds buffered points"
+            );
             let idx = meta.children.partition_point(|c| c.slab_hi <= p.xkey());
             debug_assert!(
                 idx < meta.children.len() && meta.children[idx].slab_contains(p.xkey()),
@@ -210,7 +212,7 @@ impl MetablockTree {
                 .as_mut()
                 .expect("TD present");
             td.n_staged += 1;
-            td_total = td.total();
+            td_total = td.total() + td.del_total();
             staged_full = td.n_staged >= self.td_cap_pages() * b;
             mark_dirty(&mut dirty, par);
         }
@@ -241,7 +243,14 @@ impl MetablockTree {
     /// sorted and galloped in — this fold fires every `k·B` inserts per
     /// parent, which made its full re-sort the single hottest CPU cost of
     /// an insert flood (see docs/tuning.md).
-    fn td_rebuild(&mut self, parent: MbId) {
+    ///
+    /// With deletes present, the fold is also the **first reorganisation
+    /// that sees both sides**: a tombstone whose insert landed in the TD
+    /// annihilates it here; only tombstones whose insert predates the TD
+    /// (they target the sibling snapshots) survive into the delete-side
+    /// corner structure. Insert-only trees take the identical code path —
+    /// both delete sides are empty and cost nothing.
+    pub(crate) fn td_rebuild(&mut self, parent: MbId) {
         let mut m = self.take_meta(parent);
         let td = m.td.as_mut().expect("TD present");
         let built = match td.corner.take() {
@@ -259,21 +268,49 @@ impl MetablockTree {
         self.store.free_run(&td.staged);
         td.staged.clear();
         td.n_staged = 0;
-        let pts = built.merge(SortedRun::from_unsorted(delta));
+
+        let del_built = match td.del_corner.take() {
+            Some(c) => {
+                let v = SortedRun::from_sorted(c.collect_points(&self.store));
+                c.free(&mut self.store);
+                v
+            }
+            None => SortedRun::new(),
+        };
+        let mut del_delta = Vec::new();
+        for &pg in &td.del_staged {
+            del_delta.extend_from_slice(self.store.read(pg));
+        }
+        self.store.free_run(&td.del_staged);
+        td.del_staged.clear();
+        td.n_del_staged = 0;
+        let tombs = del_built.merge(SortedRun::from_unsorted(del_delta));
+
+        let merged = built.merge(SortedRun::from_unsorted(delta));
+        let (pts, unmatched) = merged.cancel(&tombs);
         td.n_built = pts.len();
-        td.corner = Some(CornerStructure::build_from_sorted(
-            &mut self.store,
-            &pts,
-            self.tuning.corner_alpha,
-        ));
+        td.corner = (!pts.is_empty()).then(|| {
+            CornerStructure::build_from_sorted(&mut self.store, &pts, self.tuning.corner_alpha)
+        });
+        let survivors = SortedRun::from_sorted(unmatched);
+        td.n_del_built = survivors.len();
+        td.del_corner = (!survivors.is_empty()).then(|| {
+            CornerStructure::build_from_sorted(
+                &mut self.store,
+                &survivors,
+                self.tuning.corner_alpha,
+            )
+        });
         self.put_meta(parent, m);
     }
 
     /// TS reorganisation at `parent`: rebuild every child's TS snapshot from
-    /// its current mains + updates and discard the TD. `O(B²)` I/Os, once
-    /// per `B²` inserts below `parent`. Each child's snapshot is its
-    /// already-y-sorted horizontal run merged with its sorted delta — the
-    /// same page reads as before, no full re-sort.
+    /// its current mains + updates and discard the TD (both sides). `O(B²)`
+    /// I/Os, once per `B²` inserts below `parent`. Each child's snapshot is
+    /// its already-y-sorted horizontal run merged with its sorted delta —
+    /// the same page reads as before, no full re-sort — minus the child's
+    /// pending tombstones, so a fresh snapshot never resurrects a deleted
+    /// point (which is what lets the TDdel side be discarded here).
     pub(crate) fn ts_reorg(&mut self, parent: MbId) {
         let child_ids: Vec<MbId> = self.meta(parent).children.iter().map(|c| c.mb).collect();
         let snapshots: Vec<Vec<Point>> = child_ids
@@ -282,7 +319,8 @@ impl MetablockTree {
                 let cm = self.meta(c);
                 let mains_y = self.read_run(&cm.horizontal);
                 let delta = self.read_run(&cm.update);
-                ccix_extmem::merge_delta_y_desc(mains_y, delta)
+                let tombs = self.read_run(&cm.tomb);
+                ccix_extmem::merge_delta_y_desc_cancel(mains_y, delta, &tombs)
             })
             .collect();
         let mut m = self.take_meta(parent);
@@ -291,24 +329,40 @@ impl MetablockTree {
                 c.free(&mut self.store);
             }
             self.store.free_run(&td.staged);
+            if let Some(c) = td.del_corner.take() {
+                c.free(&mut self.store);
+            }
+            self.store.free_run(&td.del_staged);
             *td = TdInfo::default();
         }
         self.put_meta(parent, m);
         self.install_ts_snapshots(parent, snapshots);
     }
 
-    /// Level-I reorganisation: merge the update buffer into the mains and
-    /// rebuild all organisations. Returns the new main count.
+    /// Level-I reorganisation: merge the update buffer into the mains,
+    /// annihilate pending tombstones against the merged set, and rebuild
+    /// all organisations. Returns the new main count.
     ///
     /// Sortedness-preserving: the x-sorted vertical run is read (the same
     /// page count as the horizontal run the sort-based pipeline read) and
     /// only the delta is sorted, then galloped in — one `O(n log n)` sort
-    /// (the y-order) remains instead of two.
-    fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
+    /// (the y-order) remains instead of two. Tombstone cancellation is one
+    /// more galloping pass over the merged run ([`SortedRun::cancel`]); a
+    /// tombstone that finds no match (its victim sat in a descendant of a
+    /// metablock whose mains a delete flood emptied) is re-routed one level
+    /// down, where the landing invariant holds again. Re-routes never
+    /// restructure the tree (a delete can only shrink a metablock), so the
+    /// caller's pinned path stays live.
+    pub(crate) fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
         let mut m = self.take_meta(mb);
         let mains_x = SortedRun::from_sorted(self.read_run(&m.vertical));
         let delta = SortedRun::from_unsorted(self.read_run(&m.update));
-        let by_x = mains_x.merge(delta);
+        let tombs = SortedRun::from_unsorted(self.read_run(&m.tomb));
+        self.store.free_run(&m.tomb);
+        m.tomb.clear();
+        self.tombs_pending -= m.n_tomb;
+        m.n_tomb = 0;
+        let (by_x, unmatched) = mains_x.merge(delta).cancel(&tombs);
         let mut by_y = by_x.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
         self.rebuild_orgs(&mut m, &by_x, &by_y);
@@ -321,9 +375,13 @@ impl MetablockTree {
                 e.main_bbox = new_bbox;
                 e.upd_ymax = None;
                 e.packed.upd_pages.clear();
+                e.packed.tomb_pages.clear();
             }
             self.put_meta(parent, pm);
             self.sync_packed_entry(parent, mb);
+        }
+        for t in unmatched {
+            self.reroute_tombstone(mb, t);
         }
         n_main
     }
@@ -381,6 +439,7 @@ impl MetablockTree {
     fn push_down(&mut self, mb: MbId, path: &[MbId]) {
         let mut m = self.take_meta(mb);
         debug_assert_eq!(m.n_upd, 0, "level-II runs after level-I");
+        debug_assert_eq!(m.n_tomb, 0, "level-I cancelled all tombstones");
         let mut pts = self.read_run(&m.horizontal);
         debug_assert!(pts.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
         let bottom = pts.split_off(self.cap());
@@ -430,6 +489,7 @@ impl MetablockTree {
     fn split_leaf(&mut self, mb: MbId, path: &[MbId]) {
         let meta = self.meta(mb);
         debug_assert_eq!(meta.n_upd, 0, "level-II runs after level-I");
+        debug_assert_eq!(meta.n_tomb, 0, "level-I cancelled all tombstones");
         let pts = SortedRun::from_sorted(self.read_run(&meta.vertical));
 
         let Some(&parent) = path.last() else {
@@ -439,6 +499,7 @@ impl MetablockTree {
             let (root, _, _) =
                 self.build_slab(pts, super::build::FULL_RANGE.0, super::build::FULL_RANGE.1);
             self.root = Some(root);
+            self.note_full_rebuild();
             return;
         };
 
@@ -505,6 +566,7 @@ impl MetablockTree {
             let (root, _, _) =
                 self.build_slab(pts, super::build::FULL_RANGE.0, super::build::FULL_RANGE.1);
             self.root = Some(root);
+            self.note_full_rebuild();
             return;
         };
 
@@ -562,31 +624,51 @@ impl MetablockTree {
         }
     }
 
-    /// Every point in the subtree (mains + update buffers) as one x-sorted
-    /// run, with charged reads (each metablock's vertical run — the same
-    /// page count its horizontal run would cost — plus its update pages).
-    /// TS/TD/corner pages are copies and are deliberately skipped.
-    fn collect_subtree_sorted(&self, mb: MbId) -> SortedRun {
+    /// Every live point in the subtree (mains + update buffers, minus
+    /// pending tombstones) as one x-sorted run, with charged reads (each
+    /// metablock's vertical run — the same page count its horizontal run
+    /// would cost — plus its update and tombstone pages). TS/TD/corner
+    /// pages are copies and are deliberately skipped. A static rebuild is
+    /// therefore "the first reorganisation that sees both" for every
+    /// pending tombstone in the subtree: the landing invariant keeps each
+    /// tombstone's victim in the same subtree, so cancellation is exact.
+    pub(crate) fn collect_subtree_sorted(&self, mb: MbId) -> SortedRun {
         let mut runs = Vec::new();
-        self.collect_subtree_runs(mb, &mut runs);
-        SortedRun::merge_many(runs)
+        let mut tomb_runs = Vec::new();
+        self.collect_subtree_runs(mb, &mut runs, &mut tomb_runs);
+        let tombs = SortedRun::merge_many(tomb_runs);
+        let (pts, unmatched) = SortedRun::merge_many(runs).cancel(&tombs);
+        debug_assert!(
+            unmatched.is_empty(),
+            "tombstone without a victim in its subtree"
+        );
+        pts
     }
 
-    fn collect_subtree_runs(&self, mb: MbId, runs: &mut Vec<SortedRun>) {
+    fn collect_subtree_runs(
+        &self,
+        mb: MbId,
+        runs: &mut Vec<SortedRun>,
+        tomb_runs: &mut Vec<SortedRun>,
+    ) {
         let meta = self.meta(mb);
         runs.push(SortedRun::from_sorted(self.read_run(&meta.vertical)));
         let delta = self.read_run(&meta.update);
         if !delta.is_empty() {
             runs.push(SortedRun::from_unsorted(delta));
         }
+        let tombs = self.read_run(&meta.tomb);
+        if !tombs.is_empty() {
+            tomb_runs.push(SortedRun::from_unsorted(tombs));
+        }
         let children: Vec<MbId> = meta.children.iter().map(|c| c.mb).collect();
         for c in children {
-            self.collect_subtree_runs(c, runs);
+            self.collect_subtree_runs(c, runs, tomb_runs);
         }
     }
 
     /// Free a subtree's metablocks and every page they own.
-    fn free_subtree(&mut self, mb: MbId) {
+    pub(crate) fn free_subtree(&mut self, mb: MbId) {
         let meta = self.free_metablock(mb);
         for c in meta.children {
             self.free_subtree(c.mb);

@@ -6,6 +6,7 @@
 //! invariant checking and shape statistics for tests and experiments).
 
 mod build;
+mod delete;
 mod insert;
 mod query;
 mod validate;
@@ -14,6 +15,16 @@ pub use validate::DiagStats;
 // DiagOptions is defined below and re-exported from the crate root.
 
 pub(crate) use build::{extract_top_y, near_equal_ranges, FULL_RANGE};
+pub(crate) use query::{filter_deleted, filter_deleted_batch};
+
+/// Record `mb` as dirty (dedup'd) for an operation's end-of-operation
+/// control-block writeback — shared by both trees' insert and delete
+/// routings.
+pub(crate) fn mark_dirty(dirty: &mut Vec<MbId>, mb: MbId) {
+    if !dirty.contains(&mb) {
+        dirty.push(mb);
+    }
+}
 
 use ccix_extmem::{Geometry, IoCounter, PageId, PathPin, Point, TypedStore};
 
@@ -48,6 +59,13 @@ pub(crate) struct ReadCtx {
     pub pin: PathPin,
     /// Control block held in dedicated memory (`(space, key)`).
     pub(crate) resident: Option<(u32, u64)>,
+    /// Ids of pending tombstones discovered while the operation scanned
+    /// tombstone pages. Any id recorded here belongs to a logically deleted
+    /// point (pending tombstones are globally unique and ids are never
+    /// reused), so the operation's answers are filtered against this set
+    /// once at the end — empty on insert-only workloads, where no
+    /// tombstone page exists to scan.
+    pub(crate) del: Vec<u64>,
 }
 
 impl ReadCtx {
@@ -58,6 +76,7 @@ impl ReadCtx {
         Self {
             pin: PathPin::new(counter, geo.b),
             resident: None,
+            del: Vec::new(),
         }
     }
 
@@ -134,6 +153,11 @@ pub(crate) struct PackedInfo {
     pub h_more: bool,
     /// Mirror of the child's update-buffer page run.
     pub upd_pages: Vec<PageId>,
+    /// Mirror of the child's tombstone-buffer page run, so an examination
+    /// of a straddling child filters its pending deletes without touching
+    /// the child's control block. Empty (and free to skip) whenever the
+    /// child has no pending deletes.
+    pub tomb_pages: Vec<PageId>,
     /// Mirror of the child's TS (diagonal) / TSL (3-sided) snapshot run.
     pub ts_pages: Vec<PageId>,
     /// Mirror of the snapshot's truncation bit.
@@ -162,6 +186,15 @@ pub(crate) struct TsInfo {
 /// The `TD` corner structure of an internal metablock (§3.2): the points
 /// inserted into this metablock's children since the last TS reorganisation,
 /// kept query-able as a corner structure plus a one-block staging area.
+///
+/// Deletions give it a **negative side**: the tombstones routed into this
+/// metablock's children since the last TS reorganisation, mirrored here so
+/// the TS crossing case (Fig. 17b) — which answers covered siblings from
+/// their *stale* snapshot plus this TD — can subtract what was deleted
+/// since the snapshot was taken, without visiting the covered children.
+/// The fold that settles staged inserts into the corner structure also
+/// annihilates insert/delete pairs, so only tombstones whose insert
+/// predates the TD survive into `del_corner`.
 #[derive(Debug, Default)]
 pub(crate) struct TdInfo {
     /// Corner structure over the settled TD points.
@@ -171,11 +204,24 @@ pub(crate) struct TdInfo {
     /// [`MetablockTree::td_cap_pages`] pages of `B`.
     pub staged: Vec<PageId>,
     pub n_staged: usize,
+    /// Corner structure over the settled tombstones (queried alongside
+    /// `corner` by the crossing case, reporting ids to subtract).
+    pub del_corner: Option<CornerStructure>,
+    pub n_del_built: usize,
+    /// Tombstone staging pages, at most [`MetablockTree::td_cap_pages`]
+    /// pages of `B`.
+    pub del_staged: Vec<PageId>,
+    pub n_del_staged: usize,
 }
 
 impl TdInfo {
     pub fn total(&self) -> usize {
         self.n_built + self.n_staged
+    }
+
+    /// Pending tombstones tracked on the delete side.
+    pub fn del_total(&self) -> usize {
+        self.n_del_built + self.n_del_staged
     }
 }
 
@@ -206,6 +252,14 @@ pub(crate) struct MetaBlock {
     /// *block* is the 1-page special case.
     pub update: Vec<PageId>,
     pub n_upd: usize,
+    /// Tombstone buffer: buffered deletes, at most
+    /// [`MetablockTree::tomb_cap_pages`] pages of `B`. The routing
+    /// invariant lands every tombstone in the metablock that holds the
+    /// live copy (mains or update buffer); the next level-I reorganisation
+    /// annihilates the pair. Queries scan pending tombstone pages wherever
+    /// they scan the update block and subtract the ids.
+    pub tomb: Vec<PageId>,
+    pub n_tomb: usize,
     /// Left-sibling snapshot; `None` for a first child or the root.
     pub ts: Option<TsInfo>,
     /// TD corner structure; `Some` for internal metablocks.
@@ -245,16 +299,19 @@ impl Default for DiagOptions {
     }
 }
 
-/// The semi-dynamic metablock tree for diagonal-corner queries (§3).
+/// The dynamic metablock tree for diagonal-corner queries (§3).
 ///
 /// All points must satisfy `y ≥ x` (they encode intervals `[x, y]`, or more
 /// generally lie on/above the diagonal, as the reduction of Proposition 2.2
-/// produces). Ids must be unique. Costs, measured on the shared counter:
+/// produces). Ids must be unique across the tree's lifetime (a deleted id
+/// may not be reused). Costs, measured on the shared counter:
 ///
 /// * [`MetablockTree::query_into`] — `O(log_B n + t/B)` I/Os (Theorem 3.2);
 /// * [`MetablockTree::insert`] — `O(log_B n + (log_B n)²/B)` amortised I/Os
 ///   (Theorem 3.7);
-/// * space `O(n/B)` pages (Lemma 3.4).
+/// * [`MetablockTree::delete`] — the same amortised budget (tombstones
+///   ride the insert machinery; §5's open problem, closed here);
+/// * space `O(live/B)` pages (Lemma 3.4 + the occupancy shrink).
 #[derive(Debug)]
 pub struct MetablockTree {
     pub(crate) geo: Geometry,
@@ -265,6 +322,14 @@ pub struct MetablockTree {
     pub(crate) dead_metas: usize,
     pub(crate) root: Option<MbId>,
     pub(crate) len: usize,
+    /// Tombstones currently buffered somewhere in the tree (each matches
+    /// exactly one physically stored, logically deleted point).
+    pub(crate) tombs_pending: usize,
+    /// Deletes absorbed since the last full (re)build, driving the
+    /// occupancy-triggered shrink ([`Tuning::shrink_deletes_pct`]).
+    pub(crate) deletes_since_shrink: usize,
+    /// Tree size at the last full (re)build (the shrink trigger's base).
+    pub(crate) shrink_base: usize,
     pub(crate) options: DiagOptions,
     pub(crate) tuning: Tuning,
 }
@@ -296,6 +361,9 @@ impl MetablockTree {
             dead_metas: 0,
             root: None,
             len: 0,
+            tombs_pending: 0,
+            deletes_since_shrink: 0,
+            shrink_base: 0,
             options,
             tuning,
         }
@@ -325,9 +393,17 @@ impl MetablockTree {
             .clamp(1, (self.geo.b / 2).max(1))
     }
 
-    /// TD staging budget in pages (≥ 1).
+    /// TD staging budget in pages (≥ 1), shared by the insert and delete
+    /// staging areas.
     pub(crate) fn td_cap_pages(&self) -> usize {
         self.tuning.td_batch_pages.clamp(1, (self.geo.b / 2).max(1))
+    }
+
+    /// Tombstone-buffer budget in pages (≥ 1).
+    pub(crate) fn tomb_cap_pages(&self) -> usize {
+        self.tuning
+            .tomb_batch_pages
+            .clamp(1, (self.geo.b / 2).max(1))
     }
 
     /// TS snapshot budget in points (≥ B).
@@ -343,7 +419,7 @@ impl MetablockTree {
         self.tuning.pack_h_pages
     }
 
-    /// Number of points stored.
+    /// Number of points stored (inserts minus deletes).
     pub fn len(&self) -> usize {
         self.len
     }
@@ -351,6 +427,14 @@ impl MetablockTree {
     /// True when no points are stored.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Logically deleted points whose tombstones are still pending
+    /// cancellation. Each pending tombstone shadows exactly one physically
+    /// stored copy; queries already filter them, and the next
+    /// reorganisation that sees both annihilates the pair.
+    pub fn pending_deletes(&self) -> usize {
+        self.tombs_pending
     }
 
     /// Block geometry.
@@ -467,6 +551,8 @@ impl MetablockTree {
             c.free(&mut self.store);
         }
         self.store.free_run(&meta.update);
+        self.store.free_run(&meta.tomb);
+        self.tombs_pending -= meta.n_tomb;
         if let Some(ts) = &meta.ts {
             self.store.free_run(&ts.pages);
         }
@@ -475,6 +561,10 @@ impl MetablockTree {
                 c.free(&mut self.store);
             }
             self.store.free_run(&td.staged);
+            if let Some(c) = td.del_corner.clone() {
+                c.free(&mut self.store);
+            }
+            self.store.free_run(&td.del_staged);
         }
         meta
     }
@@ -507,13 +597,14 @@ impl MetablockTree {
         if h == 0 {
             return;
         }
-        let (h_pages, h_tops, h_more, upd) = {
+        let (h_pages, h_tops, h_more, upd, tomb) = {
             let cm = self.metas[child].as_ref().expect("live child");
             (
                 cm.horizontal.iter().take(h).copied().collect::<Vec<_>>(),
                 cm.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
                 cm.horizontal.len() > h,
                 cm.update.clone(),
+                cm.tomb.clone(),
             )
         };
         let pm = self.metas[parent].as_mut().expect("live parent");
@@ -526,6 +617,7 @@ impl MetablockTree {
         e.packed.h_tops = h_tops;
         e.packed.h_more = h_more;
         e.packed.upd_pages = upd;
+        e.packed.tomb_pages = tomb;
     }
 
     /// Refresh every child mirror of `parent` (used where the child list

@@ -56,6 +56,11 @@ enum ChildClass {
     Full,
     /// Mains straddle `y = q` (Type IV) or only update points may qualify.
     Partial,
+    /// Empty mains (a delete flood cancelled them all) over a possibly
+    /// live subtree: the routing invariant's curtain is gone, so the child
+    /// takes a full recursive search instead of a Fig. 16 class. Only
+    /// reachable after deletes; the occupancy shrink rebuilds it away.
+    Recurse,
     /// Nothing in the child's metablock or subtree can qualify.
     Dead,
 }
@@ -65,14 +70,18 @@ fn classify(c: &ChildEntry, q: i64) -> ChildClass {
     let mains_full = c.main_bbox.is_some_and(|b| b.ylo >= qk);
     let mains_some = c.main_bbox.is_some_and(|b| b.yhi >= qk);
     let upd_some = c.upd_ymax.is_some_and(|y| y >= qk);
+    let sub_some = c.sub_yhi.is_some_and(|y| y >= qk);
     // Routing invariant: sub_yhi < child's y_lo_main, so a live subtree
-    // implies fully-live mains; it never creates a class of its own.
+    // implies fully-live mains; the empty-mains degenerate state (deletes
+    // cancelled every main) is the one exception and recurses instead.
     debug_assert!(
-        c.sub_yhi.is_none_or(|y| y < qk) || mains_full,
+        !sub_some || mains_full || c.main_bbox.is_none(),
         "routing invariant violated: subtree above a partially-live metablock"
     );
     if mains_full && c.main_bbox.is_some() {
         ChildClass::Full
+    } else if c.main_bbox.is_none() && sub_some {
+        ChildClass::Recurse
     } else if mains_some || upd_some {
         ChildClass::Partial
     } else {
@@ -92,7 +101,9 @@ impl MetablockTree {
     /// `O(log_B n + t/B)` I/Os.
     pub fn query_into(&self, q: i64, out: &mut Vec<Point>) {
         let mut ctx = self.read_ctx();
+        let start = out.len();
         self.query_ctx(&mut ctx, q, out);
+        filter_deleted(&ctx, start, out);
     }
 
     /// Answer a whole batch of diagonal-corner queries as **one pinned
@@ -113,6 +124,10 @@ impl MetablockTree {
         for &i in &order {
             self.query_ctx(&mut ctx, qs[i], &mut outs[i]);
         }
+        // Tombstone ids are globally deleted (pending deletes shadow their
+        // unique victim), so the batch filters every answer against the
+        // ids the whole operation discovered.
+        filter_deleted_batch(&ctx, &mut outs);
         outs
     }
 
@@ -127,8 +142,15 @@ impl MetablockTree {
     fn process_path(&self, ctx: &mut ReadCtx, mb: MbId, q: i64, out: &mut Vec<Point>) {
         let meta = self.ctx_meta(ctx, mb);
         self.scan_update_pages(ctx, &meta.update, q, out);
+        self.scan_tomb_pages(ctx, &meta.tomb, q);
         let (Some(bbox), Some(ylo)) = (meta.main_bbox, meta.y_lo_main) else {
-            return; // empty metablock: only possible for a fresh root
+            // Empty mains: a fresh root, or a metablock a delete flood
+            // emptied. Nothing of its own to report beyond the buffers,
+            // but live descendants stay reachable.
+            if !meta.is_leaf() {
+                self.process_children(ctx, mb, meta, q, out);
+            }
+            return;
         };
         let qk: Key = (q, 0);
         if qk > bbox.yhi {
@@ -228,6 +250,10 @@ impl MetablockTree {
             match classify(c, q) {
                 ChildClass::Full => full.push(i),
                 ChildClass::Partial => partial.push(i),
+                // Empty-mains child over a live subtree (delete-flood
+                // degenerate): no snapshot or TD covers its depths, so it
+                // takes a full recursive search, outside the TS protocol.
+                ChildClass::Recurse => self.process_path(ctx, c.mb, q, out),
                 ChildClass::Dead => {}
             }
         }
@@ -331,6 +357,13 @@ impl MetablockTree {
     /// Query the TD structure of `meta` at `q`, keeping points that satisfy
     /// `filter`, and append to `out`. The TD corner's directory rides in
     /// the parent's control block, which the operation already holds.
+    ///
+    /// The TD's delete side is queried alongside: a snapshot-answered route
+    /// reports points as of the last TS reorganisation, so tombstones
+    /// younger than the snapshot — exactly what the delete side holds —
+    /// must subtract from the answer. Matching is global by id (any id the
+    /// delete side reports is a logically deleted point), so no slab
+    /// filter applies.
     fn query_td(
         &self,
         ctx: &mut ReadCtx,
@@ -353,6 +386,12 @@ impl MetablockTree {
                 }
             }
         }
+        if let Some(del) = &td.del_corner {
+            let mut tmp = Vec::new();
+            del.query_pinned(&self.store, ctx, (SPACE_META, mb as u64), q, &mut tmp);
+            ctx.del.extend(tmp.into_iter().map(|t| t.id));
+        }
+        self.scan_tomb_pages(ctx, &td.del_staged, q);
     }
 
     /// Report a Type III subtree: everything in the metablock, then its
@@ -361,6 +400,7 @@ impl MetablockTree {
     fn report_all(&self, ctx: &mut ReadCtx, mb: MbId, q: i64, out: &mut Vec<Point>) {
         let meta = self.ctx_meta(ctx, mb);
         self.scan_update_pages(ctx, &meta.update, q, out);
+        self.scan_tomb_pages(ctx, &meta.tomb, q);
         for &pg in &meta.horizontal {
             for p in self.ctx_read(ctx, pg) {
                 debug_assert!(p.y >= q, "type III metablock holds a point below q");
@@ -371,6 +411,7 @@ impl MetablockTree {
             match classify(&meta.children[i], q) {
                 ChildClass::Full => self.report_all(ctx, meta.children[i].mb, q, out),
                 ChildClass::Partial => self.examine_child(ctx, meta, i, q, out),
+                ChildClass::Recurse => self.process_path(ctx, meta.children[i].mb, q, out),
                 ChildClass::Dead => {}
             }
         }
@@ -397,6 +438,7 @@ impl MetablockTree {
         if self.pack_h() == 0 {
             let meta = self.ctx_meta(ctx, entry.mb);
             self.scan_update_pages(ctx, &meta.update, q, out);
+            self.scan_tomb_pages(ctx, &meta.tomb, q);
             if meta.main_bbox.is_some_and(|b| b.yhi >= (q, 0)) {
                 self.horizontal_scan_down(ctx, meta, q, out);
             }
@@ -404,6 +446,7 @@ impl MetablockTree {
             return;
         }
         let qk: Key = (q, 0);
+        self.scan_tomb_pages(ctx, &entry.packed.tomb_pages, q);
         if entry.upd_ymax.is_some_and(|y| y >= qk) {
             self.scan_update_pages(ctx, &entry.packed.upd_pages, q, out);
         }
@@ -467,6 +510,23 @@ impl MetablockTree {
                     out.push(*p);
                 }
             }
+        }
+    }
+
+    /// Scan a run of tombstone pages, recording the ids of pending deletes
+    /// that fall inside the query (a tombstone is an exact copy of its
+    /// victim, so a victim the query would report has a tombstone the same
+    /// predicate selects). One I/O per pending page — and no page at all
+    /// on insert-only workloads, where every tombstone run is empty.
+    fn scan_tomb_pages(&self, ctx: &mut ReadCtx, pages: &[ccix_extmem::PageId], q: i64) {
+        for &pg in pages {
+            let dead: Vec<u64> = self
+                .ctx_read(ctx, pg)
+                .iter()
+                .filter(|t| t.x <= q && t.y >= q)
+                .map(|t| t.id)
+                .collect();
+            ctx.del.extend(dead);
         }
     }
 
@@ -539,7 +599,9 @@ impl MetablockTree {
     /// B+-tree.
     pub fn x_range_into(&self, x1: i64, x2: i64, out: &mut Vec<Point>) {
         let mut ctx = self.read_ctx();
+        let start = out.len();
         self.x_range_ctx(&mut ctx, x1, x2, out);
+        filter_deleted(&ctx, start, out);
     }
 
     /// As [`MetablockTree::x_range_into`] within an existing read context.
@@ -563,6 +625,7 @@ impl MetablockTree {
                 }
             }
         }
+        self.scan_tomb_pages_x(ctx, &meta.tomb, a1k, a2k);
         // Mains inside the range, starting from the page located via the
         // boundary keys (≤ 2 slack blocks).
         let start = meta.vkeys.partition_point(|&k| k <= a1k).saturating_sub(1);
@@ -604,9 +667,53 @@ impl MetablockTree {
         for &pg in meta.horizontal.iter().chain(&meta.update) {
             out.extend_from_slice(self.ctx_read(ctx, pg));
         }
+        self.scan_tomb_pages_x(ctx, &meta.tomb, (i64::MIN, u64::MIN), (i64::MAX, u64::MAX));
         for i in 0..meta.children.len() {
             self.x_report_all(ctx, meta.children[i].mb, out);
         }
+    }
+
+    /// As `scan_tomb_pages`, selecting tombstones by the x-range predicate.
+    fn scan_tomb_pages_x(
+        &self,
+        ctx: &mut ReadCtx,
+        pages: &[ccix_extmem::PageId],
+        a1k: Key,
+        a2k: Key,
+    ) {
+        for &pg in pages {
+            let dead: Vec<u64> = self
+                .ctx_read(ctx, pg)
+                .iter()
+                .filter(|t| t.xkey() >= a1k && t.xkey() <= a2k)
+                .map(|t| t.id)
+                .collect();
+            ctx.del.extend(dead);
+        }
+    }
+}
+
+/// Filter the slice of `out` appended since `start` against the tombstone
+/// ids the operation discovered. Free when no tombstone was seen — the
+/// insert-only fast path.
+pub(crate) fn filter_deleted(ctx: &ReadCtx, start: usize, out: &mut Vec<Point>) {
+    if ctx.del.is_empty() {
+        return;
+    }
+    let dead: std::collections::HashSet<u64> = ctx.del.iter().copied().collect();
+    let tail = out.split_off(start);
+    out.extend(tail.into_iter().filter(|p| !dead.contains(&p.id)));
+}
+
+/// As [`filter_deleted`], over every answer of a batch — the dead-id set
+/// is built once for the whole operation.
+pub(crate) fn filter_deleted_batch(ctx: &ReadCtx, outs: &mut [Vec<Point>]) {
+    if ctx.del.is_empty() {
+        return;
+    }
+    let dead: std::collections::HashSet<u64> = ctx.del.iter().copied().collect();
+    for out in outs {
+        out.retain(|p| !dead.contains(&p.id));
     }
 }
 

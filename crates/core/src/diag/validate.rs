@@ -27,6 +27,9 @@ pub struct DiagStats {
     pub points: usize,
     /// Points held in update blocks awaiting a level-I reorganisation.
     pub pending_updates: usize,
+    /// Tombstones held in tombstone buffers awaiting cancellation (each
+    /// shadows one stored, logically deleted point counted in `points`).
+    pub pending_tombs: usize,
     /// Pages used by TS snapshots.
     pub ts_pages: usize,
     /// Pages used by corner structures.
@@ -52,6 +55,7 @@ impl MetablockTree {
         s.height = s.height.max(depth);
         s.points += meta.n_main + meta.n_upd;
         s.pending_updates += meta.n_upd;
+        s.pending_tombs += meta.n_tomb;
         if let Some(ts) = &meta.ts {
             s.ts_pages += ts.pages.len();
         }
@@ -60,6 +64,9 @@ impl MetablockTree {
         }
         if let Some(td) = &meta.td {
             if let Some(c) = &td.corner {
+                s.corner_pages += c.pages();
+            }
+            if let Some(c) = &td.del_corner {
                 s.corner_pages += c.pages();
             }
         }
@@ -78,7 +85,18 @@ impl MetablockTree {
         if let Some(root) = self.root {
             self.validate_rec(root, (i64::MIN, 0), (i64::MAX, u64::MAX), None, &mut all);
         }
-        assert_eq!(all.len(), self.len, "stored point count mismatch");
+        // Physical contents = logical contents plus one shadowed copy per
+        // pending tombstone (annihilated at the next reorganisation).
+        assert_eq!(
+            all.len(),
+            self.len + self.tombs_pending,
+            "stored point count mismatch"
+        );
+        assert_eq!(
+            self.stats().pending_tombs,
+            self.tombs_pending,
+            "stale pending-tombstone counter"
+        );
         let mut ids: BTreeSet<u64> = BTreeSet::new();
         for p in &all {
             assert!(p.y >= p.x, "point below the diagonal: {p:?}");
@@ -175,6 +193,28 @@ impl MetablockTree {
                 );
             }
         }
+
+        // Tombstone buffer: within budget, and the landing invariant — a
+        // tombstone is buffered in the metablock that physically holds its
+        // victim (an exact copy, found in the mains or update buffer).
+        let tombs = self.pages_unbilled(&meta.tomb);
+        assert_eq!(tombs.len(), meta.n_tomb, "tombstone count mismatch");
+        assert!(
+            tombs.len() <= self.tomb_cap_pages() * self.geo.b,
+            "tombstone buffer overfull: {} tombstones",
+            tombs.len()
+        );
+        {
+            let mut seen: BTreeSet<u64> = BTreeSet::new();
+            for t in &tombs {
+                assert!(seen.insert(t.id), "duplicate tombstone id {}", t.id);
+                assert!(
+                    mains.iter().chain(&update).any(|p| p == t),
+                    "tombstone {t:?} has no victim in its metablock"
+                );
+            }
+        }
+
         all.extend_from_slice(&mains);
         all.extend_from_slice(&update);
 
@@ -182,6 +222,15 @@ impl MetablockTree {
         // exact, TS coverage sound.
         if !meta.children.is_empty() {
             assert!(meta.td.is_some(), "internal metablock without TD");
+            // An emptied interior metablock is a pure router: the insert
+            // and delete routings pass it by, so its buffers stay empty.
+            if meta.main_bbox.is_none() {
+                assert_eq!(meta.n_upd, 0, "emptied interior metablock buffers inserts");
+                assert_eq!(
+                    meta.n_tomb, 0,
+                    "emptied interior metablock buffers tombstones"
+                );
+            }
             assert_eq!(meta.children[0].slab_lo, slab_lo, "first slab misaligned");
             assert_eq!(
                 meta.children.last().unwrap().slab_hi,
@@ -234,11 +283,14 @@ impl MetablockTree {
     }
 
     /// The query's TS coverage argument, as an invariant: for every child
-    /// with a TS snapshot, every point currently stored in its left siblings
-    /// is either in the snapshot, outranked by the snapshot's B² points, or
-    /// present in the parent's TD structure.
+    /// with a TS snapshot, every **live** point currently stored in its left
+    /// siblings is either in the snapshot, outranked by the snapshot's B²
+    /// points, or present in the parent's TD structure. Points shadowed by
+    /// a pending tombstone are exempt (queries subtract them by id), and
+    /// ids on the TD's delete side must never shadow a live point.
     fn validate_ts_coverage(&self, parent: &MetaBlock) {
         let mut td_ids: BTreeSet<u64> = BTreeSet::new();
+        let mut td_del_ids: BTreeSet<u64> = BTreeSet::new();
         if let Some(td) = &parent.td {
             if let Some(c) = &td.corner {
                 for p in c.collect_points_unbilled(&self.store) {
@@ -250,10 +302,35 @@ impl MetablockTree {
                     td_ids.insert(p.id);
                 }
             }
+            let mut n_del = 0usize;
+            if let Some(c) = &td.del_corner {
+                let pts = c.collect_points_unbilled(&self.store);
+                n_del += pts.len();
+                for t in pts {
+                    td_del_ids.insert(t.id);
+                }
+            }
+            assert_eq!(n_del, td.n_del_built, "TD delete-side built-count stale");
+            let mut n_staged = 0usize;
+            for &pg in &td.del_staged {
+                for t in self.store.read_unbilled(pg) {
+                    n_staged += 1;
+                    td_del_ids.insert(t.id);
+                }
+            }
+            assert_eq!(
+                n_staged, td.n_del_staged,
+                "TD delete-side staged-count stale"
+            );
         }
         let mut left_points: Vec<Point> = Vec::new();
         for (i, c) in parent.children.iter().enumerate() {
             let child_meta = self.meta_unbilled(c.mb);
+            let child_tombs: BTreeSet<u64> = self
+                .pages_unbilled(&child_meta.tomb)
+                .iter()
+                .map(|t| t.id)
+                .collect();
             if i > 0 {
                 let ts = child_meta.ts.as_ref().expect("non-first child has TS");
                 let ts_points = self.pages_unbilled(&ts.pages);
@@ -277,8 +354,22 @@ impl MetablockTree {
             } else {
                 assert!(child_meta.ts.is_none(), "first child must not have TS");
             }
-            left_points.extend(self.mains_unbilled(child_meta));
-            left_points.extend(self.pages_unbilled(&child_meta.update));
+            for p in self
+                .mains_unbilled(child_meta)
+                .into_iter()
+                .chain(self.pages_unbilled(&child_meta.update))
+            {
+                // A pending tombstone exempts its victim from coverage and
+                // a TD delete-side id must belong to a deleted point.
+                if child_tombs.contains(&p.id) {
+                    continue;
+                }
+                assert!(
+                    !td_del_ids.contains(&p.id),
+                    "TD delete side shadows live point {p:?}"
+                );
+                left_points.push(p);
+            }
         }
     }
 
@@ -290,6 +381,7 @@ impl MetablockTree {
             for c in &meta.children {
                 assert!(c.packed.h_pages.is_empty(), "mirror while packing off");
                 assert!(c.packed.upd_pages.is_empty(), "mirror while packing off");
+                assert!(c.packed.tomb_pages.is_empty(), "mirror while packing off");
                 assert!(c.packed.ts_pages.is_empty(), "mirror while packing off");
             }
             return;
@@ -319,6 +411,10 @@ impl MetablockTree {
             assert_eq!(
                 c.packed.upd_pages, child_meta.update,
                 "stale packed update-page mirror"
+            );
+            assert_eq!(
+                c.packed.tomb_pages, child_meta.tomb,
+                "stale packed tombstone-page mirror"
             );
             match &child_meta.ts {
                 Some(ts) => {

@@ -14,6 +14,16 @@
 //!   (Lemmas 4.3/4.4), the engine behind the improved class index
 //!   (Theorem 4.7).
 //!
+//! Both trees also support **deletion** — the paper's §5 open problem —
+//! within the insert budget: a delete routes a tombstone to the metablock
+//! holding the live copy (the routing invariant makes that metablock
+//! unique), queries filter pending tombstones wherever they scan update
+//! buffers, reorganisations annihilate insert/delete pairs in their
+//! merges, and an occupancy-triggered shrink keeps space `O(live/B)`
+//! under delete floods. See `docs/architecture.md` for the invariants and
+//! `docs/tuning.md` for the knobs ([`Tuning::tomb_batch_pages`],
+//! [`Tuning::shrink_deletes_pct`]) and measured costs.
+//!
 //! ## Anatomy (Figs. 8–12)
 //!
 //! A metablock tree is a `B`-ary tree of *metablocks* of `B²` points each.

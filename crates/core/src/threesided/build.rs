@@ -135,6 +135,7 @@ impl ThreeSidedTree {
         }
         let mut tree = Self::new_tuned(geo, counter, tuning);
         tree.len = points.len();
+        tree.shrink_base = points.len();
         if points.is_empty() {
             return tree;
         }
@@ -256,6 +257,8 @@ impl ThreeSidedTree {
             pst,
             update: Vec::new(),
             n_upd: 0,
+            tomb: Vec::new(),
+            n_tomb: 0,
             tsl: None,
             tsr: None,
             children_pst: None,

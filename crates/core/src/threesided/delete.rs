@@ -1,0 +1,267 @@
+//! Deletion for the 3-sided tree — the same tombstone machinery as the
+//! diagonal tree (see [`crate::diag::delete`] for the landing-invariant
+//! argument, which carries over verbatim: Lemma 4.4's routing is the §3.2
+//! routing), with the PSTs taking the corner structures' role:
+//!
+//! * level-I rebuilds the per-metablock PST over the cancelled set via
+//!   [`ccix_pst::ExternalPst::rebuild_from_sorted`] — nodes the deletes
+//!   did not touch keep their pages;
+//! * the TD delete side is a PST, queried by the snapshot-answered routes
+//!   (TSL/TSR crossing case and the children-PST fork) to subtract deletes
+//!   younger than the copies those routes report from;
+//! * the TS reorganisation rebuilds every child's TSL/TSR snapshot and the
+//!   parent's children PST from delete-cleaned merges.
+
+use ccix_extmem::Point;
+
+use super::ThreeSidedTree;
+use crate::diag::{mark_dirty, MbId, ReadCtx};
+
+/// Reorganisation triggers observed while routing one tombstone.
+struct DelTriggers {
+    target: MbId,
+    parent: Option<MbId>,
+    tomb_full: bool,
+    del_staged_full: bool,
+    td_total: usize,
+}
+
+impl ThreeSidedTree {
+    /// Delete a previously inserted point. Amortised — like
+    /// [`ThreeSidedTree::insert`] — `O(log_B n + (log_B n)²/B +
+    /// (log2 B)/B)` I/Os (Lemma 4.4's budget).
+    ///
+    /// # Panics
+    /// Panics if the tree is empty. Deleting a point that is not stored is
+    /// a contract violation caught by debug assertions.
+    pub fn delete(&mut self, p: Point) {
+        self.delete_batch(std::slice::from_ref(&p));
+    }
+
+    /// Delete a batch of points as one pinned operation (see
+    /// [`crate::MetablockTree::delete_batch`]): tombstones route in sorted
+    /// order over a shared read context, billing the shared descent prefix
+    /// once per residency.
+    pub fn delete_batch(&mut self, pts: &[Point]) {
+        let mut order: Vec<usize> = (0..pts.len()).collect();
+        order.sort_by_key(|&i| pts[i].xkey());
+        let mut ctx = self.read_ctx();
+        let mut dirty: Vec<MbId> = Vec::new();
+        for &i in &order {
+            let p = pts[i];
+            assert!(self.root.is_some(), "delete from an empty tree");
+            self.len -= 1;
+            self.deletes_since_shrink += 1;
+            let root = self.root.expect("tree is nonempty");
+            let triggers = self.route_tombstone(&mut ctx, &mut dirty, Vec::new(), root, p);
+            if self.run_del_triggers(&mut dirty, triggers) {
+                ctx = self.read_ctx();
+            }
+        }
+        self.flush_dirty(&dirty);
+        self.maybe_shrink();
+    }
+
+    /// Route the tombstone `p` downward from `start`, buffer it next to
+    /// its victim, and mirror it into the landing parent's TD delete side.
+    fn route_tombstone(
+        &mut self,
+        ctx: &mut ReadCtx,
+        dirty: &mut Vec<MbId>,
+        above: Vec<MbId>,
+        start: MbId,
+        p: Point,
+    ) -> DelTriggers {
+        let mut path = above;
+
+        // Phase 1 — descend with the insert routing's landing rule; an
+        // emptied interior metablock is a pure router (see crate::diag).
+        let mut cur = start;
+        loop {
+            let meta = self.ctx_meta(ctx, cur);
+            let lands = meta.is_leaf() || meta.y_lo_main.is_some_and(|ylo| p.ykey() >= ylo);
+            if lands {
+                break;
+            }
+            debug_assert!(
+                meta.y_lo_main.is_some() || meta.n_upd == 0,
+                "emptied interior metablock holds buffered points"
+            );
+            let idx = meta.children.partition_point(|c| c.slab_hi <= p.xkey());
+            debug_assert!(
+                idx < meta.children.len() && meta.children[idx].slab_contains(p.xkey()),
+                "slab ranges must cover the key space"
+            );
+            let child = meta.children[idx].mb;
+            path.push(cur);
+            cur = child;
+        }
+        let target = cur;
+
+        // Phase 2 — append the tombstone to the target's tombstone buffer.
+        let b = self.geo.b;
+        let open_page = {
+            let m = self.metas[target].as_ref().expect("target is live");
+            (!m.n_tomb.is_multiple_of(b)).then(|| *m.tomb.last().expect("partial page exists"))
+        };
+        match open_page {
+            Some(pg) => self.store.append(pg, p),
+            None => {
+                let pg = self.store.alloc(vec![p]);
+                self.metas[target]
+                    .as_mut()
+                    .expect("target is live")
+                    .tomb
+                    .push(pg);
+                if self.pack_h() > 0 {
+                    if let Some(&par) = path.last() {
+                        let pm = self.metas[par].as_mut().expect("parent is live");
+                        if let Some(e) = pm.children.iter_mut().find(|c| c.mb == target) {
+                            e.packed.tomb_pages.push(pg);
+                            mark_dirty(dirty, par);
+                        }
+                    }
+                }
+            }
+        }
+        let tomb_full = {
+            let m = self.metas[target].as_mut().expect("target is live");
+            m.n_tomb += 1;
+            m.n_tomb >= self.tomb_cap_pages() * b
+        };
+        self.tombs_pending += 1;
+        mark_dirty(dirty, target);
+
+        // Phase 3 — mirror the tombstone into the parent's TD delete side.
+        let parent = path.last().copied();
+        let mut td_total = 0usize;
+        let mut del_staged_full = false;
+        if let Some(par) = parent {
+            ctx.touch_meta(par);
+            let open_page = {
+                let td = self.metas[par]
+                    .as_ref()
+                    .expect("parent is live")
+                    .td
+                    .as_ref();
+                let td = td.expect("interior metablock carries a TD");
+                (!td.n_del_staged.is_multiple_of(b))
+                    .then(|| *td.del_staged.last().expect("partial page exists"))
+            };
+            match open_page {
+                Some(pg) => self.store.append(pg, p),
+                None => {
+                    let pg = self.store.alloc(vec![p]);
+                    self.metas[par]
+                        .as_mut()
+                        .expect("parent is live")
+                        .td
+                        .as_mut()
+                        .expect("TD present")
+                        .del_staged
+                        .push(pg);
+                }
+            }
+            let td = self.metas[par]
+                .as_mut()
+                .expect("parent is live")
+                .td
+                .as_mut()
+                .expect("TD present");
+            td.n_del_staged += 1;
+            td_total = td.total() + td.del_total();
+            del_staged_full = td.n_del_staged >= self.td_cap_pages() * b;
+            mark_dirty(dirty, par);
+        }
+
+        DelTriggers {
+            target,
+            parent,
+            tomb_full,
+            del_staged_full,
+            td_total,
+        }
+    }
+
+    /// Run the amortised triggers of one routed tombstone; returns whether
+    /// a reorganisation fired (deletes never cascade into level-II).
+    fn run_del_triggers(&mut self, dirty: &mut Vec<MbId>, t: DelTriggers) -> bool {
+        let mut fired = false;
+        if let Some(par) = t.parent {
+            if t.td_total >= self.cap() {
+                self.flush_dirty(dirty);
+                dirty.clear();
+                self.ts_reorg(par);
+                fired = true;
+            } else if t.del_staged_full {
+                self.flush_dirty(dirty);
+                dirty.clear();
+                self.td_rebuild(par);
+                fired = true;
+            }
+        }
+        if t.tomb_full && self.metas[t.target].is_some() {
+            self.flush_dirty(dirty);
+            dirty.clear();
+            self.level_i(t.target, t.parent);
+            fired = true;
+        }
+        fired
+    }
+
+    /// Re-route a tombstone a level-I could not match (see the diagonal
+    /// tree's `reroute_tombstone`).
+    pub(crate) fn reroute_tombstone(&mut self, from: MbId, p: Point) {
+        let is_leaf = self.metas[from].as_ref().is_none_or(|m| m.is_leaf());
+        if is_leaf {
+            debug_assert!(false, "deleted point {p:?} is not stored in the tree");
+            return;
+        }
+        let mut ctx = self.read_ctx();
+        let mut dirty: Vec<MbId> = Vec::new();
+        let idx = {
+            let meta = self.ctx_meta(&mut ctx, from);
+            meta.children.partition_point(|c| c.slab_hi <= p.xkey())
+        };
+        let child = self.metas[from].as_ref().expect("live metablock").children[idx].mb;
+        let triggers = self.route_tombstone(&mut ctx, &mut dirty, vec![from], child, p);
+        self.run_del_triggers(&mut dirty, triggers);
+        self.flush_dirty(&dirty);
+    }
+
+    /// Occupancy-triggered shrink, exactly as on the diagonal tree: a full
+    /// merge-based rebuild over the live points once deletes exceed
+    /// [`crate::Tuning::shrink_deletes_pct`] of the last build's size.
+    fn maybe_shrink(&mut self) {
+        let pct = self.tuning.shrink_deletes_pct;
+        if pct == 0 || self.deletes_since_shrink == 0 {
+            return;
+        }
+        let floor = self.cap().max(self.shrink_base * pct / 100);
+        if self.deletes_since_shrink < floor {
+            return;
+        }
+        let Some(root) = self.root else {
+            self.note_full_rebuild();
+            return;
+        };
+        let pts = self.collect_subtree_sorted(root);
+        self.free_subtree(root);
+        debug_assert_eq!(self.tombs_pending, 0, "shrink cancelled every tombstone");
+        debug_assert_eq!(pts.len(), self.len, "live points disagree with len");
+        self.root = if pts.is_empty() {
+            None
+        } else {
+            let (root, _, _) =
+                self.build_slab(pts, crate::diag::FULL_RANGE.0, crate::diag::FULL_RANGE.1);
+            Some(root)
+        };
+        self.note_full_rebuild();
+    }
+
+    /// Reset the shrink accounting after any full-tree rebuild.
+    pub(crate) fn note_full_rebuild(&mut self) {
+        self.shrink_base = self.len;
+        self.deletes_since_shrink = 0;
+    }
+}

@@ -14,14 +14,7 @@ use ccix_pst::ExternalPst;
 
 use super::{ThreeSidedTree, TsMeta, TsTd};
 use crate::bbox::BBox;
-use crate::diag::{ChildEntry, MbId, PackedInfo, FULL_RANGE};
-
-/// Record `mb` as dirty (dedup'd) for the end-of-operation writeback.
-fn mark_dirty(dirty: &mut Vec<MbId>, mb: MbId) {
-    if !dirty.contains(&mb) {
-        dirty.push(mb);
-    }
-}
+use crate::diag::{mark_dirty, ChildEntry, MbId, PackedInfo, FULL_RANGE};
 
 impl ThreeSidedTree {
     /// Insert a point. Amortised
@@ -51,13 +44,19 @@ impl ThreeSidedTree {
         }
 
         // Phase 1 — descend, pinning each control block on the way down.
+        // An interior metablock whose mains a delete flood emptied is a
+        // pure router — see the diagonal tree's routing for the argument.
         let mut cur = start;
         loop {
             let meta = self.pin_meta(&mut pinned, cur);
-            let lands = meta.is_leaf() || meta.y_lo_main.is_none_or(|ylo| p.ykey() >= ylo);
+            let lands = meta.is_leaf() || meta.y_lo_main.is_some_and(|ylo| p.ykey() >= ylo);
             if lands {
                 break;
             }
+            debug_assert!(
+                meta.y_lo_main.is_some() || meta.n_upd == 0,
+                "emptied interior metablock holds buffered points"
+            );
             let idx = meta.children.partition_point(|c| c.slab_hi <= p.xkey());
             debug_assert!(
                 idx < meta.children.len() && meta.children[idx].slab_contains(p.xkey()),
@@ -171,7 +170,7 @@ impl ThreeSidedTree {
                 .as_mut()
                 .expect("TD present");
             td.n_staged += 1;
-            td_total = td.total();
+            td_total = td.total() + td.del_total();
             staged_full = td.n_staged >= self.td_cap_pages() * b;
             mark_dirty(&mut dirty, par);
         }
@@ -195,7 +194,12 @@ impl ThreeSidedTree {
         }
     }
 
-    fn td_rebuild(&mut self, parent: MbId) {
+    /// Fold both TD staging areas into their PSTs, annihilating
+    /// insert/delete pairs first (see the diagonal tree's `td_rebuild`):
+    /// only tombstones whose insert predates the TD survive into the
+    /// delete-side PST. Insert-only trees take the identical path — both
+    /// delete sides are empty and cost nothing.
+    pub(crate) fn td_rebuild(&mut self, parent: MbId) {
         let mut m = self.take_meta(parent);
         let td = m.td.as_mut().expect("TD present");
         let mut pts = match &td.pst {
@@ -208,18 +212,51 @@ impl ThreeSidedTree {
         self.store.free_run(&td.staged);
         td.staged.clear();
         td.n_staged = 0;
-        td.n_built = pts.len();
-        let run = SortedRun::from_unsorted(pts);
-        match td.pst.as_mut() {
-            // Rebuild in place, reusing page slots and the layout of any
-            // node whose population the staged delta did not move.
-            Some(pst) => pst.rebuild_from_sorted(self.geo, run),
-            None => {
-                td.pst = Some(ExternalPst::build_from_sorted(
-                    self.geo,
-                    self.counter.clone(),
-                    run,
-                ))
+
+        let mut del_pts = match &td.del_pst {
+            Some(pst) => pst.collect_points(),
+            None => Vec::new(),
+        };
+        for &pg in &td.del_staged {
+            del_pts.extend_from_slice(self.store.read(pg));
+        }
+        self.store.free_run(&td.del_staged);
+        td.del_staged.clear();
+        td.n_del_staged = 0;
+        let tombs = SortedRun::from_unsorted(del_pts);
+
+        let (run, unmatched) = SortedRun::from_unsorted(pts).cancel(&tombs);
+        td.n_built = run.len();
+        if run.is_empty() {
+            td.pst = None; // pages freed on drop
+        } else {
+            match td.pst.as_mut() {
+                // Rebuild in place, reusing page slots and the layout of
+                // any node whose population the staged delta did not move.
+                Some(pst) => pst.rebuild_from_sorted(self.geo, run),
+                None => {
+                    td.pst = Some(ExternalPst::build_from_sorted(
+                        self.geo,
+                        self.counter.clone(),
+                        run,
+                    ))
+                }
+            }
+        }
+        let survivors = SortedRun::from_sorted(unmatched);
+        td.n_del_built = survivors.len();
+        if survivors.is_empty() {
+            td.del_pst = None;
+        } else {
+            match td.del_pst.as_mut() {
+                Some(pst) => pst.rebuild_from_sorted(self.geo, survivors),
+                None => {
+                    td.del_pst = Some(ExternalPst::build_from_sorted(
+                        self.geo,
+                        self.counter.clone(),
+                        survivors,
+                    ))
+                }
             }
         }
         self.put_meta(parent, m);
@@ -237,26 +274,37 @@ impl ThreeSidedTree {
                 let cm = self.meta(c);
                 let mains_y = self.read_run(&cm.horizontal);
                 let delta = self.read_run(&cm.update);
-                ccix_extmem::merge_delta_y_desc(mains_y, delta)
+                let tombs = self.read_run(&cm.tomb);
+                ccix_extmem::merge_delta_y_desc_cancel(mains_y, delta, &tombs)
             })
             .collect();
         let mut m = self.take_meta(parent);
         if let Some(td) = m.td.as_mut() {
             self.store.free_run(&td.staged);
-            *td = TsTd::default(); // old TD PST pages freed on drop
+            self.store.free_run(&td.del_staged);
+            *td = TsTd::default(); // old TD PST pages (both sides) freed on drop
         }
         self.put_meta(parent, m);
         self.install_sibling_snapshots(parent, snapshots, None);
     }
 
     /// Level-I: sortedness-preserving like the diagonal tree's — the
-    /// x-sorted vertical run absorbs the sorted delta by a galloping merge;
-    /// only the y-order is re-sorted.
-    fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
+    /// x-sorted vertical run absorbs the sorted delta by a galloping merge,
+    /// pending tombstones annihilate their victims in one more galloping
+    /// pass, and only the y-order is re-sorted. The per-metablock PST is
+    /// rebuilt over the cancelled set via
+    /// [`ExternalPst::rebuild_from_sorted`], which reuses the layout of
+    /// nodes the deletes did not touch.
+    pub(crate) fn level_i(&mut self, mb: MbId, parent: Option<MbId>) -> usize {
         let mut m = self.take_meta(mb);
         let mains_x = SortedRun::from_sorted(self.read_run(&m.vertical));
         let delta = SortedRun::from_unsorted(self.read_run(&m.update));
-        let by_x = mains_x.merge(delta);
+        let tombs = SortedRun::from_unsorted(self.read_run(&m.tomb));
+        self.store.free_run(&m.tomb);
+        m.tomb.clear();
+        self.tombs_pending -= m.n_tomb;
+        m.n_tomb = 0;
+        let (by_x, unmatched) = mains_x.merge(delta).cancel(&tombs);
         let mut by_y = by_x.to_vec();
         ccix_extmem::sort_by_y_desc(&mut by_y);
         self.rebuild_orgs(&mut m, &by_x, &by_y);
@@ -269,9 +317,13 @@ impl ThreeSidedTree {
                 e.main_bbox = new_bbox;
                 e.upd_ymax = None;
                 e.packed.upd_pages.clear();
+                e.packed.tomb_pages.clear();
             }
             self.put_meta(parent, pm);
             self.sync_packed_entry(parent, mb);
+        }
+        for t in unmatched {
+            self.reroute_tombstone(mb, t);
         }
         n_main
     }
@@ -324,6 +376,7 @@ impl ThreeSidedTree {
     fn push_down(&mut self, mb: MbId, path: &[MbId]) {
         let mut m = self.take_meta(mb);
         debug_assert_eq!(m.n_upd, 0, "level-II runs after level-I");
+        debug_assert_eq!(m.n_tomb, 0, "level-I cancelled all tombstones");
         let mut pts = self.read_run(&m.horizontal);
         debug_assert!(pts.windows(2).all(|w| w[0].ykey() > w[1].ykey()));
         let bottom = pts.split_off(self.cap());
@@ -366,12 +419,14 @@ impl ThreeSidedTree {
     fn split_leaf(&mut self, mb: MbId, path: &[MbId]) {
         let meta = self.meta(mb);
         debug_assert_eq!(meta.n_upd, 0, "level-II runs after level-I");
+        debug_assert_eq!(meta.n_tomb, 0, "level-I cancelled all tombstones");
         let pts = SortedRun::from_sorted(self.read_run(&meta.vertical));
 
         let Some(&parent) = path.last() else {
             self.free_metablock(mb);
             let (root, _, _) = self.build_slab(pts, FULL_RANGE.0, FULL_RANGE.1);
             self.root = Some(root);
+            self.note_full_rebuild();
             return;
         };
 
@@ -433,6 +488,7 @@ impl ThreeSidedTree {
         let Some(&parent) = ancestors.last() else {
             let (root, _, _) = self.build_slab(pts, FULL_RANGE.0, FULL_RANGE.1);
             self.root = Some(root);
+            self.note_full_rebuild();
             return;
         };
 
@@ -490,26 +546,46 @@ impl ThreeSidedTree {
         }
     }
 
-    fn collect_subtree_sorted(&self, mb: MbId) -> SortedRun {
+    /// Every live point of the subtree as one x-sorted run; pending
+    /// tombstones are collected alongside and annihilated in the final
+    /// merge (the landing invariant keeps victim and tombstone in the same
+    /// subtree, so cancellation is exact).
+    pub(crate) fn collect_subtree_sorted(&self, mb: MbId) -> SortedRun {
         let mut runs = Vec::new();
-        self.collect_subtree_runs(mb, &mut runs);
-        SortedRun::merge_many(runs)
+        let mut tomb_runs = Vec::new();
+        self.collect_subtree_runs(mb, &mut runs, &mut tomb_runs);
+        let tombs = SortedRun::merge_many(tomb_runs);
+        let (pts, unmatched) = SortedRun::merge_many(runs).cancel(&tombs);
+        debug_assert!(
+            unmatched.is_empty(),
+            "tombstone without a victim in its subtree"
+        );
+        pts
     }
 
-    fn collect_subtree_runs(&self, mb: MbId, runs: &mut Vec<SortedRun>) {
+    fn collect_subtree_runs(
+        &self,
+        mb: MbId,
+        runs: &mut Vec<SortedRun>,
+        tomb_runs: &mut Vec<SortedRun>,
+    ) {
         let meta = self.meta(mb);
         runs.push(SortedRun::from_sorted(self.read_run(&meta.vertical)));
         let delta = self.read_run(&meta.update);
         if !delta.is_empty() {
             runs.push(SortedRun::from_unsorted(delta));
         }
+        let tombs = self.read_run(&meta.tomb);
+        if !tombs.is_empty() {
+            tomb_runs.push(SortedRun::from_unsorted(tombs));
+        }
         let children: Vec<MbId> = meta.children.iter().map(|c| c.mb).collect();
         for c in children {
-            self.collect_subtree_runs(c, runs);
+            self.collect_subtree_runs(c, runs, tomb_runs);
         }
     }
 
-    fn free_subtree(&mut self, mb: MbId) {
+    pub(crate) fn free_subtree(&mut self, mb: MbId) {
         let meta = self.free_metablock(mb);
         for c in meta.children {
             self.free_subtree(c.mb);

@@ -26,6 +26,7 @@
 //! unchanged (Lemma 4.4).
 
 mod build;
+mod delete;
 mod insert;
 mod query;
 mod validate;
@@ -42,17 +43,34 @@ use crate::diag::{ChildEntry, MbId, ReadCtx, TsInfo, SPACE_AUX, SPACE_META, SPAC
 /// inserted into its children since the last TS reorganisation, queryable as
 /// a PST plus a staging area of at most
 /// [`ThreeSidedTree::td_cap_pages`] pages.
+///
+/// Deletions add the mirror-image **delete side** (see the diagonal tree's
+/// [`crate::diag`] TD): tombstones routed into the children since the last
+/// TS reorganisation, queryable as a PST so snapshot-answered routes (TSL/
+/// TSR crossing case, children-PST fork) can subtract deletes younger than
+/// the copies they report from.
 #[derive(Debug, Default)]
 pub(crate) struct TsTd {
     pub pst: Option<ExternalPst>,
     pub n_built: usize,
     pub staged: Vec<PageId>,
     pub n_staged: usize,
+    /// PST over the settled tombstones.
+    pub del_pst: Option<ExternalPst>,
+    pub n_del_built: usize,
+    /// Tombstone staging pages.
+    pub del_staged: Vec<PageId>,
+    pub n_del_staged: usize,
 }
 
 impl TsTd {
     pub fn total(&self) -> usize {
         self.n_built + self.n_staged
+    }
+
+    /// Pending tombstones tracked on the delete side.
+    pub fn del_total(&self) -> usize {
+        self.n_del_built + self.n_del_staged
     }
 }
 
@@ -77,6 +95,12 @@ pub(crate) struct TsMeta {
     /// [`ThreeSidedTree::upd_cap_pages`] pages of `B`.
     pub update: Vec<PageId>,
     pub n_upd: usize,
+    /// Tombstone buffer: buffered deletes, at most
+    /// [`ThreeSidedTree::tomb_cap_pages`] pages of `B`; the landing
+    /// invariant keeps each tombstone next to its victim (see the diagonal
+    /// tree's tombstone buffer).
+    pub tomb: Vec<PageId>,
+    pub n_tomb: usize,
     /// Snapshot of the top `B²` points of the left siblings.
     pub tsl: Option<TsInfo>,
     /// Snapshot of the top `B²` points of the right siblings.
@@ -94,16 +118,19 @@ impl TsMeta {
     }
 }
 
-/// The semi-dynamic 3-sided metablock tree (§4).
+/// The dynamic 3-sided metablock tree (§4).
 ///
-/// Points may lie anywhere in the plane; ids must be unique. Costs on the
-/// shared counter:
+/// Points may lie anywhere in the plane; ids must be unique across the
+/// tree's lifetime (a deleted id may not be reused). Costs on the shared
+/// counter:
 ///
 /// * [`ThreeSidedTree::query_into`] — `O(log_B n + t/B + log2 B)` I/Os
 ///   (Lemma 4.3);
 /// * [`ThreeSidedTree::insert`] — `O(log_B n + (log2B n)/B)` amortised I/Os
 ///   (Lemma 4.4);
-/// * space `O(n/B)` pages.
+/// * [`ThreeSidedTree::delete`] — the same amortised budget (tombstones
+///   ride the insert machinery; §5's open problem, closed here);
+/// * space `O(live/B)` pages.
 #[derive(Debug)]
 pub struct ThreeSidedTree {
     pub(crate) geo: Geometry,
@@ -113,6 +140,12 @@ pub struct ThreeSidedTree {
     pub(crate) dead_metas: usize,
     pub(crate) root: Option<MbId>,
     pub(crate) len: usize,
+    /// Tombstones currently buffered somewhere in the tree.
+    pub(crate) tombs_pending: usize,
+    /// Deletes absorbed since the last full (re)build (shrink trigger).
+    pub(crate) deletes_since_shrink: usize,
+    /// Tree size at the last full (re)build.
+    pub(crate) shrink_base: usize,
     pub(crate) tuning: crate::Tuning,
 }
 
@@ -133,6 +166,9 @@ impl ThreeSidedTree {
             dead_metas: 0,
             root: None,
             len: 0,
+            tombs_pending: 0,
+            deletes_since_shrink: 0,
+            shrink_base: 0,
             tuning,
         }
     }
@@ -150,9 +186,16 @@ impl ThreeSidedTree {
             .clamp(1, (self.geo.b / 2).max(1))
     }
 
-    /// TD staging budget in pages (≥ 1).
+    /// TD staging budget in pages (≥ 1), shared by both TD sides.
     pub(crate) fn td_cap_pages(&self) -> usize {
         self.tuning.td_batch_pages.clamp(1, (self.geo.b / 2).max(1))
+    }
+
+    /// Tombstone-buffer budget in pages (≥ 1).
+    pub(crate) fn tomb_cap_pages(&self) -> usize {
+        self.tuning
+            .tomb_batch_pages
+            .clamp(1, (self.geo.b / 2).max(1))
     }
 
     /// TSL/TSR snapshot budget in points (≥ B).
@@ -169,7 +212,7 @@ impl ThreeSidedTree {
         self.tuning.pack_h_pages
     }
 
-    /// Number of points stored.
+    /// Number of points stored (inserts minus deletes).
     pub fn len(&self) -> usize {
         self.len
     }
@@ -177,6 +220,12 @@ impl ThreeSidedTree {
     /// True when no points are stored.
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Logically deleted points whose tombstones are still pending
+    /// cancellation (see [`crate::MetablockTree::pending_deletes`]).
+    pub fn pending_deletes(&self) -> usize {
+        self.tombs_pending
     }
 
     /// Block geometry.
@@ -201,6 +250,7 @@ impl ThreeSidedTree {
                 .map_or(0, ExternalPst::space_pages);
             if let Some(td) = &meta.td {
                 pages += td.pst.as_ref().map_or(0, ExternalPst::space_pages);
+                pages += td.del_pst.as_ref().map_or(0, ExternalPst::space_pages);
             }
         }
         pages
@@ -254,9 +304,9 @@ impl ThreeSidedTree {
     }
 
     /// Pin key-space of metablock `mb`'s own PST (`j = 0`), children PST
-    /// (`j = 1`) or TD PST (`j = 2`).
+    /// (`j = 1`), TD PST (`j = 2`) or TD delete-side PST (`j = 3`).
     pub(crate) fn pst_space(mb: MbId, j: u32) -> u32 {
-        SPACE_AUX + 3 * (mb as u32) + j
+        SPACE_AUX + 4 * (mb as u32) + j
     }
 
     /// Pinned read for one multi-step operation; see the diagonal tree's
@@ -288,6 +338,8 @@ impl ThreeSidedTree {
         self.store.free_run(&meta.vertical);
         self.store.free_run(&meta.horizontal);
         self.store.free_run(&meta.update);
+        self.store.free_run(&meta.tomb);
+        self.tombs_pending -= meta.n_tomb;
         if let Some(ts) = &meta.tsl {
             self.store.free_run(&ts.pages);
         }
@@ -296,6 +348,7 @@ impl ThreeSidedTree {
         }
         if let Some(td) = &meta.td {
             self.store.free_run(&td.staged);
+            self.store.free_run(&td.del_staged);
         }
         // PSTs own their pages; dropping the meta releases them.
         meta
@@ -324,13 +377,14 @@ impl ThreeSidedTree {
         if h == 0 {
             return;
         }
-        let (h_pages, h_tops, h_more, upd) = {
+        let (h_pages, h_tops, h_more, upd, tomb) = {
             let cm = self.metas[child].as_ref().expect("live child");
             (
                 cm.horizontal.iter().take(h).copied().collect::<Vec<_>>(),
                 cm.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
                 cm.horizontal.len() > h,
                 cm.update.clone(),
+                cm.tomb.clone(),
             )
         };
         let pm = self.metas[parent].as_mut().expect("live parent");
@@ -343,6 +397,7 @@ impl ThreeSidedTree {
         e.packed.h_tops = h_tops;
         e.packed.h_more = h_more;
         e.packed.upd_pages = upd;
+        e.packed.tomb_pages = tomb;
     }
 
     /// Refresh every child mirror of `parent` (child list changed).

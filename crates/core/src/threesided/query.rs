@@ -36,6 +36,10 @@ use crate::diag::{ChildEntry, MbId, ReadCtx};
 enum ChildClass {
     Full,
     Partial,
+    /// Empty mains (a delete flood cancelled them all) over a possibly
+    /// live subtree: takes a full recursive search (see the diagonal
+    /// tree's `ChildClass::Recurse`).
+    Recurse,
     Dead,
 }
 
@@ -44,12 +48,15 @@ fn classify(c: &ChildEntry, y0: i64) -> ChildClass {
     let mains_full = c.main_bbox.is_some_and(|b| b.ylo >= qk);
     let mains_some = c.main_bbox.is_some_and(|b| b.yhi >= qk);
     let upd_some = c.upd_ymax.is_some_and(|y| y >= qk);
+    let sub_some = c.sub_yhi.is_some_and(|y| y >= qk);
     debug_assert!(
-        c.sub_yhi.is_none_or(|y| y < qk) || mains_full,
+        !sub_some || mains_full || c.main_bbox.is_none(),
         "routing invariant violated"
     );
     if mains_full && c.main_bbox.is_some() {
         ChildClass::Full
+    } else if c.main_bbox.is_none() && sub_some {
+        ChildClass::Recurse
     } else if mains_some || upd_some {
         ChildClass::Partial
     } else {
@@ -85,7 +92,9 @@ impl ThreeSidedTree {
     /// `O(log_B n + t/B + log2 B)` I/Os.
     pub fn query_into(&self, x1: i64, x2: i64, y0: i64, out: &mut Vec<Point>) {
         let mut ctx = self.read_ctx();
+        let start = out.len();
         self.query_ctx(&mut ctx, x1, x2, y0, out);
+        crate::diag::filter_deleted(&ctx, start, out);
     }
 
     /// Answer a batch of 3-sided queries as one pinned operation: queries
@@ -102,6 +111,9 @@ impl ThreeSidedTree {
             let (x1, x2, y0) = queries[i];
             self.query_ctx(&mut ctx, x1, x2, y0, &mut outs[i]);
         }
+        // Tombstone ids are globally deleted: filter every answer of the
+        // batch against the ids the whole operation discovered.
+        crate::diag::filter_deleted_batch(&ctx, &mut outs);
         outs
     }
 
@@ -134,7 +146,13 @@ impl ThreeSidedTree {
     ) {
         let meta = self.ctx_meta(ctx, mb);
         self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
+        self.scan_tomb_pages(ctx, &meta.tomb, x1, x2, y0);
         let (Some(bbox), Some(ylo)) = (meta.main_bbox, meta.y_lo_main) else {
+            // Empty mains (fresh root or delete-flood degenerate): nothing
+            // of its own to report, but live descendants stay reachable.
+            if !meta.is_leaf() {
+                self.process_children(ctx, mb, meta, x1, x2, y0, out);
+            }
             return;
         };
         let qk: Key = (y0, 0);
@@ -221,6 +239,9 @@ impl ThreeSidedTree {
             match classify(c, y0) {
                 ChildClass::Full => full.push(m_start + i),
                 ChildClass::Partial => partial.push(m_start + i),
+                // Delete-flood degenerate: full recursive search, outside
+                // the snapshot protocol (no snapshot covers its depths).
+                ChildClass::Recurse => self.process(ctx, c.mb, x1, x2, y0, out),
                 ChildClass::Dead => {}
             }
         }
@@ -374,6 +395,15 @@ impl ThreeSidedTree {
                 }
             }
         }
+        // The TD's delete side: ids deleted since the last TS
+        // reorganisation, subtracted globally from the answer (a
+        // snapshot-answered route may have reported their stale copies).
+        if let Some(del) = &td.del_pst {
+            let mut tmp = Vec::new();
+            del.query_pinned(&mut ctx.pin, Self::pst_space(mb, 3), x1, x2, y0, &mut tmp);
+            ctx.del.extend(tmp.into_iter().map(|t| t.id));
+        }
+        self.scan_tomb_pages(ctx, &td.del_staged, x1, x2, y0);
     }
 
     /// Report a fully-covered, fully-above subtree (Type III).
@@ -388,6 +418,7 @@ impl ThreeSidedTree {
     ) {
         let meta = self.ctx_meta(ctx, mb);
         self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
+        self.scan_tomb_pages(ctx, &meta.tomb, x1, x2, y0);
         for &pg in &meta.horizontal {
             for p in self.ctx_read(ctx, pg) {
                 debug_assert!(p.y >= y0 && p.x >= x1 && p.x <= x2);
@@ -398,6 +429,7 @@ impl ThreeSidedTree {
             match classify(&meta.children[i], y0) {
                 ChildClass::Full => self.report_all(ctx, meta.children[i].mb, x1, x2, y0, out),
                 ChildClass::Partial => self.examine_child(ctx, meta, i, x1, x2, y0, out),
+                ChildClass::Recurse => self.process(ctx, meta.children[i].mb, x1, x2, y0, out),
                 ChildClass::Dead => {}
             }
         }
@@ -424,6 +456,7 @@ impl ThreeSidedTree {
         if self.pack_h() == 0 {
             let meta = self.ctx_meta(ctx, entry.mb);
             self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
+            self.scan_tomb_pages(ctx, &meta.tomb, x1, x2, y0);
             if meta.main_bbox.is_some_and(|b| b.yhi >= (y0, 0)) {
                 self.horizontal_scan_down(ctx, meta, x1, x2, y0, out);
             }
@@ -431,6 +464,7 @@ impl ThreeSidedTree {
             return;
         }
         let qk: Key = (y0, 0);
+        self.scan_tomb_pages(ctx, &entry.packed.tomb_pages, x1, x2, y0);
         if entry.upd_ymax.is_some_and(|y| y >= qk) {
             self.scan_update_pages(ctx, &entry.packed.upd_pages, x1, x2, y0, out);
         }
@@ -524,6 +558,28 @@ impl ThreeSidedTree {
                     out.push(*p);
                 }
             }
+        }
+    }
+
+    /// Scan a run of tombstone pages, recording ids of pending deletes the
+    /// query predicate selects (see the diagonal tree's `scan_tomb_pages`).
+    /// No page — and no I/O — on insert-only workloads.
+    fn scan_tomb_pages(
+        &self,
+        ctx: &mut ReadCtx,
+        pages: &[ccix_extmem::PageId],
+        x1: i64,
+        x2: i64,
+        y0: i64,
+    ) {
+        for &pg in pages {
+            let dead: Vec<u64> = self
+                .ctx_read(ctx, pg)
+                .iter()
+                .filter(|t| t.x >= x1 && t.x <= x2 && t.y >= y0)
+                .map(|t| t.id)
+                .collect();
+            ctx.del.extend(dead);
         }
     }
 

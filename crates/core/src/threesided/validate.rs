@@ -21,6 +21,9 @@ pub struct ThreeSidedStats {
     pub pages: usize,
     /// Points stored.
     pub points: usize,
+    /// Tombstones held in tombstone buffers awaiting cancellation (each
+    /// shadows one stored, logically deleted point counted in `points`).
+    pub pending_tombs: usize,
     /// Pages in per-metablock and children PSTs.
     pub pst_pages: usize,
 }
@@ -43,6 +46,7 @@ impl ThreeSidedTree {
         s.metablocks += 1;
         s.height = s.height.max(depth);
         s.points += meta.n_main + meta.n_upd;
+        s.pending_tombs += meta.n_tomb;
         s.pst_pages += meta.pst.as_ref().map_or(0, |p| p.space_pages());
         s.pst_pages += meta.children_pst.as_ref().map_or(0, |p| p.space_pages());
         if meta.is_leaf() {
@@ -60,7 +64,18 @@ impl ThreeSidedTree {
         if let Some(root) = self.root {
             self.validate_rec(root, (i64::MIN, 0), (i64::MAX, u64::MAX), None, &mut all);
         }
-        assert_eq!(all.len(), self.len, "stored point count mismatch");
+        // Physical contents = logical contents plus one shadowed copy per
+        // pending tombstone (annihilated at the next reorganisation).
+        assert_eq!(
+            all.len(),
+            self.len + self.tombs_pending,
+            "stored point count mismatch"
+        );
+        assert_eq!(
+            self.stats().pending_tombs,
+            self.tombs_pending,
+            "stale pending-tombstone counter"
+        );
         let mut ids: BTreeSet<u64> = BTreeSet::new();
         for p in &all {
             assert!(ids.insert(p.id), "duplicate id {}", p.id);
@@ -148,11 +163,42 @@ impl ThreeSidedTree {
                 assert!(p.ykey() < bound, "routing invariant violated: {p:?}");
             }
         }
+
+        // Tombstone buffer: within budget, unique ids, and the landing
+        // invariant — each tombstone's victim is an exact copy stored in
+        // this same metablock's mains or update buffer.
+        let tombs = self.pages_unbilled(&meta.tomb);
+        assert_eq!(tombs.len(), meta.n_tomb, "tombstone count mismatch");
+        assert!(
+            tombs.len() <= self.tomb_cap_pages() * self.geo.b,
+            "tombstone buffer overfull: {} tombstones",
+            tombs.len()
+        );
+        {
+            let mut seen: BTreeSet<u64> = BTreeSet::new();
+            for t in &tombs {
+                assert!(seen.insert(t.id), "duplicate tombstone id {}", t.id);
+                assert!(
+                    mains.iter().chain(&update).any(|p| p == t),
+                    "tombstone {t:?} has no victim in its metablock"
+                );
+            }
+        }
+
         all.extend_from_slice(&mains);
         all.extend_from_slice(&update);
 
         if !meta.children.is_empty() {
             assert!(meta.td.is_some(), "interior metablock without TD");
+            // An emptied interior metablock is a pure router: the insert
+            // and delete routings pass it by, so its buffers stay empty.
+            if meta.main_bbox.is_none() {
+                assert_eq!(meta.n_upd, 0, "emptied interior metablock buffers inserts");
+                assert_eq!(
+                    meta.n_tomb, 0,
+                    "emptied interior metablock buffers tombstones"
+                );
+            }
             assert_eq!(meta.children[0].slab_lo, slab_lo, "first slab misaligned");
             assert_eq!(
                 meta.children.last().unwrap().slab_hi,
@@ -208,6 +254,7 @@ impl ThreeSidedTree {
             for c in &meta.children {
                 assert!(c.packed.h_pages.is_empty(), "mirror while packing off");
                 assert!(c.packed.upd_pages.is_empty(), "mirror while packing off");
+                assert!(c.packed.tomb_pages.is_empty(), "mirror while packing off");
                 assert!(c.packed.ts_pages.is_empty(), "mirror while packing off");
                 assert!(c.packed.tsr_pages.is_empty(), "mirror while packing off");
             }
@@ -239,6 +286,10 @@ impl ThreeSidedTree {
                 c.packed.upd_pages, child_meta.update,
                 "stale packed update-page mirror"
             );
+            assert_eq!(
+                c.packed.tomb_pages, child_meta.tomb,
+                "stale packed tombstone-page mirror"
+            );
             match &child_meta.tsl {
                 Some(ts) => {
                     assert_eq!(c.packed.ts_pages, ts.pages, "stale packed TSL mirror");
@@ -268,6 +319,7 @@ impl ThreeSidedTree {
     /// the parent's TD structure.
     fn validate_sibling_coverage(&self, parent: &TsMeta) {
         let mut td_ids: BTreeSet<u64> = BTreeSet::new();
+        let mut td_del_ids: BTreeSet<u64> = BTreeSet::new();
         if let Some(td) = &parent.td {
             if let Some(pst) = &td.pst {
                 for p in pst.collect_points_unbilled() {
@@ -279,14 +331,48 @@ impl ThreeSidedTree {
                     td_ids.insert(p.id);
                 }
             }
+            let mut n_del = 0usize;
+            if let Some(pst) = &td.del_pst {
+                for t in pst.collect_points_unbilled() {
+                    n_del += 1;
+                    td_del_ids.insert(t.id);
+                }
+            }
+            assert_eq!(n_del, td.n_del_built, "TD delete-side built-count stale");
+            let mut n_staged = 0usize;
+            for &pg in &td.del_staged {
+                for t in self.store.read_unbilled(pg) {
+                    n_staged += 1;
+                    td_del_ids.insert(t.id);
+                }
+            }
+            assert_eq!(
+                n_staged, td.n_del_staged,
+                "TD delete-side staged-count stale"
+            );
         }
+        // Live child points only: a pending tombstone exempts its victim
+        // from every coverage argument (queries subtract it by id), and a
+        // TD delete-side id must never shadow a live point.
         let stored: Vec<Vec<Point>> = parent
             .children
             .iter()
             .map(|c| {
                 let cm = self.meta_unbilled(c.mb);
+                let child_tombs: BTreeSet<u64> =
+                    self.pages_unbilled(&cm.tomb).iter().map(|t| t.id).collect();
                 let mut pts = self.pages_unbilled(&cm.horizontal);
                 pts.extend(self.pages_unbilled(&cm.update));
+                pts.retain(|p| {
+                    if child_tombs.contains(&p.id) {
+                        return false;
+                    }
+                    assert!(
+                        !td_del_ids.contains(&p.id),
+                        "TD delete side shadows live point {p:?}"
+                    );
+                    true
+                });
                 pts
             })
             .collect();

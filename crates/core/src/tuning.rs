@@ -28,8 +28,27 @@ pub struct Tuning {
     /// costs up to this many extra I/Os while its buffer is non-empty.
     pub update_batch_pages: usize,
     /// Staged pages per TD tracking structure before it is folded into the
-    /// TD corner structure / PST. The paper uses 1.
+    /// TD corner structure / PST. The paper uses 1. The delete-side staging
+    /// area of the TD (pending tombstones below a parent, see
+    /// `tomb_batch_pages`) folds on the same trigger.
     pub td_batch_pages: usize,
+    /// Pages of buffered **tombstones** per metablock before a level-I
+    /// reorganisation cancels them against the mains (§5 leaves deletion
+    /// open; this reproduction closes it with tombstones that ride the
+    /// insert machinery as negative updates). Queries scan the pending
+    /// tombstone pages wherever they scan the update block, so deletions
+    /// are visible immediately; each examined metablock costs up to this
+    /// many extra I/Os while tombstones are pending. The paper has no
+    /// deletes; `Tuning::paper()` uses the 1-block analogue of its update
+    /// block.
+    pub tomb_batch_pages: usize,
+    /// Occupancy-triggered shrink: when the deletes absorbed since the last
+    /// full (re)build exceed this percentage of the tree's size at that
+    /// build (and at least `B²`), the whole tree is rebuilt from its live
+    /// points — the classic global-rebuilding argument, amortising the
+    /// `O(n/B)` merge-based rebuild over `Θ(n)` deletes so space stays
+    /// `O(live/B)` under delete-heavy floods. `0` disables the shrink.
+    pub shrink_deletes_pct: usize,
     /// Page budget of a TS sibling snapshot: `None` keeps the paper's `B`
     /// pages (`B²` points); `Some(k)` stores only the top `k·B` points and
     /// marks the snapshot truncated. Snapshots stay sound — a truncated,
@@ -83,6 +102,8 @@ impl Default for Tuning {
         Self {
             update_batch_pages: 4,
             td_batch_pages: 2,
+            tomb_batch_pages: 2,
+            shrink_deletes_pct: 50,
             ts_snapshot_pages: Some(8),
             corner_alpha: 2,
             pack_h_pages: 4,
@@ -100,6 +121,8 @@ impl Tuning {
         Self {
             update_batch_pages: 1,
             td_batch_pages: 1,
+            tomb_batch_pages: 1,
+            shrink_deletes_pct: 50,
             ts_snapshot_pages: None,
             corner_alpha: 2,
             pack_h_pages: 0,

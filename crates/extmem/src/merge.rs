@@ -15,6 +15,12 @@
 //! so a merge produces exactly the sequence a full sort would: the two
 //! pipelines are interchangeable bit-for-bit, which is what lets the
 //! differential suites compare them directly.
+//!
+//! Deletions ride the same machinery as **negative merges**: a tombstone is
+//! an exact copy of the point it deletes, so [`SortedRun::cancel`] (and the
+//! y-descending [`merge_delta_y_desc_cancel`]) annihilate insert/delete
+//! pairs at the first reorganisation that sees both, in the same galloping
+//! pass that would have merged them.
 
 use crate::point::{sort_by_x, sort_by_y_desc, Point};
 
@@ -140,6 +146,43 @@ impl SortedRun {
     pub fn partition_point(&self, key: (i64, u64)) -> usize {
         gallop_x(&self.0, key)
     }
+
+    /// Cancel tombstones against the run: every point whose `(x, id)` key
+    /// matches a tombstone in `tombs` is annihilated, and the tombstones
+    /// that found no match are returned (still in `(x, id)` order) so the
+    /// caller can keep them pending or assert there are none. Galloping
+    /// over the stretches between tombstones makes a sparse cancellation
+    /// (the common case: a handful of deletes against a `B²`-point
+    /// metablock) cost `O(tombs · log n)` comparisons plus the copies.
+    ///
+    /// With unique ids a tombstone is an exact copy of the point it
+    /// deletes, so matching on the `(x, id)` key is matching on identity
+    /// (the `(y, id)` agreement is debug-checked).
+    pub fn cancel(self, tombs: &SortedRun) -> (SortedRun, Vec<Point>) {
+        if tombs.is_empty() {
+            return (self, Vec::new());
+        }
+        let a = self.0;
+        let mut out = Vec::with_capacity(a.len());
+        let mut unmatched = Vec::new();
+        let mut i = 0usize;
+        for t in tombs.as_slice() {
+            let k = i + gallop_x(&a[i..], t.xkey());
+            out.extend_from_slice(&a[i..k]);
+            i = k;
+            if i < a.len() && a[i].xkey() == t.xkey() {
+                debug_assert_eq!(
+                    a[i], *t,
+                    "tombstone coordinates disagree with the live copy"
+                );
+                i += 1; // annihilate the pair
+            } else {
+                unmatched.push(*t);
+            }
+        }
+        out.extend_from_slice(&a[i..]);
+        (SortedRun(out), unmatched)
+    }
 }
 
 impl std::ops::Deref for SortedRun {
@@ -262,6 +305,26 @@ pub fn merge_delta_y_desc(run: Vec<Point>, mut delta: Vec<Point>) -> Vec<Point> 
     merge_y_desc(run, delta)
 }
 
+/// [`merge_delta_y_desc`] with tombstone cancellation: points whose id
+/// appears among `tombs` are dropped from the merged result — the
+/// TS-reorganisation step when the merged child carries pending deletes,
+/// so a freshly rebuilt sibling snapshot never resurrects a deleted point.
+/// With no tombstones this is exactly `merge_delta_y_desc` (same code
+/// path, same result), so insert-only reorganisations are unaffected.
+pub fn merge_delta_y_desc_cancel(
+    run: Vec<Point>,
+    delta: Vec<Point>,
+    tombs: &[Point],
+) -> Vec<Point> {
+    if tombs.is_empty() {
+        return merge_delta_y_desc(run, delta);
+    }
+    let dead: std::collections::HashSet<u64> = tombs.iter().map(|t| t.id).collect();
+    let mut out = merge_delta_y_desc(run, delta);
+    out.retain(|p| !dead.contains(&p.id));
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -382,6 +445,55 @@ mod tests {
             .collect();
         let merged = merge_delta_y_desc(run.clone(), delta.clone());
         let mut want: Vec<Point> = run.into_iter().chain(delta).collect();
+        sort_by_y_desc(&mut want);
+        assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn cancel_annihilates_matches_and_returns_strays() {
+        let run = SortedRun::from_unsorted(pseudo_points(120, 0xC));
+        let all = run.to_vec();
+        // Tombstones: every third stored point, plus two strays that match
+        // nothing (fresh ids).
+        let mut tomb_pts: Vec<Point> = all.iter().step_by(3).copied().collect();
+        tomb_pts.push(Point::new(-5, -5, 900_001));
+        tomb_pts.push(Point::new(5000, 5000, 900_002));
+        let tombs = SortedRun::from_unsorted(tomb_pts.clone());
+        let (kept, unmatched) = run.cancel(&tombs);
+        let dead: Vec<u64> = all.iter().step_by(3).map(|p| p.id).collect();
+        let want: Vec<Point> = all
+            .iter()
+            .filter(|p| !dead.contains(&p.id))
+            .copied()
+            .collect();
+        assert_eq!(kept.to_vec(), want);
+        let mut stray_ids: Vec<u64> = unmatched.iter().map(|p| p.id).collect();
+        stray_ids.sort_unstable();
+        assert_eq!(stray_ids, vec![900_001, 900_002]);
+        // Empty tombstone set is the identity.
+        let run2 = SortedRun::from_unsorted(pseudo_points(9, 1));
+        let before = run2.to_vec();
+        let (same, none) = run2.cancel(&SortedRun::new());
+        assert_eq!(same.to_vec(), before);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn delta_merge_cancel_filters_by_id() {
+        let mut run = pseudo_points(60, 0xD);
+        sort_by_y_desc(&mut run);
+        let delta: Vec<Point> = pseudo_points(11, 0xE)
+            .into_iter()
+            .map(|p| Point::new(p.x, p.y, p.id + 2_000))
+            .collect();
+        let tombs: Vec<Point> = run.iter().step_by(5).copied().collect();
+        let merged = merge_delta_y_desc_cancel(run.clone(), delta.clone(), &tombs);
+        let dead: Vec<u64> = tombs.iter().map(|p| p.id).collect();
+        let mut want: Vec<Point> = run
+            .into_iter()
+            .chain(delta)
+            .filter(|p| !dead.contains(&p.id))
+            .collect();
         sort_by_y_desc(&mut want);
         assert_eq!(merged, want);
     }

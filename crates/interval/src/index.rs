@@ -83,8 +83,12 @@ impl IntervalOptions {
 
 /// External dynamic interval management (Proposition 2.2 + Theorem 3.7).
 ///
-/// Semi-dynamic: supports insertion; deletion is the paper's open problem
-/// (§5) and is unsupported here too.
+/// Fully dynamic: insertion at the paper's amortised budget, and deletion —
+/// the paper's §5 open problem — via the metablock tree's tombstone
+/// machinery at the same amortised budget ([`IntervalIndex::delete`]).
+/// Deleted intervals disappear from queries immediately; their storage is
+/// reclaimed by the reorganisations that annihilate the tombstones and by
+/// the occupancy-triggered shrink.
 #[derive(Debug)]
 pub struct IntervalIndex {
     geo: Geometry,
@@ -214,6 +218,53 @@ impl IntervalIndex {
         }
         self.stab.insert(iv.point());
         self.len += 1;
+    }
+
+    /// Delete a previously inserted interval — exactly the `(lo, hi, id)`
+    /// triple it was inserted with. Amortised within the insert budget,
+    /// `O(log_B n + (log_B n)²/B)` I/Os: the metablock tree buffers a
+    /// tombstone next to the live copy and annihilates the pair at the
+    /// next reorganisation; in [`EndpointMode::BTree`] the endpoint entry
+    /// is removed eagerly (`O(log_B n)`, standard rebalancing).
+    ///
+    /// # Panics
+    /// Panics if the index is empty; deleting an interval that is not
+    /// stored (or reusing a deleted id) is a contract violation caught by
+    /// debug assertions.
+    pub fn delete(&mut self, lo: i64, hi: i64, id: u64) {
+        let iv = Interval::new(lo, hi, id);
+        if let Some((disk, tree)) = &mut self.endpoints {
+            let removed = tree.delete(disk, iv.lo, iv.id);
+            debug_assert!(removed, "deleted interval has no endpoint entry");
+        }
+        self.stab.delete(iv.point());
+        self.len -= 1;
+    }
+
+    /// Delete a batch of intervals as **one batched operation**: the
+    /// tombstones are routed in sorted order over a shared pinned read
+    /// context ([`ccix_core::MetablockTree::delete_batch`]), so a
+    /// correlated delete flood pays the shared descent prefix once per
+    /// residency instead of once per delete.
+    pub fn delete_batch(&mut self, intervals: &[(i64, i64, u64)]) {
+        let pts: Vec<Point> = intervals
+            .iter()
+            .map(|&(lo, hi, id)| Interval::new(lo, hi, id).point())
+            .collect();
+        if let Some((disk, tree)) = &mut self.endpoints {
+            for &(lo, _, id) in intervals {
+                let removed = tree.delete(disk, lo, id);
+                debug_assert!(removed, "deleted interval has no endpoint entry");
+            }
+        }
+        self.stab.delete_batch(&pts);
+        self.len -= intervals.len();
+    }
+
+    /// Logically deleted intervals whose tombstones are still pending
+    /// cancellation inside the stabbing structure (diagnostic).
+    pub fn pending_deletes(&self) -> usize {
+        self.stab.pending_deletes()
     }
 
     /// Ids of all intervals containing `q` (stabbing query).

@@ -67,6 +67,50 @@ impl NaiveIntervalStore {
         self.len += 1;
     }
 
+    /// Delete the interval with `id`: a full scan to find it (`O(n/B)`
+    /// I/Os, the heap file has no index), then the classic heap-file
+    /// compaction — the last record fills the hole, keeping every page
+    /// dense. Returns whether the id was present.
+    pub fn delete(&mut self, id: u64) -> bool {
+        let mut home: Option<(usize, usize)> = None;
+        'scan: for (pi, &pg) in self.pages.iter().enumerate() {
+            for (ri, iv) in self.store.read(pg).iter().enumerate() {
+                if iv.id == id {
+                    home = Some((pi, ri));
+                    break 'scan;
+                }
+            }
+        }
+        let Some((pi, ri)) = home else { return false };
+        let last_pg = *self.pages.last().expect("nonempty");
+        let mut last = self.store.read(last_pg).to_vec();
+        let filler = last.pop().expect("tail page is nonempty");
+        if (pi, ri) == (self.pages.len() - 1, last.len()) {
+            // The victim was the final record itself.
+            self.store.write(last_pg, last);
+        } else {
+            self.store.write(last_pg, last);
+            let pg = self.pages[pi];
+            let mut recs = self.store.read(pg).to_vec();
+            recs[ri] = filler;
+            self.store.write(pg, recs);
+        }
+        self.last_len -= 1;
+        if self.last_len == 0 {
+            self.store.free(last_pg);
+            self.pages.pop();
+            // Pages before the tail are always full, so the new tail (if
+            // any) holds exactly `capacity` records.
+            self.last_len = if self.pages.is_empty() {
+                0
+            } else {
+                self.store.capacity()
+            };
+        }
+        self.len -= 1;
+        true
+    }
+
     /// All intervals containing `q`: a full scan, `O(n/B)` I/Os.
     pub fn stabbing(&self, q: i64) -> Vec<u64> {
         let mut out = Vec::new();
@@ -121,6 +165,28 @@ mod tests {
         let before = counter.snapshot();
         s.insert(1, 2, 1);
         assert!(counter.since(before).total() <= 2);
+    }
+
+    #[test]
+    fn delete_compacts_the_heap() {
+        let counter = IoCounter::new();
+        let mut s = NaiveIntervalStore::new(Geometry::new(4), counter);
+        for i in 0..10u64 {
+            s.insert(i as i64, i as i64 + 3, i);
+        }
+        assert!(s.delete(4));
+        assert!(!s.delete(4), "double delete reports absence");
+        assert!(s.delete(9));
+        assert_eq!(s.len(), 8);
+        assert_eq!(s.space_pages(), 2, "heap stays dense");
+        let mut rest = s.stabbing(3);
+        rest.sort_unstable();
+        assert_eq!(rest, vec![0, 1, 2, 3], "id 4 was deleted; 5+ start after 3");
+        for id in [0u64, 1, 2, 3, 5, 6, 7, 8] {
+            assert!(s.delete(id));
+        }
+        assert!(s.is_empty());
+        assert_eq!(s.space_pages(), 0);
     }
 
     #[test]

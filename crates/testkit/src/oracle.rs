@@ -74,6 +74,49 @@ pub fn class_range_ids(
         .collect()
 }
 
+// ---- delete-aware oracle maintenance ---------------------------------------
+//
+// The oracle for a mixed insert/delete workload is the same linear scan —
+// over the *live* multiset. These helpers maintain that multiset so suites
+// can interleave deletes and still compare with the scans above; they panic
+// on a delete of an absent id, which is the structures' contract too.
+
+/// Remove and return the live interval with `id`.
+///
+/// # Panics
+/// Panics if no live interval has `id` (a delete-contract violation).
+pub fn remove_interval(live: &mut Vec<Interval>, id: u64) -> Interval {
+    let pos = live
+        .iter()
+        .position(|iv| iv.id == id)
+        .unwrap_or_else(|| panic!("delete of absent interval id {id}"));
+    live.swap_remove(pos)
+}
+
+/// Remove and return the live point with `id`.
+///
+/// # Panics
+/// Panics if no live point has `id`.
+pub fn remove_point(live: &mut Vec<Point>, id: u64) -> Point {
+    let pos = live
+        .iter()
+        .position(|p| p.id == id)
+        .unwrap_or_else(|| panic!("delete of absent point id {id}"));
+    live.swap_remove(pos)
+}
+
+/// Remove and return the live object with `id`.
+///
+/// # Panics
+/// Panics if no live object has `id`.
+pub fn remove_object(live: &mut Vec<Object>, id: u64) -> Object {
+    let pos = live
+        .iter()
+        .position(|o| o.id == id)
+        .unwrap_or_else(|| panic!("delete of absent object id {id}"));
+    live.swap_remove(pos)
+}
+
 /// Assert two id sets are equal and duplicate-free, with a readable diff.
 ///
 /// # Panics

@@ -137,6 +137,150 @@ pub fn correlated_flood(batch: usize, seed: u64, range: i64, window: i64) -> Vec
     out
 }
 
+// ------------------------------------------------------------- mixed floods
+//
+// Mixed insert/delete/query workloads (the ED flood family): the paper's §5
+// leaves deletion open, so these generators are what exercises the
+// tombstone machinery that closes it. Each generator tracks its own live
+// set so every emitted delete targets a currently stored id — the
+// structures' delete contract — and ids are never reused.
+
+/// One operation of a mixed interval workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntervalOp {
+    /// Insert this interval (fresh id).
+    Insert(Interval),
+    /// Delete this previously inserted, still-live interval.
+    Delete(Interval),
+    /// Stabbing query at this point.
+    Stab(i64),
+}
+
+/// Mixed interval flood: `insert : delete : stab` in roughly
+/// `(100 − del_pct − stab_pct) : del_pct : stab_pct` proportions, deletes
+/// drawn uniformly from the live set (forced to inserts while nothing is
+/// live). Deterministic in `seed`.
+pub fn mixed_interval_flood(
+    n_ops: usize,
+    seed: u64,
+    range: i64,
+    max_len: i64,
+    del_pct: u32,
+    stab_pct: u32,
+) -> Vec<IntervalOp> {
+    assert!(del_pct + stab_pct <= 100, "op percentages exceed 100");
+    let mut r = DetRng::new(seed);
+    let mut live: Vec<Interval> = Vec::new();
+    let mut next_id = 0u64;
+    (0..n_ops)
+        .map(|_| {
+            let roll = r.gen_range(0..100u32);
+            if roll < del_pct && !live.is_empty() {
+                let iv = live.swap_remove(r.gen_range(0..live.len()));
+                IntervalOp::Delete(iv)
+            } else if roll < del_pct + stab_pct {
+                IntervalOp::Stab(r.gen_range(-1..range + 1))
+            } else {
+                let lo = r.gen_range(0..range);
+                let iv = Interval::new(lo, lo + r.gen_range(0..max_len.max(1)), next_id);
+                next_id += 1;
+                live.push(iv);
+                IntervalOp::Insert(iv)
+            }
+        })
+        .collect()
+}
+
+/// One operation of a mixed planar-point workload (for the 3-sided tree).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PointOp {
+    /// Insert this point (fresh id).
+    Insert(Point),
+    /// Delete this previously inserted, still-live point.
+    Delete(Point),
+    /// 3-sided query `(x1, x2, y0)`.
+    Query(i64, i64, i64),
+}
+
+/// Mixed point flood over `[0, range)²`, same proportions and liveness
+/// discipline as [`mixed_interval_flood`].
+pub fn mixed_point_flood(
+    n_ops: usize,
+    seed: u64,
+    range: i64,
+    del_pct: u32,
+    query_pct: u32,
+) -> Vec<PointOp> {
+    assert!(del_pct + query_pct <= 100, "op percentages exceed 100");
+    let mut r = DetRng::new(seed);
+    let mut live: Vec<Point> = Vec::new();
+    let mut next_id = 0u64;
+    (0..n_ops)
+        .map(|_| {
+            let roll = r.gen_range(0..100u32);
+            if roll < del_pct && !live.is_empty() {
+                PointOp::Delete(live.swap_remove(r.gen_range(0..live.len())))
+            } else if roll < del_pct + query_pct {
+                let x1 = r.gen_range(-1..range);
+                let x2 = x1 + r.gen_range(0..range / 2 + 1);
+                PointOp::Query(x1, x2, r.gen_range(-1..range + 1))
+            } else {
+                let p = Point::new(r.gen_range(0..range), r.gen_range(0..range), next_id);
+                next_id += 1;
+                live.push(p);
+                PointOp::Insert(p)
+            }
+        })
+        .collect()
+}
+
+/// One operation of a mixed class-hierarchy workload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ObjectOp {
+    /// Insert this object (fresh id).
+    Insert(Object),
+    /// Delete this previously inserted, still-live object.
+    Delete(Object),
+    /// Full-extent attribute-range query `(class, a1, a2)`.
+    Query(usize, i64, i64),
+}
+
+/// Mixed object flood over `h`, same proportions and liveness discipline
+/// as [`mixed_interval_flood`].
+pub fn mixed_object_flood(
+    h: &Hierarchy,
+    n_ops: usize,
+    seed: u64,
+    attr_range: i64,
+    del_pct: u32,
+    query_pct: u32,
+) -> Vec<ObjectOp> {
+    assert!(del_pct + query_pct <= 100, "op percentages exceed 100");
+    let mut r = DetRng::new(seed);
+    let mut live: Vec<Object> = Vec::new();
+    let mut next_id = 0u64;
+    (0..n_ops)
+        .map(|_| {
+            let roll = r.gen_range(0..100u32);
+            if roll < del_pct && !live.is_empty() {
+                ObjectOp::Delete(live.swap_remove(r.gen_range(0..live.len())))
+            } else if roll < del_pct + query_pct {
+                let a1 = r.gen_range(-1..attr_range);
+                ObjectOp::Query(
+                    r.gen_range(0..h.len()),
+                    a1,
+                    a1 + r.gen_range(0..attr_range / 2 + 1),
+                )
+            } else {
+                let o = Object::new(r.gen_range(0..h.len()), r.gen_range(0..attr_range), next_id);
+                next_id += 1;
+                live.push(o);
+                ObjectOp::Insert(o)
+            }
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------------ points
 
 /// The Proposition 3.3 staircase: `(x, x+1)` for `x ∈ [0, n)`.
@@ -320,6 +464,46 @@ mod tests {
         // Ends-inward interleave: adjacent deliveries jump across the
         // window instead of creeping through it.
         assert!(qs.windows(2).any(|w| w[0] > w[1]) && qs.windows(2).any(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn mixed_floods_are_deterministic_and_live() {
+        assert_eq!(
+            mixed_interval_flood(300, 7, 500, 40, 30, 20),
+            mixed_interval_flood(300, 7, 500, 40, 30, 20)
+        );
+        // Every delete targets a currently live id; ids never repeat.
+        let mut live = std::collections::BTreeSet::new();
+        let mut seen = std::collections::BTreeSet::new();
+        for op in mixed_interval_flood(1_000, 11, 400, 30, 40, 10) {
+            match op {
+                IntervalOp::Insert(iv) => {
+                    assert!(seen.insert(iv.id), "id {} reused", iv.id);
+                    live.insert(iv.id);
+                }
+                IntervalOp::Delete(iv) => assert!(live.remove(&iv.id), "dead delete"),
+                IntervalOp::Stab(_) => {}
+            }
+        }
+        let mut live_p = std::collections::BTreeSet::new();
+        for op in mixed_point_flood(800, 3, 300, 35, 15) {
+            match op {
+                PointOp::Insert(p) => assert!(live_p.insert(p.id)),
+                PointOp::Delete(p) => assert!(live_p.remove(&p.id)),
+                PointOp::Query(x1, x2, _) => assert!(x1 <= x2),
+            }
+        }
+        let h = hierarchy(HierarchyShape::Balanced, 15, 0);
+        let mut live_o = std::collections::BTreeSet::new();
+        for op in mixed_object_flood(&h, 500, 5, 200, 30, 20) {
+            match op {
+                ObjectOp::Insert(o) => assert!(live_o.insert(o.id)),
+                ObjectOp::Delete(o) => assert!(live_o.remove(&o.id)),
+                ObjectOp::Query(c, a1, a2) => {
+                    assert!(c < h.len() && a1 <= a2);
+                }
+            }
+        }
     }
 
     #[test]

@@ -23,20 +23,24 @@ fn random_tuning(rng: &mut DetRng) -> Tuning {
         2 => Tuning {
             update_batch_pages: rng.gen_range(1..9usize),
             td_batch_pages: rng.gen_range(1..5usize),
+            tomb_batch_pages: rng.gen_range(1..5usize),
             ts_snapshot_pages: None,
             corner_alpha: rng.gen_range(2..5usize),
             pack_h_pages: rng.gen_range(0..9usize),
             resident_root: rng.gen_bool(0.5),
             build_threads: rng.gen_range(1..5usize),
+            ..Tuning::default()
         },
         _ => Tuning {
             update_batch_pages: 8,
             td_batch_pages: 4,
+            tomb_batch_pages: rng.gen_range(1..9usize),
             ts_snapshot_pages: Some(rng.gen_range(1..9usize)),
             corner_alpha: 2,
             pack_h_pages: rng.gen_range(0..5usize),
             resident_root: rng.gen_bool(0.5),
             build_threads: 1,
+            ..Tuning::default()
         },
     }
 }

@@ -31,6 +31,7 @@ fn random_tuning(rng: &mut DetRng) -> Tuning {
         _ => Tuning {
             update_batch_pages: rng.gen_range(1..9usize),
             td_batch_pages: rng.gen_range(1..5usize),
+            tomb_batch_pages: rng.gen_range(1..5usize),
             ts_snapshot_pages: if rng.gen_bool(0.5) {
                 None
             } else {
@@ -40,6 +41,7 @@ fn random_tuning(rng: &mut DetRng) -> Tuning {
             pack_h_pages: rng.gen_range(0..5usize),
             resident_root: rng.gen_bool(0.5),
             build_threads: 1,
+            ..Tuning::default()
         },
     };
     t.build_threads = rng.gen_range(1..5usize);

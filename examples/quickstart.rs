@@ -61,7 +61,8 @@ fn main() {
         cost.reads
     );
 
-    // The structure is semi-dynamic: inserts amortise their reorganisation.
+    // The structure is fully dynamic: inserts amortise their
+    // reorganisation...
     let before = counter.snapshot();
     for i in 0..10_000u64 {
         let lo = (next() % 1_000_000) as i64;
@@ -71,5 +72,26 @@ fn main() {
     println!(
         "10k inserts: {:.1} I/Os amortised per insert",
         cost.total() as f64 / 10_000.0
+    );
+
+    // ...and so do deletes (the paper's §5 open problem): a tombstone
+    // routes to the live copy and the next reorganisation cancels both.
+    let before = counter.snapshot();
+    for iv in intervals.iter().take(10_000) {
+        index.delete(iv.lo, iv.hi, iv.id);
+    }
+    let cost = counter.since(before);
+    println!(
+        "10k deletes: {:.1} I/Os amortised per delete ({} tombstones still pending)",
+        cost.total() as f64 / 10_000.0,
+        index.pending_deletes()
+    );
+    let before = counter.snapshot();
+    let after = index.stabbing(q);
+    let cost = counter.since(before);
+    println!(
+        "stab({q}) after the deletes: {} intervals in {} I/Os",
+        after.len(),
+        cost.reads
     );
 }

@@ -12,8 +12,9 @@
 //! * [`pst`] — priority search trees (in-core McCreight; external static
 //!   B-PST of Lemma 4.1);
 //! * [`core`] — **the paper's contribution**: the metablock tree for
-//!   diagonal-corner queries (§3) and its 3-sided variant (§4), both
-//!   semi-dynamic;
+//!   diagonal-corner queries (§3) and its 3-sided variant (§4), both fully
+//!   dynamic — batched inserts and tombstone-based deletion (the paper's
+//!   §5 open problem, closed here);
 //! * [`interval`] — external dynamic interval management via the reduction
 //!   of Proposition 2.2;
 //! * [`class`] — class-hierarchy indexing: the range-tree method
@@ -37,7 +38,20 @@
 //! let mut hits = idx.intersecting(5, 7);
 //! hits.sort_unstable();
 //! assert_eq!(hits, vec![100, 101, 102]);
+//!
+//! // Deletion — the paper's §5 open problem — rides the insert machinery
+//! // as a tombstone and is visible immediately:
+//! idx.delete(4, 9, 101);
+//! assert_eq!(idx.intersecting(5, 7), vec![100, 102]);
+//! idx.delete_batch(&[(2, 5, 100), (7, 8, 102)]);
+//! assert!(idx.is_empty());
 //! ```
+
+// Compile the README's code blocks as doctests, so the quick-start
+// snippet fails `cargo test --doc` (the CI docs leg) instead of rotting.
+#[doc = include_str!("../README.md")]
+#[doc(hidden)]
+pub mod readme_doctests {}
 
 pub use ccix_bptree as bptree;
 pub use ccix_class as class;
