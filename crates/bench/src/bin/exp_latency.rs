@@ -1,0 +1,18 @@
+//! Experiment binary: see `ccix_bench::experiments::el_latency`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_latency_baseline.json` (the incremental-reorg latency baseline):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_latency -- --json > BENCH_latency_baseline.json
+//! ```
+fn main() {
+    let tables = ccix_bench::experiments::el_latency();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

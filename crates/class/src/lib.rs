@@ -57,6 +57,15 @@ impl Object {
     }
 }
 
+/// One operation of a mixed batch (see [`ClassIndex::apply_batch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ClassOp {
+    /// Insert the object.
+    Insert(Object),
+    /// Delete a previously inserted object.
+    Delete(Object),
+}
+
 /// A class-indexing strategy: answer attribute-range queries over full
 /// extents, under object insertion and deletion.
 pub trait ClassIndex {
@@ -79,6 +88,23 @@ pub trait ClassIndex {
     fn delete_batch(&mut self, objects: &[Object]) {
         for o in objects {
             self.delete(*o);
+        }
+    }
+
+    /// Apply a mixed batch of inserts and deletes, one structure-level
+    /// batch per backing structure where the strategy supports it (the
+    /// rake index groups ops by heavy-path structure and uses the trees'
+    /// batched mixed routing, [`ccix_core::ThreeSidedTree::apply_batch`]);
+    /// the default implementation applies them one at a time.
+    ///
+    /// Ops must be independent: deleting an object the same batch inserts
+    /// is a contract violation.
+    fn apply_batch(&mut self, ops: &[ClassOp]) {
+        for op in ops {
+            match *op {
+                ClassOp::Insert(o) => self.insert(o),
+                ClassOp::Delete(o) => self.delete(o),
+            }
         }
     }
 

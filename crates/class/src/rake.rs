@@ -18,11 +18,11 @@
 //! * space `O((n/B) · log2 c)` (Theorem 4.7).
 
 use ccix_bptree::BPlusTree;
-use ccix_core::ThreeSidedTree;
+use ccix_core::{Op, ThreeSidedTree};
 use ccix_extmem::{Disk, Geometry, IoCounter, Point};
 
 use crate::heavy::{decompose, HeavyPaths};
-use crate::{ClassId, ClassIndex, Hierarchy, Object};
+use crate::{ClassId, ClassIndex, ClassOp, Hierarchy, Object};
 
 /// Per-heavy-path structure.
 #[derive(Debug)]
@@ -185,6 +185,50 @@ impl ClassIndex for RakeClassIndex {
             }
         }
         self.len -= objects.len();
+    }
+
+    /// Batched mixed flood: ops are grouped by the heavy-path structure
+    /// each placement lands on, and every 3-sided tree applies its group
+    /// as one batched operation over a shared pinned read context
+    /// ([`ThreeSidedTree::apply_batch`]); flat B+-tree paths apply their
+    /// ops one at a time, in input order.
+    fn apply_batch(&mut self, ops: &[ClassOp]) {
+        let mut groups: Vec<Vec<Op>> = vec![Vec::new(); self.structures.len()];
+        for op in ops {
+            let (o, ins) = match *op {
+                ClassOp::Insert(o) => (o, true),
+                ClassOp::Delete(o) => (o, false),
+            };
+            for &(path, y) in &self.placements[o.class] {
+                let p = Point::new(o.attr, y, o.id);
+                groups[path].push(if ins { Op::Insert(p) } else { Op::Delete(p) });
+            }
+        }
+        for (path, group) in groups.into_iter().enumerate() {
+            if group.is_empty() {
+                continue;
+            }
+            match &mut self.structures[path] {
+                PathStructure::ThreeSided(t) => t.apply_batch(&group),
+                PathStructure::Flat(t) => {
+                    for op in group {
+                        match op {
+                            Op::Insert(p) => t.insert(&mut self.disk, p.x, p.id),
+                            Op::Delete(p) => {
+                                let removed = t.delete(&mut self.disk, p.x, p.id);
+                                debug_assert!(removed, "deleted object missing from flat path");
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        for op in ops {
+            match op {
+                ClassOp::Insert(_) => self.len += 1,
+                ClassOp::Delete(_) => self.len -= 1,
+            }
+        }
     }
 
     fn query(&self, class: ClassId, a1: i64, a2: i64) -> Vec<u64> {

@@ -307,6 +307,7 @@ impl MetablockTree {
         let vertical = self.store.alloc_run(by_x);
         let vkeys: Vec<Key> = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
         let hkeys: Vec<Key> = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
+        let h_live: Vec<u32> = by_y.chunks(self.geo.b).map(|c| c.len() as u32).collect();
         let horizontal = self.store.alloc_run(by_y);
         let corner = corner.map(|cp| cp.materialise(&mut self.store, vertical.clone(), false));
         MetaBlock {
@@ -314,6 +315,7 @@ impl MetablockTree {
             vkeys,
             horizontal,
             hkeys,
+            h_live,
             n_main: by_x.len(),
             y_lo_main: by_y.last().map(Point::ykey),
             main_bbox: BBox::of_points(by_x),
@@ -322,6 +324,7 @@ impl MetablockTree {
             n_upd: 0,
             tomb: Vec::new(),
             n_tomb: 0,
+            tomb_buf: Vec::new(),
             ts: None,
             td: internal.then(TdInfo::default),
             children,

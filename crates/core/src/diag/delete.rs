@@ -60,7 +60,7 @@ use super::{mark_dirty, MbId, MetablockTree, ReadCtx};
 /// Reorganisation triggers observed while routing one tombstone; they are
 /// run after the routing context's dirty blocks are flushed, exactly like
 /// phase 6 of an insert.
-struct DelTriggers {
+pub(super) struct DelTriggers {
     target: MbId,
     parent: Option<MbId>,
     tomb_full: bool,
@@ -96,12 +96,27 @@ impl MetablockTree {
         for &i in &order {
             let p = pts[i];
             assert!(p.y >= p.x, "points must lie on or above the diagonal");
-            assert!(self.root.is_some(), "delete from an empty tree");
+            assert!(
+                self.root.is_some() || self.reorg.job.is_some(),
+                "delete from an empty tree"
+            );
             self.len -= 1;
             self.deletes_since_shrink += 1;
+            // While a background shrink job is active the delta may absorb
+            // the delete entirely: the victim is an undrained delta point
+            // (the pair annihilates in place) or the tree is frozen (the
+            // tombstone is buffered in the delta until after cutover).
+            if self.delta_delete(p) {
+                if self.pump_reorg() {
+                    ctx = self.read_ctx();
+                }
+                continue;
+            }
             let root = self.root.expect("tree is nonempty");
             let triggers = self.route_tombstone(&mut ctx, &mut dirty, Vec::new(), root, p);
-            if self.run_del_triggers(&mut dirty, triggers) {
+            let fired = self.run_del_triggers(&mut dirty, triggers);
+            let pumped = self.pump_reorg();
+            if fired || pumped {
                 // A reorganisation may have freed or rebuilt pinned pages:
                 // start a fresh context for the rest of the batch.
                 ctx = self.read_ctx();
@@ -116,7 +131,7 @@ impl MetablockTree {
     /// landing parent's TD delete side. Reads bill through `ctx`; control
     /// blocks mutated in memory are recorded in `dirty` and paid by the
     /// caller's flush.
-    fn route_tombstone(
+    pub(super) fn route_tombstone(
         &mut self,
         ctx: &mut ReadCtx,
         dirty: &mut Vec<MbId>,
@@ -185,10 +200,50 @@ impl MetablockTree {
         let tomb_full = {
             let m = self.metas[target].as_mut().expect("target is live");
             m.n_tomb += 1;
+            m.tomb_buf.push(p);
             m.n_tomb >= self.tomb_cap_pages() * b
         };
         self.tombs_pending += 1;
         mark_dirty(dirty, target);
+
+        // Keep the per-page live counts exact: if the victim sits in the
+        // mains (rather than the update buffer), it is on the unique
+        // horizontal page whose top key covers its y — probe that page
+        // (billed through the operation's pin) and decrement its count, so
+        // queries can skip the page once every point on it is shadowed. On
+        // a leaf with an empty update buffer the probe read is skipped
+        // entirely: the victim has nowhere else to be (the landing rule
+        // sends a tombstone exactly where its victim's insert landed, and a
+        // leaf has no descendants to hide it in), so the decrement is
+        // certain without touching the page.
+        let probe = {
+            let m = self.metas[target].as_ref().expect("target is live");
+            if !m.hkeys.is_empty() && p.ykey() <= m.hkeys[0] {
+                let i = m.hkeys.partition_point(|&hk| hk >= p.ykey()) - 1;
+                let certain = m.is_leaf() && m.n_upd == 0;
+                Some((i, (!certain).then(|| m.horizontal[i])))
+            } else {
+                None
+            }
+        };
+        if let Some((i, pg)) = probe {
+            if pg.is_none_or(|pg| self.ctx_read(ctx, pg).iter().any(|q| q.id == p.id)) {
+                let m = self.metas[target].as_mut().expect("target is live");
+                debug_assert!(m.h_live[i] > 0, "live count underflow");
+                m.h_live[i] -= 1;
+                if i < self.pack_h() {
+                    if let Some(&par) = path.last() {
+                        let pm = self.metas[par].as_mut().expect("parent is live");
+                        if let Some(e) = pm.children.iter_mut().find(|c| c.mb == target) {
+                            if let Some(slot) = e.packed.h_live.get_mut(i) {
+                                *slot = slot.saturating_sub(1);
+                            }
+                            mark_dirty(dirty, par);
+                        }
+                    }
+                }
+            }
+        }
 
         // Phase 3 — mirror the tombstone into the parent's TD delete side,
         // so snapshot-answered routes can subtract it.
@@ -228,6 +283,7 @@ impl MetablockTree {
                 .as_mut()
                 .expect("TD present");
             td.n_del_staged += 1;
+            td.del_staged_buf.push(p);
             td_total = td.total() + td.del_total();
             del_staged_full = td.n_del_staged >= self.td_cap_pages() * b;
             mark_dirty(dirty, par);
@@ -246,25 +302,25 @@ impl MetablockTree {
     /// any reorganisation fired (so a batch context must be re-created).
     /// A delete can only shrink a metablock, so no level-II / split
     /// cascades arise here.
-    fn run_del_triggers(&mut self, dirty: &mut Vec<MbId>, t: DelTriggers) -> bool {
+    pub(super) fn run_del_triggers(&mut self, dirty: &mut Vec<MbId>, t: DelTriggers) -> bool {
         let mut fired = false;
         if let Some(par) = t.parent {
             if t.td_total >= self.cap() {
                 self.flush_dirty(dirty);
                 dirty.clear();
-                self.ts_reorg(par);
+                self.with_shunt(|tr| tr.ts_reorg(par));
                 fired = true;
             } else if t.del_staged_full {
                 self.flush_dirty(dirty);
                 dirty.clear();
-                self.td_rebuild(par);
+                self.with_shunt(|tr| tr.td_rebuild(par));
                 fired = true;
             }
         }
         if t.tomb_full && self.metas[t.target].is_some() {
             self.flush_dirty(dirty);
             dirty.clear();
-            self.level_i(t.target, t.parent);
+            self.with_shunt(|tr| tr.level_i(t.target, t.parent));
             fired = true;
         }
         fired
@@ -300,9 +356,14 @@ impl MetablockTree {
     /// points — the merge-based collection cancels every pending tombstone
     /// and the static plan/materialise pipeline packs the result, so space
     /// returns to `O(live/B)` pages. Amortised `O(1/B)` I/Os per delete.
-    fn maybe_shrink(&mut self) {
+    pub(super) fn maybe_shrink(&mut self) {
         let pct = self.tuning.shrink_deletes_pct;
         if pct == 0 || self.deletes_since_shrink == 0 {
+            return;
+        }
+        // One background job at a time; while one runs, the trigger keeps
+        // accumulating and re-fires after the drain completes if needed.
+        if self.reorg.job.is_some() {
             return;
         }
         let floor = self.cap().max(self.shrink_base * pct / 100);
@@ -313,6 +374,12 @@ impl MetablockTree {
             self.note_full_rebuild();
             return;
         };
+        if self.tuning.reorg_pages_per_op > 0 {
+            // Incremental mode: freeze the tree and rebuild it over the
+            // coming operations instead of stopping the world here.
+            self.start_shrink_job();
+            return;
+        }
         let pts = self.collect_subtree_sorted(root);
         self.free_subtree(root);
         debug_assert_eq!(self.tombs_pending, 0, "shrink cancelled every tombstone");

@@ -53,18 +53,24 @@ impl MetablockTree {
     pub fn insert(&mut self, p: Point) {
         assert!(p.y >= p.x, "points must lie on or above the diagonal");
         self.len += 1;
-        match self.root {
-            None => {
-                let id = self.make_metablock(&SortedRun::from_sorted(vec![p]), Vec::new(), false);
-                self.root = Some(id);
+        // While a background shrink job holds the tree frozen, the insert
+        // diverts to the job's delta instead of routing.
+        if !self.delta_insert(p) {
+            match self.root {
+                None => {
+                    let id =
+                        self.make_metablock(&SortedRun::from_sorted(vec![p]), Vec::new(), false);
+                    self.root = Some(id);
+                }
+                Some(root) => self.insert_routed(Vec::new(), root, p),
             }
-            Some(root) => self.insert_routed(Vec::new(), root, p),
         }
+        self.pump_reorg();
     }
 
     /// Route `p` downward from `start` (whose ancestors are `above`, root
     /// first), buffer it, and run any triggered reorganisations.
-    fn insert_routed(&mut self, above: Vec<MbId>, start: MbId, p: Point) {
+    pub(super) fn insert_routed(&mut self, above: Vec<MbId>, start: MbId, p: Point) {
         let mut path = above;
         let fix_from = path.len();
         let mut pinned: Vec<MbId> = Vec::new();
@@ -222,17 +228,20 @@ impl MetablockTree {
 
         // Phase 6 — amortised triggers (reorganisations bill through the
         // ordinary take/put helpers; their cost is the amortised term).
+        // With a finite reorg budget the charges are shunted into the debt
+        // meter and bled a bounded amount per operation; the structure
+        // still evolves bit-identically to the all-at-once behaviour.
         if let Some(par) = parent {
             if td_total >= self.cap() {
-                self.ts_reorg(par);
+                self.with_shunt(|t| t.ts_reorg(par));
             } else if staged_full {
-                self.td_rebuild(par);
+                self.with_shunt(|t| t.td_rebuild(par));
             }
         }
         if update_full && self.metas[target].is_some() {
-            let n_main = self.level_i(target, parent);
+            let n_main = self.with_shunt(|t| t.level_i(target, parent));
             if n_main >= 2 * self.cap() {
-                self.level_ii(target, &path);
+                self.with_shunt(|t| t.level_ii(target, &path));
             }
         }
     }
@@ -284,6 +293,7 @@ impl MetablockTree {
         self.store.free_run(&td.del_staged);
         td.del_staged.clear();
         td.n_del_staged = 0;
+        td.del_staged_buf.clear();
         let tombs = del_built.merge(SortedRun::from_unsorted(del_delta));
 
         let merged = built.merge(SortedRun::from_unsorted(delta));
@@ -360,6 +370,7 @@ impl MetablockTree {
         let tombs = SortedRun::from_unsorted(self.read_run(&m.tomb));
         self.store.free_run(&m.tomb);
         m.tomb.clear();
+        m.tomb_buf.clear();
         self.tombs_pending -= m.n_tomb;
         m.n_tomb = 0;
         let (by_x, unmatched) = mains_x.merge(delta).cancel(&tombs);
@@ -406,6 +417,7 @@ impl MetablockTree {
         m.vertical = self.store.alloc_run(by_x);
         m.vkeys = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
         m.hkeys = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
+        m.h_live = by_y.chunks(self.geo.b).map(|c| c.len() as u32).collect();
         m.horizontal = self.store.alloc_run(by_y);
         m.n_main = by_x.len();
         m.main_bbox = BBox::of_points(by_x);
@@ -423,7 +435,7 @@ impl MetablockTree {
     }
 
     /// Level-II reorganisation of a metablock holding `≥ 2B²` points.
-    fn level_ii(&mut self, mb: MbId, path: &[MbId]) {
+    pub(super) fn level_ii(&mut self, mb: MbId, path: &[MbId]) {
         let is_leaf = self.meta(mb).is_leaf();
         if is_leaf {
             self.split_leaf(mb, path);

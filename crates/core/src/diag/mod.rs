@@ -5,10 +5,12 @@
 //! semi-dynamic machinery of §3.2 / Fig. 19) and [`validate`] (unbilled
 //! invariant checking and shape statistics for tests and experiments).
 
+mod apply;
 mod build;
 mod delete;
 mod insert;
 mod query;
+pub(crate) mod reorg;
 mod validate;
 
 pub use validate::DiagStats;
@@ -149,6 +151,9 @@ pub(crate) struct PackedInfo {
     /// First (largest) y-key of each mirrored page, so the scan skips a
     /// crossing page with no answers.
     pub h_tops: Vec<Key>,
+    /// Live (not yet tombstoned) point count of each mirrored page, so a
+    /// post-delete-flood scan skips a fully-dead page without reading it.
+    pub h_live: Vec<u32>,
     /// The child's horizontal blocking extends beyond the mirror.
     pub h_more: bool,
     /// Mirror of the child's update-buffer page run.
@@ -212,6 +217,12 @@ pub(crate) struct TdInfo {
     /// pages of `B`.
     pub del_staged: Vec<PageId>,
     pub n_del_staged: usize,
+    /// Control-block mirror of the `del_staged` pages' contents (same
+    /// bounded scale as the staging run itself — at most `td_cap_pages · B`
+    /// points). Queries subtract these pending deletes for free instead of
+    /// reading the staging pages; the pages stay authoritative for the TD
+    /// fold.
+    pub del_staged_buf: Vec<Point>,
 }
 
 impl TdInfo {
@@ -238,6 +249,13 @@ pub(crate) struct MetaBlock {
     /// First (largest) y-key of each horizontal page, so scans skip a
     /// crossing page that cannot contain an answer.
     pub hkeys: Vec<Key>,
+    /// Live (not yet tombstoned) point count per horizontal page, parallel
+    /// to `horizontal`. A routed tombstone whose victim sits in the mains
+    /// decrements the victim page's count, so a query can skip a fully-dead
+    /// page without reading it — the fix for the post-delete-flood stabbing
+    /// regression (a flood used to leave pages of 100% shadowed points that
+    /// every later query still paid to scan).
+    pub h_live: Vec<u32>,
     pub n_main: usize,
     /// Smallest `(y, id)` among mains. Routing invariant: every point in a
     /// descendant metablock (mains *and* updates) is strictly below this.
@@ -260,6 +278,14 @@ pub(crate) struct MetaBlock {
     /// they scan the update block and subtract the ids.
     pub tomb: Vec<PageId>,
     pub n_tomb: usize,
+    /// Control-block mirror of the `tomb` pages' contents, in arrival
+    /// order. Bounded by `tomb_cap_pages · B` points — the same control-
+    /// information order as `vkeys`/`hkeys` — it lets every query that
+    /// already holds this control block subtract the pending deletes for
+    /// free, instead of paying one read per pending tombstone page (the
+    /// post-delete-flood stabbing regression). The pages stay authoritative:
+    /// reorganisations still read and bill them.
+    pub tomb_buf: Vec<Point>,
     /// Left-sibling snapshot; `None` for a first child or the root.
     pub ts: Option<TsInfo>,
     /// TD corner structure; `Some` for internal metablocks.
@@ -332,6 +358,10 @@ pub struct MetablockTree {
     pub(crate) shrink_base: usize,
     pub(crate) options: DiagOptions,
     pub(crate) tuning: Tuning,
+    /// Incremental-reorganisation state ([`Tuning::reorg_pages_per_op`]):
+    /// the deferred-work debt meter plus the in-progress background shrink
+    /// job, if any. Always default/empty when the budget is 0.
+    pub(crate) reorg: reorg::ReorgState,
 }
 
 impl MetablockTree {
@@ -366,6 +396,7 @@ impl MetablockTree {
             shrink_base: 0,
             options,
             tuning,
+            reorg: reorg::ReorgState::default(),
         }
     }
 
@@ -597,11 +628,12 @@ impl MetablockTree {
         if h == 0 {
             return;
         }
-        let (h_pages, h_tops, h_more, upd, tomb) = {
+        let (h_pages, h_tops, h_live, h_more, upd, tomb) = {
             let cm = self.metas[child].as_ref().expect("live child");
             (
                 cm.horizontal.iter().take(h).copied().collect::<Vec<_>>(),
                 cm.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
+                cm.h_live.iter().take(h).copied().collect::<Vec<_>>(),
                 cm.horizontal.len() > h,
                 cm.update.clone(),
                 cm.tomb.clone(),
@@ -615,6 +647,7 @@ impl MetablockTree {
             .expect("child present in parent");
         e.packed.h_pages = h_pages;
         e.packed.h_tops = h_tops;
+        e.packed.h_live = h_live;
         e.packed.h_more = h_more;
         e.packed.upd_pages = upd;
         e.packed.tomb_pages = tomb;

@@ -136,13 +136,17 @@ impl MetablockTree {
         if let Some(root) = self.root {
             self.process_path(ctx, root, q, out);
         }
+        // While a background shrink job is in progress, the query consults
+        // both sides: the (frozen or rebuilt) tree above, and the job's
+        // delta of diverted updates and tombstones here.
+        self.scan_delta_query(ctx, q, out);
     }
 
     /// Process a metablock on the search path (the slab containing `q`).
     fn process_path(&self, ctx: &mut ReadCtx, mb: MbId, q: i64, out: &mut Vec<Point>) {
         let meta = self.ctx_meta(ctx, mb);
         self.scan_update_pages(ctx, &meta.update, q, out);
-        self.scan_tomb_pages(ctx, &meta.tomb, q);
+        mirror_tombs(ctx, &meta.tomb_buf, q);
         let (Some(bbox), Some(ylo)) = (meta.main_bbox, meta.y_lo_main) else {
             // Empty mains: a fresh root, or a metablock a delete flood
             // emptied. Nothing of its own to report beyond the buffers,
@@ -183,6 +187,11 @@ impl MetablockTree {
                     'h: for (i, &pg) in meta.horizontal.iter().enumerate() {
                         if meta.hkeys[i] < qk {
                             break;
+                        }
+                        if meta.h_live[i] == 0 {
+                            // Every point on the page is shadowed by a
+                            // pending tombstone: skip the read.
+                            continue;
                         }
                         for p in self.ctx_read(ctx, pg) {
                             if p.ykey() < qk {
@@ -391,7 +400,7 @@ impl MetablockTree {
             del.query_pinned(&self.store, ctx, (SPACE_META, mb as u64), q, &mut tmp);
             ctx.del.extend(tmp.into_iter().map(|t| t.id));
         }
-        self.scan_tomb_pages(ctx, &td.del_staged, q);
+        mirror_tombs(ctx, &td.del_staged_buf, q);
     }
 
     /// Report a Type III subtree: everything in the metablock, then its
@@ -400,8 +409,13 @@ impl MetablockTree {
     fn report_all(&self, ctx: &mut ReadCtx, mb: MbId, q: i64, out: &mut Vec<Point>) {
         let meta = self.ctx_meta(ctx, mb);
         self.scan_update_pages(ctx, &meta.update, q, out);
-        self.scan_tomb_pages(ctx, &meta.tomb, q);
-        for &pg in &meta.horizontal {
+        mirror_tombs(ctx, &meta.tomb_buf, q);
+        for (i, &pg) in meta.horizontal.iter().enumerate() {
+            if meta.h_live[i] == 0 {
+                // Fully-dead page: its tombstones (scanned above) shadow
+                // every point on it, so the read would report nothing.
+                continue;
+            }
             for p in self.ctx_read(ctx, pg) {
                 debug_assert!(p.y >= q, "type III metablock holds a point below q");
                 out.push(*p);
@@ -438,7 +452,7 @@ impl MetablockTree {
         if self.pack_h() == 0 {
             let meta = self.ctx_meta(ctx, entry.mb);
             self.scan_update_pages(ctx, &meta.update, q, out);
-            self.scan_tomb_pages(ctx, &meta.tomb, q);
+            mirror_tombs(ctx, &meta.tomb_buf, q);
             if meta.main_bbox.is_some_and(|b| b.yhi >= (q, 0)) {
                 self.horizontal_scan_down(ctx, meta, q, out);
             }
@@ -446,7 +460,13 @@ impl MetablockTree {
             return;
         }
         let qk: Key = (q, 0);
-        self.scan_tomb_pages(ctx, &entry.packed.tomb_pages, q);
+        if !entry.packed.tomb_pages.is_empty() {
+            // The child has pending deletes: one read of its control block
+            // fetches the tombstone mirror — never more I/Os than the
+            // page-by-page scan it replaces.
+            let child = self.ctx_meta(ctx, entry.mb);
+            mirror_tombs(ctx, &child.tomb_buf, q);
+        }
         if entry.upd_ymax.is_some_and(|y| y >= qk) {
             self.scan_update_pages(ctx, &entry.packed.upd_pages, q, out);
         }
@@ -456,6 +476,11 @@ impl MetablockTree {
                 if entry.packed.h_tops[i] < qk {
                     crossed = true;
                     break;
+                }
+                if entry.packed.h_live.get(i) == Some(&0) {
+                    // The mirror says every point on the page is shadowed:
+                    // skip the read, later pages can still qualify.
+                    continue;
                 }
                 for p in self.ctx_read(ctx, pg) {
                     if p.ykey() < qk {
@@ -476,6 +501,9 @@ impl MetablockTree {
                 for (i, &pg) in meta.horizontal.iter().enumerate().skip(skip) {
                     if meta.hkeys[i] < qk {
                         break;
+                    }
+                    if meta.h_live[i] == 0 {
+                        continue;
                     }
                     let mut done = false;
                     for p in self.ctx_read(ctx, pg) {
@@ -510,23 +538,6 @@ impl MetablockTree {
                     out.push(*p);
                 }
             }
-        }
-    }
-
-    /// Scan a run of tombstone pages, recording the ids of pending deletes
-    /// that fall inside the query (a tombstone is an exact copy of its
-    /// victim, so a victim the query would report has a tombstone the same
-    /// predicate selects). One I/O per pending page — and no page at all
-    /// on insert-only workloads, where every tombstone run is empty.
-    fn scan_tomb_pages(&self, ctx: &mut ReadCtx, pages: &[ccix_extmem::PageId], q: i64) {
-        for &pg in pages {
-            let dead: Vec<u64> = self
-                .ctx_read(ctx, pg)
-                .iter()
-                .filter(|t| t.x <= q && t.y >= q)
-                .map(|t| t.id)
-                .collect();
-            ctx.del.extend(dead);
         }
     }
 
@@ -568,6 +579,12 @@ impl MetablockTree {
         for (i, &pg) in meta.horizontal.iter().enumerate() {
             if meta.hkeys[i] < (q, 0) {
                 break;
+            }
+            if meta.h_live[i] == 0 {
+                // Fully-dead page (a delete flood shadowed every point on
+                // it): nothing to report, skip the read and keep scanning —
+                // later pages can still hold live answers.
+                continue;
             }
             let mut crossed = false;
             for p in self.ctx_read(ctx, pg) {
@@ -612,6 +629,7 @@ impl MetablockTree {
         if let Some(root) = self.root {
             self.x_range_rec(ctx, root, (x1, u64::MIN), (x2, u64::MAX), out);
         }
+        self.scan_delta_x_range(ctx, x1, x2, out);
     }
 
     /// Process a metablock on an x-range boundary path.
@@ -625,7 +643,7 @@ impl MetablockTree {
                 }
             }
         }
-        self.scan_tomb_pages_x(ctx, &meta.tomb, a1k, a2k);
+        mirror_tombs_x(ctx, &meta.tomb_buf, a1k, a2k);
         // Mains inside the range, starting from the page located via the
         // boundary keys (≤ 2 slack blocks).
         let start = meta.vkeys.partition_point(|&k| k <= a1k).saturating_sub(1);
@@ -664,33 +682,39 @@ impl MetablockTree {
     /// main and buffered point, output-paying I/Os only.
     fn x_report_all(&self, ctx: &mut ReadCtx, mb: MbId, out: &mut Vec<Point>) {
         let meta = self.ctx_meta(ctx, mb);
-        for &pg in meta.horizontal.iter().chain(&meta.update) {
+        for (i, &pg) in meta.horizontal.iter().enumerate() {
+            if meta.h_live[i] == 0 {
+                continue; // fully-dead page, shadowed by scanned tombstones
+            }
             out.extend_from_slice(self.ctx_read(ctx, pg));
         }
-        self.scan_tomb_pages_x(ctx, &meta.tomb, (i64::MIN, u64::MIN), (i64::MAX, u64::MAX));
+        for &pg in &meta.update {
+            out.extend_from_slice(self.ctx_read(ctx, pg));
+        }
+        ctx.del.extend(meta.tomb_buf.iter().map(|t| t.id));
         for i in 0..meta.children.len() {
             self.x_report_all(ctx, meta.children[i].mb, out);
         }
     }
+}
 
-    /// As `scan_tomb_pages`, selecting tombstones by the x-range predicate.
-    fn scan_tomb_pages_x(
-        &self,
-        ctx: &mut ReadCtx,
-        pages: &[ccix_extmem::PageId],
-        a1k: Key,
-        a2k: Key,
-    ) {
-        for &pg in pages {
-            let dead: Vec<u64> = self
-                .ctx_read(ctx, pg)
-                .iter()
-                .filter(|t| t.xkey() >= a1k && t.xkey() <= a2k)
-                .map(|t| t.id)
-                .collect();
-            ctx.del.extend(dead);
-        }
-    }
+/// Record the ids of pending tombstones the stabbing predicate selects,
+/// straight from a control-block mirror — zero I/Os (a tombstone is an
+/// exact copy of its victim, so a victim the query would report has a
+/// tombstone the same predicate selects; see `MetaBlock::tomb_buf`).
+pub(crate) fn mirror_tombs(ctx: &mut ReadCtx, tombs: &[Point], q: i64) {
+    ctx.del
+        .extend(tombs.iter().filter(|t| t.x <= q && t.y >= q).map(|t| t.id));
+}
+
+/// As [`mirror_tombs`], selecting tombstones by the x-range predicate.
+fn mirror_tombs_x(ctx: &mut ReadCtx, tombs: &[Point], a1k: Key, a2k: Key) {
+    ctx.del.extend(
+        tombs
+            .iter()
+            .filter(|t| t.xkey() >= a1k && t.xkey() <= a2k)
+            .map(|t| t.id),
+    );
 }
 
 /// Filter the slice of `out` appended since `start` against the tombstone

@@ -85,17 +85,31 @@ impl MetablockTree {
         if let Some(root) = self.root {
             self.validate_rec(root, (i64::MIN, 0), (i64::MAX, u64::MAX), None, &mut all);
         }
-        // Physical contents = logical contents plus one shadowed copy per
-        // pending tombstone (annihilated at the next reorganisation).
-        assert_eq!(
-            all.len(),
-            self.len + self.tombs_pending,
-            "stored point count mismatch"
-        );
         assert_eq!(
             self.stats().pending_tombs,
             self.tombs_pending,
             "stale pending-tombstone counter"
+        );
+        // With a background shrink job in progress, the job's delta is part
+        // of the physical contents: its undrained live update points are
+        // stored points, and each undrained delta tombstone names a stored
+        // tree point it shadows (annihilated pairs cancel inside the delta
+        // and count on neither side).
+        let tree_ids: BTreeSet<u64> = all.iter().map(|p| p.id).collect();
+        for t in self.delta_tombs_unbilled() {
+            assert!(
+                tree_ids.contains(&t.id),
+                "delta tombstone {t:?} has no victim in the tree"
+            );
+        }
+        let (delta_live, tomb_rem) = self.delta_contents_unbilled();
+        all.extend(delta_live);
+        // Physical contents = logical contents plus one shadowed copy per
+        // pending tombstone, buffered in the tree or in the delta.
+        assert_eq!(
+            all.len(),
+            self.len + self.tombs_pending + tomb_rem,
+            "stored point count mismatch"
         );
         let mut ids: BTreeSet<u64> = BTreeSet::new();
         for p in &all {
@@ -199,6 +213,7 @@ impl MetablockTree {
         // victim (an exact copy, found in the mains or update buffer).
         let tombs = self.pages_unbilled(&meta.tomb);
         assert_eq!(tombs.len(), meta.n_tomb, "tombstone count mismatch");
+        assert_eq!(tombs, meta.tomb_buf, "stale tombstone control-block mirror");
         assert!(
             tombs.len() <= self.tomb_cap_pages() * self.geo.b,
             "tombstone buffer overfull: {} tombstones",
@@ -214,6 +229,19 @@ impl MetablockTree {
                 );
             }
         }
+
+        // Per-page live counts are exact: page points minus the pending
+        // tombstones of *this* metablock that match them (the landing
+        // invariant colocates every tombstone with its victim).
+        let tomb_ids: BTreeSet<u64> = tombs.iter().map(|t| t.id).collect();
+        assert_eq!(
+            meta.h_live,
+            horizontal
+                .chunks(self.geo.b)
+                .map(|c| c.iter().filter(|p| !tomb_ids.contains(&p.id)).count() as u32)
+                .collect::<Vec<_>>(),
+            "stale per-page live counts"
+        );
 
         all.extend_from_slice(&mains);
         all.extend_from_slice(&update);
@@ -311,16 +339,19 @@ impl MetablockTree {
                 }
             }
             assert_eq!(n_del, td.n_del_built, "TD delete-side built-count stale");
-            let mut n_staged = 0usize;
+            let mut staged: Vec<Point> = Vec::new();
             for &pg in &td.del_staged {
-                for t in self.store.read_unbilled(pg) {
-                    n_staged += 1;
-                    td_del_ids.insert(t.id);
-                }
+                staged.extend_from_slice(self.store.read_unbilled(pg));
             }
+            td_del_ids.extend(staged.iter().map(|t| t.id));
             assert_eq!(
-                n_staged, td.n_del_staged,
+                staged.len(),
+                td.n_del_staged,
                 "TD delete-side staged-count stale"
+            );
+            assert_eq!(
+                staged, td.del_staged_buf,
+                "stale TD delete-side control-block mirror"
             );
         }
         let mut left_points: Vec<Point> = Vec::new();
@@ -402,6 +433,16 @@ impl MetablockTree {
                 c.packed.h_tops,
                 child_meta.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
                 "stale packed horizontal-top mirror"
+            );
+            assert_eq!(
+                c.packed.h_live,
+                child_meta
+                    .h_live
+                    .iter()
+                    .take(h)
+                    .copied()
+                    .collect::<Vec<_>>(),
+                "stale packed live-count mirror"
             );
             assert_eq!(
                 c.packed.h_more,

@@ -44,11 +44,13 @@
 pub mod bbox;
 pub mod corner;
 mod diag;
+mod op;
 mod par;
 mod threesided;
 mod tuning;
 
 pub use corner::CornerStructure;
 pub use diag::{DiagOptions, DiagStats, MetablockTree};
+pub use op::Op;
 pub use threesided::{ThreeSidedStats, ThreeSidedTree};
 pub use tuning::Tuning;

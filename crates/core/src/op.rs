@@ -1,0 +1,27 @@
+//! Mixed write operations for the batched `apply_batch` paths.
+
+use ccix_extmem::Point;
+
+/// One write operation of a mixed batch (see
+/// [`crate::MetablockTree::apply_batch`] and
+/// [`crate::ThreeSidedTree::apply_batch`]).
+///
+/// Ops within one batch must be independent: the batch is re-ordered by
+/// x-key before routing, so deleting a point that the same batch inserts
+/// is a contract violation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Insert the point.
+    Insert(Point),
+    /// Delete a previously inserted point (routes a tombstone).
+    Delete(Point),
+}
+
+impl Op {
+    /// The point the operation routes on.
+    pub fn point(&self) -> Point {
+        match *self {
+            Op::Insert(p) | Op::Delete(p) => p,
+        }
+    }
+}

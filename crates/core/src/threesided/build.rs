@@ -244,6 +244,7 @@ impl ThreeSidedTree {
         let vkeys: Vec<Key> = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
         let vertical = self.store.alloc_run(by_x);
         let hkeys: Vec<Key> = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
+        let h_live: Vec<u32> = by_y.chunks(self.geo.b).map(|c| c.len() as u32).collect();
         let horizontal = self.store.alloc_run(by_y);
         let pst = pst.map(|plan| ExternalPst::from_plan(self.geo, self.counter.clone(), plan));
         TsMeta {
@@ -251,6 +252,7 @@ impl ThreeSidedTree {
             vkeys,
             horizontal,
             hkeys,
+            h_live,
             n_main: by_x.len(),
             y_lo_main: by_y.last().map(Point::ykey),
             main_bbox: BBox::of_points(by_x),
@@ -259,6 +261,7 @@ impl ThreeSidedTree {
             n_upd: 0,
             tomb: Vec::new(),
             n_tomb: 0,
+            tomb_buf: Vec::new(),
             tsl: None,
             tsr: None,
             children_pst: None,

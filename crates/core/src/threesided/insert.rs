@@ -21,16 +21,22 @@ impl ThreeSidedTree {
     /// `O(log_B n + (log_B n)²/B + (log2 B)/B)` I/Os (Lemma 4.4).
     pub fn insert(&mut self, p: Point) {
         self.len += 1;
-        match self.root {
-            None => {
-                let id = self.make_metablock(&SortedRun::from_sorted(vec![p]), Vec::new(), false);
-                self.root = Some(id);
+        // While a background shrink job holds the tree frozen, the insert
+        // diverts to the job's delta instead of routing.
+        if !self.delta_insert(p) {
+            match self.root {
+                None => {
+                    let id =
+                        self.make_metablock(&SortedRun::from_sorted(vec![p]), Vec::new(), false);
+                    self.root = Some(id);
+                }
+                Some(root) => self.insert_routed(Vec::new(), root, p),
             }
-            Some(root) => self.insert_routed(Vec::new(), root, p),
         }
+        self.pump_reorg();
     }
 
-    fn insert_routed(&mut self, above: Vec<MbId>, start: MbId, p: Point) {
+    pub(super) fn insert_routed(&mut self, above: Vec<MbId>, start: MbId, p: Point) {
         let mut path = above;
         let fix_from = path.len();
         let mut pinned: Vec<MbId> = Vec::new();
@@ -178,18 +184,21 @@ impl ThreeSidedTree {
         // Phase 5 — write back every dirty control block.
         self.flush_dirty(&dirty);
 
-        // Phase 6 — amortised triggers.
+        // Phase 6 — amortised triggers. With a finite reorganisation budget
+        // their charges are shunted into the debt meter and bled a few
+        // transfers per operation — the structure still evolves
+        // bit-identically to the all-at-once behaviour.
         if let Some(par) = parent {
             if td_total >= self.cap() {
-                self.ts_reorg(par);
+                self.with_shunt(|t| t.ts_reorg(par));
             } else if staged_full {
-                self.td_rebuild(par);
+                self.with_shunt(|t| t.td_rebuild(par));
             }
         }
         if update_full && self.metas[target].is_some() {
-            let n_main = self.level_i(target, parent);
+            let n_main = self.with_shunt(|t| t.level_i(target, parent));
             if n_main >= 2 * self.cap() {
-                self.level_ii(target, &path);
+                self.with_shunt(|t| t.level_ii(target, &path));
             }
         }
     }
@@ -223,6 +232,7 @@ impl ThreeSidedTree {
         self.store.free_run(&td.del_staged);
         td.del_staged.clear();
         td.n_del_staged = 0;
+        td.del_staged_buf.clear();
         let tombs = SortedRun::from_unsorted(del_pts);
 
         let (run, unmatched) = SortedRun::from_unsorted(pts).cancel(&tombs);
@@ -302,6 +312,7 @@ impl ThreeSidedTree {
         let tombs = SortedRun::from_unsorted(self.read_run(&m.tomb));
         self.store.free_run(&m.tomb);
         m.tomb.clear();
+        m.tomb_buf.clear();
         self.tombs_pending -= m.n_tomb;
         m.n_tomb = 0;
         let (by_x, unmatched) = mains_x.merge(delta).cancel(&tombs);
@@ -343,6 +354,7 @@ impl ThreeSidedTree {
         m.vkeys = by_x.chunks(self.geo.b).map(|c| c[0].xkey()).collect();
         m.vertical = self.store.alloc_run(by_x);
         m.hkeys = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
+        m.h_live = by_y.chunks(self.geo.b).map(|c| c.len() as u32).collect();
         m.horizontal = self.store.alloc_run(by_y);
         m.n_main = by_x.len();
         m.main_bbox = BBox::of_points(by_x);
@@ -364,7 +376,7 @@ impl ThreeSidedTree {
         }
     }
 
-    fn level_ii(&mut self, mb: MbId, path: &[MbId]) {
+    pub(super) fn level_ii(&mut self, mb: MbId, path: &[MbId]) {
         let is_leaf = self.meta(mb).is_leaf();
         if is_leaf {
             self.split_leaf(mb, path);

@@ -25,10 +25,12 @@
 //! tree; level-I/II reorganisations and branching splits carry over
 //! unchanged (Lemma 4.4).
 
+mod apply;
 mod build;
 mod delete;
 mod insert;
 mod query;
+mod reorg;
 mod validate;
 
 pub use validate::ThreeSidedStats;
@@ -61,6 +63,11 @@ pub(crate) struct TsTd {
     /// Tombstone staging pages.
     pub del_staged: Vec<PageId>,
     pub n_del_staged: usize,
+    /// Control-block mirror of the `del_staged` pages' contents (see the
+    /// diagonal tree's `TdInfo::del_staged_buf`): snapshot-answered routes
+    /// subtract these pending deletes for free; the pages stay
+    /// authoritative for the TD fold.
+    pub del_staged_buf: Vec<Point>,
 }
 
 impl TsTd {
@@ -85,6 +92,10 @@ pub(crate) struct TsMeta {
     pub horizontal: Vec<PageId>,
     /// First (largest) y-key of each horizontal page.
     pub hkeys: Vec<Key>,
+    /// Live (un-tombstoned) count of each horizontal page, decremented as
+    /// routed tombstones shadow main points; queries skip a fully-dead
+    /// page (the post-delete-flood stabbing fix — see the diagonal tree).
+    pub h_live: Vec<u32>,
     pub n_main: usize,
     pub y_lo_main: Option<Key>,
     pub main_bbox: Option<BBox>,
@@ -101,6 +112,12 @@ pub(crate) struct TsMeta {
     /// tree's tombstone buffer).
     pub tomb: Vec<PageId>,
     pub n_tomb: usize,
+    /// Control-block mirror of the `tomb` pages' contents (see the diagonal
+    /// tree's `MetaBlock::tomb_buf`): bounded by `tomb_cap_pages · B`
+    /// points, it lets queries subtract pending deletes for free instead of
+    /// paying one read per pending tombstone page. The pages stay
+    /// authoritative for every reorganisation merge.
+    pub tomb_buf: Vec<Point>,
     /// Snapshot of the top `B²` points of the left siblings.
     pub tsl: Option<TsInfo>,
     /// Snapshot of the top `B²` points of the right siblings.
@@ -147,6 +164,9 @@ pub struct ThreeSidedTree {
     /// Tree size at the last full (re)build.
     pub(crate) shrink_base: usize,
     pub(crate) tuning: crate::Tuning,
+    /// Incremental-reorganisation state: deferred-work debt plus the
+    /// in-progress background shrink job, if any (see [`crate::diag::reorg`]).
+    pub(crate) reorg: crate::diag::reorg::ReorgState,
 }
 
 impl ThreeSidedTree {
@@ -170,6 +190,7 @@ impl ThreeSidedTree {
             deletes_since_shrink: 0,
             shrink_base: 0,
             tuning,
+            reorg: crate::diag::reorg::ReorgState::default(),
         }
     }
 
@@ -377,11 +398,12 @@ impl ThreeSidedTree {
         if h == 0 {
             return;
         }
-        let (h_pages, h_tops, h_more, upd, tomb) = {
+        let (h_pages, h_tops, h_live, h_more, upd, tomb) = {
             let cm = self.metas[child].as_ref().expect("live child");
             (
                 cm.horizontal.iter().take(h).copied().collect::<Vec<_>>(),
                 cm.hkeys.iter().take(h).copied().collect::<Vec<_>>(),
+                cm.h_live.iter().take(h).copied().collect::<Vec<_>>(),
                 cm.horizontal.len() > h,
                 cm.update.clone(),
                 cm.tomb.clone(),
@@ -395,6 +417,7 @@ impl ThreeSidedTree {
             .expect("child present in parent");
         e.packed.h_pages = h_pages;
         e.packed.h_tops = h_tops;
+        e.packed.h_live = h_live;
         e.packed.h_more = h_more;
         e.packed.upd_pages = upd;
         e.packed.tomb_pages = tomb;

@@ -132,6 +132,10 @@ impl ThreeSidedTree {
         if let Some(root) = self.root {
             self.process(ctx, root, x1, x2, y0, out);
         }
+        // While a background shrink job is in progress, the query consults
+        // both sides: the (frozen or rebuilt) tree above, and the job's
+        // delta of diverted updates and tombstones here.
+        self.scan_delta_query(ctx, x1, x2, y0, out);
     }
 
     /// Process a metablock on a boundary path.
@@ -146,7 +150,7 @@ impl ThreeSidedTree {
     ) {
         let meta = self.ctx_meta(ctx, mb);
         self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
-        self.scan_tomb_pages(ctx, &meta.tomb, x1, x2, y0);
+        mirror_tombs(ctx, &meta.tomb_buf, x1, x2, y0);
         let (Some(bbox), Some(ylo)) = (meta.main_bbox, meta.y_lo_main) else {
             // Empty mains (fresh root or delete-flood degenerate): nothing
             // of its own to report, but live descendants stay reachable.
@@ -403,7 +407,7 @@ impl ThreeSidedTree {
             del.query_pinned(&mut ctx.pin, Self::pst_space(mb, 3), x1, x2, y0, &mut tmp);
             ctx.del.extend(tmp.into_iter().map(|t| t.id));
         }
-        self.scan_tomb_pages(ctx, &td.del_staged, x1, x2, y0);
+        mirror_tombs(ctx, &td.del_staged_buf, x1, x2, y0);
     }
 
     /// Report a fully-covered, fully-above subtree (Type III).
@@ -418,8 +422,11 @@ impl ThreeSidedTree {
     ) {
         let meta = self.ctx_meta(ctx, mb);
         self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
-        self.scan_tomb_pages(ctx, &meta.tomb, x1, x2, y0);
-        for &pg in &meta.horizontal {
+        mirror_tombs(ctx, &meta.tomb_buf, x1, x2, y0);
+        for (i, &pg) in meta.horizontal.iter().enumerate() {
+            if meta.h_live[i] == 0 {
+                continue; // every point shadowed by a pending tombstone
+            }
             for p in self.ctx_read(ctx, pg) {
                 debug_assert!(p.y >= y0 && p.x >= x1 && p.x <= x2);
                 out.push(*p);
@@ -456,7 +463,7 @@ impl ThreeSidedTree {
         if self.pack_h() == 0 {
             let meta = self.ctx_meta(ctx, entry.mb);
             self.scan_update_pages(ctx, &meta.update, x1, x2, y0, out);
-            self.scan_tomb_pages(ctx, &meta.tomb, x1, x2, y0);
+            mirror_tombs(ctx, &meta.tomb_buf, x1, x2, y0);
             if meta.main_bbox.is_some_and(|b| b.yhi >= (y0, 0)) {
                 self.horizontal_scan_down(ctx, meta, x1, x2, y0, out);
             }
@@ -464,7 +471,13 @@ impl ThreeSidedTree {
             return;
         }
         let qk: Key = (y0, 0);
-        self.scan_tomb_pages(ctx, &entry.packed.tomb_pages, x1, x2, y0);
+        if !entry.packed.tomb_pages.is_empty() {
+            // The child has pending deletes: one read of its control block
+            // fetches the tombstone mirror — never more I/Os than the
+            // page-by-page scan it replaces.
+            let child = self.ctx_meta(ctx, entry.mb);
+            mirror_tombs(ctx, &child.tomb_buf, x1, x2, y0);
+        }
         if entry.upd_ymax.is_some_and(|y| y >= qk) {
             self.scan_update_pages(ctx, &entry.packed.upd_pages, x1, x2, y0, out);
         }
@@ -474,6 +487,9 @@ impl ThreeSidedTree {
                 if entry.packed.h_tops[i] < qk {
                     crossed = true;
                     break;
+                }
+                if entry.packed.h_live.get(i) == Some(&0) {
+                    continue; // fully-dead page: skip without reading
                 }
                 for p in self.ctx_read(ctx, pg) {
                     if p.ykey() < qk {
@@ -493,6 +509,9 @@ impl ThreeSidedTree {
                 for (i, &pg) in meta.horizontal.iter().enumerate().skip(skip) {
                     if meta.hkeys[i] < qk {
                         break;
+                    }
+                    if meta.h_live[i] == 0 {
+                        continue; // fully-dead page: skip without reading
                     }
                     let mut done = false;
                     for p in self.ctx_read(ctx, pg) {
@@ -527,6 +546,9 @@ impl ThreeSidedTree {
             if meta.hkeys[i] < (y0, 0) {
                 break;
             }
+            if meta.h_live[i] == 0 {
+                continue; // fully-dead page: skip without reading
+            }
             let mut crossed = false;
             for p in self.ctx_read(ctx, pg) {
                 if p.ykey() < (y0, 0) {
@@ -558,28 +580,6 @@ impl ThreeSidedTree {
                     out.push(*p);
                 }
             }
-        }
-    }
-
-    /// Scan a run of tombstone pages, recording ids of pending deletes the
-    /// query predicate selects (see the diagonal tree's `scan_tomb_pages`).
-    /// No page — and no I/O — on insert-only workloads.
-    fn scan_tomb_pages(
-        &self,
-        ctx: &mut ReadCtx,
-        pages: &[ccix_extmem::PageId],
-        x1: i64,
-        x2: i64,
-        y0: i64,
-    ) {
-        for &pg in pages {
-            let dead: Vec<u64> = self
-                .ctx_read(ctx, pg)
-                .iter()
-                .filter(|t| t.x >= x1 && t.x <= x2 && t.y >= y0)
-                .map(|t| t.id)
-                .collect();
-            ctx.del.extend(dead);
         }
     }
 
@@ -618,6 +618,18 @@ impl ThreeSidedTree {
             }
         }
     }
+}
+
+/// Record the ids of pending tombstones the 3-sided predicate selects,
+/// straight from a control-block mirror — zero I/Os (see the diagonal
+/// tree's `mirror_tombs` and `TsMeta::tomb_buf`).
+fn mirror_tombs(ctx: &mut ReadCtx, tombs: &[Point], x1: i64, x2: i64, y0: i64) {
+    ctx.del.extend(
+        tombs
+            .iter()
+            .filter(|t| t.x >= x1 && t.x <= x2 && t.y >= y0)
+            .map(|t| t.id),
+    );
 }
 
 /// Debug check: a partial metablock's children are all dead (routing

@@ -82,6 +82,27 @@ pub struct Tuning {
     /// cold-per-operation accounting, where even the root transfers once
     /// per operation.
     pub resident_root: bool,
+    /// **Incremental reorganisation budget**: the maximum number of page
+    /// transfers of *deferred reorganisation work* an insert or delete pays
+    /// on top of its own routing. `0` (the default, and the paper's
+    /// behaviour) runs every reorganisation to completion inside the
+    /// triggering operation — amortised cost is optimal but a TD fold or
+    /// occupancy shrink is a stop-the-world pause.
+    ///
+    /// With a budget `k > 0` the trees run LSM-style: level-I merges, TD
+    /// folds, TS reorganisations, splits and push-downs execute with their
+    /// charges **shunted** ([`ccix_extmem::IoCounter::begin_shunt`]) into a
+    /// debt meter that each subsequent write bleeds at most `k` transfers
+    /// of, and the occupancy shrink becomes a **two-sided background job**:
+    /// the old tree is frozen while a resumable merge
+    /// ([`ccix_extmem::MergeCursor`]) rebuilds it a few pages per
+    /// operation, interim updates divert to a side delta the queries
+    /// consult alongside the tree, and after cutover the delta drains back
+    /// a few points per operation. Totals are conserved exactly (the debt
+    /// is real work, paid later), so amortised tables are unchanged in the
+    /// limit; what the knob buys is a *worst-case per-operation* bound of
+    /// `O(height) + k` transfers, gated by the EL latency table.
+    pub reorg_pages_per_op: usize,
     /// Threads for the **CPU-bound planning phases** of static (re)builds:
     /// the per-child sort/partition/corner/PST planning of
     /// `MetablockTree::build`, `ThreeSidedTree::build` and the subtree
@@ -108,6 +129,7 @@ impl Default for Tuning {
             corner_alpha: 2,
             pack_h_pages: 4,
             resident_root: true,
+            reorg_pages_per_op: 0,
             build_threads: 0,
         }
     }
@@ -127,6 +149,7 @@ impl Tuning {
             corner_alpha: 2,
             pack_h_pages: 0,
             resident_root: false,
+            reorg_pages_per_op: 0,
             build_threads: 1,
         }
     }

@@ -193,6 +193,97 @@ impl std::ops::Deref for SortedRun {
     }
 }
 
+/// A **resumable** two-way merge of `(x, id)`-sorted runs: the incremental
+/// counterpart of [`SortedRun::merge`], producing bit-identical output in
+/// bounded instalments.
+///
+/// An incremental reorganisation (`Tuning::reorg_pages_per_op`) cannot
+/// afford one `O(n)` merge inside a single insert or delete, so it parks
+/// the merge state here and advances it a few pages' worth of points per
+/// operation with [`MergeCursor::step`]. Because the inputs are strict
+/// total orders, every prefix the cursor emits is exactly the prefix the
+/// one-shot merge would have produced — dribbling changes *when* the work
+/// happens, never *what* it produces.
+#[derive(Debug)]
+pub struct MergeCursor {
+    a: Vec<Point>,
+    b: Vec<Point>,
+    i: usize,
+    j: usize,
+    out: Vec<Point>,
+}
+
+impl MergeCursor {
+    /// Park a merge of `a` and `b`, emitting nothing yet.
+    pub fn new(a: SortedRun, b: SortedRun) -> Self {
+        let (a, b) = (a.into_inner(), b.into_inner());
+        let cap = a.len() + b.len();
+        Self {
+            a,
+            b,
+            i: 0,
+            j: 0,
+            out: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Advance the merge by at most `max_points` output points (galloping
+    /// through uncontested stretches like the one-shot merge, clipped to
+    /// the budget). Returns `true` when the merge is complete.
+    pub fn step(&mut self, max_points: usize) -> bool {
+        let target = self
+            .out
+            .len()
+            .saturating_add(max_points)
+            .min(self.a.len() + self.b.len());
+        while self.out.len() < target {
+            let room = target - self.out.len();
+            match (self.a.get(self.i), self.b.get(self.j)) {
+                (Some(x), Some(y)) => {
+                    if x.xkey() < y.xkey() {
+                        let k = self.i + gallop_x(&self.a[self.i..], y.xkey()).min(room);
+                        self.out.extend_from_slice(&self.a[self.i..k]);
+                        self.i = k;
+                    } else {
+                        let k = self.j + gallop_x(&self.b[self.j..], x.xkey()).min(room);
+                        self.out.extend_from_slice(&self.b[self.j..k]);
+                        self.j = k;
+                    }
+                }
+                (Some(_), None) => {
+                    let k = (self.i + room).min(self.a.len());
+                    self.out.extend_from_slice(&self.a[self.i..k]);
+                    self.i = k;
+                }
+                (None, Some(_)) => {
+                    let k = (self.j + room).min(self.b.len());
+                    self.out.extend_from_slice(&self.b[self.j..k]);
+                    self.j = k;
+                }
+                (None, None) => break,
+            }
+        }
+        self.is_done()
+    }
+
+    /// True when every input point has been emitted.
+    pub fn is_done(&self) -> bool {
+        self.i == self.a.len() && self.j == self.b.len()
+    }
+
+    /// Input points not yet emitted.
+    pub fn remaining(&self) -> usize {
+        (self.a.len() - self.i) + (self.b.len() - self.j)
+    }
+
+    /// Run the merge to completion and unwrap the result (identical to
+    /// what [`SortedRun::merge`] over the original inputs returns).
+    pub fn finish(mut self) -> SortedRun {
+        self.step(usize::MAX);
+        SortedRun(self.out)
+    }
+}
+
 /// First index of `slice` whose `xkey` is `≥ key`, by exponential probing
 /// then binary search over the final octave. `O(log distance)`.
 fn gallop_x(slice: &[Point], key: (i64, u64)) -> usize {
@@ -496,6 +587,60 @@ mod tests {
             .collect();
         sort_by_y_desc(&mut want);
         assert_eq!(merged, want);
+    }
+
+    #[test]
+    fn cursor_dribble_equals_one_shot_merge() {
+        for &(na, nb) in &[
+            (0usize, 5usize),
+            (5, 0),
+            (7, 9),
+            (100, 3),
+            (64, 64),
+            (257, 129),
+        ] {
+            let a = pseudo_points(na, 0x1A);
+            let b: Vec<Point> = pseudo_points(nb, 0x1B)
+                .into_iter()
+                .map(|p| Point::new(p.x, p.y, p.id + 10_000))
+                .collect();
+            let ra = SortedRun::from_unsorted(a);
+            let rb = SortedRun::from_unsorted(b);
+            let want = ra.clone().merge(rb.clone()).into_inner();
+            for &chunk in &[1usize, 3, 16, 1000] {
+                let mut cur = MergeCursor::new(ra.clone(), rb.clone());
+                let mut steps = 0usize;
+                while !cur.step(chunk) {
+                    steps += 1;
+                    assert!(steps <= want.len() + 2, "cursor failed to make progress");
+                }
+                assert!(cur.is_done());
+                assert_eq!(cur.remaining(), 0);
+                let got = cur.finish().into_inner();
+                assert_eq!(got, want, "na={na} nb={nb} chunk={chunk}");
+            }
+        }
+    }
+
+    #[test]
+    fn cursor_step_budget_is_respected() {
+        let ra = SortedRun::from_unsorted(pseudo_points(200, 0x2A));
+        let rb = SortedRun::from_unsorted(
+            pseudo_points(200, 0x2B)
+                .into_iter()
+                .map(|p| Point::new(p.x, p.y, p.id + 10_000))
+                .collect(),
+        );
+        let total = ra.len() + rb.len();
+        let mut cur = MergeCursor::new(ra, rb);
+        cur.step(7);
+        assert_eq!(
+            cur.remaining(),
+            total - 7,
+            "a step emits exactly its budget"
+        );
+        cur.step(50);
+        assert_eq!(cur.remaining(), total - 57);
     }
 
     #[test]

@@ -17,19 +17,30 @@ use std::rc::Rc;
 pub struct IoStats {
     reads: Cell<u64>,
     writes: Cell<u64>,
+    shunt: Cell<bool>,
+    shunt_reads: Cell<u64>,
+    shunt_writes: Cell<u64>,
 }
 
 impl IoStats {
     /// Record `n` page reads.
     #[inline]
     pub fn add_reads(&self, n: u64) {
-        self.reads.set(self.reads.get() + n);
+        if self.shunt.get() {
+            self.shunt_reads.set(self.shunt_reads.get() + n);
+        } else {
+            self.reads.set(self.reads.get() + n);
+        }
     }
 
     /// Record `n` page writes.
     #[inline]
     pub fn add_writes(&self, n: u64) {
-        self.writes.set(self.writes.get() + n);
+        if self.shunt.get() {
+            self.shunt_writes.set(self.shunt_writes.get() + n);
+        } else {
+            self.writes.set(self.writes.get() + n);
+        }
     }
 
     /// Total page reads so far.
@@ -110,6 +121,41 @@ impl IoCounter {
             writes: self.writes() - snap.writes,
         }
     }
+
+    /// Start **shunting**: until [`IoCounter::end_shunt`], every charge on
+    /// this counter (through *any* clone — all stores sharing it) is
+    /// diverted to a side meter instead of the monotone totals.
+    ///
+    /// This is how an incremental reorganisation
+    /// (`Tuning::reorg_pages_per_op`) turns a stop-the-world rebuild into a
+    /// debt: the rebuild executes with its charges shunted, and the caller
+    /// bleeds the returned amounts back into the real counters a bounded
+    /// number per subsequent operation. Totals are conserved exactly; only
+    /// *when* each transfer is billed changes.
+    ///
+    /// # Panics
+    /// Panics if a shunt is already active (reorganisations are synchronous
+    /// and never nest their own shunts — the caller checks
+    /// [`IoCounter::shunt_active`] first).
+    pub fn begin_shunt(&self) {
+        assert!(!self.0.shunt.get(), "nested I/O shunt");
+        self.0.shunt.set(true);
+    }
+
+    /// Stop shunting and return the `(reads, writes)` diverted since
+    /// [`IoCounter::begin_shunt`]. The side meter is cleared.
+    pub fn end_shunt(&self) -> (u64, u64) {
+        assert!(self.0.shunt.get(), "end_shunt without begin_shunt");
+        self.0.shunt.set(false);
+        let r = self.0.shunt_reads.replace(0);
+        let w = self.0.shunt_writes.replace(0);
+        (r, w)
+    }
+
+    /// True while charges are being diverted to the side meter.
+    pub fn shunt_active(&self) -> bool {
+        self.0.shunt.get()
+    }
 }
 
 impl fmt::Debug for IoCounter {
@@ -178,5 +224,27 @@ mod tests {
         let c2 = c.clone();
         c2.add_writes(7);
         assert_eq!(c.writes(), 7);
+    }
+
+    #[test]
+    fn shunt_diverts_and_conserves() {
+        let c = IoCounter::new();
+        let c2 = c.clone();
+        c.add_reads(2);
+        c.begin_shunt();
+        assert!(c2.shunt_active(), "shunt state is shared across clones");
+        c.add_reads(5);
+        c2.add_writes(3); // charges through a clone are shunted too
+        assert_eq!(c.reads(), 2, "shunted charges bypass the totals");
+        assert_eq!(c.writes(), 0);
+        let (r, w) = c.end_shunt();
+        assert_eq!((r, w), (5, 3));
+        assert!(!c.shunt_active());
+        c.add_reads(r);
+        c.add_writes(w);
+        assert_eq!((c.reads(), c.writes()), (7, 3), "bled debt restores totals");
+        // The side meter was cleared.
+        c.begin_shunt();
+        assert_eq!(c.end_shunt(), (0, 0));
     }
 }

@@ -15,7 +15,7 @@
 //!   tunable leaf fill factor.
 
 use ccix_bptree::{BPlusTree, Entry};
-use ccix_core::{MetablockTree, Tuning};
+use ccix_core::{MetablockTree, Op, Tuning};
 use ccix_extmem::{Disk, Geometry, IoCounter, Point};
 
 /// A closed interval with an application id (a *generalized key*: the
@@ -44,6 +44,15 @@ impl Interval {
     fn point(&self) -> Point {
         Point::new(self.lo, self.hi, self.id)
     }
+}
+
+/// One operation of a mixed batch (see [`IntervalIndex::apply_batch`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IntervalOp {
+    /// Insert the interval.
+    Insert(Interval),
+    /// Delete a previously inserted interval.
+    Delete(Interval),
 }
 
 /// How the index answers left-endpoint range queries (the Type 1/2 part of
@@ -259,6 +268,46 @@ impl IntervalIndex {
         }
         self.stab.delete_batch(&pts);
         self.len -= intervals.len();
+    }
+
+    /// Apply a mixed batch of inserts and deletes as **one batched
+    /// operation**: the stabbing structure routes the whole batch in
+    /// sorted order over a shared pinned read context
+    /// ([`ccix_core::MetablockTree::apply_batch`]), so a correlated mixed
+    /// flood pays the shared descent prefix once per residency instead of
+    /// once per op; in [`EndpointMode::BTree`] the endpoint entries are
+    /// maintained eagerly, one at a time, exactly as for serial ops.
+    ///
+    /// Ops must be independent: deleting an interval the same batch
+    /// inserts is a contract violation.
+    pub fn apply_batch(&mut self, ops: &[IntervalOp]) {
+        if let Some((disk, tree)) = &mut self.endpoints {
+            for op in ops {
+                match *op {
+                    IntervalOp::Insert(iv) => {
+                        tree.insert_entry(disk, Entry::with_aux(iv.lo, iv.id, iv.hi as u64));
+                    }
+                    IntervalOp::Delete(iv) => {
+                        let removed = tree.delete(disk, iv.lo, iv.id);
+                        debug_assert!(removed, "deleted interval has no endpoint entry");
+                    }
+                }
+            }
+        }
+        let core_ops: Vec<Op> = ops
+            .iter()
+            .map(|op| match *op {
+                IntervalOp::Insert(iv) => Op::Insert(iv.point()),
+                IntervalOp::Delete(iv) => Op::Delete(iv.point()),
+            })
+            .collect();
+        self.stab.apply_batch(&core_ops);
+        for op in ops {
+            match op {
+                IntervalOp::Insert(_) => self.len += 1,
+                IntervalOp::Delete(_) => self.len -= 1,
+            }
+        }
     }
 
     /// Logically deleted intervals whose tombstones are still pending

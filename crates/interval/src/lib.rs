@@ -41,5 +41,5 @@
 mod index;
 mod naive;
 
-pub use index::{EndpointMode, Interval, IntervalIndex, IntervalOptions};
+pub use index::{EndpointMode, Interval, IntervalIndex, IntervalOp, IntervalOptions};
 pub use naive::NaiveIntervalStore;
