@@ -18,7 +18,7 @@ use ccix_bptree::{BPlusTree, Entry};
 use ccix_class::{ClassIndex, RakeClassIndex, RangeTreeClassIndex};
 use ccix_core::{MetablockTree, ThreeSidedTree};
 use ccix_extmem::{Disk, Geometry, IoCounter};
-use ccix_interval::IntervalIndex;
+use ccix_interval::IndexBuilder;
 use ccix_pst::{ExternalPst, InCorePst};
 
 const N: usize = 50_000;
@@ -205,7 +205,7 @@ fn bench_pst(h: &Harness) {
 fn bench_interval(h: &Harness) {
     let geo = Geometry::new(B);
     let ivs = workloads::uniform_intervals(N, 9, 4 * N as i64, 2_000);
-    let idx = IntervalIndex::build(geo, IoCounter::new(), &ivs);
+    let idx = IndexBuilder::new(geo).bulk(IoCounter::new(), &ivs);
     let mut r = workloads::rng(10);
     h.bench("interval/stabbing", || {
         let _ = idx.stabbing(r.gen_range(0..4 * N as i64));

@@ -1,0 +1,19 @@
+//! Experiment binary: see `ccix_bench::experiments::ec_throughput`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_throughput_baseline.json` (the snapshot-serving throughput
+//! baseline — wall-clock only, gated by absolute bounds):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_throughput -- --json > BENCH_throughput_baseline.json
+//! ```
+fn main() {
+    let tables = ccix_bench::experiments::ec_throughput();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

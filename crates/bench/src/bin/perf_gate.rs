@@ -40,6 +40,12 @@
 //!   claim: with budget k = 8 the worst single op stays ≤ 40 I/Os at
 //!   n=500k (the k = 0 row keeps the O(n/B) stop-the-world spike for
 //!   contrast). Wall clock is a smoke ceiling only.
+//! * **EC** (`exp_throughput --json`, baseline
+//!   `BENCH_throughput_baseline.json`) — snapshot-serving throughput under
+//!   a concurrent writer flood. Wall-clock only, so nothing is diffed
+//!   relatively; the absolute bounds pin reader scaling (scaling loss
+//!   ≤ 2.0 at 8 readers, i.e. ≥ 4× single-reader qps on an 8-core runner)
+//!   and the p99 commit-visibility latency ceiling.
 //!
 //! ```text
 //! cargo run --release -p ccix-bench --bin exp_interval -- --json > new.json
@@ -52,6 +58,8 @@
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_delete_baseline.json newd.json
 //! cargo run --release -p ccix-bench --bin exp_latency -- --json > newl.json
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_latency_baseline.json newl.json
+//! cargo run --release -p ccix-bench --bin exp_throughput -- --json > newt.json
+//! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_throughput_baseline.json newt.json
 //! ```
 //!
 //! Std-only (the workspace has no registry access): the JSON reader below
@@ -210,6 +218,23 @@ const SPECS: &[Spec] = &[
                 "flood ms",
                 2_500.0,
             ),
+        ],
+        space_rule: false,
+    },
+    Spec {
+        // Snapshot-serving throughput. Pure wall clock, so nothing is
+        // diffed relatively; the absolute bounds carry the acceptance
+        // criteria. "scaling loss" = min(readers, cores)/speedup: ≤ 2.0 at
+        // 8 readers means ≥ 4× single-reader qps on an 8-core runner and
+        // stays trivially satisfied on boxes with no parallelism to lose.
+        // The p99 commit-visibility ceiling is sized ~10× the measured
+        // dev-box number, like the other wall-clock smoke bounds.
+        title_prefix: "EC —",
+        key_cols: &["B", "n", "readers"],
+        gated: &[],
+        absolute: &[
+            (&[("readers", "8")], "scaling loss", 2.0),
+            (&[("readers", "8")], "p99 vis ms", 250.0),
         ],
         space_rule: false,
     },

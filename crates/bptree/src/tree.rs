@@ -13,7 +13,7 @@ use crate::layout::{read_node, write_node, Entry, Layout, Node};
 /// * [`BPlusTree::range`] — `O(log_B n + t/B)`,
 /// * [`BPlusTree::insert`] / [`BPlusTree::delete`] — `O(log_B n)`,
 /// * space — `O(n/B)` pages.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct BPlusTree {
     root: PageId,
     height: usize, // 1 = the root is a leaf

@@ -29,12 +29,14 @@
 #![warn(missing_docs)]
 
 mod baselines;
+mod builder;
 pub mod heavy;
 mod hierarchy;
 mod rake;
 mod rangetree;
 
 pub use baselines::{FullExtentBaseline, SingleIndexBaseline};
+pub use builder::{IndexBuilder, Strategy};
 pub use hierarchy::{ClassId, Hierarchy};
 pub use rake::RakeClassIndex;
 pub use rangetree::RangeTreeClassIndex;
@@ -124,6 +126,16 @@ pub trait ClassIndex {
             .iter()
             .map(|&(c, a1, a2)| self.query(c, a1, a2))
             .collect()
+    }
+
+    /// As [`ClassIndex::query_batch`], reusing `outs` for the result
+    /// buffers — the canonical `_into` shape of the batch surface (see
+    /// `docs/architecture.md` § Batched operations). The default routes
+    /// through [`ClassIndex::query_batch`] so every strategy's batched
+    /// descent override is reused.
+    fn query_batch_into(&self, queries: &[(ClassId, i64, i64)], outs: &mut Vec<Vec<u64>>) {
+        outs.clear();
+        outs.extend(self.query_batch(queries));
     }
 
     /// Disk blocks occupied.

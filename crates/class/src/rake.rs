@@ -18,7 +18,7 @@
 //! * space `O((n/B) · log2 c)` (Theorem 4.7).
 
 use ccix_bptree::BPlusTree;
-use ccix_core::{Op, ThreeSidedTree};
+use ccix_core::{Op, ThreeSidedTree, Tuning};
 use ccix_extmem::{Disk, Geometry, IoCounter, Point};
 
 use crate::heavy::{decompose, HeavyPaths};
@@ -49,8 +49,20 @@ pub struct RakeClassIndex {
 }
 
 impl RakeClassIndex {
-    /// Create an empty index over `hierarchy`.
+    /// Create an empty index over `hierarchy` with the measured default
+    /// [`Tuning`].
     pub fn new(hierarchy: Hierarchy, geo: Geometry, counter: IoCounter) -> Self {
+        Self::new_tuned(hierarchy, geo, counter, Tuning::default())
+    }
+
+    /// Create an empty index over `hierarchy` with explicit write-path
+    /// tuning for the per-path 3-sided trees.
+    pub fn new_tuned(
+        hierarchy: Hierarchy,
+        geo: Geometry,
+        counter: IoCounter,
+        tuning: Tuning,
+    ) -> Self {
         let paths = decompose(&hierarchy);
         let mut disk = Disk::new((24 * geo.b + 7).max(103), counter.clone());
         let structures: Vec<PathStructure> = paths
@@ -61,7 +73,11 @@ impl RakeClassIndex {
                 if is_singleton_leaf {
                     PathStructure::Flat(BPlusTree::new(&mut disk))
                 } else {
-                    PathStructure::ThreeSided(Box::new(ThreeSidedTree::new(geo, counter.clone())))
+                    PathStructure::ThreeSided(Box::new(ThreeSidedTree::new_tuned(
+                        geo,
+                        counter.clone(),
+                        tuning,
+                    )))
                 }
             })
             .collect();

@@ -19,7 +19,7 @@
 //! [`IndexError::OffGridQuery`].
 
 use ccix_extmem::{Geometry, IoCounter};
-use ccix_interval::{Interval, IntervalIndex};
+use ccix_interval::{IndexBuilder, Interval, IntervalIndex};
 
 use crate::tuple::Bound;
 use crate::{Atom, GeneralizedRelation, Rat};
@@ -105,7 +105,7 @@ impl GeneralizedIndex {
             debug_assert!(lo_key <= hi_key, "projection interval inverted");
             intervals.push(Interval::new(lo_key, hi_key, id as u64));
         }
-        let index = IntervalIndex::build(geo, counter, &intervals);
+        let index = IndexBuilder::new(geo).bulk(counter, &intervals);
         Ok(Self {
             relation: relation.clone(),
             var,

@@ -200,7 +200,7 @@ pub(crate) struct TsInfo {
 /// The fold that settles staged inserts into the corner structure also
 /// annihilates insert/delete pairs, so only tombstones whose insert
 /// predates the TD survive into `del_corner`.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct TdInfo {
     /// Corner structure over the settled TD points.
     pub corner: Option<CornerStructure>,
@@ -237,7 +237,7 @@ impl TdInfo {
 }
 
 /// One metablock: `O(1)` control blocks plus the blockings of §3.1.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct MetaBlock {
     /// Main points, x-sorted, `B` per page ("vertically oriented blocks").
     pub vertical: Vec<PageId>,
@@ -397,6 +397,41 @@ impl MetablockTree {
             options,
             tuning,
             reorg: reorg::ReorgState::default(),
+        }
+    }
+
+    /// Fork a frozen read **snapshot** of this tree, charging its I/O to
+    /// `counter`.
+    ///
+    /// The snapshot shares every data page with the live tree copy-on-write
+    /// (see [`ccix_extmem::TypedStore::fork`]) and deep-copies only the
+    /// control blocks, so forking costs `O(metablocks)` memory and zero
+    /// I/O charges. It answers every read exactly as the live tree would
+    /// at the moment of the fork — buffered updates, pending tombstones
+    /// and even a mid-flight incremental shrink job (whose frozen runs and
+    /// side delta are part of the copied control state) included. Reads on
+    /// the snapshot bill `counter`, never the live tree's counter or its
+    /// active shunt.
+    ///
+    /// This is the storage half of epoch-based publication: the serving
+    /// layer forks an epoch after each group commit, readers hold it via
+    /// `Arc`, and the pages a later mutation replaces stay alive until the
+    /// last holder drops — see `ccix-serve`.
+    pub fn fork_snapshot(&self, counter: IoCounter) -> Self {
+        Self {
+            geo: self.geo,
+            counter: counter.clone(),
+            store: self.store.fork(counter),
+            metas: self.metas.clone(),
+            dead_metas: self.dead_metas,
+            root: self.root,
+            len: self.len,
+            tombs_pending: self.tombs_pending,
+            deletes_since_shrink: self.deletes_since_shrink,
+            shrink_base: self.shrink_base,
+            options: self.options,
+            tuning: self.tuning,
+            reorg: self.reorg.clone(),
         }
     }
 

@@ -117,18 +117,33 @@ impl MetablockTree {
     /// (they share the whole path); fully scattered batches degrade
     /// gracefully to per-query cost.
     pub fn query_batch(&self, qs: &[i64]) -> Vec<Vec<Point>> {
+        let mut outs = Vec::new();
+        self.query_batch_into(qs, &mut outs);
+        outs
+    }
+
+    /// As [`MetablockTree::query_batch`], reusing `outs` for the per-query
+    /// result buffers: `outs` is resized to `qs.len()` and each slot is
+    /// cleared before its answer is appended, so a steady-state caller
+    /// (e.g. the serving layer answering floods of stabbing batches)
+    /// allocates nothing. This is the canonical `_into` shape of the batch
+    /// surface — see `docs/architecture.md` § Batched operations.
+    pub fn query_batch_into(&self, qs: &[i64], outs: &mut Vec<Vec<Point>>) {
+        outs.truncate(qs.len());
+        for o in outs.iter_mut() {
+            o.clear();
+        }
+        outs.resize_with(qs.len(), Vec::new);
         let mut order: Vec<usize> = (0..qs.len()).collect();
         order.sort_by_key(|&i| qs[i]);
         let mut ctx = self.read_ctx();
-        let mut outs: Vec<Vec<Point>> = vec![Vec::new(); qs.len()];
         for &i in &order {
             self.query_ctx(&mut ctx, qs[i], &mut outs[i]);
         }
         // Tombstone ids are globally deleted (pending deletes shadow their
         // unique victim), so the batch filters every answer against the
         // ids the whole operation discovered.
-        filter_deleted_batch(&ctx, &mut outs);
-        outs
+        filter_deleted_batch(&ctx, outs);
     }
 
     /// One query within an existing read context.
@@ -614,6 +629,13 @@ impl MetablockTree {
     /// This is what lets the interval index answer the left-endpoint range
     /// of an intersection query without a second copy of the data in a
     /// B+-tree.
+    pub fn x_range(&self, x1: i64, x2: i64) -> Vec<Point> {
+        let mut out = Vec::new();
+        self.x_range_into(x1, x2, &mut out);
+        out
+    }
+
+    /// As [`MetablockTree::x_range`], appending into `out`.
     pub fn x_range_into(&self, x1: i64, x2: i64, out: &mut Vec<Point>) {
         let mut ctx = self.read_ctx();
         let start = out.len();

@@ -40,7 +40,7 @@ use ccix_extmem::{MergeCursor, PageId, Point, SortedRun};
 use super::{MbId, MetablockTree, ReadCtx};
 
 /// Debt meter plus the in-progress shrink job, if any.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct ReorgState {
     /// Shunted reads not yet bled into the live counter.
     pub debt_reads: u64,
@@ -58,7 +58,7 @@ impl ReorgState {
 }
 
 /// A two-sided occupancy shrink in progress.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct ShrinkJob {
     pub phase: JobPhase,
     /// Logical size when the tree was frozen; the cutover's rebuilt tree
@@ -75,7 +75,7 @@ impl ShrinkJob {
     }
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) enum JobPhase {
     /// Reading the frozen subtree's page runs, `k` pages per pump.
     Collect {
@@ -98,7 +98,7 @@ pub(crate) enum JobPhase {
 }
 
 /// One frozen page run awaiting collection.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct RunSpec {
     pub pages: Vec<PageId>,
     pub pos: usize,
@@ -114,7 +114,7 @@ pub(crate) struct RunSpec {
 /// the id sets are in-memory job state, bounded by the operations that
 /// arrive during the job — the same scale as the pinned working memory the
 /// model grants an operation.
-#[derive(Debug, Default)]
+#[derive(Clone, Debug, Default)]
 pub(crate) struct DeltaBuf {
     pub upd_pages: Vec<PageId>,
     pub n_upd: usize,
@@ -209,6 +209,18 @@ impl MetablockTree {
             self.reorg.debt_writes -= w;
         }
         had_job
+    }
+
+    /// Advance the deferred reorganisation by one per-op budget slice:
+    /// push any in-progress shrink job forward and bleed up to
+    /// [`crate::Tuning::reorg_pages_per_op`] transfers of debt into the
+    /// live counters. A no-op when the budget is 0. Returns `true` while
+    /// work remains (a job in progress or unbled debt) — the serving
+    /// layer's writer pumps this between group commits so publish latency
+    /// stays bounded without ever stopping the world.
+    pub fn pump_reorg_step(&mut self) -> bool {
+        self.pump_reorg();
+        self.reorg.job.is_some() || self.reorg.debt() > 0
     }
 
     // ---- the shrink job --------------------------------------------------

@@ -71,6 +71,22 @@ pub(crate) struct TsTd {
 }
 
 impl TsTd {
+    /// Deep-copy the control state, forking the PSTs onto `counter` (see
+    /// [`ThreeSidedTree::fork_snapshot`]).
+    pub fn fork(&self, counter: &IoCounter) -> Self {
+        Self {
+            pst: self.pst.as_ref().map(|p| p.fork(counter.clone())),
+            n_built: self.n_built,
+            staged: self.staged.clone(),
+            n_staged: self.n_staged,
+            del_pst: self.del_pst.as_ref().map(|p| p.fork(counter.clone())),
+            n_del_built: self.n_del_built,
+            del_staged: self.del_staged.clone(),
+            n_del_staged: self.n_del_staged,
+            del_staged_buf: self.del_staged_buf.clone(),
+        }
+    }
+
     pub fn total(&self) -> usize {
         self.n_built + self.n_staged
     }
@@ -133,6 +149,32 @@ impl TsMeta {
     pub fn is_leaf(&self) -> bool {
         self.children.is_empty()
     }
+
+    /// Deep-copy the control state, forking the per-metablock PSTs onto
+    /// `counter` (see [`ThreeSidedTree::fork_snapshot`]).
+    pub fn fork(&self, counter: &IoCounter) -> Self {
+        Self {
+            vertical: self.vertical.clone(),
+            vkeys: self.vkeys.clone(),
+            horizontal: self.horizontal.clone(),
+            hkeys: self.hkeys.clone(),
+            h_live: self.h_live.clone(),
+            n_main: self.n_main,
+            y_lo_main: self.y_lo_main,
+            main_bbox: self.main_bbox,
+            pst: self.pst.as_ref().map(|p| p.fork(counter.clone())),
+            update: self.update.clone(),
+            n_upd: self.n_upd,
+            tomb: self.tomb.clone(),
+            n_tomb: self.n_tomb,
+            tomb_buf: self.tomb_buf.clone(),
+            tsl: self.tsl.clone(),
+            tsr: self.tsr.clone(),
+            children_pst: self.children_pst.as_ref().map(|p| p.fork(counter.clone())),
+            td: self.td.as_ref().map(|t| t.fork(counter)),
+            children: self.children.clone(),
+        }
+    }
 }
 
 /// The dynamic 3-sided metablock tree (§4).
@@ -191,6 +233,31 @@ impl ThreeSidedTree {
             shrink_base: 0,
             tuning,
             reorg: crate::diag::reorg::ReorgState::default(),
+        }
+    }
+
+    /// Fork a frozen read **snapshot** of this tree, charging its I/O to
+    /// `counter` — the §4 counterpart of
+    /// [`crate::MetablockTree::fork_snapshot`], with the per-metablock
+    /// PSTs forked copy-on-write alongside the point store.
+    pub fn fork_snapshot(&self, counter: IoCounter) -> Self {
+        Self {
+            geo: self.geo,
+            counter: counter.clone(),
+            store: self.store.fork(counter.clone()),
+            metas: self
+                .metas
+                .iter()
+                .map(|m| m.as_ref().map(|m| m.fork(&counter)))
+                .collect(),
+            dead_metas: self.dead_metas,
+            root: self.root,
+            len: self.len,
+            tombs_pending: self.tombs_pending,
+            deletes_since_shrink: self.deletes_since_shrink,
+            shrink_base: self.shrink_base,
+            tuning: self.tuning,
+            reorg: self.reorg.clone(),
         }
     }
 

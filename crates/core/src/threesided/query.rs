@@ -103,18 +103,31 @@ impl ThreeSidedTree {
     /// billed once per residency instead of once per query. Results are in
     /// input order.
     pub fn query_batch(&self, queries: &[(i64, i64, i64)]) -> Vec<Vec<Point>> {
+        let mut outs = Vec::new();
+        self.query_batch_into(queries, &mut outs);
+        outs
+    }
+
+    /// As [`ThreeSidedTree::query_batch`], reusing `outs` for the
+    /// per-query result buffers (resized to `queries.len()`, each slot
+    /// cleared) — the canonical `_into` shape of the batch surface, see
+    /// `docs/architecture.md` § Batched operations.
+    pub fn query_batch_into(&self, queries: &[(i64, i64, i64)], outs: &mut Vec<Vec<Point>>) {
+        outs.truncate(queries.len());
+        for o in outs.iter_mut() {
+            o.clear();
+        }
+        outs.resize_with(queries.len(), Vec::new);
         let mut order: Vec<usize> = (0..queries.len()).collect();
         order.sort_by_key(|&i| queries[i]);
         let mut ctx = self.read_ctx();
-        let mut outs: Vec<Vec<Point>> = vec![Vec::new(); queries.len()];
         for &i in &order {
             let (x1, x2, y0) = queries[i];
             self.query_ctx(&mut ctx, x1, x2, y0, &mut outs[i]);
         }
         // Tombstone ids are globally deleted: filter every answer of the
         // batch against the ids the whole operation discovered.
-        crate::diag::filter_deleted_batch(&ctx, &mut outs);
-        outs
+        crate::diag::filter_deleted_batch(&ctx, outs);
     }
 
     /// One query within an existing read context.

@@ -82,6 +82,15 @@ impl ThreeSidedTree {
         had_job
     }
 
+    /// Advance the deferred reorganisation by one per-op budget slice and
+    /// bleed up to [`crate::Tuning::reorg_pages_per_op`] transfers of debt;
+    /// see [`crate::MetablockTree::pump_reorg_step`]. Returns `true` while
+    /// work remains.
+    pub fn pump_reorg_step(&mut self) -> bool {
+        self.pump_reorg();
+        self.reorg.job.is_some() || self.reorg.debt() > 0
+    }
+
     // ---- the shrink job --------------------------------------------------
 
     /// Freeze the tree and start a background shrink job (budget > 0 only).

@@ -83,6 +83,24 @@ impl Disk {
         self.pages[id.0 as usize] = Some(buf.to_vec().into_boxed_slice());
     }
 
+    /// Fork a deep-copy snapshot of this device, charging future I/O on the
+    /// fork to `counter`.
+    ///
+    /// Uncharged, like [`crate::TypedStore::fork`] — it models publishing an
+    /// epoch, not a transfer. Unlike the typed store the byte device copies
+    /// its pages eagerly: it only backs auxiliary structures (the B+-tree
+    /// endpoint directory, class-hierarchy baselines) whose page counts are
+    /// small next to the point stores, so copy-on-write plumbing isn't worth
+    /// the complexity here.
+    pub fn fork(&self, counter: IoCounter) -> Self {
+        Self {
+            page_size: self.page_size,
+            pages: self.pages.clone(),
+            free: self.free.clone(),
+            counter,
+        }
+    }
+
     /// Read a page without charging an I/O.
     ///
     /// Only for validation code in tests (oracle comparisons, invariant

@@ -204,7 +204,7 @@ impl std::ops::Deref for SortedRun {
 /// total orders, every prefix the cursor emits is exactly the prefix the
 /// one-shot merge would have produced — dribbling changes *when* the work
 /// happens, never *what* it produces.
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct MergeCursor {
     a: Vec<Point>,
     b: Vec<Point>,

@@ -9,6 +9,7 @@
 //! serialised node layout on the same accounting substrate.)
 
 use crate::stats::IoCounter;
+use std::sync::Arc;
 
 /// Identifier of a page within one [`TypedStore`] or [`crate::Disk`].
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -26,9 +27,17 @@ impl PageId {
 /// Reads and writes are charged one I/O per page through the shared
 /// [`IoCounter`]. Allocation writes the initial contents (one I/O), matching
 /// the convention that building a structure pays for every page it emits.
+///
+/// Pages are held behind [`Arc`] so a store can be [`TypedStore::fork`]ed
+/// into a copy-on-write snapshot in O(pages) pointer bumps: the fork shares
+/// every page buffer with the original, and subsequent in-place mutations on
+/// either side ([`TypedStore::append`]) clone only the touched page. This is
+/// the storage half of the epoch-snapshot mechanism the serving layer uses;
+/// I/O accounting is unchanged because sharing is invisible to the charge
+/// points.
 #[derive(Debug)]
 pub struct TypedStore<T> {
-    pages: Vec<Option<Vec<T>>>,
+    pages: Vec<Option<Arc<Vec<T>>>>,
     free: Vec<PageId>,
     /// Recycled page buffers: freed pages park their (cleared) `Vec`
     /// allocations here and `alloc_run` reuses them, so the free→realloc
@@ -81,11 +90,11 @@ impl<T: Clone> TypedStore<T> {
         );
         self.counter.add_writes(1);
         if let Some(id) = self.free.pop() {
-            self.pages[id.index()] = Some(records);
+            self.pages[id.index()] = Some(Arc::new(records));
             id
         } else {
             let id = PageId(u32::try_from(self.pages.len()).expect("page id overflow"));
-            self.pages.push(Some(records));
+            self.pages.push(Some(Arc::new(records)));
             id
         }
     }
@@ -117,6 +126,25 @@ impl<T: Clone> TypedStore<T> {
             .expect("read of freed page")
     }
 
+    /// Fork a copy-on-write snapshot of this store, charging future I/O on
+    /// the fork to `counter`.
+    ///
+    /// The fork shares every live page buffer with the original (an `Arc`
+    /// bump per page, no data copied); a later in-place mutation on either
+    /// side clones just the page it touches. Forking itself is uncharged —
+    /// it models publishing an epoch of an already-materialised structure,
+    /// not a transfer — and the fresh counter keeps snapshot readers from
+    /// polluting the writer's accounting (or its active shunt).
+    pub fn fork(&self, counter: IoCounter) -> Self {
+        Self {
+            pages: self.pages.clone(),
+            free: self.free.clone(),
+            spare: Vec::new(),
+            capacity: self.capacity,
+            counter,
+        }
+    }
+
     /// Append one record to a live page in place: the read-modify-write of
     /// a buffer append — one read plus one write I/O, exactly what the
     /// separate `read`/`write` pair charges — without cloning the page
@@ -135,7 +163,7 @@ impl<T: Clone> TypedStore<T> {
             "page overflow: append to a full page of capacity {}",
             self.capacity
         );
-        page.push(record);
+        Arc::make_mut(page).push(record);
     }
 
     /// Overwrite a page. Costs one write I/O.
@@ -151,17 +179,22 @@ impl<T: Clone> TypedStore<T> {
             "write to freed page {id:?}"
         );
         self.counter.add_writes(1);
-        self.pages[id.index()] = Some(records);
+        self.pages[id.index()] = Some(Arc::new(records));
     }
 
     /// Release a page back to the free list. Free of charge (deallocation
     /// needs no transfer). The page's buffer is recycled for `alloc_run`.
     pub fn free(&mut self, id: PageId) {
         let page = self.pages[id.index()].take().expect("double free of page");
+        // Recycling only works when no snapshot still shares the buffer;
+        // otherwise the Arc keeps the page alive for its readers and we
+        // simply drop our reference (epoch-based reclamation: the last
+        // snapshot to release the page frees it).
         if self.spare.len() < SPARE_CAP {
-            let mut page = page;
-            page.clear();
-            self.spare.push(page);
+            if let Ok(mut page) = Arc::try_unwrap(page) {
+                page.clear();
+                self.spare.push(page);
+            }
         }
         self.free.push(id);
     }
@@ -288,6 +321,28 @@ mod tests {
         let a = s.alloc(vec![1]);
         s.free(a);
         s.read(a);
+    }
+
+    #[test]
+    fn fork_is_uncharged_and_copy_on_write() {
+        let mut s = store(4);
+        let a = s.alloc(vec![1, 2]);
+        let snap_counter = IoCounter::new();
+        let f = s.fork(snap_counter.clone());
+        assert_eq!(s.counter().total(), 1, "fork charges nothing");
+        assert_eq!(snap_counter.total(), 0);
+
+        // Mutating the original never shows through the fork.
+        s.append(a, 3);
+        s.write(a, vec![9]);
+        assert_eq!(f.read(a), &[1, 2], "fork sees the frozen page");
+        assert_eq!(s.read_unbilled(a), &[9]);
+        // Fork reads bill the fork's counter, not the original's.
+        assert_eq!(snap_counter.reads(), 1);
+
+        // Freeing a shared page on the original leaves the fork intact.
+        s.free(a);
+        assert_eq!(f.read_unbilled(a), &[1, 2]);
     }
 
     #[test]

@@ -1,0 +1,101 @@
+//! The one way to construct an [`IntervalIndex`].
+//!
+//! Earlier revisions grew four constructors (`new`, `new_with`, `build`,
+//! `build_with`) whose cross-product with [`IntervalOptions`] kept
+//! expanding. [`IndexBuilder`] collapses them: configure once, then
+//! [`IndexBuilder::open`] an empty index or [`IndexBuilder::bulk`]-load
+//! one. The old constructors remain as thin deprecated shims.
+
+use ccix_core::Tuning;
+use ccix_extmem::{Geometry, IoCounter};
+
+use crate::index::{EndpointMode, Interval, IntervalIndex, IntervalOptions};
+
+/// Configures and constructs [`IntervalIndex`] instances.
+///
+/// The builder is `Copy` and its construction methods take `&self`, so one
+/// configured builder can stamp out any number of indexes (the differential
+/// test suites open a fresh index per trial from a single builder).
+///
+/// ```
+/// use ccix_extmem::{Geometry, IoCounter};
+/// use ccix_interval::{IndexBuilder, Interval};
+///
+/// let builder = IndexBuilder::new(Geometry::new(16));
+/// let idx = builder.bulk(
+///     IoCounter::new(),
+///     &[Interval::new(1, 5, 7), Interval::new(4, 9, 8)],
+/// );
+/// let mut hit = idx.stabbing(2);
+/// hit.sort_unstable();
+/// assert_eq!(hit, vec![7]);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct IndexBuilder {
+    geo: Geometry,
+    options: IntervalOptions,
+}
+
+impl IndexBuilder {
+    /// Start from `geo` with the default layout ([`IntervalOptions`]:
+    /// slab endpoints, measured default tuning).
+    pub fn new(geo: Geometry) -> Self {
+        Self {
+            geo,
+            options: IntervalOptions::default(),
+        }
+    }
+
+    /// Replace the whole option set at once.
+    pub fn options(mut self, options: IntervalOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Use the paper's §2.1 layout ([`IntervalOptions::paper`]): endpoint
+    /// B+-tree plus the paper's buffer constants.
+    pub fn paper(mut self) -> Self {
+        self.options = IntervalOptions::paper();
+        self
+    }
+
+    /// Endpoint-range strategy (see [`EndpointMode`]).
+    pub fn endpoints(mut self, mode: EndpointMode) -> Self {
+        self.options.endpoints = mode;
+        self
+    }
+
+    /// Write-path/space tuning for the stabbing structure.
+    pub fn tuning(mut self, tuning: Tuning) -> Self {
+        self.options.tuning = tuning;
+        self
+    }
+
+    /// Leaf fill factor (percent, 50–100) for the endpoint B+-tree's bulk
+    /// load; ignored in slab mode. `None` packs leaves full.
+    pub fn btree_leaf_fill(mut self, fill: Option<usize>) -> Self {
+        self.options.btree_leaf_fill = fill;
+        self
+    }
+
+    /// The configured options.
+    pub fn configured_options(&self) -> IntervalOptions {
+        self.options
+    }
+
+    /// The configured geometry.
+    pub fn geometry(&self) -> Geometry {
+        self.geo
+    }
+
+    /// Open an empty index charging I/O to `counter`.
+    pub fn open(&self, counter: IoCounter) -> IntervalIndex {
+        IntervalIndex::open_impl(self.geo, counter, self.options)
+    }
+
+    /// Bulk-build an index over `intervals` (ids must be unique), charging
+    /// the build's I/O to `counter`.
+    pub fn bulk(&self, counter: IoCounter, intervals: &[Interval]) -> IntervalIndex {
+        IntervalIndex::bulk_impl(self.geo, counter, intervals, self.options)
+    }
+}

@@ -116,12 +116,18 @@ impl IntervalIndex {
     }
 
     /// Create an empty index with the default (slab-endpoint, tuned) layout.
+    #[deprecated(note = "use `IndexBuilder::new(geo).open(counter)`")]
     pub fn new(geo: Geometry, counter: IoCounter) -> Self {
-        Self::new_with(geo, counter, IntervalOptions::default())
+        Self::open_impl(geo, counter, IntervalOptions::default())
     }
 
     /// Create an empty index with explicit options.
+    #[deprecated(note = "use `IndexBuilder::new(geo).options(options).open(counter)`")]
     pub fn new_with(geo: Geometry, counter: IoCounter, options: IntervalOptions) -> Self {
+        Self::open_impl(geo, counter, options)
+    }
+
+    pub(crate) fn open_impl(geo: Geometry, counter: IoCounter, options: IntervalOptions) -> Self {
         let endpoints = match options.endpoints {
             EndpointMode::Slab => None,
             EndpointMode::BTree => {
@@ -147,12 +153,23 @@ impl IntervalIndex {
 
     /// Bulk-build from a set of intervals (ids must be unique), with the
     /// default layout.
+    #[deprecated(note = "use `IndexBuilder::new(geo).bulk(counter, intervals)`")]
     pub fn build(geo: Geometry, counter: IoCounter, intervals: &[Interval]) -> Self {
-        Self::build_with(geo, counter, intervals, IntervalOptions::default())
+        Self::bulk_impl(geo, counter, intervals, IntervalOptions::default())
     }
 
     /// Bulk-build with explicit options.
+    #[deprecated(note = "use `IndexBuilder::new(geo).options(options).bulk(counter, intervals)`")]
     pub fn build_with(
+        geo: Geometry,
+        counter: IoCounter,
+        intervals: &[Interval],
+        options: IntervalOptions,
+    ) -> Self {
+        Self::bulk_impl(geo, counter, intervals, options)
+    }
+
+    pub(crate) fn bulk_impl(
         geo: Geometry,
         counter: IoCounter,
         intervals: &[Interval],
@@ -207,6 +224,50 @@ impl IntervalIndex {
     /// The shared I/O counter (covers every component structure).
     pub fn counter(&self) -> &IoCounter {
         &self.counter
+    }
+
+    /// Fork a frozen read **snapshot** of the whole index, charging its
+    /// I/O to `counter`.
+    ///
+    /// Every component forks copy-on-write (see
+    /// [`ccix_core::MetablockTree::fork_snapshot`]); the snapshot answers
+    /// every read — stabbing, batches, intersections — exactly as the live
+    /// index would at the moment of the fork, including buffered updates
+    /// and pending tombstones. Reads on the snapshot bill `counter`, never
+    /// the live index's counter. This is the epoch the `ccix-serve` layer
+    /// publishes behind an `Arc` after each group commit.
+    pub fn fork_snapshot(&self, counter: IoCounter) -> Self {
+        Self {
+            geo: self.geo,
+            counter: counter.clone(),
+            endpoints: self
+                .endpoints
+                .as_ref()
+                .map(|(disk, tree)| (disk.fork(counter.clone()), tree.clone())),
+            stab: self.stab.fork_snapshot(counter),
+            len: self.len,
+        }
+    }
+
+    /// Advance the stabbing structure's deferred reorganisation by one
+    /// per-op budget slice (see
+    /// [`ccix_core::MetablockTree::pump_reorg_step`]); returns `true`
+    /// while work remains. A no-op unless
+    /// [`ccix_core::Tuning::reorg_pages_per_op`] is finite.
+    pub fn pump_reorg_step(&mut self) -> bool {
+        self.stab.pump_reorg_step()
+    }
+
+    /// Deferred reorganisation debt in page transfers (see
+    /// [`ccix_core::MetablockTree::reorg_debt`]).
+    pub fn reorg_debt(&self) -> u64 {
+        self.stab.reorg_debt()
+    }
+
+    /// Run any in-progress reorganisation to completion and bill all
+    /// deferred debt (see [`ccix_core::MetablockTree::flush_reorgs`]).
+    pub fn flush_reorgs(&mut self) {
+        self.stab.flush_reorgs()
     }
 
     /// Disk blocks occupied by all component structures.
@@ -337,17 +398,43 @@ impl IntervalIndex {
             .collect()
     }
 
+    /// As [`IntervalIndex::stab_batch`], reusing `outs` for the per-query
+    /// result buffers (resized to `qs.len()`, each slot cleared) — the
+    /// canonical `_into` shape of the batch surface, see
+    /// `docs/architecture.md` § Batched operations.
+    pub fn stab_batch_into(&self, qs: &[i64], outs: &mut Vec<Vec<u64>>) {
+        outs.truncate(qs.len());
+        for o in outs.iter_mut() {
+            o.clear();
+        }
+        outs.resize_with(qs.len(), Vec::new);
+        let mut pts = Vec::new();
+        self.stab.query_batch_into(qs, &mut pts);
+        for (o, ps) in outs.iter_mut().zip(&pts) {
+            o.extend(ps.iter().map(|p| p.id));
+        }
+    }
+
     /// As [`IntervalIndex::stab_batch`], returning full intervals.
     pub fn stab_batch_intervals(&self, qs: &[i64]) -> Vec<Vec<Interval>> {
-        self.stab
-            .query_batch(qs)
-            .into_iter()
-            .map(|pts| {
-                pts.into_iter()
-                    .map(|p| Interval::new(p.x, p.y, p.id))
-                    .collect()
-            })
-            .collect()
+        let mut outs = Vec::new();
+        self.stab_batch_intervals_into(qs, &mut outs);
+        outs
+    }
+
+    /// As [`IntervalIndex::stab_batch_intervals`], reusing `outs` (see
+    /// [`IntervalIndex::stab_batch_into`]).
+    pub fn stab_batch_intervals_into(&self, qs: &[i64], outs: &mut Vec<Vec<Interval>>) {
+        outs.truncate(qs.len());
+        for o in outs.iter_mut() {
+            o.clear();
+        }
+        outs.resize_with(qs.len(), Vec::new);
+        let mut pts = Vec::new();
+        self.stab.query_batch_into(qs, &mut pts);
+        for (o, ps) in outs.iter_mut().zip(&pts) {
+            o.extend(ps.iter().map(|p| Interval::new(p.x, p.y, p.id)));
+        }
     }
 
     /// As [`IntervalIndex::stabbing`], returning full intervals.
@@ -357,6 +444,32 @@ impl IntervalIndex {
         pts.into_iter()
             .map(|p| Interval::new(p.x, p.y, p.id))
             .collect()
+    }
+
+    /// Report every stored interval whose **left endpoint** lies in
+    /// `[x1, x2]`, in `O(log_B n + t/B)` I/Os — the one-dimensional
+    /// x-range that an intersection query composes with a stabbing query
+    /// (Proposition 2.2). Answered from the endpoint B+-tree in
+    /// [`EndpointMode::BTree`], or the metablock tree's slab order in
+    /// [`EndpointMode::Slab`].
+    pub fn left_range(&self, x1: i64, x2: i64) -> Vec<Interval> {
+        let mut out = Vec::new();
+        if x1 > x2 {
+            return out;
+        }
+        match &self.endpoints {
+            Some((disk, tree)) => {
+                for e in tree.range_entries(disk, x1, x2) {
+                    out.push(Interval::new(e.key, e.aux as i64, e.value));
+                }
+            }
+            None => {
+                let mut pts = Vec::new();
+                self.stab.x_range_into(x1, x2, &mut pts);
+                out.extend(pts.into_iter().map(|p| Interval::new(p.x, p.y, p.id)));
+            }
+        }
+        out
     }
 
     /// Ids of all intervals intersecting `[q1, q2]`.
@@ -421,13 +534,10 @@ mod tests {
                 Interval::new(lo, lo + (i * 13) % 90, i as u64)
             })
             .collect();
-        let slab = IntervalIndex::build(Geometry::new(8), IoCounter::new(), &ivs);
-        let btree = IntervalIndex::build_with(
-            Geometry::new(8),
-            IoCounter::new(),
-            &ivs,
-            IntervalOptions::paper(),
-        );
+        let slab = crate::IndexBuilder::new(Geometry::new(8)).bulk(IoCounter::new(), &ivs);
+        let btree = crate::IndexBuilder::new(Geometry::new(8))
+            .paper()
+            .bulk(IoCounter::new(), &ivs);
         assert!(
             slab.space_pages() < btree.space_pages(),
             "slab mode drops a copy"

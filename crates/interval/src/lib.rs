@@ -21,9 +21,9 @@
 //!
 //! ```
 //! use ccix_extmem::{Geometry, IoCounter};
-//! use ccix_interval::IntervalIndex;
+//! use ccix_interval::IndexBuilder;
 //!
-//! let mut idx = IntervalIndex::new(Geometry::new(8), IoCounter::new());
+//! let mut idx = IndexBuilder::new(Geometry::new(8)).open(IoCounter::new());
 //! idx.insert(1, 4, 10);
 //! idx.insert(3, 9, 11);
 //! idx.insert(6, 7, 12);
@@ -38,8 +38,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod builder;
 mod index;
 mod naive;
 
+pub use builder::IndexBuilder;
 pub use index::{EndpointMode, Interval, IntervalIndex, IntervalOp, IntervalOptions};
 pub use naive::NaiveIntervalStore;

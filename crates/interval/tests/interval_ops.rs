@@ -2,7 +2,7 @@
 //! (Proposition 2.2 / §2.1).
 
 use ccix_extmem::{Geometry, IoCounter};
-use ccix_interval::{Interval, IntervalIndex, NaiveIntervalStore};
+use ccix_interval::{IndexBuilder, Interval, NaiveIntervalStore};
 
 fn xorshift(seed: u64) -> impl FnMut() -> u64 {
     let mut x = seed | 1;
@@ -47,7 +47,7 @@ fn oracle_intersect(ivs: &[Interval], q1: i64, q2: i64) -> Vec<u64> {
 
 #[test]
 fn empty_index() {
-    let idx = IntervalIndex::new(Geometry::new(8), IoCounter::new());
+    let idx = IndexBuilder::new(Geometry::new(8)).open(IoCounter::new());
     assert!(idx.is_empty());
     assert!(idx.stabbing(0).is_empty());
     assert!(idx.intersecting(-5, 5).is_empty());
@@ -57,7 +57,7 @@ fn empty_index() {
 fn built_index_matches_oracle() {
     for &(n, b) in &[(100usize, 4usize), (2_000, 8), (5_000, 16)] {
         let ivs = random_intervals(n, 0x1D + n as u64, 1_000, 50);
-        let idx = IntervalIndex::build(Geometry::new(b), IoCounter::new(), &ivs);
+        let idx = IndexBuilder::new(Geometry::new(b)).bulk(IoCounter::new(), &ivs);
         for q in (-10..1_060).step_by(53) {
             let mut got = idx.stabbing(q);
             got.sort_unstable();
@@ -78,7 +78,7 @@ fn built_index_matches_oracle() {
 
 #[test]
 fn incremental_index_matches_oracle() {
-    let mut idx = IntervalIndex::new(Geometry::new(4), IoCounter::new());
+    let mut idx = IndexBuilder::new(Geometry::new(4)).open(IoCounter::new());
     let ivs = random_intervals(3_000, 0xF1FE, 500, 30);
     for (i, iv) in ivs.iter().enumerate() {
         idx.insert(iv.lo, iv.hi, iv.id);
@@ -111,7 +111,7 @@ fn full_interval_reporting_preserves_endpoints() {
         Interval::new(5, 6, 2),
         Interval::new(8, 20, 3),
     ];
-    let idx = IntervalIndex::build(Geometry::new(4), IoCounter::new(), &ivs);
+    let idx = IndexBuilder::new(Geometry::new(4)).bulk(IoCounter::new(), &ivs);
     let mut got = idx.intersecting_intervals(6, 9);
     got.sort_unstable_by_key(|iv| iv.id);
     assert_eq!(got, ivs, "full records including right endpoints");
@@ -124,7 +124,7 @@ fn no_duplicates_when_lo_equals_query_start() {
         Interval::new(5, 5, 2),
         Interval::new(6, 7, 3),
     ];
-    let idx = IntervalIndex::build(Geometry::new(4), IoCounter::new(), &ivs);
+    let idx = IndexBuilder::new(Geometry::new(4)).bulk(IoCounter::new(), &ivs);
     let mut got = idx.intersecting(5, 7);
     got.sort_unstable();
     assert_eq!(got, vec![1, 2, 3]);
@@ -139,7 +139,7 @@ fn query_io_bound() {
     let n = 40_000;
     let ivs = random_intervals(n, 0xB0B0, 200_000, 1_000);
     let counter = IoCounter::new();
-    let idx = IntervalIndex::build(geo, counter.clone(), &ivs);
+    let idx = IndexBuilder::new(geo).bulk(counter.clone(), &ivs);
     for q in (0..200_000).step_by(7_919) {
         let before = counter.snapshot();
         let got = idx.intersecting(q, q + 500);
@@ -162,7 +162,7 @@ fn space_bound() {
     let geo = Geometry::new(b);
     let n = 40_000;
     let ivs = random_intervals(n, 3, 1_000_000, 500);
-    let idx = IntervalIndex::build(geo, IoCounter::new(), &ivs);
+    let idx = IndexBuilder::new(geo).bulk(IoCounter::new(), &ivs);
     let budget = 12 * geo.out_blocks(n) + 30;
     assert!(
         idx.space_pages() <= budget,
@@ -180,7 +180,7 @@ fn naive_crossover_direction() {
     let ivs = random_intervals(n, 0xE9, 100_000, 100);
 
     let idx_counter = IoCounter::new();
-    let idx = IntervalIndex::build(geo, idx_counter.clone(), &ivs);
+    let idx = IndexBuilder::new(geo).bulk(idx_counter.clone(), &ivs);
     let naive_counter = IoCounter::new();
     let mut naive = NaiveIntervalStore::new(geo, naive_counter.clone());
     for iv in &ivs {

@@ -168,6 +168,24 @@ impl ExternalPst {
         Self::build_from_sorted(geo, counter, SortedRun::from_unsorted(points))
     }
 
+    /// Fork a copy-on-write read snapshot of this PST, charging its I/O to
+    /// `counter`.
+    ///
+    /// The fork shares every node page with the original (see
+    /// [`ccix_extmem::TypedStore::fork`]) and drops the in-memory layout
+    /// mirror, which only rebuilds consult: a fork answers queries exactly
+    /// but is a read handle for the epoch-snapshot machinery, not a rebuild
+    /// target.
+    pub fn fork(&self, counter: IoCounter) -> Self {
+        Self {
+            store: self.store.fork(counter),
+            root: self.root,
+            len: self.len,
+            height: self.height,
+            layout: None,
+        }
+    }
+
     /// Build from an already x-sorted run, skipping the sort (and the
     /// duplicate-id scan — the run's strict order is the caller's proof).
     pub fn build_from_sorted(geo: Geometry, counter: IoCounter, sorted: SortedRun) -> Self {

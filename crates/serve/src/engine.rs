@@ -1,0 +1,462 @@
+//! Epoch publication and group-committed writes.
+//!
+//! The [`Engine`] owns the live [`IntervalIndex`] on a dedicated writer
+//! thread. Writes enter through a bounded submission queue; the writer
+//! drains whatever has accumulated, applies each submission as one sorted
+//! [`IntervalIndex::apply_batch`] flood, pumps a bounded amount of
+//! incremental-reorganisation debt, then **publishes** one new epoch for
+//! the whole group: a [`IntervalIndex::fork_snapshot`] behind an `Arc`,
+//! swapped into the engine's published slot.
+//!
+//! # Epoch lifecycle and reclamation
+//!
+//! An epoch is immutable from the moment it is published. Readers obtain a
+//! [`Snapshot`] (an `Arc` clone) and query it without any lock; the writer
+//! never blocks on readers and readers never block on the writer. The
+//! copy-on-write stores mean consecutive epochs share almost every page;
+//! a page replaced by a later commit stays alive exactly until the last
+//! snapshot that can see it is dropped — `Arc` reference counts *are* the
+//! epoch-based reclamation, there is no separate garbage list to pump.
+//!
+//! # Commit visibility
+//!
+//! [`Engine::submit`] returns a [`CommitTicket`]. The ticket resolves when
+//! the epoch containing that submission has been published — from that
+//! moment every [`Engine::snapshot`] observes the write. The delay between
+//! submission and resolution is the commit-visibility latency the
+//! `exp_throughput` experiment reports at p99.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{mpsc, Arc, RwLock};
+use std::thread::JoinHandle;
+
+use ccix_extmem::IoCounter;
+use ccix_interval::{Interval, IntervalIndex, IntervalOp};
+
+/// One immutable published version of the index.
+///
+/// Holds a frozen [`IntervalIndex::fork_snapshot`] plus the commit
+/// coordinates that identify it: `seq` (number of commits, i.e. publishes)
+/// and `ops_applied` (total write operations visible in it — always a
+/// whole prefix of the submission stream, since submissions are applied
+/// atomically and in order).
+#[derive(Debug)]
+pub struct Epoch {
+    index: IntervalIndex,
+    seq: u64,
+    ops_applied: u64,
+}
+
+/// A shared read handle on one [`Epoch`].
+///
+/// Cloning is an `Arc` bump; every read method takes `&self` and charges
+/// the epoch's own [`IoCounter`], so any number of threads can query the
+/// same snapshot concurrently while the writer commits new epochs.
+#[derive(Clone, Debug)]
+pub struct Snapshot(Arc<Epoch>);
+
+impl Snapshot {
+    /// Commit number of the underlying epoch (0 = the initial index,
+    /// before any group commit).
+    pub fn seq(&self) -> u64 {
+        self.0.seq
+    }
+
+    /// Total write operations visible in this snapshot. Submissions are
+    /// applied whole and in order, so this is always a prefix length of
+    /// the submission stream — which is what lets the stress suite replay
+    /// an oracle to exactly this snapshot's state.
+    pub fn ops_applied(&self) -> u64 {
+        self.0.ops_applied
+    }
+
+    /// Number of intervals stored.
+    pub fn len(&self) -> usize {
+        self.0.index.len()
+    }
+
+    /// True when no intervals are stored.
+    pub fn is_empty(&self) -> bool {
+        self.0.index.is_empty()
+    }
+
+    /// The epoch's own I/O counter (reader traffic never pollutes the
+    /// writer's accounting).
+    pub fn counter(&self) -> &IoCounter {
+        self.0.index.counter()
+    }
+
+    /// Ids of all intervals containing `q` (see
+    /// [`IntervalIndex::stabbing`]).
+    pub fn query(&self, q: i64) -> Vec<u64> {
+        self.0.index.stabbing(q)
+    }
+
+    /// As [`Snapshot::query`], returning full intervals.
+    pub fn query_intervals(&self, q: i64) -> Vec<Interval> {
+        self.0.index.stabbing_intervals(q)
+    }
+
+    /// Batched stabbing queries (see [`IntervalIndex::stab_batch`]).
+    pub fn stab_batch(&self, qs: &[i64]) -> Vec<Vec<u64>> {
+        self.0.index.stab_batch(qs)
+    }
+
+    /// As [`Snapshot::stab_batch`], reusing `outs` (see
+    /// [`IntervalIndex::stab_batch_into`]).
+    pub fn stab_batch_into(&self, qs: &[i64], outs: &mut Vec<Vec<u64>>) {
+        self.0.index.stab_batch_into(qs, outs)
+    }
+
+    /// Intervals whose left endpoint lies in `[x1, x2]` (see
+    /// [`IntervalIndex::left_range`]).
+    pub fn x_range(&self, x1: i64, x2: i64) -> Vec<Interval> {
+        self.0.index.left_range(x1, x2)
+    }
+
+    /// Ids of all intervals intersecting `[q1, q2]` (see
+    /// [`IntervalIndex::intersecting`]).
+    pub fn intersecting(&self, q1: i64, q2: i64) -> Vec<u64> {
+        self.0.index.intersecting(q1, q2)
+    }
+}
+
+/// Where a committed submission became visible.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommitInfo {
+    /// The publishing epoch's commit number.
+    pub seq: u64,
+    /// Total operations applied up to and including this submission.
+    pub ops_applied: u64,
+}
+
+/// Resolves when the submission it was issued for is visible to every new
+/// [`Engine::snapshot`].
+#[derive(Debug)]
+pub struct CommitTicket {
+    rx: Receiver<CommitInfo>,
+}
+
+impl CommitTicket {
+    /// Block until the submission's epoch is published.
+    ///
+    /// # Panics
+    /// Panics if the engine shut down before committing the submission.
+    pub fn wait(self) -> CommitInfo {
+        self.rx
+            .recv()
+            .expect("engine dropped uncommitted submission")
+    }
+}
+
+/// Writer-side configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct EngineConfig {
+    /// Capacity of the bounded submission queue, in submissions.
+    /// [`Engine::submit`] blocks when full — backpressure instead of
+    /// unbounded memory.
+    pub queue_depth: usize,
+    /// Upper bound on operations drained into one group commit; a commit
+    /// closes early when the queue runs dry.
+    pub group_max_ops: usize,
+    /// Reorganisation pump budget per commit, in
+    /// [`IntervalIndex::pump_reorg_step`] slices. Bounds the extra publish
+    /// latency a background shrink job may add to any single commit.
+    pub reorg_pump_slices: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 64,
+            group_max_ops: 4096,
+            reorg_pump_slices: 64,
+        }
+    }
+}
+
+enum Submission {
+    Apply(Vec<IntervalOp>, Sender<CommitInfo>),
+    /// Publish an epoch even if no ops are pending (a commit barrier).
+    Flush(Sender<CommitInfo>),
+    Shutdown,
+}
+
+/// The serving engine: one writer thread, any number of snapshot readers.
+///
+/// ```
+/// use ccix_extmem::{Geometry, IoCounter};
+/// use ccix_interval::{IndexBuilder, Interval, IntervalOp};
+/// use ccix_serve::{Engine, EngineConfig};
+///
+/// let idx = IndexBuilder::new(Geometry::new(16))
+///     .bulk(IoCounter::new(), &[Interval::new(1, 5, 7)]);
+/// let engine = Engine::start(idx, EngineConfig::default());
+/// let ticket = engine.submit(vec![IntervalOp::Insert(Interval::new(2, 9, 8))]);
+/// ticket.wait();
+/// let snap = engine.snapshot();
+/// let mut hits = snap.query(3);
+/// hits.sort_unstable();
+/// assert_eq!(hits, vec![7, 8]);
+/// engine.shutdown();
+/// ```
+#[derive(Debug)]
+pub struct Engine {
+    published: Arc<RwLock<Arc<Epoch>>>,
+    tx: SyncSender<Submission>,
+    /// Mirrors the published epoch's seq for lock-free progress checks.
+    seq: Arc<AtomicU64>,
+    writer: Option<JoinHandle<IntervalIndex>>,
+}
+
+impl Engine {
+    /// Take ownership of `index` and start the writer thread. The initial
+    /// epoch (seq 0) is published immediately.
+    pub fn start(index: IntervalIndex, config: EngineConfig) -> Self {
+        assert!(config.queue_depth > 0, "queue depth must be positive");
+        assert!(config.group_max_ops > 0, "group size must be positive");
+        let epoch0 = Arc::new(Epoch {
+            index: index.fork_snapshot(IoCounter::new()),
+            seq: 0,
+            ops_applied: 0,
+        });
+        let published = Arc::new(RwLock::new(epoch0));
+        let (tx, rx) = sync_channel(config.queue_depth);
+        let seq = Arc::new(AtomicU64::new(0));
+        let writer = {
+            let published = Arc::clone(&published);
+            let seq = Arc::clone(&seq);
+            std::thread::Builder::new()
+                .name("ccix-serve-writer".into())
+                .spawn(move || writer_loop(index, rx, published, seq, config))
+                .expect("spawn writer thread")
+        };
+        Self {
+            published,
+            tx,
+            seq,
+            writer: Some(writer),
+        }
+    }
+
+    /// The newest published epoch as a read handle. Lock held only for the
+    /// `Arc` clone.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(Arc::clone(&self.published.read().expect("publish lock")))
+    }
+
+    /// Commit number of the newest published epoch, without touching the
+    /// publish lock.
+    pub fn seq(&self) -> u64 {
+        self.seq.load(Relaxed)
+    }
+
+    /// Enqueue a batch of write operations as one atomic submission.
+    /// Blocks while the submission queue is full (backpressure). Ops
+    /// within the submission must be independent (the
+    /// [`IntervalIndex::apply_batch`] contract); independence across
+    /// submissions is not required — each is applied as its own flood, in
+    /// submission order.
+    pub fn submit(&self, ops: Vec<IntervalOp>) -> CommitTicket {
+        let (ack, rx) = mpsc::channel();
+        self.tx
+            .send(Submission::Apply(ops, ack))
+            .expect("writer thread gone");
+        CommitTicket { rx }
+    }
+
+    /// As [`Engine::submit`], but fail fast instead of blocking when the
+    /// queue is full. Returns the ops back on `Err`.
+    pub fn try_submit(&self, ops: Vec<IntervalOp>) -> Result<CommitTicket, Vec<IntervalOp>> {
+        let (ack, rx) = mpsc::channel();
+        match self.tx.try_send(Submission::Apply(ops, ack)) {
+            Ok(()) => Ok(CommitTicket { rx }),
+            Err(TrySendError::Full(Submission::Apply(ops, _))) => Err(ops),
+            Err(_) => panic!("writer thread gone"),
+        }
+    }
+
+    /// Commit barrier: resolves once everything submitted before it is
+    /// published.
+    pub fn flush(&self) -> CommitInfo {
+        let (ack, rx) = mpsc::channel();
+        self.tx
+            .send(Submission::Flush(ack))
+            .expect("writer thread gone");
+        rx.recv().expect("engine dropped flush")
+    }
+
+    /// Stop the writer after it drains everything already queued, and take
+    /// the live index back.
+    pub fn shutdown(mut self) -> IntervalIndex {
+        self.tx
+            .send(Submission::Shutdown)
+            .expect("writer thread gone");
+        self.writer
+            .take()
+            .expect("writer already joined")
+            .join()
+            .expect("writer thread panicked")
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        if let Some(h) = self.writer.take() {
+            let _ = self.tx.send(Submission::Shutdown);
+            let _ = h.join();
+        }
+    }
+}
+
+fn writer_loop(
+    mut index: IntervalIndex,
+    rx: Receiver<Submission>,
+    published: Arc<RwLock<Arc<Epoch>>>,
+    seq: Arc<AtomicU64>,
+    config: EngineConfig,
+) -> IntervalIndex {
+    let mut cur_seq = 0u64;
+    let mut ops_applied = 0u64;
+    let mut acks: Vec<(Sender<CommitInfo>, u64)> = Vec::new();
+    'serve: loop {
+        // Block for the first submission of the group…
+        let first = match rx.recv() {
+            Ok(s) => s,
+            Err(_) => break 'serve, // every Engine handle dropped
+        };
+        let mut group_ops = 0usize;
+        let mut shutdown = false;
+        let apply = |sub: Submission,
+                     index: &mut IntervalIndex,
+                     ops_applied: &mut u64,
+                     group_ops: &mut usize,
+                     acks: &mut Vec<(Sender<CommitInfo>, u64)>| {
+            match sub {
+                Submission::Apply(ops, ack) => {
+                    // Each submission is one sorted flood of its own: the
+                    // batch-independence contract holds within a
+                    // submission, not across them.
+                    index.apply_batch(&ops);
+                    *ops_applied += ops.len() as u64;
+                    *group_ops += ops.len();
+                    acks.push((ack, *ops_applied));
+                    false
+                }
+                Submission::Flush(ack) => {
+                    acks.push((ack, *ops_applied));
+                    false
+                }
+                Submission::Shutdown => true,
+            }
+        };
+        shutdown |= apply(
+            first,
+            &mut index,
+            &mut ops_applied,
+            &mut group_ops,
+            &mut acks,
+        );
+        // …then opportunistically drain what else has queued up, bounded
+        // by the group budget: that's the group commit.
+        while !shutdown && group_ops < config.group_max_ops {
+            match rx.try_recv() {
+                Ok(sub) => {
+                    shutdown |= apply(sub, &mut index, &mut ops_applied, &mut group_ops, &mut acks)
+                }
+                Err(_) => break,
+            }
+        }
+        // Pump a bounded slice of deferred reorganisation debt between
+        // commits, so background shrink jobs advance even while write
+        // traffic is saturating and publish latency stays bounded.
+        for _ in 0..config.reorg_pump_slices {
+            if !index.pump_reorg_step() {
+                break;
+            }
+        }
+        // Publish one epoch for the whole group, then resolve its tickets.
+        cur_seq += 1;
+        let epoch = Arc::new(Epoch {
+            index: index.fork_snapshot(IoCounter::new()),
+            seq: cur_seq,
+            ops_applied,
+        });
+        *published.write().expect("publish lock") = epoch;
+        seq.store(cur_seq, Relaxed);
+        for (ack, visible_at) in acks.drain(..) {
+            let _ = ack.send(CommitInfo {
+                seq: cur_seq,
+                ops_applied: visible_at,
+            });
+        }
+        if shutdown {
+            break 'serve;
+        }
+    }
+    index
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ccix_extmem::Geometry;
+    use ccix_interval::IndexBuilder;
+
+    fn ivs(n: usize) -> Vec<Interval> {
+        (0..n)
+            .map(|i| {
+                let lo = (i as i64 * 37) % 400;
+                Interval::new(lo, lo + (i as i64 * 13) % 60, i as u64)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn snapshots_are_stable_across_commits() {
+        let idx = IndexBuilder::new(Geometry::new(8)).bulk(IoCounter::new(), &ivs(200));
+        let engine = Engine::start(idx, EngineConfig::default());
+        let before = engine.snapshot();
+        let expect = before.query(50);
+        engine
+            .submit(vec![IntervalOp::Insert(Interval::new(0, 399, 10_000))])
+            .wait();
+        let after = engine.snapshot();
+        assert_eq!(before.query(50), expect, "old epoch is frozen");
+        assert!(after.query(50).contains(&10_000), "new epoch sees commit");
+        assert!(after.seq() > before.seq());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn tickets_resolve_at_visibility() {
+        let idx = IndexBuilder::new(Geometry::new(8)).open(IoCounter::new());
+        let engine = Engine::start(idx, EngineConfig::default());
+        let info = engine
+            .submit(vec![
+                IntervalOp::Insert(Interval::new(1, 5, 1)),
+                IntervalOp::Insert(Interval::new(2, 6, 2)),
+            ])
+            .wait();
+        assert_eq!(info.ops_applied, 2);
+        let snap = engine.snapshot();
+        assert!(snap.ops_applied() >= info.ops_applied);
+        assert_eq!(snap.len(), 2);
+        let final_index = engine.shutdown();
+        assert_eq!(final_index.len(), 2);
+    }
+
+    #[test]
+    fn flush_is_a_commit_barrier() {
+        let idx = IndexBuilder::new(Geometry::new(8)).open(IoCounter::new());
+        let engine = Engine::start(idx, EngineConfig::default());
+        for i in 0..10 {
+            let _ = engine.submit(vec![IntervalOp::Insert(Interval::new(i, i + 3, i as u64))]);
+        }
+        let info = engine.flush();
+        assert_eq!(info.ops_applied, 10, "flush sees everything before it");
+        assert_eq!(engine.snapshot().len(), 10);
+        engine.shutdown();
+    }
+}

@@ -1,0 +1,496 @@
+//! Std-only TCP front end over the [`Engine`].
+//!
+//! # Wire protocol
+//!
+//! Length-prefixed binary frames, all integers little-endian:
+//!
+//! ```text
+//! request:  [len: u32][opcode: u8][payload: len-1 bytes]
+//! response: [len: u32][status: u8][payload: len-1 bytes]
+//! ```
+//!
+//! `status` is [`STATUS_OK`] or [`STATUS_ERR`] (payload = UTF-8 message).
+//! Opcodes and payloads:
+//!
+//! | opcode | request payload | ok payload |
+//! |---|---|---|
+//! | [`OP_STAB`] | `q: i64` | `count: u32`, then `count` × `id: u64` |
+//! | [`OP_STAB_BATCH`] | `n: u32`, then `n` × `q: i64` | `n` × (`count: u32`, `count` × `id: u64`) |
+//! | [`OP_XRANGE`] | `x1: i64, x2: i64` | `count: u32`, then `count` × (`lo: i64, hi: i64, id: u64`) |
+//! | [`OP_APPLY`] | `n: u32`, then `n` × op (`tag: u8` 0=insert 1=delete, then `lo: i64, hi: i64, id: u64`) | `seq: u64, ops_applied: u64` |
+//! | [`OP_EPOCH`] | empty | `seq: u64, ops_applied: u64, len: u64` |
+//! | [`OP_PING`] | empty | empty |
+//!
+//! `OP_APPLY` replies only after its [`crate::CommitTicket`] resolves, so a
+//! client that has seen the reply is guaranteed every later query (on any
+//! connection) observes the write — the commit-visibility rule of the
+//! engine carried over the wire.
+//!
+//! Each worker takes a [`Engine::snapshot`] per request, so a client
+//! pipelining queries always reads a consistent epoch per request and
+//! advances automatically as the writer publishes.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering::SeqCst};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+
+use ccix_interval::{Interval, IntervalOp};
+
+use crate::engine::{CommitInfo, Engine};
+
+/// Stabbing query: ids of intervals containing a point.
+pub const OP_STAB: u8 = 1;
+/// Batched stabbing queries.
+pub const OP_STAB_BATCH: u8 = 2;
+/// Left-endpoint range report.
+pub const OP_XRANGE: u8 = 3;
+/// Submit a write batch; replies at commit visibility.
+pub const OP_APPLY: u8 = 4;
+/// Report the newest published epoch's coordinates.
+pub const OP_EPOCH: u8 = 5;
+/// Liveness check.
+pub const OP_PING: u8 = 6;
+
+/// Request handled successfully.
+pub const STATUS_OK: u8 = 0;
+/// Request failed; payload is a UTF-8 message.
+pub const STATUS_ERR: u8 = 1;
+
+/// Largest accepted frame (sanity bound against corrupt length prefixes).
+const MAX_FRAME: u32 = 64 << 20;
+
+/// A running server: one acceptor thread plus a fixed worker pool sharing
+/// an [`Engine`]. Obtained from [`Server::start`].
+#[derive(Debug)]
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    /// Live connections, so shutdown can unblock workers parked in reads.
+    conns: Arc<Mutex<Vec<TcpStream>>>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with a `:0` request).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop accepting, drain the workers, and join all threads. Open
+    /// connections are closed after their in-flight request.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.stop.store(true, SeqCst);
+        // The acceptor blocks in accept(); a throwaway local connection
+        // wakes it to observe the flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        // Unblock workers parked in a read on a still-open connection:
+        // shutting the socket makes their read return EOF. Entries for
+        // already-closed connections just error harmlessly.
+        for conn in self.conns.lock().expect("conn registry lock").drain(..) {
+            let _ = conn.shutdown(std::net::Shutdown::Both);
+        }
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The TCP front end. See the module docs for the wire protocol.
+pub struct Server;
+
+impl Server {
+    /// Bind `addr` and serve `engine` with `workers` handler threads.
+    ///
+    /// ```
+    /// use ccix_extmem::{Geometry, IoCounter};
+    /// use ccix_interval::{IndexBuilder, Interval, IntervalOp};
+    /// use ccix_serve::{Client, Engine, EngineConfig, Server};
+    ///
+    /// let idx = IndexBuilder::new(Geometry::new(16)).open(IoCounter::new());
+    /// let engine = Engine::start(idx, EngineConfig::default());
+    /// let server = Server::start(engine, "127.0.0.1:0", 2).unwrap();
+    /// let mut client = Client::connect(server.local_addr()).unwrap();
+    /// client.apply(&[IntervalOp::Insert(Interval::new(1, 5, 7))]).unwrap();
+    /// assert_eq!(client.stab(3).unwrap(), vec![7]);
+    /// server.shutdown();
+    /// ```
+    pub fn start(
+        engine: Engine,
+        addr: impl ToSocketAddrs,
+        workers: usize,
+    ) -> io::Result<ServerHandle> {
+        assert!(workers > 0, "need at least one worker");
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let engine = Arc::new(engine);
+        let (conn_tx, conn_rx) = mpsc::channel::<TcpStream>();
+        let conn_rx = Arc::new(Mutex::new(conn_rx));
+        let conns = Arc::new(Mutex::new(Vec::new()));
+        let worker_handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&conn_rx);
+                let engine = Arc::clone(&engine);
+                let conns = Arc::clone(&conns);
+                std::thread::Builder::new()
+                    .name(format!("ccix-serve-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the queue lock only for the recv itself.
+                        let conn = match rx.lock().expect("conn queue lock").recv() {
+                            Ok(c) => c,
+                            Err(_) => return, // acceptor gone: drain done
+                        };
+                        // Register so shutdown can sever a parked read.
+                        if let Ok(clone) = conn.try_clone() {
+                            conns.lock().expect("conn registry lock").push(clone);
+                        }
+                        let _ = serve_connection(conn, &engine);
+                    })
+                    .expect("spawn worker")
+            })
+            .collect();
+        let acceptor = {
+            let stop = Arc::clone(&stop);
+            std::thread::Builder::new()
+                .name("ccix-serve-acceptor".into())
+                .spawn(move || {
+                    for conn in listener.incoming() {
+                        if stop.load(SeqCst) {
+                            break;
+                        }
+                        if let Ok(conn) = conn {
+                            // Workers exit only after this sender drops.
+                            let _ = conn_tx.send(conn);
+                        }
+                    }
+                })
+                .expect("spawn acceptor")
+        };
+        Ok(ServerHandle {
+            addr,
+            stop,
+            conns,
+            acceptor: Some(acceptor),
+            workers: worker_handles,
+        })
+    }
+}
+
+/// Handle one connection until the peer closes it.
+fn serve_connection(mut conn: TcpStream, engine: &Engine) -> io::Result<()> {
+    conn.set_nodelay(true)?;
+    let mut req = Vec::new();
+    loop {
+        match read_frame(&mut conn, &mut req) {
+            Ok(true) => {}
+            Ok(false) => return Ok(()), // clean close between frames
+            Err(e) => return Err(e),
+        }
+        let resp = match handle_request(&req, engine) {
+            Ok(body) => frame(STATUS_OK, &body),
+            Err(msg) => frame(STATUS_ERR, msg.as_bytes()),
+        };
+        conn.write_all(&resp)?;
+    }
+}
+
+/// Dispatch one decoded request frame (`[opcode][payload]`).
+fn handle_request(req: &[u8], engine: &Engine) -> Result<Vec<u8>, String> {
+    let (&opcode, payload) = req.split_first().ok_or("empty frame")?;
+    let mut r = Reader(payload);
+    let mut body = Vec::new();
+    match opcode {
+        OP_STAB => {
+            let q = r.i64()?;
+            r.done()?;
+            let ids = engine.snapshot().query(q);
+            put_u32(&mut body, ids.len());
+            for id in ids {
+                body.extend_from_slice(&id.to_le_bytes());
+            }
+        }
+        OP_STAB_BATCH => {
+            let n = r.u32()? as usize;
+            let mut qs = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                qs.push(r.i64()?);
+            }
+            r.done()?;
+            for ids in engine.snapshot().stab_batch(&qs) {
+                put_u32(&mut body, ids.len());
+                for id in ids {
+                    body.extend_from_slice(&id.to_le_bytes());
+                }
+            }
+        }
+        OP_XRANGE => {
+            let (x1, x2) = (r.i64()?, r.i64()?);
+            r.done()?;
+            let ivs = engine.snapshot().x_range(x1, x2);
+            put_u32(&mut body, ivs.len());
+            for iv in ivs {
+                body.extend_from_slice(&iv.lo.to_le_bytes());
+                body.extend_from_slice(&iv.hi.to_le_bytes());
+                body.extend_from_slice(&iv.id.to_le_bytes());
+            }
+        }
+        OP_APPLY => {
+            let n = r.u32()? as usize;
+            let mut ops = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                let tag = r.u8()?;
+                let (lo, hi) = (r.i64()?, r.i64()?);
+                let iv = Interval::new(lo, hi, r.u64()?);
+                ops.push(match tag {
+                    0 => IntervalOp::Insert(iv),
+                    1 => IntervalOp::Delete(iv),
+                    t => return Err(format!("bad op tag {t}")),
+                });
+            }
+            r.done()?;
+            // Reply only once the commit is visible to every snapshot.
+            let info: CommitInfo = engine.submit(ops).wait();
+            body.extend_from_slice(&info.seq.to_le_bytes());
+            body.extend_from_slice(&info.ops_applied.to_le_bytes());
+        }
+        OP_EPOCH => {
+            r.done()?;
+            let snap = engine.snapshot();
+            body.extend_from_slice(&snap.seq().to_le_bytes());
+            body.extend_from_slice(&snap.ops_applied().to_le_bytes());
+            body.extend_from_slice(&(snap.len() as u64).to_le_bytes());
+        }
+        OP_PING => r.done()?,
+        op => return Err(format!("bad opcode {op}")),
+    }
+    Ok(body)
+}
+
+/// Blocking client for the wire protocol. One request in flight at a time.
+#[derive(Debug)]
+pub struct Client {
+    conn: TcpStream,
+    buf: Vec<u8>,
+}
+
+impl Client {
+    /// Connect to a [`Server`].
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
+        let conn = TcpStream::connect(addr)?;
+        conn.set_nodelay(true)?;
+        Ok(Self {
+            conn,
+            buf: Vec::new(),
+        })
+    }
+
+    fn call(&mut self, opcode: u8, payload: &[u8]) -> io::Result<Vec<u8>> {
+        let mut req = Vec::with_capacity(payload.len() + 5);
+        req.extend_from_slice(&(payload.len() as u32 + 1).to_le_bytes());
+        req.push(opcode);
+        req.extend_from_slice(payload);
+        self.conn.write_all(&req)?;
+        if !read_frame(&mut self.conn, &mut self.buf)? {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed connection",
+            ));
+        }
+        match self.buf.split_first() {
+            Some((&STATUS_OK, body)) => Ok(body.to_vec()),
+            Some((&STATUS_ERR, msg)) => {
+                Err(io::Error::other(String::from_utf8_lossy(msg).into_owned()))
+            }
+            _ => Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame")),
+        }
+    }
+
+    /// Ids of intervals containing `q`.
+    pub fn stab(&mut self, q: i64) -> io::Result<Vec<u64>> {
+        let body = self.call(OP_STAB, &q.to_le_bytes())?;
+        let mut r = Reader(&body);
+        decode_ids(&mut r).map_err(bad_reply)
+    }
+
+    /// Batched stabbing queries; answers in input order.
+    pub fn stab_batch(&mut self, qs: &[i64]) -> io::Result<Vec<Vec<u64>>> {
+        let mut payload = Vec::with_capacity(4 + 8 * qs.len());
+        put_u32(&mut payload, qs.len());
+        for q in qs {
+            payload.extend_from_slice(&q.to_le_bytes());
+        }
+        let body = self.call(OP_STAB_BATCH, &payload)?;
+        let mut r = Reader(&body);
+        let mut out = Vec::with_capacity(qs.len());
+        for _ in 0..qs.len() {
+            out.push(decode_ids(&mut r).map_err(bad_reply)?);
+        }
+        Ok(out)
+    }
+
+    /// Intervals with left endpoint in `[x1, x2]`.
+    pub fn x_range(&mut self, x1: i64, x2: i64) -> io::Result<Vec<Interval>> {
+        let mut payload = Vec::with_capacity(16);
+        payload.extend_from_slice(&x1.to_le_bytes());
+        payload.extend_from_slice(&x2.to_le_bytes());
+        let body = self.call(OP_XRANGE, &payload)?;
+        let mut r = Reader(&body);
+        let n = r.u32().map_err(bad_reply)? as usize;
+        let mut out = Vec::with_capacity(n);
+        for _ in 0..n {
+            let (lo, hi) = (r.i64().map_err(bad_reply)?, r.i64().map_err(bad_reply)?);
+            out.push(Interval::new(lo, hi, r.u64().map_err(bad_reply)?));
+        }
+        Ok(out)
+    }
+
+    /// Submit a write batch; returns once the commit is visible.
+    pub fn apply(&mut self, ops: &[IntervalOp]) -> io::Result<CommitInfo> {
+        let mut payload = Vec::with_capacity(4 + 25 * ops.len());
+        put_u32(&mut payload, ops.len());
+        for op in ops {
+            let (tag, iv) = match *op {
+                IntervalOp::Insert(iv) => (0, iv),
+                IntervalOp::Delete(iv) => (1, iv),
+            };
+            payload.push(tag);
+            payload.extend_from_slice(&iv.lo.to_le_bytes());
+            payload.extend_from_slice(&iv.hi.to_le_bytes());
+            payload.extend_from_slice(&iv.id.to_le_bytes());
+        }
+        let body = self.call(OP_APPLY, &payload)?;
+        let mut r = Reader(&body);
+        Ok(CommitInfo {
+            seq: r.u64().map_err(bad_reply)?,
+            ops_applied: r.u64().map_err(bad_reply)?,
+        })
+    }
+
+    /// `(seq, ops_applied, len)` of the newest published epoch.
+    pub fn epoch(&mut self) -> io::Result<(u64, u64, u64)> {
+        let body = self.call(OP_EPOCH, &[])?;
+        let mut r = Reader(&body);
+        Ok((
+            r.u64().map_err(bad_reply)?,
+            r.u64().map_err(bad_reply)?,
+            r.u64().map_err(bad_reply)?,
+        ))
+    }
+
+    /// Liveness round-trip.
+    pub fn ping(&mut self) -> io::Result<()> {
+        self.call(OP_PING, &[]).map(|_| ())
+    }
+}
+
+/// Read one `[len: u32][body]` frame into `buf`. `Ok(false)` = peer closed
+/// cleanly before a new frame started.
+fn read_frame(conn: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<bool> {
+    let mut len = [0u8; 4];
+    let mut got = 0;
+    while got < 4 {
+        match conn.read(&mut len[got..])? {
+            0 if got == 0 => return Ok(false),
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "truncated frame header",
+                ))
+            }
+            n => got += n,
+        }
+    }
+    let len = u32::from_le_bytes(len);
+    if len == 0 || len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {len}"),
+        ));
+    }
+    buf.clear();
+    buf.resize(len as usize, 0);
+    conn.read_exact(buf)?;
+    Ok(true)
+}
+
+fn frame(status: u8, body: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 5);
+    out.extend_from_slice(&(body.len() as u32 + 1).to_le_bytes());
+    out.push(status);
+    out.extend_from_slice(body);
+    out
+}
+
+fn put_u32(out: &mut Vec<u8>, n: usize) {
+    out.extend_from_slice(&u32::try_from(n).expect("frame element count").to_le_bytes());
+}
+
+fn decode_ids(r: &mut Reader<'_>) -> Result<Vec<u64>, String> {
+    let n = r.u32()? as usize;
+    let mut ids = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        ids.push(r.u64()?);
+    }
+    Ok(ids)
+}
+
+fn bad_reply(msg: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Cursor over a request/response payload.
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], String> {
+        if self.0.len() < n {
+            return Err("truncated payload".into());
+        }
+        let (head, rest) = self.0.split_at(n);
+        self.0 = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, String> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, String> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, String> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn i64(&mut self) -> Result<i64, String> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn done(&self) -> Result<(), String> {
+        if self.0.is_empty() {
+            Ok(())
+        } else {
+            Err("trailing bytes in payload".into())
+        }
+    }
+}

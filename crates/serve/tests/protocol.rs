@@ -1,0 +1,92 @@
+//! Wire-protocol roundtrips against a real server on a loopback socket.
+
+use ccix_extmem::{Geometry, IoCounter};
+use ccix_interval::{IndexBuilder, Interval, IntervalOp};
+use ccix_serve::{Client, Engine, EngineConfig, Server};
+
+fn start_server(intervals: &[Interval]) -> ccix_serve::ServerHandle {
+    let idx = IndexBuilder::new(Geometry::new(8)).bulk(IoCounter::new(), intervals);
+    let engine = Engine::start(idx, EngineConfig::default());
+    Server::start(engine, "127.0.0.1:0", 2).expect("bind loopback")
+}
+
+#[test]
+fn queries_roundtrip() {
+    let ivs: Vec<Interval> = (0..100)
+        .map(|i| Interval::new(i * 7 % 300, i * 7 % 300 + 40, i as u64))
+        .collect();
+    let server = start_server(&ivs);
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    client.ping().expect("ping");
+
+    let expect = |q: i64| {
+        let mut ids: Vec<u64> = ivs
+            .iter()
+            .filter(|iv| iv.lo <= q && q <= iv.hi)
+            .map(|iv| iv.id)
+            .collect();
+        ids.sort_unstable();
+        ids
+    };
+    for q in [-5, 0, 17, 150, 299, 400] {
+        let mut got = client.stab(q).expect("stab");
+        got.sort_unstable();
+        assert_eq!(got, expect(q), "stab {q}");
+    }
+
+    let qs = [3i64, 90, 250];
+    let batched = client.stab_batch(&qs).expect("stab_batch");
+    assert_eq!(batched.len(), qs.len());
+    for (q, mut got) in qs.iter().zip(batched) {
+        got.sort_unstable();
+        assert_eq!(got, expect(*q), "batched stab {q}");
+    }
+
+    let mut got = client.x_range(10, 60).expect("x_range");
+    got.sort_unstable_by_key(|iv| (iv.lo, iv.id));
+    let mut want: Vec<Interval> = ivs
+        .iter()
+        .filter(|iv| (10..=60).contains(&iv.lo))
+        .copied()
+        .collect();
+    want.sort_unstable_by_key(|iv| (iv.lo, iv.id));
+    assert_eq!(got, want);
+
+    let (seq, ops, len) = client.epoch().expect("epoch");
+    assert_eq!((seq, ops, len), (0, 0, 100));
+
+    server.shutdown();
+}
+
+#[test]
+fn apply_is_visible_across_connections() {
+    let server = start_server(&[]);
+    let mut writer = Client::connect(server.local_addr()).expect("connect writer");
+    let mut reader = Client::connect(server.local_addr()).expect("connect reader");
+
+    let info = writer
+        .apply(&[
+            IntervalOp::Insert(Interval::new(5, 15, 1)),
+            IntervalOp::Insert(Interval::new(10, 20, 2)),
+        ])
+        .expect("apply");
+    assert_eq!(info.ops_applied, 2);
+
+    // The apply reply is the visibility point: a different connection must
+    // immediately observe the write.
+    let mut got = reader.stab(12).expect("stab");
+    got.sort_unstable();
+    assert_eq!(got, vec![1, 2]);
+
+    let info = writer
+        .apply(&[IntervalOp::Delete(Interval::new(5, 15, 1))])
+        .expect("delete");
+    assert_eq!(info.ops_applied, 3);
+    assert_eq!(reader.stab(12).expect("stab"), vec![2]);
+
+    let (_, ops, len) = reader.epoch().expect("epoch");
+    assert_eq!((ops, len), (3, 1));
+
+    server.shutdown();
+}

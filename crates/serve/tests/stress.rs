@@ -1,0 +1,236 @@
+//! Concurrency stress: reader threads race a writer flood, and every
+//! snapshot must agree exactly with a sequential oracle replay.
+//!
+//! The key trick is that the engine applies submissions whole and in
+//! order, so [`ccix_serve::Snapshot::ops_applied`] is always a multiple of
+//! the (fixed) batch size: dividing identifies exactly which prefix of the
+//! batch stream a snapshot contains, and the oracle state for that prefix
+//! is precomputed before the engine starts. Any torn or stale read —
+//! a page shared with the writer mid-update, a reorg delta missing from a
+//! fork, a commit published before its flood finished — shows up as a
+//! mismatch against the oracle.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
+
+use ccix_extmem::{Geometry, IoCounter};
+use ccix_interval::{IndexBuilder, Interval, IntervalOp};
+use ccix_serve::{Engine, EngineConfig};
+use ccix_testkit::check;
+use ccix_testkit::rng::DetRng;
+
+const BATCH_OPS: usize = 20;
+const BATCHES: usize = 30;
+const INITIAL: usize = 400;
+const READERS: usize = 3;
+
+fn rand_interval(rng: &mut DetRng, id: u64) -> Interval {
+    let lo = rng.gen_range(0i64..2_000);
+    Interval::new(lo, lo + rng.gen_range(0i64..120), id)
+}
+
+/// Ids of intervals in `state` containing `q`, sorted.
+fn stab_oracle(state: &[Interval], q: i64) -> Vec<u64> {
+    let mut ids: Vec<u64> = state
+        .iter()
+        .filter(|iv| iv.lo <= q && q <= iv.hi)
+        .map(|iv| iv.id)
+        .collect();
+    ids.sort_unstable();
+    ids
+}
+
+/// Intervals in `state` with left endpoint in `[x1, x2]`, in a canonical
+/// order for comparison.
+fn x_range_oracle(state: &[Interval], x1: i64, x2: i64) -> Vec<Interval> {
+    let mut ivs: Vec<Interval> = state
+        .iter()
+        .filter(|iv| x1 <= iv.lo && iv.lo <= x2)
+        .copied()
+        .collect();
+    ivs.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.id));
+    ivs
+}
+
+/// Fixed-size batches of independent ops plus the oracle live set after
+/// each prefix (`states[k]` = state once `k` batches have been applied).
+struct Plan {
+    initial: Vec<Interval>,
+    batches: Vec<Vec<IntervalOp>>,
+    states: Vec<Vec<Interval>>,
+}
+
+fn build_plan(rng: &mut DetRng) -> Plan {
+    let mut next_id = 0u64;
+    let mut fresh = |rng: &mut DetRng| {
+        let iv = rand_interval(rng, next_id);
+        next_id += 1;
+        iv
+    };
+    let initial: Vec<Interval> = (0..INITIAL).map(|_| fresh(rng)).collect();
+    let mut live = initial.clone();
+    let mut states = vec![live.clone()];
+    let mut batches = Vec::with_capacity(BATCHES);
+    for _ in 0..BATCHES {
+        let mut batch = Vec::with_capacity(BATCH_OPS);
+        // Ops within a batch must be independent (the apply_batch
+        // contract): deletes pick distinct live intervals and never touch
+        // this batch's own inserts.
+        let mut deletable = live.clone();
+        for _ in 0..BATCH_OPS {
+            if !deletable.is_empty() && rng.gen_bool(0.35) {
+                let at = rng.gen_range(0usize..deletable.len());
+                let victim = deletable.swap_remove(at);
+                live.retain(|iv| iv.id != victim.id);
+                batch.push(IntervalOp::Delete(victim));
+            } else {
+                let iv = fresh(rng);
+                live.push(iv);
+                batch.push(IntervalOp::Insert(iv));
+            }
+        }
+        states.push(live.clone());
+        batches.push(batch);
+    }
+    Plan {
+        initial,
+        batches,
+        states,
+    }
+}
+
+/// Random write-path tunings, always including incremental-reorg modes.
+fn rand_tuning(rng: &mut DetRng, trial: usize) -> ccix_core::Tuning {
+    // Force the interesting regimes deterministically across trials: no
+    // deferred debt, trickle, and coarse slices.
+    ccix_core::Tuning {
+        reorg_pages_per_op: [0, 1, 4][trial % 3],
+        update_batch_pages: [1, 2, 4][rng.gen_range(0usize..3)],
+        shrink_deletes_pct: [10, 35][rng.gen_range(0usize..2)],
+        ..ccix_core::Tuning::default()
+    }
+}
+
+#[test]
+fn snapshots_agree_with_oracle_under_flood() {
+    let trial = AtomicU64::new(0);
+    check::trials("serve_stress", 3, 0x5eed_c0de, |rng| {
+        let trial = trial.fetch_add(1, Relaxed) as usize;
+        let tuning = rand_tuning(rng, trial);
+        let plan = build_plan(rng);
+        let idx = IndexBuilder::new(Geometry::new(8))
+            .tuning(tuning)
+            .bulk(IoCounter::new(), &plan.initial);
+        let engine = Engine::start(
+            idx,
+            EngineConfig {
+                queue_depth: 4,
+                group_max_ops: 3 * BATCH_OPS, // exercise real grouping
+                reorg_pump_slices: 8,
+            },
+        );
+
+        // Per-reader probe scripts, drawn before the threads start so the
+        // whole trial stays deterministic.
+        let probes: Vec<Vec<(i64, i64)>> = (0..READERS)
+            .map(|_| {
+                (0..64)
+                    .map(|_| {
+                        let q = rng.gen_range(-10i64..2_200);
+                        (q, q + rng.gen_range(0i64..200))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for script in &probes {
+                let engine = &engine;
+                let done = &done;
+                let states = &plan.states;
+                scope.spawn(move || {
+                    let mut i = 0usize;
+                    let mut checks = 0u32;
+                    loop {
+                        let finished = done.load(Relaxed);
+                        let snap = engine.snapshot();
+                        let ops = snap.ops_applied();
+                        assert_eq!(
+                            ops % BATCH_OPS as u64,
+                            0,
+                            "submissions must be visible whole"
+                        );
+                        let state = &states[(ops / BATCH_OPS as u64) as usize];
+                        let (q, hi) = script[i % script.len()];
+                        i += 1;
+                        let mut got = snap.query(q);
+                        got.sort_unstable();
+                        assert_eq!(got, stab_oracle(state, q), "stab at {q}, epoch {ops}");
+                        let mut got = snap.x_range(q, hi);
+                        got.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.id));
+                        assert_eq!(
+                            got,
+                            x_range_oracle(state, q, hi),
+                            "x_range [{q},{hi}], epoch {ops}"
+                        );
+                        checks += 1;
+                        // One full pass after the writer finishes, so the
+                        // final state is always exercised too.
+                        if finished && checks >= script.len() as u32 {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            // Writer: flood the batches through the bounded queue; hold
+            // the last ticket to observe visibility ordering.
+            let mut last = None;
+            for batch in &plan.batches {
+                last = Some(engine.submit(batch.clone()));
+            }
+            let info = last.expect("batches nonempty").wait();
+            assert_eq!(info.ops_applied, (BATCHES * BATCH_OPS) as u64);
+            let snap = engine.snapshot();
+            assert!(
+                snap.ops_applied() >= info.ops_applied,
+                "commit visible before ticket resolves"
+            );
+            done.store(true, Relaxed);
+        });
+
+        let final_index = engine.shutdown();
+        let last_state = plan.states.last().expect("states nonempty");
+        assert_eq!(final_index.len(), last_state.len());
+    });
+}
+
+#[test]
+fn every_ticket_resolves_at_a_visible_epoch() {
+    check::trials("serve_visibility", 3, 0xcafe_f00d, |rng| {
+        let idx = IndexBuilder::new(Geometry::new(8)).open(IoCounter::new());
+        let engine = Engine::start(
+            idx,
+            EngineConfig {
+                queue_depth: 2,
+                group_max_ops: 8,
+                reorg_pump_slices: 4,
+            },
+        );
+        let mut live: Vec<Interval> = Vec::new();
+        for id in 0..50u64 {
+            let iv = rand_interval(rng, id);
+            let info = engine.submit(vec![IntervalOp::Insert(iv)]).wait();
+            live.push(iv);
+            assert_eq!(info.ops_applied, id + 1);
+            // The visibility rule: once the ticket resolves, every new
+            // snapshot contains the write.
+            let snap = engine.snapshot();
+            assert!(snap.ops_applied() >= info.ops_applied);
+            let mut got = snap.query(iv.lo);
+            got.sort_unstable();
+            assert_eq!(got, stab_oracle(&live, iv.lo), "insert {id} visible");
+        }
+        engine.shutdown();
+    });
+}

@@ -10,7 +10,7 @@
 
 use ccix_core::{MetablockTree, Tuning};
 use ccix_extmem::{Geometry, IoCounter, Point};
-use ccix_interval::{EndpointMode, IntervalIndex, IntervalOptions};
+use ccix_interval::{EndpointMode, IndexBuilder, IntervalOptions};
 use ccix_testkit::iocheck::{assert_read_only, IoProbe};
 use ccix_testkit::{check, oracle, workloads, DetRng};
 
@@ -112,7 +112,9 @@ fn mid_batch_intersections_agree_with_oracle() {
             let n = rng.gen_range(1..400usize);
             let range = rng.gen_range(20i64..500);
             let ivs = workloads::uniform_intervals(n, rng.next_u64(), range, range / 3 + 1);
-            let mut idx = IntervalIndex::new_with(geo, IoCounter::new(), options);
+            let mut idx = IndexBuilder::new(geo)
+                .options(options)
+                .open(IoCounter::new());
             for (i, iv) in ivs.iter().enumerate() {
                 idx.insert(iv.lo, iv.hi, iv.id);
                 if i % 5 == 0 {

@@ -23,7 +23,7 @@ use ccix_class::{
 };
 use ccix_core::{MetablockTree, ThreeSidedTree, Tuning};
 use ccix_extmem::{Geometry, IoCounter, Point};
-use ccix_interval::{EndpointMode, IntervalIndex, IntervalOptions};
+use ccix_interval::{EndpointMode, IndexBuilder, IntervalOptions};
 use ccix_testkit::iocheck::IoProbe;
 use ccix_testkit::workloads::{IntervalOp, ObjectOp, PointOp};
 use ccix_testkit::{check, oracle, workloads, DetRng};
@@ -88,7 +88,9 @@ fn interval_index_mixed_flood_agrees_with_oracle() {
             del_pct,
             15,
         );
-        let mut idx = IntervalIndex::new_with(geo, IoCounter::new(), options);
+        let mut idx = IndexBuilder::new(geo)
+            .options(options)
+            .open(IoCounter::new());
         let mut live = Vec::new();
         for op in ops {
             match op {

@@ -4,7 +4,7 @@
 //! asserting every query is charged and read-only.
 
 use ccix_extmem::{Geometry, IoCounter};
-use ccix_interval::{Interval, IntervalIndex, NaiveIntervalStore};
+use ccix_interval::{IndexBuilder, Interval, IntervalIndex, NaiveIntervalStore};
 use ccix_testkit::iocheck::{assert_read_only, IoProbe};
 use ccix_testkit::{check, oracle, workloads, DetRng};
 
@@ -27,7 +27,7 @@ fn build_both(
     ivs: &[Interval],
 ) -> (IntervalIndex, NaiveIntervalStore) {
     let split = rng.gen_range(0..ivs.len() + 1);
-    let mut idx = IntervalIndex::build(geo, IoCounter::new(), &ivs[..split]);
+    let mut idx = IndexBuilder::new(geo).bulk(IoCounter::new(), &ivs[..split]);
     let mut naive = NaiveIntervalStore::new(geo, IoCounter::new());
     for iv in &ivs[..split] {
         naive.insert(iv.lo, iv.hi, iv.id);
@@ -97,7 +97,7 @@ fn index_beats_scan_at_scale() {
     let geo = Geometry::new(16);
     let n = 20_000usize;
     let ivs = workloads::uniform_intervals(n, 0x1F3, 4 * n as i64, 500);
-    let idx = IntervalIndex::build(geo, IoCounter::new(), &ivs);
+    let idx = IndexBuilder::new(geo).bulk(IoCounter::new(), &ivs);
     let mut naive = NaiveIntervalStore::new(geo, IoCounter::new());
     for iv in &ivs {
         naive.insert(iv.lo, iv.hi, iv.id);

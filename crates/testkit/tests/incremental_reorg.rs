@@ -22,7 +22,7 @@
 use ccix_class::{ClassIndex, ClassOp, RakeClassIndex, RangeTreeClassIndex};
 use ccix_core::{MetablockTree, Op, ThreeSidedTree, Tuning};
 use ccix_extmem::{Geometry, IoCounter, Point};
-use ccix_interval::{IntervalIndex, IntervalOp, IntervalOptions};
+use ccix_interval::{IndexBuilder, IntervalOp, IntervalOptions};
 use ccix_testkit::iocheck::IoProbe;
 use ccix_testkit::workloads::{IntervalOp as FloodOp, ObjectOp, PointOp};
 use ccix_testkit::{check, oracle, workloads, DetRng};
@@ -395,7 +395,9 @@ fn interval_apply_batch_agrees_with_oracle() {
             35,
             0,
         );
-        let mut idx = IntervalIndex::new_with(geo, IoCounter::new(), options);
+        let mut idx = IndexBuilder::new(geo)
+            .options(options)
+            .open(IoCounter::new());
         let mut live: Vec<ccix_interval::Interval> = Vec::new();
         let mut pending: Vec<IntervalOp> = Vec::new();
         let chunk = rng.gen_range(1..40usize);

@@ -5,7 +5,7 @@
 use ccix_class::{ClassIndex, RakeClassIndex};
 use ccix_core::{MetablockTree, ThreeSidedTree};
 use ccix_extmem::{Geometry, IoCounter, Point};
-use ccix_interval::IntervalIndex;
+use ccix_interval::IndexBuilder;
 use ccix_testkit::iocheck::{assert_read_only, IoProbe};
 use ccix_testkit::{check, oracle, workloads, DetRng};
 
@@ -81,7 +81,7 @@ fn stab_batch_agrees_and_amortises() {
     let range = 4 * n as i64;
     let ivs = workloads::uniform_intervals(n, 0xBA7E, range, 1_500);
     let counter = IoCounter::new();
-    let idx = IntervalIndex::build(geo, counter.clone(), &ivs);
+    let idx = IndexBuilder::new(geo).bulk(counter.clone(), &ivs);
     let batch = 64usize;
 
     let floods: Vec<(&str, Vec<i64>)> = vec![
@@ -145,7 +145,7 @@ fn stab_batch_randomized_agreement() {
         let range = rng.gen_range(20i64..800);
         let ivs = workloads::uniform_intervals(n, rng.next_u64(), range, range / 3 + 1);
         let counter = IoCounter::new();
-        let idx = IntervalIndex::build(geo, counter.clone(), &ivs);
+        let idx = IndexBuilder::new(geo).bulk(counter.clone(), &ivs);
         let batch = rng.gen_range(1usize..40);
         let qs = match rng.gen_range(0..3u32) {
             0 => workloads::uniform_flood(batch, rng.next_u64(), range),

@@ -4,7 +4,7 @@
 //! Run with: `cargo run --release --example quickstart`
 
 use ccix::extmem::{Geometry, IoCounter};
-use ccix::interval::IntervalIndex;
+use ccix::interval::IndexBuilder;
 
 fn main() {
     // The external-memory model: pages hold B records; one transfer = 1 I/O.
@@ -29,7 +29,7 @@ fn main() {
         .collect();
 
     let build_start = counter.snapshot();
-    let mut index = IntervalIndex::build(geo, counter.clone(), &intervals);
+    let mut index = IndexBuilder::new(geo).bulk(counter.clone(), &intervals);
     let build_cost = counter.since(build_start);
     println!(
         "built index over {} intervals: {} pages, {} I/Os",

@@ -9,12 +9,12 @@
 //! Run with: `cargo run --release --example temporal_sessions`
 
 use ccix::extmem::{Geometry, IoCounter};
-use ccix::interval::{IntervalIndex, NaiveIntervalStore};
+use ccix::interval::{IndexBuilder, NaiveIntervalStore};
 
 fn main() {
     let geo = Geometry::new(32);
     let counter = IoCounter::new();
-    let mut index = IntervalIndex::new(geo, counter.clone());
+    let mut index = IndexBuilder::new(geo).open(counter.clone());
     let naive_counter = IoCounter::new();
     let mut naive = NaiveIntervalStore::new(geo, naive_counter.clone());
 

@@ -20,18 +20,20 @@
 //! * [`class`] — class-hierarchy indexing: the range-tree method
 //!   (Theorem 2.6) and the rake-and-contract composite (Theorem 4.7);
 //! * [`constraint`] — the CQL layer of §2.1: generalized tuples/relations
-//!   and one-dimensional indexing of constraints.
+//!   and one-dimensional indexing of constraints;
+//! * [`serve`] — the epoch-snapshot serving layer: group-committed writes,
+//!   lock-free concurrent snapshot readers, std-only TCP front end.
 //!
 //! ## Quickstart
 //!
 //! ```
-//! use ccix::interval::IntervalIndex;
+//! use ccix::interval::IndexBuilder;
 //! use ccix::extmem::{Geometry, IoCounter};
 //!
 //! // Index intervals (e.g. projections of generalized tuples onto an
 //! // attribute) and answer intersection queries I/O-efficiently.
 //! let counter = IoCounter::new();
-//! let mut idx = IntervalIndex::new(Geometry::new(8), counter);
+//! let mut idx = IndexBuilder::new(Geometry::new(8)).open(counter);
 //! idx.insert(2, 5, 100);
 //! idx.insert(4, 9, 101);
 //! idx.insert(7, 8, 102);
@@ -60,3 +62,4 @@ pub use ccix_core as core;
 pub use ccix_extmem as extmem;
 pub use ccix_interval as interval;
 pub use ccix_pst as pst;
+pub use ccix_serve as serve;

@@ -6,7 +6,7 @@
 use ccix::class::{ClassIndex, Hierarchy, Object, RakeClassIndex, RangeTreeClassIndex};
 use ccix::constraint::{Atom, GeneralizedIndex, GeneralizedRelation, GeneralizedTuple, Rat};
 use ccix::extmem::{Geometry, IoCounter};
-use ccix::interval::IntervalIndex;
+use ccix::interval::IndexBuilder;
 
 fn xorshift(seed: u64) -> impl FnMut() -> u64 {
     let mut x = seed | 1;
@@ -61,7 +61,7 @@ fn cql_range_search_matches_semantics() {
 #[test]
 fn shared_counter_accounts_everything() {
     let counter = IoCounter::new();
-    let mut idx = IntervalIndex::new(Geometry::new(8), counter.clone());
+    let mut idx = IndexBuilder::new(Geometry::new(8)).open(counter.clone());
     let after_new = counter.snapshot();
     idx.insert(0, 10, 1);
     let after_insert = counter.since(after_new).total();
