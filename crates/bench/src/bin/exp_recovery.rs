@@ -1,0 +1,20 @@
+//! Experiment binary: see `ccix_bench::experiments::er_recovery`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_recovery_baseline.json` (the durability baseline — wall-clock
+//! only, gated by absolute bounds: fsync-group commit overhead ≤ 2× the
+//! volatile p99, and recovery of a 100k-op WAL ≤ 2 s):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_recovery -- --json > BENCH_recovery_baseline.json
+//! ```
+fn main() {
+    let tables = ccix_bench::experiments::er_recovery();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

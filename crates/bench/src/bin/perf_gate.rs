@@ -46,6 +46,12 @@
 //!   relatively; the absolute bounds pin reader scaling (scaling loss
 //!   ≤ 2.0 at 8 readers, i.e. ≥ 4× single-reader qps on an 8-core runner)
 //!   and the p99 commit-visibility latency ceiling.
+//! * **ER** (`exp_recovery --json`, baseline
+//!   `BENCH_recovery_baseline.json`) — the durability subsystem. Wall-clock
+//!   only. Absolute bounds: group-commit durable acks (`fsync-group`) cost
+//!   ≤ 2× the volatile engine's p99 submit→ack latency (the volatile p99
+//!   is floored at 1 ms so the ratio is meaningful on fast disks), and
+//!   recovering a 100k-op WAL with no usable checkpoint takes ≤ 2 s.
 //!
 //! ```text
 //! cargo run --release -p ccix-bench --bin exp_interval -- --json > new.json
@@ -60,6 +66,8 @@
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_latency_baseline.json newl.json
 //! cargo run --release -p ccix-bench --bin exp_throughput -- --json > newt.json
 //! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_throughput_baseline.json newt.json
+//! cargo run --release -p ccix-bench --bin exp_recovery -- --json > newr.json
+//! cargo run --release -p ccix-bench --bin perf_gate -- BENCH_recovery_baseline.json newr.json
 //! ```
 //!
 //! Std-only (the workspace has no registry access): the JSON reader below
@@ -236,6 +244,29 @@ const SPECS: &[Spec] = &[
             (&[("readers", "8")], "scaling loss", 2.0),
             (&[("readers", "8")], "p99 vis ms", 250.0),
         ],
+        space_rule: false,
+    },
+    Spec {
+        // Durable-commit overhead. Pure wall clock, nothing diffed
+        // relatively. "overhead p99" is durable p99 / max(volatile p99,
+        // 1 ms) — the acceptance bound says group commit costs at most 2×
+        // the volatile path at that floor. fsync-1 (a real fsync per
+        // commit) is reported for the table but not gated: its cost is
+        // the disk's, not the code's.
+        title_prefix: "ER —",
+        key_cols: &["mode"],
+        gated: &[],
+        absolute: &[(&[("mode", "fsync-group")], "overhead p99", 2.0)],
+        space_rule: false,
+    },
+    Spec {
+        // Recovery wall clock: replaying a 100k-op WAL must stay under
+        // the 2 s smoke ceiling (measured far lower; the ceiling is the
+        // usual ~10× guard against runner noise).
+        title_prefix: "ER-recover",
+        key_cols: &["wal ops"],
+        gated: &[],
+        absolute: &[(&[("wal ops", "100000")], "recover ms", 2_000.0)],
         space_rule: false,
     },
 ];

@@ -1,0 +1,346 @@
+//! Checkpoints: durable snapshots of the index's **logical** content.
+//!
+//! A checkpoint is not a page dump. The in-memory stores are a cost-model
+//! simulator whose physical layout (metablock graph, corner structures,
+//! tombstone mirrors) is an artifact of the exact operation history; what
+//! recovery must reproduce is the *content* — the live set of intervals —
+//! plus the construction parameters that make a rebuild deterministic. So
+//! a checkpoint serialises:
+//!
+//! * [`Meta`] — the block geometry and the full [`IntervalOptions`]
+//!   (endpoint mode, every `Tuning` knob, B+-tree leaf fill), so the
+//!   recovered index is built with the same layout and write-path
+//!   behaviour as the one that crashed;
+//! * `ops_applied` — the cumulative operation count at the snapshot, the
+//!   watermark WAL replay filters against;
+//! * the live intervals, as fixed-width records via the
+//!   [`ccix_extmem::ser`] encoding hooks.
+//!
+//! ## On-disk format
+//!
+//! ```text
+//! [magic 8B = "CCIXCKP\x01"][len u64][crc u32][body len bytes]
+//! body = meta || ops_applied u64 || n u64 || n × Point-encoded interval
+//! ```
+//!
+//! ## Atomic publication
+//!
+//! [`write_checkpoint`] writes to a sidecar `checkpoint.tmp`, fsyncs it,
+//! renames over `checkpoint`, then fsyncs the directory. A crash at any
+//! point leaves either the old checkpoint or the new one — never a blend —
+//! and a torn tmp file is invisible to recovery (and overwritten by the
+//! next attempt).
+
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+use ccix_extmem::ser::{decode_records, encode_records};
+use ccix_extmem::{Geometry, Point};
+use ccix_interval::{EndpointMode, Interval, IntervalOptions};
+
+use crate::crc32;
+use crate::fs::{read_exact_at, retry_interrupted, write_all_at, Fs};
+
+/// File magic: identifies a checkpoint and pins its format version.
+pub const CKPT_MAGIC: [u8; 8] = *b"CCIXCKP\x01";
+
+/// Sentinel for `None` in `Option<usize>` fields (no real knob is ever
+/// `u64::MAX` pages).
+const NONE_SENTINEL: u64 = u64::MAX;
+
+/// Construction parameters a recovery rebuild needs to reproduce the
+/// crashed index's layout exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Meta {
+    /// Block geometry (records per page).
+    pub geometry: Geometry,
+    /// Full layout/tuning options, including every [`ccix_core::Tuning`]
+    /// knob.
+    pub options: IntervalOptions,
+}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_opt(out: &mut Vec<u8>, v: Option<usize>) {
+    push_u64(out, v.map_or(NONE_SENTINEL, |x| x as u64));
+}
+
+struct Reader<'a>(&'a [u8]);
+
+impl Reader<'_> {
+    fn u64(&mut self) -> Option<u64> {
+        let (head, rest) = self.0.split_at_checked(8)?;
+        self.0 = rest;
+        Some(u64::from_le_bytes(head.try_into().ok()?))
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        let (head, rest) = self.0.split_at_checked(1)?;
+        self.0 = rest;
+        Some(head[0])
+    }
+
+    fn usize(&mut self) -> Option<usize> {
+        Some(self.u64()? as usize)
+    }
+
+    fn opt(&mut self) -> Option<Option<usize>> {
+        let v = self.u64()?;
+        Some((v != NONE_SENTINEL).then_some(v as usize))
+    }
+}
+
+impl Meta {
+    /// Capture the meta of a live configuration.
+    pub fn new(geometry: Geometry, options: IntervalOptions) -> Self {
+        Self { geometry, options }
+    }
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        let t = self.options.tuning;
+        push_u64(out, self.geometry.b as u64);
+        out.push(match self.options.endpoints {
+            EndpointMode::Slab => 0,
+            EndpointMode::BTree => 1,
+        });
+        push_opt(out, self.options.btree_leaf_fill);
+        push_u64(out, t.update_batch_pages as u64);
+        push_u64(out, t.td_batch_pages as u64);
+        push_u64(out, t.tomb_batch_pages as u64);
+        push_u64(out, t.shrink_deletes_pct as u64);
+        push_opt(out, t.ts_snapshot_pages);
+        push_u64(out, t.corner_alpha as u64);
+        push_u64(out, t.pack_h_pages as u64);
+        out.push(t.resident_root as u8);
+        push_u64(out, t.reorg_pages_per_op as u64);
+        push_u64(out, t.build_threads as u64);
+    }
+
+    fn decode(r: &mut Reader<'_>) -> Option<Self> {
+        let b = r.usize()?;
+        let endpoints = match r.u8()? {
+            0 => EndpointMode::Slab,
+            1 => EndpointMode::BTree,
+            _ => return None,
+        };
+        let btree_leaf_fill = r.opt()?;
+        // Struct-literal fields evaluate in source order, matching the
+        // encoder's write order exactly.
+        let tuning = ccix_core::Tuning {
+            update_batch_pages: r.usize()?,
+            td_batch_pages: r.usize()?,
+            tomb_batch_pages: r.usize()?,
+            shrink_deletes_pct: r.usize()?,
+            ts_snapshot_pages: r.opt()?,
+            corner_alpha: r.usize()?,
+            pack_h_pages: r.usize()?,
+            resident_root: r.u8()? != 0,
+            reorg_pages_per_op: r.usize()?,
+            build_threads: r.usize()?,
+        };
+        Some(Meta {
+            geometry: Geometry::new(b),
+            options: IntervalOptions {
+                endpoints,
+                tuning,
+                btree_leaf_fill,
+            },
+        })
+    }
+}
+
+/// A decoded checkpoint: construction meta, the operation watermark, and
+/// the live interval set at that watermark.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Checkpoint {
+    /// Construction parameters for the deterministic rebuild.
+    pub meta: Meta,
+    /// Cumulative operation count at the snapshot; WAL records with
+    /// `ops_after` at or below this are stale.
+    pub ops_applied: u64,
+    /// Live intervals at the snapshot (order irrelevant — ids are unique).
+    pub intervals: Vec<Interval>,
+}
+
+fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
+    let mut body = Vec::with_capacity(128 + ckpt.intervals.len() * 24);
+    ckpt.meta.encode_into(&mut body);
+    push_u64(&mut body, ckpt.ops_applied);
+    push_u64(&mut body, ckpt.intervals.len() as u64);
+    let points: Vec<Point> = ckpt
+        .intervals
+        .iter()
+        .map(|iv| Point::new(iv.lo, iv.hi, iv.id))
+        .collect();
+    encode_records(&points, &mut body);
+    let mut out = Vec::with_capacity(20 + body.len());
+    out.extend_from_slice(&CKPT_MAGIC);
+    push_u64(&mut out, body.len() as u64);
+    out.extend_from_slice(&crc32(&body).to_le_bytes());
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode_checkpoint(body: &[u8]) -> Option<Checkpoint> {
+    let mut r = Reader(body);
+    let meta = Meta::decode(&mut r)?;
+    let ops_applied = r.u64()?;
+    let n = r.u64()? as usize;
+    let points = decode_records::<Point>(r.0)?;
+    if points.len() != n {
+        return None;
+    }
+    let intervals = points
+        .into_iter()
+        .map(|p| (p.y >= p.x).then(|| Interval::new(p.x, p.y, p.id)))
+        .collect::<Option<Vec<_>>>()?;
+    Some(Checkpoint {
+        meta,
+        ops_applied,
+        intervals,
+    })
+}
+
+/// Serialise `ckpt` and publish it atomically at `path` (tmp + fsync +
+/// rename + directory fsync).
+pub fn write_checkpoint(fs: &Arc<dyn Fs>, path: &Path, ckpt: &Checkpoint) -> io::Result<()> {
+    let bytes = encode_checkpoint(ckpt);
+    let tmp = path.with_extension("tmp");
+    {
+        let mut file = fs.open(&tmp, true)?;
+        retry_interrupted(|| file.set_len(0))?;
+        write_all_at(file.as_mut(), 0, &bytes)?;
+        retry_interrupted(|| file.sync())?;
+    }
+    retry_interrupted(|| fs.rename(&tmp, path))?;
+    let dir = path.parent().unwrap_or(Path::new("."));
+    retry_interrupted(|| fs.sync_dir(dir))
+}
+
+/// Load the checkpoint at `path`. Returns `Ok(None)` when no checkpoint
+/// exists yet; a present-but-corrupt checkpoint is an error (the atomic
+/// publication protocol never leaves one, so corruption here is real
+/// damage, not a crash artifact).
+pub fn read_checkpoint(fs: &Arc<dyn Fs>, path: &Path) -> io::Result<Option<Checkpoint>> {
+    if !fs.exists(path) {
+        return Ok(None);
+    }
+    let file = fs.open(path, false)?;
+    let corrupt = |what: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("checkpoint {}: {what}", path.display()),
+        )
+    };
+    let len = file.len()?;
+    if len < 20 {
+        return Err(corrupt("too short"));
+    }
+    let mut head = [0u8; 20];
+    read_exact_at(file.as_ref(), 0, &mut head)?;
+    if head[0..8] != CKPT_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let body_len = u64::from_le_bytes(head[8..16].try_into().expect("8 bytes"));
+    let crc = u32::from_le_bytes(head[16..20].try_into().expect("4 bytes"));
+    if 20 + body_len != len {
+        return Err(corrupt("length mismatch"));
+    }
+    let mut body = vec![0u8; body_len as usize];
+    read_exact_at(file.as_ref(), 20, &mut body)?;
+    if crc32(&body) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    decode_checkpoint(&body)
+        .map(Some)
+        .ok_or_else(|| corrupt("undecodable body"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::TempDir;
+    use crate::fs::RealFs;
+    use ccix_core::Tuning;
+
+    fn sample() -> Checkpoint {
+        let options = IntervalOptions {
+            endpoints: EndpointMode::BTree,
+            tuning: Tuning {
+                update_batch_pages: 3,
+                td_batch_pages: 5,
+                tomb_batch_pages: 2,
+                shrink_deletes_pct: 40,
+                ts_snapshot_pages: None,
+                corner_alpha: 4,
+                pack_h_pages: 2,
+                resident_root: true,
+                reorg_pages_per_op: 4,
+                build_threads: 1,
+            },
+            btree_leaf_fill: Some(70),
+        };
+        Checkpoint {
+            meta: Meta::new(Geometry::new(16), options),
+            ops_applied: 12345,
+            intervals: vec![
+                Interval::new(-5, 5, 1),
+                Interval::new(i64::MIN, i64::MAX, 2),
+                Interval::new(7, 7, 3),
+            ],
+        }
+    }
+
+    #[test]
+    fn roundtrip_preserves_meta_and_content() {
+        let tmp = TempDir::new("ckpt-roundtrip");
+        let path = tmp.path().join("checkpoint");
+        let fs = RealFs::shared();
+        let ckpt = sample();
+        write_checkpoint(&fs, &path, &ckpt).expect("write");
+        let back = read_checkpoint(&fs, &path).expect("read").expect("present");
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn missing_checkpoint_is_none() {
+        let tmp = TempDir::new("ckpt-missing");
+        let fs = RealFs::shared();
+        assert!(read_checkpoint(&fs, &tmp.path().join("checkpoint"))
+            .expect("read")
+            .is_none());
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_an_error() {
+        let tmp = TempDir::new("ckpt-corrupt");
+        let path = tmp.path().join("checkpoint");
+        let fs = RealFs::shared();
+        write_checkpoint(&fs, &path, &sample()).expect("write");
+        let mut bytes = std::fs::read(&path).expect("read");
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&path, &bytes).expect("corrupt");
+        let err = read_checkpoint(&fs, &path).expect_err("corrupt");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn rewrite_replaces_atomically() {
+        let tmp = TempDir::new("ckpt-rewrite");
+        let path = tmp.path().join("checkpoint");
+        let fs = RealFs::shared();
+        let mut ckpt = sample();
+        write_checkpoint(&fs, &path, &ckpt).expect("write 1");
+        ckpt.ops_applied = 99999;
+        ckpt.intervals.push(Interval::new(0, 1, 4));
+        write_checkpoint(&fs, &path, &ckpt).expect("write 2");
+        let back = read_checkpoint(&fs, &path).expect("read").expect("present");
+        assert_eq!(back.ops_applied, 99999);
+        assert_eq!(back.intervals.len(), 4);
+        assert!(!fs.exists(&path.with_extension("tmp")));
+    }
+}

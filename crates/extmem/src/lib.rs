@@ -37,6 +37,7 @@ pub mod merge;
 mod pin;
 mod point;
 mod pool;
+pub mod ser;
 mod stats;
 mod store;
 
@@ -49,5 +50,6 @@ pub use merge::{
 pub use pin::PathPin;
 pub use point::{sort_by_x, sort_by_y_desc, Point};
 pub use pool::BufferPool;
+pub use ser::FixedBytes;
 pub use stats::{IoCounter, IoSnapshot, IoStats};
 pub use store::{PageId, TypedStore};

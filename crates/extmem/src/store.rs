@@ -79,6 +79,30 @@ impl<T: Clone> TypedStore<T> {
         &self.counter
     }
 
+    /// Resolve a live page slot or panic naming the operation **and the
+    /// page id**, distinguishing a freed page from one never allocated.
+    /// An attributable panic here is the poisoning that turns a
+    /// use-after-free in a reorganisation into an immediate, debuggable
+    /// failure instead of a silently skewed I/O count.
+    #[track_caller]
+    fn live(&self, id: PageId, what: &str) -> &Arc<Vec<T>> {
+        match self.pages.get(id.index()) {
+            Some(Some(page)) => page,
+            Some(None) => panic!("{what} freed page {id:?}"),
+            None => panic!("{what} unallocated page {id:?}"),
+        }
+    }
+
+    /// As [`TypedStore::live`], mutably.
+    #[track_caller]
+    fn live_mut(&mut self, id: PageId, what: &str) -> &mut Arc<Vec<T>> {
+        match self.pages.get_mut(id.index()) {
+            Some(Some(page)) => page,
+            Some(None) => panic!("{what} freed page {id:?}"),
+            None => panic!("{what} unallocated page {id:?}"),
+        }
+    }
+
     /// Allocate a page initialised with `records` (≤ capacity). Costs one
     /// write I/O.
     pub fn alloc(&mut self, records: Vec<T>) -> PageId {
@@ -121,9 +145,7 @@ impl<T: Clone> TypedStore<T> {
     /// Panics if the page was never allocated or has been freed.
     pub fn read(&self, id: PageId) -> &[T] {
         self.counter.add_reads(1);
-        self.pages[id.index()]
-            .as_deref()
-            .expect("read of freed page")
+        self.live(id, "read of")
     }
 
     /// Fork a copy-on-write snapshot of this store, charging future I/O on
@@ -155,13 +177,11 @@ impl<T: Clone> TypedStore<T> {
     pub fn append(&mut self, id: PageId, record: T) {
         self.counter.add_reads(1);
         self.counter.add_writes(1);
-        let page = self.pages[id.index()]
-            .as_mut()
-            .expect("append to freed page");
+        let capacity = self.capacity;
+        let page = self.live_mut(id, "append to");
         assert!(
-            page.len() < self.capacity,
-            "page overflow: append to a full page of capacity {}",
-            self.capacity
+            page.len() < capacity,
+            "page overflow: append to a full page of capacity {capacity}"
         );
         Arc::make_mut(page).push(record);
     }
@@ -174,10 +194,7 @@ impl<T: Clone> TypedStore<T> {
             records.len(),
             self.capacity
         );
-        assert!(
-            self.pages[id.index()].is_some(),
-            "write to freed page {id:?}"
-        );
+        self.live(id, "write to");
         self.counter.add_writes(1);
         self.pages[id.index()] = Some(Arc::new(records));
     }
@@ -185,7 +202,13 @@ impl<T: Clone> TypedStore<T> {
     /// Release a page back to the free list. Free of charge (deallocation
     /// needs no transfer). The page's buffer is recycled for `alloc_run`.
     pub fn free(&mut self, id: PageId) {
-        let page = self.pages[id.index()].take().expect("double free of page");
+        let slot = match self.pages.get_mut(id.index()) {
+            Some(slot) => slot,
+            None => panic!("free of unallocated page {id:?}"),
+        };
+        let Some(page) = slot.take() else {
+            panic!("double free of page {id:?}")
+        };
         // Recycling only works when no snapshot still shares the buffer;
         // otherwise the Arc keeps the page alive for its readers and we
         // simply drop our reference (epoch-based reclamation: the last
@@ -200,7 +223,18 @@ impl<T: Clone> TypedStore<T> {
     }
 
     /// Release every page in `ids`.
+    ///
+    /// In debug builds a duplicate id within one run panics up front,
+    /// naming the page — catching the bug at its source instead of as a
+    /// double free partway through the run.
     pub fn free_run(&mut self, ids: &[PageId]) {
+        #[cfg(debug_assertions)]
+        {
+            let mut seen = std::collections::HashSet::with_capacity(ids.len());
+            for &id in ids {
+                assert!(seen.insert(id), "duplicate page {id:?} in free_run");
+            }
+        }
         for &id in ids {
             self.free(id);
         }
@@ -217,10 +251,7 @@ impl<T: Clone> TypedStore<T> {
     /// Only for assertions and space accounting in tests; never used on a
     /// measured query path.
     pub fn len_unbilled(&self, id: PageId) -> usize {
-        self.pages[id.index()]
-            .as_deref()
-            .expect("len of freed page")
-            .len()
+        self.live(id, "len of").len()
     }
 
     /// Read a page without charging an I/O.
@@ -234,9 +265,7 @@ impl<T: Clone> TypedStore<T> {
     /// Uncharged access for the pinning layer, which bills through
     /// [`crate::PathPin`] instead.
     pub(crate) fn read_unbilled_internal(&self, id: PageId) -> &[T] {
-        self.pages[id.index()]
-            .as_deref()
-            .expect("read of freed page")
+        self.live(id, "read of")
     }
 }
 
@@ -306,8 +335,8 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "double free")]
-    fn double_free_panics() {
+    #[should_panic(expected = "double free of page PageId(0)")]
+    fn double_free_panics_with_page_id() {
         let mut s = store(2);
         let a = s.alloc(vec![1]);
         s.free(a);
@@ -315,12 +344,38 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "read of freed page")]
-    fn read_after_free_panics() {
+    #[should_panic(expected = "read of freed page PageId(1)")]
+    fn read_after_free_panics_with_page_id() {
         let mut s = store(2);
+        let _keep = s.alloc(vec![0]);
         let a = s.alloc(vec![1]);
         s.free(a);
         s.read(a);
+    }
+
+    #[test]
+    #[should_panic(expected = "read of unallocated page PageId(7)")]
+    fn read_of_unallocated_page_names_it() {
+        let s = store(2);
+        s.read(PageId(7));
+    }
+
+    #[test]
+    #[should_panic(expected = "append to freed page PageId(0)")]
+    fn append_after_free_panics_with_page_id() {
+        let mut s = store(2);
+        let a = s.alloc(vec![1]);
+        s.free(a);
+        s.append(a, 2);
+    }
+
+    #[cfg(debug_assertions)]
+    #[test]
+    #[should_panic(expected = "duplicate page PageId(0) in free_run")]
+    fn free_run_rejects_duplicates_in_debug() {
+        let mut s = store(2);
+        let a = s.alloc(vec![1]);
+        s.free_run(&[a, a]);
     }
 
     #[test]

@@ -106,6 +106,9 @@ pub struct IntervalIndex {
     endpoints: Option<(Disk, BPlusTree)>,
     stab: MetablockTree,
     len: usize,
+    /// The options this index was constructed with, retained so a durable
+    /// checkpoint can record them and rebuild an identical layout.
+    options: IntervalOptions,
 }
 
 impl IntervalIndex {
@@ -148,6 +151,7 @@ impl IntervalIndex {
             endpoints,
             stab,
             len: 0,
+            options,
         }
     }
 
@@ -203,6 +207,7 @@ impl IntervalIndex {
             endpoints,
             stab,
             len: intervals.len(),
+            options,
         }
     }
 
@@ -226,6 +231,13 @@ impl IntervalIndex {
         &self.counter
     }
 
+    /// The construction options this index was built with (endpoint mode,
+    /// tuning, leaf fill). A durable checkpoint records these so recovery
+    /// rebuilds the same layout with the same write-path behaviour.
+    pub fn options(&self) -> IntervalOptions {
+        self.options
+    }
+
     /// Fork a frozen read **snapshot** of the whole index, charging its
     /// I/O to `counter`.
     ///
@@ -246,6 +258,7 @@ impl IntervalIndex {
                 .map(|(disk, tree)| (disk.fork(counter.clone()), tree.clone())),
             stab: self.stab.fork_snapshot(counter),
             len: self.len,
+            options: self.options,
         }
     }
 

@@ -26,11 +26,14 @@
 //! submission and resolution is the commit-visibility latency the
 //! `exp_throughput` experiment reports at p99.
 
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
 use std::sync::mpsc::{sync_channel, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{mpsc, Arc, RwLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
+use ccix_durable::{DurabilityConfig, DurableStore, FsyncPolicy, Meta, RecoveryReport};
 use ccix_extmem::IoCounter;
 use ccix_interval::{Interval, IntervalIndex, IntervalOp};
 
@@ -148,10 +151,19 @@ impl CommitTicket {
             .recv()
             .expect("engine dropped uncommitted submission")
     }
+
+    /// Block until the commit resolves, or return `None` if the engine
+    /// died (or shut down) without committing the submission — with
+    /// durability enabled, that means the write may or may not survive
+    /// recovery, but was never acknowledged. The non-panicking wait the
+    /// crash suite (and any robust client) uses.
+    pub fn wait_result(self) -> Option<CommitInfo> {
+        self.rx.recv().ok()
+    }
 }
 
 /// Writer-side configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct EngineConfig {
     /// Capacity of the bounded submission queue, in submissions.
     /// [`Engine::submit`] blocks when full — backpressure instead of
@@ -164,6 +176,11 @@ pub struct EngineConfig {
     /// [`IntervalIndex::pump_reorg_step`] slices. Bounds the extra publish
     /// latency a background shrink job may add to any single commit.
     pub reorg_pump_slices: usize,
+    /// Write-ahead logging and checkpointing. `None` (the default) keeps
+    /// the engine fully volatile with byte-identical behaviour to earlier
+    /// versions; `Some` makes commit tickets resolve at **durable**
+    /// visibility — a resolved ticket survives any crash-and-recover.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for EngineConfig {
@@ -172,6 +189,7 @@ impl Default for EngineConfig {
             queue_depth: 64,
             group_max_ops: 4096,
             reorg_pump_slices: 64,
+            durability: None,
         }
     }
 }
@@ -213,13 +231,76 @@ pub struct Engine {
 impl Engine {
     /// Take ownership of `index` and start the writer thread. The initial
     /// epoch (seq 0) is published immediately.
+    ///
+    /// # Panics
+    /// Panics if [`EngineConfig::durability`] is set and initialising the
+    /// durable directory fails (use [`Engine::try_start`] to handle the
+    /// error, and [`Engine::recover`] for a directory that already holds
+    /// state).
     pub fn start(index: IntervalIndex, config: EngineConfig) -> Self {
+        Self::try_start(index, config).expect("initialise durable directory")
+    }
+
+    /// As [`Engine::start`], surfacing durable-directory initialisation
+    /// errors instead of panicking. With durability enabled the directory
+    /// must be fresh (no WAL): the genesis checkpoint records the index's
+    /// construction options and starting content, so a later
+    /// [`Engine::recover`] rebuilds it identically.
+    pub fn try_start(index: IntervalIndex, config: EngineConfig) -> io::Result<Self> {
+        let durable = match &config.durability {
+            None => None,
+            Some(dcfg) => {
+                let meta = Meta::new(index.geometry(), index.options());
+                let content = if index.is_empty() {
+                    Vec::new()
+                } else {
+                    live_content(&index)
+                };
+                let store = DurableStore::create(dcfg, meta, &content)?;
+                Some(store)
+            }
+        };
+        Ok(Self::start_inner(index, config, durable, 0))
+    }
+
+    /// Bring an engine up from a durable directory: load the newest valid
+    /// checkpoint, rebuild the index it describes, deterministically
+    /// replay the WAL suffix through [`IntervalIndex::apply_batch`], and
+    /// start serving. A torn or garbage WAL tail is truncated, never an
+    /// error. `fallback` supplies the construction parameters when the
+    /// directory has no checkpoint yet (it was never fully initialised —
+    /// nothing was ever acknowledged from it).
+    ///
+    /// # Panics
+    /// Panics if [`EngineConfig::durability`] is `None`.
+    pub fn recover(fallback: Meta, config: EngineConfig) -> io::Result<(Self, RecoveryReport)> {
+        let dcfg = config
+            .durability
+            .as_ref()
+            .expect("Engine::recover requires EngineConfig::durability")
+            .clone();
+        let (store, recovered) = DurableStore::open_or_create(&dcfg, fallback)?;
+        let index = recovered.rebuild(IoCounter::new(), fallback);
+        let ops_applied = recovered.ops_applied();
+        let report = recovered.report;
+        Ok((
+            Self::start_inner(index, config, Some(store), ops_applied),
+            report,
+        ))
+    }
+
+    fn start_inner(
+        index: IntervalIndex,
+        config: EngineConfig,
+        durable: Option<DurableStore>,
+        ops_applied: u64,
+    ) -> Self {
         assert!(config.queue_depth > 0, "queue depth must be positive");
         assert!(config.group_max_ops > 0, "group size must be positive");
         let epoch0 = Arc::new(Epoch {
             index: index.fork_snapshot(IoCounter::new()),
             seq: 0,
-            ops_applied: 0,
+            ops_applied,
         });
         let published = Arc::new(RwLock::new(epoch0));
         let (tx, rx) = sync_channel(config.queue_depth);
@@ -229,7 +310,7 @@ impl Engine {
             let seq = Arc::clone(&seq);
             std::thread::Builder::new()
                 .name("ccix-serve-writer".into())
-                .spawn(move || writer_loop(index, rx, published, seq, config))
+                .spawn(move || writer_loop(index, rx, published, seq, config, durable, ops_applied))
                 .expect("spawn writer thread")
         };
         Self {
@@ -238,6 +319,13 @@ impl Engine {
             seq,
             writer: Some(writer),
         }
+    }
+
+    /// Whether the writer thread is still running. `false` after a fatal
+    /// durability error (the writer stops acknowledging and exits rather
+    /// than acknowledge a commit it cannot make durable).
+    pub fn is_alive(&self) -> bool {
+        self.writer.as_ref().is_some_and(|h| !h.is_finished())
     }
 
     /// The newest published epoch as a read handle. Lock held only for the
@@ -277,22 +365,38 @@ impl Engine {
         }
     }
 
-    /// Commit barrier: resolves once everything submitted before it is
-    /// published.
-    pub fn flush(&self) -> CommitInfo {
+    /// As [`Engine::submit`], but return the ops back instead of panicking
+    /// when the writer is gone (shut down, or dead after a fatal
+    /// durability error).
+    pub fn submit_checked(&self, ops: Vec<IntervalOp>) -> Result<CommitTicket, Vec<IntervalOp>> {
         let (ack, rx) = mpsc::channel();
-        self.tx
-            .send(Submission::Flush(ack))
-            .expect("writer thread gone");
-        rx.recv().expect("engine dropped flush")
+        match self.tx.send(Submission::Apply(ops, ack)) {
+            Ok(()) => Ok(CommitTicket { rx }),
+            Err(mpsc::SendError(Submission::Apply(ops, _))) => Err(ops),
+            Err(_) => unreachable!("send returns the submission it failed to send"),
+        }
+    }
+
+    /// Commit barrier: resolves once everything submitted before it is
+    /// published (and, with durability enabled, durable).
+    pub fn flush(&self) -> CommitInfo {
+        self.flush_checked().expect("writer thread gone")
+    }
+
+    /// As [`Engine::flush`], returning `None` instead of panicking when
+    /// the writer is gone.
+    pub fn flush_checked(&self) -> Option<CommitInfo> {
+        let (ack, rx) = mpsc::channel();
+        self.tx.send(Submission::Flush(ack)).ok()?;
+        rx.recv().ok()
     }
 
     /// Stop the writer after it drains everything already queued, and take
-    /// the live index back.
+    /// the live index back. Safe to call on an engine whose writer already
+    /// died of a durability error — the partially-applied index comes
+    /// back either way.
     pub fn shutdown(mut self) -> IntervalIndex {
-        self.tx
-            .send(Submission::Shutdown)
-            .expect("writer thread gone");
+        let _ = self.tx.send(Submission::Shutdown);
         self.writer
             .take()
             .expect("writer already joined")
@@ -310,62 +414,137 @@ impl Drop for Engine {
     }
 }
 
+/// Extract the live interval set of `index` (for checkpoints) from a
+/// private snapshot, so the scan never charges a published epoch's
+/// counter.
+fn live_content(index: &IntervalIndex) -> Vec<Interval> {
+    index
+        .fork_snapshot(IoCounter::new())
+        .left_range(i64::MIN, i64::MAX)
+}
+
+/// The writer thread's durable half: WAL + checkpoint store, the acks
+/// parked until their covering fsync, and the fsync batching state.
+struct DurableState {
+    store: DurableStore,
+    /// Acks withheld until the WAL records covering them are synced.
+    pending: Vec<(Sender<CommitInfo>, CommitInfo)>,
+    /// Commits appended since the last fsync (drives `EveryCommits`).
+    appended_since_sync: u32,
+    /// When the oldest unsynced append happened (drives `Group`'s delay
+    /// bound under sustained backlog).
+    oldest_unsynced: Option<Instant>,
+}
+
+impl DurableState {
+    /// Fsync the WAL and release every parked ack. Any error is fatal.
+    fn sync_and_release(&mut self) -> std::io::Result<()> {
+        self.store.sync()?;
+        self.appended_since_sync = 0;
+        self.oldest_unsynced = None;
+        for (ack, info) in self.pending.drain(..) {
+            let _ = ack.send(info);
+        }
+        Ok(())
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
 fn writer_loop(
     mut index: IntervalIndex,
     rx: Receiver<Submission>,
     published: Arc<RwLock<Arc<Epoch>>>,
     seq: Arc<AtomicU64>,
     config: EngineConfig,
+    durable: Option<DurableStore>,
+    initial_ops: u64,
 ) -> IntervalIndex {
     let mut cur_seq = 0u64;
-    let mut ops_applied = 0u64;
-    let mut acks: Vec<(Sender<CommitInfo>, u64)> = Vec::new();
+    let mut ops_applied = initial_ops;
+    let mut durable = durable.map(|store| DurableState {
+        store,
+        pending: Vec::new(),
+        appended_since_sync: 0,
+        oldest_unsynced: None,
+    });
+    let fsync = config
+        .durability
+        .as_ref()
+        .map(|d| d.fsync)
+        .unwrap_or_default();
     'serve: loop {
         // Block for the first submission of the group…
-        let first = match rx.recv() {
+        let first = match rx.try_recv() {
             Ok(s) => s,
-            Err(_) => break 'serve, // every Engine handle dropped
+            Err(std::sync::mpsc::TryRecvError::Disconnected) => break 'serve,
+            Err(std::sync::mpsc::TryRecvError::Empty) => {
+                // A group that closed on its op budget skips the
+                // drained-empty check inside the drain loop; if the queue
+                // is idle now, that same trigger applies — settle the
+                // parked acks before blocking, or they wait forever.
+                if let Some(d) = durable.as_mut() {
+                    if !d.pending.is_empty() && d.sync_and_release().is_err() {
+                        return index;
+                    }
+                }
+                match rx.recv() {
+                    Ok(s) => s,
+                    Err(_) => break 'serve, // every Engine handle dropped
+                }
+            }
         };
         let mut group_ops = 0usize;
         let mut shutdown = false;
-        let apply = |sub: Submission,
-                     index: &mut IntervalIndex,
-                     ops_applied: &mut u64,
-                     group_ops: &mut usize,
-                     acks: &mut Vec<(Sender<CommitInfo>, u64)>| {
-            match sub {
+        let mut flush_requested = false;
+        let mut drained_empty = false;
+        // This group's acks, resolved after its epoch publishes (volatile)
+        // or after the covering fsync (durable).
+        let mut acks: Vec<(Sender<CommitInfo>, u64)> = Vec::new();
+        let mut sub = Some(first);
+        // …then opportunistically drain what else has queued up, bounded
+        // by the group budget: that's the group commit.
+        loop {
+            match sub.take().expect("submission set each iteration") {
                 Submission::Apply(ops, ack) => {
+                    if let Some(d) = durable.as_mut() {
+                        // Log before apply: the WAL holds every operation
+                        // the in-memory index has ever seen, so no
+                        // acknowledged (or even applied) write can outrun
+                        // the log.
+                        if d.store.append_commit(&ops).is_err() {
+                            return index; // fatal: die without acking
+                        }
+                        d.appended_since_sync += 1;
+                        d.oldest_unsynced.get_or_insert_with(Instant::now);
+                        if let FsyncPolicy::EveryCommits(n) = fsync {
+                            if d.appended_since_sync >= n.max(1) && d.store.sync().is_err() {
+                                return index;
+                            }
+                        }
+                    }
                     // Each submission is one sorted flood of its own: the
                     // batch-independence contract holds within a
                     // submission, not across them.
                     index.apply_batch(&ops);
-                    *ops_applied += ops.len() as u64;
-                    *group_ops += ops.len();
-                    acks.push((ack, *ops_applied));
-                    false
+                    ops_applied += ops.len() as u64;
+                    group_ops += ops.len();
+                    acks.push((ack, ops_applied));
                 }
                 Submission::Flush(ack) => {
-                    acks.push((ack, *ops_applied));
-                    false
+                    flush_requested = true;
+                    acks.push((ack, ops_applied));
                 }
-                Submission::Shutdown => true,
+                Submission::Shutdown => shutdown = true,
             }
-        };
-        shutdown |= apply(
-            first,
-            &mut index,
-            &mut ops_applied,
-            &mut group_ops,
-            &mut acks,
-        );
-        // …then opportunistically drain what else has queued up, bounded
-        // by the group budget: that's the group commit.
-        while !shutdown && group_ops < config.group_max_ops {
+            if shutdown || group_ops >= config.group_max_ops {
+                break;
+            }
             match rx.try_recv() {
-                Ok(sub) => {
-                    shutdown |= apply(sub, &mut index, &mut ops_applied, &mut group_ops, &mut acks)
+                Ok(next) => sub = Some(next),
+                Err(_) => {
+                    drained_empty = true;
+                    break;
                 }
-                Err(_) => break,
             }
         }
         // Pump a bounded slice of deferred reorganisation debt between
@@ -385,15 +564,66 @@ fn writer_loop(
         });
         *published.write().expect("publish lock") = epoch;
         seq.store(cur_seq, Relaxed);
-        for (ack, visible_at) in acks.drain(..) {
-            let _ = ack.send(CommitInfo {
-                seq: cur_seq,
-                ops_applied: visible_at,
-            });
+        match durable.as_mut() {
+            None => {
+                // Volatile: published == committed; ack immediately.
+                for (ack, visible_at) in acks.drain(..) {
+                    let _ = ack.send(CommitInfo {
+                        seq: cur_seq,
+                        ops_applied: visible_at,
+                    });
+                }
+            }
+            Some(d) => {
+                // Durable: published ≠ committed. Park the acks until the
+                // fsync that covers their WAL records.
+                for (ack, visible_at) in acks.drain(..) {
+                    d.pending.push((
+                        ack,
+                        CommitInfo {
+                            seq: cur_seq,
+                            ops_applied: visible_at,
+                        },
+                    ));
+                }
+                // Group-commit fsync points: the queue ran dry (nothing
+                // to amortise against), an explicit barrier, shutdown,
+                // `EveryCommits` leftovers already synced above, or the
+                // delay bound expired under sustained backlog.
+                let delay_expired = match fsync {
+                    FsyncPolicy::Group { max_delay_ms } => d
+                        .oldest_unsynced
+                        .is_some_and(|t| t.elapsed().as_millis() as u64 >= max_delay_ms),
+                    FsyncPolicy::EveryCommits(_) => false,
+                };
+                if (drained_empty
+                    || flush_requested
+                    || shutdown
+                    || delay_expired
+                    || !d.store.has_unsynced())
+                    && d.sync_and_release().is_err()
+                {
+                    return index;
+                }
+                // Checkpoint at flush/shutdown barriers and every
+                // `checkpoint_every_ops` logged operations; each one
+                // snapshots the live content and truncates the WAL.
+                if flush_requested || shutdown || d.store.wants_checkpoint() {
+                    let meta = Meta::new(index.geometry(), index.options());
+                    if d.store.checkpoint(meta, &live_content(&index)).is_err() {
+                        return index;
+                    }
+                }
+            }
         }
         if shutdown {
             break 'serve;
         }
+    }
+    // Engine handles all dropped without shutdown: make whatever was
+    // appended durable so nothing acknowledged is lost.
+    if let Some(d) = durable.as_mut() {
+        let _ = d.sync_and_release();
     }
     index
 }

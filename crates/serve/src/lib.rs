@@ -33,6 +33,13 @@
 //!    length-prefixed binary protocol ([`net`] module docs) using only
 //!    `std`: one acceptor plus a fixed worker pool. [`Client`] is the
 //!    matching blocking client.
+//! 6. **Durability.** With [`EngineConfig::durability`] set, every
+//!    submission is appended to a write-ahead log *before* it is applied,
+//!    and its [`CommitTicket`] resolves only after the covering fsync:
+//!    a resolved ticket survives any crash. [`Engine::recover`] rebuilds
+//!    from the newest checkpoint plus a deterministic WAL replay (see
+//!    `ccix_durable`). Durability off (the default) leaves the engine
+//!    byte-identical to earlier versions.
 //!
 //! ```
 //! use ccix_extmem::{Geometry, IoCounter};
@@ -54,5 +61,6 @@
 pub mod engine;
 pub mod net;
 
+pub use ccix_durable::{DurabilityConfig, FsyncPolicy, Meta, RecoveryReport};
 pub use engine::{CommitInfo, CommitTicket, Engine, EngineConfig, Epoch, Snapshot};
-pub use net::{Client, Server, ServerHandle};
+pub use net::{Client, ConnectOpts, Server, ServerHandle};

@@ -9,7 +9,15 @@
 //! response: [len: u32][status: u8][payload: len-1 bytes]
 //! ```
 //!
-//! `status` is [`STATUS_OK`] or [`STATUS_ERR`] (payload = UTF-8 message).
+//! `status` is [`STATUS_OK`] or [`STATUS_ERR`]; an error payload is
+//! `[code: u8][message: UTF-8]` with `code` one of the `ERR_*` constants,
+//! so clients can distinguish a malformed frame ([`ERR_BAD_FRAME`]), a
+//! well-framed but invalid request ([`ERR_BAD_REQUEST`]) and an engine
+//! that is gone ([`ERR_UNAVAILABLE`]). Malformed and oversized requests
+//! are answered with a typed error frame and the connection **stays
+//! open** — one bad client request never tears down a connection that
+//! may have pipelined good ones behind it. Oversized frames are
+//! discarded from the stream without buffering them.
 //! Opcodes and payloads:
 //!
 //! | opcode | request payload | ok payload |
@@ -55,11 +63,19 @@ pub const OP_PING: u8 = 6;
 
 /// Request handled successfully.
 pub const STATUS_OK: u8 = 0;
-/// Request failed; payload is a UTF-8 message.
+/// Request failed; payload is `[code: u8][UTF-8 message]`.
 pub const STATUS_ERR: u8 = 1;
 
+/// Error code: unframeable request (zero-length or over [`MAX_FRAME`]).
+pub const ERR_BAD_FRAME: u8 = 1;
+/// Error code: well-framed request that does not decode or validate.
+pub const ERR_BAD_REQUEST: u8 = 2;
+/// Error code: the engine is gone (shut down, or dead after a fatal
+/// durability error) — retrying on this connection cannot succeed.
+pub const ERR_UNAVAILABLE: u8 = 3;
+
 /// Largest accepted frame (sanity bound against corrupt length prefixes).
-const MAX_FRAME: u32 = 64 << 20;
+pub const MAX_FRAME: u32 = 64 << 20;
 
 /// A running server: one acceptor thread plus a fixed worker pool sharing
 /// an [`Engine`]. Obtained from [`Server::start`].
@@ -195,33 +211,47 @@ impl Server {
     }
 }
 
-/// Handle one connection until the peer closes it.
+/// Handle one connection until the peer closes it. Malformed or
+/// oversized frames are answered with a typed error frame and the
+/// connection keeps serving; only transport errors (and clean closes)
+/// end the loop.
 fn serve_connection(mut conn: TcpStream, engine: &Engine) -> io::Result<()> {
     conn.set_nodelay(true)?;
     let mut req = Vec::new();
     loop {
-        match read_frame(&mut conn, &mut req) {
-            Ok(true) => {}
-            Ok(false) => return Ok(()), // clean close between frames
-            Err(e) => return Err(e),
-        }
-        let resp = match handle_request(&req, engine) {
-            Ok(body) => frame(STATUS_OK, &body),
-            Err(msg) => frame(STATUS_ERR, msg.as_bytes()),
+        let resp = match read_frame(&mut conn, &mut req)? {
+            FrameRead::Closed => return Ok(()), // clean close between frames
+            FrameRead::Frame => match handle_request(&req, engine) {
+                Ok(body) => frame(STATUS_OK, &body),
+                Err((code, msg)) => error_frame(code, &msg),
+            },
+            FrameRead::Unframeable(len) => {
+                // The declared payload is discarded (never buffered), the
+                // client gets a typed error, and the stream stays usable:
+                // the length prefix told us exactly where the next frame
+                // starts.
+                discard_exact(&mut conn, len as u64)?;
+                error_frame(
+                    ERR_BAD_FRAME,
+                    &format!("bad frame length {len} (cap {MAX_FRAME})"),
+                )
+            }
         };
         conn.write_all(&resp)?;
     }
 }
 
-/// Dispatch one decoded request frame (`[opcode][payload]`).
-fn handle_request(req: &[u8], engine: &Engine) -> Result<Vec<u8>, String> {
-    let (&opcode, payload) = req.split_first().ok_or("empty frame")?;
+/// Dispatch one decoded request frame (`[opcode][payload]`). Errors are
+/// `(ERR_* code, message)` pairs for the typed error frame.
+fn handle_request(req: &[u8], engine: &Engine) -> Result<Vec<u8>, (u8, String)> {
+    let bad = |msg: String| (ERR_BAD_REQUEST, msg);
+    let (&opcode, payload) = req.split_first().ok_or_else(|| bad("empty frame".into()))?;
     let mut r = Reader(payload);
     let mut body = Vec::new();
     match opcode {
         OP_STAB => {
-            let q = r.i64()?;
-            r.done()?;
+            let q = r.i64().map_err(bad)?;
+            r.done().map_err(bad)?;
             let ids = engine.snapshot().query(q);
             put_u32(&mut body, ids.len());
             for id in ids {
@@ -229,12 +259,12 @@ fn handle_request(req: &[u8], engine: &Engine) -> Result<Vec<u8>, String> {
             }
         }
         OP_STAB_BATCH => {
-            let n = r.u32()? as usize;
+            let n = r.u32().map_err(bad)? as usize;
             let mut qs = Vec::with_capacity(n.min(1 << 20));
             for _ in 0..n {
-                qs.push(r.i64()?);
+                qs.push(r.i64().map_err(bad)?);
             }
-            r.done()?;
+            r.done().map_err(bad)?;
             for ids in engine.snapshot().stab_batch(&qs) {
                 put_u32(&mut body, ids.len());
                 for id in ids {
@@ -243,8 +273,8 @@ fn handle_request(req: &[u8], engine: &Engine) -> Result<Vec<u8>, String> {
             }
         }
         OP_XRANGE => {
-            let (x1, x2) = (r.i64()?, r.i64()?);
-            r.done()?;
+            let (x1, x2) = (r.i64().map_err(bad)?, r.i64().map_err(bad)?);
+            r.done().map_err(bad)?;
             let ivs = engine.snapshot().x_range(x1, x2);
             put_u32(&mut body, ivs.len());
             for iv in ivs {
@@ -254,35 +284,73 @@ fn handle_request(req: &[u8], engine: &Engine) -> Result<Vec<u8>, String> {
             }
         }
         OP_APPLY => {
-            let n = r.u32()? as usize;
+            let n = r.u32().map_err(bad)? as usize;
             let mut ops = Vec::with_capacity(n.min(1 << 20));
             for _ in 0..n {
-                let tag = r.u8()?;
-                let (lo, hi) = (r.i64()?, r.i64()?);
-                let iv = Interval::new(lo, hi, r.u64()?);
+                let tag = r.u8().map_err(bad)?;
+                let (lo, hi) = (r.i64().map_err(bad)?, r.i64().map_err(bad)?);
+                let id = r.u64().map_err(bad)?;
+                // Validate before constructing: `Interval::new` panics on
+                // inverted endpoints, and a hostile frame must not be able
+                // to panic a worker.
+                if hi < lo {
+                    return Err(bad(format!("inverted interval [{lo}, {hi}]")));
+                }
+                let iv = Interval::new(lo, hi, id);
                 ops.push(match tag {
                     0 => IntervalOp::Insert(iv),
                     1 => IntervalOp::Delete(iv),
-                    t => return Err(format!("bad op tag {t}")),
+                    t => return Err(bad(format!("bad op tag {t}"))),
                 });
             }
-            r.done()?;
-            // Reply only once the commit is visible to every snapshot.
-            let info: CommitInfo = engine.submit(ops).wait();
+            r.done().map_err(bad)?;
+            // Reply only once the commit is visible to every snapshot
+            // (and durable, when durability is on). A dead engine is a
+            // typed error, not a worker panic.
+            let unavailable = || (ERR_UNAVAILABLE, "engine is gone".to_string());
+            let ticket = engine.submit_checked(ops).map_err(|_| unavailable())?;
+            let info: CommitInfo = ticket.wait_result().ok_or_else(unavailable)?;
             body.extend_from_slice(&info.seq.to_le_bytes());
             body.extend_from_slice(&info.ops_applied.to_le_bytes());
         }
         OP_EPOCH => {
-            r.done()?;
+            r.done().map_err(bad)?;
             let snap = engine.snapshot();
             body.extend_from_slice(&snap.seq().to_le_bytes());
             body.extend_from_slice(&snap.ops_applied().to_le_bytes());
             body.extend_from_slice(&(snap.len() as u64).to_le_bytes());
         }
-        OP_PING => r.done()?,
-        op => return Err(format!("bad opcode {op}")),
+        OP_PING => r.done().map_err(bad)?,
+        op => return Err(bad(format!("bad opcode {op}"))),
     }
     Ok(body)
+}
+
+/// Connection policy for [`Client::connect_with`].
+#[derive(Clone, Copy, Debug)]
+pub struct ConnectOpts {
+    /// Total connect attempts (≥ 1). Transient failures — refused, reset,
+    /// timed out — are retried with linear backoff; anything else fails
+    /// immediately.
+    pub attempts: u32,
+    /// Backoff after the first failed attempt; attempt `k` waits
+    /// `k × backoff`.
+    pub backoff: std::time::Duration,
+    /// Read timeout on the connected socket (`None` = block forever).
+    /// A durable `apply` can legitimately wait for a group fsync, so the
+    /// default leaves reads unbounded; set one when talking to servers
+    /// that may silently die.
+    pub read_timeout: Option<std::time::Duration>,
+}
+
+impl Default for ConnectOpts {
+    fn default() -> Self {
+        Self {
+            attempts: 3,
+            backoff: std::time::Duration::from_millis(20),
+            read_timeout: None,
+        }
+    }
 }
 
 /// Blocking client for the wire protocol. One request in flight at a time.
@@ -292,15 +360,50 @@ pub struct Client {
     buf: Vec<u8>,
 }
 
+fn transient(kind: io::ErrorKind) -> bool {
+    matches!(
+        kind,
+        io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::TimedOut
+            | io::ErrorKind::Interrupted
+    )
+}
+
 impl Client {
-    /// Connect to a [`Server`].
+    /// Connect to a [`Server`] with the default [`ConnectOpts`] (three
+    /// attempts, 20 ms linear backoff, no read timeout).
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Self> {
-        let conn = TcpStream::connect(addr)?;
-        conn.set_nodelay(true)?;
-        Ok(Self {
-            conn,
-            buf: Vec::new(),
-        })
+        Self::connect_with(addr, ConnectOpts::default())
+    }
+
+    /// Connect with explicit retry/backoff/timeout policy. Retries only
+    /// transient connect failures (refused/reset/aborted/timed out), so a
+    /// server still binding its listener doesn't cost the caller an
+    /// error, while a hard failure (unreachable, permission) surfaces at
+    /// once.
+    pub fn connect_with(addr: impl ToSocketAddrs, opts: ConnectOpts) -> io::Result<Self> {
+        let attempts = opts.attempts.max(1);
+        let mut last_err = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(opts.backoff * attempt);
+            }
+            match TcpStream::connect(&addr) {
+                Ok(conn) => {
+                    conn.set_nodelay(true)?;
+                    conn.set_read_timeout(opts.read_timeout)?;
+                    return Ok(Self {
+                        conn,
+                        buf: Vec::new(),
+                    });
+                }
+                Err(e) if transient(e.kind()) && attempt + 1 < attempts => last_err = Some(e),
+                Err(e) => return Err(e),
+            }
+        }
+        Err(last_err.expect("at least one attempt"))
     }
 
     fn call(&mut self, opcode: u8, payload: &[u8]) -> io::Result<Vec<u8>> {
@@ -309,16 +412,34 @@ impl Client {
         req.push(opcode);
         req.extend_from_slice(payload);
         self.conn.write_all(&req)?;
-        if !read_frame(&mut self.conn, &mut self.buf)? {
-            return Err(io::Error::new(
-                io::ErrorKind::UnexpectedEof,
-                "server closed connection",
-            ));
+        match read_frame(&mut self.conn, &mut self.buf)? {
+            FrameRead::Frame => {}
+            FrameRead::Closed => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed connection",
+                ))
+            }
+            FrameRead::Unframeable(len) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad reply frame length {len}"),
+                ))
+            }
         }
         match self.buf.split_first() {
             Some((&STATUS_OK, body)) => Ok(body.to_vec()),
-            Some((&STATUS_ERR, msg)) => {
-                Err(io::Error::other(String::from_utf8_lossy(msg).into_owned()))
+            Some((&STATUS_ERR, err)) => {
+                let (code, msg) = match err.split_first() {
+                    Some((&code, msg)) => (code, String::from_utf8_lossy(msg).into_owned()),
+                    None => (0, "unspecified error".to_string()),
+                };
+                let kind = match code {
+                    ERR_BAD_FRAME | ERR_BAD_REQUEST => io::ErrorKind::InvalidInput,
+                    ERR_UNAVAILABLE => io::ErrorKind::ConnectionAborted,
+                    _ => io::ErrorKind::Other,
+                };
+                Err(io::Error::new(kind, format!("server error {code}: {msg}")))
             }
             _ => Err(io::Error::new(io::ErrorKind::InvalidData, "empty frame")),
         }
@@ -402,14 +523,24 @@ impl Client {
     }
 }
 
-/// Read one `[len: u32][body]` frame into `buf`. `Ok(false)` = peer closed
-/// cleanly before a new frame started.
-fn read_frame(conn: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<bool> {
+/// Outcome of reading one frame header + body.
+enum FrameRead {
+    /// A frame landed in `buf`.
+    Frame,
+    /// Peer closed cleanly before a new frame started.
+    Closed,
+    /// The header declared an unserviceable length (0 or over
+    /// [`MAX_FRAME`]); the payload has **not** been consumed.
+    Unframeable(u32),
+}
+
+/// Read one `[len: u32][body]` frame into `buf`.
+fn read_frame(conn: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<FrameRead> {
     let mut len = [0u8; 4];
     let mut got = 0;
     while got < 4 {
         match conn.read(&mut len[got..])? {
-            0 if got == 0 => return Ok(false),
+            0 if got == 0 => return Ok(FrameRead::Closed),
             0 => {
                 return Err(io::Error::new(
                     io::ErrorKind::UnexpectedEof,
@@ -421,15 +552,38 @@ fn read_frame(conn: &mut TcpStream, buf: &mut Vec<u8>) -> io::Result<bool> {
     }
     let len = u32::from_le_bytes(len);
     if len == 0 || len > MAX_FRAME {
-        return Err(io::Error::new(
-            io::ErrorKind::InvalidData,
-            format!("bad frame length {len}"),
-        ));
+        return Ok(FrameRead::Unframeable(len));
     }
     buf.clear();
     buf.resize(len as usize, 0);
     conn.read_exact(buf)?;
-    Ok(true)
+    Ok(FrameRead::Frame)
+}
+
+/// Consume and drop `n` bytes from the stream (an oversized frame's
+/// payload) without ever buffering more than a small window.
+fn discard_exact(conn: &mut TcpStream, mut n: u64) -> io::Result<()> {
+    let mut sink = [0u8; 8192];
+    while n > 0 {
+        let want = sink.len().min(n as usize);
+        match conn.read(&mut sink[..want])? {
+            0 => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "peer closed mid-discard",
+                ))
+            }
+            m => n -= m as u64,
+        }
+    }
+    Ok(())
+}
+
+fn error_frame(code: u8, msg: &str) -> Vec<u8> {
+    let mut body = Vec::with_capacity(msg.len() + 1);
+    body.push(code);
+    body.extend_from_slice(msg.as_bytes());
+    frame(STATUS_ERR, &body)
 }
 
 fn frame(status: u8, body: &[u8]) -> Vec<u8> {

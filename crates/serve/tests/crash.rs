@@ -1,0 +1,292 @@
+//! The kill-point differential suite: crash the durable engine at hundreds
+//! of deterministic points mid-flood, recover, and demand exact agreement
+//! with an oracle replay of the acknowledged prefix.
+//!
+//! Each trial floods a [`commit_plan`] through an engine whose durable
+//! directory sits behind a [`FailFs`] with a `crash_after_ops` budget: when
+//! the budget runs out, the filesystem performs its lossy power-loss flush
+//! (an arbitrary suffix of unsynced writes lost, the newest survivor
+//! possibly torn) and then fails everything forever. The engine's writer
+//! dies without acknowledging anything it could not make durable. Recovery
+//! then reopens the directory on the *real* filesystem and must find:
+//!
+//! * a whole-batch prefix of the submission stream (`ops_applied` a
+//!   multiple of the batch size — submissions are logged atomically),
+//! * at least every acknowledged commit (acknowledged ⇒ replayed), and
+//! * content exactly equal to the oracle state for that prefix.
+//!
+//! Crash points are spread across the whole run — directory creation, the
+//! flood, checkpoints, shutdown — by first probing an uncrashed run for
+//! its total mutating-op count. Fsync policies and checkpoint cadences
+//! rotate per point so group commit, per-commit sync, and
+//! checkpoint-truncation windows all get hit.
+
+use std::sync::Arc;
+
+use ccix_core::Tuning;
+use ccix_durable::{DurabilityConfig, FailFs, FaultPlan, RealFs, TempDir};
+use ccix_extmem::{Geometry, IoCounter};
+use ccix_interval::{IndexBuilder, Interval, IntervalOp, IntervalOptions};
+use ccix_serve::{Engine, EngineConfig, FsyncPolicy, Meta};
+use ccix_testkit::rng::DetRng;
+use ccix_testkit::workloads::{commit_plan, CommitPlan, CommitPlanSpec};
+
+const BATCH_OPS: usize = 16;
+const BATCHES: usize = 24;
+
+const PLAN: CommitPlanSpec = CommitPlanSpec {
+    initial: 120,
+    batches: BATCHES,
+    batch_ops: BATCH_OPS,
+    delete_prob: 0.35,
+    lo_range: 1_500,
+    max_len: 90,
+};
+
+/// One trial per incremental-reorg regime; the release-mode point count is
+/// what the CI crash-recovery leg runs (3 × 80 = 240 kill points). Debug
+/// builds keep the same coverage shape at tier-1-friendly cost.
+const TRIALS: usize = 3;
+#[cfg(debug_assertions)]
+const POINTS_PER_TRIAL: usize = 10;
+#[cfg(not(debug_assertions))]
+const POINTS_PER_TRIAL: usize = 80;
+
+/// Fsync policies rotated across kill points.
+const POLICIES: [FsyncPolicy; 4] = [
+    FsyncPolicy::EveryCommits(1),
+    FsyncPolicy::EveryCommits(4),
+    FsyncPolicy::Group { max_delay_ms: 0 },
+    FsyncPolicy::Group { max_delay_ms: 5 },
+];
+
+/// Checkpoint cadences rotated across kill points (0 = only at barriers),
+/// small enough that mid-flood checkpoints — and crashes inside them —
+/// actually happen.
+const CKPT_EVERY: [u64; 3] = [0, 96, 256];
+
+fn geometry() -> Geometry {
+    Geometry::new(8)
+}
+
+fn options(trial: usize, rng: &mut DetRng) -> IntervalOptions {
+    IntervalOptions {
+        tuning: Tuning {
+            reorg_pages_per_op: [0, 1, 4][trial % 3],
+            update_batch_pages: [1, 2, 4][rng.gen_range(0usize..3)],
+            shrink_deletes_pct: [10, 35][rng.gen_range(0usize..2)],
+            ..Tuning::default()
+        },
+        ..IntervalOptions::default()
+    }
+}
+
+fn engine_config(durability: Option<DurabilityConfig>) -> EngineConfig {
+    EngineConfig {
+        queue_depth: 4,
+        group_max_ops: 3 * BATCH_OPS,
+        reorg_pump_slices: 8,
+        durability,
+    }
+}
+
+fn sorted(mut ivs: Vec<Interval>) -> Vec<Interval> {
+    ivs.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.id));
+    ivs
+}
+
+/// Flood the plan through `engine` without waiting per batch (so real
+/// group commits form), then resolve every ticket in order. Returns the
+/// highest acknowledged `ops_applied`. Acks must form a prefix: once one
+/// ticket comes back dead, no later one may resolve.
+fn flood(engine: &Engine, plan: &CommitPlan) -> u64 {
+    let mut tickets = Vec::with_capacity(plan.batches.len());
+    for batch in &plan.batches {
+        match engine.submit_checked(batch.clone()) {
+            Ok(t) => tickets.push(t),
+            Err(_) => break, // writer already dead: nothing further acks
+        }
+    }
+    let mut max_acked = 0u64;
+    let mut dead = false;
+    for ticket in tickets {
+        match ticket.wait_result() {
+            Some(info) => {
+                assert!(!dead, "acknowledgement after a dropped commit");
+                assert!(info.ops_applied > max_acked, "acks must be in order");
+                max_acked = info.ops_applied;
+            }
+            None => dead = true,
+        }
+    }
+    max_acked
+}
+
+/// Run the whole plan against a durable directory on `fs`. Returns the
+/// highest acknowledged op watermark and whether the engine even started
+/// (a crash inside directory creation means nothing — not even the
+/// initial content — was promised to anyone).
+fn run_flood(
+    plan: &CommitPlan,
+    opts: IntervalOptions,
+    dir: &std::path::Path,
+    fs: Arc<dyn ccix_durable::Fs>,
+    fsync: FsyncPolicy,
+    checkpoint_every_ops: u64,
+) -> (u64, bool) {
+    let dcfg = DurabilityConfig {
+        dir: dir.to_path_buf(),
+        fsync,
+        checkpoint_every_ops,
+        fs,
+    };
+    let index = IndexBuilder::new(geometry())
+        .options(opts)
+        .bulk(IoCounter::new(), &plan.initial);
+    match Engine::try_start(index, engine_config(Some(dcfg))) {
+        Ok(engine) => {
+            let max_acked = flood(&engine, plan);
+            let _ = engine.flush_checked(); // barrier (no-op on a dead writer)
+            engine.shutdown();
+            (max_acked, true)
+        }
+        Err(_) => (0, false),
+    }
+}
+
+/// Recover the directory on the real filesystem and check the invariant.
+fn check_recovery(
+    plan: &CommitPlan,
+    opts: IntervalOptions,
+    dir: &std::path::Path,
+    max_acked: u64,
+    created: bool,
+    context: &str,
+) {
+    let dcfg = DurabilityConfig {
+        fsync: FsyncPolicy::EveryCommits(1),
+        checkpoint_every_ops: 0,
+        ..DurabilityConfig::new(dir)
+    };
+    let fallback = Meta::new(geometry(), opts);
+    let (engine, report) = Engine::recover(fallback, engine_config(Some(dcfg)))
+        .unwrap_or_else(|e| panic!("recovery must never fail ({context}): {e}"));
+    let snap = engine.snapshot();
+    let ops = snap.ops_applied();
+    assert_eq!(
+        ops % BATCH_OPS as u64,
+        0,
+        "recovered state must be a whole-batch prefix ({context}, {report:?})"
+    );
+    let k = (ops / BATCH_OPS as u64) as usize;
+    assert!(
+        k <= BATCHES,
+        "recovered beyond the submitted stream ({context})"
+    );
+    assert!(
+        ops >= max_acked,
+        "acknowledged commit lost: recovered {ops} < acked {max_acked} ({context}, {report:?})"
+    );
+    let got = sorted(snap.x_range(i64::MIN, i64::MAX));
+    let want = sorted(plan.states[k].clone());
+    if !created && ops == 0 && got.is_empty() {
+        // The crash hit inside directory creation, before the genesis
+        // checkpoint published: the directory never promised anything, so
+        // empty-at-fallback is the one other legal answer.
+    } else {
+        assert_eq!(
+            got, want,
+            "recovered content diverges from oracle prefix {k} ({context})"
+        );
+    }
+    // The recovered engine must serve writes durably again.
+    let probe = Interval::new(9_999, 10_000, u64::MAX);
+    let info = engine
+        .submit_checked(vec![IntervalOp::Insert(probe)])
+        .ok()
+        .and_then(|t| t.wait_result())
+        .unwrap_or_else(|| panic!("recovered engine cannot commit ({context})"));
+    assert_eq!(info.ops_applied, ops + 1);
+    assert!(engine.snapshot().query(9_999).contains(&u64::MAX));
+    engine.shutdown();
+}
+
+#[test]
+fn recovery_agrees_with_oracle_at_every_kill_point() {
+    for trial in 0..TRIALS {
+        let mut rng = DetRng::new(trial_seed(trial));
+        let opts = options(trial, &mut rng);
+        let plan = commit_plan(&mut rng, PLAN);
+
+        // Probe: one uncrashed run through FailFs (same noise, no budget)
+        // sizes the op space the kill points are spread over, and checks
+        // the noisy-but-crashless path end to end.
+        let probe_dir = TempDir::new("crash-probe");
+        let probe_fs = FailFs::new(
+            RealFs::shared(),
+            rng.next_u64(),
+            FaultPlan {
+                crash_after_ops: None,
+                short_write: 0.05,
+                eintr: 0.02,
+            },
+        );
+        let (acked, created) = run_flood(
+            &plan,
+            opts,
+            probe_dir.path(),
+            Arc::new(probe_fs.clone()),
+            POLICIES[trial % POLICIES.len()],
+            CKPT_EVERY[trial % CKPT_EVERY.len()],
+        );
+        assert!(created, "probe run must initialise");
+        assert_eq!(
+            acked,
+            (BATCHES * BATCH_OPS) as u64,
+            "probe run must ack everything"
+        );
+        check_recovery(&plan, opts, probe_dir.path(), acked, created, "probe");
+        let total_ops = probe_fs.ops().max(POINTS_PER_TRIAL as u64);
+
+        // Kill points: evenly strided across the probe's op count, with
+        // per-point jitter so reruns of the suite don't always land on
+        // stride boundaries. Scheduling may shift where a given budget
+        // falls in the logical stream — every landing spot is a valid
+        // crash to survive.
+        for point in 0..POINTS_PER_TRIAL {
+            let stride = total_ops / POINTS_PER_TRIAL as u64;
+            let crash_at = 1 + point as u64 * stride + rng.gen_range(0..stride.max(1));
+            let fsync = POLICIES[point % POLICIES.len()];
+            let ckpt = CKPT_EVERY[point % CKPT_EVERY.len()];
+            let dir = TempDir::new("crash-point");
+            let fail_fs = FailFs::new(
+                RealFs::shared(),
+                rng.next_u64(),
+                FaultPlan {
+                    crash_after_ops: Some(crash_at),
+                    short_write: 0.05,
+                    eintr: 0.02,
+                },
+            );
+            let (max_acked, created) = run_flood(
+                &plan,
+                opts,
+                dir.path(),
+                Arc::new(fail_fs.clone()),
+                fsync,
+                ckpt,
+            );
+            let context = format!(
+                "trial {trial}, point {point}, crash_at {crash_at}, \
+                 fsync {fsync:?}, ckpt {ckpt}, crashed {}",
+                fail_fs.crashed()
+            );
+            check_recovery(&plan, opts, dir.path(), max_acked, created, &context);
+        }
+    }
+}
+
+/// Per-trial base seeds (distinct from the stress suite's).
+fn trial_seed(trial: usize) -> u64 {
+    0xdead_0001_u64.wrapping_mul(trial as u64 + 1) ^ 0x5afe_c0de
+}

@@ -1,0 +1,179 @@
+//! Durable-engine edge cases around flush, shutdown, and the sparse
+//! directory states recovery must handle — the quiet corners the
+//! kill-point suite (`crash.rs`) only hits probabilistically.
+
+use ccix_durable::{DurabilityConfig, TempDir};
+use ccix_extmem::{Geometry, IoCounter};
+use ccix_interval::{IndexBuilder, Interval, IntervalOp, IntervalOptions};
+use ccix_serve::{Engine, EngineConfig, FsyncPolicy, Meta};
+
+fn geometry() -> Geometry {
+    Geometry::new(8)
+}
+
+fn meta() -> Meta {
+    Meta::new(geometry(), IntervalOptions::default())
+}
+
+fn config(dir: &std::path::Path, fsync: FsyncPolicy) -> EngineConfig {
+    EngineConfig {
+        queue_depth: 4,
+        group_max_ops: 32,
+        reorg_pump_slices: 4,
+        durability: Some(DurabilityConfig {
+            fsync,
+            ..DurabilityConfig::new(dir)
+        }),
+    }
+}
+
+fn ivs(n: usize) -> Vec<Interval> {
+    (0..n)
+        .map(|i| {
+            let lo = (i as i64 * 41) % 350;
+            Interval::new(lo, lo + (i as i64 * 17) % 70, i as u64)
+        })
+        .collect()
+}
+
+fn content(snap: &ccix_serve::Snapshot) -> Vec<Interval> {
+    let mut all = snap.x_range(i64::MIN, i64::MAX);
+    all.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.id));
+    all
+}
+
+#[test]
+fn flush_on_an_empty_queue_is_a_durable_noop_barrier() {
+    let tmp = TempDir::new("durable-empty-flush");
+    let idx = IndexBuilder::new(geometry()).bulk(IoCounter::new(), &ivs(50));
+    let engine = Engine::start(idx, config(tmp.path(), FsyncPolicy::default()));
+    // Nothing submitted: the barrier must still resolve, at watermark 0,
+    // and must be repeatable.
+    let a = engine.flush();
+    let b = engine.flush();
+    assert_eq!(a.ops_applied, 0);
+    assert_eq!(b.ops_applied, 0);
+    assert!(b.seq >= a.seq);
+    engine.shutdown();
+}
+
+#[test]
+fn shutdown_resolves_in_flight_tickets_durably() {
+    let tmp = TempDir::new("durable-inflight");
+    let idx = IndexBuilder::new(geometry()).open(IoCounter::new());
+    let engine = Engine::start(
+        idx,
+        config(tmp.path(), FsyncPolicy::Group { max_delay_ms: 50 }),
+    );
+    // Pile up submissions without waiting on any of them, then shut down
+    // immediately: everything queued ahead of the shutdown must still be
+    // applied, made durable, and acknowledged.
+    let tickets: Vec<_> = (0..10u64)
+        .map(|i| {
+            engine.submit(vec![IntervalOp::Insert(Interval::new(
+                i as i64 * 10,
+                i as i64 * 10 + 5,
+                i,
+            ))])
+        })
+        .collect();
+    let index = engine.shutdown();
+    assert_eq!(index.len(), 10);
+    for (i, t) in tickets.into_iter().enumerate() {
+        let info = t
+            .wait_result()
+            .unwrap_or_else(|| panic!("in-flight ticket {i} dropped at shutdown"));
+        assert!(info.ops_applied as usize > i);
+    }
+    // And the acknowledgements were real: recovery sees all ten.
+    let (engine, report) =
+        Engine::recover(meta(), config(tmp.path(), FsyncPolicy::default())).expect("recover");
+    assert_eq!(engine.snapshot().ops_applied(), 10);
+    assert_eq!(engine.snapshot().len(), 10);
+    // Shutdown checkpointed, so nothing needed replay.
+    assert_eq!(report.replayed_commits, 0);
+    engine.shutdown();
+}
+
+#[test]
+fn recovery_from_a_never_written_directory_yields_genesis() {
+    let tmp = TempDir::new("durable-genesis");
+    let initial = ivs(80);
+    let idx = IndexBuilder::new(geometry()).bulk(IoCounter::new(), &initial);
+    // Start durable, write nothing, shut down: the directory holds only
+    // the genesis checkpoint and an empty WAL.
+    let engine = Engine::start(idx, config(tmp.path(), FsyncPolicy::EveryCommits(1)));
+    engine.shutdown();
+
+    let (engine, report) =
+        Engine::recover(meta(), config(tmp.path(), FsyncPolicy::default())).expect("recover");
+    let snap = engine.snapshot();
+    assert_eq!(snap.ops_applied(), 0);
+    assert_eq!(report.replayed_commits, 0);
+    assert_eq!(report.checkpoint_intervals, 80);
+    assert_eq!(report.torn_tail_bytes, 0);
+    let mut want = initial;
+    want.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.id));
+    assert_eq!(content(&snap), want);
+    engine.shutdown();
+}
+
+#[test]
+fn recovery_from_checkpoint_only_state_resumes_at_the_watermark() {
+    let tmp = TempDir::new("durable-ckpt-only");
+    let idx = IndexBuilder::new(geometry()).bulk(IoCounter::new(), &ivs(30));
+    let engine = Engine::start(idx, config(tmp.path(), FsyncPolicy::EveryCommits(1)));
+    for i in 0..6u64 {
+        engine
+            .submit(vec![IntervalOp::Insert(Interval::new(
+                500 + i as i64,
+                520 + i as i64,
+                1_000 + i,
+            ))])
+            .wait();
+    }
+    let full = content(&engine.snapshot());
+    engine.shutdown(); // final checkpoint at watermark 6, WAL reset
+
+    // Model the crash window between checkpoint publication and WAL
+    // (re)creation: the checkpoint alone fully describes the state.
+    std::fs::remove_file(tmp.path().join("wal")).expect("drop wal");
+
+    let (engine, report) =
+        Engine::recover(meta(), config(tmp.path(), FsyncPolicy::default())).expect("recover");
+    let snap = engine.snapshot();
+    assert_eq!(snap.ops_applied(), 6, "resume at the checkpoint watermark");
+    assert_eq!(report.replayed_commits, 0);
+    assert_eq!(content(&snap), full);
+    // The recovered engine logs against a fresh WAL from the watermark.
+    let info = engine
+        .submit(vec![IntervalOp::Insert(Interval::new(0, 1, 9_999))])
+        .wait();
+    assert_eq!(info.ops_applied, 7);
+    engine.shutdown();
+
+    let (engine, _) =
+        Engine::recover(meta(), config(tmp.path(), FsyncPolicy::default())).expect("recover again");
+    assert_eq!(engine.snapshot().ops_applied(), 7);
+    assert!(engine.snapshot().query(0).contains(&9_999));
+    engine.shutdown();
+}
+
+#[test]
+fn durable_acks_survive_a_drop_without_shutdown() {
+    let tmp = TempDir::new("durable-drop");
+    let idx = IndexBuilder::new(geometry()).open(IoCounter::new());
+    let engine = Engine::start(idx, config(tmp.path(), FsyncPolicy::EveryCommits(1)));
+    let info = engine
+        .submit(vec![IntervalOp::Insert(Interval::new(3, 9, 42))])
+        .wait();
+    assert_eq!(info.ops_applied, 1);
+    // Drop the engine without an orderly shutdown (the handle-loss path):
+    // the acknowledged commit must still be on disk.
+    drop(engine);
+    let (engine, _) =
+        Engine::recover(meta(), config(tmp.path(), FsyncPolicy::default())).expect("recover");
+    assert_eq!(engine.snapshot().ops_applied(), 1);
+    assert!(engine.snapshot().query(5).contains(&42));
+    engine.shutdown();
+}

@@ -17,11 +17,21 @@ use ccix_interval::{IndexBuilder, Interval, IntervalOp};
 use ccix_serve::{Engine, EngineConfig};
 use ccix_testkit::check;
 use ccix_testkit::rng::DetRng;
+use ccix_testkit::workloads::{commit_plan, CommitPlan, CommitPlanSpec};
 
 const BATCH_OPS: usize = 20;
 const BATCHES: usize = 30;
 const INITIAL: usize = 400;
 const READERS: usize = 3;
+
+const PLAN: CommitPlanSpec = CommitPlanSpec {
+    initial: INITIAL,
+    batches: BATCHES,
+    batch_ops: BATCH_OPS,
+    delete_prob: 0.35,
+    lo_range: 2_000,
+    max_len: 120,
+};
 
 fn rand_interval(rng: &mut DetRng, id: u64) -> Interval {
     let lo = rng.gen_range(0i64..2_000);
@@ -51,53 +61,6 @@ fn x_range_oracle(state: &[Interval], x1: i64, x2: i64) -> Vec<Interval> {
     ivs
 }
 
-/// Fixed-size batches of independent ops plus the oracle live set after
-/// each prefix (`states[k]` = state once `k` batches have been applied).
-struct Plan {
-    initial: Vec<Interval>,
-    batches: Vec<Vec<IntervalOp>>,
-    states: Vec<Vec<Interval>>,
-}
-
-fn build_plan(rng: &mut DetRng) -> Plan {
-    let mut next_id = 0u64;
-    let mut fresh = |rng: &mut DetRng| {
-        let iv = rand_interval(rng, next_id);
-        next_id += 1;
-        iv
-    };
-    let initial: Vec<Interval> = (0..INITIAL).map(|_| fresh(rng)).collect();
-    let mut live = initial.clone();
-    let mut states = vec![live.clone()];
-    let mut batches = Vec::with_capacity(BATCHES);
-    for _ in 0..BATCHES {
-        let mut batch = Vec::with_capacity(BATCH_OPS);
-        // Ops within a batch must be independent (the apply_batch
-        // contract): deletes pick distinct live intervals and never touch
-        // this batch's own inserts.
-        let mut deletable = live.clone();
-        for _ in 0..BATCH_OPS {
-            if !deletable.is_empty() && rng.gen_bool(0.35) {
-                let at = rng.gen_range(0usize..deletable.len());
-                let victim = deletable.swap_remove(at);
-                live.retain(|iv| iv.id != victim.id);
-                batch.push(IntervalOp::Delete(victim));
-            } else {
-                let iv = fresh(rng);
-                live.push(iv);
-                batch.push(IntervalOp::Insert(iv));
-            }
-        }
-        states.push(live.clone());
-        batches.push(batch);
-    }
-    Plan {
-        initial,
-        batches,
-        states,
-    }
-}
-
 /// Random write-path tunings, always including incremental-reorg modes.
 fn rand_tuning(rng: &mut DetRng, trial: usize) -> ccix_core::Tuning {
     // Force the interesting regimes deterministically across trials: no
@@ -116,7 +79,7 @@ fn snapshots_agree_with_oracle_under_flood() {
     check::trials("serve_stress", 3, 0x5eed_c0de, |rng| {
         let trial = trial.fetch_add(1, Relaxed) as usize;
         let tuning = rand_tuning(rng, trial);
-        let plan = build_plan(rng);
+        let plan: CommitPlan = commit_plan(rng, PLAN);
         let idx = IndexBuilder::new(Geometry::new(8))
             .tuning(tuning)
             .bulk(IoCounter::new(), &plan.initial);
@@ -126,6 +89,7 @@ fn snapshots_agree_with_oracle_under_flood() {
                 queue_depth: 4,
                 group_max_ops: 3 * BATCH_OPS, // exercise real grouping
                 reorg_pump_slices: 8,
+                ..EngineConfig::default()
             },
         );
 
@@ -215,6 +179,7 @@ fn every_ticket_resolves_at_a_visible_epoch() {
                 queue_depth: 2,
                 group_max_ops: 8,
                 reorg_pump_slices: 4,
+                ..EngineConfig::default()
             },
         );
         let mut live: Vec<Interval> = Vec::new();

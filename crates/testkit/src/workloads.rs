@@ -281,6 +281,87 @@ pub fn mixed_object_flood(
         .collect()
 }
 
+// ------------------------------------------------------------ commit plans
+//
+// The serving-engine differential suites (concurrency stress, crash
+// recovery) all rely on the same trick: the engine applies submissions
+// whole and in order, so any snapshot — or recovered index — reporting
+// `ops_applied` identifies exactly which prefix of the batch stream it
+// contains, and the oracle state for every prefix can be precomputed
+// before the engine starts.
+
+/// Shape parameters for [`commit_plan`].
+#[derive(Clone, Copy, Debug)]
+pub struct CommitPlanSpec {
+    /// Intervals bulk-loaded before the flood starts.
+    pub initial: usize,
+    /// Number of submitted batches.
+    pub batches: usize,
+    /// Operations per batch (fixed, so `ops_applied / batch_ops` names a
+    /// prefix).
+    pub batch_ops: usize,
+    /// Probability an op is a delete (when anything is live to delete).
+    pub delete_prob: f64,
+    /// Left endpoints drawn from `[0, lo_range)`.
+    pub lo_range: i64,
+    /// Lengths drawn from `[0, max_len)`.
+    pub max_len: i64,
+}
+
+/// Fixed-size batches of independent interval ops plus the oracle live set
+/// after each prefix.
+#[derive(Clone, Debug)]
+pub struct CommitPlan {
+    /// Bulk-loaded starting content.
+    pub initial: Vec<Interval>,
+    /// Batches in submission order. Ops within one batch are independent
+    /// (the `apply_batch` contract): deletes pick distinct already-live
+    /// intervals and never target the same batch's inserts.
+    pub batches: Vec<Vec<ccix_interval::IntervalOp>>,
+    /// `states[k]` = live set once `k` batches have been applied (so
+    /// `states[0] == initial` and `states[batches]` is the final state).
+    pub states: Vec<Vec<Interval>>,
+}
+
+/// Generate a [`CommitPlan`]. Deterministic in the `rng` stream; ids are
+/// never reused.
+pub fn commit_plan(rng: &mut DetRng, spec: CommitPlanSpec) -> CommitPlan {
+    let mut next_id = 0u64;
+    let mut fresh = |rng: &mut DetRng| {
+        let lo = rng.gen_range(0..spec.lo_range.max(1));
+        let iv = Interval::new(lo, lo + rng.gen_range(0..spec.max_len.max(1)), next_id);
+        next_id += 1;
+        iv
+    };
+    let initial: Vec<Interval> = (0..spec.initial).map(|_| fresh(rng)).collect();
+    let mut live = initial.clone();
+    let mut states = vec![live.clone()];
+    let mut batches = Vec::with_capacity(spec.batches);
+    for _ in 0..spec.batches {
+        let mut batch = Vec::with_capacity(spec.batch_ops);
+        let mut deletable = live.clone();
+        for _ in 0..spec.batch_ops {
+            if !deletable.is_empty() && rng.gen_bool(spec.delete_prob) {
+                let at = rng.gen_range(0..deletable.len());
+                let victim = deletable.swap_remove(at);
+                live.retain(|iv| iv.id != victim.id);
+                batch.push(ccix_interval::IntervalOp::Delete(victim));
+            } else {
+                let iv = fresh(rng);
+                live.push(iv);
+                batch.push(ccix_interval::IntervalOp::Insert(iv));
+            }
+        }
+        states.push(live.clone());
+        batches.push(batch);
+    }
+    CommitPlan {
+        initial,
+        batches,
+        states,
+    }
+}
+
 // ------------------------------------------------------------------ points
 
 /// The Proposition 3.3 staircase: `(x, x+1)` for `x ∈ [0, n)`.
@@ -504,6 +585,47 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn commit_plans_replay_to_their_states() {
+        let spec = CommitPlanSpec {
+            initial: 40,
+            batches: 12,
+            batch_ops: 8,
+            delete_prob: 0.4,
+            lo_range: 500,
+            max_len: 60,
+        };
+        let plan = commit_plan(&mut DetRng::new(77), spec);
+        assert_eq!(plan.batches.len(), 12);
+        assert_eq!(plan.states.len(), 13);
+        assert_eq!(plan.states[0], plan.initial);
+        // Replaying each batch over the previous state yields the next:
+        // the states really are the oracle for every prefix.
+        let mut live = plan.initial.clone();
+        for (k, batch) in plan.batches.iter().enumerate() {
+            assert_eq!(batch.len(), 8, "fixed batch size");
+            let mut in_batch = std::collections::BTreeSet::new();
+            for op in batch {
+                match op {
+                    ccix_interval::IntervalOp::Insert(iv) => {
+                        assert!(in_batch.insert(iv.id), "dependent ops in batch");
+                        live.push(*iv);
+                    }
+                    ccix_interval::IntervalOp::Delete(iv) => {
+                        assert!(in_batch.insert(iv.id), "dependent ops in batch");
+                        let before = live.len();
+                        live.retain(|l| l.id != iv.id);
+                        assert_eq!(live.len(), before - 1, "dead delete");
+                    }
+                }
+            }
+            assert_eq!(live, plan.states[k + 1]);
+        }
+        // Determinism: same stream, same plan.
+        let again = commit_plan(&mut DetRng::new(77), spec);
+        assert_eq!(again.states, plan.states);
     }
 
     #[test]
