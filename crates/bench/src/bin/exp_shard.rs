@@ -1,0 +1,19 @@
+//! Experiment binary: see `ccix_bench::experiments::es_shard`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_shard_baseline.json` (the sharded fan-out baseline — aggregate
+//! I/O diffed exactly, wall clock gated by absolute smoke bounds):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_shard -- --json > BENCH_shard_baseline.json
+//! ```
+fn main() {
+    let tables = ccix_bench::experiments::es_shard();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

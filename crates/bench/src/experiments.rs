@@ -1433,6 +1433,20 @@ pub fn el_latency() -> Vec<Table> {
 /// parallelism to lose). p99 commit-visibility latency (submit →
 /// publication, measured on every commit of the flood) gets an absolute
 /// ceiling as well.
+///
+/// `cores` is `available_parallelism()` **corrected upward by the
+/// evidence**: under cgroup quotas or CPU affinity masks the std call can
+/// report fewer cores than the scheduler actually grants, and trusting it
+/// blindly once made this column print the *reciprocal* of the loss
+/// (`1/speedup` — e.g. an impossible 0.21 at 8 readers / 4.78×, below the
+/// perfect-scaling floor of 1.0). A measured speedup of `s` is a
+/// constructive witness that at least `⌈s⌉` cores were usable, so the rows
+/// are computed first and `cores = max(available_parallelism(), ⌊max
+/// speedup⌋)` — `⌊·⌋` rather than `⌈·⌉` so measurement noise (an apparent
+/// 1.2× on a genuinely serial box) can never inflate the ideal and fail
+/// the gate spuriously. The documented formula then can never drop below
+/// its 1.0 floor, and on a runner whose core detection works the ≤ 2.0
+/// gate still enforces ≥ 4× at 8 readers.
 pub fn ec_throughput() -> Vec<Table> {
     use ccix_serve::{Engine, EngineConfig};
     use std::sync::atomic::{AtomicBool, AtomicU64, Ordering::Relaxed};
@@ -1457,11 +1471,15 @@ pub fn ec_throughput() -> Vec<Table> {
     let n = 200_000usize;
     let range = 4 * n as i64;
     let ivs = workloads::uniform_intervals(n, 0xEC, range, 2_000);
-    let cores = std::thread::available_parallelism()
+    let avail = std::thread::available_parallelism()
         .map(|p| p.get())
         .unwrap_or(1);
     let measure = Duration::from_millis(250);
     let mut base_qps = 0.0f64;
+    // (readers, queries, qps, speedup, p99 vis ms, commits) — rows are
+    // measured first and emitted after, because the scaling-loss column
+    // needs the max measured speedup to correct a collapsed core count.
+    let mut measured: Vec<(usize, u64, f64, f64, f64, usize)> = Vec::new();
     for &readers in &[1usize, 2, 4, 8] {
         let idx = ccix_interval::IndexBuilder::new(Geometry::new(b)).bulk(IoCounter::new(), &ivs);
         let engine = Engine::start(idx, EngineConfig::default());
@@ -1530,13 +1548,26 @@ pub fn ec_throughput() -> Vec<Table> {
             base_qps = qps;
         }
         let speedup = qps / base_qps;
-        let ideal = readers.min(cores) as f64;
         vis_ms.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
         let p99 = if vis_ms.is_empty() {
             0.0
         } else {
             vis_ms[(vis_ms.len() - 1) * 99 / 100]
         };
+        measured.push((readers, done, qps, speedup, p99, commits));
+        engine.shutdown();
+    }
+    // A measured speedup of s proves ≥ ⌈s⌉ usable cores even when
+    // available_parallelism() is clamped by a cgroup or affinity mask;
+    // credit only ⌊s⌋ so noise can't inflate the ideal.
+    let witnessed = measured
+        .iter()
+        .map(|&(_, _, _, s, _, _)| s.floor() as usize)
+        .max()
+        .unwrap_or(1);
+    let cores = avail.max(witnessed).max(1);
+    for (readers, done, qps, speedup, p99, commits) in measured {
+        let ideal = readers.min(cores) as f64;
         t.row(vec![
             b.to_string(),
             n.to_string(),
@@ -1548,7 +1579,203 @@ pub fn ec_throughput() -> Vec<Table> {
             format!("{p99:.1}"),
             commits.to_string(),
         ]);
-        engine.shutdown();
+    }
+    vec![t]
+}
+
+/// ES — sharded parallel execution: an x-range routing directory over K
+/// independent interval indexes; insert floods and batched stabbing
+/// queries are split into per-shard sub-batches and fanned out over the
+/// shard-thread pool.
+///
+/// The aggregate I/O columns are exact and **thread-invariant**: the
+/// fan-out only moves per-shard work between threads, and every shard
+/// charges its own striped counter, so `flood I/O`/`query I/O` are
+/// bit-reproducible and diffed exactly by the perf gate (the `threads 1`
+/// and `threads max` rows of a shard count must agree — any divergence is
+/// a routing bug, not noise). Wall clock gets absolute smoke ceilings
+/// only.
+///
+/// The headline column is *scaling loss* at max threads vs the
+/// 1-shard/1-thread row of the same workload: `min(shards, cores) /
+/// speedup`, where speedup is the weaker of the flood-apply and
+/// batched-query speedups, and `cores = max(available_parallelism(),
+/// ⌊max thread-induced speedup⌋)` — the same clamp-corrected core count
+/// EC uses, except the witness compares threads=1 to threads=max at equal
+/// shard counts (sharding speeds queries up even sequentially, and that
+/// algorithmic gain must not be credited as cores), floored so noise
+/// can't inflate the ideal. On an 8-core runner
+/// the ≤ 2.0 gate at 8 shards enforces the ≥ 3-4× acceptance criterion;
+/// on a 1-core box it degenerates to ~1 (no parallelism to lose).
+///
+/// Workloads: `uniform` floods spread over all shards; `zipf` floods are
+/// Zipf-skewed (exponent 1.1) over *shards*, the tenant-skew regime where
+/// one hot shard serialises most of the work.
+pub fn es_shard() -> Vec<Table> {
+    use std::time::Instant;
+
+    let mut t = Table::new(
+        "ES — sharded parallel execution (x-range fan-out)",
+        "Aggregate I/O is thread-invariant and exact; wall clock scales with shards × threads.",
+        &[
+            "workload",
+            "shards",
+            "threads",
+            "n",
+            "build ms",
+            "flood ms",
+            "query ms",
+            "flood I/O",
+            "query I/O",
+            "flood speedup",
+            "query speedup",
+            "scaling loss",
+        ],
+    );
+    let b = 32usize;
+    let n = 200_000usize;
+    let range = 4 * n as i64;
+    let max_len = 2_000i64;
+    let flood_n = 40_000usize;
+    let queries = 40_000usize;
+    let batch = 1_024usize;
+    let avail = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1);
+
+    let base = workloads::uniform_intervals(n, 0xE5, range, max_len);
+    let sample: Vec<i64> = base.iter().map(|iv| iv.lo).collect();
+
+    struct Row {
+        workload: &'static str,
+        shards: usize,
+        threads: &'static str,
+        build_ms: f64,
+        flood_ms: f64,
+        query_ms: f64,
+        flood_io: u64,
+        query_io: u64,
+    }
+    let mut rows: Vec<Row> = Vec::new();
+
+    for &workload in &["uniform", "zipf"] {
+        for &shards in &[1usize, 2, 4, 8] {
+            let splits = ccix_interval::split_points_from_sample(&sample, shards);
+            let (flood_ivs, stabs) = match workload {
+                "uniform" => (
+                    workloads::uniform_intervals(flood_n, 0xE51, range, max_len),
+                    workloads::uniform_flood(queries, 0xE52, range),
+                ),
+                _ => (
+                    workloads::zipf_shard_intervals(flood_n, 0xE53, &splits, range, max_len, 1.1),
+                    workloads::zipf_shard_flood(queries, 0xE53, &splits, range, 1.1),
+                ),
+            };
+            let flood_ops: Vec<ccix_interval::IntervalOp> = flood_ivs
+                .iter()
+                .map(|iv| {
+                    ccix_interval::IntervalOp::Insert(ccix_interval::Interval::new(
+                        iv.lo,
+                        iv.hi,
+                        n as u64 + iv.id,
+                    ))
+                })
+                .collect();
+            for (threads, shard_threads) in [("1", 1usize), ("max", 0usize)] {
+                let tuning = Tuning {
+                    shard_threads,
+                    ..Tuning::default()
+                };
+                let builder = IndexBuilder::new(Geometry::new(b))
+                    .tuning(tuning)
+                    .sharded()
+                    .splits(splits.clone());
+                let t0 = Instant::now();
+                let mut idx = builder.bulk(&base);
+                let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+                let before = idx.io_totals();
+                let t0 = Instant::now();
+                idx.apply_batch(&flood_ops);
+                let flood_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let flood_io = before.delta(idx.io_totals()).total();
+
+                let before = idx.io_totals();
+                let t0 = Instant::now();
+                let mut outs = Vec::new();
+                for chunk in stabs.chunks(batch) {
+                    idx.stab_batch_into(chunk, &mut outs);
+                    std::hint::black_box(&outs);
+                }
+                let query_ms = t0.elapsed().as_secs_f64() * 1e3;
+                let query_io = before.delta(idx.io_totals()).total();
+
+                rows.push(Row {
+                    workload,
+                    shards,
+                    threads,
+                    build_ms,
+                    flood_ms,
+                    query_ms,
+                    flood_io,
+                    query_io,
+                });
+            }
+        }
+    }
+
+    // Speedups are against the 1-shard/1-thread row of the same workload.
+    let base_times: Vec<(&'static str, f64, f64)> = rows
+        .iter()
+        .filter(|r| r.shards == 1 && r.threads == "1")
+        .map(|r| (r.workload, r.flood_ms, r.query_ms))
+        .collect();
+    let speedups: Vec<(f64, f64)> = rows
+        .iter()
+        .map(|r| {
+            let &(_, f0, q0) = base_times
+                .iter()
+                .find(|&&(w, _, _)| w == r.workload)
+                .expect("base row measured first");
+            (f0 / r.flood_ms, q0 / r.query_ms)
+        })
+        .collect();
+    // Same clamp-corrected core count as EC, but witnessed only from
+    // *thread-induced* speedup — the threads=1 vs threads=max ratio at the
+    // same (workload, shards), where the algorithmic gains of smaller
+    // per-shard trees cancel out (sharding speeds queries up even
+    // sequentially, and that must not be credited as cores). Floored so
+    // noise can't inflate the ideal.
+    let witnessed = rows
+        .iter()
+        .filter(|r| r.threads == "1")
+        .filter_map(|r1| {
+            let rm = rows.iter().find(|r| {
+                r.workload == r1.workload && r.shards == r1.shards && r.threads == "max"
+            })?;
+            let f = r1.flood_ms / rm.flood_ms;
+            let q = r1.query_ms / rm.query_ms;
+            Some(f.max(q).floor() as usize)
+        })
+        .max()
+        .unwrap_or(1);
+    let cores = avail.max(witnessed).max(1);
+    for (r, (flood_su, query_su)) in rows.iter().zip(speedups) {
+        let ideal = r.shards.min(cores) as f64;
+        t.row(vec![
+            r.workload.to_string(),
+            r.shards.to_string(),
+            r.threads.to_string(),
+            n.to_string(),
+            format!("{:.0}", r.build_ms),
+            format!("{:.1}", r.flood_ms),
+            format!("{:.1}", r.query_ms),
+            r.flood_io.to_string(),
+            r.query_io.to_string(),
+            format!("{flood_su:.2}"),
+            format!("{query_su:.2}"),
+            format!("{:.2}", ideal / flood_su.min(query_su)),
+        ]);
     }
     vec![t]
 }
@@ -1675,7 +1902,7 @@ pub fn er_recovery() -> Vec<Table> {
             ..DurabilityConfig::new(tmp.path())
         };
         let meta = Meta::new(Geometry::new(b), ccix_interval::IntervalOptions::default());
-        let mut store = DurableStore::create(&dcfg, meta, &[]).expect("create durable dir");
+        let mut store = DurableStore::create(&dcfg, meta, &[], &[]).expect("create durable dir");
         let per_commit = 100usize;
         let mut rng = workloads::rng(0xE6_0003);
         let mut id = 0u64;
@@ -1742,6 +1969,7 @@ pub fn all() -> Vec<Table> {
     out.extend(ed_delete());
     out.extend(el_latency());
     out.extend(ec_throughput());
+    out.extend(es_shard());
     out.extend(er_recovery());
     out
 }

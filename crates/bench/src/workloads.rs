@@ -8,10 +8,11 @@
 use ccix_testkit::DetRng;
 
 pub use ccix_testkit::workloads::{
-    adversarial_intervals, clustered_points, correlated_flood, hierarchy, interval_points,
-    mixed_interval_flood, mixed_object_flood, mixed_point_flood, nested_intervals, skewed_flood,
-    skewed_intervals, skewed_objects, staircase_points, uniform_flood, uniform_intervals,
-    uniform_objects, uniform_points, HierarchyShape, IntervalOp, ObjectOp, PointOp,
+    adversarial_intervals, clustered_points, correlated_flood, hierarchy, hot_shard_splits,
+    interval_points, mixed_interval_flood, mixed_object_flood, mixed_point_flood, nested_intervals,
+    skewed_flood, skewed_intervals, skewed_objects, staircase_points, uniform_flood,
+    uniform_intervals, uniform_objects, uniform_points, zipf_shard_flood, zipf_shard_intervals,
+    HierarchyShape, IntervalOp, ObjectOp, PointOp,
 };
 
 /// A seeded RNG (experiments are fully reproducible).

@@ -45,7 +45,7 @@ pub mod bbox;
 pub mod corner;
 mod diag;
 mod op;
-mod par;
+pub mod par;
 mod threesided;
 mod tuning;
 

@@ -9,6 +9,10 @@
 //! its slice, the result is identical for every thread count — the
 //! [`crate::Tuning::build_threads`] knob changes wall-clock only, never an
 //! I/O count or a byte of the built structure.
+//!
+//! The same order-preserving fan-out also drives shard-level parallelism
+//! in `ccix-interval`'s sharded index (one task per shard, each charging
+//! its own striped counter), which is why [`run_parallel`] is public.
 
 /// Minimum number of points in a slab before planning it is worth a
 /// worker-thread handoff; smaller slabs run inline.
@@ -22,7 +26,7 @@ pub(crate) const PAR_THRESHOLD: usize = 1 << 14;
 /// contiguous near-equal groups, one scoped thread per group, and each
 /// group passes the remaining budget share down so deep recursions can
 /// keep fanning out while the total stays near the requested width.
-pub(crate) fn run_parallel<T, F>(tasks: Vec<F>, budget: usize) -> Vec<T>
+pub fn run_parallel<T, F>(tasks: Vec<F>, budget: usize) -> Vec<T>
 where
     T: Send,
     F: FnOnce(usize) -> T + Send,

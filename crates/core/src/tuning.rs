@@ -112,6 +112,16 @@ pub struct Tuning {
     /// I/O charge stay on the calling thread, so the knob never changes an
     /// I/O count — the built structure is bit-identical for every setting.
     pub build_threads: usize,
+    /// Threads for **shard-level fan-out** in the sharded interval index
+    /// (`ccix-interval`'s `ShardedIntervalIndex`): batched queries, flood
+    /// applies and bulk builds split into per-shard tasks that fan out over
+    /// [`crate::par::run_parallel`]. `0` means "use the machine's available
+    /// parallelism"; `1` runs the shards strictly sequentially, in shard
+    /// order, on the calling thread — the bit-identical-to-unsharded
+    /// fallback. Each shard charges its own striped counter from whichever
+    /// thread runs it, so the knob never changes an I/O count, only wall
+    /// clock.
+    pub shard_threads: usize,
 }
 
 impl Default for Tuning {
@@ -131,6 +141,7 @@ impl Default for Tuning {
             resident_root: true,
             reorg_pages_per_op: 0,
             build_threads: 0,
+            shard_threads: 0,
         }
     }
 }
@@ -151,6 +162,7 @@ impl Tuning {
             resident_root: false,
             reorg_pages_per_op: 0,
             build_threads: 1,
+            shard_threads: 1,
         }
     }
 
@@ -158,6 +170,15 @@ impl Tuning {
     /// resolved to the machine's available parallelism.
     pub fn effective_build_threads(&self) -> usize {
         match self.build_threads {
+            0 => std::thread::available_parallelism().map_or(1, usize::from),
+            t => t,
+        }
+    }
+
+    /// Effective thread count for shard fan-out: `shard_threads`, with `0`
+    /// resolved to the machine's available parallelism.
+    pub fn effective_shard_threads(&self) -> usize {
+        match self.shard_threads {
             0 => std::thread::available_parallelism().map_or(1, usize::from),
             t => t,
         }

@@ -11,6 +11,9 @@
 //!   (endpoint mode, every `Tuning` knob, B+-tree leaf fill), so the
 //!   recovered index is built with the same layout and write-path
 //!   behaviour as the one that crashed;
+//! * the **shard split points** of the x-range routing directory (empty
+//!   for an unsharded engine), so recovery re-partitions the content into
+//!   the same shards;
 //! * `ops_applied` — the cumulative operation count at the snapshot, the
 //!   watermark WAL replay filters against;
 //! * the live intervals, as fixed-width records via the
@@ -19,8 +22,9 @@
 //! ## On-disk format
 //!
 //! ```text
-//! [magic 8B = "CCIXCKP\x01"][len u64][crc u32][body len bytes]
-//! body = meta || ops_applied u64 || n u64 || n × Point-encoded interval
+//! [magic 8B = "CCIXCKP\x02"][len u64][crc u32][body len bytes]
+//! body = meta || k u64 || k × split i64 || ops_applied u64
+//!             || n u64 || n × Point-encoded interval
 //! ```
 //!
 //! ## Atomic publication
@@ -42,8 +46,9 @@ use ccix_interval::{EndpointMode, Interval, IntervalOptions};
 use crate::crc32;
 use crate::fs::{read_exact_at, retry_interrupted, write_all_at, Fs};
 
-/// File magic: identifies a checkpoint and pins its format version.
-pub const CKPT_MAGIC: [u8; 8] = *b"CCIXCKP\x01";
+/// File magic: identifies a checkpoint and pins its format version
+/// (`\x02` added the shard split points).
+pub const CKPT_MAGIC: [u8; 8] = *b"CCIXCKP\x02";
 
 /// Sentinel for `None` in `Option<usize>` fields (no real knob is ever
 /// `u64::MAX` pages).
@@ -117,6 +122,7 @@ impl Meta {
         out.push(t.resident_root as u8);
         push_u64(out, t.reorg_pages_per_op as u64);
         push_u64(out, t.build_threads as u64);
+        push_u64(out, t.shard_threads as u64);
     }
 
     fn decode(r: &mut Reader<'_>) -> Option<Self> {
@@ -140,6 +146,7 @@ impl Meta {
             resident_root: r.u8()? != 0,
             reorg_pages_per_op: r.usize()?,
             build_threads: r.usize()?,
+            shard_threads: r.usize()?,
         };
         Some(Meta {
             geometry: Geometry::new(b),
@@ -158,6 +165,10 @@ impl Meta {
 pub struct Checkpoint {
     /// Construction parameters for the deterministic rebuild.
     pub meta: Meta,
+    /// Split points of the x-range routing directory (ascending; empty
+    /// for a single-shard/unsharded engine), so recovery rebuilds the
+    /// same sharding.
+    pub shard_splits: Vec<i64>,
     /// Cumulative operation count at the snapshot; WAL records with
     /// `ops_after` at or below this are stale.
     pub ops_applied: u64,
@@ -168,6 +179,10 @@ pub struct Checkpoint {
 fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
     let mut body = Vec::with_capacity(128 + ckpt.intervals.len() * 24);
     ckpt.meta.encode_into(&mut body);
+    push_u64(&mut body, ckpt.shard_splits.len() as u64);
+    for &s in &ckpt.shard_splits {
+        push_u64(&mut body, s as u64);
+    }
     push_u64(&mut body, ckpt.ops_applied);
     push_u64(&mut body, ckpt.intervals.len() as u64);
     let points: Vec<Point> = ckpt
@@ -187,6 +202,19 @@ fn encode_checkpoint(ckpt: &Checkpoint) -> Vec<u8> {
 fn decode_checkpoint(body: &[u8]) -> Option<Checkpoint> {
     let mut r = Reader(body);
     let meta = Meta::decode(&mut r)?;
+    let k = r.u64()? as usize;
+    // A directory can't have more splits than the body has bytes — reject
+    // absurd counts before allocating.
+    if k > body.len() / 8 {
+        return None;
+    }
+    let mut shard_splits = Vec::with_capacity(k);
+    for _ in 0..k {
+        shard_splits.push(r.u64()? as i64);
+    }
+    if !shard_splits.windows(2).all(|w| w[0] < w[1]) {
+        return None;
+    }
     let ops_applied = r.u64()?;
     let n = r.u64()? as usize;
     let points = decode_records::<Point>(r.0)?;
@@ -199,6 +227,7 @@ fn decode_checkpoint(body: &[u8]) -> Option<Checkpoint> {
         .collect::<Option<Vec<_>>>()?;
     Some(Checkpoint {
         meta,
+        shard_splits,
         ops_applied,
         intervals,
     })
@@ -280,11 +309,13 @@ mod tests {
                 resident_root: true,
                 reorg_pages_per_op: 4,
                 build_threads: 1,
+                shard_threads: 2,
             },
             btree_leaf_fill: Some(70),
         };
         Checkpoint {
             meta: Meta::new(Geometry::new(16), options),
+            shard_splits: vec![-100, 0, 250],
             ops_applied: 12345,
             intervals: vec![
                 Interval::new(-5, 5, 1),

@@ -38,7 +38,7 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use ccix_extmem::IoCounter;
-use ccix_interval::{IndexBuilder, Interval, IntervalIndex, IntervalOp};
+use ccix_interval::{IndexBuilder, Interval, IntervalIndex, IntervalOp, ShardedIntervalIndex};
 
 pub use checkpoint::{Checkpoint, Meta};
 pub use fault::{FailFs, FaultPlan, TempDir};
@@ -192,6 +192,29 @@ impl Recovered {
         }
         index
     }
+
+    /// As [`Recovered::rebuild`], but restore the x-range sharding the
+    /// checkpoint recorded: the content is re-partitioned at the
+    /// checkpointed split points (or `fallback_splits` for a
+    /// pre-checkpoint directory), the shards bulk-load in parallel under
+    /// the recovered [`ccix_core::Tuning::shard_threads`] budget, and the
+    /// WAL suffix replays through the routing directory. With no splits
+    /// this is the unsharded rebuild behind a single-shard directory.
+    pub fn rebuild_sharded(&self, fallback: Meta, fallback_splits: &[i64]) -> ShardedIntervalIndex {
+        let (meta, splits, base): (Meta, &[i64], &[Interval]) = match &self.checkpoint {
+            Some(c) => (c.meta, &c.shard_splits, &c.intervals),
+            None => (fallback, fallback_splits, &[]),
+        };
+        let mut index = IndexBuilder::new(meta.geometry)
+            .options(meta.options)
+            .sharded()
+            .splits(splits.to_vec())
+            .bulk(base);
+        for rec in &self.replay {
+            index.apply_batch(&rec.ops);
+        }
+        index
+    }
 }
 
 /// The durable side of an engine: one WAL plus one checkpoint file in a
@@ -227,7 +250,8 @@ fn ckpt_path(dir: &Path) -> PathBuf {
 
 impl DurableStore {
     /// Initialise a fresh durable directory: an empty WAL and a genesis
-    /// checkpoint carrying `meta` plus the starting content (`intervals` —
+    /// checkpoint carrying `meta`, the routing directory's `shard_splits`
+    /// (empty when unsharded) plus the starting content (`intervals` —
     /// empty for a fresh index, the bulk-loaded set when an engine starts
     /// from one), so the directory is self-describing from the first byte.
     /// Fails if a WAL already exists — recovery ([`DurableStore::open`])
@@ -235,6 +259,7 @@ impl DurableStore {
     pub fn create(
         config: &DurabilityConfig,
         meta: Meta,
+        shard_splits: &[i64],
         intervals: &[Interval],
     ) -> io::Result<DurableStore> {
         let fs = Arc::clone(&config.fs);
@@ -253,6 +278,7 @@ impl DurableStore {
             &ckpt_path(&config.dir),
             &Checkpoint {
                 meta,
+                shard_splits: shard_splits.to_vec(),
                 ops_applied: 0,
                 intervals: intervals.to_vec(),
             },
@@ -285,7 +311,7 @@ impl DurableStore {
         let checkpoint = checkpoint::read_checkpoint(&fs, &ckpt_path(&config.dir))?;
         match checkpoint {
             None => {
-                let store = Self::create(config, fallback, &[])?;
+                let store = Self::create(config, fallback, &[], &[])?;
                 Ok((
                     store,
                     Recovered {
@@ -396,17 +422,24 @@ impl DurableStore {
     /// Publish a checkpoint of the current logical state and truncate the
     /// WAL. `intervals` must be the live content after every logged
     /// operation (callers checkpoint from a quiesced or snapshotted
-    /// index). Crash-ordering: the checkpoint is durable (tmp + rename +
-    /// dir sync) *before* the WAL is reset, so every moment in between
-    /// recovers correctly — the stale WAL records are filtered by the
-    /// watermark.
-    pub fn checkpoint(&mut self, meta: Meta, intervals: &[Interval]) -> io::Result<()> {
+    /// index) and `shard_splits` the routing directory's split points
+    /// (empty when unsharded). Crash-ordering: the checkpoint is durable
+    /// (tmp + rename + dir sync) *before* the WAL is reset, so every
+    /// moment in between recovers correctly — the stale WAL records are
+    /// filtered by the watermark.
+    pub fn checkpoint(
+        &mut self,
+        meta: Meta,
+        shard_splits: &[i64],
+        intervals: &[Interval],
+    ) -> io::Result<()> {
         self.wal.sync()?;
         checkpoint::write_checkpoint(
             &self.fs,
             &ckpt_path(&self.dir),
             &Checkpoint {
                 meta,
+                shard_splits: shard_splits.to_vec(),
                 ops_applied: self.ops_logged,
                 intervals: intervals.to_vec(),
             },
@@ -462,7 +495,7 @@ mod tests {
     fn create_log_reopen_rebuild() {
         let tmp = TempDir::new("store-rebuild");
         let cfg = config(tmp.path());
-        let mut store = DurableStore::create(&cfg, meta(), &[]).expect("create");
+        let mut store = DurableStore::create(&cfg, meta(), &[], &[]).expect("create");
         store
             .append_commit(&[
                 IntervalOp::Insert(iv(1, 10, 1)),
@@ -490,7 +523,7 @@ mod tests {
     fn checkpoint_truncates_wal_and_filters_stale_records() {
         let tmp = TempDir::new("store-ckpt");
         let cfg = config(tmp.path());
-        let mut store = DurableStore::create(&cfg, meta(), &[]).expect("create");
+        let mut store = DurableStore::create(&cfg, meta(), &[], &[]).expect("create");
         store
             .append_commit(&[IntervalOp::Insert(iv(0, 4, 1))])
             .expect("append");
@@ -498,7 +531,7 @@ mod tests {
             .append_commit(&[IntervalOp::Insert(iv(2, 8, 2))])
             .expect("append");
         store
-            .checkpoint(meta(), &[iv(0, 4, 1), iv(2, 8, 2)])
+            .checkpoint(meta(), &[], &[iv(0, 4, 1), iv(2, 8, 2)])
             .expect("checkpoint");
         assert_eq!(store.wal_bytes(), wal::WAL_MAGIC.len() as u64);
         store
@@ -525,14 +558,14 @@ mod tests {
         // bytes afterwards.
         let tmp = TempDir::new("store-stale");
         let cfg = config(tmp.path());
-        let mut store = DurableStore::create(&cfg, meta(), &[]).expect("create");
+        let mut store = DurableStore::create(&cfg, meta(), &[], &[]).expect("create");
         store
             .append_commit(&[IntervalOp::Insert(iv(0, 4, 1))])
             .expect("append");
         store.sync().expect("sync");
         let wal_bytes = std::fs::read(tmp.path().join("wal")).expect("read wal");
         store
-            .checkpoint(meta(), &[iv(0, 4, 1)])
+            .checkpoint(meta(), &[], &[iv(0, 4, 1)])
             .expect("checkpoint");
         drop(store);
         // The crash: WAL still holds the pre-checkpoint records.
@@ -550,9 +583,9 @@ mod tests {
     fn create_refuses_existing_directory() {
         let tmp = TempDir::new("store-exists");
         let cfg = config(tmp.path());
-        let store = DurableStore::create(&cfg, meta(), &[]).expect("create");
+        let store = DurableStore::create(&cfg, meta(), &[], &[]).expect("create");
         drop(store);
-        let err = DurableStore::create(&cfg, meta(), &[]).expect_err("refuse");
+        let err = DurableStore::create(&cfg, meta(), &[], &[]).expect_err("refuse");
         assert_eq!(err.kind(), io::ErrorKind::AlreadyExists);
     }
 
@@ -563,7 +596,7 @@ mod tests {
             checkpoint_every_ops: 3,
             ..DurabilityConfig::new(tmp.path())
         };
-        let mut store = DurableStore::create(&cfg, meta(), &[]).expect("create");
+        let mut store = DurableStore::create(&cfg, meta(), &[], &[]).expect("create");
         store
             .append_commit(&[IntervalOp::Insert(iv(0, 1, 1))])
             .expect("append");
@@ -576,7 +609,7 @@ mod tests {
             .expect("append");
         assert!(store.wants_checkpoint());
         store
-            .checkpoint(meta(), &[iv(0, 1, 1), iv(0, 1, 2), iv(0, 1, 3)])
+            .checkpoint(meta(), &[], &[iv(0, 1, 1), iv(0, 1, 2), iv(0, 1, 3)])
             .expect("checkpoint");
         assert!(!store.wants_checkpoint());
     }
@@ -603,7 +636,7 @@ mod tests {
             checkpoint_every_ops: 0,
             fs: Arc::new(fail),
         };
-        let mut store = DurableStore::create(&cfg, meta(), &[]).expect("create");
+        let mut store = DurableStore::create(&cfg, meta(), &[], &[]).expect("create");
         let mut synced = 0u64;
         for i in 0..1000u64 {
             let ops = [IntervalOp::Insert(iv(i as i64, i as i64 + 5, i))];

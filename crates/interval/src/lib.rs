@@ -41,7 +41,9 @@
 mod builder;
 mod index;
 mod naive;
+mod sharded;
 
 pub use builder::IndexBuilder;
 pub use index::{EndpointMode, Interval, IntervalIndex, IntervalOp, IntervalOptions};
 pub use naive::NaiveIntervalStore;
+pub use sharded::{split_points_from_sample, ShardedBuilder, ShardedIntervalIndex};

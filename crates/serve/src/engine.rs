@@ -1,12 +1,20 @@
 //! Epoch publication and group-committed writes.
 //!
-//! The [`Engine`] owns the live [`IntervalIndex`] on a dedicated writer
-//! thread. Writes enter through a bounded submission queue; the writer
-//! drains whatever has accumulated, applies each submission as one sorted
-//! [`IntervalIndex::apply_batch`] flood, pumps a bounded amount of
-//! incremental-reorganisation debt, then **publishes** one new epoch for
-//! the whole group: a [`IntervalIndex::fork_snapshot`] behind an `Arc`,
-//! swapped into the engine's published slot.
+//! The [`Engine`] owns the live index — a [`ShardedIntervalIndex`], which
+//! an unsharded [`IntervalIndex`] enters as a single-shard pass-through —
+//! on a dedicated writer thread. Writes enter through a bounded submission
+//! queue; the writer drains whatever has accumulated into one group,
+//! splits every submission into per-shard sub-floods, and applies the
+//! whole group **shard-parallel**
+//! ([`ShardedIntervalIndex::apply_submissions`]): one worker per shard
+//! applies that shard's floods in submission order, then pumps a bounded
+//! amount of the shard's own incremental-reorganisation debt. The writer
+//! then **publishes** one new epoch for the whole group: a consistent
+//! all-shards [`ShardedIntervalIndex::fork_snapshot`] behind an `Arc`,
+//! swapped into the engine's published slot. While the queue is empty the
+//! writer keeps bleeding reorganisation debt in bounded slices (the *idle
+//! pump*), so quiet periods converge to zero debt — observable via
+//! [`Engine::reorg_debt`].
 //!
 //! # Epoch lifecycle and reclamation
 //!
@@ -35,18 +43,19 @@ use std::time::Instant;
 
 use ccix_durable::{DurabilityConfig, DurableStore, FsyncPolicy, Meta, RecoveryReport};
 use ccix_extmem::IoCounter;
-use ccix_interval::{Interval, IntervalIndex, IntervalOp};
+use ccix_interval::{Interval, IntervalIndex, IntervalOp, ShardedIntervalIndex};
 
 /// One immutable published version of the index.
 ///
-/// Holds a frozen [`IntervalIndex::fork_snapshot`] plus the commit
-/// coordinates that identify it: `seq` (number of commits, i.e. publishes)
-/// and `ops_applied` (total write operations visible in it — always a
-/// whole prefix of the submission stream, since submissions are applied
-/// atomically and in order).
+/// Holds a frozen all-shards [`ShardedIntervalIndex::fork_snapshot`] plus
+/// the commit coordinates that identify it: `seq` (number of commits, i.e.
+/// publishes) and `ops_applied` (total write operations visible in it —
+/// always a whole prefix of the submission stream, since submissions are
+/// applied atomically and in order, and published together no matter how
+/// many shards they fanned out over).
 #[derive(Debug)]
 pub struct Epoch {
-    index: IntervalIndex,
+    index: ShardedIntervalIndex,
     seq: u64,
     ops_applied: u64,
 }
@@ -84,10 +93,15 @@ impl Snapshot {
         self.0.index.is_empty()
     }
 
-    /// The epoch's own I/O counter (reader traffic never pollutes the
-    /// writer's accounting).
+    /// The epoch's own I/O counter, shared by every shard of the snapshot
+    /// (reader traffic never pollutes the writer's accounting).
     pub fn counter(&self) -> &IoCounter {
-        self.0.index.counter()
+        self.0.index.shards()[0].counter()
+    }
+
+    /// Number of shards behind this snapshot (1 for an unsharded engine).
+    pub fn num_shards(&self) -> usize {
+        self.0.index.num_shards()
     }
 
     /// Ids of all intervals containing `q` (see
@@ -172,9 +186,11 @@ pub struct EngineConfig {
     /// Upper bound on operations drained into one group commit; a commit
     /// closes early when the queue runs dry.
     pub group_max_ops: usize,
-    /// Reorganisation pump budget per commit, in
-    /// [`IntervalIndex::pump_reorg_step`] slices. Bounds the extra publish
-    /// latency a background shrink job may add to any single commit.
+    /// Reorganisation pump budget, in [`IntervalIndex::pump_reorg_step`]
+    /// slices, applied **per shard** after each group commit (each shard
+    /// worker bleeds its own debt in parallel) and per idle wakeup while
+    /// the queue is empty. Bounds the extra publish latency a background
+    /// shrink job may add to any single commit.
     pub reorg_pump_slices: usize,
     /// Write-ahead logging and checkpointing. `None` (the default) keeps
     /// the engine fully volatile with byte-identical behaviour to earlier
@@ -225,12 +241,16 @@ pub struct Engine {
     tx: SyncSender<Submission>,
     /// Mirrors the published epoch's seq for lock-free progress checks.
     seq: Arc<AtomicU64>,
-    writer: Option<JoinHandle<IntervalIndex>>,
+    /// Mirrors the live index's total reorganisation debt (updated by the
+    /// writer after every group commit and idle-pump round).
+    debt: Arc<AtomicU64>,
+    writer: Option<JoinHandle<ShardedIntervalIndex>>,
 }
 
 impl Engine {
-    /// Take ownership of `index` and start the writer thread. The initial
-    /// epoch (seq 0) is published immediately.
+    /// Take ownership of `index` and start the writer thread, serving it
+    /// as a single shard. The initial epoch (seq 0) is published
+    /// immediately.
     ///
     /// # Panics
     /// Panics if [`EngineConfig::durability`] is set and initialising the
@@ -241,12 +261,33 @@ impl Engine {
         Self::try_start(index, config).expect("initialise durable directory")
     }
 
+    /// As [`Engine::start`], but serve an x-range sharded index: each
+    /// group commit is split into per-shard sub-floods applied in
+    /// parallel, and every epoch snapshots all shards consistently.
+    ///
+    /// # Panics
+    /// As [`Engine::start`].
+    pub fn start_sharded(index: ShardedIntervalIndex, config: EngineConfig) -> Self {
+        Self::try_start_sharded(index, config).expect("initialise durable directory")
+    }
+
     /// As [`Engine::start`], surfacing durable-directory initialisation
     /// errors instead of panicking. With durability enabled the directory
     /// must be fresh (no WAL): the genesis checkpoint records the index's
     /// construction options and starting content, so a later
     /// [`Engine::recover`] rebuilds it identically.
     pub fn try_start(index: IntervalIndex, config: EngineConfig) -> io::Result<Self> {
+        Self::try_start_sharded(ShardedIntervalIndex::from_single(index), config)
+    }
+
+    /// As [`Engine::start_sharded`], surfacing durable-directory
+    /// initialisation errors instead of panicking. The genesis checkpoint
+    /// records the split points alongside the construction options, so a
+    /// later [`Engine::recover_sharded`] restores the same sharding.
+    pub fn try_start_sharded(
+        index: ShardedIntervalIndex,
+        config: EngineConfig,
+    ) -> io::Result<Self> {
         let durable = match &config.durability {
             None => None,
             Some(dcfg) => {
@@ -256,7 +297,7 @@ impl Engine {
                 } else {
                     live_content(&index)
                 };
-                let store = DurableStore::create(dcfg, meta, &content)?;
+                let store = DurableStore::create(dcfg, meta, index.splits(), &content)?;
                 Some(store)
             }
         };
@@ -264,23 +305,37 @@ impl Engine {
     }
 
     /// Bring an engine up from a durable directory: load the newest valid
-    /// checkpoint, rebuild the index it describes, deterministically
-    /// replay the WAL suffix through [`IntervalIndex::apply_batch`], and
-    /// start serving. A torn or garbage WAL tail is truncated, never an
-    /// error. `fallback` supplies the construction parameters when the
-    /// directory has no checkpoint yet (it was never fully initialised —
-    /// nothing was ever acknowledged from it).
+    /// checkpoint, rebuild the index it describes (including its recorded
+    /// sharding), deterministically replay the WAL suffix through the
+    /// routing directory's `apply_batch`, and start serving. A torn or
+    /// garbage WAL tail is truncated, never an error. `fallback` supplies
+    /// the construction parameters when the directory has no checkpoint
+    /// yet (it was never fully initialised — nothing was ever acknowledged
+    /// from it); the fallback is unsharded — see
+    /// [`Engine::recover_sharded`] to shard a fresh directory.
     ///
     /// # Panics
     /// Panics if [`EngineConfig::durability`] is `None`.
     pub fn recover(fallback: Meta, config: EngineConfig) -> io::Result<(Self, RecoveryReport)> {
+        Self::recover_sharded(fallback, &[], config)
+    }
+
+    /// As [`Engine::recover`], with explicit fallback split points for the
+    /// no-checkpoint case. A directory that does hold a checkpoint always
+    /// recovers the sharding it recorded — `fallback_splits` is ignored
+    /// then, exactly as `fallback`'s other parameters are.
+    pub fn recover_sharded(
+        fallback: Meta,
+        fallback_splits: &[i64],
+        config: EngineConfig,
+    ) -> io::Result<(Self, RecoveryReport)> {
         let dcfg = config
             .durability
             .as_ref()
             .expect("Engine::recover requires EngineConfig::durability")
             .clone();
         let (store, recovered) = DurableStore::open_or_create(&dcfg, fallback)?;
-        let index = recovered.rebuild(IoCounter::new(), fallback);
+        let index = recovered.rebuild_sharded(fallback, fallback_splits);
         let ops_applied = recovered.ops_applied();
         let report = recovered.report;
         Ok((
@@ -290,7 +345,7 @@ impl Engine {
     }
 
     fn start_inner(
-        index: IntervalIndex,
+        index: ShardedIntervalIndex,
         config: EngineConfig,
         durable: Option<DurableStore>,
         ops_applied: u64,
@@ -305,18 +360,32 @@ impl Engine {
         let published = Arc::new(RwLock::new(epoch0));
         let (tx, rx) = sync_channel(config.queue_depth);
         let seq = Arc::new(AtomicU64::new(0));
+        let debt = Arc::new(AtomicU64::new(index.reorg_debt()));
         let writer = {
             let published = Arc::clone(&published);
             let seq = Arc::clone(&seq);
+            let debt = Arc::clone(&debt);
             std::thread::Builder::new()
                 .name("ccix-serve-writer".into())
-                .spawn(move || writer_loop(index, rx, published, seq, config, durable, ops_applied))
+                .spawn(move || {
+                    writer_loop(
+                        index,
+                        rx,
+                        published,
+                        seq,
+                        debt,
+                        config,
+                        durable,
+                        ops_applied,
+                    )
+                })
                 .expect("spawn writer thread")
         };
         Self {
             published,
             tx,
             seq,
+            debt,
             writer: Some(writer),
         }
     }
@@ -338,6 +407,16 @@ impl Engine {
     /// publish lock.
     pub fn seq(&self) -> u64 {
         self.seq.load(Relaxed)
+    }
+
+    /// Total deferred reorganisation debt across every shard of the live
+    /// index, as last reported by the writer (after each group commit and
+    /// each idle-pump round). Converges to zero while the queue stays
+    /// empty: the writer's idle pump keeps bleeding debt in
+    /// [`EngineConfig::reorg_pump_slices`]-bounded rounds between polls
+    /// for new work.
+    pub fn reorg_debt(&self) -> u64 {
+        self.debt.load(Relaxed)
     }
 
     /// Enqueue a batch of write operations as one atomic submission.
@@ -395,7 +474,23 @@ impl Engine {
     /// the live index back. Safe to call on an engine whose writer already
     /// died of a durability error — the partially-applied index comes
     /// back either way.
-    pub fn shutdown(mut self) -> IntervalIndex {
+    ///
+    /// # Panics
+    /// Panics on an engine serving more than one shard — take the whole
+    /// directory back with [`Engine::shutdown_sharded`] instead.
+    pub fn shutdown(self) -> IntervalIndex {
+        let mut shards = self.shutdown_sharded().into_shards();
+        assert_eq!(
+            shards.len(),
+            1,
+            "shutdown() on a multi-shard engine; use shutdown_sharded()"
+        );
+        shards.pop().expect("exactly one shard")
+    }
+
+    /// As [`Engine::shutdown`], returning the sharded index whole (any
+    /// shard count).
+    pub fn shutdown_sharded(mut self) -> ShardedIntervalIndex {
         let _ = self.tx.send(Submission::Shutdown);
         self.writer
             .take()
@@ -417,7 +512,7 @@ impl Drop for Engine {
 /// Extract the live interval set of `index` (for checkpoints) from a
 /// private snapshot, so the scan never charges a published epoch's
 /// counter.
-fn live_content(index: &IntervalIndex) -> Vec<Interval> {
+fn live_content(index: &ShardedIntervalIndex) -> Vec<Interval> {
     index
         .fork_snapshot(IoCounter::new())
         .left_range(i64::MIN, i64::MAX)
@@ -451,14 +546,15 @@ impl DurableState {
 
 #[allow(clippy::too_many_arguments)]
 fn writer_loop(
-    mut index: IntervalIndex,
+    mut index: ShardedIntervalIndex,
     rx: Receiver<Submission>,
     published: Arc<RwLock<Arc<Epoch>>>,
     seq: Arc<AtomicU64>,
+    debt: Arc<AtomicU64>,
     config: EngineConfig,
     durable: Option<DurableStore>,
     initial_ops: u64,
-) -> IntervalIndex {
+) -> ShardedIntervalIndex {
     let mut cur_seq = 0u64;
     let mut ops_applied = initial_ops;
     let mut durable = durable.map(|store| DurableState {
@@ -487,9 +583,30 @@ fn writer_loop(
                         return index;
                     }
                 }
-                match rx.recv() {
-                    Ok(s) => s,
-                    Err(_) => break 'serve, // every Engine handle dropped
+                // Idle pump: while the queue stays empty, keep bleeding
+                // reorganisation debt in bounded shard-parallel rounds,
+                // polling for new work between rounds. Quiet periods
+                // therefore converge to zero debt instead of carrying it
+                // into the next write burst.
+                let mut woke = None;
+                while index.reorg_debt() > 0 {
+                    let remaining = index.pump_reorg(config.reorg_pump_slices);
+                    debt.store(remaining, Relaxed);
+                    match rx.try_recv() {
+                        Ok(s) => {
+                            woke = Some(s);
+                            break;
+                        }
+                        Err(std::sync::mpsc::TryRecvError::Disconnected) => break 'serve,
+                        Err(std::sync::mpsc::TryRecvError::Empty) => {}
+                    }
+                }
+                match woke {
+                    Some(s) => s,
+                    None => match rx.recv() {
+                        Ok(s) => s,
+                        Err(_) => break 'serve, // every Engine handle dropped
+                    },
                 }
             }
         };
@@ -500,6 +617,11 @@ fn writer_loop(
         // This group's acks, resolved after its epoch publishes (volatile)
         // or after the covering fsync (durable).
         let mut acks: Vec<(Sender<CommitInfo>, u64)> = Vec::new();
+        // The group's submissions, each one sorted flood of its own (the
+        // batch-independence contract holds within a submission, not
+        // across them). Logged at drain time, applied shard-parallel once
+        // the group closes.
+        let mut group: Vec<Vec<IntervalOp>> = Vec::new();
         let mut sub = Some(first);
         // …then opportunistically drain what else has queued up, bounded
         // by the group budget: that's the group commit.
@@ -508,26 +630,28 @@ fn writer_loop(
                 Submission::Apply(ops, ack) => {
                     if let Some(d) = durable.as_mut() {
                         // Log before apply: the WAL holds every operation
-                        // the in-memory index has ever seen, so no
+                        // the in-memory index will ever see, so no
                         // acknowledged (or even applied) write can outrun
-                        // the log.
+                        // the log. On a fatal log error, apply the floods
+                        // that *did* reach the WAL — the partially-applied
+                        // index a later shutdown() hands back must match a
+                        // log prefix — then die without acking.
                         if d.store.append_commit(&ops).is_err() {
-                            return index; // fatal: die without acking
+                            index.apply_submissions(&group, 0);
+                            return index;
                         }
                         d.appended_since_sync += 1;
                         d.oldest_unsynced.get_or_insert_with(Instant::now);
                         if let FsyncPolicy::EveryCommits(n) = fsync {
                             if d.appended_since_sync >= n.max(1) && d.store.sync().is_err() {
+                                index.apply_submissions(&group, 0);
                                 return index;
                             }
                         }
                     }
-                    // Each submission is one sorted flood of its own: the
-                    // batch-independence contract holds within a
-                    // submission, not across them.
-                    index.apply_batch(&ops);
                     ops_applied += ops.len() as u64;
                     group_ops += ops.len();
+                    group.push(ops);
                     acks.push((ack, ops_applied));
                 }
                 Submission::Flush(ack) => {
@@ -547,14 +671,14 @@ fn writer_loop(
                 }
             }
         }
-        // Pump a bounded slice of deferred reorganisation debt between
-        // commits, so background shrink jobs advance even while write
-        // traffic is saturating and publish latency stays bounded.
-        for _ in 0..config.reorg_pump_slices {
-            if !index.pump_reorg_step() {
-                break;
-            }
-        }
+        // Apply the whole group shard-parallel: every submission splits
+        // into per-shard sub-floods, one worker per shard applies its
+        // floods in submission order and then pumps a bounded slice of
+        // that shard's own reorganisation debt — so background shrink
+        // jobs advance concurrently on all shards even while write
+        // traffic is saturating, and publish latency stays bounded.
+        index.apply_submissions(&group, config.reorg_pump_slices);
+        debt.store(index.reorg_debt(), Relaxed);
         // Publish one epoch for the whole group, then resolve its tickets.
         cur_seq += 1;
         let epoch = Arc::new(Epoch {
@@ -610,7 +734,10 @@ fn writer_loop(
                 // snapshots the live content and truncates the WAL.
                 if flush_requested || shutdown || d.store.wants_checkpoint() {
                     let meta = Meta::new(index.geometry(), index.options());
-                    if d.store.checkpoint(meta, &live_content(&index)).is_err() {
+                    if d.store
+                        .checkpoint(meta, index.splits(), &live_content(&index))
+                        .is_err()
+                    {
                         return index;
                     }
                 }

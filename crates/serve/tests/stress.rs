@@ -169,6 +169,118 @@ fn snapshots_agree_with_oracle_under_flood() {
     });
 }
 
+/// The sharded engine under the same oracle discipline: snapshot readers
+/// race shard-parallel group commits, and every published epoch must be a
+/// consistent all-shards cut at a whole-submission boundary. Afterwards
+/// the writer's idle pump must bleed the remaining reorganisation debt to
+/// zero while the queue stays empty (observable via
+/// [`Engine::reorg_debt`]).
+#[test]
+fn sharded_snapshots_agree_with_oracle_under_flood() {
+    let trial = AtomicU64::new(0);
+    check::trials("serve_stress_sharded", 3, 0x5aa2_d0de, |rng| {
+        let trial = trial.fetch_add(1, Relaxed) as usize;
+        let tuning = ccix_core::Tuning {
+            // 0 = available parallelism; the writer fans every group out
+            // over the shard pool either way.
+            shard_threads: [0, 2, 4][trial % 3],
+            ..rand_tuning(rng, trial)
+        };
+        let plan: CommitPlan = commit_plan(rng, PLAN);
+        let shards = rng.gen_range(2usize..5);
+        let sample: Vec<i64> = plan.initial.iter().map(|iv| iv.lo).collect();
+        let idx = IndexBuilder::new(Geometry::new(8))
+            .tuning(tuning)
+            .sharded()
+            .splits_from_sample(&sample, shards)
+            .bulk(&plan.initial);
+        let engine = Engine::start_sharded(
+            idx,
+            EngineConfig {
+                queue_depth: 4,
+                group_max_ops: 3 * BATCH_OPS,
+                reorg_pump_slices: 8,
+                ..EngineConfig::default()
+            },
+        );
+        assert_eq!(engine.snapshot().num_shards(), shards);
+
+        let probes: Vec<Vec<(i64, i64)>> = (0..READERS)
+            .map(|_| {
+                (0..64)
+                    .map(|_| {
+                        let q = rng.gen_range(-10i64..2_200);
+                        (q, q + rng.gen_range(0i64..200))
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let done = AtomicBool::new(false);
+        std::thread::scope(|scope| {
+            for script in &probes {
+                let engine = &engine;
+                let done = &done;
+                let states = &plan.states;
+                scope.spawn(move || {
+                    let mut i = 0usize;
+                    let mut checks = 0u32;
+                    loop {
+                        let finished = done.load(Relaxed);
+                        let snap = engine.snapshot();
+                        let ops = snap.ops_applied();
+                        assert_eq!(
+                            ops % BATCH_OPS as u64,
+                            0,
+                            "submissions must be visible whole across shards"
+                        );
+                        let state = &states[(ops / BATCH_OPS as u64) as usize];
+                        let (q, hi) = script[i % script.len()];
+                        i += 1;
+                        let mut got = snap.query(q);
+                        got.sort_unstable();
+                        assert_eq!(got, stab_oracle(state, q), "stab at {q}, epoch {ops}");
+                        let mut got = snap.x_range(q, hi);
+                        got.sort_unstable_by_key(|iv| (iv.lo, iv.hi, iv.id));
+                        assert_eq!(
+                            got,
+                            x_range_oracle(state, q, hi),
+                            "x_range [{q},{hi}], epoch {ops}"
+                        );
+                        checks += 1;
+                        if finished && checks >= script.len() as u32 {
+                            break;
+                        }
+                    }
+                });
+            }
+
+            let mut last = None;
+            for batch in &plan.batches {
+                last = Some(engine.submit(batch.clone()));
+            }
+            let info = last.expect("batches nonempty").wait();
+            assert_eq!(info.ops_applied, (BATCHES * BATCH_OPS) as u64);
+            done.store(true, Relaxed);
+        });
+
+        // Idle pump: with the queue empty the writer keeps bleeding debt
+        // in bounded rounds, so the mirror must reach zero on its own.
+        let mut waited = 0u32;
+        while engine.reorg_debt() > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            waited += 1;
+            assert!(waited < 500, "idle pump failed to drain reorg debt");
+        }
+
+        let final_index = engine.shutdown_sharded();
+        assert_eq!(final_index.num_shards(), shards);
+        let last_state = plan.states.last().expect("states nonempty");
+        assert_eq!(final_index.len(), last_state.len());
+        assert_eq!(final_index.reorg_debt(), 0, "debt drained at shutdown");
+    });
+}
+
 #[test]
 fn every_ticket_resolves_at_a_visible_epoch() {
     check::trials("serve_visibility", 3, 0xcafe_f00d, |rng| {

@@ -137,6 +137,121 @@ pub fn correlated_flood(batch: usize, seed: u64, range: i64, window: i64) -> Vec
     out
 }
 
+// ------------------------------------------------------ shard-skew families
+//
+// Workloads for the x-range sharded index: traffic whose *shard* targeting
+// is skewed, independently of how keys are distributed within a shard.
+// Shared by the `sharded` differential suite and the ES bench — a sharded
+// engine that only ever sees uniform-over-shards floods never exercises
+// its worst case (all parallelism collapsing onto one hot shard).
+
+/// Sample one shard id under a Zipf law over `shards` ranks: rank `r` has
+/// weight `1/(r+1)^skew`, and `ranking` maps rank → shard id (so the hot
+/// shard need not be the leftmost). `skew = 0.0` is uniform.
+fn zipf_shard(r: &mut DetRng, ranking: &[usize], skew: f64) -> usize {
+    let weights: Vec<f64> = (0..ranking.len())
+        .map(|rank| 1.0 / ((rank + 1) as f64).powf(skew))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut u = r.next_f64() * total;
+    for (rank, w) in weights.iter().enumerate() {
+        u -= w;
+        if u <= 0.0 {
+            return ranking[rank];
+        }
+    }
+    ranking[ranking.len() - 1]
+}
+
+/// The x-range boundaries `splits` induce over `[0, range)`: shard `s`
+/// owns `[bounds[s], bounds[s + 1])`.
+fn shard_bounds(splits: &[i64], range: i64) -> Vec<(i64, i64)> {
+    let mut lo = 0i64;
+    let mut out = Vec::with_capacity(splits.len() + 1);
+    for &s in splits {
+        out.push((lo, s.max(lo + 1)));
+        lo = s.max(lo + 1);
+    }
+    out.push((lo, range.max(lo + 1)));
+    out
+}
+
+/// Zipf-over-shards insert flood: each interval's **shard** is drawn from a
+/// Zipf law over the `splits.len() + 1` x-range shards (hot-shard identity
+/// shuffled by `seed`), while its left endpoint is uniform *within* the
+/// chosen shard's x-range and its length uniform in `[0, max_len)` —
+/// lengths may cross split points to the right, which is exactly the
+/// routing-overhead case the directory's `max_hi` bound has to absorb.
+/// `skew = 0.0` degenerates to uniform-over-shards; ~1.0 is classic web
+/// skew; larger concentrates the flood on one shard.
+pub fn zipf_shard_intervals(
+    n: usize,
+    seed: u64,
+    splits: &[i64],
+    range: i64,
+    max_len: i64,
+    skew: f64,
+) -> Vec<Interval> {
+    let mut r = DetRng::new(seed);
+    let bounds = shard_bounds(splits, range);
+    let mut ranking: Vec<usize> = (0..bounds.len()).collect();
+    r.shuffle(&mut ranking);
+    (0..n)
+        .map(|i| {
+            let (lo_b, hi_b) = bounds[zipf_shard(&mut r, &ranking, skew)];
+            let lo = r.gen_range(lo_b..hi_b);
+            let len = r.gen_range(0..max_len.max(1));
+            Interval::new(lo, lo + len, i as u64)
+        })
+        .collect()
+}
+
+/// Zipf-over-shards stabbing flood: query points whose shard targeting
+/// follows the same Zipf law as [`zipf_shard_intervals`] (and the same
+/// `seed` ⇒ the same hot shard), uniform within the chosen shard.
+pub fn zipf_shard_flood(
+    batch: usize,
+    seed: u64,
+    splits: &[i64],
+    range: i64,
+    skew: f64,
+) -> Vec<i64> {
+    let mut r = DetRng::new(seed);
+    let bounds = shard_bounds(splits, range);
+    let mut ranking: Vec<usize> = (0..bounds.len()).collect();
+    r.shuffle(&mut ranking);
+    (0..batch)
+        .map(|_| {
+            let (lo_b, hi_b) = bounds[zipf_shard(&mut r, &ranking, skew)];
+            r.gen_range(lo_b..hi_b)
+        })
+        .collect()
+}
+
+/// Hot-shard adversarial split points: `shards - 1` splits over
+/// `[0, range)` such that shard `hot` owns essentially the whole x-range
+/// and every other shard a width-1 sliver. Routed traffic over `[0,
+/// range)` then lands almost entirely on one shard — the degenerate
+/// partition where fan-out parallelism collapses and untouched shards'
+/// counters must stay silent.
+///
+/// # Panics
+/// Panics unless `hot < shards` and `range` leaves every sliver one unit.
+pub fn hot_shard_splits(shards: usize, range: i64, hot: usize) -> Vec<i64> {
+    assert!(shards > 0 && hot < shards, "hot shard out of range");
+    assert!(range > shards as i64, "range too small for width-1 slivers");
+    let mut splits = Vec::with_capacity(shards - 1);
+    // Width-1 slivers left of the hot shard…
+    for i in 0..hot {
+        splits.push(i as i64 + 1);
+    }
+    // …then the hot shard spans to the right slivers at the top end.
+    for i in 0..(shards - 1 - hot) {
+        splits.push(range - (shards - 1 - hot) as i64 + i as i64);
+    }
+    splits
+}
+
 // ------------------------------------------------------------- mixed floods
 //
 // Mixed insert/delete/query workloads (the ED flood family): the paper's §5

@@ -44,6 +44,7 @@ fn random_tuning(rng: &mut DetRng) -> Tuning {
             pack_h_pages: rng.gen_range(0..9usize),
             resident_root: rng.gen_bool(0.5),
             build_threads: 1,
+            shard_threads: 1,
             reorg_pages_per_op: *rng.choose(&[0usize, 0, 1, 4]).expect("nonempty"),
         },
         _ => Tuning {
@@ -56,6 +57,7 @@ fn random_tuning(rng: &mut DetRng) -> Tuning {
             pack_h_pages: rng.gen_range(0..5usize),
             resident_root: rng.gen_bool(0.5),
             build_threads: 1,
+            shard_threads: 1,
             reorg_pages_per_op: *rng.choose(&[0usize, 0, 2]).expect("nonempty"),
         },
     }

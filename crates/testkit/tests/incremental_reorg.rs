@@ -44,6 +44,7 @@ fn dribble_tuning(rng: &mut DetRng) -> Tuning {
         pack_h_pages: rng.gen_range(0..5usize),
         resident_root: rng.gen_bool(0.5),
         build_threads: 1,
+        shard_threads: 1,
         reorg_pages_per_op: *rng.choose(&[1usize, 2, 4, 8]).expect("nonempty"),
     }
 }
