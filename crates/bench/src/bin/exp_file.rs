@@ -1,0 +1,21 @@
+//! Experiment binary: see `ccix_bench::experiments::ef_file`.
+//!
+//! `--json` emits the machine-readable form used to regenerate
+//! `BENCH_file_baseline.json` (the file-backend baseline — wall-clock
+//! only, gated by absolute smoke ceilings ~10× the measured dev-box
+//! numbers; the *exact-I/O* equivalence of the two backends is enforced by
+//! the `backends` differential suite, not here):
+//!
+//! ```text
+//! cargo run --release -p ccix-bench --bin exp_file -- --json > BENCH_file_baseline.json
+//! ```
+fn main() {
+    let tables = ccix_bench::experiments::ef_file();
+    if std::env::args().any(|a| a == "--json") {
+        println!("{}", ccix_bench::report::tables_to_json(&tables));
+    } else {
+        for table in tables {
+            table.print();
+        }
+    }
+}

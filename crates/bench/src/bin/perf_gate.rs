@@ -62,6 +62,12 @@
 //!   parallelism to lose — the sequential threads=1 rows are deliberately
 //!   not gated, their loss legitimately grows with core count), plus
 //!   wall-clock smoke ceilings on the 1-shard baseline rows.
+//! * **EF** (`exp_file --json`, baseline `BENCH_file_baseline.json`) —
+//!   the file backend vs the in-memory model. Wall-clock only: the
+//!   exact-I/O equivalence of the two backends is a hard assertion of the
+//!   `backends` differential suite, so this gate just keeps the mirror's
+//!   build/flood/stab overhead under absolute smoke ceilings (~10× the
+//!   measured dev-box numbers) on the file rows.
 //!
 //! ```text
 //! cargo run --release -p ccix-bench --bin exp_interval -- --json > new.json
@@ -269,6 +275,23 @@ const SPECS: &[Spec] = &[
         key_cols: &["mode"],
         gated: &[],
         absolute: &[(&[("mode", "fsync-group")], "overhead p99", 2.0)],
+        space_rule: false,
+    },
+    Spec {
+        // The file backend. Pure wall clock — the *exact-I/O* equivalence
+        // of the two backends is enforced by the backends differential
+        // suite, so nothing here is diffed relatively; the absolute smoke
+        // ceilings (~10× measured dev-box numbers) catch a mirror that
+        // starts syncing per write or thrashing its page cache.
+        title_prefix: "EF —",
+        key_cols: &["backend", "B", "n"],
+        gated: &[],
+        absolute: &[
+            (&[("backend", "file")], "build ms", 2_000.0),
+            (&[("backend", "file")], "flood ms", 4_000.0),
+            (&[("backend", "file")], "stab1 ms", 2_500.0),
+            (&[("backend", "file")], "stab2 ms", 2_500.0),
+        ],
         space_rule: false,
     },
     Spec {

@@ -1946,6 +1946,102 @@ pub fn er_recovery() -> Vec<Table> {
     vec![t, r]
 }
 
+/// EF — the file backend vs the in-memory model, wall clock. The billed
+/// I/O counts are identical by construction (the backends differential
+/// suite asserts it exactly), so this table measures what the model
+/// cannot: the real cost of the write-through mirror on build and flood,
+/// and the cold/warm split of the in-process page cache on stabs.
+pub fn ef_file() -> Vec<Table> {
+    use ccix_durable::TempDir;
+    use std::time::Instant;
+
+    let b = 4_096usize;
+    let n = 200_000usize;
+    let range = 4 * n as i64;
+    let initial = workloads::uniform_intervals(n, 0xEF_0001, range, 2_000);
+    // One pre-generated flood and stab stream shared by both backends.
+    let flood: Vec<workloads::IntervalOp> = {
+        let raw = workloads::mixed_interval_flood(20_000, 0xEF_0002, range, 2_000, 30, 0);
+        // The flood numbers ids from 0; shift clear of the initial set.
+        raw.into_iter()
+            .map(|op| match op {
+                workloads::IntervalOp::Insert(iv) => workloads::IntervalOp::Insert(
+                    ccix_interval::Interval::new(iv.lo, iv.hi, iv.id + n as u64),
+                ),
+                workloads::IntervalOp::Delete(iv) => workloads::IntervalOp::Delete(
+                    ccix_interval::Interval::new(iv.lo, iv.hi, iv.id + n as u64),
+                ),
+                other => other,
+            })
+            .collect()
+    };
+    let stabs: Vec<i64> = {
+        let mut r = workloads::rng(0xEF_0003);
+        (0..2_000).map(|_| r.gen_range(0..range)).collect()
+    };
+
+    let mut t = Table::new(
+        "EF — file backend vs model (wall clock)",
+        "Mirroring every page to a real file: build/flood overhead stays small at B=4096, and repeated stabs hit the in-process page cache (warm) instead of pread (cold).",
+        &[
+            "backend",
+            "B",
+            "n",
+            "build ms",
+            "flood ms",
+            "stab1 ms",
+            "stab2 ms",
+            "cold reads",
+            "warm hits",
+        ],
+    );
+    for backend in ["model", "file"] {
+        let tmp = TempDir::new("ef-file");
+        let mut builder = IndexBuilder::new(Geometry::new(b));
+        if backend == "file" {
+            builder = builder.file_backed(tmp.path());
+        }
+        let t0 = Instant::now();
+        let mut idx = builder.bulk(IoCounter::new(), &initial);
+        let build_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+
+        let t0 = Instant::now();
+        for op in &flood {
+            match op {
+                workloads::IntervalOp::Insert(iv) => idx.insert(iv.lo, iv.hi, iv.id),
+                workloads::IntervalOp::Delete(iv) => idx.delete(iv.lo, iv.hi, iv.id),
+                workloads::IntervalOp::Stab(_) => {}
+            }
+        }
+        idx.flush_reorgs();
+        let flood_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+
+        // First pass on an empty cache (all cold on the file backend),
+        // second pass re-reads the same pages (warm).
+        idx.clear_file_caches();
+        let t0 = Instant::now();
+        let got1 = idx.stab_batch(&stabs);
+        let stab1_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+        let t0 = Instant::now();
+        let got2 = idx.stab_batch(&stabs);
+        let stab2_ms = t0.elapsed().as_secs_f64() * 1_000.0;
+        assert_eq!(got1, got2, "stab answers changed between passes");
+        let (cold, warm) = idx.file_stats().unwrap_or((0, 0));
+        t.row(vec![
+            backend.to_string(),
+            b.to_string(),
+            n.to_string(),
+            format!("{build_ms:.0}"),
+            format!("{flood_ms:.0}"),
+            format!("{stab1_ms:.1}"),
+            format!("{stab2_ms:.1}"),
+            cold.to_string(),
+            warm.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
 /// Run every experiment in order.
 pub fn all() -> Vec<Table> {
     let mut out = Vec::new();
@@ -1971,5 +2067,6 @@ pub fn all() -> Vec<Table> {
     out.extend(ec_throughput());
     out.extend(es_shard());
     out.extend(er_recovery());
+    out.extend(ef_file());
     out
 }

@@ -172,6 +172,29 @@ impl MetablockTree {
         options: super::DiagOptions,
         tuning: crate::Tuning,
     ) -> Self {
+        Self::build_tuned_on(
+            &ccix_extmem::BackendSpec::Model,
+            geo,
+            counter,
+            points,
+            options,
+            tuning,
+        )
+    }
+
+    /// [`MetablockTree::build_tuned`] on an explicit page backend (see
+    /// [`MetablockTree::new_tuned_on`]).
+    ///
+    /// # Panics
+    /// Panics if any point has `y < x` or ids repeat.
+    pub fn build_tuned_on(
+        spec: &ccix_extmem::BackendSpec,
+        geo: Geometry,
+        counter: IoCounter,
+        points: Vec<Point>,
+        options: super::DiagOptions,
+        tuning: crate::Tuning,
+    ) -> Self {
         assert!(
             points.iter().all(|p| p.y >= p.x),
             "metablock tree requires points on or above the diagonal (y ≥ x)"
@@ -181,7 +204,7 @@ impl MetablockTree {
             ids.sort_unstable();
             assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
         }
-        let mut tree = Self::new_tuned(geo, counter, options, tuning);
+        let mut tree = Self::new_tuned_on(spec, geo, counter, options, tuning);
         tree.len = points.len();
         tree.shrink_base = points.len();
         if points.is_empty() {

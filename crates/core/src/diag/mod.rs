@@ -28,7 +28,7 @@ pub(crate) fn mark_dirty(dirty: &mut Vec<MbId>, mb: MbId) {
     }
 }
 
-use ccix_extmem::{Geometry, IoCounter, PageId, PathPin, Point, TypedStore};
+use ccix_extmem::{BackendSpec, Geometry, IoCounter, PageId, PathPin, Point, TypedStore};
 
 use crate::bbox::{BBox, Key};
 use crate::corner::CornerStructure;
@@ -383,10 +383,25 @@ impl MetablockTree {
         options: DiagOptions,
         tuning: Tuning,
     ) -> Self {
+        Self::new_tuned_on(&BackendSpec::Model, geo, counter, options, tuning)
+    }
+
+    /// [`MetablockTree::new_tuned`] on an explicit page backend: the point
+    /// store is created via [`TypedStore::new_on`], so a
+    /// [`BackendSpec::File`] tree keeps every data page mirrored in a real
+    /// page file while the control blocks (metablock directory) stay in
+    /// memory, exactly as the model keeps them in working storage.
+    pub fn new_tuned_on(
+        spec: &BackendSpec,
+        geo: Geometry,
+        counter: IoCounter,
+        options: DiagOptions,
+        tuning: Tuning,
+    ) -> Self {
         Self {
             geo,
             counter: counter.clone(),
-            store: TypedStore::new(geo.b, counter),
+            store: TypedStore::new_on(spec, geo.b, counter),
             metas: Vec::new(),
             dead_metas: 0,
             root: None,
@@ -433,6 +448,37 @@ impl MetablockTree {
             tuning: self.tuning,
             reorg: self.reorg.clone(),
         }
+    }
+
+    /// Whether the point store mirrors its pages onto a real file.
+    pub fn is_file_backed(&self) -> bool {
+        self.store.is_file_backed()
+    }
+
+    /// `(cold, warm)` charged-read counts of the point store's file
+    /// backend (see [`ccix_extmem::TypedStore::file_stats`]); `None` on
+    /// the model backend.
+    pub fn store_file_stats(&self) -> Option<(u64, u64)> {
+        self.store.file_stats()
+    }
+
+    /// Empty the point store's file-backend page cache (cold-cache
+    /// measurement); no-op on the model backend.
+    pub fn clear_store_file_cache(&self) {
+        self.store.clear_file_cache();
+    }
+
+    /// `(page id, encoded bytes)` images of the point store's live model
+    /// pages (see [`ccix_extmem::TypedStore::page_images`]). Uncharged;
+    /// for the differential backend suite.
+    pub fn store_page_images(&self) -> Vec<(u32, Vec<u8>)> {
+        self.store.page_images()
+    }
+
+    /// As [`MetablockTree::store_page_images`], read back from the file
+    /// backend; `None` on the model backend.
+    pub fn store_file_page_images(&self) -> Option<Vec<(u32, Vec<u8>)>> {
+        self.store.file_page_images()
     }
 
     /// The tree's ablation options.

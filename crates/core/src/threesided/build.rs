@@ -128,12 +128,33 @@ impl ThreeSidedTree {
         points: Vec<Point>,
         tuning: crate::Tuning,
     ) -> Self {
+        Self::build_tuned_on(
+            &ccix_extmem::BackendSpec::Model,
+            geo,
+            counter,
+            points,
+            tuning,
+        )
+    }
+
+    /// [`ThreeSidedTree::build_tuned`] on an explicit page backend (see
+    /// [`ThreeSidedTree::new_tuned_on`]).
+    ///
+    /// # Panics
+    /// Panics if ids repeat.
+    pub fn build_tuned_on(
+        spec: &ccix_extmem::BackendSpec,
+        geo: Geometry,
+        counter: IoCounter,
+        points: Vec<Point>,
+        tuning: crate::Tuning,
+    ) -> Self {
         {
             let mut ids: Vec<u64> = points.iter().map(|p| p.id).collect();
             ids.sort_unstable();
             assert!(ids.windows(2).all(|w| w[0] != w[1]), "duplicate point ids");
         }
-        let mut tree = Self::new_tuned(geo, counter, tuning);
+        let mut tree = Self::new_tuned_on(spec, geo, counter, tuning);
         tree.len = points.len();
         tree.shrink_base = points.len();
         if points.is_empty() {
@@ -246,7 +267,9 @@ impl ThreeSidedTree {
         let hkeys: Vec<Key> = by_y.chunks(self.geo.b).map(|c| c[0].ykey()).collect();
         let h_live: Vec<u32> = by_y.chunks(self.geo.b).map(|c| c.len() as u32).collect();
         let horizontal = self.store.alloc_run(by_y);
-        let pst = pst.map(|plan| ExternalPst::from_plan(self.geo, self.counter.clone(), plan));
+        let pst = pst.map(|plan| {
+            ExternalPst::from_plan_on(&self.backend, self.geo, self.counter.clone(), plan)
+        });
         TsMeta {
             vertical,
             vkeys,
@@ -386,8 +409,12 @@ impl ThreeSidedTree {
         match children_pst_plan {
             Some(plan) => {
                 debug_assert!(pm.children_pst.is_none(), "planned PST over a live one");
-                pm.children_pst =
-                    Some(ExternalPst::from_plan(self.geo, self.counter.clone(), plan));
+                pm.children_pst = Some(ExternalPst::from_plan_on(
+                    &self.backend,
+                    self.geo,
+                    self.counter.clone(),
+                    plan,
+                ));
             }
             None => {
                 // Children snapshots live in x-disjoint slabs: sorting each
@@ -400,7 +427,8 @@ impl ThreeSidedTree {
                 match pm.children_pst.as_mut() {
                     Some(pst) => pst.rebuild_from_sorted(self.geo, all),
                     None => {
-                        pm.children_pst = Some(ExternalPst::build_from_sorted(
+                        pm.children_pst = Some(ExternalPst::build_from_sorted_on(
+                            &self.backend,
                             self.geo,
                             self.counter.clone(),
                             all,

@@ -245,7 +245,8 @@ impl ThreeSidedTree {
                 // any node whose population the staged delta did not move.
                 Some(pst) => pst.rebuild_from_sorted(self.geo, run),
                 None => {
-                    td.pst = Some(ExternalPst::build_from_sorted(
+                    td.pst = Some(ExternalPst::build_from_sorted_on(
+                        &self.backend,
                         self.geo,
                         self.counter.clone(),
                         run,
@@ -261,7 +262,8 @@ impl ThreeSidedTree {
             match td.del_pst.as_mut() {
                 Some(pst) => pst.rebuild_from_sorted(self.geo, survivors),
                 None => {
-                    td.del_pst = Some(ExternalPst::build_from_sorted(
+                    td.del_pst = Some(ExternalPst::build_from_sorted_on(
+                        &self.backend,
                         self.geo,
                         self.counter.clone(),
                         survivors,
@@ -364,7 +366,8 @@ impl ThreeSidedTree {
             match m.pst.as_mut() {
                 Some(pst) => pst.rebuild_from_sorted(self.geo, run),
                 None => {
-                    m.pst = Some(ExternalPst::build_from_sorted(
+                    m.pst = Some(ExternalPst::build_from_sorted_on(
+                        &self.backend,
                         self.geo,
                         self.counter.clone(),
                         run,

@@ -35,7 +35,7 @@ mod validate;
 
 pub use validate::ThreeSidedStats;
 
-use ccix_extmem::{Geometry, IoCounter, PageId, Point, TypedStore};
+use ccix_extmem::{BackendSpec, Geometry, IoCounter, PageId, Point, TypedStore};
 use ccix_pst::ExternalPst;
 
 use crate::bbox::{BBox, Key};
@@ -209,6 +209,11 @@ pub struct ThreeSidedTree {
     /// Incremental-reorganisation state: deferred-work debt plus the
     /// in-progress background shrink job, if any (see [`crate::diag::reorg`]).
     pub(crate) reorg: crate::diag::reorg::ReorgState,
+    /// Page backend every store in this tree lives on. Retained (unlike the
+    /// diagonal tree, which owns a single store) because the per-metablock
+    /// PSTs are created dynamically as the tree grows, and each one must
+    /// land on the same backend as the main point store.
+    pub(crate) backend: BackendSpec,
 }
 
 impl ThreeSidedTree {
@@ -220,10 +225,23 @@ impl ThreeSidedTree {
     /// Create an empty tree with explicit tuning (the corner-structure knob
     /// is unused here; §4 replaces corner structures with PSTs).
     pub fn new_tuned(geo: Geometry, counter: IoCounter, tuning: crate::Tuning) -> Self {
+        Self::new_tuned_on(&BackendSpec::Model, geo, counter, tuning)
+    }
+
+    /// [`ThreeSidedTree::new_tuned`] on an explicit page backend. The spec
+    /// is kept for the tree's lifetime: every per-metablock PST store the
+    /// dynamic side creates is opened on the same backend as the main
+    /// point store.
+    pub fn new_tuned_on(
+        spec: &BackendSpec,
+        geo: Geometry,
+        counter: IoCounter,
+        tuning: crate::Tuning,
+    ) -> Self {
         Self {
             geo,
             counter: counter.clone(),
-            store: TypedStore::new(geo.b, counter),
+            store: TypedStore::new_on(spec, geo.b, counter),
             metas: Vec::new(),
             dead_metas: 0,
             root: None,
@@ -233,6 +251,7 @@ impl ThreeSidedTree {
             shrink_base: 0,
             tuning,
             reorg: crate::diag::reorg::ReorgState::default(),
+            backend: spec.clone(),
         }
     }
 
@@ -258,6 +277,10 @@ impl ThreeSidedTree {
             shrink_base: self.shrink_base,
             tuning: self.tuning,
             reorg: self.reorg.clone(),
+            // Snapshots are in-memory publications: forked stores are
+            // model-backed, and so are any PSTs the snapshot would create
+            // (it never creates any — snapshots are read-only).
+            backend: BackendSpec::Model,
         }
     }
 

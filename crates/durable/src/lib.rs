@@ -37,7 +37,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
-use ccix_extmem::IoCounter;
+use ccix_extmem::{BackendSpec, IoCounter};
 use ccix_interval::{IndexBuilder, Interval, IntervalIndex, IntervalOp, ShardedIntervalIndex};
 
 pub use checkpoint::{Checkpoint, Meta};
@@ -180,12 +180,27 @@ impl Recovered {
     /// `fallback` for a pre-checkpoint directory), then replay the WAL
     /// suffix batch by batch through `apply_batch`.
     pub fn rebuild(&self, counter: IoCounter, fallback: Meta) -> IntervalIndex {
+        self.rebuild_on(&BackendSpec::Model, counter, fallback)
+    }
+
+    /// As [`Recovered::rebuild`], on an explicit page backend. Recovery is
+    /// *logical* — the checkpoint + WAL replay reproduce the index's
+    /// contents, not its page file — so a file-backed rebuild writes a
+    /// fresh page file under the spec's directory rather than reopening an
+    /// old one; the old file (if any) is garbage a caller may unlink.
+    pub fn rebuild_on(
+        &self,
+        spec: &BackendSpec,
+        counter: IoCounter,
+        fallback: Meta,
+    ) -> IntervalIndex {
         let (meta, base): (Meta, &[Interval]) = match &self.checkpoint {
             Some(c) => (c.meta, &c.intervals),
             None => (fallback, &[]),
         };
         let mut index = IndexBuilder::new(meta.geometry)
             .options(meta.options)
+            .backend(spec.clone())
             .bulk(counter, base);
         for rec in &self.replay {
             index.apply_batch(&rec.ops);
@@ -201,12 +216,25 @@ impl Recovered {
     /// WAL suffix replays through the routing directory. With no splits
     /// this is the unsharded rebuild behind a single-shard directory.
     pub fn rebuild_sharded(&self, fallback: Meta, fallback_splits: &[i64]) -> ShardedIntervalIndex {
+        self.rebuild_sharded_on(&BackendSpec::Model, fallback, fallback_splits)
+    }
+
+    /// As [`Recovered::rebuild_sharded`], on an explicit page backend (see
+    /// [`Recovered::rebuild_on`] — every shard's stores land as fresh page
+    /// files under the spec's directory).
+    pub fn rebuild_sharded_on(
+        &self,
+        spec: &BackendSpec,
+        fallback: Meta,
+        fallback_splits: &[i64],
+    ) -> ShardedIntervalIndex {
         let (meta, splits, base): (Meta, &[i64], &[Interval]) = match &self.checkpoint {
             Some(c) => (c.meta, &c.shard_splits, &c.intervals),
             None => (fallback, fallback_splits, &[]),
         };
         let mut index = IndexBuilder::new(meta.geometry)
             .options(meta.options)
+            .backend(spec.clone())
             .sharded()
             .splits(splits.to_vec())
             .bulk(base);

@@ -6,6 +6,7 @@
 //! so its fanout is genuinely determined by the byte size of keys and page
 //! headers rather than by fiat.
 
+use crate::backend::{BackendSpec, FileMirror};
 use crate::stats::IoCounter;
 use crate::store::PageId;
 
@@ -19,6 +20,11 @@ pub struct Disk {
     pages: Vec<Option<PageBuf>>,
     free: Vec<PageId>,
     counter: IoCounter,
+    /// Physical mirror when opened on [`BackendSpec::File`]; `None` is
+    /// the pure in-memory model (see [`crate::TypedStore`] — same
+    /// contract: the model tables stay authoritative, the mirror adds the
+    /// real write-through and the cache-or-`pread` read path).
+    file: Option<FileMirror<u8>>,
 }
 
 impl Disk {
@@ -33,7 +39,58 @@ impl Disk {
             pages: Vec::new(),
             free: Vec::new(),
             counter,
+            file: None,
         }
+    }
+
+    /// Create a device on the given backend: [`BackendSpec::Model`] is
+    /// exactly [`Disk::new`], [`BackendSpec::File`] opens a fresh page
+    /// file every page access is mirrored onto.
+    pub fn new_on(spec: &BackendSpec, page_size: usize, counter: IoCounter) -> Self {
+        let mut disk = Self::new(page_size, counter);
+        if let BackendSpec::File(cfg) = spec {
+            disk.file = Some(FileMirror::create(cfg, page_size));
+        }
+        disk
+    }
+
+    /// Whether this device mirrors its pages onto a real file.
+    pub fn is_file_backed(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// `(cold, warm)` charged-read counts of the file backend; `None` on
+    /// the model backend.
+    pub fn file_stats(&self) -> Option<(u64, u64)> {
+        self.file.as_ref().map(FileMirror::stats)
+    }
+
+    /// Empty the file backend's page cache (cold-cache measurement).
+    pub fn clear_file_cache(&self) {
+        if let Some(m) = &self.file {
+            m.clear_cache();
+        }
+    }
+
+    /// Raw on-disk bytes of a live page, cache bypassed, nothing charged.
+    /// `None` on the model backend; for differential tests only.
+    pub fn file_page_bytes(&self, id: PageId) -> Option<Vec<u8>> {
+        assert!(
+            self.pages[id.0 as usize].is_some(),
+            "file image of freed page {id:?}"
+        );
+        self.file
+            .as_ref()
+            .map(|m| m.slot_bytes_raw(id, self.page_size))
+    }
+
+    /// Ids of every live page, ascending. Uncharged; for tests.
+    pub fn live_page_ids(&self) -> Vec<PageId> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| PageId(i as u32)))
+            .collect()
     }
 
     /// Page size in bytes.
@@ -50,7 +107,7 @@ impl Disk {
     /// Allocate a zeroed page without touching the counter (allocation is a
     /// metadata operation; the caller pays when it writes contents).
     pub fn alloc(&mut self) -> PageId {
-        if let Some(id) = self.free.pop() {
+        let id = if let Some(id) = self.free.pop() {
             self.pages[id.0 as usize] = Some(vec![0u8; self.page_size].into_boxed_slice());
             id
         } else {
@@ -58,15 +115,23 @@ impl Disk {
             self.pages
                 .push(Some(vec![0u8; self.page_size].into_boxed_slice()));
             id
+        };
+        if let Some(m) = &self.file {
+            m.write_page(id, self.pages[id.0 as usize].as_deref().expect("allocated"));
         }
+        id
     }
 
     /// Read a page into a fresh buffer. Costs one read I/O.
     pub fn read(&self, id: PageId) -> &[u8] {
         self.counter.add_reads(1);
-        self.pages[id.0 as usize]
+        let page = self.pages[id.0 as usize]
             .as_deref()
-            .expect("read of freed page")
+            .expect("read of freed page");
+        if let Some(m) = &self.file {
+            m.read_page(id, page);
+        }
+        page
     }
 
     /// Write a full page. Costs one write I/O.
@@ -80,6 +145,9 @@ impl Disk {
             "write to freed page {id:?}"
         );
         self.counter.add_writes(1);
+        if let Some(m) = &self.file {
+            m.write_page(id, buf);
+        }
         self.pages[id.0 as usize] = Some(buf.to_vec().into_boxed_slice());
     }
 
@@ -92,12 +160,15 @@ impl Disk {
     /// endpoint directory, class-hierarchy baselines) whose page counts are
     /// small next to the point stores, so copy-on-write plumbing isn't worth
     /// the complexity here.
+    /// Forks are always model-backed, like [`crate::TypedStore::fork`]:
+    /// an epoch is an in-memory publication.
     pub fn fork(&self, counter: IoCounter) -> Self {
         Self {
             page_size: self.page_size,
             pages: self.pages.clone(),
             free: self.free.clone(),
             counter,
+            file: None,
         }
     }
 
@@ -117,6 +188,9 @@ impl Disk {
             self.pages[id.0 as usize].take().is_some(),
             "double free of page {id:?}"
         );
+        if let Some(m) = &self.file {
+            m.free_page(id);
+        }
         self.free.push(id);
     }
 

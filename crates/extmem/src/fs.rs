@@ -1,0 +1,208 @@
+//! The filesystem seam everything that touches real disk writes through.
+//!
+//! Both the durability layer (`ccix-durable`: WAL appends, fsyncs,
+//! checkpoint publication) and the file-backed page stores in this crate
+//! ([`crate::BackendSpec::File`]) go through the [`Fs`] / [`RawFile`] trait
+//! pair, so a fault-injection layer (`ccix_durable::fault::FailFs`) can
+//! interpose a power-loss simulator without the WAL, checkpoint or page
+//! mirror code knowing. The production implementation ([`RealFs`]) is a
+//! thin veneer over `std::fs::File` using `std::os::unix::fs::FileExt`
+//! positioned I/O.
+//!
+//! [`RawFile::write_at`] deliberately has *short-write* semantics (it may
+//! write fewer bytes than asked, like the underlying syscall) and may fail
+//! with [`std::io::ErrorKind::Interrupted`]; the retry loops live in
+//! [`write_all_at`] / [`retry_interrupted`] so both behaviours are
+//! exercised by injection rather than assumed away.
+
+use std::fs::{File, OpenOptions};
+use std::io;
+use std::os::unix::fs::FileExt;
+use std::path::Path;
+use std::sync::Arc;
+
+/// One open file handle with positioned I/O.
+///
+/// `len` is the file length in bytes, not a collection size — there is
+/// deliberately no `is_empty` twin.
+#[allow(clippy::len_without_is_empty)]
+pub trait RawFile: Send {
+    /// Current file length in bytes.
+    fn len(&self) -> io::Result<u64>;
+    /// Read up to `buf.len()` bytes at `off`; returns the count read
+    /// (0 at or past end of file).
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize>;
+    /// Write up to `buf.len()` bytes at `off`; returns the count written.
+    /// May write a strict prefix (short write) or fail with
+    /// `ErrorKind::Interrupted`; callers must loop (see [`write_all_at`]).
+    fn write_at(&mut self, off: u64, buf: &[u8]) -> io::Result<usize>;
+    /// Truncate or extend the file to `len` bytes.
+    fn set_len(&mut self, len: u64) -> io::Result<()>;
+    /// Flush file contents (and length) to stable storage.
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// A filesystem namespace: opens files, renames, syncs directories.
+pub trait Fs: Send + Sync {
+    /// Open `path` for positioned read/write, creating it if `create`.
+    fn open(&self, path: &Path, create: bool) -> io::Result<Box<dyn RawFile>>;
+    /// Create `path` and every missing parent directory.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Atomically rename `from` to `to` (replacing `to` if present).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Remove a file; missing files are not an error.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+    /// Flush directory metadata (the rename journal) to stable storage.
+    fn sync_dir(&self, path: &Path) -> io::Result<()>;
+}
+
+/// The production filesystem: `std::fs` with `FileExt` positioned I/O.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl RealFs {
+    /// A shared handle to the production filesystem.
+    pub fn shared() -> Arc<dyn Fs> {
+        Arc::new(RealFs)
+    }
+}
+
+struct RealFile(File);
+
+impl RawFile for RealFile {
+    fn len(&self) -> io::Result<u64> {
+        Ok(self.0.metadata()?.len())
+    }
+
+    fn read_at(&self, off: u64, buf: &mut [u8]) -> io::Result<usize> {
+        self.0.read_at(buf, off)
+    }
+
+    fn write_at(&mut self, off: u64, buf: &[u8]) -> io::Result<usize> {
+        self.0.write_at(buf, off)
+    }
+
+    fn set_len(&mut self, len: u64) -> io::Result<()> {
+        self.0.set_len(len)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_all()
+    }
+}
+
+impl Fs for RealFs {
+    fn open(&self, path: &Path, create: bool) -> io::Result<Box<dyn RawFile>> {
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(create)
+            .open(path)?;
+        Ok(Box::new(RealFile(file)))
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        match std::fs::remove_file(path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(()),
+            other => other,
+        }
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn sync_dir(&self, path: &Path) -> io::Result<()> {
+        // Directories open read-only; sync_all flushes the entry metadata.
+        File::open(path)?.sync_all()
+    }
+}
+
+/// Write all of `buf` at `off`, looping over short writes and retrying
+/// `ErrorKind::Interrupted` (the two transient behaviours the fault layer
+/// injects).
+pub fn write_all_at(file: &mut dyn RawFile, mut off: u64, mut buf: &[u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match file.write_at(off, buf) {
+            Ok(0) => return Err(io::Error::new(io::ErrorKind::WriteZero, "wrote zero bytes")),
+            Ok(n) => {
+                off += n as u64;
+                buf = &buf[n..];
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Read exactly `buf.len()` bytes at `off`, retrying `Interrupted`.
+pub fn read_exact_at(file: &dyn RawFile, mut off: u64, mut buf: &mut [u8]) -> io::Result<()> {
+    while !buf.is_empty() {
+        match file.read_at(off, buf) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "read past end of file",
+                ))
+            }
+            Ok(n) => {
+                off += n as u64;
+                buf = &mut buf[n..];
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(())
+}
+
+/// Run `op` until it stops failing with `ErrorKind::Interrupted` (used for
+/// syncs, where there is no partial progress to track).
+pub fn retry_interrupted<T>(mut op: impl FnMut() -> io::Result<T>) -> io::Result<T> {
+    loop {
+        match op() {
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            other => return other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("ccix-fs-{}-{name}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mk tmp");
+        dir.join("f")
+    }
+
+    #[test]
+    fn real_file_positioned_roundtrip() {
+        let path = tmp("roundtrip");
+        let fs = RealFs;
+        let mut f = fs.open(&path, true).expect("open");
+        f.set_len(0).expect("truncate");
+        write_all_at(f.as_mut(), 0, b"hello world").expect("write");
+        write_all_at(f.as_mut(), 6, b"there").expect("overwrite");
+        let mut buf = [0u8; 11];
+        read_exact_at(f.as_ref(), 0, &mut buf).expect("read");
+        assert_eq!(&buf, b"hello there");
+        assert_eq!(f.len().expect("len"), 11);
+        f.set_len(5).expect("shrink");
+        assert_eq!(f.len().expect("len"), 5);
+        f.sync().expect("sync");
+        std::fs::remove_dir_all(path.parent().expect("parent")).ok();
+    }
+}

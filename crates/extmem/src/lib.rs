@@ -31,7 +31,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod backend;
 mod disk;
+pub mod fs;
 mod geometry;
 pub mod merge;
 mod pin;
@@ -41,6 +43,7 @@ pub mod ser;
 mod stats;
 mod store;
 
+pub use backend::{BackendSpec, FileConfig, DEFAULT_CACHE_PAGES, SLOT_ALIGN};
 pub use disk::{Disk, PageBuf};
 pub use geometry::{near_equal_ranges, Geometry};
 pub use merge::{

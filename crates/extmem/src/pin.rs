@@ -98,9 +98,21 @@ impl<T: Clone> TypedStore<T> {
     /// `space` distinguishes this store from others sharing the pin; the
     /// caller must use one space per store and construct the pin over the
     /// same counter as the store, or reads leak past the cost model.
+    ///
+    /// On a file-backed store the physical read path runs exactly when the
+    /// pin charges: a miss (first touch, or re-touch after eviction) goes
+    /// through the backend's cache-or-`pread` path, while a resident
+    /// re-touch stays free on both backends — pin residency *is* the
+    /// model's working memory, and the file backend honours it.
     pub fn read_pinned(&self, pin: &mut PathPin, space: u32, id: PageId) -> &[T] {
-        pin.touch(space, u64::from(id.0));
-        self.read_unbilled_internal(id)
+        let miss = pin.touch(space, u64::from(id.0));
+        let page = self.read_unbilled_internal(id);
+        if miss {
+            if let Some(m) = self.file_mirror() {
+                m.read_page(id, page);
+            }
+        }
+        page
     }
 }
 

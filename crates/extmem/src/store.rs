@@ -8,7 +8,10 @@
 //! uses the byte-level [`crate::Disk`] instead, to demonstrate a conventional
 //! serialised node layout on the same accounting substrate.)
 
+use crate::backend::{BackendSpec, FileConfig, FileMirror};
+use crate::ser::FixedBytes;
 use crate::stats::IoCounter;
+use std::path::Path;
 use std::sync::Arc;
 
 /// Identifier of a page within one [`TypedStore`] or [`crate::Disk`].
@@ -46,6 +49,13 @@ pub struct TypedStore<T> {
     spare: Vec<Vec<T>>,
     capacity: usize,
     counter: IoCounter,
+    /// The physical half of a file-backed store ([`BackendSpec::File`]):
+    /// every mutation is written through to a real file, every charged
+    /// read runs the cache-or-`pread` path. `None` (the default) is the
+    /// pure in-memory model — the source of truth for all exact-I/O gates,
+    /// whose behaviour is bit-identical whether or not a mirror is
+    /// attached.
+    file: Option<FileMirror<T>>,
 }
 
 /// Cap on recycled page buffers kept per store (beyond this, freed buffers
@@ -65,6 +75,7 @@ impl<T: Clone> TypedStore<T> {
             spare: Vec::new(),
             capacity,
             counter,
+            file: None,
         }
     }
 
@@ -113,14 +124,18 @@ impl<T: Clone> TypedStore<T> {
             self.capacity
         );
         self.counter.add_writes(1);
-        if let Some(id) = self.free.pop() {
+        let id = if let Some(id) = self.free.pop() {
             self.pages[id.index()] = Some(Arc::new(records));
             id
         } else {
             let id = PageId(u32::try_from(self.pages.len()).expect("page id overflow"));
             self.pages.push(Some(Arc::new(records)));
             id
+        };
+        if let Some(m) = &self.file {
+            m.write_page(id, self.pages[id.index()].as_ref().expect("just allocated"));
         }
+        id
     }
 
     /// Allocate a run of pages holding `records` in order, `capacity` per
@@ -145,7 +160,11 @@ impl<T: Clone> TypedStore<T> {
     /// Panics if the page was never allocated or has been freed.
     pub fn read(&self, id: PageId) -> &[T] {
         self.counter.add_reads(1);
-        self.live(id, "read of")
+        let page = self.live(id, "read of");
+        if let Some(m) = &self.file {
+            m.read_page(id, page);
+        }
+        page
     }
 
     /// Fork a copy-on-write snapshot of this store, charging future I/O on
@@ -157,6 +176,11 @@ impl<T: Clone> TypedStore<T> {
     /// it models publishing an epoch of an already-materialised structure,
     /// not a transfer — and the fresh counter keeps snapshot readers from
     /// polluting the writer's accounting (or its active shunt).
+    ///
+    /// Forks are always **model-backed**, even when the parent is file-
+    /// backed: an epoch is an in-memory publication, and the writer is
+    /// free to overwrite a copy-on-write-shared slot on disk after the
+    /// fork — the snapshot must never see that.
     pub fn fork(&self, counter: IoCounter) -> Self {
         Self {
             pages: self.pages.clone(),
@@ -164,6 +188,7 @@ impl<T: Clone> TypedStore<T> {
             spare: Vec::new(),
             capacity: self.capacity,
             counter,
+            file: None,
         }
     }
 
@@ -184,6 +209,9 @@ impl<T: Clone> TypedStore<T> {
             "page overflow: append to a full page of capacity {capacity}"
         );
         Arc::make_mut(page).push(record);
+        if let Some(m) = &self.file {
+            m.write_page(id, self.pages[id.index()].as_ref().expect("live"));
+        }
     }
 
     /// Overwrite a page. Costs one write I/O.
@@ -196,6 +224,9 @@ impl<T: Clone> TypedStore<T> {
         );
         self.live(id, "write to");
         self.counter.add_writes(1);
+        if let Some(m) = &self.file {
+            m.write_page(id, &records);
+        }
         self.pages[id.index()] = Some(Arc::new(records));
     }
 
@@ -218,6 +249,9 @@ impl<T: Clone> TypedStore<T> {
                 page.clear();
                 self.spare.push(page);
             }
+        }
+        if let Some(m) = &self.file {
+            m.free_page(id);
         }
         self.free.push(id);
     }
@@ -266,6 +300,130 @@ impl<T: Clone> TypedStore<T> {
     /// [`crate::PathPin`] instead.
     pub(crate) fn read_unbilled_internal(&self, id: PageId) -> &[T] {
         self.live(id, "read of")
+    }
+
+    /// The file mirror, for the pinning layer's miss path.
+    pub(crate) fn file_mirror(&self) -> Option<&FileMirror<T>> {
+        self.file.as_ref()
+    }
+
+    /// Whether this store mirrors its pages onto a real file.
+    pub fn is_file_backed(&self) -> bool {
+        self.file.is_some()
+    }
+
+    /// `(cold, warm)` charged-read counts of the file backend: cold reads
+    /// hit the file with a real `pread`, warm ones were served by the
+    /// in-process page cache. `None` on the model backend.
+    pub fn file_stats(&self) -> Option<(u64, u64)> {
+        self.file.as_ref().map(FileMirror::stats)
+    }
+
+    /// Empty the file backend's page cache so the next charged reads are
+    /// all cold (cold-cache measurement). No-op on the model backend.
+    pub fn clear_file_cache(&self) {
+        if let Some(m) = &self.file {
+            m.clear_cache();
+        }
+    }
+
+    /// Path of the backing page file, if file-backed.
+    pub fn file_path(&self) -> Option<&Path> {
+        self.file.as_ref().map(FileMirror::path)
+    }
+
+    /// Raw on-disk bytes of a live page's record area, read straight from
+    /// the backing file with the cache bypassed and nothing charged.
+    /// `None` on the model backend. Only for differential tests comparing
+    /// disk images against the model encoding.
+    pub fn file_page_bytes(&self, id: PageId) -> Option<Vec<u8>> {
+        let len = self.live(id, "file image of").len();
+        self.file.as_ref().map(|m| m.slot_bytes_raw(id, len))
+    }
+
+    /// Ids of every live page, ascending. Uncharged; for tests and space
+    /// walks (persist, differential image comparison).
+    pub fn live_page_ids(&self) -> Vec<PageId> {
+        self.pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|_| PageId(i as u32)))
+            .collect()
+    }
+}
+
+impl<T: Clone + FixedBytes> TypedStore<T> {
+    /// Create a store on the given backend: [`BackendSpec::Model`] is
+    /// exactly [`TypedStore::new`]; [`BackendSpec::File`] additionally
+    /// opens a fresh page file (a unique name under the config's
+    /// directory) that every mutation is written through to.
+    pub fn new_on(spec: &BackendSpec, capacity: usize, counter: IoCounter) -> Self {
+        let mut store = Self::new(capacity, counter);
+        if let BackendSpec::File(cfg) = spec {
+            store.file = Some(FileMirror::create(cfg, capacity));
+        }
+        store
+    }
+
+    /// Make a file-backed store durable: fsync the page file and publish
+    /// the sidecar meta (free list + per-page record counts) atomically,
+    /// so [`TypedStore::open_from_file`] can rebuild the store from the
+    /// file pair alone. No-op on the model backend.
+    pub fn persist(&self) {
+        let Some(m) = &self.file else { return };
+        let live: Vec<(u32, u32)> = self
+            .pages
+            .iter()
+            .enumerate()
+            .filter_map(|(i, p)| p.as_ref().map(|p| (i as u32, p.len() as u32)))
+            .collect();
+        m.persist(self.capacity, self.pages.len(), &live, &self.free);
+    }
+
+    /// `(page id, encoded bytes)` images of every live **model** page, in
+    /// ascending id order, encoded via [`FixedBytes`] exactly as the file
+    /// backend writes them. Uncharged; pairs with
+    /// [`TypedStore::file_page_bytes`] in the differential backend suite.
+    pub fn page_images(&self) -> Vec<(u32, Vec<u8>)> {
+        self.live_page_ids()
+            .into_iter()
+            .map(|id| {
+                let mut buf = Vec::new();
+                crate::ser::encode_records(self.read_unbilled(id), &mut buf);
+                (id.0, buf)
+            })
+            .collect()
+    }
+
+    /// As [`TypedStore::page_images`], reading each page back from the
+    /// **file** backend (cache bypassed, nothing charged). `None` on the
+    /// model backend.
+    pub fn file_page_images(&self) -> Option<Vec<(u32, Vec<u8>)>> {
+        self.live_page_ids()
+            .into_iter()
+            .map(|id| self.file_page_bytes(id).map(|b| (id.0, b)))
+            .collect()
+    }
+
+    /// Reopen a store persisted by [`TypedStore::persist`]: every live
+    /// page is read back from the file and decoded, and the free list is
+    /// restored, so on-disk slots keep being recycled exactly where the
+    /// persisted store would have recycled them.
+    ///
+    /// # Panics
+    /// Panics if the file pair is missing, torn or inconsistent —
+    /// recovery *policy* (checkpoints, WAL replay) lives in
+    /// `ccix-durable`, this is the mechanism underneath it.
+    pub fn open_from_file(cfg: &FileConfig, path: &Path, counter: IoCounter) -> Self {
+        let (mirror, image) = FileMirror::load(cfg, path);
+        Self {
+            pages: image.pages.into_iter().map(|p| p.map(Arc::new)).collect(),
+            free: image.free,
+            spare: Vec::new(),
+            capacity: image.capacity,
+            counter,
+            file: Some(mirror),
+        }
     }
 }
 

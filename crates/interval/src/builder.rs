@@ -6,16 +6,22 @@
 //! [`IndexBuilder::open`] an empty index or [`IndexBuilder::bulk`]-load
 //! one. The old constructors remain as thin deprecated shims.
 
+use std::path::PathBuf;
+
 use ccix_core::Tuning;
-use ccix_extmem::{Geometry, IoCounter};
+use ccix_extmem::{BackendSpec, Geometry, IoCounter};
 
 use crate::index::{EndpointMode, Interval, IntervalIndex, IntervalOptions};
 
 /// Configures and constructs [`IntervalIndex`] instances.
 ///
-/// The builder is `Copy` and its construction methods take `&self`, so one
-/// configured builder can stamp out any number of indexes (the differential
-/// test suites open a fresh index per trial from a single builder).
+/// The builder is cheap to `Clone` and its construction methods take
+/// `&self`, so one configured builder can stamp out any number of indexes
+/// (the differential test suites open a fresh index per trial from a single
+/// builder). It stopped being `Copy` when it grew a [`BackendSpec`]: a
+/// file-backed spec carries a directory path and a shared file-name
+/// sequence, so stamped-out indexes land in the same directory without
+/// colliding.
 ///
 /// ```
 /// use ccix_extmem::{Geometry, IoCounter};
@@ -30,10 +36,11 @@ use crate::index::{EndpointMode, Interval, IntervalIndex, IntervalOptions};
 /// hit.sort_unstable();
 /// assert_eq!(hit, vec![7]);
 /// ```
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct IndexBuilder {
     geo: Geometry,
     options: IntervalOptions,
+    backend: BackendSpec,
 }
 
 impl IndexBuilder {
@@ -43,6 +50,7 @@ impl IndexBuilder {
         Self {
             geo,
             options: IntervalOptions::default(),
+            backend: BackendSpec::Model,
         }
     }
 
@@ -78,9 +86,31 @@ impl IndexBuilder {
         self
     }
 
+    /// Page backend every store of the index lives on (see
+    /// [`BackendSpec`]): the pure in-memory model (default), or a real
+    /// page file per store under a [`BackendSpec::File`] directory.
+    pub fn backend(mut self, spec: BackendSpec) -> Self {
+        self.backend = spec;
+        self
+    }
+
+    /// Shorthand for [`IndexBuilder::backend`] with a fresh
+    /// [`BackendSpec::file`] over `dir`: every store of every index this
+    /// builder stamps out becomes a real page file under `dir` (the
+    /// directory is created on first use; file names never collide because
+    /// the spec carries a shared sequence).
+    pub fn file_backed(self, dir: impl Into<PathBuf>) -> Self {
+        self.backend(BackendSpec::file(dir))
+    }
+
     /// The configured options.
     pub fn configured_options(&self) -> IntervalOptions {
         self.options
+    }
+
+    /// The configured page backend.
+    pub fn configured_backend(&self) -> &BackendSpec {
+        &self.backend
     }
 
     /// The configured geometry.
@@ -90,12 +120,12 @@ impl IndexBuilder {
 
     /// Open an empty index charging I/O to `counter`.
     pub fn open(&self, counter: IoCounter) -> IntervalIndex {
-        IntervalIndex::open_impl(self.geo, counter, self.options)
+        IntervalIndex::open_impl(&self.backend, self.geo, counter, self.options)
     }
 
     /// Bulk-build an index over `intervals` (ids must be unique), charging
     /// the build's I/O to `counter`.
     pub fn bulk(&self, counter: IoCounter, intervals: &[Interval]) -> IntervalIndex {
-        IntervalIndex::bulk_impl(self.geo, counter, intervals, self.options)
+        IntervalIndex::bulk_impl(&self.backend, self.geo, counter, intervals, self.options)
     }
 }

@@ -16,7 +16,7 @@
 
 use ccix_bptree::{BPlusTree, Entry};
 use ccix_core::{MetablockTree, Op, Tuning};
-use ccix_extmem::{Disk, Geometry, IoCounter, Point};
+use ccix_extmem::{BackendSpec, Disk, FixedBytes, Geometry, IoCounter, Point};
 
 /// A closed interval with an application id (a *generalized key*: the
 /// projection of a generalized tuple on the indexed attribute).
@@ -43,6 +43,35 @@ impl Interval {
     /// The point `(lo, hi)` above the diagonal (Fig. 3's mapping).
     fn point(&self) -> Point {
         Point::new(self.lo, self.hi, self.id)
+    }
+}
+
+/// Same wire layout as the [`Point`] an interval maps to — `lo`, `hi`, `id`
+/// little-endian — so an interval checkpoint page and the stabbing
+/// structure's point page for the same records are byte-identical. Unlike
+/// the integer records, decoding can fail: `hi < lo` is not a valid
+/// interval, so a corrupt page is rejected rather than resurrected as a
+/// reversed interval.
+impl FixedBytes for Interval {
+    const SIZE: usize = 24;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.lo.to_le_bytes());
+        out.extend_from_slice(&self.hi.to_le_bytes());
+        out.extend_from_slice(&self.id.to_le_bytes());
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::SIZE {
+            return None;
+        }
+        let lo = i64::from_le_bytes(bytes[0..8].try_into().ok()?);
+        let hi = i64::from_le_bytes(bytes[8..16].try_into().ok()?);
+        let id = u64::from_le_bytes(bytes[16..24].try_into().ok()?);
+        if hi < lo {
+            return None;
+        }
+        Some(Self { lo, hi, id })
     }
 }
 
@@ -109,6 +138,9 @@ pub struct IntervalIndex {
     /// The options this index was constructed with, retained so a durable
     /// checkpoint can record them and rebuild an identical layout.
     options: IntervalOptions,
+    /// The page backend this index was opened on (snapshot forks are always
+    /// model-backed — an epoch is an in-memory publication).
+    backend: BackendSpec,
 }
 
 impl IntervalIndex {
@@ -121,25 +153,36 @@ impl IntervalIndex {
     /// Create an empty index with the default (slab-endpoint, tuned) layout.
     #[deprecated(note = "use `IndexBuilder::new(geo).open(counter)`")]
     pub fn new(geo: Geometry, counter: IoCounter) -> Self {
-        Self::open_impl(geo, counter, IntervalOptions::default())
+        Self::open_impl(
+            &BackendSpec::Model,
+            geo,
+            counter,
+            IntervalOptions::default(),
+        )
     }
 
     /// Create an empty index with explicit options.
     #[deprecated(note = "use `IndexBuilder::new(geo).options(options).open(counter)`")]
     pub fn new_with(geo: Geometry, counter: IoCounter, options: IntervalOptions) -> Self {
-        Self::open_impl(geo, counter, options)
+        Self::open_impl(&BackendSpec::Model, geo, counter, options)
     }
 
-    pub(crate) fn open_impl(geo: Geometry, counter: IoCounter, options: IntervalOptions) -> Self {
+    pub(crate) fn open_impl(
+        spec: &BackendSpec,
+        geo: Geometry,
+        counter: IoCounter,
+        options: IntervalOptions,
+    ) -> Self {
         let endpoints = match options.endpoints {
             EndpointMode::Slab => None,
             EndpointMode::BTree => {
-                let mut disk = Disk::new(Self::page_size(geo), counter.clone());
+                let mut disk = Disk::new_on(spec, Self::page_size(geo), counter.clone());
                 let tree = BPlusTree::new(&mut disk);
                 Some((disk, tree))
             }
         };
-        let stab = MetablockTree::new_tuned(
+        let stab = MetablockTree::new_tuned_on(
+            spec,
             geo,
             counter.clone(),
             ccix_core::DiagOptions::default(),
@@ -152,6 +195,7 @@ impl IntervalIndex {
             stab,
             len: 0,
             options,
+            backend: spec.clone(),
         }
     }
 
@@ -159,7 +203,13 @@ impl IntervalIndex {
     /// default layout.
     #[deprecated(note = "use `IndexBuilder::new(geo).bulk(counter, intervals)`")]
     pub fn build(geo: Geometry, counter: IoCounter, intervals: &[Interval]) -> Self {
-        Self::bulk_impl(geo, counter, intervals, IntervalOptions::default())
+        Self::bulk_impl(
+            &BackendSpec::Model,
+            geo,
+            counter,
+            intervals,
+            IntervalOptions::default(),
+        )
     }
 
     /// Bulk-build with explicit options.
@@ -170,10 +220,11 @@ impl IntervalIndex {
         intervals: &[Interval],
         options: IntervalOptions,
     ) -> Self {
-        Self::bulk_impl(geo, counter, intervals, options)
+        Self::bulk_impl(&BackendSpec::Model, geo, counter, intervals, options)
     }
 
     pub(crate) fn bulk_impl(
+        spec: &BackendSpec,
         geo: Geometry,
         counter: IoCounter,
         intervals: &[Interval],
@@ -182,7 +233,7 @@ impl IntervalIndex {
         let endpoints = match options.endpoints {
             EndpointMode::Slab => None,
             EndpointMode::BTree => {
-                let mut disk = Disk::new(Self::page_size(geo), counter.clone());
+                let mut disk = Disk::new_on(spec, Self::page_size(geo), counter.clone());
                 let mut entries: Vec<Entry> = intervals
                     .iter()
                     .map(|iv| Entry::with_aux(iv.lo, iv.id, iv.hi as u64))
@@ -194,7 +245,8 @@ impl IntervalIndex {
             }
         };
         let points: Vec<Point> = intervals.iter().map(Interval::point).collect();
-        let stab = MetablockTree::build_tuned(
+        let stab = MetablockTree::build_tuned_on(
+            spec,
             geo,
             counter.clone(),
             points,
@@ -208,6 +260,7 @@ impl IntervalIndex {
             stab,
             len: intervals.len(),
             options,
+            backend: spec.clone(),
         }
     }
 
@@ -259,7 +312,89 @@ impl IntervalIndex {
             stab: self.stab.fork_snapshot(counter),
             len: self.len,
             options: self.options,
+            backend: BackendSpec::Model,
         }
+    }
+
+    /// The page backend this index was opened on. Snapshot forks always
+    /// report [`BackendSpec::Model`].
+    pub fn backend(&self) -> &BackendSpec {
+        &self.backend
+    }
+
+    /// Whether this index's stores mirror their pages onto real files.
+    pub fn is_file_backed(&self) -> bool {
+        self.backend.is_file()
+    }
+
+    /// `(cold, warm)` charged-read counts summed over the file backend's
+    /// stores — `pread`s that missed the page cache vs. cache hits. `None`
+    /// on the model backend.
+    pub fn file_stats(&self) -> Option<(u64, u64)> {
+        if !self.is_file_backed() {
+            return None;
+        }
+        let (mut cold, mut warm) = self.stab.store_file_stats().unwrap_or((0, 0));
+        if let Some((disk, _)) = &self.endpoints {
+            if let Some((c, w)) = disk.file_stats() {
+                cold += c;
+                warm += w;
+            }
+        }
+        Some((cold, warm))
+    }
+
+    /// Drop every store's file-backend page cache, so the next charged
+    /// read of each page is a cold `pread` (cold-cache measurement). A
+    /// no-op on the model backend.
+    pub fn clear_file_caches(&self) {
+        self.stab.clear_store_file_cache();
+        if let Some((disk, _)) = &self.endpoints {
+            disk.clear_file_cache();
+        }
+    }
+
+    /// `(component, page id, bytes)` images of every live **model** page,
+    /// in a deterministic order — component 0 is the stabbing structure's
+    /// point store (pages encoded via [`FixedBytes`]), component 1 the
+    /// endpoint B+-tree's byte device (raw pages). Uncharged; the
+    /// differential backend suite compares these across backends.
+    pub fn model_page_images(&self) -> Vec<(u32, u32, Vec<u8>)> {
+        let mut out: Vec<(u32, u32, Vec<u8>)> = self
+            .stab
+            .store_page_images()
+            .into_iter()
+            .map(|(id, bytes)| (0, id, bytes))
+            .collect();
+        if let Some((disk, _)) = &self.endpoints {
+            out.extend(
+                disk.live_page_ids()
+                    .into_iter()
+                    .map(|id| (1, id.0, disk.read_unbilled(id).to_vec())),
+            );
+        }
+        out
+    }
+
+    /// As [`IntervalIndex::model_page_images`], but reading each page's
+    /// bytes back from the **file** backend (cache bypassed). `None` on
+    /// the model backend.
+    pub fn file_page_images(&self) -> Option<Vec<(u32, u32, Vec<u8>)>> {
+        if !self.is_file_backed() {
+            return None;
+        }
+        let mut out: Vec<(u32, u32, Vec<u8>)> = self
+            .stab
+            .store_file_page_images()?
+            .into_iter()
+            .map(|(id, bytes)| (0, id, bytes))
+            .collect();
+        if let Some((disk, _)) = &self.endpoints {
+            for id in disk.live_page_ids() {
+                out.push((1, id.0, disk.file_page_bytes(id)?));
+            }
+        }
+        Some(out)
     }
 
     /// Advance the stabbing structure's deferred reorganisation by one

@@ -68,9 +68,10 @@ pub fn split_points_from_sample(sample_los: &[i64], shards: usize) -> Vec<i64> {
 
 /// Configures and constructs [`ShardedIntervalIndex`] instances.
 ///
-/// Wraps an [`IndexBuilder`] (every shard uses its geometry and options)
-/// plus the split points of the routing directory. Like [`IndexBuilder`]
-/// it is cheap to copy around and can stamp out any number of indexes.
+/// Wraps an [`IndexBuilder`] (every shard uses its geometry, options and
+/// page backend) plus the split points of the routing directory. Like
+/// [`IndexBuilder`] it is cheap to clone and can stamp out any number of
+/// indexes.
 ///
 /// ```
 /// use ccix_extmem::Geometry;
@@ -134,7 +135,7 @@ impl ShardedBuilder {
 
     /// The wrapped per-shard builder.
     pub fn index_builder(&self) -> IndexBuilder {
-        self.inner
+        self.inner.clone()
     }
 
     /// Open an empty sharded index. Each shard gets its own fresh
@@ -167,14 +168,20 @@ impl ShardedBuilder {
             max_hi[s] = max_hi[s].max(iv.hi);
             parts[s].push(iv);
         }
-        let builder = self.inner;
-        let budget = builder
+        let budget = self
+            .inner
             .configured_options()
             .tuning
             .effective_shard_threads();
         let tasks: Vec<_> = parts
             .into_iter()
-            .map(|part| move |_inner: usize| builder.bulk(IoCounter::new(), &part))
+            .map(|part| {
+                // Each shard's build task owns a clone of the builder; a
+                // file-backed spec shares its name sequence across clones,
+                // so parallel shard builds never collide on file names.
+                let builder = self.inner.clone();
+                move |_inner: usize| builder.bulk(IoCounter::new(), &part)
+            })
             .collect();
         let shards = run_parallel(tasks, budget);
         ShardedIntervalIndex {
@@ -316,6 +323,36 @@ impl ShardedIntervalIndex {
     /// Disk blocks occupied, summed over shards.
     pub fn space_pages(&self) -> usize {
         self.shards.iter().map(|s| s.space_pages()).sum()
+    }
+
+    /// Whether the shards mirror their pages onto real files.
+    pub fn is_file_backed(&self) -> bool {
+        self.shards.iter().any(IntervalIndex::is_file_backed)
+    }
+
+    /// `(cold, warm)` charged-read counts summed over every shard's file
+    /// backend (see [`IntervalIndex::file_stats`]); `None` on the model
+    /// backend.
+    pub fn file_stats(&self) -> Option<(u64, u64)> {
+        if !self.is_file_backed() {
+            return None;
+        }
+        let mut agg = (0, 0);
+        for s in &self.shards {
+            if let Some((c, w)) = s.file_stats() {
+                agg.0 += c;
+                agg.1 += w;
+            }
+        }
+        Some(agg)
+    }
+
+    /// Drop every shard's file-backend page caches (cold-cache
+    /// measurement); no-op on the model backend.
+    pub fn clear_file_caches(&self) {
+        for s in &self.shards {
+            s.clear_file_caches();
+        }
     }
 
     /// Deferred reorganisation debt in page transfers, summed over shards.

@@ -21,10 +21,12 @@
 //! unchanged keeps its page untouched, so rebuild-heavy insert floods stop
 //! re-materialising identical nodes.
 
-use ccix_extmem::{Geometry, IoCounter, PageId, PathPin, Point, SortedRun, TypedStore};
+use ccix_extmem::{
+    BackendSpec, FixedBytes, Geometry, IoCounter, PageId, PathPin, Point, SortedRun, TypedStore,
+};
 
 /// One record on a PST page: the leading control record or a data point.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub(crate) enum PstRec {
     /// First record of each page: split key and child pointers.
     Meta {
@@ -37,6 +39,71 @@ pub(crate) enum PstRec {
     },
     /// A data point; stored sorted by `y` descending after the meta record.
     Pt(Point),
+}
+
+/// Fixed-width encoding so PST pages can live on the file backend: a tag
+/// byte, then the wider variant's fields (`Meta`: 16-byte split + two
+/// 5-byte optional page ids = 27 bytes total; `Pt`: 24-byte point + 2 zero
+/// padding bytes). Decode validates the tag, the option flags and the
+/// padding, so garbage never decodes silently.
+impl FixedBytes for PstRec {
+    const SIZE: usize = 27;
+
+    fn encode_into(&self, out: &mut Vec<u8>) {
+        match self {
+            PstRec::Meta { split, left, right } => {
+                out.push(0);
+                out.extend_from_slice(&split.0.to_le_bytes());
+                out.extend_from_slice(&split.1.to_le_bytes());
+                for child in [left, right] {
+                    match child {
+                        Some(PageId(p)) => {
+                            out.push(1);
+                            out.extend_from_slice(&p.to_le_bytes());
+                        }
+                        None => out.extend_from_slice(&[0u8; 5]),
+                    }
+                }
+            }
+            PstRec::Pt(p) => {
+                out.push(1);
+                p.encode_into(out);
+                out.extend_from_slice(&[0u8; 2]);
+            }
+        }
+    }
+
+    fn decode(bytes: &[u8]) -> Option<Self> {
+        if bytes.len() != Self::SIZE {
+            return None;
+        }
+        let decode_child = |b: &[u8]| -> Option<Option<PageId>> {
+            let id = u32::from_le_bytes(b[1..5].try_into().ok()?);
+            match b[0] {
+                0 if id == 0 => Some(None),
+                1 => Some(Some(PageId(id))),
+                _ => None,
+            }
+        };
+        match bytes[0] {
+            0 => {
+                let lo = i64::from_le_bytes(bytes[1..9].try_into().ok()?);
+                let hi = u64::from_le_bytes(bytes[9..17].try_into().ok()?);
+                Some(PstRec::Meta {
+                    split: (lo, hi),
+                    left: decode_child(&bytes[17..22])?,
+                    right: decode_child(&bytes[22..27])?,
+                })
+            }
+            1 => {
+                if bytes[25..27] != [0, 0] {
+                    return None;
+                }
+                Some(PstRec::Pt(Point::decode(&bytes[1..25])?))
+            }
+            _ => None,
+        }
+    }
 }
 
 /// One planned PST node: the page contents decided, no page allocated yet.
@@ -192,11 +259,32 @@ impl ExternalPst {
         Self::from_plan(geo, counter, PstPlan::plan(geo, sorted))
     }
 
+    /// [`ExternalPst::build_from_sorted`] on an explicit backend.
+    pub fn build_from_sorted_on(
+        spec: &BackendSpec,
+        geo: Geometry,
+        counter: IoCounter,
+        sorted: SortedRun,
+    ) -> Self {
+        Self::from_plan_on(spec, geo, counter, PstPlan::plan(geo, sorted))
+    }
+
     /// Materialise a plan: one page allocated (one write I/O) per node, on
     /// the calling thread.
     pub fn from_plan(geo: Geometry, counter: IoCounter, plan: PstPlan) -> Self {
+        Self::from_plan_on(&BackendSpec::Model, geo, counter, plan)
+    }
+
+    /// [`ExternalPst::from_plan`] on an explicit backend: the node store is
+    /// opened model- or file-backed per `spec`.
+    pub fn from_plan_on(
+        spec: &BackendSpec,
+        geo: Geometry,
+        counter: IoCounter,
+        plan: PstPlan,
+    ) -> Self {
         assert!(geo.b >= 2, "external PST needs B ≥ 2");
-        let mut store = TypedStore::new(geo.b, counter);
+        let mut store = TypedStore::new_on(spec, geo.b, counter);
         let layout = plan.root.map(|n| Self::alloc_rec(&mut store, *n));
         Self {
             root: layout.as_ref().map(|l| l.page),
@@ -723,5 +811,76 @@ mod tests {
             let want = oracle::diagonal_corner(&pts, q);
             oracle::assert_same_points(got, want, &format!("diag q={q}"));
         }
+    }
+}
+
+/// Property tests for the [`PstRec`] encoding: it is the one record type
+/// whose pages reach the file backend but whose type is private to this
+/// crate, so the testkit's serialization suite cannot cover it.
+#[cfg(test)]
+mod ser_tests {
+    use super::*;
+
+    fn roundtrip(rec: PstRec) {
+        let mut buf = Vec::new();
+        rec.encode_into(&mut buf);
+        assert_eq!(buf.len(), PstRec::SIZE);
+        assert_eq!(PstRec::decode(&buf), Some(rec));
+        for cut in 0..PstRec::SIZE {
+            assert!(
+                PstRec::decode(&buf[..cut]).is_none(),
+                "decoded a {cut}-byte truncation"
+            );
+        }
+        let mut long = buf.clone();
+        long.push(0x5A);
+        assert!(PstRec::decode(&long).is_none(), "decoded with a tail");
+    }
+
+    #[test]
+    fn meta_and_point_records_roundtrip() {
+        let mut x = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for _ in 0..256 {
+            let split = (next() as i64, next());
+            let child = |v: u64| (!v.is_multiple_of(3)).then_some(PageId((v >> 8) as u32));
+            roundtrip(PstRec::Meta {
+                split,
+                left: child(next()),
+                right: child(next()),
+            });
+            roundtrip(PstRec::Pt(Point::new(next() as i64, next() as i64, next())));
+        }
+    }
+
+    #[test]
+    fn garbage_bytes_never_decode_silently() {
+        // Bad tag byte.
+        let mut buf = vec![2u8; PstRec::SIZE];
+        assert!(PstRec::decode(&buf).is_none());
+        // Meta with a bad child flag.
+        buf = Vec::new();
+        PstRec::Meta {
+            split: (7, 7),
+            left: None,
+            right: None,
+        }
+        .encode_into(&mut buf);
+        buf[17] = 9; // child flag must be 0 or 1
+        assert!(PstRec::decode(&buf).is_none());
+        // "None" child with a nonzero page id is torn, not a value.
+        buf[17] = 0;
+        buf[18] = 1;
+        assert!(PstRec::decode(&buf).is_none());
+        // Point record with nonzero padding.
+        buf = Vec::new();
+        PstRec::Pt(Point::new(1, 2, 3)).encode_into(&mut buf);
+        buf[26] = 1;
+        assert!(PstRec::decode(&buf).is_none());
     }
 }

@@ -42,7 +42,7 @@ use std::thread::JoinHandle;
 use std::time::Instant;
 
 use ccix_durable::{DurabilityConfig, DurableStore, FsyncPolicy, Meta, RecoveryReport};
-use ccix_extmem::IoCounter;
+use ccix_extmem::{BackendSpec, IoCounter};
 use ccix_interval::{Interval, IntervalIndex, IntervalOp, ShardedIntervalIndex};
 
 /// One immutable published version of the index.
@@ -197,6 +197,15 @@ pub struct EngineConfig {
     /// versions; `Some` makes commit tickets resolve at **durable**
     /// visibility — a resolved ticket survives any crash-and-recover.
     pub durability: Option<DurabilityConfig>,
+    /// Page backend for indexes the engine itself constructs — i.e. the
+    /// [`Engine::recover`]/[`Engine::recover_sharded`] rebuild (recovery
+    /// is logical: checkpoint + WAL replay rebuild the index's contents as
+    /// fresh page files under a [`BackendSpec::File`] directory). Ignored
+    /// by [`Engine::start`]-family constructors, which take an index the
+    /// caller already built on whatever backend it chose (e.g.
+    /// `IndexBuilder::file_backed`). Composes with `durability`: the WAL
+    /// and checkpoint protocol is identical on both backends.
+    pub backend: BackendSpec,
 }
 
 impl Default for EngineConfig {
@@ -206,6 +215,7 @@ impl Default for EngineConfig {
             group_max_ops: 4096,
             reorg_pump_slices: 64,
             durability: None,
+            backend: BackendSpec::Model,
         }
     }
 }
@@ -335,7 +345,7 @@ impl Engine {
             .expect("Engine::recover requires EngineConfig::durability")
             .clone();
         let (store, recovered) = DurableStore::open_or_create(&dcfg, fallback)?;
-        let index = recovered.rebuild_sharded(fallback, fallback_splits);
+        let index = recovered.rebuild_sharded_on(&config.backend, fallback, fallback_splits);
         let ops_applied = recovered.ops_applied();
         let report = recovered.report;
         Ok((

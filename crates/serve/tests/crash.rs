@@ -25,7 +25,7 @@ use std::sync::Arc;
 
 use ccix_core::Tuning;
 use ccix_durable::{DurabilityConfig, FailFs, FaultPlan, RealFs, TempDir};
-use ccix_extmem::{Geometry, IoCounter};
+use ccix_extmem::{BackendSpec, Geometry, IoCounter};
 use ccix_interval::{IndexBuilder, Interval, IntervalOp, IntervalOptions};
 use ccix_serve::{Engine, EngineConfig, FsyncPolicy, Meta};
 use ccix_testkit::rng::DetRng;
@@ -87,6 +87,7 @@ fn engine_config(durability: Option<DurabilityConfig>) -> EngineConfig {
         group_max_ops: 3 * BATCH_OPS,
         reorg_pump_slices: 8,
         durability,
+        ..EngineConfig::default()
     }
 }
 
@@ -155,12 +156,16 @@ fn run_flood(
 }
 
 /// Recover the directory on the real filesystem and check the invariant.
+/// With `file_backed`, the rebuild runs on the file backend (pages written
+/// under a fresh tempdir) — recovery is logical, so both backends must
+/// reach the identical state; this is the file-backed leg of the suite.
 fn check_recovery(
     plan: &CommitPlan,
     opts: IntervalOptions,
     dir: &std::path::Path,
     max_acked: u64,
     created: bool,
+    file_backed: bool,
     context: &str,
 ) {
     let dcfg = DurabilityConfig {
@@ -169,8 +174,26 @@ fn check_recovery(
         ..DurabilityConfig::new(dir)
     };
     let fallback = Meta::new(geometry(), opts);
-    let (engine, report) = Engine::recover(fallback, engine_config(Some(dcfg)))
+    let pages_dir = file_backed.then(|| TempDir::new("crash-pages"));
+    let mut config = engine_config(Some(dcfg));
+    if let Some(pages) = &pages_dir {
+        config.backend = BackendSpec::file(pages.path());
+    }
+    let (engine, report) = Engine::recover(fallback, config)
         .unwrap_or_else(|e| panic!("recovery must never fail ({context}): {e}"));
+    if let Some(pages) = &pages_dir {
+        let n_files = std::fs::read_dir(pages.path())
+            .map(|d| {
+                d.filter_map(|e| e.ok())
+                    .filter(|e| e.path().extension().is_some_and(|x| x == "pages"))
+                    .count()
+            })
+            .unwrap_or(0);
+        assert!(
+            n_files > 0,
+            "file-backed recovery wrote no page files ({context})"
+        );
+    }
     let snap = engine.snapshot();
     let ops = snap.ops_applied();
     assert_eq!(
@@ -245,7 +268,9 @@ fn recovery_agrees_with_oracle_at_every_kill_point() {
             (BATCHES * BATCH_OPS) as u64,
             "probe run must ack everything"
         );
-        check_recovery(&plan, opts, probe_dir.path(), acked, created, "probe");
+        // The probe recovers file-backed: every trial exercises the
+        // file-backend rebuild on the fully acknowledged state.
+        check_recovery(&plan, opts, probe_dir.path(), acked, created, true, "probe");
         let total_ops = probe_fs.ops().max(POINTS_PER_TRIAL as u64);
 
         // Kill points: evenly strided across the probe's op count, with
@@ -276,12 +301,24 @@ fn recovery_agrees_with_oracle_at_every_kill_point() {
                 fsync,
                 ckpt,
             );
+            // Every third point recovers onto the file backend; the rest
+            // stay on the model, so both rebuild paths see crashes of
+            // every flavour.
+            let file_backed = point % 3 == 2;
             let context = format!(
                 "trial {trial}, point {point}, crash_at {crash_at}, \
-                 fsync {fsync:?}, ckpt {ckpt}, crashed {}",
+                 fsync {fsync:?}, ckpt {ckpt}, file_backed {file_backed}, crashed {}",
                 fail_fs.crashed()
             );
-            check_recovery(&plan, opts, dir.path(), max_acked, created, &context);
+            check_recovery(
+                &plan,
+                opts,
+                dir.path(),
+                max_acked,
+                created,
+                file_backed,
+                &context,
+            );
         }
     }
 }

@@ -24,6 +24,7 @@ fn config(dir: &std::path::Path, fsync: FsyncPolicy) -> EngineConfig {
             fsync,
             ..DurabilityConfig::new(dir)
         }),
+        ..EngineConfig::default()
     }
 }
 

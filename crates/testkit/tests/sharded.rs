@@ -70,7 +70,7 @@ fn sharded_agrees_with_unsharded_and_oracle() {
         };
 
         let builder = IndexBuilder::new(geo).tuning(tuning);
-        let mut sharded = builder.sharded().splits(splits).bulk(&base);
+        let mut sharded = builder.clone().sharded().splits(splits).bulk(&base);
         let mut plain = builder.bulk(ccix_extmem::IoCounter::new(), &base);
         let mut live: Vec<Interval> = base.clone();
 
@@ -207,7 +207,7 @@ fn aggregate_io_bounded_vs_unsharded() {
             ..Tuning::default()
         };
         let builder = IndexBuilder::new(geo).tuning(tuning);
-        let sharded = builder.sharded().splits(splits).bulk(&base);
+        let sharded = builder.clone().sharded().splits(splits).bulk(&base);
         let plain_counter = ccix_extmem::IoCounter::new();
         let plain = builder.bulk(plain_counter.clone(), &base);
 
